@@ -1,0 +1,60 @@
+//! Disassembler: decoded bundles rendered back as assembly text.
+
+use patmos_isa::{decode, DecodeError};
+
+/// Disassembles an image of instruction words into addressed assembly
+/// lines (`word-address: bundle`).
+///
+/// # Errors
+///
+/// Returns the first [`DecodeError`] with the word address where it
+/// occurred embedded in the message string of the `Err` variant's source.
+///
+/// # Example
+///
+/// ```
+/// use patmos_isa::{encode, Bundle, Inst, Op};
+///
+/// # fn main() -> Result<(), patmos_isa::DecodeError> {
+/// let words = encode(&Bundle::single(Inst::always(Op::Halt)));
+/// let text = patmos_asm::disassemble(&words)?;
+/// assert_eq!(text.trim(), "0000: halt");
+/// # Ok(())
+/// # }
+/// ```
+pub fn disassemble(words: &[u32]) -> Result<String, DecodeError> {
+    let mut out = String::new();
+    let mut addr = 0usize;
+    while addr < words.len() {
+        let (bundle, used) = decode(&words[addr..])?;
+        out.push_str(&format!("{addr:04x}: {bundle}\n"));
+        addr += used;
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assemble;
+
+    #[test]
+    fn assemble_disassemble_round_trip_is_stable() {
+        let src = "        .func main\n        li r1 = 3\n        { add r2 = r1, r1 ; subi r3 = r1, 1 }\n        halt\n";
+        let img = assemble(src).expect("assembles");
+        let text = disassemble(img.code()).expect("disassembles");
+        assert!(text.contains("li r1 = 3"));
+        assert!(text.contains("{ add r2 = r1, r1 ; subi r3 = r1, 1 }"));
+        assert!(text.contains("halt"));
+    }
+
+    #[test]
+    fn addresses_account_for_bundle_width() {
+        let src = "        .func main\n        lil r1 = 70000\n        halt\n";
+        let img = assemble(src).expect("assembles");
+        let text = disassemble(img.code()).expect("disassembles");
+        let lines: Vec<&str> = text.lines().collect();
+        assert!(lines[0].starts_with("0000:"));
+        assert!(lines[1].starts_with("0002:"), "lil is two words: {text}");
+    }
+}

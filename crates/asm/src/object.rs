@@ -1,0 +1,152 @@
+//! Object images: the linked output of the assembler.
+
+use std::collections::HashMap;
+
+use patmos_isa::{decode_all, Bundle, DecodeError};
+
+/// A function in the image, as the method cache sees it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FuncInfo {
+    /// The symbol name.
+    pub name: String,
+    /// Start address in words.
+    pub start_word: u32,
+    /// Size in words (what a method-cache fill transfers).
+    pub size_words: u32,
+}
+
+/// A chunk of initialised data placed in main memory by the loader.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DataSegment {
+    /// The defining symbol.
+    pub name: String,
+    /// Byte address of the first byte.
+    pub addr: u32,
+    /// The bytes to place.
+    pub bytes: Vec<u8>,
+}
+
+/// A loop-bound annotation for the WCET analysis, attached to the word
+/// address of the loop header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LoopBound {
+    /// Word address of the annotated bundle (the loop header).
+    pub addr: u32,
+    /// Minimum iteration count.
+    pub min: u32,
+    /// Maximum iteration count (what the analysis uses).
+    pub max: u32,
+}
+
+/// The assembled program: code, function table, data, symbols and
+/// annotations.
+#[derive(Debug, Clone, Default)]
+pub struct ObjectImage {
+    code: Vec<u32>,
+    functions: Vec<FuncInfo>,
+    data: Vec<DataSegment>,
+    symbols: HashMap<String, u32>,
+    loop_bounds: Vec<LoopBound>,
+    entry_word: u32,
+}
+
+impl ObjectImage {
+    pub(crate) fn new(
+        code: Vec<u32>,
+        functions: Vec<FuncInfo>,
+        data: Vec<DataSegment>,
+        symbols: HashMap<String, u32>,
+        loop_bounds: Vec<LoopBound>,
+        entry_word: u32,
+    ) -> ObjectImage {
+        ObjectImage { code, functions, data, symbols, loop_bounds, entry_word }
+    }
+
+    /// The encoded instruction words.
+    pub fn code(&self) -> &[u32] {
+        &self.code
+    }
+
+    /// The function table, sorted by start address.
+    pub fn functions(&self) -> &[FuncInfo] {
+        &self.functions
+    }
+
+    /// Initialised data segments.
+    pub fn data(&self) -> &[DataSegment] {
+        &self.data
+    }
+
+    /// All symbols (labels: word addresses; data/equ: their values).
+    pub fn symbols(&self) -> &HashMap<String, u32> {
+        &self.symbols
+    }
+
+    /// Loop-bound annotations in program order.
+    pub fn loop_bounds(&self) -> &[LoopBound] {
+        &self.loop_bounds
+    }
+
+    /// Word address of the entry function.
+    pub fn entry_word(&self) -> u32 {
+        self.entry_word
+    }
+
+    /// The function containing the word address, if any.
+    pub fn function_at(&self, word_addr: u32) -> Option<&FuncInfo> {
+        self.functions
+            .iter()
+            .find(|f| word_addr >= f.start_word && word_addr < f.start_word + f.size_words)
+    }
+
+    /// The function starting exactly at the word address (call targets).
+    pub fn function_starting_at(&self, word_addr: u32) -> Option<&FuncInfo> {
+        self.functions.iter().find(|f| f.start_word == word_addr)
+    }
+
+    /// Looks up a symbol's value.
+    pub fn symbol(&self, name: &str) -> Option<u32> {
+        self.symbols.get(name).copied()
+    }
+
+    /// Decodes the whole image back into addressed bundles.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`DecodeError`]; an image produced by
+    /// [`crate::assemble`] always decodes.
+    pub fn decode(&self) -> Result<Vec<(u32, Bundle)>, DecodeError> {
+        decode_all(&self.code)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn image_with_functions() -> ObjectImage {
+        ObjectImage::new(
+            vec![0; 10],
+            vec![
+                FuncInfo { name: "a".into(), start_word: 0, size_words: 4 },
+                FuncInfo { name: "b".into(), start_word: 4, size_words: 6 },
+            ],
+            Vec::new(),
+            HashMap::new(),
+            Vec::new(),
+            0,
+        )
+    }
+
+    #[test]
+    fn function_lookup() {
+        let img = image_with_functions();
+        assert_eq!(img.function_at(0).map(|f| f.name.as_str()), Some("a"));
+        assert_eq!(img.function_at(3).map(|f| f.name.as_str()), Some("a"));
+        assert_eq!(img.function_at(4).map(|f| f.name.as_str()), Some("b"));
+        assert_eq!(img.function_at(9).map(|f| f.name.as_str()), Some("b"));
+        assert_eq!(img.function_at(10), None);
+        assert_eq!(img.function_starting_at(4).map(|f| f.name.as_str()), Some("b"));
+        assert_eq!(img.function_starting_at(5), None);
+    }
+}

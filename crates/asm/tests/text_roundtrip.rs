@@ -1,0 +1,123 @@
+//! Property test: random instruction streams survive the
+//! text → image → disassembly → image cycle, plus directed error-path
+//! tests of the assembler.
+
+use proptest::prelude::*;
+
+use patmos_asm::{assemble, disassemble};
+use patmos_isa::{encode, AluOp, Bundle, Inst, Op, Pred, Reg};
+
+fn arb_simple_inst() -> impl Strategy<Value = Inst> {
+    // Instructions whose Display form the assembler accepts verbatim
+    // (no labels or symbols involved).
+    prop_oneof![
+        Just(Inst::always(Op::Nop)),
+        (0u8..32, 0u8..32, 0u8..32, prop::sample::select(AluOp::ALL.to_vec())).prop_map(
+            |(d, a, b, op)| Inst::always(Op::AluR {
+                op,
+                rd: Reg::from_index(d),
+                rs1: Reg::from_index(a),
+                rs2: Reg::from_index(b),
+            })
+        ),
+        (0u8..32, 0u8..32, -2048i16..=2047, prop::sample::select(AluOp::ALL.to_vec()))
+            .prop_map(|(d, a, imm, op)| Inst::always(Op::AluI {
+                op,
+                rd: Reg::from_index(d),
+                rs1: Reg::from_index(a),
+                imm,
+            })),
+        (0u8..32, any::<i16>()).prop_map(|(d, imm)| Inst::always(Op::LoadImmLow {
+            rd: Reg::from_index(d),
+            imm: imm as u16,
+        })),
+        (1u8..8, 0u8..32, -1024i16..=1023).prop_map(|(p, a, imm)| Inst::always(Op::CmpI {
+            op: patmos_isa::CmpOp::Lt,
+            pd: Pred::from_index(p),
+            rs1: Reg::from_index(a),
+            imm,
+        })),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn rendered_instructions_reassemble_to_the_same_bits(
+        insts in prop::collection::vec(arb_simple_inst(), 1..24),
+    ) {
+        let mut source = String::from("        .func main\n");
+        let mut expected: Vec<u32> = Vec::new();
+        for inst in &insts {
+            source.push_str(&format!("        {inst}\n"));
+            expected.extend(encode(&Bundle::single(*inst)));
+        }
+        source.push_str("        halt\n");
+        expected.extend(encode(&Bundle::single(Inst::always(Op::Halt))));
+
+        let image = assemble(&source).expect("rendered instructions assemble");
+        prop_assert_eq!(image.code(), &expected[..]);
+
+        // Disassembly renders back to lines that mention each mnemonic.
+        let text = disassemble(image.code()).expect("disassembles");
+        prop_assert_eq!(text.lines().count(), insts.len() + 1);
+    }
+}
+
+#[test]
+fn undefined_symbol_is_reported() {
+    let err = assemble("        .func main\n        br nowhere\n        nop\n        halt\n")
+        .unwrap_err();
+    assert!(err.message.contains("undefined symbol"), "{err}");
+}
+
+#[test]
+fn duplicate_label_is_reported() {
+    let err = assemble("        .func main\nx:\n        nop\nx:\n        halt\n").unwrap_err();
+    assert!(err.message.contains("duplicate"), "{err}");
+}
+
+#[test]
+fn two_memory_ops_cannot_share_a_bundle() {
+    let err = assemble(
+        "        .func main\n        { lws r1 = [r0 + 0] ; lws r2 = [r0 + 1] }\n        halt\n",
+    )
+    .unwrap_err();
+    assert!(err.message.contains("second issue slot"), "{err}");
+}
+
+#[test]
+fn conflicting_bundle_writes_rejected() {
+    let err = assemble(
+        "        .func main\n        { add r1 = r2, r3 ; add r1 = r4, r5 }\n        halt\n",
+    )
+    .unwrap_err();
+    assert!(err.message.contains("same register"), "{err}");
+}
+
+#[test]
+fn data_directives_require_a_segment() {
+    let err = assemble("        .word 1, 2\n        .func main\n        halt\n").unwrap_err();
+    assert!(err.message.contains(".data"), "{err}");
+}
+
+#[test]
+fn instructions_require_a_function() {
+    let err = assemble("        nop\n").unwrap_err();
+    assert!(err.message.contains(".func"), "{err}");
+}
+
+#[test]
+fn loop_bound_with_min_above_max_rejected() {
+    let err = assemble("        .func main\n        .loopbound 5 2\n        halt\n").unwrap_err();
+    assert!(err.message.contains("min exceeds max"), "{err}");
+}
+
+#[test]
+fn word_directive_accepts_symbols() {
+    let image = assemble(
+        "        .data a 0x10000\n        .word 1\n        .data b 0x10100\n        .word a\n        .func main\n        halt\n",
+    )
+    .expect("assembles");
+    let b = &image.data()[1];
+    assert_eq!(&b.bytes[0..4], &0x10000u32.to_le_bytes());
+}

@@ -1,0 +1,47 @@
+//! A conventional, average-case-optimised RISC — the comparator Patmos
+//! argues against.
+//!
+//! The paper's motivation (Section 1) is that "current processors are
+//! optimized for average case performance, often leading to a high
+//! worst-case execution time", because history-dependent features
+//! (dynamic branch prediction, unified caches shared by code and data,
+//! blocking loads) are hard to model in WCET analysis. To reproduce that
+//! argument quantitatively (experiment E7) this crate executes the *same
+//! Patmos binaries* with the *same architectural results*, but under a
+//! conventional timing model:
+//!
+//! * single issue (a two-slot bundle costs two cycles);
+//! * a unified, set-associative cache for **all** data areas — typed
+//!   loads lose their meaning, stack/static/heap traffic interferes;
+//! * an instruction cache accessed on every fetch — misses can happen at
+//!   *any* instruction, not only at call/return;
+//! * a 2-bit dynamic branch predictor with a misprediction penalty —
+//!   branch cost depends on execution history;
+//! * blocking main-memory loads — `ldm`'s latency cannot be hidden, the
+//!   split `wres` is free.
+//!
+//! Because these timing features depend on history that a static analysis
+//! cannot reconstruct, the WCET analysis of this machine (in
+//! `patmos-wcet`) has to assume the worst everywhere — which is exactly
+//! the pessimism gap the experiment measures.
+//!
+//! # Example
+//!
+//! ```
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let image = patmos_asm::assemble(
+//!     "        .func main\n        li r1 = 2\n        add r1 = r1, r1\n        halt\n",
+//! )?;
+//! let mut cpu = patmos_baseline::BaselineSim::new(&image, patmos_baseline::BaselineConfig::default());
+//! let result = cpu.run()?;
+//! assert_eq!(cpu.reg(patmos_isa::Reg::R1), 4);
+//! assert!(result.stats.cycles > 0);
+//! # Ok(())
+//! # }
+//! ```
+
+mod predictor;
+mod sim;
+
+pub use predictor::BranchPredictor;
+pub use sim::{BaselineConfig, BaselineError, BaselineResult, BaselineSim, BaselineStats};

@@ -1,0 +1,556 @@
+//! The baseline machine: same semantics, conventional timing.
+
+use patmos_asm::{FuncInfo, ObjectImage};
+use patmos_isa::{
+    AccessSize, Bundle, FlowKind, MemArea, Op, Pred, Reg, SpecialReg, LINK_REG, NUM_PREDS,
+    NUM_REGS,
+};
+use patmos_mem::{
+    CacheStats, MainMemory, ReplacementPolicy, SetAssocCache, SHADOW_STACK_TOP, STACK_TOP,
+};
+
+use crate::predictor::BranchPredictor;
+
+/// Byte address of the code image.
+const CODE_BASE: u32 = 0;
+/// Where the baseline maps the scratchpad area (it has no scratchpad, so
+/// SPM-typed accesses become ordinary cached memory in a reserved range).
+const SPM_ALIAS_BASE: u32 = 0x0900_0000;
+
+/// Configuration of the conventional machine.
+#[derive(Debug, Clone)]
+pub struct BaselineConfig {
+    /// Instruction-cache geometry `(sets, ways, line_words)`.
+    pub icache: (u32, u32, u32),
+    /// Unified data-cache geometry `(sets, ways, line_words)`.
+    pub dcache: (u32, u32, u32),
+    /// Replacement policy of both caches.
+    pub policy: ReplacementPolicy,
+    /// Main-memory timing.
+    pub mem: patmos_mem::MemConfig,
+    /// Entries in the bimodal predictor.
+    pub predictor_entries: usize,
+    /// Penalty cycles for a mispredicted conditional branch.
+    pub mispredict_penalty: u32,
+    /// Penalty cycles for indirect calls and returns (no BTB).
+    pub indirect_penalty: u32,
+    /// Cycle budget.
+    pub max_cycles: u64,
+}
+
+impl Default for BaselineConfig {
+    /// 4 KiB I$ (32 sets × 4 ways × 8 words), 4 KiB unified D$, LRU,
+    /// 256-entry predictor, 3-cycle misprediction penalty — a small
+    /// conventional embedded core.
+    fn default() -> BaselineConfig {
+        BaselineConfig {
+            icache: (32, 4, 8),
+            dcache: (32, 4, 8),
+            policy: ReplacementPolicy::Lru,
+            mem: patmos_mem::MemConfig::default(),
+            predictor_entries: 256,
+            mispredict_penalty: 3,
+            indirect_penalty: 2,
+            max_cycles: 200_000_000,
+        }
+    }
+}
+
+/// Counters of a baseline run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BaselineStats {
+    /// Total cycles.
+    pub cycles: u64,
+    /// Instructions executed (guard-true, non-nop).
+    pub insts_executed: u64,
+    /// Bundles processed.
+    pub bundles: u64,
+    /// Conditional control transfers seen by the predictor.
+    pub predicted_branches: u64,
+    /// Mispredictions among them.
+    pub mispredicts: u64,
+    /// Cycles lost to instruction-cache misses.
+    pub stall_icache: u64,
+    /// Cycles lost to data-cache misses (all areas, unified).
+    pub stall_dcache: u64,
+    /// Cycles lost to branch mispredictions and indirect penalties.
+    pub stall_branch: u64,
+    /// Instruction-cache counters.
+    pub icache: CacheStats,
+    /// Unified data-cache counters.
+    pub dcache: CacheStats,
+}
+
+impl BaselineStats {
+    /// Misprediction rate in `0.0..=1.0`.
+    pub fn mispredict_rate(&self) -> f64 {
+        if self.predicted_branches == 0 {
+            0.0
+        } else {
+            self.mispredicts as f64 / self.predicted_branches as f64
+        }
+    }
+}
+
+/// Why a baseline run stopped abnormally.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BaselineError {
+    /// PC does not address a bundle.
+    BadPc(u32),
+    /// Call target is not a function.
+    NotAFunction(u32),
+    /// Cycle budget exhausted.
+    MaxCyclesExceeded(u64),
+}
+
+impl std::fmt::Display for BaselineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BaselineError::BadPc(pc) => write!(f, "pc {pc:#x} is not a bundle start"),
+            BaselineError::NotAFunction(t) => write!(f, "call target {t:#x} is not a function"),
+            BaselineError::MaxCyclesExceeded(l) => write!(f, "exceeded cycle budget {l}"),
+        }
+    }
+}
+
+impl std::error::Error for BaselineError {}
+
+/// Result of a completed baseline run.
+#[derive(Debug, Clone, Copy)]
+pub struct BaselineResult {
+    /// Execution counters.
+    pub stats: BaselineStats,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum FlowTarget {
+    Jump(u32),
+    Call(u32),
+    Ret(u32),
+}
+
+#[derive(Debug, Clone, Copy)]
+struct PendingFlow {
+    target: FlowTarget,
+    slots_left: u32,
+}
+
+/// The conventional machine executing a Patmos binary.
+#[derive(Debug, Clone)]
+pub struct BaselineSim {
+    config: BaselineConfig,
+    bundles: Vec<Option<Bundle>>,
+    functions: Vec<FuncInfo>,
+    mem: MainMemory,
+    icache: SetAssocCache,
+    dcache: SetAssocCache,
+    predictor: BranchPredictor,
+    regs: [u32; NUM_REGS],
+    preds: [bool; NUM_PREDS],
+    sl: u32,
+    sh: u32,
+    sm: u32,
+    st: u32,
+    pc: u32,
+    now: u64,
+    pending_flow: Option<PendingFlow>,
+    stats: BaselineStats,
+    halted: bool,
+}
+
+impl BaselineSim {
+    /// Loads an image into a fresh baseline core.
+    pub fn new(image: &ObjectImage, config: BaselineConfig) -> BaselineSim {
+        let code = image.code();
+        let mut bundles = vec![None; code.len()];
+        for (addr, bundle) in image.decode().expect("assembler output decodes") {
+            bundles[addr as usize] = Some(bundle);
+        }
+        let mut mem = MainMemory::new(config.mem);
+        mem.load_words(CODE_BASE, code);
+        for seg in image.data() {
+            mem.load_bytes(seg.addr, &seg.bytes);
+        }
+        let mut regs = [0u32; NUM_REGS];
+        regs[patmos_isa::SHADOW_SP.index() as usize] = SHADOW_STACK_TOP;
+        let mut preds = [false; NUM_PREDS];
+        preds[0] = true;
+        let (is, iw, il) = config.icache;
+        let (ds, dw, dl) = config.dcache;
+        BaselineSim {
+            bundles,
+            functions: image.functions().to_vec(),
+            icache: SetAssocCache::new(is, iw, il, config.policy),
+            dcache: SetAssocCache::new(ds, dw, dl, config.policy),
+            predictor: BranchPredictor::new(config.predictor_entries),
+            mem,
+            regs,
+            preds,
+            sl: 0,
+            sh: 0,
+            sm: 0,
+            st: STACK_TOP,
+            pc: image.entry_word(),
+            now: 0,
+            pending_flow: None,
+            stats: BaselineStats::default(),
+            halted: false,
+            config,
+        }
+    }
+
+    /// Reads a general-purpose register.
+    pub fn reg(&self, reg: Reg) -> u32 {
+        self.regs[reg.index() as usize]
+    }
+
+    /// Reads a predicate register.
+    pub fn pred(&self, pred: Pred) -> bool {
+        self.preds[pred.index() as usize]
+    }
+
+    /// The main memory.
+    pub fn memory(&self) -> &MainMemory {
+        &self.mem
+    }
+
+    /// Mutable main memory (for preparing inputs).
+    pub fn memory_mut(&mut self) -> &mut MainMemory {
+        &mut self.mem
+    }
+
+    /// Counters so far.
+    pub fn stats(&self) -> BaselineStats {
+        let mut s = self.stats;
+        s.cycles = self.now;
+        s.icache = self.icache.stats();
+        s.dcache = self.dcache.stats();
+        s
+    }
+
+    /// Runs to `halt`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`BaselineError`] on bad control flow or an exhausted
+    /// cycle budget.
+    pub fn run(&mut self) -> Result<BaselineResult, BaselineError> {
+        while !self.halted {
+            self.step()?;
+        }
+        Ok(BaselineResult { stats: self.stats() })
+    }
+
+    fn dcache_read(&mut self, ea: u32, size: AccessSize) -> u32 {
+        let res = self.dcache.access(ea, false);
+        if !res.hit {
+            let stall = self.mem.burst_cycles(res.transfer_words) as u64;
+            self.stats.stall_dcache += stall;
+            self.now += stall;
+        }
+        match size {
+            AccessSize::Byte => self.mem.read_byte(ea) as u32,
+            AccessSize::Half => self.mem.read_half(ea) as u32,
+            AccessSize::Word => self.mem.read_word(ea),
+        }
+    }
+
+    fn dcache_write(&mut self, ea: u32, size: AccessSize, value: u32) {
+        self.dcache.access(ea, true);
+        match size {
+            AccessSize::Byte => self.mem.write_byte(ea, value as u8),
+            AccessSize::Half => self.mem.write_half(ea, value as u16),
+            AccessSize::Word => self.mem.write_word(ea, value),
+        }
+    }
+
+    fn effective_address(&self, area: MemArea, ra: Reg, offset: i16, size: AccessSize) -> u32 {
+        let scaled = (offset as i32).wrapping_mul(size.bytes() as i32) as u32;
+        let raw = self.regs[ra.index() as usize].wrapping_add(scaled);
+        match area {
+            MemArea::Stack => self.st.wrapping_add(raw),
+            MemArea::Spm => SPM_ALIAS_BASE.wrapping_add(raw),
+            _ => raw,
+        }
+    }
+
+    fn step(&mut self) -> Result<(), BaselineError> {
+        if self.halted {
+            return Ok(());
+        }
+        if self.now >= self.config.max_cycles {
+            return Err(BaselineError::MaxCyclesExceeded(self.config.max_cycles));
+        }
+        let bundle = *self
+            .bundles
+            .get(self.pc as usize)
+            .and_then(|b| b.as_ref())
+            .ok_or(BaselineError::BadPc(self.pc))?;
+
+        // Instruction fetch: every word through the I$.
+        for w in 0..bundle.width_words() {
+            let res = self.icache.access(CODE_BASE + (self.pc + w) * 4, false);
+            if !res.hit {
+                let stall = self.mem.burst_cycles(res.transfer_words) as u64;
+                self.stats.stall_icache += stall;
+                self.now += stall;
+            }
+        }
+
+        // Single issue: one cycle per occupied slot.
+        self.now += bundle.slots().count() as u64;
+        self.stats.bundles += 1;
+
+        // Pre-state reads, same semantics as the Patmos core.
+        let slot_ops: Vec<(patmos_isa::Inst, bool, [u32; 2])> = bundle
+            .slots()
+            .map(|inst| {
+                let uses = inst.op.uses();
+                let vals = [
+                    uses[0].map_or(0, |r| self.regs[r.index() as usize]),
+                    uses[1].map_or(0, |r| self.regs[r.index() as usize]),
+                ];
+                (*inst, inst.guard.eval(&self.preds), vals)
+            })
+            .collect();
+
+        let this_pc = self.pc;
+        let width = bundle.width_words();
+        let had_pending = self.pending_flow.is_some();
+        let mut new_flow: Option<PendingFlow> = None;
+
+        for (inst, guard_true, vals) in slot_ops {
+            // Conditional control transfers exercise the predictor whether
+            // taken or not.
+            if inst.op.is_flow()
+                && !matches!(inst.op, Op::Halt)
+                && !inst.guard.is_always()
+            {
+                self.stats.predicted_branches += 1;
+                let predicted = self.predictor.predict(this_pc);
+                if predicted != guard_true {
+                    self.stats.mispredicts += 1;
+                    let pen = self.config.mispredict_penalty as u64;
+                    self.stats.stall_branch += pen;
+                    self.now += pen;
+                }
+                self.predictor.update(this_pc, guard_true);
+            }
+            if matches!(inst.op, Op::Nop) || !guard_true {
+                continue;
+            }
+            self.stats.insts_executed += 1;
+            match inst.op {
+                Op::Nop => {}
+                Op::AluR { op, rd, .. } => self.write_reg(rd, op.apply(vals[0], vals[1])),
+                Op::AluI { op, rd, imm, .. } => {
+                    self.write_reg(rd, op.apply(vals[0], imm as i32 as u32))
+                }
+                Op::Mul { .. } => {
+                    let prod = (vals[0] as i32 as i64).wrapping_mul(vals[1] as i32 as i64);
+                    self.sl = prod as u32;
+                    self.sh = (prod >> 32) as u32;
+                }
+                Op::LoadImmLow { rd, imm } => self.write_reg(rd, imm as i16 as i32 as u32),
+                Op::LoadImmHigh { rd, imm } => {
+                    let low = self.regs[rd.index() as usize] & 0xffff;
+                    self.write_reg(rd, ((imm as u32) << 16) | low);
+                }
+                Op::LoadImm32 { rd, imm } => self.write_reg(rd, imm),
+                Op::Cmp { op, pd, .. } => self.write_pred(pd, op.apply(vals[0], vals[1])),
+                Op::CmpI { op, pd, imm, .. } => {
+                    self.write_pred(pd, op.apply(vals[0], imm as i32 as u32))
+                }
+                Op::PredSet { op, pd, p1, p2 } => {
+                    let a = self.preds[p1.pred.index() as usize] ^ p1.negate;
+                    let b = self.preds[p2.pred.index() as usize] ^ p2.negate;
+                    self.write_pred(pd, op.apply(a, b));
+                }
+                Op::Load { area, size, rd, ra, offset } => {
+                    let ea = self.effective_address(area, ra, offset, size);
+                    let v = self.dcache_read(ea, size);
+                    self.write_reg(rd, v);
+                }
+                Op::Store { area, size, ra, offset, .. } => {
+                    let ea = self.effective_address(area, ra, offset, size);
+                    self.dcache_write(ea, size, vals[1]);
+                }
+                Op::MainLoad { offset, .. } => {
+                    // Blocking load: the baseline cannot hide the latency.
+                    let ea = vals[0].wrapping_add((offset as i32 as u32).wrapping_mul(4));
+                    self.sm = self.dcache_read(ea, AccessSize::Word);
+                }
+                Op::MainWait { rd } => {
+                    let sm = self.sm;
+                    self.write_reg(rd, sm);
+                }
+                Op::MainStore { offset, .. } => {
+                    let ea = vals[0].wrapping_add((offset as i32 as u32).wrapping_mul(4));
+                    self.dcache_write(ea, AccessSize::Word, vals[1]);
+                }
+                // Stack-control becomes plain pointer arithmetic: the
+                // baseline has no stack cache to manage.
+                Op::Sres { words } => self.st = self.st.wrapping_sub(words * 4),
+                Op::Sens { .. } => {}
+                Op::Sfree { words } => self.st = self.st.wrapping_add(words * 4),
+                Op::Mts { sd, .. } => match sd {
+                    SpecialReg::Sl => self.sl = vals[0],
+                    SpecialReg::Sh => self.sh = vals[0],
+                    SpecialReg::Sm => self.sm = vals[0],
+                    SpecialReg::St => self.st = vals[0] & !3,
+                    SpecialReg::Ss => {}
+                },
+                Op::Mfs { rd, ss } => {
+                    let v = match ss {
+                        SpecialReg::Sl => self.sl,
+                        SpecialReg::Sh => self.sh,
+                        SpecialReg::Sm => self.sm,
+                        SpecialReg::St => self.st,
+                        SpecialReg::Ss => self.st,
+                    };
+                    self.write_reg(rd, v);
+                }
+                Op::Br { .. } | Op::Call { .. } | Op::CallR { .. } | Op::Ret | Op::Halt => {
+                    if matches!(inst.op, Op::Halt) {
+                        self.halted = true;
+                        continue;
+                    }
+                    if had_pending || new_flow.is_some() {
+                        // The baseline executes the same legal binaries;
+                        // treat this like a bad PC.
+                        return Err(BaselineError::BadPc(this_pc));
+                    }
+                    if matches!(inst.op, Op::CallR { .. } | Op::Ret) {
+                        let pen = self.config.indirect_penalty as u64;
+                        self.stats.stall_branch += pen;
+                        self.now += pen;
+                    }
+                    let target = match inst.op.flow_kind() {
+                        FlowKind::Branch(off) => FlowTarget::Jump(this_pc.wrapping_add(off as u32)),
+                        FlowKind::CallDirect(off) => {
+                            FlowTarget::Call(this_pc.wrapping_add(off as u32))
+                        }
+                        FlowKind::CallIndirect(_) => FlowTarget::Call(vals[0]),
+                        FlowKind::Return => FlowTarget::Ret(vals[0]),
+                        FlowKind::None | FlowKind::Halt => unreachable!("flow ops only"),
+                    };
+                    new_flow = Some(PendingFlow { target, slots_left: inst.delay_slots() });
+                }
+            }
+        }
+
+        if self.halted {
+            return Ok(());
+        }
+
+        self.pc = this_pc.wrapping_add(width);
+        if let Some(flow) = new_flow {
+            self.pending_flow = Some(flow);
+        }
+        if let Some(mut flow) = self.pending_flow.take() {
+            if new_flow.is_none() {
+                flow.slots_left = flow.slots_left.saturating_sub(1);
+            }
+            if flow.slots_left == 0 && new_flow.is_none() {
+                self.redirect(flow.target)?;
+            } else {
+                self.pending_flow = Some(flow);
+            }
+        }
+        Ok(())
+    }
+
+    fn redirect(&mut self, target: FlowTarget) -> Result<(), BaselineError> {
+        match target {
+            FlowTarget::Jump(t) => self.pc = t,
+            FlowTarget::Call(t) => {
+                if !self.functions.iter().any(|f| f.start_word == t) {
+                    return Err(BaselineError::NotAFunction(t));
+                }
+                let link = self.pc;
+                self.write_reg(LINK_REG, link);
+                self.pc = t;
+            }
+            FlowTarget::Ret(t) => self.pc = t,
+        }
+        Ok(())
+    }
+
+    fn write_reg(&mut self, rd: Reg, value: u32) {
+        if !rd.is_zero() {
+            self.regs[rd.index() as usize] = value;
+        }
+    }
+
+    fn write_pred(&mut self, pd: Pred, value: bool) {
+        if !pd.is_always_true() {
+            self.preds[pd.index() as usize] = value;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use patmos_asm::assemble;
+
+    fn run_src(src: &str) -> (BaselineSim, BaselineResult) {
+        let image = assemble(src).expect("assembles");
+        let mut sim = BaselineSim::new(&image, BaselineConfig::default());
+        let result = sim.run().expect("runs");
+        (sim, result)
+    }
+
+    const SUM_LOOP: &str = "        .func main\n        li r1 = 0\n        li r2 = 5\nloop:\n        add r1 = r1, r2\n        subi r2 = r2, 1\n        cmpineq p1 = r2, 0\n        (p1) br loop\n        nop\n        nop\n        halt\n";
+
+    #[test]
+    fn same_results_as_patmos_semantics() {
+        let (sim, _) = run_src(SUM_LOOP);
+        assert_eq!(sim.reg(Reg::R1), 15);
+    }
+
+    #[test]
+    fn predictor_learns_the_loop() {
+        let (_, result) = run_src(SUM_LOOP);
+        assert!(result.stats.predicted_branches >= 5);
+        assert!(
+            result.stats.mispredicts < result.stats.predicted_branches,
+            "a trained bimodal predictor beats always-mispredict"
+        );
+    }
+
+    #[test]
+    fn icache_misses_can_happen_anywhere() {
+        let (_, result) = run_src(SUM_LOOP);
+        // First pass misses, later iterations hit.
+        assert!(result.stats.icache.misses >= 1);
+        assert!(result.stats.icache.hits > result.stats.icache.misses);
+    }
+
+    #[test]
+    fn unified_cache_mixes_stack_and_heap() {
+        let (sim, result) = run_src(
+            "        .func main\n        sres 2\n        li r1 = 7\n        sws [r0 + 0] = r1\n        lil r2 = 0x10000\n        swd [r2 + 0] = r1\n        lws r3 = [r0 + 0]\n        sfree 2\n        halt\n",
+        );
+        assert_eq!(sim.reg(Reg::R3), 7);
+        // All three data accesses went through the one unified cache.
+        assert_eq!(result.stats.dcache.accesses, 3);
+    }
+
+    #[test]
+    fn blocking_main_load_stalls() {
+        let (sim, result) = run_src(
+            "        .func main\n        lil r2 = 0x20000\n        li r3 = 9\n        stm [r2 + 0] = r3\n        ldm [r2 + 0]\n        wres r1\n        halt\n",
+        );
+        assert_eq!(sim.reg(Reg::R1), 9);
+        assert!(result.stats.stall_dcache > 0, "ldm blocks on the miss");
+    }
+
+    #[test]
+    fn call_and_return_work_without_method_cache() {
+        let (sim, _) = run_src(
+            "        .func callee\n        li r5 = 31\n        ret\n        nop\n        nop\n        .func main\n        .entry main\n        call callee\n        nop\n        halt\n",
+        );
+        assert_eq!(sim.reg(Reg::R5), 31);
+    }
+}

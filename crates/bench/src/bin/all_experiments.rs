@@ -1,0 +1,5 @@
+//! Regenerates every experiment table in one run (used to produce
+//! EXPERIMENTS.md).
+fn main() {
+    print!("{}", patmos_bench::all_experiments());
+}

@@ -1,0 +1,4 @@
+//! Regenerates experiment E10_SCHEDULER (see DESIGN.md / EXPERIMENTS.md).
+fn main() {
+    print!("{}", patmos_bench::exp_e10_scheduler());
+}

@@ -1,0 +1,4 @@
+//! Regenerates experiment E1_REGISTER_FILE (see DESIGN.md / EXPERIMENTS.md).
+fn main() {
+    print!("{}", patmos_bench::exp_e1_register_file());
+}

@@ -1,0 +1,4 @@
+//! Regenerates experiment E2_DUAL_ISSUE (see DESIGN.md / EXPERIMENTS.md).
+fn main() {
+    print!("{}", patmos_bench::exp_e2_dual_issue());
+}

@@ -1,0 +1,4 @@
+//! Regenerates experiment E3_METHOD_CACHE (see DESIGN.md / EXPERIMENTS.md).
+fn main() {
+    print!("{}", patmos_bench::exp_e3_method_cache());
+}

@@ -1,0 +1,4 @@
+//! Regenerates experiment E4_SPLIT_CACHE (see DESIGN.md / EXPERIMENTS.md).
+fn main() {
+    print!("{}", patmos_bench::exp_e4_split_cache());
+}

@@ -1,0 +1,4 @@
+//! Regenerates experiment E5_SPLIT_LOAD (see DESIGN.md / EXPERIMENTS.md).
+fn main() {
+    print!("{}", patmos_bench::exp_e5_split_load());
+}

@@ -1,0 +1,4 @@
+//! Regenerates experiment E6_SINGLE_PATH (see DESIGN.md / EXPERIMENTS.md).
+fn main() {
+    print!("{}", patmos_bench::exp_e6_single_path());
+}

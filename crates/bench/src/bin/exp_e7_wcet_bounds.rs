@@ -1,0 +1,4 @@
+//! Regenerates experiment E7_WCET_BOUNDS (see DESIGN.md / EXPERIMENTS.md).
+fn main() {
+    print!("{}", patmos_bench::exp_e7_wcet_bounds());
+}

@@ -1,0 +1,4 @@
+//! Regenerates experiment E8_CMP_TDMA (see DESIGN.md / EXPERIMENTS.md).
+fn main() {
+    print!("{}", patmos_bench::exp_e8_cmp_tdma());
+}

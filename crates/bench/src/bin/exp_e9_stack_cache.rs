@@ -1,0 +1,4 @@
+//! Regenerates experiment E9_STACK_CACHE (see DESIGN.md / EXPERIMENTS.md).
+fn main() {
+    print!("{}", patmos_bench::exp_e9_stack_cache());
+}

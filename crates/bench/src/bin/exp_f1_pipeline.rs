@@ -1,0 +1,4 @@
+//! Regenerates experiment F1_PIPELINE (see DESIGN.md / EXPERIMENTS.md).
+fn main() {
+    print!("{}", patmos_bench::exp_f1_pipeline());
+}

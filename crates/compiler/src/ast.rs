@@ -1,0 +1,126 @@
+//! PatC abstract syntax.
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Rem,
+    And,
+    Or,
+    Xor,
+    Shl,
+    Shr,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    LogAnd,
+    LogOr,
+}
+
+impl BinOp {
+    /// Whether the operator yields a boolean (0/1) value.
+    pub fn is_comparison(self) -> bool {
+        matches!(
+            self,
+            BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge
+        )
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum UnOp {
+    Neg,
+    Not,
+    BitNot,
+}
+
+/// Expressions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Expr {
+    /// Integer literal.
+    Lit(i64),
+    /// Variable reference (local, parameter, or global scalar).
+    Var(String),
+    /// Global array element `name[index]`.
+    Index(String, Box<Expr>),
+    /// Binary operation.
+    Bin(BinOp, Box<Expr>, Box<Expr>),
+    /// Unary operation.
+    Un(UnOp, Box<Expr>),
+    /// Function call.
+    Call(String, Vec<Expr>),
+}
+
+/// Statements.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Stmt {
+    /// Local declaration `int x;` or `int x = e;`.
+    Decl(String, Option<Expr>),
+    /// Assignment to a scalar.
+    Assign(String, Expr),
+    /// Assignment to a global array element.
+    AssignIndex(String, Expr, Expr),
+    /// `if (cond) { .. } else { .. }`.
+    If(Expr, Vec<Stmt>, Vec<Stmt>),
+    /// `while (cond) bound(n) { .. }` — `bound` is the maximum number of
+    /// body iterations.
+    While(Expr, u32, Vec<Stmt>),
+    /// `return e;`.
+    Return(Expr),
+    /// Expression evaluated for effect (a call).
+    ExprStmt(Expr),
+}
+
+/// Memory placement of a global.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MemQualifier {
+    /// Static-data area, served by the constant/static cache (default).
+    #[default]
+    Static,
+    /// Heap area, served by the highly associative data cache.
+    Heap,
+    /// Scratchpad memory.
+    Spm,
+}
+
+/// A global scalar or array.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Global {
+    /// The name.
+    pub name: String,
+    /// Element count (`1` for scalars).
+    pub len: u32,
+    /// Initial values (padded with zeros to `len`).
+    pub init: Vec<i64>,
+    /// Where the global lives.
+    pub qualifier: MemQualifier,
+}
+
+/// A function definition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Function {
+    /// The name.
+    pub name: String,
+    /// Parameter names (all `int`; at most four).
+    pub params: Vec<String>,
+    /// The body.
+    pub body: Vec<Stmt>,
+}
+
+/// A complete PatC translation unit.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Program {
+    /// Globals in declaration order.
+    pub globals: Vec<Global>,
+    /// Functions in declaration order; `main` is the entry.
+    pub functions: Vec<Function>,
+}

@@ -1,0 +1,959 @@
+//! Tree-walking code generation: AST → [`Module`] of LIR items.
+//!
+//! Conventions:
+//!
+//! * locals (and the saved link register, slot 0) live in **stack-cache
+//!   slots**, exactly the usage the paper's stack cache is designed for;
+//! * `r1` carries return values, `r3`–`r6` the (up to four) arguments,
+//!   `r3`–`r22` serve as expression temporaries;
+//! * predicates `p1`–`p5` form the if-conversion allocation stack, `p6`
+//!   and `p7` are scratch (loop exits, boolean materialisation);
+//! * every function reserves its frame with one `sres`, re-ensures it
+//!   with `sens` after each call, and releases it with one `sfree` per
+//!   exit — the analyzable pattern the stack-cache analysis expects.
+//!
+//! Code generation ignores instruction timing entirely: the scheduler
+//! ([`crate::sched`]) legalises visible delays and packs bundles.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use patmos_isa::{AccessSize, AluOp, CmpOp, Guard, MemArea, Op, Pred, PredOp, PredSrc, Reg};
+
+use crate::ast::*;
+use crate::lir::{Item, LirInst, LirOp, Module};
+use crate::CompileOptions;
+
+/// Base byte address of static-area globals.
+pub const STATIC_BASE: u32 = 0x0001_0000;
+/// Base byte address of heap-area globals.
+pub const HEAP_BASE: u32 = 0x0010_0000;
+
+const FIRST_TEMP: u8 = 3;
+const NUM_TEMPS: u32 = 20; // r3..r22
+const SCRATCH_EXIT: Pred = Pred::P6;
+const SCRATCH_BOOL: Pred = Pred::P7;
+
+/// Semantic / code-generation errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodegenError {
+    /// Reference to an undeclared variable.
+    UnknownVariable(String),
+    /// Call to an undefined function.
+    UnknownFunction(String),
+    /// Two definitions of the same name.
+    Duplicate(String),
+    /// `/` or `%` by something other than a positive power of two.
+    DivisorNotPowerOfTwo,
+    /// More than four call arguments.
+    TooManyArgs(String),
+    /// An expression needed more than the 20 temporary registers.
+    OutOfTempRegs,
+    /// If-conversion nesting exceeded the predicate registers.
+    PredicateDepthExceeded,
+    /// A call inside a predicated region (cannot be annulled).
+    CallInPredicatedCode,
+    /// A `return` inside a predicated region.
+    ReturnInPredicatedCode,
+    /// A loop inside a predicated region outside single-path mode.
+    LoopInPredicatedCode,
+    /// The frame exceeded the 63-word typed-offset range.
+    FrameTooLarge(String),
+    /// `spm` globals cannot carry initialisers (the loader only fills
+    /// main memory).
+    SpmInitialiser(String),
+    /// No `main` function.
+    MissingMain,
+}
+
+impl fmt::Display for CodegenError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodegenError::UnknownVariable(n) => write!(f, "unknown variable `{n}`"),
+            CodegenError::UnknownFunction(n) => write!(f, "unknown function `{n}`"),
+            CodegenError::Duplicate(n) => write!(f, "duplicate definition of `{n}`"),
+            CodegenError::DivisorNotPowerOfTwo => {
+                f.write_str("`/` and `%` require a positive power-of-two constant")
+            }
+            CodegenError::TooManyArgs(n) => write!(f, "call to `{n}` passes more than 4 arguments"),
+            CodegenError::OutOfTempRegs => f.write_str("expression too deep for temporaries"),
+            CodegenError::PredicateDepthExceeded => {
+                f.write_str("if-conversion nesting exceeds predicate registers")
+            }
+            CodegenError::CallInPredicatedCode => {
+                f.write_str("calls are not allowed in predicated regions")
+            }
+            CodegenError::ReturnInPredicatedCode => {
+                f.write_str("return is not allowed in predicated regions")
+            }
+            CodegenError::LoopInPredicatedCode => {
+                f.write_str("loops in predicated regions require single-path mode")
+            }
+            CodegenError::FrameTooLarge(n) => write!(f, "frame of `{n}` exceeds 63 words"),
+            CodegenError::SpmInitialiser(n) => {
+                write!(f, "spm global `{n}` cannot have initialisers")
+            }
+            CodegenError::MissingMain => f.write_str("no `main` function"),
+        }
+    }
+}
+
+impl std::error::Error for CodegenError {}
+
+#[derive(Clone, Copy)]
+struct GlobalRef {
+    qualifier: MemQualifier,
+}
+
+fn area_of(q: MemQualifier) -> MemArea {
+    match q {
+        MemQualifier::Static => MemArea::Static,
+        MemQualifier::Heap => MemArea::Data,
+        MemQualifier::Spm => MemArea::Spm,
+    }
+}
+
+/// Lowers a parsed program to LIR.
+///
+/// # Errors
+///
+/// See [`CodegenError`].
+pub fn lower(program: &Program, options: &CompileOptions) -> Result<Module, CodegenError> {
+    let mut module = Module::default();
+    let mut globals: HashMap<String, GlobalRef> = HashMap::new();
+
+    // Data layout.
+    let mut static_addr = STATIC_BASE;
+    let mut heap_addr = HEAP_BASE;
+    let mut spm_off = 0u32;
+    for g in &program.globals {
+        if globals
+            .insert(g.name.clone(), GlobalRef { qualifier: g.qualifier })
+            .is_some()
+        {
+            return Err(CodegenError::Duplicate(g.name.clone()));
+        }
+        match g.qualifier {
+            MemQualifier::Spm => {
+                if !g.init.is_empty() {
+                    return Err(CodegenError::SpmInitialiser(g.name.clone()));
+                }
+                module.data_lines.push(format!("        .equ {} {}", g.name, spm_off));
+                spm_off += 4 * g.len;
+            }
+            MemQualifier::Static | MemQualifier::Heap => {
+                let addr = if g.qualifier == MemQualifier::Static {
+                    &mut static_addr
+                } else {
+                    &mut heap_addr
+                };
+                module.data_lines.push(format!("        .data {} {}", g.name, *addr));
+                if !g.init.is_empty() {
+                    let words: Vec<String> = g.init.iter().map(|v| v.to_string()).collect();
+                    module.data_lines.push(format!("        .word {}", words.join(", ")));
+                }
+                let rest = g.len - g.init.len() as u32;
+                if rest > 0 {
+                    module.data_lines.push(format!("        .space {}", 4 * rest));
+                }
+                *addr += 4 * g.len;
+            }
+        }
+    }
+
+    let func_names: HashMap<String, usize> = program
+        .functions
+        .iter()
+        .enumerate()
+        .map(|(i, f)| (f.name.clone(), i))
+        .collect();
+    if func_names.len() != program.functions.len() {
+        return Err(CodegenError::Duplicate("function".into()));
+    }
+    if !func_names.contains_key("main") {
+        return Err(CodegenError::MissingMain);
+    }
+
+    for func in &program.functions {
+        let mut ctx = FnCtx {
+            globals: &globals,
+            func_names: &func_names,
+            options,
+            items: Vec::new(),
+            locals: HashMap::new(),
+            num_locals: 1, // slot 0 holds the saved link register
+            max_spill: 0,
+            temp_top: 0,
+            label_counter: 0,
+            func: func.name.clone(),
+            guard: Guard::ALWAYS,
+            pred_depth: 0,
+            frame_fixups: Vec::new(),
+            spill_fixups: Vec::new(),
+            is_main: func.name == "main",
+        };
+        ctx.items.push(Item::FuncStart(func.name.clone()));
+        // Prologue: reserve the frame (patched), save the link register,
+        // then home the parameters into their slots.
+        ctx.frame_fixups.push(ctx.items.len());
+        ctx.push_op(Op::Sres { words: 0 });
+        ctx.push_op(Op::Store {
+            area: MemArea::Stack,
+            size: AccessSize::Word,
+            ra: Reg::R0,
+            offset: 0,
+            rs: patmos_isa::LINK_REG,
+        });
+        for (i, p) in func.params.iter().enumerate() {
+            let slot = ctx.alloc_local(p)?;
+            ctx.push_op(Op::Store {
+                area: MemArea::Stack,
+                size: AccessSize::Word,
+                ra: Reg::R0,
+                offset: slot as i16,
+                rs: Reg::from_index(FIRST_TEMP + i as u8),
+            });
+        }
+
+        for stmt in &func.body {
+            ctx.stmt(stmt)?;
+        }
+        // Implicit `return 0`.
+        ctx.push_op(Op::AluR { op: AluOp::Add, rd: Reg::R1, rs1: Reg::R0, rs2: Reg::R0 });
+        ctx.epilogue();
+
+        // Patch the frame size into sres/sens/sfree and the spill slots.
+        let frame = ctx.num_locals + ctx.max_spill;
+        if frame > 63 {
+            return Err(CodegenError::FrameTooLarge(func.name.clone()));
+        }
+        for &idx in &ctx.frame_fixups {
+            if let Item::Inst(LirInst { op: LirOp::Real(op), .. }) = &mut ctx.items[idx] {
+                match op {
+                    Op::Sres { words } | Op::Sens { words } | Op::Sfree { words } => {
+                        *words = frame;
+                    }
+                    _ => unreachable!("frame fixup points at a stack-control op"),
+                }
+            }
+        }
+        let num_locals = ctx.num_locals;
+        for &(idx, spill) in &ctx.spill_fixups {
+            if let Item::Inst(LirInst { op: LirOp::Real(op), .. }) = &mut ctx.items[idx] {
+                match op {
+                    Op::Load { offset, .. } | Op::Store { offset, .. } => {
+                        *offset = (num_locals + spill) as i16;
+                    }
+                    _ => unreachable!("spill fixup points at a stack access"),
+                }
+            }
+        }
+        module.items.extend(ctx.items);
+    }
+
+    module.entry = "main".into();
+    Ok(module)
+}
+
+struct FnCtx<'a> {
+    globals: &'a HashMap<String, GlobalRef>,
+    func_names: &'a HashMap<String, usize>,
+    options: &'a CompileOptions,
+    items: Vec<Item>,
+    locals: HashMap<String, u32>,
+    num_locals: u32,
+    max_spill: u32,
+    temp_top: u32,
+    label_counter: u32,
+    func: String,
+    guard: Guard,
+    pred_depth: u32,
+    frame_fixups: Vec<usize>,
+    spill_fixups: Vec<(usize, u32)>,
+    is_main: bool,
+}
+
+impl FnCtx<'_> {
+    fn push_op(&mut self, op: Op) {
+        self.items.push(Item::Inst(LirInst::always(LirOp::Real(op))));
+    }
+
+    fn push_guarded(&mut self, op: Op) {
+        self.items.push(Item::Inst(LirInst::new(self.guard, LirOp::Real(op))));
+    }
+
+    fn push(&mut self, inst: LirInst) {
+        self.items.push(Item::Inst(inst));
+    }
+
+    fn label(&mut self, hint: &str) -> String {
+        self.label_counter += 1;
+        format!("{}_{}{}", self.func, hint, self.label_counter)
+    }
+
+    fn alloc_local(&mut self, name: &str) -> Result<u32, CodegenError> {
+        if self.locals.contains_key(name) {
+            return Err(CodegenError::Duplicate(name.to_string()));
+        }
+        let slot = self.num_locals;
+        self.locals.insert(name.to_string(), slot);
+        self.num_locals += 1;
+        Ok(slot)
+    }
+
+    fn alloc_hidden_local(&mut self) -> u32 {
+        let slot = self.num_locals;
+        self.num_locals += 1;
+        slot
+    }
+
+    fn alloc_temp(&mut self) -> Result<u32, CodegenError> {
+        if self.temp_top >= NUM_TEMPS {
+            return Err(CodegenError::OutOfTempRegs);
+        }
+        let t = self.temp_top;
+        self.temp_top += 1;
+        Ok(t)
+    }
+
+    fn reg(&self, temp: u32) -> Reg {
+        Reg::from_index(FIRST_TEMP + temp as u8)
+    }
+
+    fn alloc_pred(&mut self) -> Result<Pred, CodegenError> {
+        if self.pred_depth >= 5 {
+            return Err(CodegenError::PredicateDepthExceeded);
+        }
+        self.pred_depth += 1;
+        Ok(Pred::from_index(self.pred_depth as u8))
+    }
+
+    fn guard_src(&self) -> PredSrc {
+        PredSrc { pred: self.guard.pred, negate: self.guard.negate }
+    }
+
+    // ---- frame access ----
+
+    fn load_slot(&mut self, t: u32, slot: u32) {
+        let rd = self.reg(t);
+        self.push_op(Op::Load {
+            area: MemArea::Stack,
+            size: AccessSize::Word,
+            rd,
+            ra: Reg::R0,
+            offset: slot as i16,
+        });
+    }
+
+    fn store_slot_guarded(&mut self, slot: u32, t: u32) {
+        let rs = self.reg(t);
+        self.push_guarded(Op::Store {
+            area: MemArea::Stack,
+            size: AccessSize::Word,
+            ra: Reg::R0,
+            offset: slot as i16,
+            rs,
+        });
+    }
+
+    // ---- expressions ----
+
+    fn expr(&mut self, e: &Expr) -> Result<u32, CodegenError> {
+        match e {
+            Expr::Lit(v) => {
+                let t = self.alloc_temp()?;
+                self.load_const(t, *v);
+                Ok(t)
+            }
+            Expr::Var(name) => {
+                if let Some(&slot) = self.locals.get(name) {
+                    let t = self.alloc_temp()?;
+                    self.load_slot(t, slot);
+                    Ok(t)
+                } else if let Some(g) = self.globals.get(name).copied() {
+                    let t = self.alloc_temp()?;
+                    let rt = self.reg(t);
+                    self.push(LirInst::always(LirOp::LilSym(rt, name.clone())));
+                    self.push_op(Op::Load {
+                        area: area_of(g.qualifier),
+                        size: AccessSize::Word,
+                        rd: rt,
+                        ra: rt,
+                        offset: 0,
+                    });
+                    Ok(t)
+                } else {
+                    Err(CodegenError::UnknownVariable(name.clone()))
+                }
+            }
+            Expr::Index(name, idx) => {
+                let g = *self
+                    .globals
+                    .get(name)
+                    .ok_or_else(|| CodegenError::UnknownVariable(name.clone()))?;
+                let ti = self.expr(idx)?;
+                let ta = self.alloc_temp()?;
+                let (ri, ra) = (self.reg(ti), self.reg(ta));
+                self.push(LirInst::always(LirOp::LilSym(ra, name.clone())));
+                self.push_op(Op::AluI { op: AluOp::Shl, rd: ri, rs1: ri, imm: 2 });
+                self.push_op(Op::AluR { op: AluOp::Add, rd: ri, rs1: ra, rs2: ri });
+                self.push_op(Op::Load {
+                    area: area_of(g.qualifier),
+                    size: AccessSize::Word,
+                    rd: ri,
+                    ra: ri,
+                    offset: 0,
+                });
+                self.temp_top = ti + 1;
+                Ok(ti)
+            }
+            Expr::Un(op, inner) => {
+                let t = self.expr(inner)?;
+                let rt = self.reg(t);
+                match op {
+                    UnOp::Neg => {
+                        self.push_op(Op::AluR { op: AluOp::Sub, rd: rt, rs1: Reg::R0, rs2: rt })
+                    }
+                    UnOp::BitNot => {
+                        self.push_op(Op::AluR { op: AluOp::Nor, rd: rt, rs1: rt, rs2: Reg::R0 })
+                    }
+                    UnOp::Not => {
+                        self.push_op(Op::CmpI {
+                            op: CmpOp::Eq,
+                            pd: SCRATCH_BOOL,
+                            rs1: rt,
+                            imm: 0,
+                        });
+                        self.materialize_bool(t);
+                    }
+                }
+                Ok(t)
+            }
+            Expr::Bin(op, lhs, rhs) => self.bin(*op, lhs, rhs),
+            Expr::Call(name, args) => self.call(name, args),
+        }
+    }
+
+    fn load_const(&mut self, t: u32, v: i64) {
+        let rd = self.reg(t);
+        if (-32768..=32767).contains(&v) {
+            self.push_op(Op::LoadImmLow { rd, imm: v as i16 as u16 });
+        } else {
+            self.push_op(Op::LoadImm32 { rd, imm: v as u32 });
+        }
+    }
+
+    /// Turns the scratch predicate into a 0/1 value in `t`.
+    fn materialize_bool(&mut self, t: u32) {
+        let rd = self.reg(t);
+        self.push(LirInst::new(
+            Guard::when(SCRATCH_BOOL),
+            LirOp::Real(Op::LoadImmLow { rd, imm: 1 }),
+        ));
+        self.push(LirInst::new(
+            Guard::unless(SCRATCH_BOOL),
+            LirOp::Real(Op::LoadImmLow { rd, imm: 0 }),
+        ));
+    }
+
+    fn bin(&mut self, op: BinOp, lhs: &Expr, rhs: &Expr) -> Result<u32, CodegenError> {
+        // Power-of-two division/remainder as shifts/masks.
+        if matches!(op, BinOp::Div | BinOp::Rem) {
+            let Expr::Lit(d) = rhs else { return Err(CodegenError::DivisorNotPowerOfTwo) };
+            if *d <= 0 || (*d & (*d - 1)) != 0 {
+                return Err(CodegenError::DivisorNotPowerOfTwo);
+            }
+            let t = self.expr(lhs)?;
+            let rt = self.reg(t);
+            if op == BinOp::Div {
+                let shift = d.trailing_zeros() as i16;
+                self.push_op(Op::AluI { op: AluOp::Sra, rd: rt, rs1: rt, imm: shift });
+            } else {
+                let mask = *d - 1;
+                if mask <= 2047 {
+                    self.push_op(Op::AluI { op: AluOp::And, rd: rt, rs1: rt, imm: mask as i16 });
+                } else {
+                    let tm = self.alloc_temp()?;
+                    self.load_const(tm, mask);
+                    let rm = self.reg(tm);
+                    self.push_op(Op::AluR { op: AluOp::And, rd: rt, rs1: rt, rs2: rm });
+                    self.temp_top = t + 1;
+                }
+            }
+            return Ok(t);
+        }
+
+        if op.is_comparison() {
+            let t = self.compare_into(op, lhs, rhs, SCRATCH_BOOL)?;
+            self.materialize_bool(t);
+            return Ok(t);
+        }
+
+        if matches!(op, BinOp::LogAnd | BinOp::LogOr) {
+            let tl = self.expr(lhs)?;
+            self.to_bool(tl);
+            let tr = self.expr(rhs)?;
+            self.to_bool(tr);
+            let (rl, rr) = (self.reg(tl), self.reg(tr));
+            let alu = if op == BinOp::LogAnd { AluOp::And } else { AluOp::Or };
+            self.push_op(Op::AluR { op: alu, rd: rl, rs1: rl, rs2: rr });
+            self.temp_top = tl + 1;
+            return Ok(tl);
+        }
+
+        // Plain ALU ops; fold small literal right operands into AluI.
+        let alu = match op {
+            BinOp::Add => AluOp::Add,
+            BinOp::Sub => AluOp::Sub,
+            BinOp::Mul => {
+                let tl = self.expr(lhs)?;
+                let tr = self.expr(rhs)?;
+                let (rl, rr) = (self.reg(tl), self.reg(tr));
+                self.push_op(Op::Mul { rs1: rl, rs2: rr });
+                self.push_op(Op::Mfs { rd: rl, ss: patmos_isa::SpecialReg::Sl });
+                self.temp_top = tl + 1;
+                return Ok(tl);
+            }
+            BinOp::And => AluOp::And,
+            BinOp::Or => AluOp::Or,
+            BinOp::Xor => AluOp::Xor,
+            BinOp::Shl => AluOp::Shl,
+            BinOp::Shr => AluOp::Sra,
+            _ => unreachable!("handled above"),
+        };
+        let tl = self.expr(lhs)?;
+        if let Expr::Lit(v) = rhs {
+            if (-2048..=2047).contains(v) {
+                let rl = self.reg(tl);
+                self.push_op(Op::AluI { op: alu, rd: rl, rs1: rl, imm: *v as i16 });
+                return Ok(tl);
+            }
+        }
+        let tr = self.expr(rhs)?;
+        let (rl, rr) = (self.reg(tl), self.reg(tr));
+        self.push_op(Op::AluR { op: alu, rd: rl, rs1: rl, rs2: rr });
+        self.temp_top = tl + 1;
+        Ok(tl)
+    }
+
+    /// Normalises `t` to 0/1.
+    fn to_bool(&mut self, t: u32) {
+        let rt = self.reg(t);
+        self.push_op(Op::CmpI { op: CmpOp::Neq, pd: SCRATCH_BOOL, rs1: rt, imm: 0 });
+        self.materialize_bool(t);
+    }
+
+    /// Evaluates `lhs <op> rhs` into predicate `pd`; returns the (dead)
+    /// temp holding the lhs so callers can reuse it.
+    fn compare_into(
+        &mut self,
+        op: BinOp,
+        lhs: &Expr,
+        rhs: &Expr,
+        pd: Pred,
+    ) -> Result<u32, CodegenError> {
+        let (cmp, swap) = match op {
+            BinOp::Eq => (CmpOp::Eq, false),
+            BinOp::Ne => (CmpOp::Neq, false),
+            BinOp::Lt => (CmpOp::Lt, false),
+            BinOp::Le => (CmpOp::Le, false),
+            BinOp::Gt => (CmpOp::Lt, true),
+            BinOp::Ge => (CmpOp::Le, true),
+            _ => unreachable!("comparison operators only"),
+        };
+        let tl = self.expr(lhs)?;
+        // Immediate compare when possible (and no operand swap needed).
+        if !swap {
+            if let Expr::Lit(v) = rhs {
+                if (-1024..=1023).contains(v) {
+                    let rl = self.reg(tl);
+                    self.push_op(Op::CmpI { op: cmp, pd, rs1: rl, imm: *v as i16 });
+                    self.temp_top = tl + 1;
+                    return Ok(tl);
+                }
+            }
+        }
+        let tr = self.expr(rhs)?;
+        let (mut rl, mut rr) = (self.reg(tl), self.reg(tr));
+        if swap {
+            std::mem::swap(&mut rl, &mut rr);
+        }
+        self.push_op(Op::Cmp { op: cmp, pd, rs1: rl, rs2: rr });
+        self.temp_top = tl + 1;
+        Ok(tl)
+    }
+
+    /// Evaluates a condition expression into predicate `pd`.
+    fn cond(&mut self, e: &Expr, pd: Pred) -> Result<(), CodegenError> {
+        let saved = self.temp_top;
+        match e {
+            Expr::Bin(op, lhs, rhs) if op.is_comparison() => {
+                self.compare_into(*op, lhs, rhs, pd)?;
+            }
+            _ => {
+                let t = self.expr(e)?;
+                let rt = self.reg(t);
+                self.push_op(Op::CmpI { op: CmpOp::Neq, pd, rs1: rt, imm: 0 });
+            }
+        }
+        self.temp_top = saved;
+        Ok(())
+    }
+
+    fn call(&mut self, name: &str, args: &[Expr]) -> Result<u32, CodegenError> {
+        if !self.guard.is_always() {
+            return Err(CodegenError::CallInPredicatedCode);
+        }
+        if !self.func_names.contains_key(name) {
+            return Err(CodegenError::UnknownFunction(name.to_string()));
+        }
+        if args.len() > 4 {
+            return Err(CodegenError::TooManyArgs(name.to_string()));
+        }
+        let base = self.temp_top;
+        for arg in args {
+            let t = self.expr(arg)?;
+            // Keep argument temps stacked contiguously.
+            self.temp_top = t + 1;
+        }
+        // Spill the temps that live across the call.
+        for i in 0..base {
+            let idx = self.items.len();
+            let rs = self.reg(i);
+            self.push_op(Op::Store {
+                area: MemArea::Stack,
+                size: AccessSize::Word,
+                ra: Reg::R0,
+                offset: 0, // patched to num_locals + i
+                rs,
+            });
+            self.spill_fixups.push((idx, i));
+            self.max_spill = self.max_spill.max(i + 1);
+        }
+        // Move the argument temps down into r3..r6 (sources are above the
+        // targets, so increasing order never clobbers a pending source).
+        for (i, _) in args.iter().enumerate() {
+            let src = self.reg(base + i as u32);
+            let dst = Reg::from_index(FIRST_TEMP + i as u8);
+            if src != dst {
+                self.push_op(Op::AluR { op: AluOp::Add, rd: dst, rs1: src, rs2: Reg::R0 });
+            }
+        }
+        self.push(LirInst::always(LirOp::CallFunc(name.to_string())));
+        // Re-ensure our frame after the callee may have displaced it.
+        self.frame_fixups.push(self.items.len());
+        self.push_op(Op::Sens { words: 0 });
+        // Restore spilled temps.
+        for i in 0..base {
+            let idx = self.items.len();
+            let rd = self.reg(i);
+            self.push_op(Op::Load {
+                area: MemArea::Stack,
+                size: AccessSize::Word,
+                rd,
+                ra: Reg::R0,
+                offset: 0, // patched
+            });
+            self.spill_fixups.push((idx, i));
+        }
+        // The result lands in a fresh temp at `base`.
+        self.temp_top = base;
+        let t = self.alloc_temp()?;
+        let rt = self.reg(t);
+        self.push_op(Op::AluR { op: AluOp::Add, rd: rt, rs1: Reg::R1, rs2: Reg::R0 });
+        Ok(t)
+    }
+
+    // ---- statements ----
+
+    fn stmt(&mut self, s: &Stmt) -> Result<(), CodegenError> {
+        self.temp_top = 0;
+        match s {
+            Stmt::Decl(name, init) => {
+                let slot = self.alloc_local(name)?;
+                if let Some(e) = init {
+                    let t = self.expr(e)?;
+                    self.store_slot_guarded(slot, t);
+                }
+                Ok(())
+            }
+            Stmt::Assign(name, e) => {
+                if let Some(&slot) = self.locals.get(name) {
+                    let t = self.expr(e)?;
+                    self.store_slot_guarded(slot, t);
+                    Ok(())
+                } else if let Some(g) = self.globals.get(name).copied() {
+                    let t = self.expr(e)?;
+                    let ta = self.alloc_temp()?;
+                    let (rt, ra) = (self.reg(t), self.reg(ta));
+                    self.push(LirInst::always(LirOp::LilSym(ra, name.clone())));
+                    self.push_guarded(Op::Store {
+                        area: area_of(g.qualifier),
+                        size: AccessSize::Word,
+                        ra,
+                        offset: 0,
+                        rs: rt,
+                    });
+                    Ok(())
+                } else {
+                    Err(CodegenError::UnknownVariable(name.clone()))
+                }
+            }
+            Stmt::AssignIndex(name, idx, e) => {
+                let g = *self
+                    .globals
+                    .get(name)
+                    .ok_or_else(|| CodegenError::UnknownVariable(name.clone()))?;
+                let ti = self.expr(idx)?;
+                let tv = self.expr(e)?;
+                let ta = self.alloc_temp()?;
+                let (ri, rv, ra) = (self.reg(ti), self.reg(tv), self.reg(ta));
+                self.push(LirInst::always(LirOp::LilSym(ra, name.clone())));
+                self.push_op(Op::AluI { op: AluOp::Shl, rd: ri, rs1: ri, imm: 2 });
+                self.push_op(Op::AluR { op: AluOp::Add, rd: ra, rs1: ra, rs2: ri });
+                self.push_guarded(Op::Store {
+                    area: area_of(g.qualifier),
+                    size: AccessSize::Word,
+                    ra,
+                    offset: 0,
+                    rs: rv,
+                });
+                Ok(())
+            }
+            Stmt::ExprStmt(e) => {
+                self.expr(e)?;
+                Ok(())
+            }
+            Stmt::Return(e) => {
+                if !self.guard.is_always() {
+                    return Err(CodegenError::ReturnInPredicatedCode);
+                }
+                let t = self.expr(e)?;
+                let rt = self.reg(t);
+                self.push_op(Op::AluR { op: AluOp::Add, rd: Reg::R1, rs1: rt, rs2: Reg::R0 });
+                self.epilogue();
+                Ok(())
+            }
+            Stmt::If(cond_e, then_body, else_body) => self.if_stmt(cond_e, then_body, else_body),
+            Stmt::While(cond_e, bound, body) => self.while_stmt(cond_e, *bound, body),
+        }
+    }
+
+    fn epilogue(&mut self) {
+        self.push_op(Op::Load {
+            area: MemArea::Stack,
+            size: AccessSize::Word,
+            rd: patmos_isa::LINK_REG,
+            ra: Reg::R0,
+            offset: 0,
+        });
+        self.frame_fixups.push(self.items.len());
+        self.push_op(Op::Sfree { words: 0 });
+        if self.is_main {
+            self.push_op(Op::Halt);
+        } else {
+            self.push_op(Op::Ret);
+        }
+    }
+
+    /// Whether the arm is simple enough to predicate.
+    fn convertible(&self, body: &[Stmt]) -> bool {
+        let limit =
+            if self.options.single_path { usize::MAX } else { self.options.if_convert_threshold };
+        if body.len() > limit {
+            return false;
+        }
+        body.iter().all(|s| match s {
+            Stmt::Decl(_, _) | Stmt::Assign(..) | Stmt::AssignIndex(..) => true,
+            Stmt::If(_, t, e) => {
+                self.options.single_path && self.convertible(t) && self.convertible(e)
+            }
+            Stmt::While(..) => self.options.single_path,
+            Stmt::Return(_) | Stmt::ExprStmt(_) => false,
+        })
+    }
+
+    fn if_stmt(
+        &mut self,
+        cond_e: &Expr,
+        then_body: &[Stmt],
+        else_body: &[Stmt],
+    ) -> Result<(), CodegenError> {
+        // A statically known condition (notably the `for` desugaring's
+        // `if (1)`) selects its arm at compile time — no predicates, no
+        // branches.
+        if let Expr::Lit(v) = cond_e {
+            let arm = if *v != 0 { then_body } else { else_body };
+            for s in arm {
+                self.stmt(s)?;
+            }
+            return Ok(());
+        }
+        let want_convert = self.options.single_path
+            || (self.options.if_convert && self.guard.is_always());
+        let can_convert = self.convertible(then_body) && self.convertible(else_body);
+
+        if want_convert && can_convert {
+            // Predicated (if-converted) emission.
+            let saved_guard = self.guard;
+            let saved_depth = self.pred_depth;
+            let pc = self.alloc_pred()?;
+            self.cond(cond_e, pc)?;
+            let pt = self.alloc_pred()?;
+            let gsrc = self.guard_src();
+            self.push_op(Op::PredSet {
+                op: PredOp::And,
+                pd: pt,
+                p1: PredSrc::plain(pc),
+                p2: gsrc,
+            });
+            self.guard = Guard::when(pt);
+            for s in then_body {
+                self.stmt(s)?;
+            }
+            if !else_body.is_empty() {
+                self.guard = saved_guard;
+                let pe = self.alloc_pred()?;
+                self.push_op(Op::PredSet {
+                    op: PredOp::And,
+                    pd: pe,
+                    p1: PredSrc::negated(pc),
+                    p2: gsrc,
+                });
+                self.guard = Guard::when(pe);
+                for s in else_body {
+                    self.stmt(s)?;
+                }
+            }
+            self.guard = saved_guard;
+            self.pred_depth = saved_depth;
+            return Ok(());
+        }
+
+        if self.options.single_path {
+            // Emitting a branch would break the single-path guarantee;
+            // name the construct that prevented conversion.
+            fn blames_return(body: &[Stmt]) -> bool {
+                body.iter().any(|s| match s {
+                    Stmt::Return(_) => true,
+                    Stmt::If(_, t, e) => blames_return(t) || blames_return(e),
+                    Stmt::While(_, _, b) => blames_return(b),
+                    _ => false,
+                })
+            }
+            if blames_return(then_body) || blames_return(else_body) {
+                return Err(CodegenError::ReturnInPredicatedCode);
+            }
+            return Err(CodegenError::CallInPredicatedCode);
+        }
+        if !self.guard.is_always() {
+            // A branch under a guard would escape the predicated region.
+            return Err(CodegenError::LoopInPredicatedCode);
+        }
+
+        // Branching emission.
+        let else_label = self.label("else");
+        let join_label = self.label("join");
+        self.cond(cond_e, SCRATCH_EXIT)?;
+        self.push(LirInst::new(
+            Guard::unless(SCRATCH_EXIT),
+            LirOp::BrLabel(else_label.clone()),
+        ));
+        for s in then_body {
+            self.stmt(s)?;
+        }
+        if else_body.is_empty() {
+            self.items.push(Item::Label(else_label));
+        } else {
+            self.push(LirInst::always(LirOp::BrLabel(join_label.clone())));
+            self.items.push(Item::Label(else_label));
+            for s in else_body {
+                self.stmt(s)?;
+            }
+            self.items.push(Item::Label(join_label));
+        }
+        Ok(())
+    }
+
+    fn while_stmt(&mut self, cond_e: &Expr, bound: u32, body: &[Stmt]) -> Result<(), CodegenError> {
+        if self.options.single_path {
+            // Single-path loop: run exactly `bound` iterations; the body
+            // is guarded by the accumulated "still live" predicate.
+            if bound == 0 {
+                return Ok(());
+            }
+            let saved_guard = self.guard;
+            let saved_depth = self.pred_depth;
+            let live = self.alloc_pred()?;
+            let gsrc = self.guard_src();
+            self.push_op(Op::PredSet { op: PredOp::Or, pd: live, p1: gsrc, p2: gsrc });
+            let counter_slot = self.alloc_hidden_local();
+            {
+                self.temp_top = 0;
+                let t = self.alloc_temp()?;
+                self.load_const(t, bound as i64);
+                let rt = self.reg(t);
+                self.push_op(Op::Store {
+                    area: MemArea::Stack,
+                    size: AccessSize::Word,
+                    ra: Reg::R0,
+                    offset: counter_slot as i16,
+                    rs: rt,
+                });
+            }
+            let head = self.label("sphead");
+            self.items.push(Item::LoopBound { min: bound, max: bound });
+            self.items.push(Item::Label(head.clone()));
+            // Deactivate once the source condition fails.
+            self.temp_top = 0;
+            self.cond(cond_e, SCRATCH_BOOL)?;
+            self.push_op(Op::PredSet {
+                op: PredOp::And,
+                pd: live,
+                p1: PredSrc::plain(live),
+                p2: PredSrc::plain(SCRATCH_BOOL),
+            });
+            self.guard = Guard::when(live);
+            for s in body {
+                self.stmt(s)?;
+            }
+            self.guard = saved_guard;
+            // Counter update and back edge (always runs `bound` times).
+            self.temp_top = 0;
+            let t = self.alloc_temp()?;
+            let rt = self.reg(t);
+            self.load_slot(t, counter_slot);
+            self.push_op(Op::AluI { op: AluOp::Sub, rd: rt, rs1: rt, imm: 1 });
+            self.push_op(Op::Store {
+                area: MemArea::Stack,
+                size: AccessSize::Word,
+                ra: Reg::R0,
+                offset: counter_slot as i16,
+                rs: rt,
+            });
+            self.push_op(Op::CmpI { op: CmpOp::Neq, pd: SCRATCH_EXIT, rs1: rt, imm: 0 });
+            self.push(LirInst::new(Guard::when(SCRATCH_EXIT), LirOp::BrLabel(head)));
+            self.pred_depth = saved_depth;
+            return Ok(());
+        }
+
+        if !self.guard.is_always() {
+            return Err(CodegenError::LoopInPredicatedCode);
+        }
+
+        let head = self.label("head");
+        let exit = self.label("exit");
+        // The header executes at most bound+1 times per loop entry.
+        self.items.push(Item::LoopBound { min: 1, max: bound + 1 });
+        self.items.push(Item::Label(head.clone()));
+        self.temp_top = 0;
+        self.cond(cond_e, SCRATCH_EXIT)?;
+        self.push(LirInst::new(Guard::unless(SCRATCH_EXIT), LirOp::BrLabel(exit.clone())));
+        for s in body {
+            self.stmt(s)?;
+        }
+        self.push(LirInst::always(LirOp::BrLabel(head)));
+        self.items.push(Item::Label(exit));
+        Ok(())
+    }
+}

@@ -1,0 +1,167 @@
+//! A WCET-aware compiler for **PatC**, a C subset, targeting Patmos.
+//!
+//! The paper (Sections 4 and 5) assigns the compiler a central role: it
+//! fills the dual-issue bundles, manages the stack cache, performs
+//! if-conversion and the single-path transformation, and preserves
+//! loop-bound annotations for the WCET analysis. This crate implements
+//! that toolchain for a small but real language:
+//!
+//! ```text
+//! int acc;
+//! int table[8];
+//!
+//! int sum(int n) {
+//!     int i;
+//!     int s = 0;
+//!     for (i = 0; i < n; i = i + 1) bound(8) {
+//!         s = s + table[i];
+//!     }
+//!     return s;
+//! }
+//!
+//! int main() {
+//!     acc = sum(8);
+//!     return acc;
+//! }
+//! ```
+//!
+//! Language: `int` scalars and one-dimensional global arrays (placed in
+//! the static area by default, or `heap`/`spm` qualified), functions with
+//! up to four `int` parameters, `if`/`else`, `while`/`for` with mandatory
+//! `bound(n)` annotations, arithmetic/bitwise/comparison/logical
+//! operators (`/` and `%` only by powers of two), and `return`.
+//!
+//! Pipeline: parse → tree-walking code generation into a symbolic low-
+//! level IR (locals live in stack-cache slots; explicit `sres`/`sens`/
+//! `sfree`) → optional if-conversion or full single-path conversion →
+//! VLIW list scheduling (bundle pairing, visible-delay respecting) →
+//! Patmos assembly text → [`patmos_asm::assemble`].
+//!
+//! # Example
+//!
+//! ```
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! use patmos_compiler::{compile, CompileOptions};
+//!
+//! let image = compile("int main() { return 6 * 7; }", &CompileOptions::default())?;
+//! let mut sim = patmos_sim::Simulator::new(&image, patmos_sim::SimConfig::default());
+//! sim.run()?;
+//! assert_eq!(sim.reg(patmos_isa::Reg::R1), 42);
+//! # Ok(())
+//! # }
+//! ```
+
+mod ast;
+mod codegen;
+mod lexer;
+mod lir;
+mod parser;
+mod sched;
+
+pub use ast::{BinOp, Expr, Function, Global, MemQualifier, Program, Stmt, UnOp};
+pub use codegen::CodegenError;
+pub use parser::{parse, ParseError};
+
+use patmos_asm::ObjectImage;
+
+/// Compiler configuration.
+#[derive(Debug, Clone)]
+pub struct CompileOptions {
+    /// Pair independent operations into dual-issue bundles.
+    pub dual_issue: bool,
+    /// Convert small `if`/`else` statements into predicated code.
+    pub if_convert: bool,
+    /// Maximum statements per arm for if-conversion.
+    pub if_convert_threshold: usize,
+    /// Full single-path conversion: predicate *all* conditionals and pad
+    /// every loop to its bound, so execution time is input-independent.
+    pub single_path: bool,
+}
+
+impl Default for CompileOptions {
+    /// Dual issue on, if-conversion on (threshold 4), single-path off.
+    fn default() -> CompileOptions {
+        CompileOptions {
+            dual_issue: true,
+            if_convert: true,
+            if_convert_threshold: 4,
+            single_path: false,
+        }
+    }
+}
+
+/// Errors from any stage of compilation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CompileError {
+    /// Lexing/parsing failed.
+    Parse(ParseError),
+    /// Semantic or code-generation failure.
+    Codegen(CodegenError),
+    /// The generated assembly failed to assemble (a compiler bug).
+    Assemble(String),
+}
+
+impl std::fmt::Display for CompileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CompileError::Parse(e) => write!(f, "parse error: {e}"),
+            CompileError::Codegen(e) => write!(f, "codegen error: {e}"),
+            CompileError::Assemble(e) => write!(f, "internal assembly error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+impl From<ParseError> for CompileError {
+    fn from(e: ParseError) -> CompileError {
+        CompileError::Parse(e)
+    }
+}
+
+impl From<CodegenError> for CompileError {
+    fn from(e: CodegenError) -> CompileError {
+        CompileError::Codegen(e)
+    }
+}
+
+/// Compiles PatC source to Patmos assembly text.
+///
+/// # Errors
+///
+/// Returns a [`CompileError`] for syntax errors, unknown identifiers,
+/// unsupported constructs (recursion is allowed here but rejected later
+/// by the WCET analysis), or missing loop bounds.
+pub fn compile_to_asm(source: &str, options: &CompileOptions) -> Result<String, CompileError> {
+    let program = parse(source)?;
+    let lir = codegen::lower(&program, options)?;
+    let scheduled = sched::schedule(lir, options);
+    Ok(sched::emit(&scheduled))
+}
+
+/// Compiles PatC source all the way to a loadable [`ObjectImage`].
+///
+/// # Errors
+///
+/// See [`compile_to_asm`].
+pub fn compile(source: &str, options: &CompileOptions) -> Result<ObjectImage, CompileError> {
+    let asm = compile_to_asm(source, options)?;
+    patmos_asm::assemble(&asm).map_err(|e| CompileError::Assemble(format!("{e}\n{asm}")))
+}
+
+/// Static scheduling statistics of a compilation: `(bundles, bundles
+/// whose second issue slot is filled)` — the compiler-side numbers of
+/// the scheduler experiment (E10).
+///
+/// # Errors
+///
+/// See [`compile_to_asm`].
+pub fn compile_stats(
+    source: &str,
+    options: &CompileOptions,
+) -> Result<(usize, usize), CompileError> {
+    let program = parse(source)?;
+    let lir = codegen::lower(&program, options)?;
+    let scheduled = sched::schedule(lir, options);
+    Ok(scheduled.bundle_stats())
+}

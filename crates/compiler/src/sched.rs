@@ -1,0 +1,477 @@
+//! VLIW list scheduler and assembly emission.
+//!
+//! Code generation produces a naive linear sequence; this pass makes it
+//! *legal* and *fast* under the visible-delay contract of
+//! [`patmos_isa::timing`]:
+//!
+//! * register/predicate dependences get the required bundle gaps
+//!   (ALU results one bundle, loads two, `mul`→`mfs` two), with `nop`
+//!   bundles inserted only when no independent work is available;
+//! * independent operations are paired into dual-issue bundles (slot-two
+//!   legality respected) when [`crate::CompileOptions::dual_issue`] is on;
+//! * every control transfer is followed by its architectural delay
+//!   slots.
+//!
+//! The scheduler never reorders memory or stack-control operations
+//! relative to each other.
+
+use patmos_isa::Op;
+
+use crate::lir::{Item, LirInst, LirOp, Module};
+use crate::CompileOptions;
+
+/// A scheduled bundle: one or two instructions.
+#[derive(Debug, Clone)]
+pub struct SchedBundle {
+    /// Slot one.
+    pub first: LirInst,
+    /// Slot two, if paired.
+    pub second: Option<LirInst>,
+}
+
+/// Items after scheduling.
+#[derive(Debug, Clone)]
+pub enum SchedItem {
+    /// `.func` marker.
+    FuncStart(String),
+    /// A label.
+    Label(String),
+    /// A loop-bound annotation.
+    LoopBound {
+        /// Minimum header executions.
+        min: u32,
+        /// Maximum header executions.
+        max: u32,
+    },
+    /// An issued bundle.
+    Bundle(SchedBundle),
+}
+
+/// A scheduled module ready for emission.
+#[derive(Debug, Clone)]
+pub struct ScheduledModule {
+    /// Data directive lines.
+    pub data_lines: Vec<String>,
+    /// Scheduled code items.
+    pub items: Vec<SchedItem>,
+    /// Entry function name.
+    pub entry: String,
+}
+
+impl ScheduledModule {
+    /// Counts bundles and filled second slots (for the scheduler
+    /// experiments).
+    pub fn bundle_stats(&self) -> (usize, usize) {
+        let mut bundles = 0;
+        let mut filled = 0;
+        for item in &self.items {
+            if let SchedItem::Bundle(b) = item {
+                bundles += 1;
+                if b.second.is_some() {
+                    filled += 1;
+                }
+            }
+        }
+        (bundles, filled)
+    }
+}
+
+/// Schedules a module.
+pub fn schedule(module: Module, options: &CompileOptions) -> ScheduledModule {
+    let mut items = Vec::new();
+    let mut run: Vec<LirInst> = Vec::new();
+
+    let flush = |run: &mut Vec<LirInst>, items: &mut Vec<SchedItem>| {
+        if run.is_empty() {
+            return;
+        }
+        schedule_run(std::mem::take(run), options, items);
+    };
+
+    for item in module.items {
+        match item {
+            Item::Inst(inst) => {
+                let is_flow = inst.op.is_flow();
+                run.push(inst);
+                if is_flow {
+                    flush(&mut run, &mut items);
+                }
+            }
+            Item::FuncStart(name) => {
+                flush(&mut run, &mut items);
+                items.push(SchedItem::FuncStart(name));
+            }
+            Item::Label(name) => {
+                flush(&mut run, &mut items);
+                items.push(SchedItem::Label(name));
+            }
+            Item::LoopBound { min, max } => {
+                flush(&mut run, &mut items);
+                items.push(SchedItem::LoopBound { min, max });
+            }
+        }
+    }
+    flush(&mut run, &mut items);
+
+    ScheduledModule { data_lines: module.data_lines, items, entry: module.entry }
+}
+
+fn nop() -> LirInst {
+    LirInst::always(LirOp::Real(Op::Nop))
+}
+
+/// Schedules one straight-line run (at most one flow inst, at its end).
+fn schedule_run(run: Vec<LirInst>, options: &CompileOptions, out: &mut Vec<SchedItem>) {
+    let n = run.len();
+    // Dependence edges: (pred, succ, min bundle gap).
+    let mut edges: Vec<(usize, usize, u32)> = Vec::new();
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if let Some(gap) = dependence_gap(&run[i], &run[j]) {
+                edges.push((i, j, gap));
+            }
+        }
+    }
+    // A flow instruction ends the run: everything else must issue first,
+    // or it would land in (or past) the delay slots.
+    if n > 0 && run[n - 1].op.is_flow() {
+        for i in 0..n - 1 {
+            edges.push((i, n - 1, 1));
+        }
+    }
+
+    let mut scheduled_bundle: Vec<Option<u32>> = vec![None; n];
+    let mut remaining: usize = n;
+    let mut bundles: Vec<(LirInst, Option<LirInst>)> = Vec::new();
+    let mut bundle_idx: u32 = 0;
+
+    let ready_at = |i: usize,
+                    scheduled_bundle: &[Option<u32>],
+                    edges: &[(usize, usize, u32)]|
+     -> Option<u32> {
+        let mut earliest = 0u32;
+        for &(p, s, gap) in edges {
+            if s == i {
+                match scheduled_bundle[p] {
+                    Some(b) => earliest = earliest.max(b + gap),
+                    None => return None,
+                }
+            }
+        }
+        Some(earliest)
+    };
+
+    while remaining > 0 {
+        // Candidates ready at the current bundle, in program order.
+        let mut first: Option<usize> = None;
+        for i in 0..n {
+            if scheduled_bundle[i].is_none() {
+                if let Some(r) = ready_at(i, &scheduled_bundle, &edges) {
+                    if r <= bundle_idx {
+                        first = Some(i);
+                        break;
+                    }
+                }
+            }
+        }
+        let Some(fi) = first else {
+            // Nothing ready: emit a nop bundle to let delays elapse.
+            bundles.push((nop(), None));
+            bundle_idx += 1;
+            continue;
+        };
+        scheduled_bundle[fi] = Some(bundle_idx);
+        remaining -= 1;
+
+        let mut second: Option<usize> = None;
+        let first_inst = &run[fi];
+        if options.dual_issue && !first_inst.op.is_long() && !first_inst.op.is_flow() {
+            for j in 0..n {
+                if scheduled_bundle[j].is_some() || j == fi {
+                    continue;
+                }
+                let inst = &run[j];
+                if !inst.op.allowed_in_second_slot() || inst.op.is_long() {
+                    continue;
+                }
+                // Ready at this bundle (fi just scheduled at bundle_idx,
+                // so any dependence on it keeps j out via the gap).
+                match ready_at(j, &scheduled_bundle, &edges) {
+                    Some(r) if r <= bundle_idx => {}
+                    _ => continue,
+                }
+                // No conflicting writes within the bundle.
+                if let (Some(a), Some(b)) = (first_inst.op.def(), inst.op.def()) {
+                    if a == b {
+                        continue;
+                    }
+                }
+                if let (Some(a), Some(b)) = (first_inst.op.pred_def(), inst.op.pred_def()) {
+                    if a == b {
+                        continue;
+                    }
+                }
+                second = Some(j);
+                break;
+            }
+        }
+        if let Some(sj) = second {
+            scheduled_bundle[sj] = Some(bundle_idx);
+            remaining -= 1;
+            bundles.push((run[fi].clone(), Some(run[sj].clone())));
+        } else {
+            bundles.push((run[fi].clone(), None));
+        }
+        bundle_idx += 1;
+    }
+
+    // Emit, appending delay-slot nops after a trailing flow instruction.
+    let mut delay = 0u32;
+    for (first, second) in bundles {
+        if first.op.is_flow() {
+            delay = first.op.delay_slots(first.guard);
+        }
+        out.push(SchedItem::Bundle(SchedBundle { first, second }));
+    }
+    for _ in 0..delay {
+        out.push(SchedItem::Bundle(SchedBundle { first: nop(), second: None }));
+    }
+}
+
+/// The minimum bundle gap from `a` (earlier) to `b` (later), or `None`
+/// when they are independent.
+fn dependence_gap(a: &LirInst, b: &LirInst) -> Option<u32> {
+    let mut gap: Option<u32> = None;
+    let mut need = |g: u32| gap = Some(gap.map_or(g, |old: u32| old.max(g)));
+
+    // Memory/stack-control order is preserved.
+    if a.op.is_ordered() && b.op.is_ordered() {
+        need(1);
+    }
+    // Calls are barriers: nothing moves across them.
+    if matches!(a.op, LirOp::CallFunc(_)) || matches!(b.op, LirOp::CallFunc(_)) {
+        need(1);
+    }
+
+    // Register RAW/WAW/WAR.
+    if let Some(d) = a.op.def() {
+        if b.op.uses().into_iter().flatten().any(|u| u == d) {
+            need(a.op.def_gap());
+        }
+        if b.op.def() == Some(d) {
+            need(1);
+        }
+    }
+    if let Some(d) = b.op.def() {
+        if a.op.uses().into_iter().flatten().any(|u| u == d) {
+            need(0); // same bundle is fine: reads see pre-state
+        }
+    }
+
+    // Predicate RAW/WAW/WAR, including guards.
+    let b_pred_reads = || {
+        b.op.pred_uses()
+            .into_iter()
+            .flatten()
+            .chain((!b.guard.is_always()).then_some(b.guard.pred))
+    };
+    if let Some(d) = a.op.pred_def() {
+        if b_pred_reads().any(|p| p == d) {
+            need(1);
+        }
+        if b.op.pred_def() == Some(d) {
+            need(1);
+        }
+    }
+    if let Some(d) = b.op.pred_def() {
+        let a_reads = a
+            .op
+            .pred_uses()
+            .into_iter()
+            .flatten()
+            .chain((!a.guard.is_always()).then_some(a.guard.pred));
+        for p in a_reads {
+            if p == d {
+                need(0);
+            }
+        }
+    }
+
+    // Multiplier unit.
+    if a.op.writes_mul() && b.op.reads_mul() {
+        need(1 + patmos_isa::timing::MUL_GAP);
+    }
+    if a.op.writes_mul() && b.op.writes_mul() {
+        need(1);
+    }
+    if a.op.reads_mul() && b.op.writes_mul() {
+        need(0);
+    }
+
+    gap
+}
+
+/// Renders a scheduled module as assembler source.
+pub fn emit(module: &ScheduledModule) -> String {
+    let mut out = String::new();
+    for line in &module.data_lines {
+        out.push_str(line);
+        out.push('\n');
+    }
+    if !module.entry.is_empty() {
+        out.push_str(&format!("        .entry {}\n", module.entry));
+    }
+    for item in &module.items {
+        match item {
+            SchedItem::FuncStart(name) => out.push_str(&format!("        .func {name}\n")),
+            SchedItem::Label(name) => out.push_str(&format!("{name}:\n")),
+            SchedItem::LoopBound { min, max } => {
+                out.push_str(&format!("        .loopbound {min} {max}\n"))
+            }
+            SchedItem::Bundle(b) => match &b.second {
+                None => out.push_str(&format!("        {}\n", b.first.render())),
+                Some(second) => out.push_str(&format!(
+                    "        {{ {} ; {} }}\n",
+                    b.first.render(),
+                    second.render()
+                )),
+            },
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use patmos_isa::{AccessSize, AluOp, Guard, MemArea, Reg};
+
+    fn alu(rd: u8, rs1: u8, rs2: u8) -> LirInst {
+        LirInst::always(LirOp::Real(Op::AluR {
+            op: AluOp::Add,
+            rd: Reg::from_index(rd),
+            rs1: Reg::from_index(rs1),
+            rs2: Reg::from_index(rs2),
+        }))
+    }
+
+    fn load(rd: u8, slot: i16) -> LirInst {
+        LirInst::always(LirOp::Real(Op::Load {
+            area: MemArea::Stack,
+            size: AccessSize::Word,
+            rd: Reg::from_index(rd),
+            ra: Reg::R0,
+            offset: slot,
+        }))
+    }
+
+    fn sched(insts: Vec<LirInst>, dual: bool) -> Vec<SchedItem> {
+        let options = CompileOptions { dual_issue: dual, ..CompileOptions::default() };
+        let mut out = Vec::new();
+        schedule_run(insts, &options, &mut out);
+        out
+    }
+
+    fn bundles(items: &[SchedItem]) -> Vec<&SchedBundle> {
+        items
+            .iter()
+            .filter_map(|i| match i {
+                SchedItem::Bundle(b) => Some(b),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn independent_ops_pair_up() {
+        let items = sched(vec![alu(3, 4, 5), alu(6, 7, 8)], true);
+        let bs = bundles(&items);
+        assert_eq!(bs.len(), 1, "two independent ALUs share a bundle");
+        assert!(bs[0].second.is_some());
+    }
+
+    #[test]
+    fn dependent_ops_stay_apart() {
+        let items = sched(vec![alu(3, 4, 5), alu(6, 3, 3)], true);
+        let bs = bundles(&items);
+        assert_eq!(bs.len(), 2, "RAW dependence forbids pairing");
+    }
+
+    #[test]
+    fn load_use_gap_gets_a_nop() {
+        let items = sched(vec![load(3, 1), alu(4, 3, 3)], true);
+        let bs = bundles(&items);
+        // load, nop, use.
+        assert_eq!(bs.len(), 3);
+        assert!(matches!(bs[1].first.op, LirOp::Real(Op::Nop)));
+    }
+
+    #[test]
+    fn load_gap_filled_with_independent_work() {
+        let items =
+            sched(vec![load(3, 1), alu(5, 6, 7), alu(8, 9, 10), alu(4, 3, 3)], true);
+        let bs = bundles(&items);
+        // {load ; alu5}, alu8, use — independent work fills the gap.
+        assert_eq!(bs.len(), 3);
+        assert!(!bs.iter().any(|b| matches!(b.first.op, LirOp::Real(Op::Nop))));
+    }
+
+    #[test]
+    fn memory_order_is_preserved() {
+        let st = LirInst::always(LirOp::Real(Op::Store {
+            area: MemArea::Stack,
+            size: AccessSize::Word,
+            ra: Reg::R0,
+            offset: 1,
+            rs: Reg::from_index(9),
+        }));
+        let items = sched(vec![st.clone(), load(3, 1)], true);
+        let bs = bundles(&items);
+        assert_eq!(bs.len(), 2);
+        assert!(matches!(bs[0].first.op, LirOp::Real(Op::Store { .. })));
+    }
+
+    #[test]
+    fn branch_gets_delay_slots() {
+        let br = LirInst::always(LirOp::BrLabel("x".into()));
+        let items = sched(vec![alu(3, 4, 5), br], true);
+        let bs = bundles(&items);
+        // alu, br, 1 delay nop (unconditional).
+        assert_eq!(bs.len(), 3);
+        assert!(matches!(bs[2].first.op, LirOp::Real(Op::Nop)));
+    }
+
+    #[test]
+    fn guarded_branch_gets_two_delay_slots() {
+        let br = LirInst::new(
+            Guard::unless(patmos_isa::Pred::P6),
+            LirOp::BrLabel("x".into()),
+        );
+        let items = sched(vec![br], true);
+        let bs = bundles(&items);
+        assert_eq!(bs.len(), 3, "branch + 2 delay slots");
+    }
+
+    #[test]
+    fn single_issue_never_pairs() {
+        let items = sched(vec![alu(3, 4, 5), alu(6, 7, 8)], false);
+        let bs = bundles(&items);
+        assert_eq!(bs.len(), 2);
+        assert!(bs.iter().all(|b| b.second.is_none()));
+    }
+
+    #[test]
+    fn mul_gap_respected() {
+        let mul = LirInst::always(LirOp::Real(Op::Mul {
+            rs1: Reg::from_index(3),
+            rs2: Reg::from_index(4),
+        }));
+        let mfs = LirInst::always(LirOp::Real(Op::Mfs {
+            rd: Reg::from_index(3),
+            ss: patmos_isa::SpecialReg::Sl,
+        }));
+        let items = sched(vec![mul, mfs], true);
+        let bs = bundles(&items);
+        assert_eq!(bs.len(), 3, "mul, gap, mfs");
+    }
+}

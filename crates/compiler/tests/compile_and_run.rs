@@ -1,0 +1,264 @@
+//! End-to-end tests: PatC source → binary → cycle-accurate simulation,
+//! with results checked against a Rust re-computation.
+
+use patmos_compiler::{compile, CompileOptions};
+use patmos_isa::Reg;
+use patmos_sim::{SimConfig, Simulator};
+
+fn run(src: &str, options: &CompileOptions) -> (Simulator, u64) {
+    let image = match compile(src, options) {
+        Ok(i) => i,
+        Err(e) => panic!("compilation failed: {e}\nsource:\n{src}"),
+    };
+    let mut sim = Simulator::new(&image, SimConfig::default());
+    let result = match sim.run() {
+        Ok(r) => r,
+        Err(e) => {
+            let asm = patmos_compiler::compile_to_asm(src, options).unwrap_or_default();
+            panic!("simulation failed: {e}\nsource:\n{src}\nassembly:\n{asm}");
+        }
+    };
+    (sim, result.stats.cycles)
+}
+
+fn result_of(src: &str, options: &CompileOptions) -> u32 {
+    let (sim, _) = run(src, options);
+    sim.reg(Reg::R1)
+}
+
+fn default_result(src: &str) -> u32 {
+    result_of(src, &CompileOptions::default())
+}
+
+#[test]
+fn constants_and_arithmetic() {
+    assert_eq!(default_result("int main() { return 6 * 7; }"), 42);
+    assert_eq!(default_result("int main() { return (1 + 2) * 3 - 4; }"), 5);
+    assert_eq!(default_result("int main() { return 100 / 4; }"), 25);
+    assert_eq!(default_result("int main() { return 100 % 8; }"), 4);
+    assert_eq!(default_result("int main() { return 1 << 10; }"), 1024);
+    assert_eq!(default_result("int main() { return 1024 >> 3; }"), 128);
+    assert_eq!(default_result("int main() { return ~0 & 0xff; }"), 255);
+    assert_eq!(default_result("int main() { return -5 + 7; }"), 2);
+    assert_eq!(default_result("int main() { return 70000 + 1; }"), 70001);
+}
+
+#[test]
+fn comparisons_and_logic() {
+    assert_eq!(default_result("int main() { return 3 < 4; }"), 1);
+    assert_eq!(default_result("int main() { return 4 <= 3; }"), 0);
+    assert_eq!(default_result("int main() { return 5 > 2 && 1 < 2; }"), 1);
+    assert_eq!(default_result("int main() { return 0 || 7; }"), 1);
+    assert_eq!(default_result("int main() { return !5; }"), 0);
+    assert_eq!(default_result("int main() { return !0; }"), 1);
+    assert_eq!(default_result("int main() { return -1 < 0; }"), 1, "signed compare");
+}
+
+#[test]
+fn locals_and_assignment() {
+    assert_eq!(
+        default_result("int main() { int a = 3; int b = 4; a = a + b; return a * b; }"),
+        28
+    );
+}
+
+#[test]
+fn globals_in_every_area() {
+    let src = "int s; heap int h; spm int p;
+int main() { s = 5; h = 6; p = 7; return s + h + p; }";
+    assert_eq!(default_result(src), 18);
+}
+
+#[test]
+fn arrays_and_loops() {
+    let src = "int tab[8];
+int main() {
+    int i;
+    int sum = 0;
+    for (i = 0; i < 8; i = i + 1) bound(8) { tab[i] = i * i; }
+    for (i = 0; i < 8; i = i + 1) bound(8) { sum = sum + tab[i]; }
+    return sum;
+}";
+    assert_eq!(default_result(src), (0..8).map(|i| i * i).sum::<u32>());
+}
+
+#[test]
+fn initialised_array() {
+    let src = "int tab[5] = {10, 20, 30, 40, 50};
+int main() { return tab[0] + tab[4]; }";
+    assert_eq!(default_result(src), 60);
+}
+
+#[test]
+fn if_else_both_paths() {
+    let src = "int main() { int x = 7; int r; if (x > 5) { r = 1; } else { r = 2; } return r; }";
+    assert_eq!(default_result(src), 1);
+    let src2 = "int main() { int x = 3; int r; if (x > 5) { r = 1; } else { r = 2; } return r; }";
+    assert_eq!(default_result(src2), 2);
+}
+
+#[test]
+fn nested_if_with_branches() {
+    // Bodies with calls are never if-converted: exercises branch form.
+    let src = "int pick(int a) { return a + 1; }
+int main() {
+    int x = 4;
+    int r = 0;
+    if (x > 2) {
+        r = pick(x);
+        if (x > 3) { r = r + 10; }
+    } else {
+        r = 99;
+    }
+    return r;
+}";
+    assert_eq!(default_result(src), 15);
+}
+
+#[test]
+fn while_loop_with_condition() {
+    let src = "int main() {
+    int n = 10;
+    int s = 0;
+    while (n > 0) bound(10) { s = s + n; n = n - 1; }
+    return s;
+}";
+    assert_eq!(default_result(src), 55);
+}
+
+#[test]
+fn function_calls_and_arguments() {
+    let src = "int add3(int a, int b, int c) { return a + b + c; }
+int twice(int x) { return x + x; }
+int main() { return add3(1, twice(2), twice(3)) + add3(10, 20, 30); }";
+    assert_eq!(default_result(src), 1 + 4 + 6 + 60);
+}
+
+#[test]
+fn call_preserves_live_temps() {
+    // `a +` is live across the call; it must be spilled and restored.
+    let src = "int f(int x) { return x * 2; }
+int main() { int a = 100; return a + f(11); }";
+    assert_eq!(default_result(src), 122);
+}
+
+#[test]
+fn deep_call_chain_uses_stack_cache() {
+    let src = "int l3(int x) { return x + 3; }
+int l2(int x) { return l3(x) + 2; }
+int l1(int x) { return l2(x) + 1; }
+int main() { return l1(10); }";
+    let (sim, _) = run(src, &CompileOptions::default());
+    assert_eq!(sim.reg(Reg::R1), 16);
+}
+
+#[test]
+fn if_conversion_matches_branches() {
+    let src = "int main() {
+    int i;
+    int s = 0;
+    for (i = 0; i < 16; i = i + 1) bound(16) {
+        if (i % 2 == 0) { s = s + i; } else { s = s - 1; }
+    }
+    return s;
+}";
+    let expect: i32 = (0..16).map(|i| if i % 2 == 0 { i } else { -1 }).sum();
+    let branchy = CompileOptions { if_convert: false, ..CompileOptions::default() };
+    let converted = CompileOptions { if_convert: true, ..CompileOptions::default() };
+    assert_eq!(result_of(src, &branchy), expect as u32);
+    assert_eq!(result_of(src, &converted), expect as u32);
+}
+
+#[test]
+fn single_path_matches_and_is_input_invariant() {
+    let src_tpl = |x: i32| {
+        format!(
+            "int main() {{
+    int x = {x};
+    int i;
+    int s = 0;
+    while (i < x) bound(12) {{ s = s + i; i = i + 1; }}
+    if (s > 10) {{ s = s * 2; }} else {{ s = s + 1; }}
+    return s;
+}}"
+        )
+    };
+    let sp = CompileOptions { single_path: true, ..CompileOptions::default() };
+    let mut cycles = Vec::new();
+    for x in [0, 3, 12] {
+        let src = src_tpl(x);
+        let (sim, c) = run(&src, &sp);
+        let expect: i32 = {
+            let s: i32 = (0..x).sum();
+            if s > 10 {
+                s * 2
+            } else {
+                s + 1
+            }
+        };
+        assert_eq!(sim.reg(Reg::R1), expect as u32, "x={x}");
+        cycles.push(c);
+    }
+    assert!(
+        cycles.windows(2).all(|w| w[0] == w[1]),
+        "single-path execution time must not depend on the input: {cycles:?}"
+    );
+}
+
+#[test]
+fn dual_issue_is_not_slower() {
+    // A wide, ILP-rich expression: plenty of independent shifts and adds
+    // for the second issue slot.
+    let src = "int main() {
+    int i;
+    int s = 0;
+    for (i = 0; i < 16; i = i + 1) bound(16) {
+        s = s + ((i << 1) + (i << 2)) + ((i << 3) + (i << 4)) + ((i << 5) ^ (i + 7));
+    }
+    return s;
+}";
+    let expect: u32 = (0..16u32)
+        .map(|i| ((i << 1) + (i << 2)).wrapping_add((i << 3) + (i << 4)).wrapping_add((i << 5) ^ (i + 7)))
+        .sum();
+    let dual = CompileOptions::default();
+    let single = CompileOptions { dual_issue: false, ..CompileOptions::default() };
+    let (_, c_dual) = run(src, &dual);
+    let (sim, c_single) = run(src, &single);
+    assert_eq!(sim.reg(Reg::R1), expect);
+    assert!(c_dual < c_single, "dual {c_dual} vs single {c_single}");
+}
+
+#[test]
+fn compiled_code_passes_strict_timing_checks() {
+    // The strict simulator verifies the scheduler respected every
+    // visible delay; a panic here is a scheduler bug.
+    let src = "int tab[32];
+int f(int a, int b) { return a * b + tab[a % 32]; }
+int main() {
+    int i;
+    int acc = 0;
+    for (i = 0; i < 32; i = i + 1) bound(32) { tab[i] = i; }
+    for (i = 0; i < 32; i = i + 1) bound(32) { acc = acc + f(i, i + 1); }
+    return acc;
+}";
+    let expect: u32 = (0..32u32).map(|i| i * (i + 1) + i).sum();
+    assert_eq!(default_result(src), expect);
+}
+
+#[test]
+fn wcet_bound_covers_compiled_program() {
+    let src = "int main() {
+    int i;
+    int s = 0;
+    for (i = 0; i < 20; i = i + 1) bound(20) { s = s + i; }
+    return s;
+}";
+    let image = compile(src, &CompileOptions::default()).expect("compiles");
+    let report =
+        patmos_wcet::analyze(&image, &patmos_wcet::Machine::Patmos(SimConfig::default()))
+            .expect("analyses");
+    let mut sim = Simulator::new(&image, SimConfig::default());
+    let observed = sim.run().expect("runs").stats.cycles;
+    assert!(report.bound_cycles >= observed, "{} < {}", report.bound_cycles, observed);
+    assert!(report.pessimism(observed) < 2.0, "ratio {}", report.pessimism(observed));
+}

@@ -1,0 +1,142 @@
+//! Diagnostics: the compiler rejects unsupported or unsafe constructs
+//! with precise errors instead of miscompiling them.
+
+use patmos_compiler::{compile, CompileError, CompileOptions};
+
+fn err_of(src: &str, options: &CompileOptions) -> CompileError {
+    match compile(src, options) {
+        Err(e) => e,
+        Ok(_) => panic!("expected a compile error for:\n{src}"),
+    }
+}
+
+fn default_err(src: &str) -> String {
+    err_of(src, &CompileOptions::default()).to_string()
+}
+
+#[test]
+fn unknown_variable() {
+    let msg = default_err("int main() { return nope; }");
+    assert!(msg.contains("unknown variable"), "{msg}");
+}
+
+#[test]
+fn unknown_function() {
+    let msg = default_err("int main() { return missing(1); }");
+    assert!(msg.contains("unknown function"), "{msg}");
+}
+
+#[test]
+fn duplicate_local() {
+    let msg = default_err("int main() { int a; int a; return 0; }");
+    assert!(msg.contains("duplicate"), "{msg}");
+}
+
+#[test]
+fn duplicate_global() {
+    let msg = default_err("int g; int g; int main() { return 0; }");
+    assert!(msg.contains("duplicate"), "{msg}");
+}
+
+#[test]
+fn division_by_non_power_of_two() {
+    let msg = default_err("int main() { return 10 / 3; }");
+    assert!(msg.contains("power-of-two"), "{msg}");
+}
+
+#[test]
+fn division_by_variable() {
+    let msg = default_err("int main() { int d = 4; return 10 / d; }");
+    assert!(msg.contains("power-of-two"), "{msg}");
+}
+
+#[test]
+fn too_many_arguments() {
+    let msg = default_err(
+        "int f(int a, int b, int c, int d) { return a; } int main() { return f(1, 2, 3, 4, 5); }",
+    );
+    // Five arguments at the call site: either the parser (arity) or the
+    // codegen (arg registers) must complain.
+    assert!(msg.contains("4 arguments") || msg.contains("argument"), "{msg}");
+}
+
+#[test]
+fn missing_main() {
+    let msg = default_err("int helper() { return 1; }");
+    assert!(msg.contains("main"), "{msg}");
+}
+
+#[test]
+fn spm_globals_cannot_be_initialised() {
+    let msg = default_err("spm int buf[4] = {1, 2, 3, 4}; int main() { return buf[0]; }");
+    assert!(msg.contains("spm"), "{msg}");
+}
+
+#[test]
+fn missing_loop_bound_is_a_parse_error() {
+    let msg = default_err("int main() { int i = 0; while (i < 3) { i = i + 1; } return i; }");
+    assert!(msg.contains("bound"), "{msg}");
+}
+
+#[test]
+fn call_in_single_path_branch_rejected() {
+    let options = CompileOptions { single_path: true, ..CompileOptions::default() };
+    let msg = err_of(
+        "int f(int x) { return x; } int main() { int r = 0; if (r == 0) { r = f(1); } return r; }",
+        &options,
+    )
+    .to_string();
+    assert!(msg.contains("predicated"), "{msg}");
+}
+
+#[test]
+fn return_in_single_path_branch_rejected() {
+    let options = CompileOptions { single_path: true, ..CompileOptions::default() };
+    let msg = err_of(
+        "int main() { int r = 1; if (r == 1) { return 7; } return 0; }",
+        &options,
+    )
+    .to_string();
+    assert!(msg.contains("return") || msg.contains("predicated"), "{msg}");
+}
+
+#[test]
+fn deep_single_path_nesting_exhausts_predicates() {
+    let options = CompileOptions { single_path: true, ..CompileOptions::default() };
+    let src = "int main() {
+    int r = 0;
+    if (r == 0) { if (r == 0) { r = 1; } }
+    return r;
+}";
+    // Each else-less if consumes two of the five stacked predicates:
+    // two levels fit...
+    assert!(compile(src, &options).is_ok());
+    // ...but three levels need six.
+    let deeper = "int main() {
+    int r = 0;
+    if (r == 0) { if (r == 0) { if (r == 0) { r = 1; } } }
+    return r;
+}";
+    let msg = err_of(deeper, &options).to_string();
+    assert!(msg.contains("predicate"), "{msg}");
+}
+
+#[test]
+fn parse_errors_report_lines() {
+    match compile("int main() {\n  int x = ;\n  return 0;\n}", &CompileOptions::default()) {
+        Err(CompileError::Parse(e)) => assert_eq!(e.line, 2, "{e}"),
+        other => panic!("expected parse error, got {other:?}"),
+    }
+}
+
+#[test]
+fn negative_array_length_rejected() {
+    let msg = default_err("int a[0]; int main() { return 0; }");
+    assert!(msg.contains("positive"), "{msg}");
+}
+
+#[test]
+fn surplus_initialisers_rejected() {
+    let msg = default_err("int a[2] = {1, 2, 3}; int main() { return 0; }");
+    assert!(msg.contains("initialisers"), "{msg}");
+}

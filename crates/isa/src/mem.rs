@@ -1,0 +1,180 @@
+//! Typed memory areas and access sizes.
+//!
+//! Patmos distinguishes the data areas *in the instruction set*: every load
+//! and store names the cache it goes through (paper, Sections 3.1 and 3.3).
+//! This lets the WCET analysis attribute each access to the right cache
+//! model and lets the pipeline detect early which cache is addressed.
+
+use std::fmt;
+
+/// The typed memory area named by a load or store instruction.
+///
+/// Each area is served by its own cache with its own, independently
+/// analyzable behaviour (paper, Section 3.3):
+///
+/// * [`Stack`](MemArea::Stack) — direct-mapped stack cache managed with
+///   explicit `sres`/`sens`/`sfree` instructions;
+/// * [`Static`](MemArea::Static) — set-associative cache for constants and
+///   static data;
+/// * [`Data`](MemArea::Data) — highly associative cache for heap data;
+/// * [`Spm`](MemArea::Spm) — compiler-managed scratchpad with fixed latency;
+/// * [`Main`](MemArea::Main) — uncached main memory, reached only through
+///   split loads (`Op::MainLoad` + `Op::MainWait`) and posted stores.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum MemArea {
+    /// Stack-allocated data, served by the stack cache.
+    Stack,
+    /// Constants and static data, served by the set-associative cache.
+    Static,
+    /// Heap-allocated data, served by the highly associative data cache.
+    Data,
+    /// Scratchpad memory.
+    Spm,
+    /// Uncached main memory (split accesses only).
+    Main,
+}
+
+impl MemArea {
+    /// All areas in encoding order.
+    pub const ALL: [MemArea; 5] = [
+        MemArea::Stack,
+        MemArea::Static,
+        MemArea::Data,
+        MemArea::Spm,
+        MemArea::Main,
+    ];
+
+    /// The 3-bit encoding of this area.
+    pub fn code(self) -> u8 {
+        match self {
+            MemArea::Stack => 0,
+            MemArea::Static => 1,
+            MemArea::Data => 2,
+            MemArea::Spm => 3,
+            MemArea::Main => 4,
+        }
+    }
+
+    /// Decodes an area from its 3-bit code.
+    pub fn from_code(code: u8) -> Option<MemArea> {
+        MemArea::ALL.get(code as usize).copied()
+    }
+
+    /// The assembly mnemonic suffix for this area (`lws`, `lwc`, `lwd`,
+    /// `lwl`, `lwm` style).
+    pub fn suffix(self) -> char {
+        match self {
+            MemArea::Stack => 's',
+            MemArea::Static => 'c',
+            MemArea::Data => 'd',
+            MemArea::Spm => 'l',
+            MemArea::Main => 'm',
+        }
+    }
+}
+
+impl fmt::Display for MemArea {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            MemArea::Stack => "stack",
+            MemArea::Static => "static",
+            MemArea::Data => "data",
+            MemArea::Spm => "spm",
+            MemArea::Main => "main",
+        };
+        f.write_str(name)
+    }
+}
+
+/// The width of a memory access.
+///
+/// Sub-word loads zero-extend; the compiler materialises sign extension
+/// with a shift pair where required.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum AccessSize {
+    /// 8-bit access.
+    Byte,
+    /// 16-bit access (address must be 2-byte aligned).
+    Half,
+    /// 32-bit access (address must be 4-byte aligned).
+    Word,
+}
+
+impl AccessSize {
+    /// All sizes in encoding order.
+    pub const ALL: [AccessSize; 3] = [AccessSize::Byte, AccessSize::Half, AccessSize::Word];
+
+    /// The 2-bit encoding of this size.
+    pub fn code(self) -> u8 {
+        match self {
+            AccessSize::Byte => 0,
+            AccessSize::Half => 1,
+            AccessSize::Word => 2,
+        }
+    }
+
+    /// Decodes a size from its 2-bit code.
+    pub fn from_code(code: u8) -> Option<AccessSize> {
+        AccessSize::ALL.get(code as usize).copied()
+    }
+
+    /// Number of bytes moved by an access of this size.
+    pub fn bytes(self) -> u32 {
+        match self {
+            AccessSize::Byte => 1,
+            AccessSize::Half => 2,
+            AccessSize::Word => 4,
+        }
+    }
+
+    /// The mnemonic letter (`b`, `h`, `w`).
+    pub fn letter(self) -> char {
+        match self {
+            AccessSize::Byte => 'b',
+            AccessSize::Half => 'h',
+            AccessSize::Word => 'w',
+        }
+    }
+}
+
+impl fmt::Display for AccessSize {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.letter())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn area_codes_round_trip() {
+        for a in MemArea::ALL {
+            assert_eq!(MemArea::from_code(a.code()), Some(a));
+        }
+        assert_eq!(MemArea::from_code(7), None);
+    }
+
+    #[test]
+    fn size_codes_round_trip() {
+        for s in AccessSize::ALL {
+            assert_eq!(AccessSize::from_code(s.code()), Some(s));
+        }
+        assert_eq!(AccessSize::from_code(3), None);
+    }
+
+    #[test]
+    fn size_bytes() {
+        assert_eq!(AccessSize::Byte.bytes(), 1);
+        assert_eq!(AccessSize::Half.bytes(), 2);
+        assert_eq!(AccessSize::Word.bytes(), 4);
+    }
+
+    #[test]
+    fn area_suffixes_are_distinct() {
+        let mut suffixes: Vec<char> = MemArea::ALL.iter().map(|a| a.suffix()).collect();
+        suffixes.sort_unstable();
+        suffixes.dedup();
+        assert_eq!(suffixes.len(), MemArea::ALL.len());
+    }
+}

@@ -1,0 +1,240 @@
+//! Register files of Patmos: 32 general-purpose registers, 8 predicate
+//! registers, and a small set of special registers.
+
+use std::fmt;
+
+/// A general-purpose 32-bit register, `r0`–`r31`.
+///
+/// `r0` always reads as zero; writes to it are ignored. `r31` is the link
+/// register written by `call`. The register file is shared between the two
+/// issue slots with full forwarding (paper, Section 3.2).
+///
+/// # Example
+///
+/// ```
+/// use patmos_isa::Reg;
+/// let r = Reg::new(5).expect("valid index");
+/// assert_eq!(r.index(), 5);
+/// assert_eq!(r.to_string(), "r5");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Reg(u8);
+
+#[allow(missing_docs)]
+impl Reg {
+    pub const R0: Reg = Reg(0);
+    pub const R1: Reg = Reg(1);
+    pub const R2: Reg = Reg(2);
+    pub const R3: Reg = Reg(3);
+    pub const R4: Reg = Reg(4);
+    pub const R5: Reg = Reg(5);
+    pub const R6: Reg = Reg(6);
+    pub const R7: Reg = Reg(7);
+    pub const R8: Reg = Reg(8);
+    pub const R9: Reg = Reg(9);
+    pub const R10: Reg = Reg(10);
+    pub const R11: Reg = Reg(11);
+    pub const R12: Reg = Reg(12);
+    pub const R29: Reg = Reg(29);
+    pub const R30: Reg = Reg(30);
+    pub const R31: Reg = Reg(31);
+}
+
+impl Reg {
+    /// Creates a register from its index.
+    ///
+    /// Returns `None` if `index` is not in `0..32`.
+    pub fn new(index: u8) -> Option<Reg> {
+        (index < 32).then_some(Reg(index))
+    }
+
+    /// Creates a register from its index without bounds checking the value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is not in `0..32`.
+    pub fn from_index(index: u8) -> Reg {
+        Reg::new(index).expect("register index must be in 0..32")
+    }
+
+    /// The register index, in `0..32`.
+    pub fn index(self) -> u8 {
+        self.0
+    }
+
+    /// Whether this is `r0`, the hard-wired zero register.
+    pub fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// A predicate register, `p0`–`p7`.
+///
+/// Every Patmos instruction is guarded by a (possibly negated) predicate
+/// (paper, Section 3.1). `p0` always reads as true, so an instruction
+/// guarded by non-negated `p0` executes unconditionally.
+///
+/// # Example
+///
+/// ```
+/// use patmos_isa::Pred;
+/// assert!(Pred::P0.is_always_true());
+/// assert_eq!(Pred::new(3).expect("valid").to_string(), "p3");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Pred(u8);
+
+#[allow(missing_docs)]
+impl Pred {
+    pub const P0: Pred = Pred(0);
+    pub const P1: Pred = Pred(1);
+    pub const P2: Pred = Pred(2);
+    pub const P3: Pred = Pred(3);
+    pub const P4: Pred = Pred(4);
+    pub const P5: Pred = Pred(5);
+    pub const P6: Pred = Pred(6);
+    pub const P7: Pred = Pred(7);
+}
+
+impl Pred {
+    /// Creates a predicate register from its index.
+    ///
+    /// Returns `None` if `index` is not in `0..8`.
+    pub fn new(index: u8) -> Option<Pred> {
+        (index < 8).then_some(Pred(index))
+    }
+
+    /// Creates a predicate register from its index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is not in `0..8`.
+    pub fn from_index(index: u8) -> Pred {
+        Pred::new(index).expect("predicate index must be in 0..8")
+    }
+
+    /// The predicate index, in `0..8`.
+    pub fn index(self) -> u8 {
+        self.0
+    }
+
+    /// Whether this is `p0`, which always reads true.
+    pub fn is_always_true(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl fmt::Display for Pred {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+/// A special register, accessed with `mfs`/`mts`.
+///
+/// Special registers hold results of long-latency units (multiplier,
+/// main-memory controller) and the stack-cache management pointers, keeping
+/// those delays out of the general register file's forwarding network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum SpecialReg {
+    /// Low 32 bits of the last multiply result.
+    Sl,
+    /// High 32 bits of the last multiply result.
+    Sh,
+    /// Result of the last split main-memory load (also readable via the
+    /// dedicated waiting move, `Op::MainWait`).
+    Sm,
+    /// Stack-cache top-of-stack pointer (word address in main memory).
+    St,
+    /// Stack-cache spill pointer: lowest stack address still held in main
+    /// memory rather than in the cache.
+    Ss,
+}
+
+impl SpecialReg {
+    /// All special registers in encoding order.
+    pub const ALL: [SpecialReg; 5] = [
+        SpecialReg::Sl,
+        SpecialReg::Sh,
+        SpecialReg::Sm,
+        SpecialReg::St,
+        SpecialReg::Ss,
+    ];
+
+    /// The 4-bit encoding of this special register.
+    pub fn code(self) -> u8 {
+        match self {
+            SpecialReg::Sl => 0,
+            SpecialReg::Sh => 1,
+            SpecialReg::Sm => 2,
+            SpecialReg::St => 3,
+            SpecialReg::Ss => 4,
+        }
+    }
+
+    /// Decodes a special register from its 4-bit code.
+    pub fn from_code(code: u8) -> Option<SpecialReg> {
+        SpecialReg::ALL.get(code as usize).copied()
+    }
+}
+
+impl fmt::Display for SpecialReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            SpecialReg::Sl => "sl",
+            SpecialReg::Sh => "sh",
+            SpecialReg::Sm => "sm",
+            SpecialReg::St => "st",
+            SpecialReg::Ss => "ss",
+        };
+        f.write_str(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reg_bounds() {
+        assert!(Reg::new(31).is_some());
+        assert!(Reg::new(32).is_none());
+        assert!(Reg::R0.is_zero());
+        assert!(!Reg::R1.is_zero());
+    }
+
+    #[test]
+    fn pred_bounds() {
+        assert!(Pred::new(7).is_some());
+        assert!(Pred::new(8).is_none());
+        assert!(Pred::P0.is_always_true());
+        assert!(!Pred::P1.is_always_true());
+    }
+
+    #[test]
+    fn reg_display() {
+        assert_eq!(Reg::R31.to_string(), "r31");
+        assert_eq!(Pred::P7.to_string(), "p7");
+        assert_eq!(SpecialReg::Sm.to_string(), "sm");
+    }
+
+    #[test]
+    fn special_reg_codes_round_trip() {
+        for s in SpecialReg::ALL {
+            assert_eq!(SpecialReg::from_code(s.code()), Some(s));
+        }
+        assert_eq!(SpecialReg::from_code(15), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "register index")]
+    fn reg_from_index_panics() {
+        let _ = Reg::from_index(40);
+    }
+}

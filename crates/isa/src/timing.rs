@@ -1,0 +1,73 @@
+//! Architecturally visible delays of the Patmos pipeline.
+//!
+//! Patmos never stalls implicitly: "All instruction delays are thus
+//! explicitly visible at the ISA-level, and the exposed delays from the
+//! pipeline need to be respected in order to guarantee correct and
+//! efficient code" (paper, Section 3). These constants are the contract
+//! shared by the assembler's legality checks, the compiler's scheduler,
+//! the cycle-accurate simulator, and the WCET analysis. The only implicit
+//! stalls are cache misses (method cache at call/return, data-cache line
+//! fills, stack-cache spill/fill) and the *explicit* wait of a split load.
+
+/// Delay bundles after an unconditional direct branch or call.
+///
+/// Unconditional direct control transfers are detected in the decode
+/// stage, where the offset feeds the PC multiplexer straight from the
+/// instruction register (paper, Section 3.2, Figure 1).
+pub const BRANCH_DELAY_UNCOND: u32 = 1;
+
+/// Delay bundles after a guarded branch, indirect call, or return.
+///
+/// Their predicate or target register value becomes available at the end
+/// of the execute stage, one stage later than the decode-stage resolution
+/// of unconditional branches.
+pub const BRANCH_DELAY_COND: u32 = 2;
+
+/// Bundles that must separate a typed load from the first use of its
+/// destination register.
+///
+/// Loads deliver their value in the merged memory/write-back stage; an
+/// immediately following bundle's execute stage would read a stale value.
+pub const LOAD_USE_GAP: u32 = 1;
+
+/// Bundles that must separate `mul` from `mfs` of `sl`/`sh`.
+pub const MUL_GAP: u32 = 1;
+
+/// Bundles that must separate `mts`/`sres`-style stack-pointer setup from
+/// a dependent stack-cache access (conservative; used by the scheduler).
+pub const STACK_SETUP_GAP: u32 = 1;
+
+/// Cycles a bundle takes to issue when no stall event occurs.
+pub const ISSUE_CYCLES: u32 = 1;
+
+/// Whether an instruction with the given properties respects the ISA: the
+/// simulator's *strict* mode reports violations of these gaps as program
+/// errors rather than silently delivering stale values, which is what the
+/// hardware would do.
+///
+/// # Example
+///
+/// ```
+/// use patmos_isa::timing;
+/// // A load followed immediately by a use violates the gap:
+/// assert!(!timing::gap_satisfied(timing::LOAD_USE_GAP, 0));
+/// // One intervening bundle satisfies it:
+/// assert!(timing::gap_satisfied(timing::LOAD_USE_GAP, 1));
+/// ```
+pub fn gap_satisfied(required: u32, actual_bundles_between: u32) -> bool {
+    actual_bundles_between >= required
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gaps_are_consistent() {
+        // Conditional flow must be at least as delayed as unconditional:
+        // the predicate resolves a stage later than decode.
+        assert!(BRANCH_DELAY_COND > BRANCH_DELAY_UNCOND);
+        assert!(gap_satisfied(MUL_GAP, MUL_GAP));
+        assert!(!gap_satisfied(MUL_GAP, MUL_GAP - 1));
+    }
+}

@@ -1,0 +1,186 @@
+//! Main-memory model: sparse backing store plus a burst latency model.
+//!
+//! Patmos accesses main memory in bursts (method-cache fills, cache line
+//! fills, stack spill/fill, split loads). The cost model is the classic
+//! `latency + words * cycles_per_word` SDRAM abstraction used throughout
+//! the time-predictable-architecture literature.
+
+use std::collections::HashMap;
+
+const PAGE_SHIFT: u32 = 12;
+const PAGE_SIZE: usize = 1 << PAGE_SHIFT;
+
+/// Timing parameters of the main-memory interface.
+///
+/// # Example
+///
+/// ```
+/// use patmos_mem::MemConfig;
+/// let cfg = MemConfig::default();
+/// // A single-word access costs the full setup latency.
+/// assert_eq!(cfg.burst_cycles(1), cfg.latency + cfg.cycles_per_word);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemConfig {
+    /// Fixed setup cycles per burst (row activation, controller).
+    pub latency: u32,
+    /// Additional cycles per 32-bit word transferred.
+    pub cycles_per_word: u32,
+}
+
+impl MemConfig {
+    /// A configuration with the given setup latency and per-word cost.
+    pub fn new(latency: u32, cycles_per_word: u32) -> MemConfig {
+        MemConfig { latency, cycles_per_word }
+    }
+
+    /// Cycles for a burst of `words` 32-bit words (zero words cost zero).
+    pub fn burst_cycles(&self, words: u32) -> u32 {
+        if words == 0 {
+            0
+        } else {
+            self.latency + words * self.cycles_per_word
+        }
+    }
+}
+
+impl Default for MemConfig {
+    /// Six cycles setup, two cycles per word — a small SDRAM controller.
+    fn default() -> MemConfig {
+        MemConfig { latency: 6, cycles_per_word: 2 }
+    }
+}
+
+/// Sparse, byte-addressable main memory with a burst cost model.
+///
+/// Reads of untouched locations return zero, like initialised SRAM in the
+/// FPGA prototype. Addresses wrap within the 32-bit space.
+#[derive(Debug, Clone, Default)]
+pub struct MainMemory {
+    pages: HashMap<u32, Box<[u8; PAGE_SIZE]>>,
+    config: MemConfig,
+}
+
+impl MainMemory {
+    /// An empty memory with the given timing configuration.
+    pub fn new(config: MemConfig) -> MainMemory {
+        MainMemory { pages: HashMap::new(), config }
+    }
+
+    /// The timing configuration.
+    pub fn config(&self) -> MemConfig {
+        self.config
+    }
+
+    /// Cycles for a burst of `words` words.
+    pub fn burst_cycles(&self, words: u32) -> u32 {
+        self.config.burst_cycles(words)
+    }
+
+    /// Reads one byte.
+    pub fn read_byte(&self, addr: u32) -> u8 {
+        match self.pages.get(&(addr >> PAGE_SHIFT)) {
+            Some(page) => page[(addr as usize) & (PAGE_SIZE - 1)],
+            None => 0,
+        }
+    }
+
+    /// Writes one byte.
+    pub fn write_byte(&mut self, addr: u32, value: u8) {
+        let page = self
+            .pages
+            .entry(addr >> PAGE_SHIFT)
+            .or_insert_with(|| Box::new([0u8; PAGE_SIZE]));
+        page[(addr as usize) & (PAGE_SIZE - 1)] = value;
+    }
+
+    /// Reads a 16-bit little-endian half-word.
+    pub fn read_half(&self, addr: u32) -> u16 {
+        u16::from_le_bytes([self.read_byte(addr), self.read_byte(addr.wrapping_add(1))])
+    }
+
+    /// Writes a 16-bit little-endian half-word.
+    pub fn write_half(&mut self, addr: u32, value: u16) {
+        let [a, b] = value.to_le_bytes();
+        self.write_byte(addr, a);
+        self.write_byte(addr.wrapping_add(1), b);
+    }
+
+    /// Reads a 32-bit little-endian word.
+    pub fn read_word(&self, addr: u32) -> u32 {
+        u32::from_le_bytes([
+            self.read_byte(addr),
+            self.read_byte(addr.wrapping_add(1)),
+            self.read_byte(addr.wrapping_add(2)),
+            self.read_byte(addr.wrapping_add(3)),
+        ])
+    }
+
+    /// Writes a 32-bit little-endian word.
+    pub fn write_word(&mut self, addr: u32, value: u32) {
+        for (i, b) in value.to_le_bytes().into_iter().enumerate() {
+            self.write_byte(addr.wrapping_add(i as u32), b);
+        }
+    }
+
+    /// Copies `words` into memory starting at `addr` (word-aligned bulk
+    /// load used by the program loader).
+    pub fn load_words(&mut self, addr: u32, words: &[u32]) {
+        for (i, &w) in words.iter().enumerate() {
+            self.write_word(addr.wrapping_add((i * 4) as u32), w);
+        }
+    }
+
+    /// Copies bytes into memory starting at `addr`.
+    pub fn load_bytes(&mut self, addr: u32, bytes: &[u8]) {
+        for (i, &b) in bytes.iter().enumerate() {
+            self.write_byte(addr.wrapping_add(i as u32), b);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reads_default_to_zero() {
+        let mem = MainMemory::new(MemConfig::default());
+        assert_eq!(mem.read_word(0x1234), 0);
+        assert_eq!(mem.read_byte(u32::MAX), 0);
+    }
+
+    #[test]
+    fn word_round_trip_little_endian() {
+        let mut mem = MainMemory::new(MemConfig::default());
+        mem.write_word(0x100, 0xdead_beef);
+        assert_eq!(mem.read_word(0x100), 0xdead_beef);
+        assert_eq!(mem.read_byte(0x100), 0xef);
+        assert_eq!(mem.read_byte(0x103), 0xde);
+        assert_eq!(mem.read_half(0x102), 0xdead);
+    }
+
+    #[test]
+    fn cross_page_word() {
+        let mut mem = MainMemory::new(MemConfig::default());
+        let addr = (1 << PAGE_SHIFT) - 2;
+        mem.write_word(addr, 0x0102_0304);
+        assert_eq!(mem.read_word(addr), 0x0102_0304);
+    }
+
+    #[test]
+    fn burst_cost_model() {
+        let cfg = MemConfig::new(6, 2);
+        assert_eq!(cfg.burst_cycles(0), 0);
+        assert_eq!(cfg.burst_cycles(1), 8);
+        assert_eq!(cfg.burst_cycles(4), 14);
+    }
+
+    #[test]
+    fn load_words_bulk() {
+        let mut mem = MainMemory::new(MemConfig::default());
+        mem.load_words(0x200, &[1, 2, 3]);
+        assert_eq!(mem.read_word(0x200), 1);
+        assert_eq!(mem.read_word(0x208), 3);
+    }
+}

@@ -1,0 +1,116 @@
+//! Compiler-managed scratchpad memory.
+//!
+//! "A compiler-managed scratchpad memory provides additional flexibility"
+//! (paper, Section 1). The scratchpad is its own small address space with
+//! a fixed single-cycle access time — it never interacts with main memory
+//! at run time, which is exactly why it is trivially time-predictable.
+
+/// An on-chip scratchpad: a separate byte-addressable memory.
+///
+/// Addresses wrap modulo the (power-of-two) size, mirroring how an
+/// on-chip RAM ignores upper address bits.
+///
+/// # Example
+///
+/// ```
+/// use patmos_mem::Scratchpad;
+/// let mut spm = Scratchpad::new(1024);
+/// spm.write_word(0, 7);
+/// assert_eq!(spm.read_word(0), 7);
+/// assert_eq!(spm.read_word(1024), 7, "addresses wrap");
+/// ```
+#[derive(Debug, Clone)]
+pub struct Scratchpad {
+    data: Vec<u8>,
+}
+
+impl Scratchpad {
+    /// A zero-initialised scratchpad of `size_bytes` bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size_bytes` is not a power of two or is smaller than a
+    /// word.
+    pub fn new(size_bytes: usize) -> Scratchpad {
+        assert!(size_bytes.is_power_of_two(), "scratchpad size must be a power of two");
+        assert!(size_bytes >= 4, "scratchpad must hold at least one word");
+        Scratchpad { data: vec![0; size_bytes] }
+    }
+
+    /// Capacity in bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.data.len()
+    }
+
+    fn index(&self, addr: u32) -> usize {
+        (addr as usize) & (self.data.len() - 1)
+    }
+
+    /// Reads one byte.
+    pub fn read_byte(&self, addr: u32) -> u8 {
+        self.data[self.index(addr)]
+    }
+
+    /// Writes one byte.
+    pub fn write_byte(&mut self, addr: u32, value: u8) {
+        let i = self.index(addr);
+        self.data[i] = value;
+    }
+
+    /// Reads a 16-bit little-endian half-word.
+    pub fn read_half(&self, addr: u32) -> u16 {
+        u16::from_le_bytes([self.read_byte(addr), self.read_byte(addr.wrapping_add(1))])
+    }
+
+    /// Writes a 16-bit little-endian half-word.
+    pub fn write_half(&mut self, addr: u32, value: u16) {
+        let [a, b] = value.to_le_bytes();
+        self.write_byte(addr, a);
+        self.write_byte(addr.wrapping_add(1), b);
+    }
+
+    /// Reads a 32-bit little-endian word.
+    pub fn read_word(&self, addr: u32) -> u32 {
+        u32::from_le_bytes([
+            self.read_byte(addr),
+            self.read_byte(addr.wrapping_add(1)),
+            self.read_byte(addr.wrapping_add(2)),
+            self.read_byte(addr.wrapping_add(3)),
+        ])
+    }
+
+    /// Writes a 32-bit little-endian word.
+    pub fn write_word(&mut self, addr: u32, value: u32) {
+        for (i, b) in value.to_le_bytes().into_iter().enumerate() {
+            self.write_byte(addr.wrapping_add(i as u32), b);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let mut spm = Scratchpad::new(64);
+        spm.write_word(8, 0x0102_0304);
+        assert_eq!(spm.read_word(8), 0x0102_0304);
+        assert_eq!(spm.read_half(8), 0x0304);
+        assert_eq!(spm.read_byte(11), 0x01);
+    }
+
+    #[test]
+    fn wraps_modulo_size() {
+        let mut spm = Scratchpad::new(16);
+        spm.write_word(0, 0xaabb_ccdd);
+        assert_eq!(spm.read_word(16), 0xaabb_ccdd);
+        assert_eq!(spm.read_word(32), 0xaabb_ccdd);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_odd_size() {
+        let _ = Scratchpad::new(100);
+    }
+}

@@ -1,0 +1,248 @@
+//! Set-associative cache timing model.
+//!
+//! Patmos uses one instance for constants/static data (moderately
+//! associative) and one, configured highly associative (one set, many
+//! ways), for heap data (paper, Section 3.3). Writes are write-through,
+//! no-allocate: the simple, locally deterministic update strategy that
+//! Heckmann et al. recommend for time-predictable processors.
+
+use crate::stats::CacheStats;
+
+/// Replacement policy of a cache.
+///
+/// Both policies are "locally deterministic update strategies" in the
+/// sense of the related-work requirements the paper cites; pseudo-random
+/// replacement is deliberately not offered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ReplacementPolicy {
+    /// Evict the line that was filled earliest.
+    Fifo,
+    /// Evict the least recently used line.
+    Lru,
+}
+
+/// The timing outcome of a single cache access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccessResult {
+    /// Whether the access hit in the cache.
+    pub hit: bool,
+    /// Words moved to/from main memory (line fill on a read miss, one
+    /// word of write-through traffic on any store).
+    pub transfer_words: u32,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Line {
+    tag: u32,
+    stamp: u64,
+}
+
+/// A set-associative, write-through, no-write-allocate cache model.
+///
+/// Data is not stored here; see the crate-level discussion of caches as
+/// timing models.
+///
+/// # Example
+///
+/// ```
+/// use patmos_mem::{ReplacementPolicy, SetAssocCache};
+/// // Fully associative: one set, eight ways.
+/// let mut heap_cache = SetAssocCache::new(1, 8, 4, ReplacementPolicy::Lru);
+/// assert!(!heap_cache.access(0x40, false).hit);
+/// assert!(heap_cache.access(0x40, false).hit);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SetAssocCache {
+    sets: u32,
+    ways: u32,
+    line_words: u32,
+    lines: Vec<Option<Line>>,
+    policy: ReplacementPolicy,
+    clock: u64,
+    stats: CacheStats,
+}
+
+impl SetAssocCache {
+    /// A cache with `sets` sets of `ways` ways, each line `line_words`
+    /// words long.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sets` or `line_words` is not a power of two, or any
+    /// parameter is zero.
+    pub fn new(sets: u32, ways: u32, line_words: u32, policy: ReplacementPolicy) -> SetAssocCache {
+        assert!(sets.is_power_of_two(), "sets must be a power of two");
+        assert!(line_words.is_power_of_two(), "line_words must be a power of two");
+        assert!(ways > 0, "ways must be positive");
+        SetAssocCache {
+            sets,
+            ways,
+            line_words,
+            lines: vec![None; (sets * ways) as usize],
+            policy,
+            clock: 0,
+            stats: CacheStats::new(),
+        }
+    }
+
+    /// Total capacity in words.
+    pub fn capacity_words(&self) -> u32 {
+        self.sets * self.ways * self.line_words
+    }
+
+    /// The line size in words.
+    pub fn line_words(&self) -> u32 {
+        self.line_words
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Empties the cache and clears statistics.
+    pub fn reset(&mut self) {
+        self.lines.fill(None);
+        self.clock = 0;
+        self.stats = CacheStats::new();
+    }
+
+    fn line_index(&self, addr: u32) -> (usize, u32) {
+        let line_bytes = self.line_words * 4;
+        let line_addr = addr / line_bytes;
+        let set = line_addr & (self.sets - 1);
+        let tag = line_addr / self.sets;
+        (set as usize, tag)
+    }
+
+    /// Performs an access for timing purposes and returns its outcome.
+    ///
+    /// Read misses fill a whole line (evicting per the policy); writes go
+    /// through without allocating and count one word of traffic.
+    pub fn access(&mut self, addr: u32, write: bool) -> AccessResult {
+        self.clock += 1;
+        let (set, tag) = self.line_index(addr);
+        let base = set * self.ways as usize;
+        let ways = &mut self.lines[base..base + self.ways as usize];
+
+        let found = ways
+            .iter_mut()
+            .find(|slot| matches!(slot, Some(line) if line.tag == tag));
+        if let Some(slot) = found {
+            if self.policy == ReplacementPolicy::Lru {
+                slot.as_mut().expect("matched above").stamp = self.clock;
+            }
+            let transfer = if write { 1 } else { 0 };
+            self.stats.record(true, transfer as u64);
+            return AccessResult { hit: true, transfer_words: transfer };
+        }
+
+        if write {
+            // No-write-allocate: a miss writes straight through.
+            self.stats.record(false, 1);
+            return AccessResult { hit: false, transfer_words: 1 };
+        }
+
+        // Read miss: allocate, evicting the oldest stamp.
+        let victim = match ways.iter_mut().find(|slot| slot.is_none()) {
+            Some(empty) => empty,
+            None => ways
+                .iter_mut()
+                .min_by_key(|slot| slot.as_ref().expect("set is full").stamp)
+                .expect("ways is non-empty"),
+        };
+        *victim = Some(Line { tag, stamp: self.clock });
+        self.stats.record(false, self.line_words as u64);
+        AccessResult { hit: false, transfer_words: self.line_words }
+    }
+
+    /// Whether the line containing `addr` is currently resident (pure
+    /// query, no statistics or state change) — used by cache analyses
+    /// that want to compare their prediction against the model.
+    pub fn contains(&self, addr: u32) -> bool {
+        let (set, tag) = self.line_index(addr);
+        let base = set * self.ways as usize;
+        self.lines[base..base + self.ways as usize]
+            .iter()
+            .any(|slot| matches!(slot, Some(line) if line.tag == tag))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_miss_then_hit() {
+        let mut c = SetAssocCache::new(4, 2, 4, ReplacementPolicy::Lru);
+        let miss = c.access(0x1000, false);
+        assert!(!miss.hit);
+        assert_eq!(miss.transfer_words, 4);
+        assert!(c.access(0x1000, false).hit);
+        assert!(c.access(0x100c, false).hit, "same 16-byte line");
+        assert!(!c.access(0x1010, false).hit, "next line");
+    }
+
+    #[test]
+    fn write_through_no_allocate() {
+        let mut c = SetAssocCache::new(4, 2, 4, ReplacementPolicy::Lru);
+        let w = c.access(0x2000, true);
+        assert!(!w.hit);
+        assert_eq!(w.transfer_words, 1);
+        assert!(!c.access(0x2000, false).hit, "write did not allocate");
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        // One set, two ways, 1-word lines: addresses 0, 4, 8 collide.
+        let mut c = SetAssocCache::new(1, 2, 1, ReplacementPolicy::Lru);
+        c.access(0x0, false);
+        c.access(0x4, false);
+        c.access(0x0, false); // refresh 0x0
+        c.access(0x8, false); // evicts 0x4
+        assert!(c.contains(0x0));
+        assert!(!c.contains(0x4));
+        assert!(c.contains(0x8));
+    }
+
+    #[test]
+    fn fifo_ignores_reuse() {
+        let mut c = SetAssocCache::new(1, 2, 1, ReplacementPolicy::Fifo);
+        c.access(0x0, false);
+        c.access(0x4, false);
+        c.access(0x0, false); // reuse must not refresh under FIFO
+        c.access(0x8, false); // evicts 0x0 (oldest fill)
+        assert!(!c.contains(0x0));
+        assert!(c.contains(0x4));
+        assert!(c.contains(0x8));
+    }
+
+    #[test]
+    fn fully_associative_has_no_conflicts() {
+        let mut c = SetAssocCache::new(1, 8, 1, ReplacementPolicy::Lru);
+        for i in 0..8u32 {
+            c.access(i * 4, false);
+        }
+        for i in 0..8u32 {
+            assert!(c.contains(i * 4));
+        }
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut c = SetAssocCache::new(2, 1, 2, ReplacementPolicy::Lru);
+        c.access(0x0, false);
+        c.access(0x0, false);
+        c.access(0x0, true);
+        let s = c.stats();
+        assert_eq!(s.accesses, 3);
+        assert_eq!(s.hits, 2);
+        assert_eq!(s.transferred_words, 2 + 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_power_of_two_sets() {
+        let _ = SetAssocCache::new(3, 1, 1, ReplacementPolicy::Lru);
+    }
+}

@@ -1,0 +1,74 @@
+//! Shared cache statistics.
+
+use std::fmt;
+
+/// Hit/miss and traffic counters kept by every cache model.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Total accesses observed.
+    pub accesses: u64,
+    /// Accesses served without main-memory traffic.
+    pub hits: u64,
+    /// Accesses that caused main-memory traffic.
+    pub misses: u64,
+    /// Words moved between the cache and main memory (fills and spills).
+    pub transferred_words: u64,
+}
+
+impl CacheStats {
+    /// A zeroed counter set.
+    pub fn new() -> CacheStats {
+        CacheStats::default()
+    }
+
+    /// Hit rate in `0.0..=1.0`; `1.0` for an untouched cache.
+    pub fn hit_rate(&self) -> f64 {
+        if self.accesses == 0 {
+            1.0
+        } else {
+            self.hits as f64 / self.accesses as f64
+        }
+    }
+
+    pub(crate) fn record(&mut self, hit: bool, transferred_words: u64) {
+        self.accesses += 1;
+        if hit {
+            self.hits += 1;
+        } else {
+            self.misses += 1;
+        }
+        self.transferred_words += transferred_words;
+    }
+}
+
+impl fmt::Display for CacheStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} accesses, {} hits, {} misses ({:.1}% hit), {} words transferred",
+            self.accesses,
+            self.hits,
+            self.misses,
+            self.hit_rate() * 100.0,
+            self.transferred_words
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_rate_is_sane() {
+        let mut s = CacheStats::new();
+        assert_eq!(s.hit_rate(), 1.0);
+        s.record(true, 0);
+        s.record(false, 8);
+        assert_eq!(s.accesses, 2);
+        assert_eq!(s.hits, 1);
+        assert_eq!(s.misses, 1);
+        assert_eq!(s.transferred_words, 8);
+        assert!((s.hit_rate() - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,163 @@
+//! Time-division multiple access (TDMA) arbitration of shared main memory.
+//!
+//! For the chip-multiprocessor configuration, Patmos schedules access to
+//! the shared main memory statically (paper, Sections 1 and 3, citing
+//! Pitter's time-predictable memory arbitration). Time is divided into
+//! equal slots rotating round-robin over the cores; a core may only start
+//! a burst inside its own slot, and the burst must complete within the
+//! slot. The worst-case waiting time of a core is therefore independent
+//! of what the other cores do — the key property for per-core WCET
+//! analysis.
+
+/// The static TDMA schedule.
+///
+/// # Example
+///
+/// ```
+/// use patmos_mem::TdmaArbiter;
+/// let arb = TdmaArbiter::new(2, 16);
+/// // Core 0 owns cycles 0..16, core 1 owns 16..32, and so on.
+/// assert_eq!(arb.grant(0, 0, 8), 0);
+/// assert_eq!(arb.grant(1, 0, 8), 16);
+/// // A burst that no longer fits in the current slot waits a full round.
+/// assert_eq!(arb.grant(0, 10, 8), 32);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TdmaArbiter {
+    cores: u32,
+    slot_cycles: u32,
+}
+
+impl TdmaArbiter {
+    /// A schedule for `cores` cores with `slot_cycles`-cycle slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either parameter is zero.
+    pub fn new(cores: u32, slot_cycles: u32) -> TdmaArbiter {
+        assert!(cores > 0, "need at least one core");
+        assert!(slot_cycles > 0, "slots must be non-empty");
+        TdmaArbiter { cores, slot_cycles }
+    }
+
+    /// Number of cores in the schedule.
+    pub fn cores(&self) -> u32 {
+        self.cores
+    }
+
+    /// Slot length in cycles.
+    pub fn slot_cycles(&self) -> u32 {
+        self.slot_cycles
+    }
+
+    /// The TDMA period (one slot per core).
+    pub fn period(&self) -> u64 {
+        self.cores as u64 * self.slot_cycles as u64
+    }
+
+    /// Whether a burst of `burst_cycles` can ever be scheduled.
+    pub fn fits(&self, burst_cycles: u32) -> bool {
+        burst_cycles <= self.slot_cycles
+    }
+
+    /// The earliest cycle `>= now` at which `core` may start a burst of
+    /// `burst_cycles` cycles that completes within its slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the burst does not fit in a slot (check [`Self::fits`];
+    /// the system configuration must guarantee it).
+    pub fn grant(&self, core: u32, now: u64, burst_cycles: u32) -> u64 {
+        assert!(core < self.cores, "core {core} out of range");
+        assert!(
+            self.fits(burst_cycles),
+            "burst of {burst_cycles} cycles exceeds slot of {}",
+            self.slot_cycles
+        );
+        let period = self.period();
+        let slot = self.slot_cycles as u64;
+        let offset = core as u64 * slot;
+        // Candidate start of this core's slot in the current period.
+        let round = now / period;
+        for r in [round, round + 1] {
+            let slot_begin = r * period + offset;
+            let slot_end = slot_begin + slot;
+            let start = now.max(slot_begin);
+            if start + burst_cycles as u64 <= slot_end {
+                return start;
+            }
+        }
+        // now is past this period's slot; the next period always works.
+        (round + 2) * self.period() + offset
+    }
+
+    /// The worst-case wait before a burst of `burst_cycles` can start,
+    /// over all alignments — the bound the WCET analysis charges per
+    /// main-memory access.
+    pub fn worst_case_wait(&self, burst_cycles: u32) -> u64 {
+        assert!(self.fits(burst_cycles), "burst does not fit in a slot");
+        // Worst alignment: the request arrives just after the last start
+        // point that still fits in this core's slot.
+        self.period() - (self.slot_cycles as u64 - burst_cycles as u64)
+            - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_core_is_immediate_when_it_fits() {
+        let arb = TdmaArbiter::new(1, 32);
+        assert_eq!(arb.grant(0, 5, 8), 5);
+        // Burst no longer fits before the slot boundary: wait for the
+        // next slot (same core, since there is only one).
+        assert_eq!(arb.grant(0, 30, 8), 32);
+    }
+
+    #[test]
+    fn round_robin_rotation() {
+        let arb = TdmaArbiter::new(4, 10);
+        assert_eq!(arb.grant(0, 0, 10), 0);
+        assert_eq!(arb.grant(1, 0, 10), 10);
+        assert_eq!(arb.grant(2, 0, 10), 20);
+        assert_eq!(arb.grant(3, 0, 10), 30);
+        assert_eq!(arb.grant(0, 1, 10), 40, "missed the full-burst start");
+    }
+
+    #[test]
+    fn grant_is_monotone_and_owned() {
+        let arb = TdmaArbiter::new(3, 8);
+        for core in 0..3 {
+            for now in 0..100u64 {
+                let g = arb.grant(core, now, 5);
+                assert!(g >= now);
+                // The granted start lies in the core's slot.
+                let in_period = g % arb.period();
+                let slot_begin = core as u64 * 8;
+                assert!(in_period >= slot_begin && in_period + 5 <= slot_begin + 8);
+            }
+        }
+    }
+
+    #[test]
+    fn worst_case_wait_bounds_observed_waits() {
+        let arb = TdmaArbiter::new(4, 10);
+        let burst = 7u32;
+        let wcw = arb.worst_case_wait(burst);
+        for now in 0..200u64 {
+            for core in 0..4 {
+                let wait = arb.grant(core, now, burst) - now;
+                assert!(wait <= wcw, "wait {wait} exceeds bound {wcw} at now={now}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds slot")]
+    fn oversized_burst_panics() {
+        let arb = TdmaArbiter::new(2, 8);
+        let _ = arb.grant(0, 0, 9);
+    }
+}

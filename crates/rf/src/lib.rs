@@ -1,0 +1,38 @@
+//! Register-file models for the Patmos dual-issue pipeline.
+//!
+//! The paper's evaluation (Section 5) is a feasibility study of a
+//! *time-division multiplexed, double-clocked* register file: a VLIW
+//! pipeline needs four read and two write ports, but FPGA block RAMs
+//! offer two ports each. Since block RAMs clock far faster (>500 MHz)
+//! than the surrounding pipeline, the register file can be run at twice
+//! the pipeline clock, time-multiplexing two accesses per port per
+//! pipeline cycle. The paper reports that with PLL-quality clocks this
+//! reaches more than 200 MHz on a Xilinx Virtex-5 (speed grade 2) with
+//! the ALU — not the register file — as the critical path, using only
+//! two block RAMs.
+//!
+//! This crate reproduces both halves of that study:
+//!
+//! * [`DoubleClockedRf`] — a functional model that executes the exact
+//!   half-cycle port schedule and proves it conflict-free;
+//! * [`fpga`] — a calibrated timing/resource model that reports the
+//!   achievable pipeline frequency and block-RAM cost for each register
+//!   file implementation choice ([`fpga::RfImpl`]) and clock quality
+//!   ([`fpga::ClockQuality`]).
+//!
+//! # Example
+//!
+//! ```
+//! use patmos_isa::Reg;
+//! use patmos_rf::DoubleClockedRf;
+//!
+//! let mut rf = DoubleClockedRf::new();
+//! let _ = rf.cycle([Reg::R0; 4], [Some((Reg::R1, 42)), None]);
+//! let values = rf.cycle([Reg::R1, Reg::R0, Reg::R1, Reg::R0], [None, None]);
+//! assert_eq!(values, [42, 0, 42, 0]);
+//! ```
+
+pub mod fpga;
+mod tdm;
+
+pub use tdm::{DoubleClockedRf, PortAccess, PortKind, NUM_BRAMS};

@@ -1,0 +1,219 @@
+//! Functional model of the double-clocked TDM register file.
+//!
+//! Two block RAMs each hold a full copy of the 32-entry register file.
+//! Each block RAM is true dual-port (ports `A` and `B`), and the RAMs run
+//! at twice the pipeline clock, giving each port two accesses per
+//! pipeline cycle — eight accesses total, scheduled as four reads (two
+//! per issue slot) and two writes mirrored into both copies:
+//!
+//! ```text
+//!            half-cycle 0                half-cycle 1
+//! BRAM0.A    read  slot1.rs1             read  slot2.rs1
+//! BRAM0.B    write slot1.rd (copy 0)     write slot2.rd (copy 0)
+//! BRAM1.A    read  slot1.rs2             read  slot2.rs2
+//! BRAM1.B    write slot1.rd (copy 1)     write slot2.rd (copy 1)
+//! ```
+//!
+//! Because current FPGAs return stale or undefined data on a same-address
+//! read-during-write, the register file "contains an internal forwarding
+//! path" (paper, Section 3.2); this model therefore makes a write visible
+//! to reads of the same pipeline cycle.
+
+use patmos_isa::{Reg, NUM_REGS};
+
+/// Number of physical block RAMs used — the headline resource result of
+/// the paper's Section 5.
+pub const NUM_BRAMS: usize = 2;
+
+/// What a port does in one half-cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PortKind {
+    /// The port is idle this half-cycle.
+    Idle,
+    /// Read of a register.
+    Read(Reg),
+    /// Write of a value to a register.
+    Write(Reg, u32),
+}
+
+/// One scheduled access: which RAM, which port, which half-cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PortAccess {
+    /// Block RAM index (`0` or `1`).
+    pub bram: usize,
+    /// Port within the RAM (`0` = A, `1` = B).
+    pub port: usize,
+    /// Half-cycle within the pipeline cycle (`0` or `1`).
+    pub half: usize,
+    /// The operation performed.
+    pub kind: PortKind,
+}
+
+/// The double-clocked, time-division multiplexed register file.
+///
+/// The model keeps the two block-RAM copies separately and checks on
+/// every cycle that the port schedule is conflict-free and that the
+/// copies stay coherent — the invariants the VHDL prototype had to
+/// establish.
+#[derive(Debug, Clone)]
+pub struct DoubleClockedRf {
+    copies: [[u32; NUM_REGS]; NUM_BRAMS],
+    last_schedule: Vec<PortAccess>,
+}
+
+impl Default for DoubleClockedRf {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl DoubleClockedRf {
+    /// A zero-initialised register file.
+    pub fn new() -> DoubleClockedRf {
+        DoubleClockedRf { copies: [[0; NUM_REGS]; NUM_BRAMS], last_schedule: Vec::new() }
+    }
+
+    /// The port schedule executed by the most recent [`Self::cycle`] call
+    /// (for inspection and conformance tests).
+    pub fn last_schedule(&self) -> &[PortAccess] {
+        &self.last_schedule
+    }
+
+    /// Reads a register directly (debug/verification access, not a port).
+    pub fn peek(&self, reg: Reg) -> u32 {
+        self.copies[0][reg.index() as usize]
+    }
+
+    /// Executes one pipeline cycle: up to two write-backs and four reads
+    /// (`[slot1.rs1, slot1.rs2, slot2.rs1, slot2.rs2]`).
+    ///
+    /// Writes are applied through the internal forwarding path, so reads
+    /// in the same cycle observe them. Writes to `r0` are discarded.
+    ///
+    /// # Panics
+    ///
+    /// Panics if both writes target the same register with different
+    /// values — an illegal bundle the encoder already rejects.
+    pub fn cycle(&mut self, reads: [Reg; 4], writes: [Option<(Reg, u32)>; 2]) -> [u32; 4] {
+        if let (Some((a, va)), Some((b, vb))) = (writes[0], writes[1]) {
+            assert!(
+                a != b || va == vb || a.is_zero(),
+                "conflicting writes to {a} in one cycle"
+            );
+        }
+
+        let mut schedule = Vec::with_capacity(8);
+        // Writes are mirrored into both copies: BRAM0/1 port B.
+        for (half, w) in writes.iter().enumerate() {
+            for bram in 0..NUM_BRAMS {
+                let kind = match w {
+                    Some((reg, val)) => PortKind::Write(*reg, *val),
+                    None => PortKind::Idle,
+                };
+                schedule.push(PortAccess { bram, port: 1, half, kind });
+            }
+        }
+        // Reads: slot1 in half 0, slot2 in half 1; rs1 from BRAM0.A,
+        // rs2 from BRAM1.A.
+        for (i, reg) in reads.iter().enumerate() {
+            let half = i / 2;
+            let bram = i % 2;
+            schedule.push(PortAccess { bram, port: 0, half, kind: PortKind::Read(*reg) });
+        }
+        Self::check_conflict_free(&schedule);
+
+        // Apply writes first (internal forwarding path).
+        for w in writes.into_iter().flatten() {
+            let (reg, val) = w;
+            if !reg.is_zero() {
+                for copy in &mut self.copies {
+                    copy[reg.index() as usize] = val;
+                }
+            }
+        }
+        let out = [
+            self.copies[0][reads[0].index() as usize],
+            self.copies[1][reads[1].index() as usize],
+            self.copies[0][reads[2].index() as usize],
+            self.copies[1][reads[3].index() as usize],
+        ];
+        self.last_schedule = schedule;
+        debug_assert_eq!(self.copies[0], self.copies[1], "copies diverged");
+        out
+    }
+
+    fn check_conflict_free(schedule: &[PortAccess]) {
+        let mut seen = [[[false; 2]; 2]; NUM_BRAMS];
+        for acc in schedule {
+            let slot = &mut seen[acc.bram][acc.port][acc.half];
+            assert!(
+                !*slot,
+                "port conflict: bram {} port {} half {}",
+                acc.bram, acc.port, acc.half
+            );
+            *slot = true;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_then_read_next_cycle() {
+        let mut rf = DoubleClockedRf::new();
+        rf.cycle([Reg::R0; 4], [Some((Reg::R5, 123)), None]);
+        let v = rf.cycle([Reg::R5; 4], [None, None]);
+        assert_eq!(v, [123; 4]);
+    }
+
+    #[test]
+    fn internal_forwarding_same_cycle() {
+        let mut rf = DoubleClockedRf::new();
+        let v = rf.cycle([Reg::R7, Reg::R0, Reg::R0, Reg::R7], [Some((Reg::R7, 9)), None]);
+        assert_eq!(v[0], 9, "read-during-write forwards the new value");
+        assert_eq!(v[3], 9);
+    }
+
+    #[test]
+    fn r0_is_immutable() {
+        let mut rf = DoubleClockedRf::new();
+        rf.cycle([Reg::R0; 4], [Some((Reg::R0, 55)), Some((Reg::R1, 1))]);
+        let v = rf.cycle([Reg::R0; 4], [None, None]);
+        assert_eq!(v, [0; 4]);
+    }
+
+    #[test]
+    fn dual_writes_land_in_both_copies() {
+        let mut rf = DoubleClockedRf::new();
+        rf.cycle([Reg::R0; 4], [Some((Reg::R1, 10)), Some((Reg::R2, 20))]);
+        // rs2 reads come from the second copy.
+        let v = rf.cycle([Reg::R1, Reg::R1, Reg::R2, Reg::R2], [None, None]);
+        assert_eq!(v, [10, 10, 20, 20]);
+    }
+
+    #[test]
+    fn schedule_uses_two_brams_and_is_full() {
+        let mut rf = DoubleClockedRf::new();
+        rf.cycle(
+            [Reg::R1, Reg::R2, Reg::R3, Reg::R4],
+            [Some((Reg::R5, 1)), Some((Reg::R6, 2))],
+        );
+        let schedule = rf.last_schedule();
+        assert_eq!(schedule.len(), 8, "4 reads + 2 writes x 2 copies");
+        assert!(schedule.iter().all(|a| a.bram < NUM_BRAMS));
+        let reads = schedule
+            .iter()
+            .filter(|a| matches!(a.kind, PortKind::Read(_)))
+            .count();
+        assert_eq!(reads, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "conflicting writes")]
+    fn conflicting_writes_rejected() {
+        let mut rf = DoubleClockedRf::new();
+        rf.cycle([Reg::R0; 4], [Some((Reg::R1, 1)), Some((Reg::R1, 2))]);
+    }
+}

@@ -1,0 +1,163 @@
+//! Chip-multiprocessor configuration: N cores sharing main memory under
+//! TDMA arbitration.
+//!
+//! "For multi-threaded code we plan to build a chip-multiprocessor system
+//! with statically scheduled access to shared main memory" (paper,
+//! Section 3). The decisive property of the static TDMA schedule is
+//! *composability*: the cycles at which a core may use the memory are a
+//! pure function of the core index and the global schedule, never of the
+//! other cores' behaviour. Each core can therefore be simulated — and
+//! analysed — in isolation with its TDMA-adjusted memory costs, which is
+//! exactly what this module does, and exactly why per-core WCET analysis
+//! stays tractable (experiment E8).
+
+use patmos_asm::ObjectImage;
+use patmos_mem::TdmaArbiter;
+
+use crate::config::SimConfig;
+use crate::error::SimError;
+use crate::machine::{RunResult, Simulator};
+
+/// Result of one core's run within a CMP configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct CmpResult {
+    /// The core index.
+    pub core: u32,
+    /// That core's run result.
+    pub result: RunResult,
+}
+
+/// A Patmos chip-multiprocessor: `cores` identical pipelines, private
+/// caches and scratchpads, shared main memory behind a TDMA arbiter.
+#[derive(Debug, Clone)]
+pub struct CmpSystem {
+    base_config: SimConfig,
+    arbiter: TdmaArbiter,
+}
+
+impl CmpSystem {
+    /// A CMP with `cores` cores and `slot_cycles`-cycle TDMA slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a worst-case memory burst (a method-cache block or a
+    /// cache line) cannot fit in one slot; configure longer slots.
+    pub fn new(base_config: SimConfig, cores: u32, slot_cycles: u32) -> CmpSystem {
+        let arbiter = TdmaArbiter::new(cores, slot_cycles);
+        let worst_line = base_config
+            .data_cache
+            .line_words
+            .max(base_config.static_cache.line_words);
+        let worst_burst = base_config.mem.burst_cycles(worst_line);
+        assert!(
+            arbiter.fits(worst_burst),
+            "a {worst_burst}-cycle line fill does not fit in a {slot_cycles}-cycle TDMA slot"
+        );
+        CmpSystem { base_config, arbiter }
+    }
+
+    /// The arbiter (e.g. for computing analytical worst-case waits).
+    pub fn arbiter(&self) -> TdmaArbiter {
+        self.arbiter
+    }
+
+    /// The per-core configuration for `core`.
+    pub fn core_config(&self, core: u32) -> SimConfig {
+        let mut cfg = self.base_config.clone();
+        cfg.tdma = Some((self.arbiter, core));
+        cfg
+    }
+
+    /// Runs the same image on every core and collects per-core results.
+    ///
+    /// Thanks to the static TDMA schedule the cores are timing-composable
+    /// and can be executed sequentially without losing cycle accuracy.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first core's [`SimError`], if any.
+    pub fn run_all(&self, image: &ObjectImage) -> Result<Vec<CmpResult>, SimError> {
+        (0..self.arbiter.cores())
+            .map(|core| {
+                let mut sim = Simulator::new(image, self.core_config(core));
+                Ok(CmpResult { core, result: sim.run()? })
+            })
+            .collect()
+    }
+
+    /// Runs a different image on each core.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `images.len()` differs from the core count.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first core's [`SimError`], if any.
+    pub fn run_each(&self, images: &[&ObjectImage]) -> Result<Vec<CmpResult>, SimError> {
+        assert_eq!(images.len() as u32, self.arbiter.cores(), "one image per core");
+        images
+            .iter()
+            .enumerate()
+            .map(|(core, image)| {
+                let core = core as u32;
+                let mut sim = Simulator::new(image, self.core_config(core));
+                Ok(CmpResult { core, result: sim.run()? })
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use patmos_asm::assemble;
+
+    fn memory_heavy_image() -> ObjectImage {
+        // A loop of uncached split loads: every iteration pays the TDMA
+        // round trip.
+        assemble(
+            "        .func main\n        lil r2 = 0x20000\n        li r3 = 8\nloop:\n        .loopbound 8 8\n        ldm [r2 + 0]\n        wres r1\n        subi r3 = r3, 1\n        cmpineq p1 = r3, 0\n        (p1) br loop\n        nop\n        nop\n        halt\n",
+        )
+        .expect("assembles")
+    }
+
+    #[test]
+    fn single_core_cmp_matches_alone_when_slot_aligned() {
+        let image = memory_heavy_image();
+        let cmp = CmpSystem::new(SimConfig::default(), 1, 64);
+        let results = cmp.run_all(&image).expect("runs");
+        assert_eq!(results.len(), 1);
+        assert!(results[0].result.stats.cycles > 0);
+    }
+
+    #[test]
+    fn more_cores_never_speed_up_a_memory_bound_core() {
+        let image = memory_heavy_image();
+        let mut last = 0u64;
+        for cores in [1u32, 2, 4] {
+            let cmp = CmpSystem::new(SimConfig::default(), cores, 64);
+            let results = cmp.run_all(&image).expect("runs");
+            let worst = results.iter().map(|r| r.result.stats.cycles).max().expect("non-empty");
+            assert!(
+                worst >= last,
+                "per-core time must not improve with more cores: {worst} < {last}"
+            );
+            last = worst;
+        }
+    }
+
+    #[test]
+    fn tdma_wait_is_attributed() {
+        let image = memory_heavy_image();
+        let cmp = CmpSystem::new(SimConfig::default(), 4, 64);
+        let results = cmp.run_all(&image).expect("runs");
+        assert!(results.iter().any(|r| r.result.stats.stalls.tdma_wait > 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn undersized_slots_rejected() {
+        let _ = CmpSystem::new(SimConfig::default(), 2, 2);
+    }
+}

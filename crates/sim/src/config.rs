@@ -1,0 +1,96 @@
+//! Simulator configuration.
+
+use patmos_mem::{MemConfig, MethodCacheConfig, ReplacementPolicy, TdmaArbiter};
+
+/// Geometry of a set-associative cache instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheParams {
+    /// Number of sets (power of two).
+    pub sets: u32,
+    /// Associativity.
+    pub ways: u32,
+    /// Line size in words (power of two).
+    pub line_words: u32,
+    /// Replacement policy.
+    pub policy: ReplacementPolicy,
+}
+
+impl CacheParams {
+    /// Convenience constructor.
+    pub fn new(sets: u32, ways: u32, line_words: u32, policy: ReplacementPolicy) -> CacheParams {
+        CacheParams { sets, ways, line_words, policy }
+    }
+
+    /// Capacity in words.
+    pub fn capacity_words(&self) -> u32 {
+        self.sets * self.ways * self.line_words
+    }
+}
+
+/// Full configuration of one Patmos core.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Issue both slots (`true`, the paper's design) or force
+    /// single-issue (the E2 ablation baseline).
+    pub dual_issue: bool,
+    /// Report visible-delay violations as errors instead of delivering
+    /// stale values.
+    pub strict: bool,
+    /// Method-cache geometry.
+    pub method_cache: MethodCacheConfig,
+    /// Stack-cache capacity in words.
+    pub stack_cache_words: u32,
+    /// Heap data cache (the paper's "highly associative" D$).
+    pub data_cache: CacheParams,
+    /// Static-data/constant cache (set-associative C$).
+    pub static_cache: CacheParams,
+    /// Scratchpad size in bytes (power of two).
+    pub spm_bytes: usize,
+    /// Main-memory timing.
+    pub mem: MemConfig,
+    /// TDMA arbitration for the CMP configuration: `(arbiter, core id)`.
+    /// `None` for a single core with a dedicated memory port.
+    pub tdma: Option<(TdmaArbiter, u32)>,
+    /// Abort after this many cycles (guards against runaway programs).
+    pub max_cycles: u64,
+}
+
+impl Default for SimConfig {
+    /// The paper-shaped default: dual issue, strict checks, 4 KiB method
+    /// cache (16 × 64 words, FIFO), 256-word stack cache, 32-way fully
+    /// associative 1 KiB heap cache (LRU), 2-way 2 KiB static cache
+    /// (LRU), 4 KiB scratchpad.
+    fn default() -> SimConfig {
+        SimConfig {
+            dual_issue: true,
+            strict: true,
+            method_cache: MethodCacheConfig::default(),
+            stack_cache_words: 256,
+            data_cache: CacheParams::new(1, 32, 8, ReplacementPolicy::Lru),
+            static_cache: CacheParams::new(32, 2, 8, ReplacementPolicy::Lru),
+            spm_bytes: 4096,
+            mem: MemConfig::default(),
+            tdma: None,
+            max_cycles: 200_000_000,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_dual_issue_and_strict() {
+        let cfg = SimConfig::default();
+        assert!(cfg.dual_issue);
+        assert!(cfg.strict);
+        assert!(cfg.tdma.is_none());
+    }
+
+    #[test]
+    fn cache_params_capacity() {
+        let p = CacheParams::new(32, 2, 8, ReplacementPolicy::Lru);
+        assert_eq!(p.capacity_words(), 512);
+    }
+}

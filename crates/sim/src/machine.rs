@@ -1,0 +1,926 @@
+//! The timed interpreter: one Patmos core, cycle-exact under the
+//! visible-delay model.
+
+use patmos_asm::{FuncInfo, ObjectImage};
+use patmos_isa::{
+    timing, AccessSize, Bundle, FlowKind, Inst, MemArea, Op, Pred, Reg, SpecialReg, LINK_REG,
+    NUM_PREDS, NUM_REGS,
+};
+use patmos_mem::{
+    MainMemory, MethodCache, Scratchpad, SetAssocCache, StackCache, SHADOW_STACK_TOP, STACK_TOP,
+};
+
+use crate::config::SimConfig;
+use crate::error::SimError;
+use crate::stats::Stats;
+
+/// Byte address where the loader places the code image (method-cache
+/// fills read from here).
+pub const CODE_BASE: u32 = 0;
+
+#[derive(Debug, Clone, Copy)]
+struct PendingLoad {
+    ready_at: u64,
+    value: u32,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum FlowTarget {
+    Jump(u32),
+    Call(u32),
+    Ret(u32),
+}
+
+#[derive(Debug, Clone, Copy)]
+struct PendingFlow {
+    target: FlowTarget,
+    slots_left: u32,
+}
+
+/// Outcome of a completed run.
+#[derive(Debug, Clone, Copy)]
+pub struct RunResult {
+    /// Execution counters.
+    pub stats: Stats,
+    /// The word address of the `halt` bundle.
+    pub halt_pc: u32,
+}
+
+/// One Patmos core executing an [`ObjectImage`].
+#[derive(Debug, Clone)]
+pub struct Simulator {
+    config: SimConfig,
+    bundles: Vec<Option<Bundle>>,
+    functions: Vec<FuncInfo>,
+    mem: MainMemory,
+    spm: Scratchpad,
+    mcache: MethodCache,
+    dcache: SetAssocCache,
+    ccache: SetAssocCache,
+    scache: StackCache,
+    regs: [u32; NUM_REGS],
+    preds: [bool; NUM_PREDS],
+    sl: u32,
+    sh: u32,
+    sm: u32,
+    pc: u32,
+    now: u64,
+    bundle_index: u64,
+    reg_ready: [u64; NUM_REGS],
+    mul_ready: u64,
+    pending_load: Option<PendingLoad>,
+    wb_drains_at: u64,
+    pending_flow: Option<PendingFlow>,
+    stats: Stats,
+    halted: bool,
+    started: bool,
+}
+
+impl Simulator {
+    /// Loads an image into a fresh core.
+    pub fn new(image: &ObjectImage, config: SimConfig) -> Simulator {
+        let code = image.code();
+        let mut bundles = vec![None; code.len()];
+        for (addr, bundle) in image.decode().expect("assembler output always decodes") {
+            bundles[addr as usize] = Some(bundle);
+        }
+        let mut mem = MainMemory::new(config.mem);
+        mem.load_words(CODE_BASE, code);
+        for seg in image.data() {
+            mem.load_bytes(seg.addr, &seg.bytes);
+        }
+        let mut regs = [0u32; NUM_REGS];
+        regs[patmos_isa::SHADOW_SP.index() as usize] = SHADOW_STACK_TOP;
+        let mut preds = [false; NUM_PREDS];
+        preds[0] = true;
+
+        Simulator {
+            bundles,
+            functions: image.functions().to_vec(),
+            spm: Scratchpad::new(config.spm_bytes),
+            mcache: MethodCache::new(config.method_cache),
+            dcache: SetAssocCache::new(
+                config.data_cache.sets,
+                config.data_cache.ways,
+                config.data_cache.line_words,
+                config.data_cache.policy,
+            ),
+            ccache: SetAssocCache::new(
+                config.static_cache.sets,
+                config.static_cache.ways,
+                config.static_cache.line_words,
+                config.static_cache.policy,
+            ),
+            scache: StackCache::new(config.stack_cache_words, STACK_TOP),
+            mem,
+            regs,
+            preds,
+            sl: 0,
+            sh: 0,
+            sm: 0,
+            pc: image.entry_word(),
+            now: 0,
+            bundle_index: 0,
+            reg_ready: [0; NUM_REGS],
+            mul_ready: 0,
+            pending_load: None,
+            wb_drains_at: 0,
+            pending_flow: None,
+            stats: Stats::default(),
+            halted: false,
+            started: false,
+            config,
+        }
+    }
+
+    /// Reads a general-purpose register (for inspecting results).
+    pub fn reg(&self, reg: Reg) -> u32 {
+        self.regs[reg.index() as usize]
+    }
+
+    /// Writes a general-purpose register (for test setup).
+    pub fn set_reg(&mut self, reg: Reg, value: u32) {
+        if !reg.is_zero() {
+            self.regs[reg.index() as usize] = value;
+        }
+    }
+
+    /// Reads a predicate register.
+    pub fn pred(&self, pred: Pred) -> bool {
+        self.preds[pred.index() as usize]
+    }
+
+    /// The main memory (for inspecting results).
+    pub fn memory(&self) -> &MainMemory {
+        &self.mem
+    }
+
+    /// Mutable main memory (for preparing inputs).
+    pub fn memory_mut(&mut self) -> &mut MainMemory {
+        &mut self.mem
+    }
+
+    /// The scratchpad.
+    pub fn scratchpad(&self) -> &Scratchpad {
+        &self.spm
+    }
+
+    /// Mutable scratchpad (for preparing inputs).
+    pub fn scratchpad_mut(&mut self) -> &mut Scratchpad {
+        &mut self.spm
+    }
+
+    /// Execution counters so far.
+    pub fn stats(&self) -> Stats {
+        let mut s = self.stats;
+        s.cycles = self.now;
+        s.method_cache = self.mcache.stats();
+        s.data_cache = self.dcache.stats();
+        s.static_cache = self.ccache.stats();
+        s.stack_cache = self.scache.stats();
+        s
+    }
+
+    /// Whether the core reached `halt`.
+    pub fn is_halted(&self) -> bool {
+        self.halted
+    }
+
+    /// The current cycle.
+    pub fn cycle(&self) -> u64 {
+        self.now
+    }
+
+    /// The current program counter (word address).
+    pub fn pc(&self) -> u32 {
+        self.pc
+    }
+
+    /// Runs until `halt` or an error.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SimError`] for contract violations (strict mode), bad
+    /// control flow, or an exceeded cycle budget.
+    pub fn run(&mut self) -> Result<RunResult, SimError> {
+        while !self.halted {
+            self.step()?;
+        }
+        Ok(RunResult { stats: self.stats(), halt_pc: self.pc })
+    }
+
+    /// A main-memory transfer of `words` words: orders it after the
+    /// posted-write buffer, waits for TDMA grants, advances time, and
+    /// returns the stall this caused. Under TDMA, transfers that exceed
+    /// one slot are split into per-slot chunks (each paying the burst
+    /// setup again), as a real slotted memory controller would.
+    fn transact_words(&mut self, words: u32) -> u64 {
+        if words == 0 {
+            return 0;
+        }
+        let begin = self.now;
+        match self.config.tdma {
+            None => {
+                let start = self.now.max(self.wb_drains_at);
+                self.now = start + self.mem.burst_cycles(words) as u64;
+            }
+            Some((arb, core)) => {
+                let cfg = self.mem.config();
+                let chunk = ((arb.slot_cycles().saturating_sub(cfg.latency))
+                    / cfg.cycles_per_word.max(1))
+                .max(1);
+                assert!(
+                    arb.fits(cfg.burst_cycles(chunk)),
+                    "TDMA slot too short for a single-word burst"
+                );
+                let mut remaining = words;
+                while remaining > 0 {
+                    let w = remaining.min(chunk);
+                    let burst = self.mem.burst_cycles(w);
+                    let start = self.now.max(self.wb_drains_at);
+                    let granted = arb.grant(core, start, burst);
+                    self.stats.stalls.tdma_wait += granted - start;
+                    self.now = granted + burst as u64;
+                    remaining -= w;
+                }
+            }
+        }
+        self.now - begin
+    }
+
+    /// Posts a one-word write: stalls only if the buffer is full; the
+    /// drain itself happens in the background.
+    fn post_write(&mut self) {
+        if self.wb_drains_at > self.now {
+            let wait = self.wb_drains_at - self.now;
+            self.stats.stalls.write_buffer += wait;
+            self.now = self.wb_drains_at;
+        }
+        let burst = self.mem.burst_cycles(1);
+        let granted = match &self.config.tdma {
+            Some((arb, core)) => arb.grant(*core, self.now, burst),
+            None => self.now,
+        };
+        self.wb_drains_at = granted + burst as u64;
+    }
+
+    fn function_starting_at(&self, word: u32) -> Option<&FuncInfo> {
+        self.functions.iter().find(|f| f.start_word == word)
+    }
+
+    fn function_at(&self, word: u32) -> Option<&FuncInfo> {
+        self.functions
+            .iter()
+            .find(|f| word >= f.start_word && word < f.start_word + f.size_words)
+    }
+
+    /// Charges a method-cache lookup for the function at `start`/`size`.
+    fn method_fill(&mut self, start: u32, size: u32) {
+        let access = self.mcache.access(start, size);
+        if !access.hit {
+            let stall = self.transact_words(access.transfer_words);
+            self.stats.stalls.method_cache += stall;
+        }
+    }
+
+    fn check_reg_ready(&self, reg: Reg) -> Result<(), SimError> {
+        if !self.config.strict {
+            return Ok(());
+        }
+        let ready = self.reg_ready[reg.index() as usize];
+        if ready > self.bundle_index {
+            return Err(SimError::DelayViolation {
+                pc: self.pc,
+                reg,
+                bundles_short: (ready - self.bundle_index) as u32,
+            });
+        }
+        Ok(())
+    }
+
+    fn effective_address(&self, area: MemArea, ra: Reg, offset: i16, size: AccessSize) -> u32 {
+        let scaled = (offset as i32).wrapping_mul(size.bytes() as i32) as u32;
+        let raw = self.regs[ra.index() as usize].wrapping_add(scaled);
+        match area {
+            MemArea::Stack => self.scache.stack_top().wrapping_add(raw),
+            _ => raw,
+        }
+    }
+
+    fn mem_read(&self, addr: u32, size: AccessSize, spm: bool) -> u32 {
+        if spm {
+            match size {
+                AccessSize::Byte => self.spm.read_byte(addr) as u32,
+                AccessSize::Half => self.spm.read_half(addr) as u32,
+                AccessSize::Word => self.spm.read_word(addr),
+            }
+        } else {
+            match size {
+                AccessSize::Byte => self.mem.read_byte(addr) as u32,
+                AccessSize::Half => self.mem.read_half(addr) as u32,
+                AccessSize::Word => self.mem.read_word(addr),
+            }
+        }
+    }
+
+    fn mem_write(&mut self, addr: u32, size: AccessSize, value: u32, spm: bool) {
+        if spm {
+            match size {
+                AccessSize::Byte => self.spm.write_byte(addr, value as u8),
+                AccessSize::Half => self.spm.write_half(addr, value as u16),
+                AccessSize::Word => self.spm.write_word(addr, value),
+            }
+        } else {
+            match size {
+                AccessSize::Byte => self.mem.write_byte(addr, value as u8),
+                AccessSize::Half => self.mem.write_half(addr, value as u16),
+                AccessSize::Word => self.mem.write_word(addr, value),
+            }
+        }
+    }
+
+    fn check_stack_window(&self, ea: u32) -> Result<(), SimError> {
+        if !self.config.strict {
+            return Ok(());
+        }
+        let st = self.scache.stack_top();
+        let offset_words = ea.wrapping_sub(st) / 4;
+        if ea < st || !self.scache.covers(offset_words) {
+            return Err(SimError::StackWindowViolation { pc: self.pc, offset_words });
+        }
+        Ok(())
+    }
+
+    /// Executes one bundle.
+    pub fn step(&mut self) -> Result<(), SimError> {
+        if self.halted {
+            return Ok(());
+        }
+        if !self.started {
+            self.started = true;
+            // Cold start: the entry function streams into the method cache.
+            if let Some(f) = self.function_at(self.pc).cloned() {
+                self.method_fill(f.start_word, f.size_words);
+            }
+        }
+        if self.now >= self.config.max_cycles {
+            return Err(SimError::MaxCyclesExceeded { limit: self.config.max_cycles });
+        }
+
+        let bundle = *self
+            .bundles
+            .get(self.pc as usize)
+            .and_then(|b| b.as_ref())
+            .ok_or(SimError::BadPc { pc: self.pc })?;
+
+        // --- Pre-state operand reads (both slots read simultaneously) ---
+        let mut slot_ops: Vec<(Inst, bool, [u32; 2])> = Vec::with_capacity(2);
+        for inst in bundle.slots() {
+            for reg in inst.op.uses().into_iter().flatten() {
+                self.check_reg_ready(reg)?;
+            }
+            if self.config.strict {
+                if let Op::Mfs { ss: SpecialReg::Sl | SpecialReg::Sh, .. } = inst.op {
+                    if self.mul_ready > self.bundle_index {
+                        return Err(SimError::MulGapViolation { pc: self.pc });
+                    }
+                }
+            }
+            let guard_true = inst.guard.eval(&self.preds);
+            let uses = inst.op.uses();
+            let vals = [
+                uses[0].map_or(0, |r| self.regs[r.index() as usize]),
+                uses[1].map_or(0, |r| self.regs[r.index() as usize]),
+            ];
+            slot_ops.push((*inst, guard_true, vals));
+        }
+
+        // --- Issue ---
+        let had_pending_flow = self.pending_flow.is_some();
+        let issue_cycles = if self.config.dual_issue { 1 } else { bundle.slots().count() as u64 };
+        self.now += issue_cycles;
+        self.bundle_index += 1;
+        self.stats.bundles += 1;
+        if let Some(second) = bundle.second() {
+            if !matches!(second.op, Op::Nop) {
+                self.stats.second_slots_used += 1;
+            }
+        }
+
+        let width = bundle.width_words();
+        let this_pc = self.pc;
+        let mut new_flow: Option<PendingFlow> = None;
+
+        // --- Effects ---
+        for (inst, guard_true, vals) in slot_ops {
+            if matches!(inst.op, Op::Nop) {
+                self.stats.nops += 1;
+                continue;
+            }
+            if !guard_true {
+                self.stats.insts_annulled += 1;
+                if inst.op.is_flow() && !matches!(inst.op, Op::Halt) {
+                    self.stats.untaken_branches += 1;
+                }
+                continue;
+            }
+            self.stats.insts_executed += 1;
+            match inst.op {
+                Op::Nop => unreachable!("handled above"),
+                Op::AluR { op, rd, .. } => {
+                    self.write_reg(rd, op.apply(vals[0], vals[1]), 0);
+                }
+                Op::AluI { op, rd, imm, .. } => {
+                    self.write_reg(rd, op.apply(vals[0], imm as i32 as u32), 0);
+                }
+                Op::Mul { .. } => {
+                    let prod = (vals[0] as i32 as i64).wrapping_mul(vals[1] as i32 as i64);
+                    self.sl = prod as u32;
+                    self.sh = (prod >> 32) as u32;
+                    self.mul_ready = self.bundle_index + timing::MUL_GAP as u64;
+                }
+                Op::LoadImmLow { rd, imm } => {
+                    self.write_reg(rd, imm as i16 as i32 as u32, 0);
+                }
+                Op::LoadImmHigh { rd, imm } => {
+                    let low = self.regs[rd.index() as usize] & 0xffff;
+                    self.write_reg(rd, ((imm as u32) << 16) | low, 0);
+                }
+                Op::LoadImm32 { rd, imm } => {
+                    self.write_reg(rd, imm, 0);
+                }
+                Op::Cmp { op, pd, .. } => {
+                    self.write_pred(pd, op.apply(vals[0], vals[1]));
+                }
+                Op::CmpI { op, pd, imm, .. } => {
+                    self.write_pred(pd, op.apply(vals[0], imm as i32 as u32));
+                }
+                Op::PredSet { op, pd, p1, p2 } => {
+                    let a = self.preds[p1.pred.index() as usize] ^ p1.negate;
+                    let b = self.preds[p2.pred.index() as usize] ^ p2.negate;
+                    self.write_pred(pd, op.apply(a, b));
+                }
+                Op::Load { area, size, rd, ra, offset } => {
+                    let ea = self.effective_address(area, ra, offset, size);
+                    let value = match area {
+                        MemArea::Stack => {
+                            self.check_stack_window(ea)?;
+                            self.mem_read(ea, size, false)
+                        }
+                        MemArea::Spm => self.mem_read(ea, size, true),
+                        MemArea::Static | MemArea::Data => {
+                            let result = if area == MemArea::Static {
+                                self.ccache.access(ea, false)
+                            } else {
+                                self.dcache.access(ea, false)
+                            };
+                            if !result.hit {
+                                let stall = self.transact_words(result.transfer_words);
+                                if area == MemArea::Static {
+                                    self.stats.stalls.static_cache += stall;
+                                } else {
+                                    self.stats.stalls.data_cache += stall;
+                                }
+                            }
+                            self.mem_read(ea, size, false)
+                        }
+                        MemArea::Main => {
+                            return Err(SimError::IllegalMainAccess { pc: this_pc })
+                        }
+                    };
+                    self.write_reg(rd, value, timing::LOAD_USE_GAP);
+                }
+                Op::Store { area, size, ra, offset, rs: _ } => {
+                    let ea = self.effective_address(area, ra, offset, size);
+                    let value = vals[1];
+                    match area {
+                        MemArea::Stack => {
+                            self.check_stack_window(ea)?;
+                            self.mem_write(ea, size, value, false);
+                        }
+                        MemArea::Spm => self.mem_write(ea, size, value, true),
+                        MemArea::Static | MemArea::Data => {
+                            if area == MemArea::Static {
+                                self.ccache.access(ea, true);
+                            } else {
+                                self.dcache.access(ea, true);
+                            }
+                            self.mem_write(ea, size, value, false);
+                            self.post_write();
+                        }
+                        MemArea::Main => {
+                            return Err(SimError::IllegalMainAccess { pc: this_pc })
+                        }
+                    }
+                }
+                Op::MainLoad { offset, .. } => {
+                    if self.pending_load.is_some() {
+                        return Err(SimError::LoadStillPending { pc: this_pc });
+                    }
+                    let ea = vals[0].wrapping_add((offset as i32 as u32).wrapping_mul(4));
+                    let value = self.mem.read_word(ea);
+                    let burst = self.mem.burst_cycles(1);
+                    let start = self.now.max(self.wb_drains_at);
+                    let granted = match &self.config.tdma {
+                        Some((arb, core)) => arb.grant(*core, start, burst),
+                        None => start,
+                    };
+                    self.pending_load =
+                        Some(PendingLoad { ready_at: granted + burst as u64, value });
+                }
+                Op::MainWait { rd } => match self.pending_load.take() {
+                    Some(p) => {
+                        if p.ready_at > self.now {
+                            self.stats.stalls.split_load += p.ready_at - self.now;
+                            self.now = p.ready_at;
+                        }
+                        self.sm = p.value;
+                        self.write_reg(rd, p.value, 0);
+                    }
+                    None => {
+                        if self.config.strict {
+                            return Err(SimError::NoPendingLoad { pc: this_pc });
+                        }
+                        let sm = self.sm;
+                        self.write_reg(rd, sm, 0);
+                    }
+                },
+                Op::MainStore { offset, .. } => {
+                    let ea = vals[0].wrapping_add((offset as i32 as u32).wrapping_mul(4));
+                    self.mem_write(ea, AccessSize::Word, vals[1], false);
+                    self.post_write();
+                }
+                Op::Sres { words } => {
+                    let effect = self.scache.reserve(words);
+                    if effect.spill_words > 0 {
+                        let stall = self.transact_words(effect.spill_words);
+                        self.stats.stalls.stack_cache += stall;
+                    }
+                }
+                Op::Sens { words } => {
+                    let effect = self.scache.ensure(words);
+                    if effect.fill_words > 0 {
+                        let stall = self.transact_words(effect.fill_words);
+                        self.stats.stalls.stack_cache += stall;
+                    }
+                }
+                Op::Sfree { words } => {
+                    self.scache.free(words);
+                }
+                Op::Mts { sd, .. } => match sd {
+                    SpecialReg::Sl => self.sl = vals[0],
+                    SpecialReg::Sh => self.sh = vals[0],
+                    SpecialReg::Sm => self.sm = vals[0],
+                    SpecialReg::St => self.scache.set_stack_top(vals[0] & !3),
+                    SpecialReg::Ss => self.scache.set_spill_pointer(vals[0] & !3),
+                },
+                Op::Mfs { rd, ss } => {
+                    let value = match ss {
+                        SpecialReg::Sl => self.sl,
+                        SpecialReg::Sh => self.sh,
+                        SpecialReg::Sm => self.sm,
+                        SpecialReg::St => self.scache.stack_top(),
+                        SpecialReg::Ss => self.scache.spill_pointer(),
+                    };
+                    self.write_reg(rd, value, 0);
+                }
+                Op::Br { .. } | Op::Call { .. } | Op::CallR { .. } | Op::Ret | Op::Halt => {
+                    if matches!(inst.op, Op::Halt) {
+                        self.halted = true;
+                        continue;
+                    }
+                    if had_pending_flow || new_flow.is_some() {
+                        return Err(SimError::FlowInDelaySlot { pc: this_pc });
+                    }
+                    self.stats.taken_branches += 1;
+                    let target = match inst.op.flow_kind() {
+                        FlowKind::Branch(off) => FlowTarget::Jump(this_pc.wrapping_add(off as u32)),
+                        FlowKind::CallDirect(off) => {
+                            FlowTarget::Call(this_pc.wrapping_add(off as u32))
+                        }
+                        FlowKind::CallIndirect(_) => FlowTarget::Call(vals[0]),
+                        FlowKind::Return => FlowTarget::Ret(vals[0]),
+                        FlowKind::None | FlowKind::Halt => unreachable!("flow ops only"),
+                    };
+                    new_flow = Some(PendingFlow { target, slots_left: inst.delay_slots() });
+                }
+            }
+        }
+
+        if self.halted {
+            return Ok(());
+        }
+
+        // --- Advance PC and retire delay slots ---
+        self.pc = this_pc.wrapping_add(width);
+        if let Some(flow) = new_flow {
+            self.pending_flow = Some(flow);
+        }
+        if let Some(mut flow) = self.pending_flow.take() {
+            let fresh = new_flow.is_some();
+            if !fresh {
+                flow.slots_left = flow.slots_left.saturating_sub(1);
+            }
+            if flow.slots_left == 0 && !fresh
+                || (fresh && flow.slots_left == 0)
+            {
+                self.redirect(flow.target)?;
+            } else {
+                self.pending_flow = Some(flow);
+            }
+        }
+
+        Ok(())
+    }
+
+    fn redirect(&mut self, target: FlowTarget) -> Result<(), SimError> {
+        match target {
+            FlowTarget::Jump(t) => {
+                self.pc = t;
+            }
+            FlowTarget::Call(t) => {
+                let f = self
+                    .function_starting_at(t)
+                    .cloned()
+                    .ok_or(SimError::NotAFunction { target: t })?;
+                let link = self.pc;
+                self.write_reg(LINK_REG, link, 0);
+                self.method_fill(f.start_word, f.size_words);
+                self.stats.calls += 1;
+                self.pc = t;
+            }
+            FlowTarget::Ret(t) => {
+                let f = self
+                    .function_at(t)
+                    .cloned()
+                    .ok_or(SimError::BadPc { pc: t })?;
+                self.method_fill(f.start_word, f.size_words);
+                self.stats.returns += 1;
+                self.pc = t;
+            }
+        }
+        Ok(())
+    }
+
+    fn write_reg(&mut self, rd: Reg, value: u32, extra_gap: u32) {
+        if rd.is_zero() {
+            return;
+        }
+        self.regs[rd.index() as usize] = value;
+        self.reg_ready[rd.index() as usize] = self.bundle_index + extra_gap as u64;
+    }
+
+    fn write_pred(&mut self, pd: Pred, value: bool) {
+        if pd.is_always_true() {
+            return;
+        }
+        self.preds[pd.index() as usize] = value;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use patmos_asm::assemble;
+
+    fn run_src(src: &str) -> (Simulator, RunResult) {
+        let image = assemble(src).expect("assembles");
+        let mut sim = Simulator::new(&image, SimConfig::default());
+        let result = match sim.run() {
+            Ok(r) => r,
+            Err(e) => panic!("simulation failed: {e}\nsource:\n{src}"),
+        };
+        (sim, result)
+    }
+
+    #[test]
+    fn arithmetic_and_halt() {
+        let (sim, result) = run_src(
+            "        .func main\n        li r1 = 6\n        li r2 = 7\n        add r3 = r1, r2\n        halt\n",
+        );
+        assert_eq!(sim.reg(Reg::R3), 13);
+        assert!(result.stats.cycles >= 4);
+    }
+
+    #[test]
+    fn dual_issue_bundle_executes_both_slots_from_pre_state() {
+        // Swap without a temp: both slots read the old values.
+        let (sim, _) = run_src(
+            "        .func main\n        li r1 = 1\n        li r2 = 2\n        { add r3 = r1, r0 ; add r4 = r2, r0 }\n        { add r1 = r4, r0 ; add r2 = r3, r0 }\n        halt\n",
+        );
+        assert_eq!(sim.reg(Reg::R1), 2);
+        assert_eq!(sim.reg(Reg::R2), 1);
+    }
+
+    #[test]
+    fn guarded_instructions_annul() {
+        let (sim, _) = run_src(
+            "        .func main\n        li r1 = 5\n        cmpieq p1 = r1, 5\n        (p1) li r2 = 10\n        (!p1) li r3 = 20\n        halt\n",
+        );
+        assert_eq!(sim.reg(Reg::R2), 10);
+        assert_eq!(sim.reg(Reg::R3), 0, "annulled");
+    }
+
+    #[test]
+    fn loop_with_conditional_branch() {
+        // Sum 1..=5 with a guarded backwards branch (2 delay slots).
+        let (sim, _) = run_src(
+            "        .func main\n        li r1 = 0\n        li r2 = 5\nloop:\n        add r1 = r1, r2\n        subi r2 = r2, 1\n        cmpineq p1 = r2, 0\n        (p1) br loop\n        nop\n        nop\n        halt\n",
+        );
+        assert_eq!(sim.reg(Reg::R1), 15);
+    }
+
+    #[test]
+    fn uncond_branch_has_one_delay_slot() {
+        // The single delay slot executes; the skipped instruction does not.
+        let (sim, _) = run_src(
+            "        .func main\n        br over\n        li r1 = 1\n        li r2 = 2\nover:\n        li r3 = 3\n        halt\n",
+        );
+        assert_eq!(sim.reg(Reg::R1), 1, "delay slot executed");
+        assert_eq!(sim.reg(Reg::R2), 0, "skipped");
+        assert_eq!(sim.reg(Reg::R3), 3);
+    }
+
+    #[test]
+    fn cond_branch_has_two_delay_slots() {
+        let (sim, _) = run_src(
+            "        .func main\n        cmpieq p1 = r0, 0\n        (p1) br over\n        li r1 = 1\n        li r2 = 2\n        li r3 = 3\nover:\n        halt\n",
+        );
+        assert_eq!(sim.reg(Reg::R1), 1, "first delay slot");
+        assert_eq!(sim.reg(Reg::R2), 2, "second delay slot");
+        assert_eq!(sim.reg(Reg::R3), 0, "beyond delay slots");
+    }
+
+    #[test]
+    fn call_and_return() {
+        let (sim, result) = run_src(
+            "        .func double\n        add r1 = r3, r3\n        ret\n        nop\n        nop\n        .func main\n        .entry main\n        li r3 = 21\n        lil r10 = double\n        callr r10\n        nop\n        nop\n        halt\n",
+        );
+        assert_eq!(sim.reg(Reg::R1), 42);
+        assert_eq!(result.stats.calls, 1);
+        assert_eq!(result.stats.returns, 1);
+        // Two method-cache fills: entry (cold) + callee; return hits.
+        assert_eq!(result.stats.method_cache.misses, 2);
+        assert_eq!(result.stats.method_cache.hits, 1);
+        assert!(result.stats.stalls.method_cache > 0);
+    }
+
+    #[test]
+    fn direct_call_links_and_returns() {
+        let (sim, _) = run_src(
+            "        .func callee\n        li r5 = 99\n        ret\n        nop\n        nop\n        .func main\n        .entry main\n        call callee\n        nop\n        li r6 = 1\n        halt\n",
+        );
+        assert_eq!(sim.reg(Reg::R5), 99);
+        assert_eq!(sim.reg(Reg::R6), 1, "delay slot of call executed");
+    }
+
+    #[test]
+    fn load_use_gap_enforced() {
+        let image = assemble(
+            "        .func main\n        li r2 = 64\n        lwd r1 = [r2 + 0]\n        add r3 = r1, r1\n        halt\n",
+        )
+        .expect("assembles");
+        let mut sim = Simulator::new(&image, SimConfig::default());
+        match sim.run() {
+            Err(SimError::DelayViolation { reg, .. }) => assert_eq!(reg, Reg::R1),
+            other => panic!("expected delay violation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn load_with_gap_ok_and_charges_miss_once() {
+        let (sim, result) = run_src(
+            "        .func main\n        lil r2 = 0x10000\n        swc [r2 + 0] = r0\n        lwc r1 = [r2 + 0]\n        nop\n        add r3 = r1, r1\n        lwc r4 = [r2 + 0]\n        nop\n        halt\n",
+        );
+        assert_eq!(sim.reg(Reg::R3), 0);
+        assert_eq!(sim.reg(Reg::R4), 0);
+        assert_eq!(result.stats.static_cache.misses, 2, "write miss + first read miss");
+        assert_eq!(result.stats.static_cache.hits, 1, "second read hits");
+    }
+
+    #[test]
+    fn mul_gap_enforced() {
+        let image = assemble(
+            "        .func main\n        li r1 = 3\n        mul r1, r1\n        mfs r2 = sl\n        halt\n",
+        )
+        .expect("assembles");
+        let mut sim = Simulator::new(&image, SimConfig::default());
+        assert!(matches!(sim.run(), Err(SimError::MulGapViolation { .. })));
+    }
+
+    #[test]
+    fn mul_with_gap_produces_product() {
+        let (sim, _) = run_src(
+            "        .func main\n        li r1 = 1000\n        li r2 = 1000\n        mul r1, r2\n        nop\n        mfs r3 = sl\n        mfs r4 = sh\n        halt\n",
+        );
+        assert_eq!(sim.reg(Reg::R3), 1_000_000);
+        assert_eq!(sim.reg(Reg::R4), 0);
+    }
+
+    #[test]
+    fn split_load_hides_latency() {
+        let (sim, result) = run_src(
+            "        .func main\n        lil r2 = 0x20000\n        li r3 = 77\n        stm [r2 + 0] = r3\n        ldm [r2 + 0]\n        li r4 = 1\n        li r5 = 2\n        li r6 = 3\n        li r7 = 4\n        li r8 = 5\n        wres r1\n        halt\n",
+        );
+        assert_eq!(sim.reg(Reg::R1), 77);
+        // Five useful bundles between ldm and wres cover most of the
+        // 8-cycle burst that was ordered behind the posted store.
+        assert!(result.stats.stalls.split_load < 12, "{}", result.stats.stalls.split_load);
+    }
+
+    #[test]
+    fn split_load_wait_without_work_stalls_longer() {
+        let (_, eager) = run_src(
+            "        .func main\n        lil r2 = 0x20000\n        ldm [r2 + 0]\n        wres r1\n        halt\n",
+        );
+        let (_, overlapped) = run_src(
+            "        .func main\n        lil r2 = 0x20000\n        ldm [r2 + 0]\n        li r4 = 1\n        li r5 = 2\n        li r6 = 3\n        li r7 = 4\n        wres r1\n        halt\n",
+        );
+        assert!(
+            overlapped.stats.stalls.split_load < eager.stats.stalls.split_load,
+            "scheduling should hide latency: {} vs {}",
+            overlapped.stats.stalls.split_load,
+            eager.stats.stalls.split_load
+        );
+    }
+
+    #[test]
+    fn stack_cache_round_trip() {
+        let (sim, result) = run_src(
+            "        .func main\n        sres 4\n        li r1 = 11\n        sws [r0 + 2] = r1\n        lws r2 = [r0 + 2]\n        nop\n        sfree 4\n        halt\n",
+        );
+        assert_eq!(sim.reg(Reg::R2), 11);
+        assert_eq!(result.stats.stalls.stack_cache, 0, "fits in the cache");
+    }
+
+    #[test]
+    fn stack_window_violation_detected() {
+        let image = assemble(
+            "        .func main\n        sres 2\n        lws r1 = [r0 + 5]\n        nop\n        halt\n",
+        )
+        .expect("assembles");
+        let mut sim = Simulator::new(&image, SimConfig::default());
+        assert!(matches!(sim.run(), Err(SimError::StackWindowViolation { .. })));
+    }
+
+    #[test]
+    fn scratchpad_is_separate_and_fast() {
+        let (sim, result) = run_src(
+            "        .func main\n        li r2 = 16\n        li r1 = 5\n        swl [r2 + 0] = r1\n        lwl r3 = [r2 + 0]\n        nop\n        halt\n",
+        );
+        assert_eq!(sim.reg(Reg::R3), 5);
+        // Only the cold-start method-cache fill stalls; the SPM never does.
+        assert_eq!(result.stats.stalls.total(), result.stats.stalls.method_cache);
+        // SPM and main memory are distinct address spaces: the value sits
+        // at SPM address 16, while main-memory address 16 holds code.
+        assert_eq!(sim.scratchpad().read_word(16), 5);
+        assert_ne!(sim.memory().read_word(16), 5);
+    }
+
+    #[test]
+    fn single_issue_mode_costs_extra_cycles() {
+        let src = "        .func main\n        li r1 = 1\n        { add r2 = r1, r1 ; addi r3 = r1, 1 }\n        { add r4 = r1, r1 ; addi r5 = r1, 1 }\n        halt\n";
+        let image = assemble(src).expect("assembles");
+        let mut dual = Simulator::new(&image, SimConfig::default());
+        let dual_cycles = dual.run().expect("runs").stats.cycles;
+        let mut single_cfg = SimConfig::default();
+        single_cfg.dual_issue = false;
+        let mut single = Simulator::new(&image, single_cfg);
+        let single_cycles = single.run().expect("runs").stats.cycles;
+        assert_eq!(single_cycles, dual_cycles + 2, "two pair bundles");
+        assert_eq!(single.reg(Reg::R5), 2);
+    }
+
+    #[test]
+    fn runaway_program_hits_cycle_budget() {
+        let image = assemble(
+            "        .func main\nspin:\n        br spin\n        nop\n        halt\n",
+        )
+        .expect("assembles");
+        let mut cfg = SimConfig::default();
+        cfg.max_cycles = 1000;
+        let mut sim = Simulator::new(&image, cfg);
+        assert!(matches!(sim.run(), Err(SimError::MaxCyclesExceeded { .. })));
+    }
+
+    #[test]
+    fn method_cache_hit_on_repeated_calls() {
+        let (_, result) = run_src(
+            "        .func callee\n        ret\n        nop\n        nop\n        .func main\n        .entry main\n        lil r10 = callee\n        callr r10\n        nop\n        nop\n        callr r10\n        nop\n        nop\n        halt\n",
+        );
+        // Fills: entry (cold) + callee once; second call and both
+        // returns hit.
+        assert_eq!(result.stats.method_cache.misses, 2);
+        assert_eq!(result.stats.method_cache.hits, 3);
+    }
+
+    #[test]
+    fn flow_in_delay_slot_rejected() {
+        let image = assemble(
+            "        .func main\n        br a\n        br a\na:\n        halt\n",
+        )
+        .expect("assembles");
+        let mut sim = Simulator::new(&image, SimConfig::default());
+        assert!(matches!(sim.run(), Err(SimError::FlowInDelaySlot { .. })));
+    }
+}

@@ -1,0 +1,156 @@
+//! Execution statistics with a per-cause stall breakdown.
+
+use std::fmt;
+
+use patmos_mem::CacheStats;
+
+/// Stall cycles attributed to each architectural event — the "no hidden
+/// state" accounting that makes Patmos analyzable.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StallBreakdown {
+    /// Method-cache fills at calls and returns.
+    pub method_cache: u64,
+    /// Heap data-cache line fills.
+    pub data_cache: u64,
+    /// Static/constant-cache line fills.
+    pub static_cache: u64,
+    /// Stack-cache spill (`sres`) and fill (`sens`) traffic.
+    pub stack_cache: u64,
+    /// Explicit waits for split main-memory loads (`wres`).
+    pub split_load: u64,
+    /// Waiting for the posted-write buffer to drain.
+    pub write_buffer: u64,
+    /// Waiting for the TDMA slot in the CMP configuration (the share of
+    /// the above events that was pure arbitration delay).
+    pub tdma_wait: u64,
+}
+
+impl StallBreakdown {
+    /// Total stall cycles.
+    pub fn total(&self) -> u64 {
+        self.method_cache
+            + self.data_cache
+            + self.static_cache
+            + self.stack_cache
+            + self.split_load
+            + self.write_buffer
+    }
+}
+
+impl fmt::Display for StallBreakdown {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "M${} D${} C${} S${} split{} wb{} (tdma share {})",
+            self.method_cache,
+            self.data_cache,
+            self.static_cache,
+            self.stack_cache,
+            self.split_load,
+            self.write_buffer,
+            self.tdma_wait
+        )
+    }
+}
+
+/// Counters of one simulation run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Stats {
+    /// Total cycles elapsed.
+    pub cycles: u64,
+    /// Bundles issued.
+    pub bundles: u64,
+    /// Operations executed with a true guard, excluding `nop`s.
+    pub insts_executed: u64,
+    /// Operations annulled by a false guard.
+    pub insts_annulled: u64,
+    /// `nop`s issued (explicit plus empty second slots count as zero —
+    /// only encoded `nop` operations).
+    pub nops: u64,
+    /// Bundles whose second slot held a real (non-`nop`) operation.
+    pub second_slots_used: u64,
+    /// Taken control transfers.
+    pub taken_branches: u64,
+    /// Untaken (annulled) control transfers.
+    pub untaken_branches: u64,
+    /// Calls executed.
+    pub calls: u64,
+    /// Returns executed.
+    pub returns: u64,
+    /// Stall cycles by cause.
+    pub stalls: StallBreakdown,
+    /// Method-cache counters.
+    pub method_cache: CacheStats,
+    /// Heap data-cache counters.
+    pub data_cache: CacheStats,
+    /// Static-cache counters.
+    pub static_cache: CacheStats,
+    /// Stack-cache counters (control ops; misses are spills/fills).
+    pub stack_cache: CacheStats,
+}
+
+impl Stats {
+    /// Instructions (guard-true, non-nop) per cycle.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.insts_executed as f64 / self.cycles as f64
+        }
+    }
+
+    /// Fraction of bundles that used the second issue slot.
+    pub fn slot2_utilisation(&self) -> f64 {
+        if self.bundles == 0 {
+            0.0
+        } else {
+            self.second_slots_used as f64 / self.bundles as f64
+        }
+    }
+}
+
+impl fmt::Display for Stats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{} cycles, {} bundles, {} insts (IPC {:.2}), slot2 {:.0}%",
+            self.cycles,
+            self.bundles,
+            self.insts_executed,
+            self.ipc(),
+            self.slot2_utilisation() * 100.0
+        )?;
+        write!(f, "stalls: {}", self.stalls)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_rates() {
+        let mut s = Stats::default();
+        assert_eq!(s.ipc(), 0.0);
+        s.cycles = 10;
+        s.insts_executed = 15;
+        s.bundles = 10;
+        s.second_slots_used = 5;
+        assert!((s.ipc() - 1.5).abs() < 1e-12);
+        assert!((s.slot2_utilisation() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stall_total_sums_causes() {
+        let b = StallBreakdown {
+            method_cache: 1,
+            data_cache: 2,
+            static_cache: 3,
+            stack_cache: 4,
+            split_load: 5,
+            write_buffer: 6,
+            tdma_wait: 100, // share, not additive
+        };
+        assert_eq!(b.total(), 21);
+    }
+}

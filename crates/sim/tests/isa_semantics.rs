@@ -1,0 +1,176 @@
+//! Directed semantic tests of ISA corners on the cycle-accurate core:
+//! sub-word accesses, special registers, predicate algebra, guarded
+//! stores, and indirect calls.
+
+use patmos_asm::assemble;
+use patmos_isa::{Pred, Reg};
+use patmos_sim::{SimConfig, SimError, Simulator};
+
+fn run(src: &str) -> Simulator {
+    let full = format!("        .func main\n        .entry main\n{src}        halt\n");
+    let image = assemble(&full).unwrap_or_else(|e| panic!("assembly failed: {e}\n{full}"));
+    let mut sim = Simulator::new(&image, SimConfig::default());
+    sim.run().unwrap_or_else(|e| panic!("run failed: {e}\n{full}"));
+    sim
+}
+
+#[test]
+fn byte_and_half_accesses_zero_extend() {
+    let sim = run(
+        "        lil r2 = 0x10000\n        lil r3 = 0x80818283\n        swd [r2 + 0] = r3\n        lbd r4 = [r2 + 0]\n        lbd r5 = [r2 + 3]\n        lhd r6 = [r2 + 0]\n        lhd r7 = [r2 + 1]\n        nop\n",
+    );
+    assert_eq!(sim.reg(Reg::R4), 0x83, "little-endian byte 0");
+    assert_eq!(sim.reg(Reg::R5), 0x80, "byte 3");
+    assert_eq!(sim.reg(Reg::R6), 0x8283, "half 0, zero-extended");
+    assert_eq!(sim.reg(Reg::R7), 0x8081, "half offset scaled by 2");
+}
+
+#[test]
+fn sub_word_stores_merge() {
+    let sim = run(
+        "        lil r2 = 0x10000\n        lil r3 = 0x11223344\n        swd [r2 + 0] = r3\n        li r4 = 0xAA\n        sbd [r2 + 1] = r4\n        lwd r5 = [r2 + 0]\n        nop\n",
+    );
+    assert_eq!(sim.reg(Reg::R5), 0x1122_AA44);
+}
+
+#[test]
+fn liu_sets_upper_half_preserving_lower() {
+    let sim = run("        li r1 = 0x1234\n        liu r1 = 0xABCD\n");
+    assert_eq!(sim.reg(Reg::R1), 0xABCD_1234);
+}
+
+#[test]
+fn li_sign_extends() {
+    let sim = run("        li r1 = -2\n");
+    assert_eq!(sim.reg(Reg::R1), 0xFFFF_FFFE);
+}
+
+#[test]
+fn mul_high_word() {
+    let sim = run(
+        "        lil r1 = 0x10000\n        lil r2 = 0x10000\n        mul r1, r2\n        nop\n        mfs r3 = sl\n        mfs r4 = sh\n",
+    );
+    assert_eq!(sim.reg(Reg::R3), 0, "low 32 bits of 2^32");
+    assert_eq!(sim.reg(Reg::R4), 1, "high 32 bits of 2^32");
+}
+
+#[test]
+fn mul_is_signed() {
+    let sim = run(
+        "        li r1 = -3\n        li r2 = 4\n        mul r1, r2\n        nop\n        mfs r3 = sl\n        mfs r4 = sh\n",
+    );
+    assert_eq!(sim.reg(Reg::R3) as i32, -12);
+    assert_eq!(sim.reg(Reg::R4), u32::MAX, "sign-extended high word");
+}
+
+#[test]
+fn predicate_algebra() {
+    let sim = run(
+        "        cmpieq p1 = r0, 0\n        cmpineq p2 = r0, 0\n        por p3 = p1, p2\n        pand p4 = p1, p2\n        pxor p5 = p1, !p2\n",
+    );
+    assert!(sim.pred(Pred::P1), "0 == 0");
+    assert!(!sim.pred(Pred::P2), "0 != 0 is false");
+    assert!(sim.pred(Pred::P3), "true | false");
+    assert!(!sim.pred(Pred::P4), "true & false");
+    assert!(!sim.pred(Pred::P5), "true ^ !false = true ^ true");
+}
+
+#[test]
+fn guarded_store_annuls() {
+    let sim = run(
+        "        lil r2 = 0x10000\n        li r3 = 77\n        swd [r2 + 0] = r3\n        cmpineq p1 = r0, 0\n        li r4 = 99\n        (p1) swd [r2 + 0] = r4\n        lwd r5 = [r2 + 0]\n        nop\n",
+    );
+    assert_eq!(sim.reg(Reg::R5), 77, "the guarded store must not land");
+}
+
+#[test]
+fn mts_mfs_round_trip_special_registers() {
+    let sim = run(
+        "        li r1 = 123\n        mts sm = r1\n        mfs r2 = sm\n        li r3 = 456\n        mts sl = r3\n        mfs r4 = sl\n",
+    );
+    assert_eq!(sim.reg(Reg::R2), 123);
+    assert_eq!(sim.reg(Reg::R4), 456);
+}
+
+#[test]
+fn stack_pointers_visible_via_mfs() {
+    let sim = run("        mfs r1 = st\n        sres 5\n        mfs r2 = st\n        mfs r3 = ss\n        sfree 5\n");
+    let before = sim.reg(Reg::R1);
+    let after = sim.reg(Reg::R2);
+    assert_eq!(before - after, 20, "sres 5 moved st down 5 words");
+    assert_eq!(sim.reg(Reg::R3), before, "nothing spilled: ss unchanged");
+}
+
+#[test]
+fn callr_through_register() {
+    let src = "        .func target\n        li r5 = 42\n        ret\n        nop\n        nop\n        .func main\n        .entry main\n        lil r10 = target\n        callr r10\n        nop\n        nop\n        halt\n";
+    let image = assemble(src).expect("assembles");
+    let mut sim = Simulator::new(&image, SimConfig::default());
+    sim.run().expect("runs");
+    assert_eq!(sim.reg(Reg::R5), 42);
+}
+
+#[test]
+fn callr_to_non_function_is_an_error() {
+    let src = "        .func main\n        .entry main\n        li r10 = 1\n        callr r10\n        nop\n        nop\n        halt\n";
+    let image = assemble(src).expect("assembles");
+    let mut sim = Simulator::new(&image, SimConfig::default());
+    assert!(matches!(sim.run(), Err(SimError::NotAFunction { .. })));
+}
+
+#[test]
+fn second_ldm_while_pending_is_an_error() {
+    let src = "        .func main\n        .entry main\n        lil r2 = 0x20000\n        ldm [r2 + 0]\n        ldm [r2 + 1]\n        wres r1\n        halt\n";
+    let image = assemble(src).expect("assembles");
+    let mut sim = Simulator::new(&image, SimConfig::default());
+    assert!(matches!(sim.run(), Err(SimError::LoadStillPending { .. })));
+}
+
+#[test]
+fn wres_without_ldm_is_an_error_in_strict_mode() {
+    let src = "        .func main\n        .entry main\n        wres r1\n        halt\n";
+    let image = assemble(src).expect("assembles");
+    let mut sim = Simulator::new(&image, SimConfig::default());
+    assert!(matches!(sim.run(), Err(SimError::NoPendingLoad { .. })));
+}
+
+#[test]
+fn non_strict_mode_tolerates_wres_without_ldm() {
+    let src = "        .func main\n        .entry main\n        li r2 = 5\n        mts sm = r2\n        wres r1\n        halt\n";
+    let image = assemble(src).expect("assembles");
+    let mut cfg = SimConfig::default();
+    cfg.strict = false;
+    let mut sim = Simulator::new(&image, cfg);
+    sim.run().expect("non-strict run succeeds");
+    assert_eq!(sim.reg(Reg::R1), 5, "wres falls back to sm");
+}
+
+#[test]
+fn write_buffer_backpressure_is_counted() {
+    // Back-to-back posted stores: the second waits for the first drain.
+    let src = "        .func main\n        .entry main\n        lil r2 = 0x20000\n        li r3 = 1\n        stm [r2 + 0] = r3\n        stm [r2 + 1] = r3\n        stm [r2 + 2] = r3\n        halt\n";
+    let image = assemble(src).expect("assembles");
+    let mut sim = Simulator::new(&image, SimConfig::default());
+    sim.run().expect("runs");
+    assert!(sim.stats().stalls.write_buffer > 0);
+    assert_eq!(sim.memory().read_word(0x20004), 1);
+}
+
+#[test]
+fn r0_and_p0_are_immutable_in_programs() {
+    let sim = run(
+        "        li r0 = 77\n        cmpineq p0 = r0, 0\n        add r1 = r0, r0\n",
+    );
+    assert_eq!(sim.reg(Reg::R1), 0, "r0 stayed zero");
+    assert!(sim.pred(Pred::P0), "p0 stayed true");
+}
+
+#[test]
+fn spm_and_main_memory_are_distinct_address_spaces() {
+    let sim = run(
+        "        li r2 = 32\n        li r3 = 1111\n        swl [r2 + 0] = r3\n        li r4 = 2222\n        lil r5 = 0x10020\n        swd [r5 + 0] = r4\n        lwl r6 = [r2 + 0]\n        nop\n",
+    );
+    assert_eq!(sim.reg(Reg::R6), 1111);
+    assert_eq!(sim.scratchpad().read_word(32), 1111);
+    assert_eq!(sim.memory().read_word(0x10020), 2222);
+}

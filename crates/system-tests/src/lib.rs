@@ -1,0 +1,2 @@
+//! Test-only crate: its integration tests live in the repository-root
+//! `tests/` directory and span every crate of the workspace.

@@ -1,0 +1,45 @@
+//! Static WCET analysis for Patmos binaries.
+//!
+//! The paper's thesis is that a processor whose delays are visible in the
+//! ISA and whose caches are split by data area makes WCET analysis
+//! *simple and tight*. This crate is that analysis, built from scratch:
+//!
+//! * [`cfg`](mod@cfg) — control-flow graph reconstruction from the binary, with
+//!   delay slots absorbed into their branch's block and `.loopbound`
+//!   annotations attached to headers;
+//! * [`model`] — per-block worst-case costs for the Patmos machine
+//!   (visible delays + named memory events + checkable global facts) and
+//!   for the conventional baseline (assume-the-worst everywhere);
+//! * [`solver`] — a dense two-phase simplex solver; the LP relaxation of
+//!   IPET is a sound upper bound;
+//! * [`analyze`] — bottom-up interprocedural analysis over the acyclic
+//!   call graph producing a [`WcetReport`].
+//!
+//! The headline soundness invariant — **bound ≥ any observed execution**
+//! — is exercised by this crate's tests and by the cross-crate property
+//! tests in the workspace's `tests/` directory.
+//!
+//! # Example
+//!
+//! ```
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! use patmos_wcet::{analyze, Machine};
+//!
+//! let image = patmos_asm::assemble(
+//!     "        .func main\n        li r1 = 3\n        halt\n",
+//! )?;
+//! let report = analyze(&image, &Machine::Patmos(patmos_sim::SimConfig::default()))?;
+//! println!("WCET bound: {} cycles", report.bound_cycles);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod cfg;
+pub mod model;
+pub mod solver;
+
+mod analysis;
+
+pub use analysis::{analyze, Machine, WcetError, WcetReport};
+pub use cfg::{build_cfg, build_cfgs, Block, Cfg, CfgError};
+pub use solver::{solve, LinearProgram, LpSolution};

@@ -1,0 +1,327 @@
+//! A small dense two-phase simplex solver for the IPET linear programs.
+//!
+//! IPET (implicit path enumeration) casts "longest path subject to flow
+//! conservation and loop bounds" as an integer linear program. Its LP
+//! *relaxation* is always an upper bound on the integer optimum, so for a
+//! WCET bound it is sound to solve the relaxation — and on the
+//! network-flow-like matrices IPET produces, the relaxed optimum is
+//! integral in practice anyway.
+//!
+//! The solver maximises `c·x` subject to `A_eq x = b_eq`,
+//! `A_ub x <= b_ub`, `x >= 0`, with all `b >= 0` (which IPET guarantees:
+//! flow rows have `b = 0`, the entry row has `b = 1`, bound rows are
+//! normalised to `<= 0`... with the bounded combination moved left).
+
+/// A linear program in the solver's canonical form.
+#[derive(Debug, Clone, Default)]
+pub struct LinearProgram {
+    /// Number of structural variables.
+    pub num_vars: usize,
+    /// Objective coefficients (maximised).
+    pub objective: Vec<f64>,
+    /// Equality rows: (coefficients, rhs).
+    pub eq_rows: Vec<(Vec<(usize, f64)>, f64)>,
+    /// `<=` rows: (coefficients, rhs).
+    pub ub_rows: Vec<(Vec<(usize, f64)>, f64)>,
+}
+
+impl LinearProgram {
+    /// An empty program over `num_vars` variables.
+    pub fn new(num_vars: usize) -> LinearProgram {
+        LinearProgram { num_vars, objective: vec![0.0; num_vars], ..Default::default() }
+    }
+
+    /// Sets the objective coefficient of variable `var`.
+    pub fn set_objective(&mut self, var: usize, coeff: f64) {
+        self.objective[var] = coeff;
+    }
+
+    /// Adds an equality row `sum coeffs = rhs`.
+    pub fn add_eq(&mut self, coeffs: Vec<(usize, f64)>, rhs: f64) {
+        self.eq_rows.push((coeffs, rhs));
+    }
+
+    /// Adds an upper-bound row `sum coeffs <= rhs`.
+    pub fn add_ub(&mut self, coeffs: Vec<(usize, f64)>, rhs: f64) {
+        self.ub_rows.push((coeffs, rhs));
+    }
+}
+
+/// Outcome of solving a [`LinearProgram`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum LpSolution {
+    /// Optimal objective value and an optimal assignment.
+    Optimal {
+        /// The maximum of the objective.
+        value: f64,
+        /// Values of the structural variables.
+        assignment: Vec<f64>,
+    },
+    /// The feasible region is empty.
+    Infeasible,
+    /// The objective is unbounded above (in IPET: a loop without bound).
+    Unbounded,
+}
+
+const EPS: f64 = 1e-7;
+
+/// Solves the program with two-phase dense simplex (Bland's rule, so the
+/// solver never cycles).
+///
+/// # Panics
+///
+/// Panics if a right-hand side is negative — IPET never produces one, and
+/// normalising here would complicate the tableau for no caller.
+pub fn solve(lp: &LinearProgram) -> LpSolution {
+    let m = lp.eq_rows.len() + lp.ub_rows.len();
+    let num_slack = lp.ub_rows.len();
+    let num_art = m; // one artificial per row keeps phase 1 uniform
+    let n = lp.num_vars + num_slack + num_art;
+
+    // Tableau: m rows of [coeffs | rhs].
+    let mut tab = vec![vec![0.0f64; n + 1]; m];
+    let mut basis = vec![0usize; m];
+
+    for (r, (coeffs, rhs)) in lp.eq_rows.iter().chain(lp.ub_rows.iter()).enumerate() {
+        assert!(*rhs >= 0.0, "negative rhs {rhs} not supported");
+        for &(v, c) in coeffs {
+            tab[r][v] += c;
+        }
+        tab[r][n] = *rhs;
+    }
+    for (i, _) in lp.ub_rows.iter().enumerate() {
+        let r = lp.eq_rows.len() + i;
+        tab[r][lp.num_vars + i] = 1.0;
+    }
+    for r in 0..m {
+        tab[r][lp.num_vars + num_slack + r] = 1.0;
+        basis[r] = lp.num_vars + num_slack + r;
+    }
+
+    // Phase 1: maximise -(sum of artificials); feasible iff optimum is 0.
+    // The objective row stores reduced costs `z_j - c_j` with the value in
+    // the rhs cell; eliminate basic columns to make it consistent.
+    let mut phase1 = vec![0.0f64; n + 1];
+    for a in 0..num_art {
+        phase1[lp.num_vars + num_slack + a] = 1.0; // -c_j with c_j = -1
+    }
+    eliminate_basic(&mut phase1, &tab, &basis);
+    if !run_simplex(&mut tab, &mut basis, &mut phase1, lp.num_vars + num_slack) {
+        // Phase 1 is always bounded (sum of artificials >= 0).
+        unreachable!("phase 1 cannot be unbounded");
+    }
+    if phase1[n] < -EPS {
+        return LpSolution::Infeasible;
+    }
+    // Drive any artificial still in the basis out (degenerate rows).
+    for r in 0..m {
+        if basis[r] >= lp.num_vars + num_slack {
+            if let Some(j) = (0..lp.num_vars + num_slack).find(|&j| tab[r][j].abs() > EPS) {
+                pivot(&mut tab, &mut basis, r, j);
+            }
+            // Otherwise the row is all-zero: redundant, leave it.
+        }
+    }
+
+    // Phase 2: the real objective. Reduced costs: z_j - c_j.
+    let mut obj = vec![0.0f64; n + 1];
+    for (j, &c) in lp.objective.iter().enumerate() {
+        obj[j] = -c;
+    }
+    eliminate_basic(&mut obj, &tab, &basis);
+    if !run_simplex(&mut tab, &mut basis, &mut obj, lp.num_vars + num_slack) {
+        return LpSolution::Unbounded;
+    }
+
+    let mut assignment = vec![0.0f64; lp.num_vars];
+    for r in 0..m {
+        if basis[r] < lp.num_vars {
+            assignment[basis[r]] = tab[r][n];
+        }
+    }
+    LpSolution::Optimal { value: obj[n], assignment }
+}
+
+/// Makes an objective row consistent with the current basis by
+/// eliminating every basic column from it.
+fn eliminate_basic(obj: &mut [f64], tab: &[Vec<f64>], basis: &[usize]) {
+    let n = obj.len() - 1;
+    for (r, &bj) in basis.iter().enumerate() {
+        let coeff = obj[bj];
+        if coeff.abs() > EPS {
+            for j in 0..=n {
+                obj[j] -= coeff * tab[r][j];
+            }
+        }
+    }
+}
+
+/// Runs simplex iterations on the tableau; returns `false` when the
+/// program is unbounded. `num_real` limits the entering columns (keeps
+/// artificials out during phase 2).
+fn run_simplex(
+    tab: &mut [Vec<f64>],
+    basis: &mut [usize],
+    obj: &mut Vec<f64>,
+    num_real: usize,
+) -> bool {
+    let m = tab.len();
+    let n = obj.len() - 1;
+    loop {
+        // Bland's rule: smallest-index column with negative reduced cost.
+        let Some(enter) = (0..num_real.min(n)).find(|&j| obj[j] < -EPS) else {
+            return true;
+        };
+        // Ratio test, Bland ties by row basis index.
+        let mut leave: Option<usize> = None;
+        let mut best = f64::INFINITY;
+        for r in 0..m {
+            if tab[r][enter] > EPS {
+                let ratio = tab[r][n] / tab[r][enter];
+                if ratio < best - EPS
+                    || (ratio < best + EPS
+                        && leave.map_or(true, |l| basis[r] < basis[l]))
+                {
+                    best = ratio;
+                    leave = Some(r);
+                }
+            }
+        }
+        let Some(leave) = leave else {
+            return false; // unbounded
+        };
+        pivot_with_obj(tab, basis, obj, leave, enter);
+    }
+}
+
+fn pivot(tab: &mut [Vec<f64>], basis: &mut [usize], row: usize, col: usize) {
+    let n = tab[0].len() - 1;
+    let p = tab[row][col];
+    for j in 0..=n {
+        tab[row][j] /= p;
+    }
+    for r in 0..tab.len() {
+        if r != row && tab[r][col].abs() > EPS {
+            let f = tab[r][col];
+            for j in 0..=n {
+                tab[r][j] -= f * tab[row][j];
+            }
+        }
+    }
+    basis[row] = col;
+}
+
+fn pivot_with_obj(
+    tab: &mut [Vec<f64>],
+    basis: &mut [usize],
+    obj: &mut [f64],
+    row: usize,
+    col: usize,
+) {
+    pivot(tab, basis, row, col);
+    let n = obj.len() - 1;
+    let f = obj[col];
+    if f.abs() > EPS {
+        for j in 0..=n {
+            obj[j] -= f * tab[row][j];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn optimal(sol: LpSolution) -> (f64, Vec<f64>) {
+        match sol {
+            LpSolution::Optimal { value, assignment } => (value, assignment),
+            other => panic!("expected optimal, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn simple_bounded_max() {
+        // max x0 + x1 s.t. x0 <= 3, x1 <= 4.
+        let mut lp = LinearProgram::new(2);
+        lp.set_objective(0, 1.0);
+        lp.set_objective(1, 1.0);
+        lp.add_ub(vec![(0, 1.0)], 3.0);
+        lp.add_ub(vec![(1, 1.0)], 4.0);
+        let (v, x) = optimal(solve(&lp));
+        assert!((v - 7.0).abs() < 1e-6);
+        assert!((x[0] - 3.0).abs() < 1e-6);
+        assert!((x[1] - 4.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn equality_constraints() {
+        // max 2x0 + x1 s.t. x0 + x1 = 5, x0 <= 3.
+        let mut lp = LinearProgram::new(2);
+        lp.set_objective(0, 2.0);
+        lp.set_objective(1, 1.0);
+        lp.add_eq(vec![(0, 1.0), (1, 1.0)], 5.0);
+        lp.add_ub(vec![(0, 1.0)], 3.0);
+        let (v, x) = optimal(solve(&lp));
+        assert!((v - 8.0).abs() < 1e-6, "x0=3, x1=2 gives 8, got {v}");
+        assert!((x[0] - 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn detects_unbounded() {
+        let mut lp = LinearProgram::new(1);
+        lp.set_objective(0, 1.0);
+        assert_eq!(solve(&lp), LpSolution::Unbounded);
+    }
+
+    #[test]
+    fn detects_infeasible() {
+        // x0 = 5 and x0 <= 3 cannot both hold.
+        let mut lp = LinearProgram::new(1);
+        lp.set_objective(0, 1.0);
+        lp.add_eq(vec![(0, 1.0)], 5.0);
+        lp.add_ub(vec![(0, 1.0)], 3.0);
+        assert_eq!(solve(&lp), LpSolution::Infeasible);
+    }
+
+    #[test]
+    fn ipet_shaped_flow_problem() {
+        // A diamond CFG: entry e0=1 splits into e1/e2, joins into e3.
+        // Block costs: left 10, right 3. Variables are edges:
+        //   e0 (entry), e1 (to left), e2 (to right), e3l, e3r (joins).
+        // max 10*e1 + 3*e2 s.t. e1 + e2 = e0, e0 = 1.
+        let mut lp = LinearProgram::new(3);
+        lp.set_objective(1, 10.0);
+        lp.set_objective(2, 3.0);
+        lp.add_eq(vec![(0, 1.0)], 1.0);
+        lp.add_eq(vec![(1, 1.0), (2, 1.0), (0, -1.0)], 0.0);
+        let (v, x) = optimal(solve(&lp));
+        assert!((v - 10.0).abs() < 1e-6, "the longer path wins: {v}");
+        assert!((x[1] - 1.0).abs() < 1e-6);
+        assert!(x[2].abs() < 1e-6);
+    }
+
+    #[test]
+    fn loop_bound_constraint() {
+        // Header executes at most 10 times per entry: x_h <= 10 * e_in,
+        // e_in = 1, maximise 5 * x_h.
+        let mut lp = LinearProgram::new(2); // x_h, e_in
+        lp.set_objective(0, 5.0);
+        lp.add_eq(vec![(1, 1.0)], 1.0);
+        lp.add_ub(vec![(0, 1.0), (1, -10.0)], 0.0);
+        let (v, x) = optimal(solve(&lp));
+        assert!((v - 50.0).abs() < 1e-6);
+        assert!((x[0] - 10.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn degenerate_redundant_rows() {
+        // Duplicate equality rows must not break phase 1.
+        let mut lp = LinearProgram::new(2);
+        lp.set_objective(0, 1.0);
+        lp.add_eq(vec![(0, 1.0), (1, -1.0)], 0.0);
+        lp.add_eq(vec![(0, 1.0), (1, -1.0)], 0.0);
+        lp.add_ub(vec![(1, 1.0)], 2.0);
+        let (v, _) = optimal(solve(&lp));
+        assert!((v - 2.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,248 @@
+//! Corner cases of the WCET analysis: nested and triangular loops,
+//! unreachable code, multi-exit functions, deep call trees, and the
+//! interaction of global facts with cache geometry.
+
+use patmos_asm::assemble;
+use patmos_sim::{SimConfig, Simulator};
+use patmos_wcet::{analyze, solve, LinearProgram, LpSolution, Machine, WcetError};
+
+fn patmos() -> Machine {
+    Machine::Patmos(SimConfig::default())
+}
+
+fn bound_and_observed(src: &str) -> (u64, u64) {
+    let image = assemble(src).expect("assembles");
+    let report = analyze(&image, &patmos()).expect("analyses");
+    let mut sim = Simulator::new(&image, SimConfig::default());
+    let observed = sim.run().expect("runs").stats.cycles;
+    (report.bound_cycles, observed)
+}
+
+#[test]
+fn nested_loops_multiply_bounds() {
+    let src = "        .func main
+        li r2 = 4
+outer:
+        .loopbound 5 5
+        li r3 = 6
+inner:
+        .loopbound 7 7
+        subi r3 = r3, 1
+        cmpineq p1 = r3, 0
+        (p1) br inner
+        nop
+        nop
+        subi r2 = r2, 1
+        cmpineq p2 = r2, 0
+        (p2) br outer
+        nop
+        nop
+        halt
+";
+    let (bound, observed) = bound_and_observed(src);
+    assert!(bound >= observed, "{bound} < {observed}");
+    // The loop bodies dominate; the bound must scale with 5 * 7, not
+    // explode combinatorially.
+    assert!(bound < observed * 3, "bound {bound} too loose for observed {observed}");
+}
+
+#[test]
+fn unreachable_code_does_not_inflate_the_bound() {
+    let with_dead = "        .func main
+        br end
+        nop
+        li r1 = 1
+        li r1 = 2
+        li r1 = 3
+        li r1 = 4
+        li r1 = 5
+end:
+        halt
+";
+    let without = "        .func main
+        br end
+        nop
+end:
+        halt
+";
+    let (b_dead, o_dead) = bound_and_observed(with_dead);
+    let (b_live, _) = bound_and_observed(without);
+    assert!(b_dead >= o_dead);
+    // The dead block contributes only through the (slightly larger)
+    // method-cache fill, not through its instruction count.
+    assert!(b_dead - b_live < 30, "dead code added {} cycles", b_dead - b_live);
+}
+
+#[test]
+fn multi_exit_function_takes_the_worse_exit() {
+    let src = "        .func main
+        cmpieq p1 = r1, 0
+        (p1) br quick
+        nop
+        nop
+        li r2 = 1
+        li r2 = 2
+        li r2 = 3
+        li r2 = 4
+        li r2 = 5
+        li r2 = 6
+        halt
+quick:
+        halt
+";
+    let image = assemble(src).expect("assembles");
+    let report = analyze(&image, &patmos()).expect("analyses");
+    // The slow path runs when r1 != 0 (registers start 0 → quick path
+    // taken), so the observed run takes the SHORT path; the bound must
+    // still cover the long one.
+    let mut sim = Simulator::new(&image, SimConfig::default());
+    let observed = sim.run().expect("runs").stats.cycles;
+    assert!(report.bound_cycles >= observed + 6, "bound must include the unexecuted long path");
+}
+
+#[test]
+fn call_tree_bounds_compose() {
+    let src = "        .func leaf
+        li r2 = 1
+        li r2 = 2
+        ret
+        nop
+        nop
+        .func mid
+        sres 1
+        sws [r0 + 0] = r31
+        call leaf
+        nop
+        call leaf
+        nop
+        lws r31 = [r0 + 0]
+        sfree 1
+        ret
+        nop
+        nop
+        .func main
+        .entry main
+        call mid
+        nop
+        call mid
+        nop
+        halt
+";
+    let (bound, observed) = bound_and_observed(src);
+    assert!(bound >= observed);
+    let image = assemble(src).expect("assembles");
+    let report = analyze(&image, &patmos()).expect("analyses");
+    let leaf = report.per_function.iter().find(|(n, _)| n == "leaf").expect("leaf").1;
+    let mid = report.per_function.iter().find(|(n, _)| n == "mid").expect("mid").1;
+    assert!(mid >= 2 * leaf, "mid calls leaf twice: {mid} vs {leaf}");
+}
+
+#[test]
+fn zero_iteration_loop_bound_allows_skipping() {
+    // Header may execute once (check) and fall through immediately.
+    let src = "        .func main
+        li r2 = 0
+loop:
+        .loopbound 0 1
+        cmpineq p1 = r2, 0
+        (!p1) br end
+        nop
+        nop
+        subi r2 = r2, 1
+        br loop
+        nop
+end:
+        halt
+";
+    let (bound, observed) = bound_and_observed(src);
+    assert!(bound >= observed);
+}
+
+#[test]
+fn tiny_method_cache_changes_call_costs() {
+    let src = "        .func a
+        ret
+        nop
+        nop
+        .func main
+        .entry main
+        call a
+        nop
+        call a
+        nop
+        halt
+";
+    let image = assemble(src).expect("assembles");
+    let roomy = analyze(&image, &patmos()).expect("analyses");
+    let mut tiny_cfg = SimConfig::default();
+    tiny_cfg.method_cache =
+        patmos_mem::MethodCacheConfig::new(1, 4, patmos_mem::ReplacementPolicy::Fifo);
+    let tiny = analyze(&image, &Machine::Patmos(tiny_cfg.clone())).expect("analyses");
+    assert!(
+        tiny.bound_cycles > roomy.bound_cycles,
+        "a thrashing method cache must cost more: {} vs {}",
+        tiny.bound_cycles,
+        roomy.bound_cycles
+    );
+    // And the tiny bound is still sound.
+    let mut sim = Simulator::new(&image, tiny_cfg);
+    let observed = sim.run().expect("runs").stats.cycles;
+    assert!(tiny.bound_cycles >= observed);
+}
+
+#[test]
+fn solver_handles_degenerate_single_block() {
+    // x0 = 1, maximise 7 x0.
+    let mut lp = LinearProgram::new(1);
+    lp.set_objective(0, 7.0);
+    lp.add_eq(vec![(0, 1.0)], 1.0);
+    match solve(&lp) {
+        LpSolution::Optimal { value, .. } => assert!((value - 7.0).abs() < 1e-9),
+        other => panic!("expected optimal, got {other:?}"),
+    }
+}
+
+#[test]
+fn missing_bound_reports_header_address() {
+    let src = "        .func main
+        li r2 = 5
+top:
+        subi r2 = r2, 1
+        cmpineq p1 = r2, 0
+        (p1) br top
+        nop
+        nop
+        halt
+";
+    let image = assemble(src).expect("assembles");
+    match analyze(&image, &patmos()) {
+        Err(WcetError::MissingLoopBound { addr }) => {
+            assert_eq!(addr, 1, "the header block starts after the li");
+        }
+        other => panic!("expected MissingLoopBound, got {other:?}"),
+    }
+}
+
+#[test]
+fn mutual_recursion_detected() {
+    let src = "        .func a
+        call b
+        nop
+        ret
+        nop
+        nop
+        .func b
+        call a
+        nop
+        ret
+        nop
+        nop
+        .func main
+        .entry main
+        call a
+        nop
+        halt
+";
+    let image = assemble(src).expect("assembles");
+    assert!(matches!(analyze(&image, &patmos()), Err(WcetError::Recursion { .. })));
+}

@@ -1,0 +1,641 @@
+//! Benchmark kernels for the Patmos evaluation.
+//!
+//! The paper's WCET context implies the classic Mälardalen-style kernel
+//! set: small, fully bounded algorithms whose worst case matters. Each
+//! [`Workload`] here carries:
+//!
+//! * PatC source with `bound(n)` annotations on every loop,
+//! * the expected result, computed by a Rust reference implementation
+//!   over the same (deterministically generated) input data,
+//! * a [`Category`] tag used by the experiments to pick suitable
+//!   kernels (branchy for the single-path study, memory-bound for the
+//!   cache studies, …).
+//!
+//! The [`micro`] module additionally provides hand-written assembly
+//! generators for experiments that need precise control over the
+//! instruction stream (split-load scheduling, method-cache call chains).
+//!
+//! # Example
+//!
+//! ```
+//! let workloads = patmos_workloads::all();
+//! assert!(workloads.len() >= 10);
+//! let fib = patmos_workloads::by_name("fibcall").expect("exists");
+//! assert_eq!(fib.expected, 832_040);
+//! ```
+
+pub mod micro;
+
+/// Rough character of a kernel, used to select experiment subjects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Category {
+    /// Dominated by data-independent arithmetic.
+    Compute,
+    /// Dominated by data-dependent branches.
+    Branchy,
+    /// Dominated by memory traffic.
+    Memory,
+    /// Exercises the call chain / method cache.
+    CallHeavy,
+}
+
+/// One benchmark kernel.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// Short name.
+    pub name: &'static str,
+    /// PatC source.
+    pub source: String,
+    /// Expected value of `main()`'s result (register `r1`).
+    pub expected: u32,
+    /// Kernel character.
+    pub category: Category,
+}
+
+/// Deterministic pseudo-random data (a fixed LCG so kernels and their
+/// Rust references see identical inputs).
+fn lcg(seed: u32, n: usize) -> Vec<i32> {
+    let mut x = seed;
+    (0..n)
+        .map(|_| {
+            x = x.wrapping_mul(1_664_525).wrapping_add(1_013_904_223);
+            ((x >> 8) & 0x7fff) as i32
+        })
+        .collect()
+}
+
+fn array_literal(values: &[i32]) -> String {
+    values.iter().map(|v| v.to_string()).collect::<Vec<_>>().join(", ")
+}
+
+/// `fibcall`: iterative Fibonacci — the classic loop kernel.
+pub fn fibcall() -> Workload {
+    let n = 30u32;
+    // Reference.
+    let mut a = 0u32;
+    let mut b = 1u32;
+    for _ in 0..n {
+        let t = a.wrapping_add(b);
+        a = b;
+        b = t;
+    }
+    let source = format!(
+        "int main() {{
+    int i = 0;
+    int a = 0;
+    int b = 1;
+    int t;
+    while (i < {n}) bound({n}) {{
+        t = a + b;
+        a = b;
+        b = t;
+        i = i + 1;
+    }}
+    return a;
+}}"
+    );
+    Workload { name: "fibcall", source, expected: a, category: Category::Compute }
+}
+
+/// `insertsort`: insertion sort over 16 elements; returns a checksum.
+pub fn insertsort() -> Workload {
+    let data = lcg(0xA5A5, 16);
+    let mut sorted = data.clone();
+    sorted.sort_unstable();
+    let expected: i64 = sorted.iter().enumerate().map(|(i, &v)| (i as i64 + 1) * v as i64).sum();
+    let source = format!(
+        "int a[16] = {{{init}}};
+int main() {{
+    int i = 1;
+    int j;
+    int key;
+    while (i < 16) bound(15) {{
+        key = a[i];
+        j = i - 1;
+        while (j >= 0 && a[j] > key) bound(15) {{
+            a[j + 1] = a[j];
+            j = j - 1;
+        }}
+        a[j + 1] = key;
+        i = i + 1;
+    }}
+    int sum = 0;
+    for (i = 0; i < 16; i = i + 1) bound(16) {{ sum = sum + (i + 1) * a[i]; }}
+    return sum;
+}}",
+        init = array_literal(&data)
+    );
+    Workload {
+        name: "insertsort",
+        source,
+        expected: expected as u32,
+        category: Category::Branchy,
+    }
+}
+
+/// `bsort`: bubble sort over 20 elements; returns the median element.
+pub fn bsort() -> Workload {
+    let data = lcg(0xBEEF, 20);
+    let mut sorted = data.clone();
+    sorted.sort_unstable();
+    let expected = sorted[10] as u32;
+    let source = format!(
+        "int a[20] = {{{init}}};
+int main() {{
+    int i;
+    int j;
+    int t;
+    for (i = 0; i < 19; i = i + 1) bound(19) {{
+        for (j = 0; j < 19 - i; j = j + 1) bound(19) {{
+            if (a[j] > a[j + 1]) {{
+                t = a[j];
+                a[j] = a[j + 1];
+                a[j + 1] = t;
+            }}
+        }}
+    }}
+    return a[10];
+}}",
+        init = array_literal(&data)
+    );
+    Workload { name: "bsort", source, expected, category: Category::Branchy }
+}
+
+/// `binsearch`: 32-entry binary search, 16 queries; returns hit count.
+pub fn binsearch() -> Workload {
+    let mut table = lcg(0x1234, 32);
+    table.sort_unstable();
+    table.dedup();
+    while table.len() < 32 {
+        let last = *table.last().expect("non-empty");
+        table.push(last + 7);
+    }
+    let queries: Vec<i32> =
+        (0..16).map(|i| if i % 2 == 0 { table[(i * 2) % 32] } else { -1 - i as i32 }).collect();
+    let expected = queries
+        .iter()
+        .filter(|q| table.binary_search(q).is_ok())
+        .count() as u32;
+    let source = format!(
+        "int tab[32] = {{{tab}}};
+int q[16] = {{{queries}}};
+int find(int key) {{
+    int lo = 0;
+    int hi = 31;
+    int mid;
+    while (lo <= hi) bound(6) {{
+        mid = (lo + hi) / 2;
+        if (tab[mid] == key) {{ return 1; }}
+        if (tab[mid] < key) {{ lo = mid + 1; }} else {{ hi = mid - 1; }}
+    }}
+    return 0;
+}}
+int main() {{
+    int i;
+    int hits = 0;
+    for (i = 0; i < 16; i = i + 1) bound(16) {{ hits = hits + find(q[i]); }}
+    return hits;
+}}",
+        tab = array_literal(&table),
+        queries = array_literal(&queries)
+    );
+    Workload { name: "binsearch", source, expected, category: Category::CallHeavy }
+}
+
+/// `crc`: bitwise CRC-CCITT-style over a 32-byte message.
+pub fn crc() -> Workload {
+    let msg: Vec<i32> = lcg(0xC4C4, 32).iter().map(|v| v & 0xff).collect();
+    let mut crc: u32 = 0xffff;
+    for &byte in &msg {
+        crc ^= (byte as u32) << 8;
+        for _ in 0..8 {
+            if crc & 0x8000 != 0 {
+                crc = ((crc << 1) ^ 0x1021) & 0xffff;
+            } else {
+                crc = (crc << 1) & 0xffff;
+            }
+        }
+    }
+    let source = format!(
+        "int msg[32] = {{{init}}};
+int main() {{
+    int crc = 0xffff;
+    int i;
+    int b;
+    for (i = 0; i < 32; i = i + 1) bound(32) {{
+        crc = crc ^ (msg[i] << 8);
+        for (b = 0; b < 8; b = b + 1) bound(8) {{
+            if ((crc & 0x8000) != 0) {{
+                crc = ((crc << 1) ^ 0x1021) & 0xffff;
+            }} else {{
+                crc = (crc << 1) & 0xffff;
+            }}
+        }}
+    }}
+    return crc;
+}}",
+        init = array_literal(&msg)
+    );
+    Workload { name: "crc", source, expected: crc, category: Category::Branchy }
+}
+
+/// `matmult`: 8×8 integer matrix multiply; returns the trace.
+pub fn matmult() -> Workload {
+    let a: Vec<i32> = lcg(0x11, 64).iter().map(|v| v % 100).collect();
+    let b: Vec<i32> = lcg(0x22, 64).iter().map(|v| v % 100).collect();
+    let mut trace = 0i64;
+    for i in 0..8 {
+        let mut dot = 0i64;
+        for k in 0..8 {
+            dot += a[i * 8 + k] as i64 * b[k * 8 + i] as i64;
+        }
+        trace += dot;
+    }
+    let source = format!(
+        "int a[64] = {{{a}}};
+int b[64] = {{{b}}};
+int c[64];
+int main() {{
+    int i;
+    int j;
+    int k;
+    int s;
+    for (i = 0; i < 8; i = i + 1) bound(8) {{
+        for (j = 0; j < 8; j = j + 1) bound(8) {{
+            s = 0;
+            for (k = 0; k < 8; k = k + 1) bound(8) {{
+                s = s + a[i * 8 + k] * b[k * 8 + j];
+            }}
+            c[i * 8 + j] = s;
+        }}
+    }}
+    s = 0;
+    for (i = 0; i < 8; i = i + 1) bound(8) {{ s = s + c[i * 8 + i]; }}
+    return s;
+}}",
+        a = array_literal(&a),
+        b = array_literal(&b)
+    );
+    Workload { name: "matmult", source, expected: trace as u32, category: Category::Memory }
+}
+
+/// `fir`: 16-tap FIR filter over 48 samples; returns an output checksum.
+pub fn fir() -> Workload {
+    let coef: Vec<i32> = lcg(0x33, 16).iter().map(|v| v % 64).collect();
+    let input: Vec<i32> = lcg(0x44, 48).iter().map(|v| v % 256).collect();
+    let mut check = 0i64;
+    for n in 15..48 {
+        let mut acc = 0i64;
+        for t in 0..16 {
+            acc += coef[t] as i64 * input[n - t] as i64;
+        }
+        check = (check ^ acc) & 0xffff_ffff;
+    }
+    let source = format!(
+        "int coef[16] = {{{coef}}};
+int input[48] = {{{input}}};
+int main() {{
+    int n;
+    int t;
+    int acc;
+    int check = 0;
+    for (n = 15; n < 48; n = n + 1) bound(33) {{
+        acc = 0;
+        for (t = 0; t < 16; t = t + 1) bound(16) {{
+            acc = acc + coef[t] * input[n - t];
+        }}
+        check = check ^ acc;
+    }}
+    return check;
+}}",
+        coef = array_literal(&coef),
+        input = array_literal(&input)
+    );
+    Workload { name: "fir", source, expected: check as u32, category: Category::Memory }
+}
+
+/// `cnt`: counts and sums positive entries of a 8×8 "matrix".
+pub fn cnt() -> Workload {
+    let data: Vec<i32> = lcg(0x55, 64).iter().map(|v| v - 16000).collect();
+    let count = data.iter().filter(|&&v| v > 0).count() as i64;
+    let sum: i64 = data.iter().filter(|&&v| v > 0).map(|&v| v as i64).sum();
+    let expected = ((sum & 0xffff) * 65536 + count) as u32;
+    let source = format!(
+        "int m[64] = {{{init}}};
+int main() {{
+    int i;
+    int count = 0;
+    int sum = 0;
+    for (i = 0; i < 64; i = i + 1) bound(64) {{
+        if (m[i] > 0) {{
+            count = count + 1;
+            sum = sum + m[i];
+        }}
+    }}
+    return (sum & 0xffff) * 65536 + count;
+}}",
+        init = array_literal(&data)
+    );
+    Workload { name: "cnt", source, expected, category: Category::Branchy }
+}
+
+/// `dotprod`: dot product over heap-qualified arrays (exercises the
+/// highly associative data cache).
+pub fn dotprod() -> Workload {
+    let a: Vec<i32> = lcg(0x66, 64).iter().map(|v| v % 1000).collect();
+    let b: Vec<i32> = lcg(0x77, 64).iter().map(|v| v % 1000).collect();
+    let expected: i64 = a.iter().zip(&b).map(|(&x, &y)| x as i64 * y as i64).sum();
+    let source = format!(
+        "heap int a[64] = {{{a}}};
+heap int b[64] = {{{b}}};
+int main() {{
+    int i;
+    int s = 0;
+    for (i = 0; i < 64; i = i + 1) bound(64) {{ s = s + a[i] * b[i]; }}
+    return s;
+}}",
+        a = array_literal(&a),
+        b = array_literal(&b)
+    );
+    Workload { name: "dotprod", source, expected: expected as u32, category: Category::Memory }
+}
+
+/// `statemach`: a branch-heavy state machine over an input tape.
+pub fn statemach() -> Workload {
+    let tape: Vec<i32> = lcg(0x88, 64).iter().map(|v| v % 4).collect();
+    let mut state = 0i32;
+    let mut out = 0i64;
+    for &sym in &tape {
+        match state {
+            0 => {
+                if sym == 0 {
+                    state = 1;
+                } else if sym == 1 {
+                    state = 2;
+                    out += 3;
+                } else {
+                    out += 1;
+                }
+            }
+            1 => {
+                if sym == 2 {
+                    state = 0;
+                    out += 5;
+                } else {
+                    state = 2;
+                }
+            }
+            _ => {
+                if sym == 3 {
+                    state = 0;
+                    out += 7;
+                } else {
+                    out += 2;
+                }
+            }
+        }
+    }
+    let expected = (out as u32) * 4 + state as u32;
+    let source = format!(
+        "int tape[64] = {{{init}}};
+int main() {{
+    int state = 0;
+    int out = 0;
+    int i;
+    int sym;
+    for (i = 0; i < 64; i = i + 1) bound(64) {{
+        sym = tape[i];
+        if (state == 0) {{
+            if (sym == 0) {{ state = 1; }}
+            else {{
+                if (sym == 1) {{ state = 2; out = out + 3; }}
+                else {{ out = out + 1; }}
+            }}
+        }} else {{
+            if (state == 1) {{
+                if (sym == 2) {{ state = 0; out = out + 5; }}
+                else {{ state = 2; }}
+            }} else {{
+                if (sym == 3) {{ state = 0; out = out + 7; }}
+                else {{ out = out + 2; }}
+            }}
+        }}
+    }}
+    return out * 4 + state;
+}}",
+        init = array_literal(&tape)
+    );
+    Workload { name: "statemach", source, expected, category: Category::Branchy }
+}
+
+/// `popcount`: software population count over 32 words.
+pub fn popcount() -> Workload {
+    let data = lcg(0x99, 32);
+    let expected: u32 = data.iter().map(|&v| (v as u32).count_ones()).sum();
+    let source = format!(
+        "int d[32] = {{{init}}};
+int main() {{
+    int i;
+    int b;
+    int x;
+    int total = 0;
+    for (i = 0; i < 32; i = i + 1) bound(32) {{
+        x = d[i];
+        for (b = 0; b < 32; b = b + 1) bound(32) {{
+            total = total + (x & 1);
+            x = (x >> 1) & 0x7fffffff;
+        }}
+    }}
+    return total;
+}}",
+        init = array_literal(&data)
+    );
+    Workload { name: "popcount", source, expected, category: Category::Compute }
+}
+
+/// `callchain`: deep non-recursive call chain (method-cache stress).
+pub fn callchain() -> Workload {
+    let mut source = String::new();
+    let depth = 6;
+    source.push_str("int f0(int x) { return x + 1; }\n");
+    for i in 1..depth {
+        source.push_str(&format!(
+            "int f{i}(int x) {{ int a = f{prev}(x); int b = f{prev}(a); return a + b; }}\n",
+            prev = i - 1
+        ));
+    }
+    source.push_str(&format!("int main() {{ return f{}(3); }}\n", depth - 1));
+    // Reference.
+    fn f(i: u32, x: i64) -> i64 {
+        if i == 0 {
+            x + 1
+        } else {
+            let a = f(i - 1, x);
+            let b = f(i - 1, a);
+            a + b
+        }
+    }
+    let expected = f(depth as u32 - 1, 3) as u32;
+    Workload { name: "callchain", source, expected, category: Category::CallHeavy }
+}
+
+/// `spmfilter`: moving-average filter staged through the scratchpad.
+pub fn spmfilter() -> Workload {
+    let input: Vec<i32> = lcg(0xAA, 32).iter().map(|v| v % 512).collect();
+    let mut expected = 0i64;
+    for i in 2..32 {
+        expected += ((input[i] + input[i - 1] + input[i - 2]) / 4) as i64;
+    }
+    let source = format!(
+        "int input[32] = {{{init}}};
+spm int buf[32];
+int main() {{
+    int i;
+    int s = 0;
+    for (i = 0; i < 32; i = i + 1) bound(32) {{ buf[i] = input[i]; }}
+    for (i = 2; i < 32; i = i + 1) bound(30) {{
+        s = s + (buf[i] + buf[i - 1] + buf[i - 2]) / 4;
+    }}
+    return s;
+}}",
+        init = array_literal(&input)
+    );
+    Workload { name: "spmfilter", source, expected: expected as u32, category: Category::Memory }
+}
+
+/// `ns`: nested search over a 4×4×4 "cube" with early exit — the
+/// classic triangular/early-exit loop-bound stress.
+pub fn ns() -> Workload {
+    let cube: Vec<i32> = lcg(0xBB, 64).iter().map(|v| v % 50).collect();
+    let needle = cube[37];
+    // Reference: find first linear index holding the needle.
+    let expected = cube.iter().position(|&v| v == needle).expect("present") as u32;
+    let source = format!(
+        "int cube[64] = {{{init}}};
+int main() {{
+    int i;
+    int j;
+    int k;
+    int found = 0 - 1;
+    for (i = 0; i < 4; i = i + 1) bound(4) {{
+        for (j = 0; j < 4; j = j + 1) bound(4) {{
+            for (k = 0; k < 4; k = k + 1) bound(4) {{
+                if (found < 0) {{
+                    if (cube[i * 16 + j * 4 + k] == {needle}) {{
+                        found = i * 16 + j * 4 + k;
+                    }}
+                }}
+            }}
+        }}
+    }}
+    return found;
+}}",
+        init = array_literal(&cube)
+    );
+    Workload { name: "ns", source, expected, category: Category::Branchy }
+}
+
+/// `lcdnum`: table-driven 7-segment decoding — lookup-dominated.
+pub fn lcdnum() -> Workload {
+    let seg: Vec<i32> = vec![0x3f, 0x06, 0x5b, 0x4f, 0x66, 0x6d, 0x7d, 0x07, 0x7f, 0x6f];
+    let digits: Vec<i32> = lcg(0xCC, 24).iter().map(|v| v % 10).collect();
+    let expected: i64 = digits.iter().map(|&d| seg[d as usize] as i64).sum();
+    let source = format!(
+        "int seg[10] = {{{seg}}};
+int digits[24] = {{{digits}}};
+int main() {{
+    int i;
+    int s = 0;
+    for (i = 0; i < 24; i = i + 1) bound(24) {{ s = s + seg[digits[i]]; }}
+    return s;
+}}",
+        seg = array_literal(&seg),
+        digits = array_literal(&digits)
+    );
+    Workload { name: "lcdnum", source, expected: expected as u32, category: Category::Memory }
+}
+
+/// `expintish`: a triangular nested loop (inner trip depends on the
+/// outer index) in the style of the Mälardalen `expint` kernel.
+pub fn expintish() -> Workload {
+    let mut acc = 0i64;
+    for i in 1..=12i64 {
+        let mut term = 1i64;
+        for j in 0..i {
+            term = (term * (j + 2)) & 0xffff;
+        }
+        acc = (acc + term) & 0x7fff_ffff;
+    }
+    let source = "int main() {
+    int i;
+    int j;
+    int acc = 0;
+    int term;
+    for (i = 1; i <= 12; i = i + 1) bound(12) {
+        term = 1;
+        j = 0;
+        while (j < i) bound(12) {
+            term = (term * (j + 2)) & 0xffff;
+            j = j + 1;
+        }
+        acc = (acc + term) & 0x7fffffff;
+    }
+    return acc;
+}"
+    .to_string();
+    Workload { name: "expintish", source, expected: acc as u32, category: Category::Compute }
+}
+
+/// All kernels.
+pub fn all() -> Vec<Workload> {
+    vec![
+        fibcall(),
+        insertsort(),
+        bsort(),
+        binsearch(),
+        crc(),
+        matmult(),
+        fir(),
+        cnt(),
+        dotprod(),
+        statemach(),
+        popcount(),
+        callchain(),
+        spmfilter(),
+        ns(),
+        lcdnum(),
+        expintish(),
+    ]
+}
+
+/// Looks a kernel up by name.
+pub fn by_name(name: &str) -> Option<Workload> {
+    all().into_iter().find(|w| w.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inputs_are_deterministic() {
+        assert_eq!(lcg(1, 4), lcg(1, 4));
+        assert_ne!(lcg(1, 4), lcg(2, 4));
+    }
+
+    #[test]
+    fn all_have_distinct_names() {
+        let mut names: Vec<&str> = all().iter().map(|w| w.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), all().len());
+    }
+
+    #[test]
+    fn every_category_is_represented() {
+        let ws = all();
+        for cat in [Category::Compute, Category::Branchy, Category::Memory, Category::CallHeavy] {
+            assert!(ws.iter().any(|w| w.category == cat), "missing {cat:?}");
+        }
+    }
+}

@@ -1,0 +1,129 @@
+//! Hand-written assembly micro-benchmark generators.
+//!
+//! Some experiments need precise control over the instruction stream
+//! that a compiler would obscure: the split-load scheduling study (E5)
+//! and the method-cache call-pattern study (E3). These generators emit
+//! Patmos assembly directly.
+
+/// A split-load chain: `loads` main-memory reads, each with
+/// `work_between` independent ALU bundles between `ldm` and `wres`.
+///
+/// With `work_between = 0` the `wres` takes the full memory latency;
+/// with enough independent work the latency is completely hidden —
+/// deterministically, which is the point of the paper's split accesses
+/// (Section 3.3).
+pub fn split_load_chain(loads: u32, work_between: u32) -> String {
+    let mut s = String::new();
+    s.push_str("        .data buf 0x20000\n        .space 256\n");
+    s.push_str("        .func main\n        .entry main\n");
+    s.push_str("        lil r2 = buf\n");
+    s.push_str("        li r9 = 0\n");
+    for i in 0..loads {
+        s.push_str(&format!("        ldm [r2 + {}]\n", i % 32));
+        for w in 0..work_between {
+            s.push_str(&format!("        addi r{} = r9, {}\n", 10 + (w % 12), w + 1));
+        }
+        s.push_str("        wres r1\n");
+        s.push_str("        add r9 = r9, r1\n");
+    }
+    s.push_str("        halt\n");
+    s
+}
+
+/// A call chain over `funcs` distinct functions of `body_bundles` filler
+/// bundles each, called round-robin `calls` times from `main`.
+///
+/// Sweeping `funcs` past the method-cache capacity produces the classic
+/// working-set knee; all misses happen at calls/returns only.
+pub fn call_ring(funcs: u32, body_bundles: u32, calls: u32) -> String {
+    let mut s = String::new();
+    for f in 0..funcs {
+        s.push_str(&format!("        .func f{f}\n"));
+        for i in 0..body_bundles {
+            s.push_str(&format!("        addi r1 = r1, {}\n", (i % 7) + 1));
+        }
+        s.push_str("        ret\n        nop\n        nop\n");
+    }
+    s.push_str("        .func main\n        .entry main\n        li r1 = 0\n");
+    for c in 0..calls {
+        s.push_str(&format!("        call f{}\n        nop\n", c % funcs));
+    }
+    s.push_str("        halt\n");
+    s
+}
+
+/// A loop of `iters` iterations whose body touches `lines` distinct
+/// static-area cache lines (for the split- vs unified-cache study).
+pub fn stride_reader(iters: u32, lines: u32, line_bytes: u32) -> String {
+    let mut s = String::new();
+    s.push_str(&format!(
+        "        .data arr 0x10000\n        .space {}\n",
+        lines * line_bytes
+    ));
+    s.push_str("        .func main\n        .entry main\n");
+    s.push_str("        lil r2 = arr\n");
+    s.push_str(&format!("        li r3 = {iters}\n"));
+    s.push_str("        li r9 = 0\n");
+    s.push_str(&format!("        .loopbound {iters} {iters}\n"));
+    s.push_str("loop:\n");
+    for l in 0..lines {
+        // One word-sized read per line; offsets are in words.
+        let word_off = (l * line_bytes / 4).min(63);
+        s.push_str(&format!("        lwc r4 = [r2 + {word_off}]\n"));
+        s.push_str("        nop\n");
+        s.push_str("        add r9 = r9, r4\n");
+    }
+    s.push_str("        subi r3 = r3, 1\n");
+    s.push_str("        cmpineq p1 = r3, 0\n");
+    s.push_str("        (p1) br loop\n        nop\n        nop\n");
+    s.push_str("        halt\n");
+    s
+}
+
+/// A recursive-free stack stress: `depth` nested calls each reserving
+/// `frame_words` words (for the stack-cache sweep, E9).
+pub fn stack_ladder(depth: u32, frame_words: u32) -> String {
+    let mut s = String::new();
+    for d in (0..depth).rev() {
+        s.push_str(&format!("        .func g{d}\n"));
+        s.push_str(&format!("        sres {frame_words}\n"));
+        s.push_str("        sws [r0 + 0] = r31\n");
+        // Touch the frame.
+        s.push_str(&format!("        li r4 = {d}\n"));
+        s.push_str(&format!("        sws [r0 + {}] = r4\n", frame_words - 1));
+        if d + 1 < depth {
+            s.push_str(&format!("        call g{}\n        nop\n", d + 1));
+            s.push_str(&format!("        sens {frame_words}\n"));
+        }
+        s.push_str(&format!("        lws r5 = [r0 + {}]\n", frame_words - 1));
+        s.push_str("        nop\n");
+        s.push_str("        add r1 = r1, r5\n");
+        s.push_str("        lws r31 = [r0 + 0]\n");
+        s.push_str(&format!("        sfree {frame_words}\n"));
+        s.push_str("        ret\n        nop\n        nop\n");
+    }
+    s.push_str("        .func main\n        .entry main\n        li r1 = 0\n");
+    s.push_str("        call g0\n        nop\n");
+    s.push_str("        halt\n");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generators_produce_assemblable_code() {
+        for src in [
+            split_load_chain(4, 0),
+            split_load_chain(4, 6),
+            call_ring(3, 8, 9),
+            stride_reader(10, 4, 32),
+            stack_ladder(4, 8),
+        ] {
+            if let Err(e) = patmos_asm::assemble(&src) {
+                panic!("micro benchmark failed to assemble: {e}\n{src}");
+            }
+        }
+    }
+}

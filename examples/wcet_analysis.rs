@@ -1,0 +1,58 @@
+//! WCET analysis walkthrough: compile a kernel, bound its WCET on Patmos
+//! and on a conventional baseline, and compare both bounds against
+//! observed executions — the paper's core argument in one program.
+//!
+//! Run with: `cargo run -p patmos --example wcet_analysis`
+
+use patmos::baseline::{BaselineConfig, BaselineSim};
+use patmos::compiler::{compile, CompileOptions};
+use patmos::sim::{SimConfig, Simulator};
+use patmos::wcet::{analyze, Machine};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let kernel = patmos::workloads::crc();
+    println!("kernel: {} (expected result {:#x})\n", kernel.name, kernel.expected);
+
+    let image = compile(&kernel.source, &CompileOptions::default())?;
+
+    // Observe an actual execution on both machines.
+    let mut patmos_core = Simulator::new(&image, SimConfig::default());
+    patmos_core.run()?;
+    let patmos_observed = patmos_core.stats().cycles;
+
+    let mut baseline_core = BaselineSim::new(&image, BaselineConfig::default());
+    baseline_core.run()?;
+    let baseline_observed = baseline_core.stats().cycles;
+
+    // Bound both statically.
+    let patmos_bound = analyze(&image, &Machine::Patmos(SimConfig::default()))?;
+    let baseline_bound = analyze(&image, &Machine::Baseline(BaselineConfig::default()))?;
+
+    println!("{:<28} {:>12} {:>12} {:>10}", "machine", "observed", "WCET bound", "ratio");
+    println!(
+        "{:<28} {:>12} {:>12} {:>10.2}",
+        "Patmos (time-predictable)",
+        patmos_observed,
+        patmos_bound.bound_cycles,
+        patmos_bound.pessimism(patmos_observed)
+    );
+    println!(
+        "{:<28} {:>12} {:>12} {:>10.2}",
+        "baseline (average-case)",
+        baseline_observed,
+        baseline_bound.bound_cycles,
+        baseline_bound.pessimism(baseline_observed)
+    );
+    println!();
+    println!(
+        "The baseline often *runs* faster, but its guaranteed bound is {}x\n\
+         its typical run — Patmos' bound is only {:.2}x. That gap is what\n\
+         you provision a hard real-time system for.",
+        baseline_bound.pessimism(baseline_observed).round(),
+        patmos_bound.pessimism(patmos_observed)
+    );
+
+    assert!(patmos_bound.bound_cycles >= patmos_observed);
+    assert!(baseline_bound.bound_cycles >= baseline_observed);
+    Ok(())
+}

