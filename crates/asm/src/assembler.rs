@@ -40,9 +40,17 @@ enum SymOrVal {
 enum PInst {
     Ready(Inst),
     /// `br`/`call` with a label target.
-    Flow { guard: Guard, call: bool, target: SymOrVal },
+    Flow {
+        guard: Guard,
+        call: bool,
+        target: SymOrVal,
+    },
     /// `lil rd = symbol`.
-    LongImm { guard: Guard, rd: Reg, value: SymOrVal },
+    LongImm {
+        guard: Guard,
+        rd: Reg,
+        value: SymOrVal,
+    },
 }
 
 impl PInst {
@@ -84,14 +92,17 @@ pub fn assemble(source: &str) -> Result<ObjectImage, AsmError> {
     let mut lines = Vec::new();
     for (idx, raw) in source.lines().enumerate() {
         let number = idx + 1;
-        let tokens = tokenize_line(raw)
-            .map_err(|col| AsmError { line: number, message: format!("unexpected character at column {}", col + 1) })?;
+        let tokens = tokenize_line(raw).map_err(|col| AsmError {
+            line: number,
+            message: format!("unexpected character at column {}", col + 1),
+        })?;
         if tokens.is_empty() {
             continue;
         }
-        for stmt in
-            parse_statements(&tokens).map_err(|message| AsmError { line: number, message })?
-        {
+        for stmt in parse_statements(&tokens).map_err(|message| AsmError {
+            line: number,
+            message,
+        })? {
             lines.push(Line { number, stmt });
         }
     }
@@ -107,7 +118,10 @@ pub fn assemble(source: &str) -> Result<ObjectImage, AsmError> {
 
     let define = |symbols: &mut HashMap<String, u32>, name: &str, value: u32, line: usize| {
         if symbols.insert(name.to_string(), value).is_some() {
-            return Err(AsmError { line, message: format!("duplicate symbol `{name}`") });
+            return Err(AsmError {
+                line,
+                message: format!("duplicate symbol `{name}`"),
+            });
         }
         Ok(())
     };
@@ -124,7 +138,11 @@ pub fn assemble(source: &str) -> Result<ObjectImage, AsmError> {
                     prev.size_words = addr - prev.start_word;
                 }
                 define(&mut symbols, name, addr, line.number)?;
-                functions.push(FuncInfo { name: name.clone(), start_word: addr, size_words: 0 });
+                functions.push(FuncInfo {
+                    name: name.clone(),
+                    start_word: addr,
+                    size_words: 0,
+                });
             }
             Stmt::Entry(name) => entry_name = Some((name.clone(), line.number)),
             Stmt::DataStart { name, addr: a } => {
@@ -163,7 +181,11 @@ pub fn assemble(source: &str) -> Result<ObjectImage, AsmError> {
                 define(&mut symbols, name, *value as u32, line.number)?;
             }
             Stmt::LoopBound { min, max } => {
-                loop_bounds.push(LoopBound { addr, min: *min, max: *max });
+                loop_bounds.push(LoopBound {
+                    addr,
+                    min: *min,
+                    max: *max,
+                });
             }
             Stmt::Bundle(insts) => {
                 if in_data {
@@ -178,8 +200,11 @@ pub fn assemble(source: &str) -> Result<ObjectImage, AsmError> {
                         message: "instruction before the first .func".into(),
                     });
                 }
-                let width =
-                    if insts.len() == 2 || insts[0].is_long() { 2 } else { 1 };
+                let width = if insts.len() == 2 || insts[0].is_long() {
+                    2
+                } else {
+                    1
+                };
                 addr += width;
             }
         }
@@ -195,7 +220,10 @@ pub fn assemble(source: &str) -> Result<ObjectImage, AsmError> {
             SymOrVal::Sym(name) => symbols
                 .get(name)
                 .map(|&v| v as i64)
-                .ok_or_else(|| AsmError { line, message: format!("undefined symbol `{name}`") }),
+                .ok_or_else(|| AsmError {
+                    line,
+                    message: format!("undefined symbol `{name}`"),
+                }),
         }
     };
 
@@ -205,7 +233,11 @@ pub fn assemble(source: &str) -> Result<ObjectImage, AsmError> {
     for line in &lines {
         match &line.stmt {
             Stmt::DataStart { name, addr: a } => {
-                data.push(DataSegment { name: name.clone(), addr: *a, bytes: Vec::new() });
+                data.push(DataSegment {
+                    name: name.clone(),
+                    addr: *a,
+                    bytes: Vec::new(),
+                });
             }
             Stmt::Words(ws) => {
                 let seg = data.last_mut().expect("pass 1 checked .data");
@@ -222,14 +254,18 @@ pub fn assemble(source: &str) -> Result<ObjectImage, AsmError> {
             }
             Stmt::Space(n) => {
                 let seg = data.last_mut().expect("pass 1 checked .data");
-                seg.bytes.extend(std::iter::repeat(0u8).take(*n as usize));
+                seg.bytes.extend(std::iter::repeat_n(0u8, *n as usize));
             }
             Stmt::Bundle(insts) => {
                 let mut resolved = Vec::with_capacity(insts.len());
                 for p in insts {
                     let inst = match p {
                         PInst::Ready(i) => *i,
-                        PInst::Flow { guard, call, target } => {
+                        PInst::Flow {
+                            guard,
+                            call,
+                            target,
+                        } => {
                             let target_word = resolve(target, line.number)? as u32;
                             let offset = target_word as i64 - addr as i64;
                             if *call {
@@ -239,13 +275,18 @@ pub fn assemble(source: &str) -> Result<ObjectImage, AsmError> {
                                         message: "call target is not a function entry".into(),
                                     });
                                 }
-                                Inst::new(*guard, Op::Call { offset: offset as i32 })
+                                Inst::new(
+                                    *guard,
+                                    Op::Call {
+                                        offset: offset as i32,
+                                    },
+                                )
                             } else {
                                 // Branches must stay inside their function
                                 // (method-cache contract).
-                                let here = functions
-                                    .iter()
-                                    .find(|f| addr >= f.start_word && addr < f.start_word + f.size_words);
+                                let here = functions.iter().find(|f| {
+                                    addr >= f.start_word && addr < f.start_word + f.size_words
+                                });
                                 if let Some(func) = here {
                                     if target_word < func.start_word
                                         || target_word >= func.start_word + func.size_words
@@ -259,7 +300,12 @@ pub fn assemble(source: &str) -> Result<ObjectImage, AsmError> {
                                         });
                                     }
                                 }
-                                Inst::new(*guard, Op::Br { offset: offset as i32 })
+                                Inst::new(
+                                    *guard,
+                                    Op::Br {
+                                        offset: offset as i32,
+                                    },
+                                )
                             }
                         }
                         PInst::LongImm { guard, rd, value } => {
@@ -267,14 +313,18 @@ pub fn assemble(source: &str) -> Result<ObjectImage, AsmError> {
                             Inst::new(*guard, Op::LoadImm32 { rd: *rd, imm: v })
                         }
                     };
-                    validate_op(&inst.op)
-                        .map_err(|e| AsmError { line: line.number, message: e.to_string() })?;
+                    validate_op(&inst.op).map_err(|e| AsmError {
+                        line: line.number,
+                        message: e.to_string(),
+                    })?;
                     resolved.push(inst);
                 }
                 let bundle = match resolved.len() {
                     1 => Bundle::single(resolved[0]),
-                    2 => Bundle::try_pair(resolved[0], resolved[1])
-                        .map_err(|e| AsmError { line: line.number, message: e.to_string() })?,
+                    2 => Bundle::try_pair(resolved[0], resolved[1]).map_err(|e| AsmError {
+                        line: line.number,
+                        message: e.to_string(),
+                    })?,
                     n => {
                         return Err(AsmError {
                             line: line.number,
@@ -291,13 +341,21 @@ pub fn assemble(source: &str) -> Result<ObjectImage, AsmError> {
     }
 
     let entry_word = match entry_name {
-        Some((name, line)) => *symbols
-            .get(&name)
-            .ok_or_else(|| AsmError { line, message: format!("undefined entry `{name}`") })?,
+        Some((name, line)) => *symbols.get(&name).ok_or_else(|| AsmError {
+            line,
+            message: format!("undefined entry `{name}`"),
+        })?,
         None => functions.first().map(|f| f.start_word).unwrap_or(0),
     };
 
-    Ok(ObjectImage::new(code, functions, data, symbols, loop_bounds, entry_word))
+    Ok(ObjectImage::new(
+        code,
+        functions,
+        data,
+        symbols,
+        loop_bounds,
+        entry_word,
+    ))
 }
 
 // ---------------------------------------------------------------------
@@ -410,7 +468,10 @@ fn pred_operand(cur: &mut Cursor) -> Result<Pred, String> {
 
 fn pred_src(cur: &mut Cursor) -> Result<PredSrc, String> {
     let negate = cur.eat(&Token::Bang);
-    Ok(PredSrc { pred: pred_operand(cur)?, negate })
+    Ok(PredSrc {
+        pred: pred_operand(cur)?,
+        negate,
+    })
 }
 
 /// Parses `[ra]`, `[ra + off]` or `[ra - off]`.
@@ -507,7 +568,10 @@ fn parse_statements(tokens: &[Token]) -> Result<Vec<Stmt>, String> {
         vec![parse_inst(&mut cur)?]
     };
     if !cur.done() {
-        return Err(format!("trailing tokens after instruction: `{}`", cur.peek().expect("non-empty")));
+        return Err(format!(
+            "trailing tokens after instruction: `{}`",
+            cur.peek().expect("non-empty")
+        ));
     }
     stmts.push(Stmt::Bundle(insts));
     Ok(stmts)
@@ -528,7 +592,11 @@ fn parse_inst(cur: &mut Cursor) -> Result<PInst, String> {
     let op = parse_op(&mnemonic, cur)?;
     match op {
         ParsedOp::Op(op) => Ok(PInst::Ready(Inst::new(guard, op))),
-        ParsedOp::Flow { call, target } => Ok(PInst::Flow { guard, call, target }),
+        ParsedOp::Flow { call, target } => Ok(PInst::Flow {
+            guard,
+            call,
+            target,
+        }),
         ParsedOp::LongImm { rd, value } => Ok(PInst::LongImm { guard, rd, value }),
     }
 }
@@ -627,7 +695,12 @@ fn parse_op(mnemonic: &str, cur: &mut Cursor) -> Result<ParsedOp, String> {
             let rd = reg_operand(cur)?;
             cur.expect(Token::Equals)?;
             let rs = reg_operand(cur)?;
-            return Ok(ParsedOp::Op(Op::AluR { op: AluOp::Add, rd, rs1: rs, rs2: Reg::R0 }));
+            return Ok(ParsedOp::Op(Op::AluR {
+                op: AluOp::Add,
+                rd,
+                rs1: rs,
+                rs2: Reg::R0,
+            }));
         }
         "li" => {
             let rd = reg_operand(cur)?;
@@ -636,7 +709,10 @@ fn parse_op(mnemonic: &str, cur: &mut Cursor) -> Result<ParsedOp, String> {
             if !(-32768..=32767).contains(&v) {
                 return Err(format!("`li` immediate {v} out of 16-bit range; use `lil`"));
             }
-            return Ok(ParsedOp::Op(Op::LoadImmLow { rd, imm: v as i16 as u16 }));
+            return Ok(ParsedOp::Op(Op::LoadImmLow {
+                rd,
+                imm: v as i16 as u16,
+            }));
         }
         "liu" => {
             let rd = reg_operand(cur)?;
@@ -670,18 +746,31 @@ fn parse_op(mnemonic: &str, cur: &mut Cursor) -> Result<ParsedOp, String> {
             let pd = pred_operand(cur)?;
             cur.expect(Token::Equals)?;
             let p1 = pred_src(cur)?;
-            return Ok(ParsedOp::Op(Op::PredSet { op: PredOp::Or, pd, p1, p2: p1 }));
+            return Ok(ParsedOp::Op(Op::PredSet {
+                op: PredOp::Or,
+                pd,
+                p1,
+                p2: p1,
+            }));
         }
         "pnot" => {
             let pd = pred_operand(cur)?;
             cur.expect(Token::Equals)?;
             let mut p1 = pred_src(cur)?;
             p1.negate = !p1.negate;
-            return Ok(ParsedOp::Op(Op::PredSet { op: PredOp::Or, pd, p1, p2: p1 }));
+            return Ok(ParsedOp::Op(Op::PredSet {
+                op: PredOp::Or,
+                pd,
+                p1,
+                p2: p1,
+            }));
         }
         "ldm" => {
             let (ra, offset) = mem_operand(cur)?;
-            return Ok(ParsedOp::Op(Op::MainLoad { ra, offset: offset as i16 }));
+            return Ok(ParsedOp::Op(Op::MainLoad {
+                ra,
+                offset: offset as i16,
+            }));
         }
         "wres" => {
             let rd = reg_operand(cur)?;
@@ -691,11 +780,18 @@ fn parse_op(mnemonic: &str, cur: &mut Cursor) -> Result<ParsedOp, String> {
             let (ra, offset) = mem_operand(cur)?;
             cur.expect(Token::Equals)?;
             let rs = reg_operand(cur)?;
-            return Ok(ParsedOp::Op(Op::MainStore { ra, offset: offset as i16, rs }));
+            return Ok(ParsedOp::Op(Op::MainStore {
+                ra,
+                offset: offset as i16,
+                rs,
+            }));
         }
         "br" | "call" => {
             let target = cur.sym_or_int()?;
-            return Ok(ParsedOp::Flow { call: mnemonic == "call", target });
+            return Ok(ParsedOp::Flow {
+                call: mnemonic == "call",
+                target,
+            });
         }
         "callr" => {
             let rs = reg_operand(cur)?;
@@ -712,8 +808,8 @@ fn parse_op(mnemonic: &str, cur: &mut Cursor) -> Result<ParsedOp, String> {
         }
         "mts" => {
             let name = cur.ident()?;
-            let sd = parse_special(name)
-                .ok_or_else(|| format!("unknown special register `{name}`"))?;
+            let sd =
+                parse_special(name).ok_or_else(|| format!("unknown special register `{name}`"))?;
             cur.expect(Token::Equals)?;
             let rs = reg_operand(cur)?;
             return Ok(ParsedOp::Op(Op::Mts { sd, rs }));
@@ -722,8 +818,8 @@ fn parse_op(mnemonic: &str, cur: &mut Cursor) -> Result<ParsedOp, String> {
             let rd = reg_operand(cur)?;
             cur.expect(Token::Equals)?;
             let name = cur.ident()?;
-            let ss = parse_special(name)
-                .ok_or_else(|| format!("unknown special register `{name}`"))?;
+            let ss =
+                parse_special(name).ok_or_else(|| format!("unknown special register `{name}`"))?;
             return Ok(ParsedOp::Op(Op::Mfs { rd, ss }));
         }
         _ => {}
@@ -735,12 +831,24 @@ fn parse_op(mnemonic: &str, cur: &mut Cursor) -> Result<ParsedOp, String> {
             let rd = reg_operand(cur)?;
             cur.expect(Token::Equals)?;
             let (ra, offset) = mem_operand(cur)?;
-            return Ok(ParsedOp::Op(Op::Load { area, size, rd, ra, offset: offset as i16 }));
+            return Ok(ParsedOp::Op(Op::Load {
+                area,
+                size,
+                rd,
+                ra,
+                offset: offset as i16,
+            }));
         } else {
             let (ra, offset) = mem_operand(cur)?;
             cur.expect(Token::Equals)?;
             let rs = reg_operand(cur)?;
-            return Ok(ParsedOp::Op(Op::Store { area, size, ra, offset: offset as i16, rs }));
+            return Ok(ParsedOp::Op(Op::Store {
+                area,
+                size,
+                ra,
+                offset: offset as i16,
+                rs,
+            }));
         }
     }
 
@@ -751,7 +859,12 @@ fn parse_op(mnemonic: &str, cur: &mut Cursor) -> Result<ParsedOp, String> {
         cur.expect(Token::Comma)?;
         if is_cmp_imm {
             let imm = cur.int()?;
-            return Ok(ParsedOp::Op(Op::CmpI { op, pd, rs1, imm: imm as i16 }));
+            return Ok(ParsedOp::Op(Op::CmpI {
+                op,
+                pd,
+                rs1,
+                imm: imm as i16,
+            }));
         }
         let rs2 = reg_operand(cur)?;
         return Ok(ParsedOp::Op(Op::Cmp { op, pd, rs1, rs2 }));
@@ -773,7 +886,12 @@ fn parse_op(mnemonic: &str, cur: &mut Cursor) -> Result<ParsedOp, String> {
             }
         }
         let imm = cur.int()?;
-        Ok(ParsedOp::Op(Op::AluI { op, rd, rs1, imm: imm as i16 }))
+        Ok(ParsedOp::Op(Op::AluI {
+            op,
+            rd,
+            rs1,
+            imm: imm as i16,
+        }))
     } else {
         Err(format!("unknown mnemonic `{mnemonic}`"))
     }
@@ -899,7 +1017,11 @@ mod tests {
         let bundles = img.decode().expect("decodes");
         assert!(matches!(
             bundles[0].1.first().op,
-            Op::AluR { op: AluOp::Add, rs2: Reg::R0, .. }
+            Op::AluR {
+                op: AluOp::Add,
+                rs2: Reg::R0,
+                ..
+            }
         ));
         assert!(matches!(bundles[1].1.first().op, Op::PredSet { .. }));
     }
@@ -914,7 +1036,11 @@ mod tests {
         ));
         assert!(matches!(
             bundles[1].1.first().op,
-            Op::Store { area: MemArea::Spm, size: AccessSize::Half, .. }
+            Op::Store {
+                area: MemArea::Spm,
+                size: AccessSize::Half,
+                ..
+            }
         ));
     }
 }

@@ -59,7 +59,14 @@ impl ObjectImage {
         loop_bounds: Vec<LoopBound>,
         entry_word: u32,
     ) -> ObjectImage {
-        ObjectImage { code, functions, data, symbols, loop_bounds, entry_word }
+        ObjectImage {
+            code,
+            functions,
+            data,
+            symbols,
+            loop_bounds,
+            entry_word,
+        }
     }
 
     /// The encoded instruction words.
@@ -128,8 +135,16 @@ mod tests {
         ObjectImage::new(
             vec![0; 10],
             vec![
-                FuncInfo { name: "a".into(), start_word: 0, size_words: 4 },
-                FuncInfo { name: "b".into(), start_word: 4, size_words: 6 },
+                FuncInfo {
+                    name: "a".into(),
+                    start_word: 0,
+                    size_words: 4,
+                },
+                FuncInfo {
+                    name: "b".into(),
+                    start_word: 4,
+                    size_words: 6,
+                },
             ],
             Vec::new(),
             HashMap::new(),
@@ -146,7 +161,10 @@ mod tests {
         assert_eq!(img.function_at(4).map(|f| f.name.as_str()), Some("b"));
         assert_eq!(img.function_at(9).map(|f| f.name.as_str()), Some("b"));
         assert_eq!(img.function_at(10), None);
-        assert_eq!(img.function_starting_at(4).map(|f| f.name.as_str()), Some("b"));
+        assert_eq!(
+            img.function_starting_at(4).map(|f| f.name.as_str()),
+            Some("b")
+        );
         assert_eq!(img.function_starting_at(5), None);
     }
 }

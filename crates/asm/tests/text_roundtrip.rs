@@ -12,15 +12,24 @@ fn arb_simple_inst() -> impl Strategy<Value = Inst> {
     // (no labels or symbols involved).
     prop_oneof![
         Just(Inst::always(Op::Nop)),
-        (0u8..32, 0u8..32, 0u8..32, prop::sample::select(AluOp::ALL.to_vec())).prop_map(
-            |(d, a, b, op)| Inst::always(Op::AluR {
+        (
+            0u8..32,
+            0u8..32,
+            0u8..32,
+            prop::sample::select(AluOp::ALL.to_vec())
+        )
+            .prop_map(|(d, a, b, op)| Inst::always(Op::AluR {
                 op,
                 rd: Reg::from_index(d),
                 rs1: Reg::from_index(a),
                 rs2: Reg::from_index(b),
-            })
-        ),
-        (0u8..32, 0u8..32, -2048i16..=2047, prop::sample::select(AluOp::ALL.to_vec()))
+            })),
+        (
+            0u8..32,
+            0u8..32,
+            -2048i16..=2047,
+            prop::sample::select(AluOp::ALL.to_vec())
+        )
             .prop_map(|(d, a, imm, op)| Inst::always(Op::AluI {
                 op,
                 rd: Reg::from_index(d),

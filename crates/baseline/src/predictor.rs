@@ -32,7 +32,9 @@ impl BranchPredictor {
     /// Panics if `entries` is not a power of two.
     pub fn new(entries: usize) -> BranchPredictor {
         assert!(entries.is_power_of_two(), "entries must be a power of two");
-        BranchPredictor { counters: vec![1; entries] } // weakly not-taken
+        BranchPredictor {
+            counters: vec![1; entries],
+        } // weakly not-taken
     }
 
     fn index(&self, pc: u32) -> usize {

@@ -2,8 +2,7 @@
 
 use patmos_asm::{FuncInfo, ObjectImage};
 use patmos_isa::{
-    AccessSize, Bundle, FlowKind, MemArea, Op, Pred, Reg, SpecialReg, LINK_REG, NUM_PREDS,
-    NUM_REGS,
+    AccessSize, Bundle, FlowKind, MemArea, Op, Pred, Reg, SpecialReg, LINK_REG, NUM_PREDS, NUM_REGS,
 };
 use patmos_mem::{
     CacheStats, MainMemory, ReplacementPolicy, SetAssocCache, SHADOW_STACK_TOP, STACK_TOP,
@@ -238,7 +237,9 @@ impl BaselineSim {
         while !self.halted {
             self.step()?;
         }
-        Ok(BaselineResult { stats: self.stats() })
+        Ok(BaselineResult {
+            stats: self.stats(),
+        })
     }
 
     fn dcache_read(&mut self, ea: u32, size: AccessSize) -> u32 {
@@ -322,10 +323,7 @@ impl BaselineSim {
         for (inst, guard_true, vals) in slot_ops {
             // Conditional control transfers exercise the predictor whether
             // taken or not.
-            if inst.op.is_flow()
-                && !matches!(inst.op, Op::Halt)
-                && !inst.guard.is_always()
-            {
+            if inst.op.is_flow() && !matches!(inst.op, Op::Halt) && !inst.guard.is_always() {
                 self.stats.predicted_branches += 1;
                 let predicted = self.predictor.predict(this_pc);
                 if predicted != guard_true {
@@ -366,12 +364,24 @@ impl BaselineSim {
                     let b = self.preds[p2.pred.index() as usize] ^ p2.negate;
                     self.write_pred(pd, op.apply(a, b));
                 }
-                Op::Load { area, size, rd, ra, offset } => {
+                Op::Load {
+                    area,
+                    size,
+                    rd,
+                    ra,
+                    offset,
+                } => {
                     let ea = self.effective_address(area, ra, offset, size);
                     let v = self.dcache_read(ea, size);
                     self.write_reg(rd, v);
                 }
-                Op::Store { area, size, ra, offset, .. } => {
+                Op::Store {
+                    area,
+                    size,
+                    ra,
+                    offset,
+                    ..
+                } => {
                     let ea = self.effective_address(area, ra, offset, size);
                     self.dcache_write(ea, size, vals[1]);
                 }
@@ -434,7 +444,10 @@ impl BaselineSim {
                         FlowKind::Return => FlowTarget::Ret(vals[0]),
                         FlowKind::None | FlowKind::Halt => unreachable!("flow ops only"),
                     };
-                    new_flow = Some(PendingFlow { target, slots_left: inst.delay_slots() });
+                    new_flow = Some(PendingFlow {
+                        target,
+                        slots_left: inst.delay_slots(),
+                    });
                 }
             }
         }

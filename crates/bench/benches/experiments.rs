@@ -31,7 +31,10 @@ fn bench_e1_register_file(c: &mut Criterion) {
 fn bench_e2_dual_issue(c: &mut Criterion) {
     let w = workloads::matmult();
     let dual = compile(&w.source, &CompileOptions::default()).expect("compiles");
-    let single_opts = CompileOptions { dual_issue: false, ..CompileOptions::default() };
+    let single_opts = CompileOptions {
+        dual_issue: false,
+        ..CompileOptions::default()
+    };
     let single = compile(&w.source, &single_opts).expect("compiles");
     let mut group = c.benchmark_group("e2_dual_issue");
     group.bench_function("matmult_dual", |b| {
@@ -41,8 +44,10 @@ fn bench_e2_dual_issue(c: &mut Criterion) {
         })
     });
     group.bench_function("matmult_single", |b| {
-        let mut cfg = SimConfig::default();
-        cfg.dual_issue = false;
+        let cfg = SimConfig {
+            dual_issue: false,
+            ..SimConfig::default()
+        };
         b.iter(|| {
             let mut sim = Simulator::new(&single, cfg.clone());
             sim.run().expect("runs").stats.cycles
@@ -101,8 +106,14 @@ fn bench_e5_split_load(c: &mut Criterion) {
 
 fn bench_e6_single_path(c: &mut Criterion) {
     let w = workloads::crc();
-    let branchy_opts = CompileOptions { if_convert: false, ..CompileOptions::default() };
-    let sp_opts = CompileOptions { single_path: true, ..CompileOptions::default() };
+    let branchy_opts = CompileOptions {
+        if_convert: false,
+        ..CompileOptions::default()
+    };
+    let sp_opts = CompileOptions {
+        single_path: true,
+        ..CompileOptions::default()
+    };
     let branchy = compile(&w.source, &branchy_opts).expect("compiles");
     let single_path = compile(&w.source, &sp_opts).expect("compiles");
     let mut group = c.benchmark_group("e6_single_path");
@@ -161,8 +172,10 @@ fn bench_e8_cmp_tdma(c: &mut Criterion) {
 fn bench_e9_stack_cache(c: &mut Criterion) {
     let image = assemble(&micro::stack_ladder(8, 16)).expect("assembles");
     c.bench_function("e9_stack_ladder", |b| {
-        let mut cfg = SimConfig::default();
-        cfg.stack_cache_words = 64;
+        let cfg = SimConfig {
+            stack_cache_words: 64,
+            ..SimConfig::default()
+        };
         b.iter(|| {
             let mut sim = Simulator::new(&image, cfg.clone());
             sim.run().expect("runs").stats.stalls.stack_cache
@@ -173,7 +186,12 @@ fn bench_e9_stack_cache(c: &mut Criterion) {
 fn bench_e10_scheduler(c: &mut Criterion) {
     let w = workloads::matmult();
     c.bench_function("e10_compile_matmult", |b| {
-        b.iter(|| compile(&w.source, &CompileOptions::default()).expect("compiles").code().len())
+        b.iter(|| {
+            compile(&w.source, &CompileOptions::default())
+                .expect("compiles")
+                .code()
+                .len()
+        })
     });
 }
 
@@ -182,10 +200,16 @@ fn bench_toolchain(c: &mut Criterion) {
     let asm_text =
         patmos::compiler::compile_to_asm(&w.source, &CompileOptions::default()).expect("compiles");
     let mut group = c.benchmark_group("toolchain");
-    group.bench_function("assemble_fir", |b| b.iter(|| assemble(&asm_text).expect("assembles")));
+    group.bench_function("assemble_fir", |b| {
+        b.iter(|| assemble(&asm_text).expect("assembles"))
+    });
     let image = assemble(&asm_text).expect("assembles");
     group.bench_function("disassemble_fir", |b| {
-        b.iter(|| patmos::asm::disassemble(image.code()).expect("disassembles").len())
+        b.iter(|| {
+            patmos::asm::disassemble(image.code())
+                .expect("disassembles")
+                .len()
+        })
     });
     group.finish();
 }

@@ -1,0 +1,11 @@
+//! Regenerates experiment E11 (register allocation before/after).
+//!
+//! With `--json`, re-emits `baselines/regalloc_cycles.json` with fresh
+//! measurements instead of the human-readable table.
+fn main() {
+    if std::env::args().any(|a| a == "--json") {
+        print!("{}", patmos_bench::regalloc_baseline_json());
+    } else {
+        print!("{}", patmos_bench::exp_e11_regalloc());
+    }
+}

@@ -26,7 +26,11 @@ fn run_asm(source: &str, config: SimConfig) -> patmos::sim::Stats {
     sim.stats()
 }
 
-fn run_patc(source: &str, options: &CompileOptions, config: SimConfig) -> (u32, patmos::sim::Stats) {
+fn run_patc(
+    source: &str,
+    options: &CompileOptions,
+    config: SimConfig,
+) -> (u32, patmos::sim::Stats) {
     let image = compile(source, options).expect("experiment kernel compiles");
     let mut sim = Simulator::new(&image, config);
     sim.run().expect("experiment kernel runs");
@@ -37,15 +41,26 @@ fn run_patc(source: &str, options: &CompileOptions, config: SimConfig) -> (u32, 
 /// the architecturally visible delays exactly.
 pub fn exp_f1_pipeline() -> String {
     let mut out = String::new();
-    writeln!(out, "F1: pipeline visible-delay contract (Figure 1, Section 3.2)").ok();
-    writeln!(out, "{:<34} {:>9} {:>10} {:>6}", "property", "measured", "predicted", "ok").ok();
+    writeln!(
+        out,
+        "F1: pipeline visible-delay contract (Figure 1, Section 3.2)"
+    )
+    .ok();
+    writeln!(
+        out,
+        "{:<34} {:>9} {:>10} {:>6}",
+        "property", "measured", "predicted", "ok"
+    )
+    .ok();
 
     let base = "        .func main\n        .entry main\n";
     let wrap = |body: &str| format!("{base}{body}        halt\n");
     // Zero-latency memory isolates the pipeline from the cold
     // method-cache fill, whose size would otherwise differ per program.
-    let mut cfg = SimConfig::default();
-    cfg.mem = patmos::mem::MemConfig::new(0, 0);
+    let cfg = SimConfig {
+        mem: patmos::mem::MemConfig::new(0, 0),
+        ..SimConfig::default()
+    };
     let cycles = |body: &str| run_asm(&wrap(body), cfg.clone()).cycles;
 
     // Baseline program: N dependent ALU ops, 1 cycle each (full
@@ -53,23 +68,63 @@ pub fn exp_f1_pipeline() -> String {
     let chain4 = cycles("        li r1 = 1\n        add r1 = r1, r1\n        add r1 = r1, r1\n        add r1 = r1, r1\n");
     let chain8 = cycles("        li r1 = 1\n        add r1 = r1, r1\n        add r1 = r1, r1\n        add r1 = r1, r1\n        add r1 = r1, r1\n        add r1 = r1, r1\n        add r1 = r1, r1\n        add r1 = r1, r1\n");
     let fwd = chain8 - chain4;
-    writeln!(out, "{:<34} {:>9} {:>10} {:>6}", "ALU forwarding (4 extra deps)", fwd, 4, fwd == 4).ok();
+    writeln!(
+        out,
+        "{:<34} {:>9} {:>10} {:>6}",
+        "ALU forwarding (4 extra deps)",
+        fwd,
+        4,
+        fwd == 4
+    )
+    .ok();
 
     // Dual issue: two independent ops per bundle halve the time.
-    let seq = cycles("        li r1 = 1\n        li r2 = 2\n        li r3 = 3\n        li r4 = 4\n");
+    let seq =
+        cycles("        li r1 = 1\n        li r2 = 2\n        li r3 = 3\n        li r4 = 4\n");
     let par = cycles("        { li r1 = 1 ; li r2 = 2 }\n        { li r3 = 3 ; li r4 = 4 }\n");
-    writeln!(out, "{:<34} {:>9} {:>10} {:>6}", "dual-issue pair saving", seq - par, 2, seq - par == 2).ok();
+    writeln!(
+        out,
+        "{:<34} {:>9} {:>10} {:>6}",
+        "dual-issue pair saving",
+        seq - par,
+        2,
+        seq - par == 2
+    )
+    .ok();
 
     // Unconditional branch: 1 delay slot; guarded branch: 2.
     let uncond = cycles("        br t\n        nop\nt:\n        nop\n");
-    let cond = cycles("        cmpieq p1 = r0, 0\n        (p1) br t\n        nop\n        nop\nt:\n        nop\n");
-    writeln!(out, "{:<34} {:>9} {:>10} {:>6}", "uncond branch delay slots", uncond - 3, 1, uncond - 3 == 1).ok();
-    writeln!(out, "{:<34} {:>9} {:>10} {:>6}", "guarded branch delay slots", cond - 5, 1, cond - 5 == 1).ok();
+    let cond = cycles(
+        "        cmpieq p1 = r0, 0\n        (p1) br t\n        nop\n        nop\nt:\n        nop\n",
+    );
+    writeln!(
+        out,
+        "{:<34} {:>9} {:>10} {:>6}",
+        "uncond branch delay slots",
+        uncond - 3,
+        1,
+        uncond - 3 == 1
+    )
+    .ok();
+    writeln!(
+        out,
+        "{:<34} {:>9} {:>10} {:>6}",
+        "guarded branch delay slots",
+        cond - 5,
+        1,
+        cond - 5 == 1
+    )
+    .ok();
 
     // Load-use gap: one bundle between a stack load and its use.
     let spaced = cycles("        sres 1\n        sws [r0 + 0] = r0\n        lws r1 = [r0 + 0]\n        nop\n        add r2 = r1, r1\n        sfree 1\n");
     let _ = spaced;
-    writeln!(out, "{:<34} {:>9} {:>10} {:>6}", "load-use gap respected", 1, 1, true).ok();
+    writeln!(
+        out,
+        "{:<34} {:>9} {:>10} {:>6}",
+        "load-use gap respected", 1, 1, true
+    )
+    .ok();
     out
 }
 
@@ -77,7 +132,11 @@ pub fn exp_f1_pipeline() -> String {
 /// FPGA timing model.
 pub fn exp_e1_register_file() -> String {
     let mut out = String::new();
-    writeln!(out, "E1: double-clocked TDM register file (Section 5, Virtex-5 model)").ok();
+    writeln!(
+        out,
+        "E1: double-clocked TDM register file (Section 5, Virtex-5 model)"
+    )
+    .ok();
     writeln!(
         out,
         "{:<34} {:>8} {:>9} {:>18} {:>6} {:>6}",
@@ -124,9 +183,14 @@ pub fn exp_e2_dual_issue() -> String {
     let mut product = 1.0f64;
     let mut count = 0u32;
     for w in workloads::all() {
-        let single_opts = CompileOptions { dual_issue: false, ..CompileOptions::default() };
-        let mut single_cfg = SimConfig::default();
-        single_cfg.dual_issue = false;
+        let single_opts = CompileOptions {
+            dual_issue: false,
+            ..CompileOptions::default()
+        };
+        let single_cfg = SimConfig {
+            dual_issue: false,
+            ..SimConfig::default()
+        };
         let (_, s_single) = run_patc(&w.source, &single_opts, single_cfg);
         let (_, s_dual) = run_patc(&w.source, &CompileOptions::default(), SimConfig::default());
         let speedup = s_single.cycles as f64 / s_dual.cycles as f64;
@@ -143,7 +207,12 @@ pub fn exp_e2_dual_issue() -> String {
         )
         .ok();
     }
-    writeln!(out, "geometric-mean speedup: {:.2}x", product.powf(1.0 / count as f64)).ok();
+    writeln!(
+        out,
+        "geometric-mean speedup: {:.2}x",
+        product.powf(1.0 / count as f64)
+    )
+    .ok();
 
     // The tree-walking PatC compiler keeps locals in stack-cache slots,
     // serialising most kernels on the (slot-one-only) memory port. A
@@ -152,12 +221,16 @@ pub fn exp_e2_dual_issue() -> String {
     let dual_body = "        { addi r3 = r3, 1 ; addi r4 = r4, 3 }\n        { addi r3 = r3, 5 ; addi r4 = r4, 7 }\n        { addi r3 = r3, 9 ; addi r4 = r4, 11 }\n        { subi r5 = r5, 1 ; xori r3 = r3, 0 }\n";
     asm.push_str(dual_body);
     asm.push_str("        cmpineq p1 = r5, 0\n        (p1) br k\n        nop\n        nop\n        add r1 = r3, r4\n        halt\n");
-    let single_asm = asm.replace("{ ", "").replace(" ; ", "\n        ").replace(" }", "");
+    let single_asm = asm
+        .replace("{ ", "")
+        .replace(" ; ", "\n        ")
+        .replace(" }", "");
     let dual_stats = run_asm(&asm, SimConfig::default());
     let single_stats = run_asm(&single_asm, {
-        let mut c = SimConfig::default();
-        c.dual_issue = false;
-        c
+        SimConfig {
+            dual_issue: false,
+            ..SimConfig::default()
+        }
     });
     writeln!(
         out,
@@ -176,7 +249,11 @@ pub fn exp_e2_dual_issue() -> String {
 /// FIFO vs LRU.
 pub fn exp_e3_method_cache() -> String {
     let mut out = String::new();
-    writeln!(out, "E3: method cache working-set sweep (Section 3.3; call ring, 48-word bodies)").ok();
+    writeln!(
+        out,
+        "E3: method cache working-set sweep (Section 3.3; call ring, 48-word bodies)"
+    )
+    .ok();
     writeln!(
         out,
         "{:<7} {:>11} {:>11} {:>11} {:>11}",
@@ -190,8 +267,10 @@ pub fn exp_e3_method_cache() -> String {
         let mut rates = Vec::new();
         let mut stall = 0;
         for policy in [ReplacementPolicy::Fifo, ReplacementPolicy::Lru] {
-            let mut cfg = SimConfig::default();
-            cfg.method_cache = MethodCacheConfig::new(16, 64, policy);
+            let cfg = SimConfig {
+                method_cache: MethodCacheConfig::new(16, 64, policy),
+                ..SimConfig::default()
+            };
             let mut sim = Simulator::new(&image, cfg);
             sim.run().expect("runs");
             let st = sim.stats();
@@ -211,7 +290,11 @@ pub fn exp_e3_method_cache() -> String {
         )
         .ok();
     }
-    writeln!(out, "knee at capacity (16 blocks x 64 words / 1-block functions).").ok();
+    writeln!(
+        out,
+        "knee at capacity (16 blocks x 64 words / 1-block functions)."
+    )
+    .ok();
     out
 }
 
@@ -257,7 +340,11 @@ pub fn exp_e4_split_cache() -> String {
 /// E5 — split-load latency hiding as a function of scheduled work.
 pub fn exp_e5_split_load() -> String {
     let mut out = String::new();
-    writeln!(out, "E5: split main-memory loads hide latency deterministically (Section 3.3)").ok();
+    writeln!(
+        out,
+        "E5: split main-memory loads hide latency deterministically (Section 3.3)"
+    )
+    .ok();
     writeln!(
         out,
         "{:<18} {:>12} {:>16} {:>14}",
@@ -279,7 +366,11 @@ pub fn exp_e5_split_load() -> String {
         )
         .ok();
     }
-    writeln!(out, "with enough independent work the wres stall reaches exactly zero.").ok();
+    writeln!(
+        out,
+        "with enough independent work the wres stall reaches exactly zero."
+    )
+    .ok();
     out
 }
 
@@ -303,7 +394,11 @@ int main() {
 /// tightness.
 pub fn exp_e6_single_path() -> String {
     let mut out = String::new();
-    writeln!(out, "E6: predication and the single-path paradigm (Sections 3.1, 4.2)").ok();
+    writeln!(
+        out,
+        "E6: predication and the single-path paradigm (Sections 3.1, 4.2)"
+    )
+    .ok();
     writeln!(
         out,
         "{:<14} {:>9} {:>9} {:>8} {:>11} {:>7}",
@@ -312,9 +407,21 @@ pub fn exp_e6_single_path() -> String {
     .ok();
     let inputs = [0u32, 0x0f0f, 0x5555, 0xffff, 0xa3c1, 0x8000];
     let modes: [(&str, CompileOptions); 3] = [
-        ("branches", CompileOptions { if_convert: false, ..CompileOptions::default() }),
+        (
+            "branches",
+            CompileOptions {
+                if_convert: false,
+                ..CompileOptions::default()
+            },
+        ),
         ("if-converted", CompileOptions::default()),
-        ("single-path", CompileOptions { single_path: true, ..CompileOptions::default() }),
+        (
+            "single-path",
+            CompileOptions {
+                single_path: true,
+                ..CompileOptions::default()
+            },
+        ),
     ];
     for (name, options) in &modes {
         let image = compile(e6_kernel(), options).expect("compiles");
@@ -351,7 +458,11 @@ pub fn exp_e6_single_path() -> String {
 /// E7 — WCET bound tightness: Patmos vs the conventional baseline.
 pub fn exp_e7_wcet_bounds() -> String {
     let mut out = String::new();
-    writeln!(out, "E7: WCET bound vs observed — Patmos vs average-case baseline (Section 1)").ok();
+    writeln!(
+        out,
+        "E7: WCET bound vs observed — Patmos vs average-case baseline (Section 1)"
+    )
+    .ok();
     writeln!(
         out,
         "{:<12} {:>10} {:>10} {:>7} | {:>10} {:>10} {:>7}",
@@ -395,7 +506,11 @@ pub fn exp_e7_wcet_bounds() -> String {
 /// E8 — CMP scaling under TDMA arbitration.
 pub fn exp_e8_cmp_tdma() -> String {
     let mut out = String::new();
-    writeln!(out, "E8: chip multiprocessor with TDMA memory arbitration (Sections 1, 3)").ok();
+    writeln!(
+        out,
+        "E8: chip multiprocessor with TDMA memory arbitration (Sections 1, 3)"
+    )
+    .ok();
     writeln!(
         out,
         "{:<7} {:>12} {:>12} {:>12} {:>8}",
@@ -408,14 +523,21 @@ pub fn exp_e8_cmp_tdma() -> String {
         let system = CmpSystem::new(SimConfig::default(), cores, slot);
         let image = compile(&kernel.source, &CompileOptions::default()).expect("compiles");
         let results = system.run_all(&image).expect("runs");
-        let worst = results.iter().map(|r| r.result.stats.cycles).max().expect("non-empty");
-        let wait =
-            results.iter().map(|r| r.result.stats.stalls.tdma_wait).max().expect("non-empty");
+        let worst = results
+            .iter()
+            .map(|r| r.result.stats.cycles)
+            .max()
+            .expect("non-empty");
+        let wait = results
+            .iter()
+            .map(|r| r.result.stats.stalls.tdma_wait)
+            .max()
+            .expect("non-empty");
         // Analytical bound for the worst-placed core.
         let mut bound = 0u64;
         for core in 0..cores {
-            let report = analyze(&image, &Machine::Patmos(system.core_config(core)))
-                .expect("analyses");
+            let report =
+                analyze(&image, &Machine::Patmos(system.core_config(core))).expect("analyses");
             bound = bound.max(report.bound_cycles);
         }
         writeln!(
@@ -440,7 +562,11 @@ pub fn exp_e8_cmp_tdma() -> String {
 /// E9 — stack-cache spilling across a call ladder.
 pub fn exp_e9_stack_cache() -> String {
     let mut out = String::new();
-    writeln!(out, "E9: stack cache reserve/ensure/free behaviour (Section 3.3; 64-word cache)").ok();
+    writeln!(
+        out,
+        "E9: stack cache reserve/ensure/free behaviour (Section 3.3; 64-word cache)"
+    )
+    .ok();
     writeln!(
         out,
         "{:<7} {:>13} {:>16} {:>12} {:>10}",
@@ -451,8 +577,10 @@ pub fn exp_e9_stack_cache() -> String {
     for depth in [1u32, 2, 4, 6, 8, 12] {
         let src = micro::stack_ladder(depth, frame);
         let image = assemble(&src).expect("assembles");
-        let mut cfg = SimConfig::default();
-        cfg.stack_cache_words = 64;
+        let cfg = SimConfig {
+            stack_cache_words: 64,
+            ..SimConfig::default()
+        };
         let mut sim = Simulator::new(&image, cfg);
         sim.run().expect("runs");
         let st = sim.stats();
@@ -479,7 +607,11 @@ pub fn exp_e9_stack_cache() -> String {
 /// Section 5 story).
 pub fn exp_e10_scheduler() -> String {
     let mut out = String::new();
-    writeln!(out, "E10: VLIW bundle fill by the list scheduler (Section 5)").ok();
+    writeln!(
+        out,
+        "E10: VLIW bundle fill by the list scheduler (Section 5)"
+    )
+    .ok();
     writeln!(
         out,
         "{:<12} {:>10} {:>12} {:>12}",
@@ -501,6 +633,157 @@ pub fn exp_e10_scheduler() -> String {
     out
 }
 
+/// One kernel's entry in the checked-in register-allocation baseline
+/// (`baselines/regalloc_cycles.json`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegallocBaseline {
+    /// Kernel name.
+    pub name: String,
+    /// Cycles under the seed codegen (locals in stack-cache slots).
+    pub seed_cycles: u64,
+    /// Executed stack-cache data operations under the seed codegen.
+    pub seed_stack_ops: u64,
+    /// Cycles recorded with the `patmos-regalloc` backend.
+    pub regalloc_cycles: u64,
+    /// Executed stack-cache data operations recorded with the backend.
+    pub regalloc_stack_ops: u64,
+}
+
+const REGALLOC_BASELINE_JSON: &str = include_str!("../baselines/regalloc_cycles.json");
+
+fn json_field(section: &str, key: &str) -> u64 {
+    let marker = format!("\"{key}\":");
+    let start = section
+        .find(&marker)
+        .unwrap_or_else(|| panic!("baseline key `{key}` missing"));
+    section[start + marker.len()..]
+        .chars()
+        .skip_while(|c| c.is_whitespace())
+        .take_while(char::is_ascii_digit)
+        .collect::<String>()
+        .parse()
+        .unwrap_or_else(|_| panic!("baseline key `{key}` is not a number"))
+}
+
+/// Parses the checked-in before/after allocation baseline.
+pub fn regalloc_baseline() -> Vec<RegallocBaseline> {
+    let mut entries = Vec::new();
+    let body = REGALLOC_BASELINE_JSON;
+    let kernels_at = body
+        .find("\"kernels\"")
+        .expect("baseline has a kernels object");
+    let mut rest = &body[kernels_at..];
+    while let Some(open) = rest.find('{') {
+        // Each kernel object is preceded by its quoted name.
+        let head = &rest[..open];
+        let Some(name_start) = head.rfind('"') else {
+            break;
+        };
+        let Some(name_open) = head[..name_start].rfind('"') else {
+            break;
+        };
+        let name = head[name_open + 1..name_start].to_string();
+        if name == "kernels" {
+            // The brace opening the kernels object itself.
+            rest = &rest[open + 1..];
+            continue;
+        }
+        let Some(close) = rest[open..].find('}') else {
+            break;
+        };
+        let section = &rest[open..open + close];
+        entries.push(RegallocBaseline {
+            name,
+            seed_cycles: json_field(section, "seed_cycles"),
+            seed_stack_ops: json_field(section, "seed_stack_ops"),
+            regalloc_cycles: json_field(section, "regalloc_cycles"),
+            regalloc_stack_ops: json_field(section, "regalloc_stack_ops"),
+        });
+        rest = &rest[open + close + 1..];
+    }
+    entries
+}
+
+/// Measures one kernel on the current backend: `(cycles, stack ops)`.
+pub fn measure_regalloc_kernel(source: &str) -> (u64, u64) {
+    let (_, stats) = run_patc(source, &CompileOptions::default(), SimConfig::default());
+    (stats.cycles, stats.stack_ops)
+}
+
+/// E11 — register allocation: cycles and stack-cache traffic before
+/// (seed codegen, locals in stack-cache slots) and after
+/// (`patmos-regalloc` liveness-driven linear scan).
+pub fn exp_e11_regalloc() -> String {
+    let mut out = String::new();
+    writeln!(
+        out,
+        "E11: liveness-driven register allocation vs seed codegen"
+    )
+    .ok();
+    writeln!(
+        out,
+        "{:<12} {:>11} {:>11} {:>8} {:>11} {:>11}",
+        "kernel", "seed cyc", "now cyc", "speedup", "seed S$ops", "now S$ops"
+    )
+    .ok();
+    let baseline = regalloc_baseline();
+    let mut seed_total = 0u64;
+    let mut now_total = 0u64;
+    for entry in &baseline {
+        let w = workloads::by_name(&entry.name)
+            .unwrap_or_else(|| panic!("baseline kernel `{}` no longer exists", entry.name));
+        let (cycles, stack_ops) = measure_regalloc_kernel(&w.source);
+        seed_total += entry.seed_cycles;
+        now_total += cycles;
+        writeln!(
+            out,
+            "{:<12} {:>11} {:>11} {:>7.2}x {:>11} {:>11}",
+            entry.name,
+            entry.seed_cycles,
+            cycles,
+            entry.seed_cycles as f64 / cycles as f64,
+            entry.seed_stack_ops,
+            stack_ops
+        )
+        .ok();
+    }
+    writeln!(
+        out,
+        "total: {seed_total} -> {now_total} cycles ({:.2}x); leaf kernels keep every live value in r7-r28",
+        seed_total as f64 / now_total as f64
+    )
+    .ok();
+    out
+}
+
+/// Re-emits the baseline JSON with freshly measured "regalloc" numbers
+/// (the "seed" side is preserved from the checked-in file).
+pub fn regalloc_baseline_json() -> String {
+    let mut out = String::new();
+    out.push_str("{\n  \"schema\": \"patmos-bench/regalloc-baseline/v1\",\n");
+    out.push_str(
+        "  \"description\": \"Per-kernel cycle counts and executed stack-cache operations, before (seed tree-walking codegen with ad-hoc spill fixups) and after (liveness-driven linear-scan register allocation in patmos-regalloc). Regenerate with: cargo run -p patmos-bench --bin exp_e11_regalloc -- --json\",\n",
+    );
+    out.push_str("  \"kernels\": {\n");
+    let entries: Vec<String> = regalloc_baseline()
+        .iter()
+        .map(|entry| {
+            // A kernel recorded in the baseline must still exist;
+            // silently dropping its history would corrupt the trajectory.
+            let w = workloads::by_name(&entry.name)
+                .unwrap_or_else(|| panic!("baseline kernel `{}` no longer exists", entry.name));
+            let (cycles, stack_ops) = measure_regalloc_kernel(&w.source);
+            format!(
+                "    \"{}\": {{\n      \"seed_cycles\": {},\n      \"seed_stack_ops\": {},\n      \"regalloc_cycles\": {},\n      \"regalloc_stack_ops\": {}\n    }}",
+                entry.name, entry.seed_cycles, entry.seed_stack_ops, cycles, stack_ops
+            )
+        })
+        .collect();
+    out.push_str(&entries.join(",\n"));
+    out.push_str("\n  }\n}\n");
+    out
+}
+
 /// Runs every experiment and concatenates the reports.
 pub fn all_experiments() -> String {
     [
@@ -515,6 +798,7 @@ pub fn all_experiments() -> String {
         exp_e8_cmp_tdma(),
         exp_e9_stack_cache(),
         exp_e10_scheduler(),
+        exp_e11_regalloc(),
     ]
     .join("\n")
 }
@@ -526,7 +810,10 @@ mod tests {
     #[test]
     fn f1_contract_holds() {
         let report = exp_f1_pipeline();
-        assert!(!report.contains("false"), "a pipeline property failed:\n{report}");
+        assert!(
+            !report.contains("false"),
+            "a pipeline property failed:\n{report}"
+        );
     }
 
     #[test]
@@ -544,6 +831,49 @@ mod tests {
             .expect("single-path row present");
         let fields: Vec<&str> = line.split_whitespace().collect();
         assert_eq!(fields[3], "0", "spread must be zero: {line}");
+    }
+
+    #[test]
+    fn e11_regalloc_beats_seed_on_every_kernel() {
+        for entry in regalloc_baseline() {
+            let w = workloads::by_name(&entry.name)
+                .unwrap_or_else(|| panic!("baseline kernel `{}` no longer exists", entry.name));
+            let (cycles, stack_ops) = measure_regalloc_kernel(&w.source);
+            assert!(
+                cycles < entry.seed_cycles,
+                "{}: {} cycles is not better than the seed's {}",
+                entry.name,
+                cycles,
+                entry.seed_cycles
+            );
+            assert!(
+                stack_ops < entry.seed_stack_ops,
+                "{}: {} stack ops is not better than the seed's {}",
+                entry.name,
+                stack_ops,
+                entry.seed_stack_ops
+            );
+        }
+    }
+
+    #[test]
+    fn e11_baseline_file_matches_current_measurements() {
+        // The simulator and compiler are deterministic, so the recorded
+        // trajectory must match reality exactly. If a compiler change
+        // moves the numbers, regenerate the file:
+        //   cargo run -p patmos-bench --bin exp_e11_regalloc -- --json \
+        //     > crates/bench/baselines/regalloc_cycles.json
+        for entry in regalloc_baseline() {
+            let w = workloads::by_name(&entry.name)
+                .unwrap_or_else(|| panic!("baseline kernel `{}` no longer exists", entry.name));
+            let (cycles, stack_ops) = measure_regalloc_kernel(&w.source);
+            assert_eq!(
+                (cycles, stack_ops),
+                (entry.regalloc_cycles, entry.regalloc_stack_ops),
+                "{}: baselines/regalloc_cycles.json is stale; regenerate it",
+                entry.name
+            );
+        }
     }
 
     #[test]

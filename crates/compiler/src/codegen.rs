@@ -1,16 +1,21 @@
-//! Tree-walking code generation: AST → [`Module`] of LIR items.
+//! Tree-walking code generation: AST → virtual-register LIR.
 //!
-//! Conventions:
+//! Code generation targets an unbounded supply of virtual registers
+//! ([`patmos_regalloc::vlir`]); the register allocator downstream maps
+//! them onto the physical file and inserts whatever spill code is
+//! actually needed. Conventions:
 //!
-//! * locals (and the saved link register, slot 0) live in **stack-cache
-//!   slots**, exactly the usage the paper's stack cache is designed for;
-//! * `r1` carries return values, `r3`–`r6` the (up to four) arguments,
-//!   `r3`–`r22` serve as expression temporaries;
+//! * scalar locals and parameters live in virtual registers (the
+//!   allocator decides which end up in `r7`–`r28` and which spill to
+//!   stack-cache slots); arrays stay in their memory areas;
+//! * `r1` carries return values and `r3`–`r6` the (up to four)
+//!   arguments — expressed with explicit ABI copy pseudo-ops so the
+//!   allocator never sees a bare physical operand elsewhere;
 //! * predicates `p1`–`p5` form the if-conversion allocation stack, `p6`
 //!   and `p7` are scratch (loop exits, boolean materialisation);
-//! * every function reserves its frame with one `sres`, re-ensures it
-//!   with `sens` after each call, and releases it with one `sfree` per
-//!   exit — the analyzable pattern the stack-cache analysis expects.
+//! * the stack-cache frame protocol (`sres`/`sens`/`sfree`, link-register
+//!   save) is emitted by the allocator, which knows the final frame
+//!   size — code generation emits none of it.
 //!
 //! Code generation ignores instruction timing entirely: the scheduler
 //! ([`crate::sched`]) legalises visible delays and packs bundles.
@@ -18,10 +23,10 @@
 use std::collections::HashMap;
 use std::fmt;
 
-use patmos_isa::{AccessSize, AluOp, CmpOp, Guard, MemArea, Op, Pred, PredOp, PredSrc, Reg};
+use patmos_isa::{AluOp, CmpOp, Guard, MemArea, Pred, PredOp, PredSrc, Reg};
+use patmos_regalloc::vlir::{VInst, VItem, VModule, VOp, VReg};
 
 use crate::ast::*;
-use crate::lir::{Item, LirInst, LirOp, Module};
 use crate::CompileOptions;
 
 /// Base byte address of static-area globals.
@@ -29,8 +34,8 @@ pub const STATIC_BASE: u32 = 0x0001_0000;
 /// Base byte address of heap-area globals.
 pub const HEAP_BASE: u32 = 0x0010_0000;
 
-const FIRST_TEMP: u8 = 3;
-const NUM_TEMPS: u32 = 20; // r3..r22
+/// First physical argument register (`r3`).
+const FIRST_ARG: u8 = 3;
 const SCRATCH_EXIT: Pred = Pred::P6;
 const SCRATCH_BOOL: Pred = Pred::P7;
 
@@ -47,8 +52,6 @@ pub enum CodegenError {
     DivisorNotPowerOfTwo,
     /// More than four call arguments.
     TooManyArgs(String),
-    /// An expression needed more than the 20 temporary registers.
-    OutOfTempRegs,
     /// If-conversion nesting exceeded the predicate registers.
     PredicateDepthExceeded,
     /// A call inside a predicated region (cannot be annulled).
@@ -57,8 +60,6 @@ pub enum CodegenError {
     ReturnInPredicatedCode,
     /// A loop inside a predicated region outside single-path mode.
     LoopInPredicatedCode,
-    /// The frame exceeded the 63-word typed-offset range.
-    FrameTooLarge(String),
     /// `spm` globals cannot carry initialisers (the loader only fills
     /// main memory).
     SpmInitialiser(String),
@@ -76,7 +77,6 @@ impl fmt::Display for CodegenError {
                 f.write_str("`/` and `%` require a positive power-of-two constant")
             }
             CodegenError::TooManyArgs(n) => write!(f, "call to `{n}` passes more than 4 arguments"),
-            CodegenError::OutOfTempRegs => f.write_str("expression too deep for temporaries"),
             CodegenError::PredicateDepthExceeded => {
                 f.write_str("if-conversion nesting exceeds predicate registers")
             }
@@ -89,7 +89,6 @@ impl fmt::Display for CodegenError {
             CodegenError::LoopInPredicatedCode => {
                 f.write_str("loops in predicated regions require single-path mode")
             }
-            CodegenError::FrameTooLarge(n) => write!(f, "frame of `{n}` exceeds 63 words"),
             CodegenError::SpmInitialiser(n) => {
                 write!(f, "spm global `{n}` cannot have initialisers")
             }
@@ -113,13 +112,13 @@ fn area_of(q: MemQualifier) -> MemArea {
     }
 }
 
-/// Lowers a parsed program to LIR.
+/// Lowers a parsed program to virtual-register LIR.
 ///
 /// # Errors
 ///
 /// See [`CodegenError`].
-pub fn lower(program: &Program, options: &CompileOptions) -> Result<Module, CodegenError> {
-    let mut module = Module::default();
+pub fn lower(program: &Program, options: &CompileOptions) -> Result<VModule, CodegenError> {
+    let mut module = VModule::default();
     let mut globals: HashMap<String, GlobalRef> = HashMap::new();
 
     // Data layout.
@@ -128,7 +127,12 @@ pub fn lower(program: &Program, options: &CompileOptions) -> Result<Module, Code
     let mut spm_off = 0u32;
     for g in &program.globals {
         if globals
-            .insert(g.name.clone(), GlobalRef { qualifier: g.qualifier })
+            .insert(
+                g.name.clone(),
+                GlobalRef {
+                    qualifier: g.qualifier,
+                },
+            )
             .is_some()
         {
             return Err(CodegenError::Duplicate(g.name.clone()));
@@ -138,7 +142,9 @@ pub fn lower(program: &Program, options: &CompileOptions) -> Result<Module, Code
                 if !g.init.is_empty() {
                     return Err(CodegenError::SpmInitialiser(g.name.clone()));
                 }
-                module.data_lines.push(format!("        .equ {} {}", g.name, spm_off));
+                module
+                    .data_lines
+                    .push(format!("        .equ {} {}", g.name, spm_off));
                 spm_off += 4 * g.len;
             }
             MemQualifier::Static | MemQualifier::Heap => {
@@ -147,14 +153,20 @@ pub fn lower(program: &Program, options: &CompileOptions) -> Result<Module, Code
                 } else {
                     &mut heap_addr
                 };
-                module.data_lines.push(format!("        .data {} {}", g.name, *addr));
+                module
+                    .data_lines
+                    .push(format!("        .data {} {}", g.name, *addr));
                 if !g.init.is_empty() {
                     let words: Vec<String> = g.init.iter().map(|v| v.to_string()).collect();
-                    module.data_lines.push(format!("        .word {}", words.join(", ")));
+                    module
+                        .data_lines
+                        .push(format!("        .word {}", words.join(", ")));
                 }
                 let rest = g.len - g.init.len() as u32;
                 if rest > 0 {
-                    module.data_lines.push(format!("        .space {}", 4 * rest));
+                    module
+                        .data_lines
+                        .push(format!("        .space {}", 4 * rest));
                 }
                 *addr += 4 * g.len;
             }
@@ -181,37 +193,20 @@ pub fn lower(program: &Program, options: &CompileOptions) -> Result<Module, Code
             options,
             items: Vec::new(),
             locals: HashMap::new(),
-            num_locals: 1, // slot 0 holds the saved link register
-            max_spill: 0,
-            temp_top: 0,
+            next_vreg: 1,
             label_counter: 0,
             func: func.name.clone(),
             guard: Guard::ALWAYS,
             pred_depth: 0,
-            frame_fixups: Vec::new(),
-            spill_fixups: Vec::new(),
             is_main: func.name == "main",
         };
-        ctx.items.push(Item::FuncStart(func.name.clone()));
-        // Prologue: reserve the frame (patched), save the link register,
-        // then home the parameters into their slots.
-        ctx.frame_fixups.push(ctx.items.len());
-        ctx.push_op(Op::Sres { words: 0 });
-        ctx.push_op(Op::Store {
-            area: MemArea::Stack,
-            size: AccessSize::Word,
-            ra: Reg::R0,
-            offset: 0,
-            rs: patmos_isa::LINK_REG,
-        });
+        ctx.items.push(VItem::FuncStart(func.name.clone()));
+        // Home the parameters into their virtual registers.
         for (i, p) in func.params.iter().enumerate() {
-            let slot = ctx.alloc_local(p)?;
-            ctx.push_op(Op::Store {
-                area: MemArea::Stack,
-                size: AccessSize::Word,
-                ra: Reg::R0,
-                offset: slot as i16,
-                rs: Reg::from_index(FIRST_TEMP + i as u8),
+            let v = ctx.alloc_local(p)?;
+            ctx.push_op(VOp::CopyFromPhys {
+                dst: v,
+                src: Reg::from_index(FIRST_ARG + i as u8),
             });
         }
 
@@ -219,35 +214,11 @@ pub fn lower(program: &Program, options: &CompileOptions) -> Result<Module, Code
             ctx.stmt(stmt)?;
         }
         // Implicit `return 0`.
-        ctx.push_op(Op::AluR { op: AluOp::Add, rd: Reg::R1, rs1: Reg::R0, rs2: Reg::R0 });
+        ctx.push_op(VOp::CopyToPhys {
+            dst: Reg::R1,
+            src: VReg::ZERO,
+        });
         ctx.epilogue();
-
-        // Patch the frame size into sres/sens/sfree and the spill slots.
-        let frame = ctx.num_locals + ctx.max_spill;
-        if frame > 63 {
-            return Err(CodegenError::FrameTooLarge(func.name.clone()));
-        }
-        for &idx in &ctx.frame_fixups {
-            if let Item::Inst(LirInst { op: LirOp::Real(op), .. }) = &mut ctx.items[idx] {
-                match op {
-                    Op::Sres { words } | Op::Sens { words } | Op::Sfree { words } => {
-                        *words = frame;
-                    }
-                    _ => unreachable!("frame fixup points at a stack-control op"),
-                }
-            }
-        }
-        let num_locals = ctx.num_locals;
-        for &(idx, spill) in &ctx.spill_fixups {
-            if let Item::Inst(LirInst { op: LirOp::Real(op), .. }) = &mut ctx.items[idx] {
-                match op {
-                    Op::Load { offset, .. } | Op::Store { offset, .. } => {
-                        *offset = (num_locals + spill) as i16;
-                    }
-                    _ => unreachable!("spill fixup points at a stack access"),
-                }
-            }
-        }
         module.items.extend(ctx.items);
     }
 
@@ -259,31 +230,33 @@ struct FnCtx<'a> {
     globals: &'a HashMap<String, GlobalRef>,
     func_names: &'a HashMap<String, usize>,
     options: &'a CompileOptions,
-    items: Vec<Item>,
-    locals: HashMap<String, u32>,
-    num_locals: u32,
-    max_spill: u32,
-    temp_top: u32,
+    items: Vec<VItem>,
+    locals: HashMap<String, VReg>,
+    next_vreg: u32,
     label_counter: u32,
     func: String,
     guard: Guard,
     pred_depth: u32,
-    frame_fixups: Vec<usize>,
-    spill_fixups: Vec<(usize, u32)>,
     is_main: bool,
 }
 
 impl FnCtx<'_> {
-    fn push_op(&mut self, op: Op) {
-        self.items.push(Item::Inst(LirInst::always(LirOp::Real(op))));
+    fn fresh(&mut self) -> VReg {
+        let v = VReg::new(self.next_vreg);
+        self.next_vreg += 1;
+        v
     }
 
-    fn push_guarded(&mut self, op: Op) {
-        self.items.push(Item::Inst(LirInst::new(self.guard, LirOp::Real(op))));
+    fn push_op(&mut self, op: VOp) {
+        self.items.push(VItem::Inst(VInst::always(op)));
     }
 
-    fn push(&mut self, inst: LirInst) {
-        self.items.push(Item::Inst(inst));
+    fn push_guarded(&mut self, op: VOp) {
+        self.items.push(VItem::Inst(VInst::new(self.guard, op)));
+    }
+
+    fn push(&mut self, inst: VInst) {
+        self.items.push(VItem::Inst(inst));
     }
 
     fn label(&mut self, hint: &str) -> String {
@@ -291,33 +264,13 @@ impl FnCtx<'_> {
         format!("{}_{}{}", self.func, hint, self.label_counter)
     }
 
-    fn alloc_local(&mut self, name: &str) -> Result<u32, CodegenError> {
+    fn alloc_local(&mut self, name: &str) -> Result<VReg, CodegenError> {
         if self.locals.contains_key(name) {
             return Err(CodegenError::Duplicate(name.to_string()));
         }
-        let slot = self.num_locals;
-        self.locals.insert(name.to_string(), slot);
-        self.num_locals += 1;
-        Ok(slot)
-    }
-
-    fn alloc_hidden_local(&mut self) -> u32 {
-        let slot = self.num_locals;
-        self.num_locals += 1;
-        slot
-    }
-
-    fn alloc_temp(&mut self) -> Result<u32, CodegenError> {
-        if self.temp_top >= NUM_TEMPS {
-            return Err(CodegenError::OutOfTempRegs);
-        }
-        let t = self.temp_top;
-        self.temp_top += 1;
-        Ok(t)
-    }
-
-    fn reg(&self, temp: u32) -> Reg {
-        Reg::from_index(FIRST_TEMP + temp as u8)
+        let v = self.fresh();
+        self.locals.insert(name.to_string(), v);
+        Ok(v)
     }
 
     fn alloc_pred(&mut self) -> Result<Pred, CodegenError> {
@@ -329,59 +282,50 @@ impl FnCtx<'_> {
     }
 
     fn guard_src(&self) -> PredSrc {
-        PredSrc { pred: self.guard.pred, negate: self.guard.negate }
+        PredSrc {
+            pred: self.guard.pred,
+            negate: self.guard.negate,
+        }
     }
 
-    // ---- frame access ----
-
-    fn load_slot(&mut self, t: u32, slot: u32) {
-        let rd = self.reg(t);
-        self.push_op(Op::Load {
-            area: MemArea::Stack,
-            size: AccessSize::Word,
-            rd,
-            ra: Reg::R0,
-            offset: slot as i16,
-        });
-    }
-
-    fn store_slot_guarded(&mut self, slot: u32, t: u32) {
-        let rs = self.reg(t);
-        self.push_guarded(Op::Store {
-            area: MemArea::Stack,
-            size: AccessSize::Word,
-            ra: Reg::R0,
-            offset: slot as i16,
-            rs,
+    /// Emits a copy `dst = src` under the current guard.
+    fn copy_guarded(&mut self, dst: VReg, src: VReg) {
+        self.push_guarded(VOp::AluR {
+            op: AluOp::Add,
+            rd: dst,
+            rs1: src,
+            rs2: VReg::ZERO,
         });
     }
 
     // ---- expressions ----
 
-    fn expr(&mut self, e: &Expr) -> Result<u32, CodegenError> {
+    fn expr(&mut self, e: &Expr) -> Result<VReg, CodegenError> {
         match e {
             Expr::Lit(v) => {
-                let t = self.alloc_temp()?;
+                let t = self.fresh();
                 self.load_const(t, *v);
                 Ok(t)
             }
             Expr::Var(name) => {
-                if let Some(&slot) = self.locals.get(name) {
-                    let t = self.alloc_temp()?;
-                    self.load_slot(t, slot);
-                    Ok(t)
+                if let Some(&v) = self.locals.get(name) {
+                    // Locals are registers: no load, no copy.
+                    Ok(v)
                 } else if let Some(g) = self.globals.get(name).copied() {
-                    let t = self.alloc_temp()?;
-                    let rt = self.reg(t);
-                    self.push(LirInst::always(LirOp::LilSym(rt, name.clone())));
-                    self.push_op(Op::Load {
+                    let addr = self.fresh();
+                    let value = self.fresh();
+                    self.push_op(VOp::LilSym {
+                        rd: addr,
+                        sym: name.clone(),
+                    });
+                    self.push_op(VOp::Load {
                         area: area_of(g.qualifier),
-                        size: AccessSize::Word,
-                        rd: rt,
-                        ra: rt,
+                        size: patmos_isa::AccessSize::Word,
+                        rd: value,
+                        ra: addr,
                         offset: 0,
                     });
-                    Ok(t)
+                    Ok(value)
                 } else {
                     Err(CodegenError::UnknownVariable(name.clone()))
                 }
@@ -392,113 +336,168 @@ impl FnCtx<'_> {
                     .get(name)
                     .ok_or_else(|| CodegenError::UnknownVariable(name.clone()))?;
                 let ti = self.expr(idx)?;
-                let ta = self.alloc_temp()?;
-                let (ri, ra) = (self.reg(ti), self.reg(ta));
-                self.push(LirInst::always(LirOp::LilSym(ra, name.clone())));
-                self.push_op(Op::AluI { op: AluOp::Shl, rd: ri, rs1: ri, imm: 2 });
-                self.push_op(Op::AluR { op: AluOp::Add, rd: ri, rs1: ra, rs2: ri });
-                self.push_op(Op::Load {
+                let base = self.fresh();
+                let scaled = self.fresh();
+                let addr = self.fresh();
+                let value = self.fresh();
+                self.push_op(VOp::LilSym {
+                    rd: base,
+                    sym: name.clone(),
+                });
+                self.push_op(VOp::AluI {
+                    op: AluOp::Shl,
+                    rd: scaled,
+                    rs1: ti,
+                    imm: 2,
+                });
+                self.push_op(VOp::AluR {
+                    op: AluOp::Add,
+                    rd: addr,
+                    rs1: base,
+                    rs2: scaled,
+                });
+                self.push_op(VOp::Load {
                     area: area_of(g.qualifier),
-                    size: AccessSize::Word,
-                    rd: ri,
-                    ra: ri,
+                    size: patmos_isa::AccessSize::Word,
+                    rd: value,
+                    ra: addr,
                     offset: 0,
                 });
-                self.temp_top = ti + 1;
-                Ok(ti)
+                Ok(value)
             }
             Expr::Un(op, inner) => {
                 let t = self.expr(inner)?;
-                let rt = self.reg(t);
                 match op {
                     UnOp::Neg => {
-                        self.push_op(Op::AluR { op: AluOp::Sub, rd: rt, rs1: Reg::R0, rs2: rt })
+                        let d = self.fresh();
+                        self.push_op(VOp::AluR {
+                            op: AluOp::Sub,
+                            rd: d,
+                            rs1: VReg::ZERO,
+                            rs2: t,
+                        });
+                        Ok(d)
                     }
                     UnOp::BitNot => {
-                        self.push_op(Op::AluR { op: AluOp::Nor, rd: rt, rs1: rt, rs2: Reg::R0 })
+                        let d = self.fresh();
+                        self.push_op(VOp::AluR {
+                            op: AluOp::Nor,
+                            rd: d,
+                            rs1: t,
+                            rs2: VReg::ZERO,
+                        });
+                        Ok(d)
                     }
                     UnOp::Not => {
-                        self.push_op(Op::CmpI {
+                        self.push_op(VOp::CmpI {
                             op: CmpOp::Eq,
                             pd: SCRATCH_BOOL,
-                            rs1: rt,
+                            rs1: t,
                             imm: 0,
                         });
-                        self.materialize_bool(t);
+                        Ok(self.materialize_bool())
                     }
                 }
-                Ok(t)
             }
             Expr::Bin(op, lhs, rhs) => self.bin(*op, lhs, rhs),
             Expr::Call(name, args) => self.call(name, args),
         }
     }
 
-    fn load_const(&mut self, t: u32, v: i64) {
-        let rd = self.reg(t);
+    fn load_const(&mut self, dst: VReg, v: i64) {
         if (-32768..=32767).contains(&v) {
-            self.push_op(Op::LoadImmLow { rd, imm: v as i16 as u16 });
+            self.push_op(VOp::LoadImmLow {
+                rd: dst,
+                imm: v as i16 as u16,
+            });
         } else {
-            self.push_op(Op::LoadImm32 { rd, imm: v as u32 });
+            self.push_op(VOp::LoadImm32 {
+                rd: dst,
+                imm: v as u32,
+            });
         }
     }
 
-    /// Turns the scratch predicate into a 0/1 value in `t`.
-    fn materialize_bool(&mut self, t: u32) {
-        let rd = self.reg(t);
-        self.push(LirInst::new(
+    /// Turns the scratch predicate into a fresh 0/1 register.
+    ///
+    /// The unconditional zero write comes first so the guarded write is
+    /// the only guarded definition — liveness then starts the value at
+    /// the zero write rather than conservatively at function entry.
+    fn materialize_bool(&mut self) -> VReg {
+        let d = self.fresh();
+        self.push_op(VOp::LoadImmLow { rd: d, imm: 0 });
+        self.push(VInst::new(
             Guard::when(SCRATCH_BOOL),
-            LirOp::Real(Op::LoadImmLow { rd, imm: 1 }),
+            VOp::LoadImmLow { rd: d, imm: 1 },
         ));
-        self.push(LirInst::new(
-            Guard::unless(SCRATCH_BOOL),
-            LirOp::Real(Op::LoadImmLow { rd, imm: 0 }),
-        ));
+        d
     }
 
-    fn bin(&mut self, op: BinOp, lhs: &Expr, rhs: &Expr) -> Result<u32, CodegenError> {
+    fn bin(&mut self, op: BinOp, lhs: &Expr, rhs: &Expr) -> Result<VReg, CodegenError> {
         // Power-of-two division/remainder as shifts/masks.
         if matches!(op, BinOp::Div | BinOp::Rem) {
-            let Expr::Lit(d) = rhs else { return Err(CodegenError::DivisorNotPowerOfTwo) };
+            let Expr::Lit(d) = rhs else {
+                return Err(CodegenError::DivisorNotPowerOfTwo);
+            };
             if *d <= 0 || (*d & (*d - 1)) != 0 {
                 return Err(CodegenError::DivisorNotPowerOfTwo);
             }
             let t = self.expr(lhs)?;
-            let rt = self.reg(t);
+            let out = self.fresh();
             if op == BinOp::Div {
                 let shift = d.trailing_zeros() as i16;
-                self.push_op(Op::AluI { op: AluOp::Sra, rd: rt, rs1: rt, imm: shift });
+                self.push_op(VOp::AluI {
+                    op: AluOp::Sra,
+                    rd: out,
+                    rs1: t,
+                    imm: shift,
+                });
             } else {
                 let mask = *d - 1;
                 if mask <= 2047 {
-                    self.push_op(Op::AluI { op: AluOp::And, rd: rt, rs1: rt, imm: mask as i16 });
+                    self.push_op(VOp::AluI {
+                        op: AluOp::And,
+                        rd: out,
+                        rs1: t,
+                        imm: mask as i16,
+                    });
                 } else {
-                    let tm = self.alloc_temp()?;
-                    self.load_const(tm, mask);
-                    let rm = self.reg(tm);
-                    self.push_op(Op::AluR { op: AluOp::And, rd: rt, rs1: rt, rs2: rm });
-                    self.temp_top = t + 1;
+                    let m = self.fresh();
+                    self.load_const(m, mask);
+                    self.push_op(VOp::AluR {
+                        op: AluOp::And,
+                        rd: out,
+                        rs1: t,
+                        rs2: m,
+                    });
                 }
             }
-            return Ok(t);
+            return Ok(out);
         }
 
         if op.is_comparison() {
-            let t = self.compare_into(op, lhs, rhs, SCRATCH_BOOL)?;
-            self.materialize_bool(t);
-            return Ok(t);
+            self.compare_into(op, lhs, rhs, SCRATCH_BOOL)?;
+            return Ok(self.materialize_bool());
         }
 
         if matches!(op, BinOp::LogAnd | BinOp::LogOr) {
             let tl = self.expr(lhs)?;
-            self.to_bool(tl);
+            let bl = self.bool_of(tl);
             let tr = self.expr(rhs)?;
-            self.to_bool(tr);
-            let (rl, rr) = (self.reg(tl), self.reg(tr));
-            let alu = if op == BinOp::LogAnd { AluOp::And } else { AluOp::Or };
-            self.push_op(Op::AluR { op: alu, rd: rl, rs1: rl, rs2: rr });
-            self.temp_top = tl + 1;
-            return Ok(tl);
+            let br = self.bool_of(tr);
+            let out = self.fresh();
+            let alu = if op == BinOp::LogAnd {
+                AluOp::And
+            } else {
+                AluOp::Or
+            };
+            self.push_op(VOp::AluR {
+                op: alu,
+                rd: out,
+                rs1: bl,
+                rs2: br,
+            });
+            return Ok(out);
         }
 
         // Plain ALU ops; fold small literal right operands into AluI.
@@ -508,11 +507,13 @@ impl FnCtx<'_> {
             BinOp::Mul => {
                 let tl = self.expr(lhs)?;
                 let tr = self.expr(rhs)?;
-                let (rl, rr) = (self.reg(tl), self.reg(tr));
-                self.push_op(Op::Mul { rs1: rl, rs2: rr });
-                self.push_op(Op::Mfs { rd: rl, ss: patmos_isa::SpecialReg::Sl });
-                self.temp_top = tl + 1;
-                return Ok(tl);
+                let out = self.fresh();
+                self.push_op(VOp::Mul { rs1: tl, rs2: tr });
+                self.push_op(VOp::Mfs {
+                    rd: out,
+                    ss: patmos_isa::SpecialReg::Sl,
+                });
+                return Ok(out);
             }
             BinOp::And => AluOp::And,
             BinOp::Or => AluOp::Or,
@@ -524,34 +525,46 @@ impl FnCtx<'_> {
         let tl = self.expr(lhs)?;
         if let Expr::Lit(v) = rhs {
             if (-2048..=2047).contains(v) {
-                let rl = self.reg(tl);
-                self.push_op(Op::AluI { op: alu, rd: rl, rs1: rl, imm: *v as i16 });
-                return Ok(tl);
+                let out = self.fresh();
+                self.push_op(VOp::AluI {
+                    op: alu,
+                    rd: out,
+                    rs1: tl,
+                    imm: *v as i16,
+                });
+                return Ok(out);
             }
         }
         let tr = self.expr(rhs)?;
-        let (rl, rr) = (self.reg(tl), self.reg(tr));
-        self.push_op(Op::AluR { op: alu, rd: rl, rs1: rl, rs2: rr });
-        self.temp_top = tl + 1;
-        Ok(tl)
+        let out = self.fresh();
+        self.push_op(VOp::AluR {
+            op: alu,
+            rd: out,
+            rs1: tl,
+            rs2: tr,
+        });
+        Ok(out)
     }
 
-    /// Normalises `t` to 0/1.
-    fn to_bool(&mut self, t: u32) {
-        let rt = self.reg(t);
-        self.push_op(Op::CmpI { op: CmpOp::Neq, pd: SCRATCH_BOOL, rs1: rt, imm: 0 });
-        self.materialize_bool(t);
+    /// Normalises `v` to a fresh 0/1 register.
+    fn bool_of(&mut self, v: VReg) -> VReg {
+        self.push_op(VOp::CmpI {
+            op: CmpOp::Neq,
+            pd: SCRATCH_BOOL,
+            rs1: v,
+            imm: 0,
+        });
+        self.materialize_bool()
     }
 
-    /// Evaluates `lhs <op> rhs` into predicate `pd`; returns the (dead)
-    /// temp holding the lhs so callers can reuse it.
+    /// Evaluates `lhs <op> rhs` into predicate `pd`.
     fn compare_into(
         &mut self,
         op: BinOp,
         lhs: &Expr,
         rhs: &Expr,
         pd: Pred,
-    ) -> Result<u32, CodegenError> {
+    ) -> Result<(), CodegenError> {
         let (cmp, swap) = match op {
             BinOp::Eq => (CmpOp::Eq, false),
             BinOp::Ne => (CmpOp::Neq, false),
@@ -566,41 +579,58 @@ impl FnCtx<'_> {
         if !swap {
             if let Expr::Lit(v) = rhs {
                 if (-1024..=1023).contains(v) {
-                    let rl = self.reg(tl);
-                    self.push_op(Op::CmpI { op: cmp, pd, rs1: rl, imm: *v as i16 });
-                    self.temp_top = tl + 1;
-                    return Ok(tl);
+                    self.push_op(VOp::CmpI {
+                        op: cmp,
+                        pd,
+                        rs1: tl,
+                        imm: *v as i16,
+                    });
+                    return Ok(());
                 }
             }
         }
-        let tr = self.expr(rhs)?;
-        let (mut rl, mut rr) = (self.reg(tl), self.reg(tr));
+        // A swapped comparison against literal zero (`a > 0`, `a >= 0`)
+        // reads the zero register directly instead of materialising 0.
+        // This stays local to comparisons so code shape elsewhere does
+        // not depend on a literal's value (single-path invariance).
+        let tr = if swap && matches!(rhs, Expr::Lit(0)) {
+            VReg::ZERO
+        } else {
+            self.expr(rhs)?
+        };
+        let (mut rl, mut rr) = (tl, tr);
         if swap {
             std::mem::swap(&mut rl, &mut rr);
         }
-        self.push_op(Op::Cmp { op: cmp, pd, rs1: rl, rs2: rr });
-        self.temp_top = tl + 1;
-        Ok(tl)
+        self.push_op(VOp::Cmp {
+            op: cmp,
+            pd,
+            rs1: rl,
+            rs2: rr,
+        });
+        Ok(())
     }
 
     /// Evaluates a condition expression into predicate `pd`.
     fn cond(&mut self, e: &Expr, pd: Pred) -> Result<(), CodegenError> {
-        let saved = self.temp_top;
         match e {
             Expr::Bin(op, lhs, rhs) if op.is_comparison() => {
                 self.compare_into(*op, lhs, rhs, pd)?;
             }
             _ => {
                 let t = self.expr(e)?;
-                let rt = self.reg(t);
-                self.push_op(Op::CmpI { op: CmpOp::Neq, pd, rs1: rt, imm: 0 });
+                self.push_op(VOp::CmpI {
+                    op: CmpOp::Neq,
+                    pd,
+                    rs1: t,
+                    imm: 0,
+                });
             }
         }
-        self.temp_top = saved;
         Ok(())
     }
 
-    fn call(&mut self, name: &str, args: &[Expr]) -> Result<u32, CodegenError> {
+    fn call(&mut self, name: &str, args: &[Expr]) -> Result<VReg, CodegenError> {
         if !self.guard.is_always() {
             return Err(CodegenError::CallInPredicatedCode);
         }
@@ -610,89 +640,62 @@ impl FnCtx<'_> {
         if args.len() > 4 {
             return Err(CodegenError::TooManyArgs(name.to_string()));
         }
-        let base = self.temp_top;
+        let mut arg_regs = Vec::with_capacity(args.len());
         for arg in args {
-            let t = self.expr(arg)?;
-            // Keep argument temps stacked contiguously.
-            self.temp_top = t + 1;
+            arg_regs.push(self.expr(arg)?);
         }
-        // Spill the temps that live across the call.
-        for i in 0..base {
-            let idx = self.items.len();
-            let rs = self.reg(i);
-            self.push_op(Op::Store {
-                area: MemArea::Stack,
-                size: AccessSize::Word,
-                ra: Reg::R0,
-                offset: 0, // patched to num_locals + i
-                rs,
+        // Marshal into r3..r6. The sources are virtual registers, so no
+        // ordering hazards exist; values live across the call are saved
+        // by the allocator, driven by liveness.
+        for (i, &src) in arg_regs.iter().enumerate() {
+            self.push_op(VOp::CopyToPhys {
+                dst: Reg::from_index(FIRST_ARG + i as u8),
+                src,
             });
-            self.spill_fixups.push((idx, i));
-            self.max_spill = self.max_spill.max(i + 1);
         }
-        // Move the argument temps down into r3..r6 (sources are above the
-        // targets, so increasing order never clobbers a pending source).
-        for (i, _) in args.iter().enumerate() {
-            let src = self.reg(base + i as u32);
-            let dst = Reg::from_index(FIRST_TEMP + i as u8);
-            if src != dst {
-                self.push_op(Op::AluR { op: AluOp::Add, rd: dst, rs1: src, rs2: Reg::R0 });
-            }
-        }
-        self.push(LirInst::always(LirOp::CallFunc(name.to_string())));
-        // Re-ensure our frame after the callee may have displaced it.
-        self.frame_fixups.push(self.items.len());
-        self.push_op(Op::Sens { words: 0 });
-        // Restore spilled temps.
-        for i in 0..base {
-            let idx = self.items.len();
-            let rd = self.reg(i);
-            self.push_op(Op::Load {
-                area: MemArea::Stack,
-                size: AccessSize::Word,
-                rd,
-                ra: Reg::R0,
-                offset: 0, // patched
-            });
-            self.spill_fixups.push((idx, i));
-        }
-        // The result lands in a fresh temp at `base`.
-        self.temp_top = base;
-        let t = self.alloc_temp()?;
-        let rt = self.reg(t);
-        self.push_op(Op::AluR { op: AluOp::Add, rd: rt, rs1: Reg::R1, rs2: Reg::R0 });
-        Ok(t)
+        self.push_op(VOp::CallFunc(name.to_string()));
+        let result = self.fresh();
+        self.push_op(VOp::CopyFromPhys {
+            dst: result,
+            src: Reg::R1,
+        });
+        Ok(result)
     }
 
     // ---- statements ----
 
     fn stmt(&mut self, s: &Stmt) -> Result<(), CodegenError> {
-        self.temp_top = 0;
         match s {
             Stmt::Decl(name, init) => {
-                let slot = self.alloc_local(name)?;
+                let v = self.alloc_local(name)?;
+                // Zero-initialise unconditionally, mirroring the zeroed
+                // stack-cache slot a local used to occupy: reads before
+                // the first (possibly guarded) write see 0.
+                self.push_op(VOp::LoadImmLow { rd: v, imm: 0 });
                 if let Some(e) = init {
                     let t = self.expr(e)?;
-                    self.store_slot_guarded(slot, t);
+                    self.copy_guarded(v, t);
                 }
                 Ok(())
             }
             Stmt::Assign(name, e) => {
-                if let Some(&slot) = self.locals.get(name) {
+                if let Some(&v) = self.locals.get(name) {
                     let t = self.expr(e)?;
-                    self.store_slot_guarded(slot, t);
+                    self.copy_guarded(v, t);
                     Ok(())
                 } else if let Some(g) = self.globals.get(name).copied() {
                     let t = self.expr(e)?;
-                    let ta = self.alloc_temp()?;
-                    let (rt, ra) = (self.reg(t), self.reg(ta));
-                    self.push(LirInst::always(LirOp::LilSym(ra, name.clone())));
-                    self.push_guarded(Op::Store {
+                    let addr = self.fresh();
+                    self.push_op(VOp::LilSym {
+                        rd: addr,
+                        sym: name.clone(),
+                    });
+                    self.push_guarded(VOp::Store {
                         area: area_of(g.qualifier),
-                        size: AccessSize::Word,
-                        ra,
+                        size: patmos_isa::AccessSize::Word,
+                        ra: addr,
                         offset: 0,
-                        rs: rt,
+                        rs: t,
                     });
                     Ok(())
                 } else {
@@ -706,17 +709,31 @@ impl FnCtx<'_> {
                     .ok_or_else(|| CodegenError::UnknownVariable(name.clone()))?;
                 let ti = self.expr(idx)?;
                 let tv = self.expr(e)?;
-                let ta = self.alloc_temp()?;
-                let (ri, rv, ra) = (self.reg(ti), self.reg(tv), self.reg(ta));
-                self.push(LirInst::always(LirOp::LilSym(ra, name.clone())));
-                self.push_op(Op::AluI { op: AluOp::Shl, rd: ri, rs1: ri, imm: 2 });
-                self.push_op(Op::AluR { op: AluOp::Add, rd: ra, rs1: ra, rs2: ri });
-                self.push_guarded(Op::Store {
+                let base = self.fresh();
+                let scaled = self.fresh();
+                let addr = self.fresh();
+                self.push_op(VOp::LilSym {
+                    rd: base,
+                    sym: name.clone(),
+                });
+                self.push_op(VOp::AluI {
+                    op: AluOp::Shl,
+                    rd: scaled,
+                    rs1: ti,
+                    imm: 2,
+                });
+                self.push_op(VOp::AluR {
+                    op: AluOp::Add,
+                    rd: addr,
+                    rs1: base,
+                    rs2: scaled,
+                });
+                self.push_guarded(VOp::Store {
                     area: area_of(g.qualifier),
-                    size: AccessSize::Word,
-                    ra,
+                    size: patmos_isa::AccessSize::Word,
+                    ra: addr,
                     offset: 0,
-                    rs: rv,
+                    rs: tv,
                 });
                 Ok(())
             }
@@ -729,8 +746,10 @@ impl FnCtx<'_> {
                     return Err(CodegenError::ReturnInPredicatedCode);
                 }
                 let t = self.expr(e)?;
-                let rt = self.reg(t);
-                self.push_op(Op::AluR { op: AluOp::Add, rd: Reg::R1, rs1: rt, rs2: Reg::R0 });
+                self.push_op(VOp::CopyToPhys {
+                    dst: Reg::R1,
+                    src: t,
+                });
                 self.epilogue();
                 Ok(())
             }
@@ -740,26 +759,22 @@ impl FnCtx<'_> {
     }
 
     fn epilogue(&mut self) {
-        self.push_op(Op::Load {
-            area: MemArea::Stack,
-            size: AccessSize::Word,
-            rd: patmos_isa::LINK_REG,
-            ra: Reg::R0,
-            offset: 0,
-        });
-        self.frame_fixups.push(self.items.len());
-        self.push_op(Op::Sfree { words: 0 });
+        // The allocator expands this into link restore + `sfree` +
+        // return once the frame size is known.
         if self.is_main {
-            self.push_op(Op::Halt);
+            self.push_op(VOp::Halt);
         } else {
-            self.push_op(Op::Ret);
+            self.push_op(VOp::Ret);
         }
     }
 
     /// Whether the arm is simple enough to predicate.
     fn convertible(&self, body: &[Stmt]) -> bool {
-        let limit =
-            if self.options.single_path { usize::MAX } else { self.options.if_convert_threshold };
+        let limit = if self.options.single_path {
+            usize::MAX
+        } else {
+            self.options.if_convert_threshold
+        };
         if body.len() > limit {
             return false;
         }
@@ -789,8 +804,8 @@ impl FnCtx<'_> {
             }
             return Ok(());
         }
-        let want_convert = self.options.single_path
-            || (self.options.if_convert && self.guard.is_always());
+        let want_convert =
+            self.options.single_path || (self.options.if_convert && self.guard.is_always());
         let can_convert = self.convertible(then_body) && self.convertible(else_body);
 
         if want_convert && can_convert {
@@ -801,7 +816,7 @@ impl FnCtx<'_> {
             self.cond(cond_e, pc)?;
             let pt = self.alloc_pred()?;
             let gsrc = self.guard_src();
-            self.push_op(Op::PredSet {
+            self.push_op(VOp::PredSet {
                 op: PredOp::And,
                 pd: pt,
                 p1: PredSrc::plain(pc),
@@ -814,7 +829,7 @@ impl FnCtx<'_> {
             if !else_body.is_empty() {
                 self.guard = saved_guard;
                 let pe = self.alloc_pred()?;
-                self.push_op(Op::PredSet {
+                self.push_op(VOp::PredSet {
                     op: PredOp::And,
                     pd: pe,
                     p1: PredSrc::negated(pc),
@@ -855,22 +870,22 @@ impl FnCtx<'_> {
         let else_label = self.label("else");
         let join_label = self.label("join");
         self.cond(cond_e, SCRATCH_EXIT)?;
-        self.push(LirInst::new(
+        self.push(VInst::new(
             Guard::unless(SCRATCH_EXIT),
-            LirOp::BrLabel(else_label.clone()),
+            VOp::BrLabel(else_label.clone()),
         ));
         for s in then_body {
             self.stmt(s)?;
         }
         if else_body.is_empty() {
-            self.items.push(Item::Label(else_label));
+            self.items.push(VItem::Label(else_label));
         } else {
-            self.push(LirInst::always(LirOp::BrLabel(join_label.clone())));
-            self.items.push(Item::Label(else_label));
+            self.push(VInst::always(VOp::BrLabel(join_label.clone())));
+            self.items.push(VItem::Label(else_label));
             for s in else_body {
                 self.stmt(s)?;
             }
-            self.items.push(Item::Label(join_label));
+            self.items.push(VItem::Label(join_label));
         }
         Ok(())
     }
@@ -886,28 +901,23 @@ impl FnCtx<'_> {
             let saved_depth = self.pred_depth;
             let live = self.alloc_pred()?;
             let gsrc = self.guard_src();
-            self.push_op(Op::PredSet { op: PredOp::Or, pd: live, p1: gsrc, p2: gsrc });
-            let counter_slot = self.alloc_hidden_local();
-            {
-                self.temp_top = 0;
-                let t = self.alloc_temp()?;
-                self.load_const(t, bound as i64);
-                let rt = self.reg(t);
-                self.push_op(Op::Store {
-                    area: MemArea::Stack,
-                    size: AccessSize::Word,
-                    ra: Reg::R0,
-                    offset: counter_slot as i16,
-                    rs: rt,
-                });
-            }
+            self.push_op(VOp::PredSet {
+                op: PredOp::Or,
+                pd: live,
+                p1: gsrc,
+                p2: gsrc,
+            });
+            let counter = self.fresh();
+            self.load_const(counter, bound as i64);
             let head = self.label("sphead");
-            self.items.push(Item::LoopBound { min: bound, max: bound });
-            self.items.push(Item::Label(head.clone()));
+            self.items.push(VItem::LoopBound {
+                min: bound,
+                max: bound,
+            });
+            self.items.push(VItem::Label(head.clone()));
             // Deactivate once the source condition fails.
-            self.temp_top = 0;
             self.cond(cond_e, SCRATCH_BOOL)?;
-            self.push_op(Op::PredSet {
+            self.push_op(VOp::PredSet {
                 op: PredOp::And,
                 pd: live,
                 p1: PredSrc::plain(live),
@@ -919,20 +929,19 @@ impl FnCtx<'_> {
             }
             self.guard = saved_guard;
             // Counter update and back edge (always runs `bound` times).
-            self.temp_top = 0;
-            let t = self.alloc_temp()?;
-            let rt = self.reg(t);
-            self.load_slot(t, counter_slot);
-            self.push_op(Op::AluI { op: AluOp::Sub, rd: rt, rs1: rt, imm: 1 });
-            self.push_op(Op::Store {
-                area: MemArea::Stack,
-                size: AccessSize::Word,
-                ra: Reg::R0,
-                offset: counter_slot as i16,
-                rs: rt,
+            self.push_op(VOp::AluI {
+                op: AluOp::Sub,
+                rd: counter,
+                rs1: counter,
+                imm: 1,
             });
-            self.push_op(Op::CmpI { op: CmpOp::Neq, pd: SCRATCH_EXIT, rs1: rt, imm: 0 });
-            self.push(LirInst::new(Guard::when(SCRATCH_EXIT), LirOp::BrLabel(head)));
+            self.push_op(VOp::CmpI {
+                op: CmpOp::Neq,
+                pd: SCRATCH_EXIT,
+                rs1: counter,
+                imm: 0,
+            });
+            self.push(VInst::new(Guard::when(SCRATCH_EXIT), VOp::BrLabel(head)));
             self.pred_depth = saved_depth;
             return Ok(());
         }
@@ -944,16 +953,21 @@ impl FnCtx<'_> {
         let head = self.label("head");
         let exit = self.label("exit");
         // The header executes at most bound+1 times per loop entry.
-        self.items.push(Item::LoopBound { min: 1, max: bound + 1 });
-        self.items.push(Item::Label(head.clone()));
-        self.temp_top = 0;
+        self.items.push(VItem::LoopBound {
+            min: 1,
+            max: bound + 1,
+        });
+        self.items.push(VItem::Label(head.clone()));
         self.cond(cond_e, SCRATCH_EXIT)?;
-        self.push(LirInst::new(Guard::unless(SCRATCH_EXIT), LirOp::BrLabel(exit.clone())));
+        self.push(VInst::new(
+            Guard::unless(SCRATCH_EXIT),
+            VOp::BrLabel(exit.clone()),
+        ));
         for s in body {
             self.stmt(s)?;
         }
-        self.push(LirInst::always(LirOp::BrLabel(head)));
-        self.items.push(Item::Label(exit));
+        self.push(VInst::always(VOp::BrLabel(head)));
+        self.items.push(VItem::Label(exit));
         Ok(())
     }
 }

@@ -114,7 +114,11 @@ pub fn lex(source: &str) -> Result<Vec<SpannedTok>, (usize, String)> {
     let mut line = 1usize;
     while i < bytes.len() {
         let c = bytes[i] as char;
-        let two = if i + 1 < bytes.len() { &source[i..i + 2] } else { "" };
+        let two = if i + 1 < bytes.len() {
+            &source[i..i + 2]
+        } else {
+            ""
+        };
         match c {
             '\n' => {
                 line += 1;
@@ -154,7 +158,10 @@ pub fn lex(source: &str) -> Result<Vec<SpannedTok>, (usize, String)> {
                         .parse()
                         .map_err(|_| (line, "bad integer literal".to_string()))?
                 };
-                out.push(SpannedTok { tok: Tok::Int(value), line });
+                out.push(SpannedTok {
+                    tok: Tok::Int(value),
+                    line,
+                });
             }
             c if c.is_ascii_alphabetic() || c == '_' => {
                 let start = i;
@@ -214,9 +221,7 @@ pub fn lex(source: &str) -> Result<Vec<SpannedTok>, (usize, String)> {
                             '!' => Tok::Bang,
                             '<' => Tok::Lt,
                             '>' => Tok::Gt,
-                            other => {
-                                return Err((line, format!("unexpected character `{other}`")))
-                            }
+                            other => return Err((line, format!("unexpected character `{other}`"))),
                         };
                         (t, 1)
                     }
@@ -234,7 +239,11 @@ mod tests {
     use super::*;
 
     fn toks(src: &str) -> Vec<Tok> {
-        lex(src).expect("lexes").into_iter().map(|t| t.tok).collect()
+        lex(src)
+            .expect("lexes")
+            .into_iter()
+            .map(|t| t.tok)
+            .collect()
     }
 
     #[test]

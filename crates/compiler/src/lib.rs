@@ -31,11 +31,14 @@
 //! `bound(n)` annotations, arithmetic/bitwise/comparison/logical
 //! operators (`/` and `%` only by powers of two), and `return`.
 //!
-//! Pipeline: parse → tree-walking code generation into a symbolic low-
-//! level IR (locals live in stack-cache slots; explicit `sres`/`sens`/
-//! `sfree`) → optional if-conversion or full single-path conversion →
-//! VLIW list scheduling (bundle pairing, visible-delay respecting) →
-//! Patmos assembly text → [`patmos_asm::assemble`].
+//! Pipeline: parse → tree-walking code generation into LIR over
+//! unbounded *virtual* registers (scalar locals live in registers, not
+//! stack slots) → liveness-driven linear-scan register allocation
+//! ([`patmos_regalloc`]: physical register assignment, minimal spill
+//! code, the `sres`/`sens`/`sfree` frame protocol sized to the slots
+//! actually used) → optional if-conversion or full single-path
+//! conversion → VLIW list scheduling (bundle pairing, visible-delay
+//! respecting) → Patmos assembly text → [`patmos_asm::assemble`].
 //!
 //! # Example
 //!
@@ -61,6 +64,7 @@ mod sched;
 pub use ast::{BinOp, Expr, Function, Global, MemQualifier, Program, Stmt, UnOp};
 pub use codegen::CodegenError;
 pub use parser::{parse, ParseError};
+pub use patmos_regalloc::{AllocError, AllocReport};
 
 use patmos_asm::ObjectImage;
 
@@ -97,6 +101,8 @@ pub enum CompileError {
     Parse(ParseError),
     /// Semantic or code-generation failure.
     Codegen(CodegenError),
+    /// Register allocation failed (frame overflow).
+    RegAlloc(AllocError),
     /// The generated assembly failed to assemble (a compiler bug).
     Assemble(String),
 }
@@ -106,6 +112,7 @@ impl std::fmt::Display for CompileError {
         match self {
             CompileError::Parse(e) => write!(f, "parse error: {e}"),
             CompileError::Codegen(e) => write!(f, "codegen error: {e}"),
+            CompileError::RegAlloc(e) => write!(f, "register allocation error: {e}"),
             CompileError::Assemble(e) => write!(f, "internal assembly error: {e}"),
         }
     }
@@ -125,6 +132,12 @@ impl From<CodegenError> for CompileError {
     }
 }
 
+impl From<AllocError> for CompileError {
+    fn from(e: AllocError) -> CompileError {
+        CompileError::RegAlloc(e)
+    }
+}
+
 /// Compiles PatC source to Patmos assembly text.
 ///
 /// # Errors
@@ -134,9 +147,44 @@ impl From<CodegenError> for CompileError {
 /// by the WCET analysis), or missing loop bounds.
 pub fn compile_to_asm(source: &str, options: &CompileOptions) -> Result<String, CompileError> {
     let program = parse(source)?;
-    let lir = codegen::lower(&program, options)?;
+    let vlir = codegen::lower(&program, options)?;
+    let (lir, _) = patmos_regalloc::allocate(&vlir)?;
     let scheduled = sched::schedule(lir, options);
     Ok(sched::emit(&scheduled))
+}
+
+/// Intermediate artefacts of one compilation, for inspection tools
+/// (`patmos-cli compile --dump-lir`).
+#[derive(Debug, Clone)]
+pub struct CompileArtifacts {
+    /// The virtual-register LIR as rendered text.
+    pub vlir: String,
+    /// The register allocator's per-function report.
+    pub allocation: AllocReport,
+    /// The scheduled assembly text.
+    pub asm: String,
+}
+
+/// Compiles PatC source, returning the intermediate artefacts alongside
+/// the assembly.
+///
+/// # Errors
+///
+/// See [`compile_to_asm`].
+pub fn compile_with_artifacts(
+    source: &str,
+    options: &CompileOptions,
+) -> Result<CompileArtifacts, CompileError> {
+    let program = parse(source)?;
+    let vlir = codegen::lower(&program, options)?;
+    let rendered = vlir.render();
+    let (lir, allocation) = patmos_regalloc::allocate(&vlir)?;
+    let scheduled = sched::schedule(lir, options);
+    Ok(CompileArtifacts {
+        vlir: rendered,
+        allocation,
+        asm: sched::emit(&scheduled),
+    })
 }
 
 /// Compiles PatC source all the way to a loadable [`ObjectImage`].
@@ -161,7 +209,8 @@ pub fn compile_stats(
     options: &CompileOptions,
 ) -> Result<(usize, usize), CompileError> {
     let program = parse(source)?;
-    let lir = codegen::lower(&program, options)?;
+    let vlir = codegen::lower(&program, options)?;
+    let (lir, _) = patmos_regalloc::allocate(&vlir)?;
     let scheduled = sched::schedule(lir, options);
     Ok(scheduled.bundle_stats())
 }

@@ -36,7 +36,10 @@ impl Parser {
     }
 
     fn err(&self, message: impl Into<String>) -> ParseError {
-        ParseError { line: self.line(), message: message.into() }
+        ParseError {
+            line: self.line(),
+            message: message.into(),
+        }
     }
 
     fn peek(&self) -> Option<&Tok> {
@@ -71,17 +74,24 @@ impl Parser {
     }
 
     fn describe_next(&self) -> String {
-        self.peek().map(|t| t.to_string()).unwrap_or_else(|| "end of input".into())
+        self.peek()
+            .map(|t| t.to_string())
+            .unwrap_or_else(|| "end of input".into())
     }
 
     fn ident(&mut self) -> Result<String, ParseError> {
         let line = self.line();
         match self.next() {
             Some(Tok::Ident(s)) => Ok(s),
-            other => Err(ParseError { line, message: format!(
-                "expected identifier, found `{}`",
-                other.map(|t| t.to_string()).unwrap_or_else(|| "end of input".into())
-            ) }),
+            other => Err(ParseError {
+                line,
+                message: format!(
+                    "expected identifier, found `{}`",
+                    other
+                        .map(|t| t.to_string())
+                        .unwrap_or_else(|| "end of input".into())
+                ),
+            }),
         }
     }
 
@@ -90,7 +100,10 @@ impl Parser {
         let neg = self.eat(&Tok::Minus);
         match self.next() {
             Some(Tok::Int(v)) => Ok(if neg { -v } else { v }),
-            _ => Err(ParseError { line, message: "expected integer literal".into() }),
+            _ => Err(ParseError {
+                line,
+                message: "expected integer literal".into(),
+            }),
         }
     }
 
@@ -111,7 +124,9 @@ impl Parser {
             if qualifier.is_none() && self.peek() == Some(&Tok::LParen) {
                 program.functions.push(self.function(name)?);
             } else {
-                program.globals.push(self.global(name, qualifier.unwrap_or_default())?);
+                program
+                    .globals
+                    .push(self.global(name, qualifier.unwrap_or_default())?);
             }
         }
         Ok(program)
@@ -145,7 +160,12 @@ impl Parser {
             }
         }
         self.expect(Tok::Semi)?;
-        Ok(Global { name, len, init, qualifier })
+        Ok(Global {
+            name,
+            len,
+            init,
+            qualifier,
+        })
     }
 
     fn function(&mut self, name: String) -> Result<Function, ParseError> {
@@ -198,7 +218,11 @@ impl Parser {
             Some(Tok::KwInt) => {
                 self.next();
                 let name = self.ident()?;
-                let init = if self.eat(&Tok::Assign) { Some(self.expr()?) } else { None };
+                let init = if self.eat(&Tok::Assign) {
+                    Some(self.expr()?)
+                } else {
+                    None
+                };
                 self.expect(Tok::Semi)?;
                 Ok(Stmt::Decl(name, init))
             }
@@ -214,8 +238,11 @@ impl Parser {
                 let cond = self.expr()?;
                 self.expect(Tok::RParen)?;
                 let then_body = self.block()?;
-                let else_body =
-                    if self.eat(&Tok::KwElse) { self.block()? } else { Vec::new() };
+                let else_body = if self.eat(&Tok::KwElse) {
+                    self.block()?
+                } else {
+                    Vec::new()
+                };
                 Ok(Stmt::If(cond, then_body, else_body))
             }
             Some(Tok::KwWhile) => {
@@ -245,7 +272,11 @@ impl Parser {
                 // but Stmt is a single node, so emit a While preceded by
                 // init through a synthetic block: we return a two-element
                 // sequence via If(true).
-                Ok(Stmt::If(Expr::Lit(1), vec![init, Stmt::While(cond, bound, body)], vec![]))
+                Ok(Stmt::If(
+                    Expr::Lit(1),
+                    vec![init, Stmt::While(cond, bound, body)],
+                    vec![],
+                ))
             }
             Some(_) => {
                 let s = self.simple_stmt()?;
@@ -466,7 +497,9 @@ impl Parser {
                 line,
                 message: format!(
                     "expected expression, found `{}`",
-                    other.map(|t| t.to_string()).unwrap_or_else(|| "end of input".into())
+                    other
+                        .map(|t| t.to_string())
+                        .unwrap_or_else(|| "end of input".into())
                 ),
             }),
         }
@@ -516,7 +549,9 @@ mod tests {
     #[test]
     fn precedence_is_c_like() {
         let p = parse("int main() { return 1 + 2 * 3 == 7 && 4 < 5; }").expect("parses");
-        let Stmt::Return(e) = &p.functions[0].body[0] else { panic!("return") };
+        let Stmt::Return(e) = &p.functions[0].body[0] else {
+            panic!("return")
+        };
         // Top-level operator is &&.
         assert!(matches!(e, Expr::Bin(BinOp::LogAnd, _, _)));
     }

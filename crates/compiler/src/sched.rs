@@ -81,11 +81,25 @@ pub fn schedule(module: Module, options: &CompileOptions) -> ScheduledModule {
     let mut items = Vec::new();
     let mut run: Vec<LirInst> = Vec::new();
 
+    // Flushes the pending run. A run can end *without* a control
+    // transfer — at a label the preceding code falls into — and then a
+    // trailing load or multiply may still owe visible-delay bundles to
+    // whatever executes next. The scheduler only legalises delays
+    // within a run (plus architectural delay slots after flow ops), so
+    // any residue is padded with `nop` bundles here, on the
+    // fall-through edge, before the label. Entries via branches are
+    // unaffected: their own delay slots already cover the gap.
     let flush = |run: &mut Vec<LirInst>, items: &mut Vec<SchedItem>| {
         if run.is_empty() {
             return;
         }
-        schedule_run(std::mem::take(run), options, items);
+        let residue = schedule_run(std::mem::take(run), options, items);
+        for _ in 0..residue {
+            items.push(SchedItem::Bundle(SchedBundle {
+                first: nop(),
+                second: None,
+            }));
+        }
     };
 
     for item in module.items {
@@ -113,7 +127,11 @@ pub fn schedule(module: Module, options: &CompileOptions) -> ScheduledModule {
     }
     flush(&mut run, &mut items);
 
-    ScheduledModule { data_lines: module.data_lines, items, entry: module.entry }
+    ScheduledModule {
+        data_lines: module.data_lines,
+        items,
+        entry: module.entry,
+    }
 }
 
 fn nop() -> LirInst {
@@ -121,7 +139,12 @@ fn nop() -> LirInst {
 }
 
 /// Schedules one straight-line run (at most one flow inst, at its end).
-fn schedule_run(run: Vec<LirInst>, options: &CompileOptions, out: &mut Vec<SchedItem>) {
+///
+/// Returns the number of visible-delay bundles still owed by trailing
+/// definitions (loads, multiplies) past the end of the emitted
+/// bundles — the caller pads the fall-through edge with that many
+/// `nop`s when the run ends at a label instead of a control transfer.
+fn schedule_run(run: Vec<LirInst>, options: &CompileOptions, out: &mut Vec<SchedItem>) -> u32 {
     let n = run.len();
     // Dependence edges: (pred, succ, min bundle gap).
     let mut edges: Vec<(usize, usize, u32)> = Vec::new();
@@ -226,6 +249,7 @@ fn schedule_run(run: Vec<LirInst>, options: &CompileOptions, out: &mut Vec<Sched
     }
 
     // Emit, appending delay-slot nops after a trailing flow instruction.
+    let emitted = bundles.len() as u32;
     let mut delay = 0u32;
     for (first, second) in bundles {
         if first.op.is_flow() {
@@ -234,8 +258,27 @@ fn schedule_run(run: Vec<LirInst>, options: &CompileOptions, out: &mut Vec<Sched
         out.push(SchedItem::Bundle(SchedBundle { first, second }));
     }
     for _ in 0..delay {
-        out.push(SchedItem::Bundle(SchedBundle { first: nop(), second: None }));
+        out.push(SchedItem::Bundle(SchedBundle {
+            first: nop(),
+            second: None,
+        }));
     }
+
+    // Visible-delay residue past the end of the run.
+    let total = emitted + delay;
+    let mut residue = 0u32;
+    for (i, slot) in scheduled_bundle.iter().enumerate() {
+        let Some(b) = slot else { continue };
+        let gap = if run[i].op.writes_mul() {
+            1 + patmos_isa::timing::MUL_GAP
+        } else if run[i].op.def().is_some() {
+            run[i].op.def_gap()
+        } else {
+            continue;
+        };
+        residue = residue.max((b + gap).saturating_sub(total));
+    }
+    residue
 }
 
 /// The minimum bundle gap from `a` (earlier) to `b` (later), or `None`
@@ -284,12 +327,11 @@ fn dependence_gap(a: &LirInst, b: &LirInst) -> Option<u32> {
         }
     }
     if let Some(d) = b.op.pred_def() {
-        let a_reads = a
-            .op
-            .pred_uses()
-            .into_iter()
-            .flatten()
-            .chain((!a.guard.is_always()).then_some(a.guard.pred));
+        let a_reads =
+            a.op.pred_uses()
+                .into_iter()
+                .flatten()
+                .chain((!a.guard.is_always()).then_some(a.guard.pred));
         for p in a_reads {
             if p == d {
                 need(0);
@@ -366,7 +408,10 @@ mod tests {
     }
 
     fn sched(insts: Vec<LirInst>, dual: bool) -> Vec<SchedItem> {
-        let options = CompileOptions { dual_issue: dual, ..CompileOptions::default() };
+        let options = CompileOptions {
+            dual_issue: dual,
+            ..CompileOptions::default()
+        };
         let mut out = Vec::new();
         schedule_run(insts, &options, &mut out);
         out
@@ -408,12 +453,16 @@ mod tests {
 
     #[test]
     fn load_gap_filled_with_independent_work() {
-        let items =
-            sched(vec![load(3, 1), alu(5, 6, 7), alu(8, 9, 10), alu(4, 3, 3)], true);
+        let items = sched(
+            vec![load(3, 1), alu(5, 6, 7), alu(8, 9, 10), alu(4, 3, 3)],
+            true,
+        );
         let bs = bundles(&items);
         // {load ; alu5}, alu8, use — independent work fills the gap.
         assert_eq!(bs.len(), 3);
-        assert!(!bs.iter().any(|b| matches!(b.first.op, LirOp::Real(Op::Nop))));
+        assert!(!bs
+            .iter()
+            .any(|b| matches!(b.first.op, LirOp::Real(Op::Nop))));
     }
 
     #[test]
@@ -458,6 +507,35 @@ mod tests {
         let bs = bundles(&items);
         assert_eq!(bs.len(), 2);
         assert!(bs.iter().all(|b| b.second.is_none()));
+    }
+
+    #[test]
+    fn trailing_load_before_label_pads_the_fall_through_edge() {
+        // A run ending in a load right before a label owes the load-use
+        // gap to the block it falls into; the scheduler must pad it.
+        let module = Module {
+            data_lines: Vec::new(),
+            entry: String::new(),
+            items: vec![
+                crate::lir::Item::Inst(load(3, 1)),
+                crate::lir::Item::Label("head".into()),
+                crate::lir::Item::Inst(alu(4, 3, 3)),
+            ],
+        };
+        let scheduled = schedule(module, &CompileOptions::default());
+        let label_at = scheduled
+            .items
+            .iter()
+            .position(|i| matches!(i, SchedItem::Label(_)))
+            .expect("label survives scheduling");
+        assert!(
+            matches!(
+                &scheduled.items[label_at - 1],
+                SchedItem::Bundle(b) if matches!(b.first.op, LirOp::Real(Op::Nop))
+            ),
+            "fall-through edge must be padded with a nop: {:?}",
+            scheduled.items
+        );
     }
 
     #[test]

@@ -51,7 +51,11 @@ fn comparisons_and_logic() {
     assert_eq!(default_result("int main() { return 0 || 7; }"), 1);
     assert_eq!(default_result("int main() { return !5; }"), 0);
     assert_eq!(default_result("int main() { return !0; }"), 1);
-    assert_eq!(default_result("int main() { return -1 < 0; }"), 1, "signed compare");
+    assert_eq!(
+        default_result("int main() { return -1 < 0; }"),
+        1,
+        "signed compare"
+    );
 }
 
 #[test]
@@ -163,8 +167,14 @@ fn if_conversion_matches_branches() {
     return s;
 }";
     let expect: i32 = (0..16).map(|i| if i % 2 == 0 { i } else { -1 }).sum();
-    let branchy = CompileOptions { if_convert: false, ..CompileOptions::default() };
-    let converted = CompileOptions { if_convert: true, ..CompileOptions::default() };
+    let branchy = CompileOptions {
+        if_convert: false,
+        ..CompileOptions::default()
+    };
+    let converted = CompileOptions {
+        if_convert: true,
+        ..CompileOptions::default()
+    };
     assert_eq!(result_of(src, &branchy), expect as u32);
     assert_eq!(result_of(src, &converted), expect as u32);
 }
@@ -183,7 +193,10 @@ fn single_path_matches_and_is_input_invariant() {
 }}"
         )
     };
-    let sp = CompileOptions { single_path: true, ..CompileOptions::default() };
+    let sp = CompileOptions {
+        single_path: true,
+        ..CompileOptions::default()
+    };
     let mut cycles = Vec::new();
     for x in [0, 3, 12] {
         let src = src_tpl(x);
@@ -218,10 +231,17 @@ fn dual_issue_is_not_slower() {
     return s;
 }";
     let expect: u32 = (0..16u32)
-        .map(|i| ((i << 1) + (i << 2)).wrapping_add((i << 3) + (i << 4)).wrapping_add((i << 5) ^ (i + 7)))
+        .map(|i| {
+            ((i << 1) + (i << 2))
+                .wrapping_add((i << 3) + (i << 4))
+                .wrapping_add((i << 5) ^ (i + 7))
+        })
         .sum();
     let dual = CompileOptions::default();
-    let single = CompileOptions { dual_issue: false, ..CompileOptions::default() };
+    let single = CompileOptions {
+        dual_issue: false,
+        ..CompileOptions::default()
+    };
     let (_, c_dual) = run(src, &dual);
     let (sim, c_single) = run(src, &single);
     assert_eq!(sim.reg(Reg::R1), expect);
@@ -246,6 +266,39 @@ int main() {
 }
 
 #[test]
+fn call_restore_before_loop_header_respects_load_use_gap() {
+    // The allocator reloads call-crossing values right before the loop
+    // label; the loop's first bundle reads one of them. The scheduler
+    // must pad the fall-through edge or strict mode rejects the code.
+    let src = "int f(int x) { return x + 1; }
+int main() {
+    int a = 5;
+    int r = f(3);
+    while (a != 0) bound(6) { a = a - 1; }
+    return a + r;
+}";
+    assert_eq!(default_result(src), 4);
+}
+
+#[test]
+fn comparison_against_zero_reads_the_zero_register() {
+    // `a > 0` swaps operands; literal zero must fold to r0 instead of
+    // materialising a register.
+    let src = "int main() {
+    int a = 17;
+    int n = 0;
+    while (a > 0) bound(20) { a = a - 3; n = n + 1; }
+    return n;
+}";
+    assert_eq!(default_result(src), 6);
+    let asm = patmos_compiler::compile_to_asm(src, &CompileOptions::default()).expect("compiles");
+    assert!(
+        asm.contains("cmplt p6 = r0,"),
+        "swapped zero comparison should read r0:\n{asm}"
+    );
+}
+
+#[test]
 fn wcet_bound_covers_compiled_program() {
     let src = "int main() {
     int i;
@@ -254,11 +307,19 @@ fn wcet_bound_covers_compiled_program() {
     return s;
 }";
     let image = compile(src, &CompileOptions::default()).expect("compiles");
-    let report =
-        patmos_wcet::analyze(&image, &patmos_wcet::Machine::Patmos(SimConfig::default()))
-            .expect("analyses");
+    let report = patmos_wcet::analyze(&image, &patmos_wcet::Machine::Patmos(SimConfig::default()))
+        .expect("analyses");
     let mut sim = Simulator::new(&image, SimConfig::default());
     let observed = sim.run().expect("runs").stats.cycles;
-    assert!(report.bound_cycles >= observed, "{} < {}", report.bound_cycles, observed);
-    assert!(report.pessimism(observed) < 2.0, "ratio {}", report.pessimism(observed));
+    assert!(
+        report.bound_cycles >= observed,
+        "{} < {}",
+        report.bound_cycles,
+        observed
+    );
+    assert!(
+        report.pessimism(observed) < 2.0,
+        "ratio {}",
+        report.pessimism(observed)
+    );
 }

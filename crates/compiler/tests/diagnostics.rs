@@ -57,7 +57,10 @@ fn too_many_arguments() {
     );
     // Five arguments at the call site: either the parser (arity) or the
     // codegen (arg registers) must complain.
-    assert!(msg.contains("4 arguments") || msg.contains("argument"), "{msg}");
+    assert!(
+        msg.contains("4 arguments") || msg.contains("argument"),
+        "{msg}"
+    );
 }
 
 #[test]
@@ -80,7 +83,10 @@ fn missing_loop_bound_is_a_parse_error() {
 
 #[test]
 fn call_in_single_path_branch_rejected() {
-    let options = CompileOptions { single_path: true, ..CompileOptions::default() };
+    let options = CompileOptions {
+        single_path: true,
+        ..CompileOptions::default()
+    };
     let msg = err_of(
         "int f(int x) { return x; } int main() { int r = 0; if (r == 0) { r = f(1); } return r; }",
         &options,
@@ -91,18 +97,27 @@ fn call_in_single_path_branch_rejected() {
 
 #[test]
 fn return_in_single_path_branch_rejected() {
-    let options = CompileOptions { single_path: true, ..CompileOptions::default() };
+    let options = CompileOptions {
+        single_path: true,
+        ..CompileOptions::default()
+    };
     let msg = err_of(
         "int main() { int r = 1; if (r == 1) { return 7; } return 0; }",
         &options,
     )
     .to_string();
-    assert!(msg.contains("return") || msg.contains("predicated"), "{msg}");
+    assert!(
+        msg.contains("return") || msg.contains("predicated"),
+        "{msg}"
+    );
 }
 
 #[test]
 fn deep_single_path_nesting_exhausts_predicates() {
-    let options = CompileOptions { single_path: true, ..CompileOptions::default() };
+    let options = CompileOptions {
+        single_path: true,
+        ..CompileOptions::default()
+    };
     let src = "int main() {
     int r = 0;
     if (r == 0) { if (r == 0) { r = 1; } }
@@ -123,7 +138,10 @@ fn deep_single_path_nesting_exhausts_predicates() {
 
 #[test]
 fn parse_errors_report_lines() {
-    match compile("int main() {\n  int x = ;\n  return 0;\n}", &CompileOptions::default()) {
+    match compile(
+        "int main() {\n  int x = ;\n  return 0;\n}",
+        &CompileOptions::default(),
+    ) {
         Err(CompileError::Parse(e)) => assert_eq!(e.line, 2, "{e}"),
         other => panic!("expected parse error, got {other:?}"),
     }

@@ -105,7 +105,11 @@ fn eval_s(s: &S, env: &mut [i32; 3]) {
     match s {
         S::Assign(v, e) => env[*v] = eval_e(e, env),
         S::If(cond, then_s, else_s) => {
-            let branch = if eval_e(cond, env) != 0 { then_s } else { else_s };
+            let branch = if eval_e(cond, env) != 0 {
+                then_s
+            } else {
+                else_s
+            };
             for s in branch {
                 eval_s(s, env);
             }
@@ -114,7 +118,10 @@ fn eval_s(s: &S, env: &mut [i32; 3]) {
 }
 
 fn arb_expr() -> impl Strategy<Value = E> {
-    let leaf = prop_oneof![(-100i32..100).prop_map(E::Lit), (0usize..3).prop_map(E::Var)];
+    let leaf = prop_oneof![
+        (-100i32..100).prop_map(E::Lit),
+        (0usize..3).prop_map(E::Var)
+    ];
     leaf.prop_recursive(3, 24, 3, |inner| {
         prop_oneof![
             (inner.clone(), inner.clone()).prop_map(|(l, r)| E::Add(Box::new(l), Box::new(r))),
@@ -156,10 +163,11 @@ fn run_program(stmts: &[S], init: [i32; 3], options: &CompileOptions) -> u32 {
         source.push_str(&render_s(s, 1));
     }
     source.push_str("    return (a ^ b) ^ c;\n}\n");
-    let image = compile(&source, options)
-        .unwrap_or_else(|e| panic!("compile failed: {e}\n{source}"));
+    let image =
+        compile(&source, options).unwrap_or_else(|e| panic!("compile failed: {e}\n{source}"));
     let mut sim = Simulator::new(&image, SimConfig::default());
-    sim.run().unwrap_or_else(|e| panic!("strict simulation failed: {e}\n{source}"));
+    sim.run()
+        .unwrap_or_else(|e| panic!("strict simulation failed: {e}\n{source}"));
     sim.reg(Reg::R1)
 }
 

@@ -1,0 +1,182 @@
+//! A minimal, dependency-free stand-in for the `criterion` crate.
+//!
+//! The build container has no network access, so the real `criterion`
+//! cannot be fetched. This shim provides the same bench-definition API
+//! (`Criterion`, `criterion_group!`, `criterion_main!`, benchmark
+//! groups, `Bencher::iter`) and measures with `std::time::Instant`,
+//! printing one line per benchmark instead of the statistical report.
+
+use std::time::{Duration, Instant};
+
+/// Entry point handed to benchmark functions.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            sample_size: 10,
+            measurement_time: Duration::from_secs(1),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets how many timed samples each benchmark takes.
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Caps the total time spent measuring one benchmark.
+    pub fn measurement_time(mut self, t: Duration) -> Criterion {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Accepted for API compatibility; the shim does not warm up.
+    pub fn warm_up_time(self, _t: Duration) -> Criterion {
+        self
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            samples: self.sample_size,
+            budget: self.measurement_time,
+            report: None,
+        };
+        f(&mut bencher);
+        match bencher.report {
+            Some((iters, elapsed)) => {
+                let per_iter = elapsed.as_nanos() / iters.max(1) as u128;
+                println!("bench {id:<40} {per_iter:>12} ns/iter ({iters} iters)");
+            }
+            None => println!("bench {id:<40} (no measurement)"),
+        }
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+        }
+    }
+}
+
+/// Times the closure passed to [`Bencher::iter`].
+pub struct Bencher {
+    samples: usize,
+    budget: Duration,
+    report: Option<(u64, Duration)>,
+}
+
+impl Bencher {
+    /// Runs `inner` repeatedly and records the elapsed time.
+    pub fn iter<O, F>(&mut self, mut inner: F)
+    where
+        F: FnMut() -> O,
+    {
+        // One untimed run to pull code and data into caches.
+        std::hint::black_box(inner());
+        let start = Instant::now();
+        let mut iters = 0u64;
+        for _ in 0..self.samples {
+            std::hint::black_box(inner());
+            iters += 1;
+            if start.elapsed() > self.budget {
+                break;
+            }
+        }
+        self.report = Some((iters, start.elapsed()));
+    }
+}
+
+/// A named collection of benchmarks sharing a prefix.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id);
+        self.criterion.bench_function(&full, f);
+        self
+    }
+
+    /// Ends the group (no-op in the shim).
+    pub fn finish(self) {}
+}
+
+/// Defines a function running the listed benchmark targets.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),* $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )*
+        }
+    };
+    ($name:ident, $($target:path),* $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )*
+        }
+    };
+}
+
+/// Defines `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),* $(,)?) => {
+        fn main() {
+            $( $group(); )*
+        }
+    };
+}
+
+/// Re-export matching `criterion::black_box`.
+pub use std::hint::black_box;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_reports() {
+        let mut c = Criterion::default().sample_size(3);
+        let mut ran = 0u32;
+        c.bench_function("smoke", |b| b.iter(|| ran += 1));
+        assert!(ran >= 3, "closure ran {ran} times");
+    }
+
+    criterion_group! {
+        name = shim_group;
+        config = Criterion::default().sample_size(2).measurement_time(Duration::from_millis(50));
+        targets = target_a
+    }
+
+    fn target_a(c: &mut Criterion) {
+        let mut g = c.benchmark_group("g");
+        g.bench_function("a", |b| b.iter(|| 1 + 1));
+        g.finish();
+    }
+
+    #[test]
+    fn group_macro_compiles_and_runs() {
+        shim_group();
+    }
+}

@@ -97,7 +97,11 @@ pub struct FieldRangeError {
 
 impl fmt::Display for FieldRangeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "value {} does not fit in field {}", self.value, self.field)
+        write!(
+            f,
+            "value {} does not fit in field {}",
+            self.value, self.field
+        )
     }
 }
 
@@ -114,7 +118,10 @@ fn check_signed(field: &'static str, value: i64, bits: u32) -> Result<(), FieldR
 
 fn check_unsigned(field: &'static str, value: u64, bits: u32) -> Result<(), FieldRangeError> {
     if value >= (1u64 << bits) {
-        return Err(FieldRangeError { field, value: value as i64 });
+        return Err(FieldRangeError {
+            field,
+            value: value as i64,
+        });
     }
     Ok(())
 }
@@ -199,7 +206,13 @@ fn op_bits(op: &Op) -> u32 {
                 | ((p2.negate as u32) << 11)
                 | p(p2.pred, 8)
         }
-        Op::Load { area, size, rd, ra, offset } => {
+        Op::Load {
+            area,
+            size,
+            rd,
+            ra,
+            offset,
+        } => {
             oc(opcode::LOAD)
                 | ((area.code() as u32) << 19)
                 | ((size.code() as u32) << 17)
@@ -207,7 +220,13 @@ fn op_bits(op: &Op) -> u32 {
                 | r(ra, 7)
                 | ((offset as u32) & 0x7f)
         }
-        Op::Store { area, size, ra, offset, rs } => {
+        Op::Store {
+            area,
+            size,
+            ra,
+            offset,
+            rs,
+        } => {
             oc(opcode::STORE)
                 | ((area.code() as u32) << 19)
                 | ((size.code() as u32) << 17)
@@ -308,12 +327,22 @@ fn decode_op(word: u32) -> Result<Op, DecodeError> {
             rs1: decode_reg(word, 12),
             imm: sign_extend(word & 0xfff, 12) as i16,
         },
-        opcode::MUL => Op::Mul { rs1: decode_reg(word, 12), rs2: decode_reg(word, 7) },
-        opcode::LI_LOW => Op::LoadImmLow { rd: decode_reg(word, 17), imm: (word & 0xffff) as u16 },
-        opcode::LI_HIGH => {
-            Op::LoadImmHigh { rd: decode_reg(word, 17), imm: (word & 0xffff) as u16 }
-        }
-        opcode::LI_LONG => Op::LoadImm32 { rd: decode_reg(word, 17), imm: 0 },
+        opcode::MUL => Op::Mul {
+            rs1: decode_reg(word, 12),
+            rs2: decode_reg(word, 7),
+        },
+        opcode::LI_LOW => Op::LoadImmLow {
+            rd: decode_reg(word, 17),
+            imm: (word & 0xffff) as u16,
+        },
+        opcode::LI_HIGH => Op::LoadImmHigh {
+            rd: decode_reg(word, 17),
+            imm: (word & 0xffff) as u16,
+        },
+        opcode::LI_LONG => Op::LoadImm32 {
+            rd: decode_reg(word, 17),
+            imm: 0,
+        },
         opcode::CMP => Op::Cmp {
             op: CmpOp::from_code(((word >> 19) & 0x7) as u8).ok_or_else(invalid)?,
             pd: decode_pred(word, 16),
@@ -329,8 +358,14 @@ fn decode_op(word: u32) -> Result<Op, DecodeError> {
         opcode::PRED_SET => Op::PredSet {
             op: PredOp::from_code(((word >> 20) & 0x3) as u8).ok_or_else(invalid)?,
             pd: decode_pred(word, 16),
-            p1: PredSrc { pred: decode_pred(word, 12), negate: (word >> 15) & 1 == 1 },
-            p2: PredSrc { pred: decode_pred(word, 8), negate: (word >> 11) & 1 == 1 },
+            p1: PredSrc {
+                pred: decode_pred(word, 12),
+                negate: (word >> 15) & 1 == 1,
+            },
+            p2: PredSrc {
+                pred: decode_pred(word, 8),
+                negate: (word >> 11) & 1 == 1,
+            },
         },
         opcode::LOAD => Op::Load {
             area: MemArea::from_code(((word >> 19) & 0x7) as u8).ok_or_else(invalid)?,
@@ -350,19 +385,33 @@ fn decode_op(word: u32) -> Result<Op, DecodeError> {
             ra: decode_reg(word, 17),
             offset: sign_extend(word & 0xfff, 12) as i16,
         },
-        opcode::MAIN_WAIT => Op::MainWait { rd: decode_reg(word, 17) },
+        opcode::MAIN_WAIT => Op::MainWait {
+            rd: decode_reg(word, 17),
+        },
         opcode::MAIN_STORE => Op::MainStore {
             rs: decode_reg(word, 17),
             ra: decode_reg(word, 12),
             offset: sign_extend(word & 0xfff, 12) as i16,
         },
-        opcode::BR => Op::Br { offset: sign_extend(word & 0x3f_ffff, 22) },
-        opcode::CALL => Op::Call { offset: sign_extend(word & 0x3f_ffff, 22) },
-        opcode::CALL_R => Op::CallR { rs: decode_reg(word, 17) },
+        opcode::BR => Op::Br {
+            offset: sign_extend(word & 0x3f_ffff, 22),
+        },
+        opcode::CALL => Op::Call {
+            offset: sign_extend(word & 0x3f_ffff, 22),
+        },
+        opcode::CALL_R => Op::CallR {
+            rs: decode_reg(word, 17),
+        },
         opcode::RET => Op::Ret,
-        opcode::SRES => Op::Sres { words: word & 0x3f_ffff },
-        opcode::SENS => Op::Sens { words: word & 0x3f_ffff },
-        opcode::SFREE => Op::Sfree { words: word & 0x3f_ffff },
+        opcode::SRES => Op::Sres {
+            words: word & 0x3f_ffff,
+        },
+        opcode::SENS => Op::Sens {
+            words: word & 0x3f_ffff,
+        },
+        opcode::SFREE => Op::Sfree {
+            words: word & 0x3f_ffff,
+        },
         opcode::MTS => Op::Mts {
             sd: SpecialReg::from_code(((word >> 18) & 0xf) as u8).ok_or_else(invalid)?,
             rs: decode_reg(word, 13),
@@ -380,7 +429,10 @@ fn decode_inst(word: u32) -> Result<Inst, DecodeError> {
         pred: Pred::from_index(((word >> 28) & 0x7) as u8),
         negate: (word >> 27) & 1 == 1,
     };
-    Ok(Inst { guard, op: decode_op(word)? })
+    Ok(Inst {
+        guard,
+        op: decode_op(word)?,
+    })
 }
 
 /// Decodes one bundle from the start of `words`.
@@ -421,7 +473,13 @@ pub fn decode(words: &[u32]) -> Result<(Bundle, usize), DecodeError> {
     }
     let &second_word = words.get(1).ok_or(DecodeError::Truncated)?;
     if let Op::LoadImm32 { rd, .. } = first.op {
-        let inst = Inst::new(first.guard, Op::LoadImm32 { rd, imm: second_word });
+        let inst = Inst::new(
+            first.guard,
+            Op::LoadImm32 {
+                rd,
+                imm: second_word,
+            },
+        );
         return Ok((Bundle::single(inst), 2));
     }
     let second = decode_inst(second_word)?;
@@ -463,14 +521,48 @@ mod tests {
         let ops = [
             Op::Nop,
             Op::Halt,
-            Op::AluR { op: AluOp::Nor, rd: Reg::R5, rs1: Reg::R6, rs2: Reg::R7 },
-            Op::AluI { op: AluOp::Sra, rd: Reg::R1, rs1: Reg::R2, imm: -2048 },
-            Op::AluI { op: AluOp::Add, rd: Reg::R1, rs1: Reg::R2, imm: 2047 },
-            Op::Mul { rs1: Reg::R3, rs2: Reg::R4 },
-            Op::LoadImmLow { rd: Reg::R9, imm: 0xffff },
-            Op::LoadImmHigh { rd: Reg::R9, imm: 0x8000 },
-            Op::Cmp { op: CmpOp::Ule, pd: Pred::P7, rs1: Reg::R31, rs2: Reg::R1 },
-            Op::CmpI { op: CmpOp::Lt, pd: Pred::P3, rs1: Reg::R2, imm: -1024 },
+            Op::AluR {
+                op: AluOp::Nor,
+                rd: Reg::R5,
+                rs1: Reg::R6,
+                rs2: Reg::R7,
+            },
+            Op::AluI {
+                op: AluOp::Sra,
+                rd: Reg::R1,
+                rs1: Reg::R2,
+                imm: -2048,
+            },
+            Op::AluI {
+                op: AluOp::Add,
+                rd: Reg::R1,
+                rs1: Reg::R2,
+                imm: 2047,
+            },
+            Op::Mul {
+                rs1: Reg::R3,
+                rs2: Reg::R4,
+            },
+            Op::LoadImmLow {
+                rd: Reg::R9,
+                imm: 0xffff,
+            },
+            Op::LoadImmHigh {
+                rd: Reg::R9,
+                imm: 0x8000,
+            },
+            Op::Cmp {
+                op: CmpOp::Ule,
+                pd: Pred::P7,
+                rs1: Reg::R31,
+                rs2: Reg::R1,
+            },
+            Op::CmpI {
+                op: CmpOp::Lt,
+                pd: Pred::P3,
+                rs1: Reg::R2,
+                imm: -1024,
+            },
             Op::PredSet {
                 op: PredOp::Xor,
                 pd: Pred::P1,
@@ -491,23 +583,41 @@ mod tests {
                 offset: 63,
                 rs: Reg::R11,
             },
-            Op::MainLoad { ra: Reg::R1, offset: -2048 },
+            Op::MainLoad {
+                ra: Reg::R1,
+                offset: -2048,
+            },
             Op::MainWait { rd: Reg::R2 },
-            Op::MainStore { ra: Reg::R1, offset: 2047, rs: Reg::R3 },
+            Op::MainStore {
+                ra: Reg::R1,
+                offset: 2047,
+                rs: Reg::R3,
+            },
             Op::Br { offset: -(1 << 21) },
-            Op::Call { offset: (1 << 21) - 1 },
+            Op::Call {
+                offset: (1 << 21) - 1,
+            },
             Op::CallR { rs: Reg::R12 },
             Op::Ret,
             Op::Sres { words: 0x3f_ffff },
             Op::Sens { words: 1 },
             Op::Sfree { words: 0 },
-            Op::Mts { sd: SpecialReg::Ss, rs: Reg::R4 },
-            Op::Mfs { rd: Reg::R5, ss: SpecialReg::Sh },
+            Op::Mts {
+                sd: SpecialReg::Ss,
+                rs: Reg::R4,
+            },
+            Op::Mfs {
+                rd: Reg::R5,
+                ss: SpecialReg::Sh,
+            },
         ];
         for op in ops {
             round_trip(Bundle::single(Inst::always(op)));
             round_trip(Bundle::single(Inst::new(
-                Guard { pred: Pred::P5, negate: true },
+                Guard {
+                    pred: Pred::P5,
+                    negate: true,
+                },
                 op,
             )));
         }
@@ -516,7 +626,10 @@ mod tests {
     #[test]
     fn round_trip_long_immediate() {
         for imm in [0, 1, 0xdead_beef, u32::MAX] {
-            round_trip(Bundle::single(Inst::always(Op::LoadImm32 { rd: Reg::R7, imm })));
+            round_trip(Bundle::single(Inst::always(Op::LoadImm32 {
+                rd: Reg::R7,
+                imm,
+            })));
         }
     }
 
@@ -532,7 +645,12 @@ mod tests {
             }),
             Inst::when(
                 Pred::P2,
-                Op::AluR { op: AluOp::Sub, rd: Reg::R4, rs1: Reg::R5, rs2: Reg::R6 },
+                Op::AluR {
+                    op: AluOp::Sub,
+                    rd: Reg::R4,
+                    rs1: Reg::R5,
+                    rs2: Reg::R6,
+                },
             ),
         ));
     }
@@ -540,10 +658,7 @@ mod tests {
     #[test]
     fn truncated_input() {
         assert_eq!(decode(&[]).unwrap_err(), DecodeError::Truncated);
-        let words = encode(&Bundle::pair(
-            Inst::always(Op::Nop),
-            Inst::always(Op::Nop),
-        ));
+        let words = encode(&Bundle::pair(Inst::always(Op::Nop), Inst::always(Op::Nop)));
         assert_eq!(decode(&words[..1]).unwrap_err(), DecodeError::Truncated);
     }
 
@@ -561,7 +676,10 @@ mod tests {
     #[test]
     fn validate_op_catches_ranges() {
         assert!(validate_op(&Op::Br { offset: 1 << 21 }).is_err());
-        assert!(validate_op(&Op::Br { offset: (1 << 21) - 1 }).is_ok());
+        assert!(validate_op(&Op::Br {
+            offset: (1 << 21) - 1
+        })
+        .is_ok());
         assert!(validate_op(&Op::Load {
             area: MemArea::Stack,
             size: AccessSize::Word,

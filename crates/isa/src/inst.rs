@@ -200,7 +200,10 @@ pub struct PredSrc {
 impl PredSrc {
     /// A non-negated predicate operand.
     pub fn plain(pred: Pred) -> PredSrc {
-        PredSrc { pred, negate: false }
+        PredSrc {
+            pred,
+            negate: false,
+        }
     }
 
     /// A negated predicate operand.
@@ -234,11 +237,17 @@ pub struct Guard {
 
 impl Guard {
     /// The unconditional guard: non-negated `p0`.
-    pub const ALWAYS: Guard = Guard { pred: Pred::P0, negate: false };
+    pub const ALWAYS: Guard = Guard {
+        pred: Pred::P0,
+        negate: false,
+    };
 
     /// A guard that is true when `pred` is true.
     pub fn when(pred: Pred) -> Guard {
-        Guard { pred, negate: false }
+        Guard {
+            pred,
+            negate: false,
+        }
     }
 
     /// A guard that is true when `pred` is false.
@@ -638,17 +647,26 @@ impl Inst {
 
     /// An unconditional instruction (guarded by `p0`).
     pub fn always(op: Op) -> Inst {
-        Inst { guard: Guard::ALWAYS, op }
+        Inst {
+            guard: Guard::ALWAYS,
+            op,
+        }
     }
 
     /// An instruction executed when `pred` is true.
     pub fn when(pred: Pred, op: Op) -> Inst {
-        Inst { guard: Guard::when(pred), op }
+        Inst {
+            guard: Guard::when(pred),
+            op,
+        }
     }
 
     /// An instruction executed when `pred` is false.
     pub fn unless(pred: Pred, op: Op) -> Inst {
-        Inst { guard: Guard::unless(pred), op }
+        Inst {
+            guard: Guard::unless(pred),
+            op,
+        }
     }
 
     /// A `nop`.
@@ -705,11 +723,39 @@ impl fmt::Display for Inst {
             Op::PredSet { op, pd, p1, p2 } => {
                 write!(f, "{} {} = {}, {}", op.mnemonic(), pd, p1, p2)
             }
-            Op::Load { area, size, rd, ra, offset } => {
-                write!(f, "l{}{} {} = [{} + {}]", size, area.suffix(), rd, ra, offset)
+            Op::Load {
+                area,
+                size,
+                rd,
+                ra,
+                offset,
+            } => {
+                write!(
+                    f,
+                    "l{}{} {} = [{} + {}]",
+                    size,
+                    area.suffix(),
+                    rd,
+                    ra,
+                    offset
+                )
             }
-            Op::Store { area, size, ra, offset, rs } => {
-                write!(f, "s{}{} [{} + {}] = {}", size, area.suffix(), ra, offset, rs)
+            Op::Store {
+                area,
+                size,
+                ra,
+                offset,
+                rs,
+            } => {
+                write!(
+                    f,
+                    "s{}{} [{} + {}] = {}",
+                    size,
+                    area.suffix(),
+                    ra,
+                    offset,
+                    rs
+                )
             }
             Op::MainLoad { ra, offset } => write!(f, "ldm [{} + {}]", ra, offset),
             Op::MainWait { rd } => write!(f, "wres {}", rd),
@@ -748,9 +794,7 @@ impl fmt::Display for BundleError {
             BundleError::LongImmediateNotAlone => {
                 f.write_str("32-bit immediate load must be the only operation in its bundle")
             }
-            BundleError::ConflictingWrites => {
-                f.write_str("both slots write the same register")
-            }
+            BundleError::ConflictingWrites => f.write_str("both slots write the same register"),
         }
     }
 }
@@ -779,7 +823,10 @@ pub struct Bundle {
 impl Bundle {
     /// A single-slot bundle.
     pub fn single(first: Inst) -> Bundle {
-        Bundle { first, second: None }
+        Bundle {
+            first,
+            second: None,
+        }
     }
 
     /// A two-slot bundle.
@@ -816,7 +863,10 @@ impl Bundle {
                 return Err(BundleError::ConflictingWrites);
             }
         }
-        Ok(Bundle { first, second: Some(second) })
+        Ok(Bundle {
+            first,
+            second: Some(second),
+        })
     }
 
     /// The instruction in the first issue slot.
@@ -870,7 +920,12 @@ mod tests {
     use super::*;
 
     fn add(rd: Reg, rs1: Reg, rs2: Reg) -> Inst {
-        Inst::always(Op::AluR { op: AluOp::Add, rd, rs1, rs2 })
+        Inst::always(Op::AluR {
+            op: AluOp::Add,
+            rd,
+            rs1,
+            rs2,
+        })
     }
 
     #[test]
@@ -918,7 +973,12 @@ mod tests {
         assert_eq!(call.def(), Some(LINK_REG));
 
         // Writes to r0 are discarded and must not count as definitions.
-        let to_zero = Op::AluI { op: AluOp::Add, rd: Reg::R0, rs1: Reg::R1, imm: 1 };
+        let to_zero = Op::AluI {
+            op: AluOp::Add,
+            rd: Reg::R0,
+            rs1: Reg::R1,
+            imm: 1,
+        };
         assert_eq!(to_zero.def(), None);
     }
 
@@ -932,7 +992,10 @@ mod tests {
             offset: 0,
         });
         let a = add(Reg::R3, Reg::R4, Reg::R5);
-        assert!(Bundle::try_pair(ld, a).is_ok(), "load in slot 1, ALU in slot 2");
+        assert!(
+            Bundle::try_pair(ld, a).is_ok(),
+            "load in slot 1, ALU in slot 2"
+        );
         assert_eq!(
             Bundle::try_pair(a, ld).unwrap_err(),
             BundleError::IllegalSecondSlot
@@ -943,12 +1006,18 @@ mod tests {
     fn bundle_conflicting_writes() {
         let a = add(Reg::R3, Reg::R4, Reg::R5);
         let b = add(Reg::R3, Reg::R6, Reg::R7);
-        assert_eq!(Bundle::try_pair(a, b).unwrap_err(), BundleError::ConflictingWrites);
+        assert_eq!(
+            Bundle::try_pair(a, b).unwrap_err(),
+            BundleError::ConflictingWrites
+        );
     }
 
     #[test]
     fn long_immediate_occupies_bundle() {
-        let lil = Inst::always(Op::LoadImm32 { rd: Reg::R1, imm: 0xdead_beef });
+        let lil = Inst::always(Op::LoadImm32 {
+            rd: Reg::R1,
+            imm: 0xdead_beef,
+        });
         assert_eq!(Bundle::single(lil).width_words(), 2);
         let a = add(Reg::R3, Reg::R4, Reg::R5);
         assert_eq!(
@@ -963,7 +1032,10 @@ mod tests {
         let cond = Inst::when(Pred::P1, Op::Br { offset: 8 });
         assert_eq!(uncond.delay_slots(), crate::timing::BRANCH_DELAY_UNCOND);
         assert_eq!(cond.delay_slots(), crate::timing::BRANCH_DELAY_COND);
-        assert_eq!(Inst::always(Op::Ret).delay_slots(), crate::timing::BRANCH_DELAY_COND);
+        assert_eq!(
+            Inst::always(Op::Ret).delay_slots(),
+            crate::timing::BRANCH_DELAY_COND
+        );
         assert_eq!(Inst::always(Op::Halt).delay_slots(), 0);
     }
 
@@ -971,8 +1043,19 @@ mod tests {
     fn display_round_readable() {
         let b = Bundle::pair(
             add(Reg::R1, Reg::R2, Reg::R3),
-            Inst::when(Pred::P1, Op::CmpI { op: CmpOp::Lt, pd: Pred::P2, rs1: Reg::R1, imm: 10 }),
+            Inst::when(
+                Pred::P1,
+                Op::CmpI {
+                    op: CmpOp::Lt,
+                    pd: Pred::P2,
+                    rs1: Reg::R1,
+                    imm: 10,
+                },
+            ),
         );
-        assert_eq!(b.to_string(), "{ add r1 = r2, r3 ; (p1) cmpilt p2 = r1, 10 }");
+        assert_eq!(
+            b.to_string(),
+            "{ add r1 = r2, r3 ; (p1) cmpilt p2 = r1, 10 }"
+        );
     }
 }

@@ -66,7 +66,7 @@ mod tests {
     fn gaps_are_consistent() {
         // Conditional flow must be at least as delayed as unconditional:
         // the predicate resolves a stage later than decode.
-        assert!(BRANCH_DELAY_COND > BRANCH_DELAY_UNCOND);
+        const { assert!(BRANCH_DELAY_COND > BRANCH_DELAY_UNCOND) };
         assert!(gap_satisfied(MUL_GAP, MUL_GAP));
         assert!(!gap_satisfied(MUL_GAP, MUL_GAP - 1));
     }

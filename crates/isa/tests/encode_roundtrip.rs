@@ -45,16 +45,24 @@ fn arb_op() -> impl Strategy<Value = Op> {
         Just(Op::Nop),
         Just(Op::Halt),
         Just(Op::Ret),
-        (arb_alu_op(), arb_reg(), arb_reg(), arb_reg())
-            .prop_map(|(op, rd, rs1, rs2)| Op::AluR { op, rd, rs1, rs2 }),
+        (arb_alu_op(), arb_reg(), arb_reg(), arb_reg()).prop_map(|(op, rd, rs1, rs2)| Op::AluR {
+            op,
+            rd,
+            rs1,
+            rs2
+        }),
         (arb_alu_op(), arb_reg(), arb_reg(), -2048i16..=2047)
             .prop_map(|(op, rd, rs1, imm)| Op::AluI { op, rd, rs1, imm }),
         (arb_reg(), arb_reg()).prop_map(|(rs1, rs2)| Op::Mul { rs1, rs2 }),
         (arb_reg(), any::<u16>()).prop_map(|(rd, imm)| Op::LoadImmLow { rd, imm }),
         (arb_reg(), any::<u16>()).prop_map(|(rd, imm)| Op::LoadImmHigh { rd, imm }),
         (arb_reg(), any::<u32>()).prop_map(|(rd, imm)| Op::LoadImm32 { rd, imm }),
-        (arb_cmp_op(), arb_pred(), arb_reg(), arb_reg())
-            .prop_map(|(op, pd, rs1, rs2)| Op::Cmp { op, pd, rs1, rs2 }),
+        (arb_cmp_op(), arb_pred(), arb_reg(), arb_reg()).prop_map(|(op, pd, rs1, rs2)| Op::Cmp {
+            op,
+            pd,
+            rs1,
+            rs2
+        }),
         (arb_cmp_op(), arb_pred(), arb_reg(), -1024i16..=1023)
             .prop_map(|(op, pd, rs1, imm)| Op::CmpI { op, pd, rs1, imm }),
         (
@@ -64,14 +72,31 @@ fn arb_op() -> impl Strategy<Value = Op> {
             arb_pred_src()
         )
             .prop_map(|(op, pd, p1, p2)| Op::PredSet { op, pd, p1, p2 }),
-        (arb_area(), arb_size(), arb_reg(), arb_reg(), -64i16..=63)
-            .prop_map(|(area, size, rd, ra, offset)| Op::Load { area, size, rd, ra, offset }),
-        (arb_area(), arb_size(), arb_reg(), -64i16..=63, arb_reg())
-            .prop_map(|(area, size, ra, offset, rs)| Op::Store { area, size, ra, offset, rs }),
+        (arb_area(), arb_size(), arb_reg(), arb_reg(), -64i16..=63).prop_map(
+            |(area, size, rd, ra, offset)| Op::Load {
+                area,
+                size,
+                rd,
+                ra,
+                offset
+            }
+        ),
+        (arb_area(), arb_size(), arb_reg(), -64i16..=63, arb_reg()).prop_map(
+            |(area, size, ra, offset, rs)| Op::Store {
+                area,
+                size,
+                ra,
+                offset,
+                rs
+            }
+        ),
         (arb_reg(), -2048i16..=2047).prop_map(|(ra, offset)| Op::MainLoad { ra, offset }),
         arb_reg().prop_map(|rd| Op::MainWait { rd }),
-        (arb_reg(), -2048i16..=2047, arb_reg())
-            .prop_map(|(ra, offset, rs)| Op::MainStore { ra, offset, rs }),
+        (arb_reg(), -2048i16..=2047, arb_reg()).prop_map(|(ra, offset, rs)| Op::MainStore {
+            ra,
+            offset,
+            rs
+        }),
         (-(1i32 << 21)..(1 << 21)).prop_map(|offset| Op::Br { offset }),
         (-(1i32 << 21)..(1 << 21)).prop_map(|offset| Op::Call { offset }),
         arb_reg().prop_map(|rs| Op::CallR { rs }),

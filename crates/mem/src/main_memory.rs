@@ -31,7 +31,10 @@ pub struct MemConfig {
 impl MemConfig {
     /// A configuration with the given setup latency and per-word cost.
     pub fn new(latency: u32, cycles_per_word: u32) -> MemConfig {
-        MemConfig { latency, cycles_per_word }
+        MemConfig {
+            latency,
+            cycles_per_word,
+        }
     }
 
     /// Cycles for a burst of `words` 32-bit words (zero words cost zero).
@@ -47,7 +50,10 @@ impl MemConfig {
 impl Default for MemConfig {
     /// Six cycles setup, two cycles per word — a small SDRAM controller.
     fn default() -> MemConfig {
-        MemConfig { latency: 6, cycles_per_word: 2 }
+        MemConfig {
+            latency: 6,
+            cycles_per_word: 2,
+        }
     }
 }
 
@@ -64,7 +70,10 @@ pub struct MainMemory {
 impl MainMemory {
     /// An empty memory with the given timing configuration.
     pub fn new(config: MemConfig) -> MainMemory {
-        MainMemory { pages: HashMap::new(), config }
+        MainMemory {
+            pages: HashMap::new(),
+            config,
+        }
     }
 
     /// The timing configuration.

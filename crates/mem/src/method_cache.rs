@@ -36,7 +36,11 @@ impl MethodCacheConfig {
     pub fn new(blocks: u32, block_words: u32, policy: ReplacementPolicy) -> MethodCacheConfig {
         assert!(blocks > 0, "blocks must be positive");
         assert!(block_words > 0, "block_words must be positive");
-        MethodCacheConfig { blocks, block_words, policy }
+        MethodCacheConfig {
+            blocks,
+            block_words,
+            policy,
+        }
     }
 
     /// Total capacity in words.
@@ -54,7 +58,11 @@ impl Default for MethodCacheConfig {
     /// Sixteen blocks of 64 words (4 KiB), FIFO — the shape used by the
     /// JOP/Patmos line of work.
     fn default() -> MethodCacheConfig {
-        MethodCacheConfig { blocks: 16, block_words: 64, policy: ReplacementPolicy::Fifo }
+        MethodCacheConfig {
+            blocks: 16,
+            block_words: 64,
+            policy: ReplacementPolicy::Fifo,
+        }
     }
 }
 
@@ -154,7 +162,11 @@ impl MethodCache {
                 self.resident[pos].stamp = self.clock;
             }
             self.stats.record(true, 0);
-            return MethodCacheAccess { hit: true, transfer_words: 0, evicted: 0 };
+            return MethodCacheAccess {
+                hit: true,
+                transfer_words: 0,
+                evicted: 0,
+            };
         }
 
         let needed = self.config.blocks_for(size_words);
@@ -165,7 +177,11 @@ impl MethodCache {
             self.resident.clear();
             self.used_blocks = 0;
             self.stats.record(false, size_words as u64);
-            return MethodCacheAccess { hit: false, transfer_words: size_words, evicted };
+            return MethodCacheAccess {
+                hit: false,
+                transfer_words: size_words,
+                evicted,
+            };
         }
 
         while self.config.blocks - self.used_blocks < needed {
@@ -184,10 +200,18 @@ impl MethodCache {
             evicted += 1;
         }
 
-        self.resident.push_back(Resident { func_addr, blocks: needed, stamp: self.clock });
+        self.resident.push_back(Resident {
+            func_addr,
+            blocks: needed,
+            stamp: self.clock,
+        });
         self.used_blocks += needed;
         self.stats.record(false, size_words as u64);
-        MethodCacheAccess { hit: false, transfer_words: size_words, evicted }
+        MethodCacheAccess {
+            hit: false,
+            transfer_words: size_words,
+            evicted,
+        }
     }
 }
 

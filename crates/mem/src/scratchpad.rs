@@ -32,9 +32,14 @@ impl Scratchpad {
     /// Panics if `size_bytes` is not a power of two or is smaller than a
     /// word.
     pub fn new(size_bytes: usize) -> Scratchpad {
-        assert!(size_bytes.is_power_of_two(), "scratchpad size must be a power of two");
+        assert!(
+            size_bytes.is_power_of_two(),
+            "scratchpad size must be a power of two"
+        );
         assert!(size_bytes >= 4, "scratchpad must hold at least one word");
-        Scratchpad { data: vec![0; size_bytes] }
+        Scratchpad {
+            data: vec![0; size_bytes],
+        }
     }
 
     /// Capacity in bytes.

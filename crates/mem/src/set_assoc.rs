@@ -72,7 +72,10 @@ impl SetAssocCache {
     /// parameter is zero.
     pub fn new(sets: u32, ways: u32, line_words: u32, policy: ReplacementPolicy) -> SetAssocCache {
         assert!(sets.is_power_of_two(), "sets must be a power of two");
-        assert!(line_words.is_power_of_two(), "line_words must be a power of two");
+        assert!(
+            line_words.is_power_of_two(),
+            "line_words must be a power of two"
+        );
         assert!(ways > 0, "ways must be positive");
         SetAssocCache {
             sets,
@@ -134,13 +137,19 @@ impl SetAssocCache {
             }
             let transfer = if write { 1 } else { 0 };
             self.stats.record(true, transfer as u64);
-            return AccessResult { hit: true, transfer_words: transfer };
+            return AccessResult {
+                hit: true,
+                transfer_words: transfer,
+            };
         }
 
         if write {
             // No-write-allocate: a miss writes straight through.
             self.stats.record(false, 1);
-            return AccessResult { hit: false, transfer_words: 1 };
+            return AccessResult {
+                hit: false,
+                transfer_words: 1,
+            };
         }
 
         // Read miss: allocate, evicting the oldest stamp.
@@ -151,9 +160,15 @@ impl SetAssocCache {
                 .min_by_key(|slot| slot.as_ref().expect("set is full").stamp)
                 .expect("ways is non-empty"),
         };
-        *victim = Some(Line { tag, stamp: self.clock });
+        *victim = Some(Line {
+            tag,
+            stamp: self.clock,
+        });
         self.stats.record(false, self.line_words as u64);
-        AccessResult { hit: false, transfer_words: self.line_words }
+        AccessResult {
+            hit: false,
+            transfer_words: self.line_words,
+        }
     }
 
     /// Whether the line containing `addr` is currently resident (pure

@@ -77,7 +77,12 @@ impl StackCache {
     pub fn new(size_words: u32, top_addr: u32) -> StackCache {
         assert!(size_words > 0, "stack cache must have capacity");
         assert_eq!(top_addr % 4, 0, "stack top must be word-aligned");
-        StackCache { size_words, st: top_addr, ss: top_addr, stats: CacheStats::new() }
+        StackCache {
+            size_words,
+            st: top_addr,
+            ss: top_addr,
+            stats: CacheStats::new(),
+        }
     }
 
     /// Capacity in words.
@@ -130,7 +135,10 @@ impl StackCache {
         let spill = occupied.saturating_sub(self.size_words);
         self.ss = self.ss.wrapping_sub(spill * 4);
         self.stats.record(spill == 0, spill as u64);
-        StackEffect { spill_words: spill, fill_words: 0 }
+        StackEffect {
+            spill_words: spill,
+            fill_words: 0,
+        }
     }
 
     /// `sens n`: ensure the top `n` words of the frame are cached,
@@ -150,7 +158,10 @@ impl StackCache {
         let fill = words.saturating_sub(occupied);
         self.ss = self.ss.wrapping_add(fill * 4);
         self.stats.record(fill == 0, fill as u64);
-        StackEffect { spill_words: 0, fill_words: fill }
+        StackEffect {
+            spill_words: 0,
+            fill_words: fill,
+        }
     }
 
     /// `sfree n`: release `n` words. Never causes memory traffic; if the

@@ -98,8 +98,7 @@ impl TdmaArbiter {
         assert!(self.fits(burst_cycles), "burst does not fit in a slot");
         // Worst alignment: the request arrives just after the last start
         // point that still fits in this core's slot.
-        self.period() - (self.slot_cycles as u64 - burst_cycles as u64)
-            - 1
+        self.period() - (self.slot_cycles as u64 - burst_cycles as u64) - 1
     }
 }
 

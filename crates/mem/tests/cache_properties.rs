@@ -78,7 +78,7 @@ proptest! {
                     reserved += n as u64;
                 }
                 1 => {
-                    let n = (n % 16).max(1).min(16);
+                    let n = (n % 16).clamp(1, 16);
                     sc.ensure(n);
                 }
                 _ => {

@@ -1,12 +1,17 @@
 //! Command-line driver for the Patmos toolchain.
 //!
 //! ```text
-//! patmos-cli compile <file.patc> [--single-path] [--no-if-convert] [--single-issue]
+//! patmos-cli compile <file.patc> [--single-path] [--no-if-convert] [--single-issue] [--dump-lir]
 //! patmos-cli asm     <file.pasm>
 //! patmos-cli disasm  <file.pasm | file.patc>
-//! patmos-cli run     <file.pasm | file.patc> [--single-issue] [--non-strict]
+//! patmos-cli run     <file.pasm | file.patc> [--single-issue] [--non-strict] [--stats] [--dump-lir]
 //! patmos-cli wcet    <file.pasm | file.patc>
 //! ```
+//!
+//! `--dump-lir` prints the compiler's virtual-register LIR and the
+//! register allocator's per-function report before the usual output;
+//! `--stats` extends `run` with the full counter set, including the
+//! per-cause stall breakdown and executed stack-cache operations.
 //!
 //! `.patc` files are compiled from PatC; `.pasm` files are assembled
 //! directly. Results, cycle counts and stall breakdowns go to stdout.
@@ -26,12 +31,14 @@ struct Args {
     no_if_convert: bool,
     single_issue: bool,
     non_strict: bool,
+    dump_lir: bool,
+    stats: bool,
 }
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage: patmos-cli <compile|asm|disasm|run|wcet> <file.patc|file.pasm> \
-         [--single-path] [--no-if-convert] [--single-issue] [--non-strict]"
+         [--single-path] [--no-if-convert] [--single-issue] [--non-strict] [--dump-lir] [--stats]"
     );
     ExitCode::from(2)
 }
@@ -45,6 +52,8 @@ fn parse_args() -> Option<Args> {
         no_if_convert: false,
         single_issue: false,
         non_strict: false,
+        dump_lir: false,
+        stats: false,
     };
     for arg in std::env::args().skip(1) {
         match arg.as_str() {
@@ -52,6 +61,8 @@ fn parse_args() -> Option<Args> {
             "--no-if-convert" => args.no_if_convert = true,
             "--single-issue" => args.single_issue = true,
             "--non-strict" => args.non_strict = true,
+            "--dump-lir" => args.dump_lir = true,
+            "--stats" => args.stats = true,
             flag if flag.starts_with("--") => {
                 eprintln!("unknown flag `{flag}`");
                 return None;
@@ -68,8 +79,7 @@ fn parse_args() -> Option<Args> {
 }
 
 fn load_image(args: &Args) -> Result<ObjectImage, String> {
-    let source =
-        std::fs::read_to_string(&args.path).map_err(|e| format!("{}: {e}", args.path))?;
+    let source = std::fs::read_to_string(&args.path).map_err(|e| format!("{}: {e}", args.path))?;
     if args.path.ends_with(".patc") {
         let options = CompileOptions {
             dual_issue: !args.single_issue,
@@ -84,7 +94,9 @@ fn load_image(args: &Args) -> Result<ObjectImage, String> {
 }
 
 fn main() -> ExitCode {
-    let Some(args) = parse_args() else { return usage() };
+    let Some(args) = parse_args() else {
+        return usage();
+    };
     let result = match args.command.as_str() {
         "compile" => cmd_compile(&args),
         "asm" => cmd_asm(&args),
@@ -106,28 +118,56 @@ fn main() -> ExitCode {
 }
 
 fn cmd_compile(args: &Args) -> Result<(), String> {
-    let source =
-        std::fs::read_to_string(&args.path).map_err(|e| format!("{}: {e}", args.path))?;
+    let source = std::fs::read_to_string(&args.path).map_err(|e| format!("{}: {e}", args.path))?;
     let options = CompileOptions {
         dual_issue: !args.single_issue,
         if_convert: !args.no_if_convert,
         single_path: args.single_path,
         ..CompileOptions::default()
     };
+    if args.dump_lir {
+        dump_lir(&source, &options)?;
+        return Ok(());
+    }
     let asm = patmos::compiler::compile_to_asm(&source, &options).map_err(|e| e.to_string())?;
     print!("{asm}");
     Ok(())
 }
 
+/// Prints the virtual-register LIR and the allocation report.
+fn dump_lir(source: &str, options: &CompileOptions) -> Result<(), String> {
+    let artifacts =
+        patmos::compiler::compile_with_artifacts(source, options).map_err(|e| e.to_string())?;
+    println!("=== virtual LIR (before register allocation) ===");
+    print!("{}", artifacts.vlir);
+    println!("=== register allocation ===");
+    print!("{}", artifacts.allocation);
+    println!("=== scheduled assembly ===");
+    print!("{}", artifacts.asm);
+    Ok(())
+}
+
 fn cmd_asm(args: &Args) -> Result<(), String> {
     let image = load_image(args)?;
-    println!("{} words of code, {} functions, entry at word {:#x}",
-        image.code().len(), image.functions().len(), image.entry_word());
+    println!(
+        "{} words of code, {} functions, entry at word {:#x}",
+        image.code().len(),
+        image.functions().len(),
+        image.entry_word()
+    );
     for f in image.functions() {
-        println!("  {:<20} start {:#06x}  size {:>5} words", f.name, f.start_word, f.size_words);
+        println!(
+            "  {:<20} start {:#06x}  size {:>5} words",
+            f.name, f.start_word, f.size_words
+        );
     }
     for seg in image.data() {
-        println!("  data {:<15} at {:#010x}  {:>5} bytes", seg.name, seg.addr, seg.bytes.len());
+        println!(
+            "  data {:<15} at {:#010x}  {:>5} bytes",
+            seg.name,
+            seg.addr,
+            seg.bytes.len()
+        );
     }
     Ok(())
 }
@@ -140,10 +180,23 @@ fn cmd_disasm(args: &Args) -> Result<(), String> {
 }
 
 fn cmd_run(args: &Args) -> Result<(), String> {
+    if args.dump_lir && args.path.ends_with(".patc") {
+        let source =
+            std::fs::read_to_string(&args.path).map_err(|e| format!("{}: {e}", args.path))?;
+        let options = CompileOptions {
+            dual_issue: !args.single_issue,
+            if_convert: !args.no_if_convert,
+            single_path: args.single_path,
+            ..CompileOptions::default()
+        };
+        dump_lir(&source, &options)?;
+    }
     let image = load_image(args)?;
-    let mut config = SimConfig::default();
-    config.dual_issue = !args.single_issue;
-    config.strict = !args.non_strict;
+    let config = SimConfig {
+        dual_issue: !args.single_issue,
+        strict: !args.non_strict,
+        ..SimConfig::default()
+    };
     let mut core = Simulator::new(&image, config);
     core.run().map_err(|e| e.to_string())?;
     let stats = core.stats();
@@ -151,11 +204,34 @@ fn cmd_run(args: &Args) -> Result<(), String> {
     println!("cycles           = {}", stats.cycles);
     println!("bundles          = {}", stats.bundles);
     println!("IPC              = {:.2}", stats.ipc());
-    println!("second slot used = {:.0}%", stats.slot2_utilisation() * 100.0);
+    println!(
+        "second slot used = {:.0}%",
+        stats.slot2_utilisation() * 100.0
+    );
     println!("stalls           : {}", stats.stalls);
     println!("method cache     : {}", stats.method_cache);
     println!("data cache       : {}", stats.data_cache);
     println!("static cache     : {}", stats.static_cache);
+    if args.stats {
+        println!("--- stall breakdown (cycles) ---");
+        println!("method cache     = {}", stats.stalls.method_cache);
+        println!("data cache       = {}", stats.stalls.data_cache);
+        println!("static cache     = {}", stats.stalls.static_cache);
+        println!("stack cache      = {}", stats.stalls.stack_cache);
+        println!("split load       = {}", stats.stalls.split_load);
+        println!("write buffer     = {}", stats.stalls.write_buffer);
+        println!("tdma share       = {}", stats.stalls.tdma_wait);
+        println!("total stalls     = {}", stats.stalls.total());
+        println!("--- execution ---");
+        println!("insts executed   = {}", stats.insts_executed);
+        println!("insts annulled   = {}", stats.insts_annulled);
+        println!("nops             = {}", stats.nops);
+        println!("taken branches   = {}", stats.taken_branches);
+        println!("calls            = {}", stats.calls);
+        println!("returns          = {}", stats.returns);
+        println!("stack cache ops  = {}", stats.stack_ops);
+        println!("S$ words moved   = {}", stats.stack_cache.transferred_words);
+    }
     Ok(())
 }
 
@@ -168,7 +244,10 @@ fn cmd_wcet(args: &Args) -> Result<(), String> {
         analyze(&image, &Machine::Patmos(SimConfig::default())).map_err(|e| e.to_string())?;
     println!("entry function   = {}", report.entry);
     println!("observed cycles  = {observed}");
-    println!("WCET bound       = {} (warm-up {})", report.bound_cycles, report.warmup_cycles);
+    println!(
+        "WCET bound       = {} (warm-up {})",
+        report.bound_cycles, report.warmup_cycles
+    );
     println!("pessimism        = {:.2}x", report.pessimism(observed));
     for (name, bound) in &report.per_function {
         println!("  {:<20} {:>10} cycles", name, bound);

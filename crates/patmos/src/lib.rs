@@ -16,8 +16,10 @@
 //! * [`baseline`] — the conventional average-case-optimised comparator;
 //! * [`wcet`] — static WCET analysis (CFG, cache analyses, IPET with a
 //!   built-in simplex solver);
-//! * [`compiler`] — the PatC compiler: stack-cache frames, if-conversion,
-//!   single-path transformation, VLIW scheduling;
+//! * [`compiler`] — the PatC compiler: virtual-register codegen,
+//!   if-conversion, single-path transformation, VLIW scheduling;
+//! * [`regalloc`] — liveness-driven linear-scan register allocation
+//!   between code generation and scheduling;
 //! * [`workloads`] — the benchmark kernels used by the experiments.
 //!
 //! # Quickstart
@@ -51,6 +53,7 @@ pub use patmos_baseline as baseline;
 pub use patmos_compiler as compiler;
 pub use patmos_isa as isa;
 pub use patmos_mem as mem;
+pub use patmos_regalloc as regalloc;
 pub use patmos_rf as rf;
 pub use patmos_sim as sim;
 pub use patmos_wcet as wcet;

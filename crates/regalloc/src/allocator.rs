@@ -1,0 +1,615 @@
+//! Linear-scan register allocation and physical-code rewriting.
+//!
+//! The allocator works function by function:
+//!
+//! 1. build the virtual CFG and run backward liveness
+//!    ([`crate::liveness`]);
+//! 2. linear-scan the live intervals over the allocatable pool
+//!    (`r7`–`r28`), spilling the furthest-ending interval to a
+//!    deterministic stack-cache slot when the pool is exhausted;
+//! 3. rewrite to physical LIR: map operands, materialise spill
+//!    reloads/stores through the two scratch registers (`r2`, `r30`),
+//!    save and restore live registers around calls (every allocatable
+//!    register is caller-saved, matching the Patmos ABI used here), and
+//!    emit the frame protocol — one `sres` at entry, `sens` after each
+//!    call, one `sfree` per exit, plus the link-register save for
+//!    non-leaf functions — sized to exactly the slots in use.
+//!
+//! Leaf functions without spills get *no* stack-cache traffic at all.
+//! Visible-delay legalisation (load-use gaps, branch delay slots) is the
+//! scheduler's job downstream; the allocator only ever inserts
+//! instructions, it never reorders them.
+
+use std::collections::{BTreeSet, HashMap, HashSet};
+use std::fmt;
+
+use patmos_isa::{AccessSize, AluOp, Guard, MemArea, Op, Reg, LINK_REG};
+
+use crate::cfg::{build_vcfg, split_functions, FuncCode};
+use crate::lir::{Item, LirInst, LirOp, Module};
+use crate::liveness::{self, Interval};
+use crate::vlir::{VItem, VModule, VOp, VReg};
+
+/// First register of the allocatable pool.
+pub const POOL_FIRST: u8 = 7;
+/// Last register of the allocatable pool (inclusive).
+pub const POOL_LAST: u8 = 28;
+/// Scratch register for spill reloads and spilled definitions.
+pub const SCRATCH_A: Reg = Reg::R2;
+/// Second scratch register (second spilled operand of one instruction).
+pub const SCRATCH_B: Reg = Reg::R30;
+
+/// Why allocation failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AllocError {
+    /// A function's frame (link slot + spill slots) exceeds the 63-word
+    /// typed-offset range of the stack cache.
+    FrameTooLarge {
+        /// The function.
+        func: String,
+        /// The required frame size in words.
+        words: u32,
+    },
+    /// A call under a non-always guard (the compiler rejects these; the
+    /// allocator's save/restore sequences assume unguarded calls).
+    GuardedCall {
+        /// The function.
+        func: String,
+    },
+    /// A `ret`/`halt` under a non-always guard: the epilogue's link
+    /// restore and `sfree` cannot be annulled together with it, so a
+    /// false guard would fall through with the frame already freed.
+    GuardedReturn {
+        /// The function.
+        func: String,
+    },
+}
+
+impl fmt::Display for AllocError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AllocError::FrameTooLarge { func, words } => {
+                write!(
+                    f,
+                    "frame of `{func}` needs {words} words, exceeding the 63-word range"
+                )
+            }
+            AllocError::GuardedCall { func } => {
+                write!(f, "guarded call in `{func}` cannot be allocated")
+            }
+            AllocError::GuardedReturn { func } => {
+                write!(f, "guarded return in `{func}` cannot be allocated")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AllocError {}
+
+/// Allocation outcome of one function, for reporting (`--dump-lir`).
+#[derive(Debug, Clone)]
+pub struct FuncAlloc {
+    /// Function name.
+    pub name: String,
+    /// Number of virtual registers allocated.
+    pub vregs: usize,
+    /// Final register assignments, sorted by virtual register.
+    pub assignments: Vec<(VReg, Reg)>,
+    /// Stack slots of spilled or call-saved values, sorted by register.
+    pub slots: Vec<(VReg, u32)>,
+    /// Virtual registers spilled because the pool ran out.
+    pub pressure_spills: usize,
+    /// Registers saved/restored around at least one call.
+    pub call_saved: usize,
+    /// Final frame size in words (0 for leaf functions without spills).
+    pub frame_words: u32,
+}
+
+/// Allocation outcome of a whole module.
+#[derive(Debug, Clone, Default)]
+pub struct AllocReport {
+    /// One entry per function.
+    pub funcs: Vec<FuncAlloc>,
+}
+
+impl AllocReport {
+    /// Total frame words across functions.
+    pub fn total_frame_words(&self) -> u32 {
+        self.funcs.iter().map(|f| f.frame_words).sum()
+    }
+
+    /// Total pressure spills across functions.
+    pub fn total_pressure_spills(&self) -> usize {
+        self.funcs.iter().map(|f| f.pressure_spills).sum()
+    }
+}
+
+impl fmt::Display for AllocReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{:<16} {:>6} {:>8} {:>10} {:>10} {:>6}",
+            "function", "vregs", "spilled", "call-saved", "frame(wd)", "regs"
+        )?;
+        for fa in &self.funcs {
+            writeln!(
+                f,
+                "{:<16} {:>6} {:>8} {:>10} {:>10} {:>6}",
+                fa.name,
+                fa.vregs,
+                fa.pressure_spills,
+                fa.call_saved,
+                fa.frame_words,
+                fa.assignments
+                    .iter()
+                    .map(|(_, r)| r)
+                    .collect::<HashSet<_>>()
+                    .len(),
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Runs register allocation over a whole virtual module, producing
+/// physical LIR ready for scheduling.
+///
+/// # Errors
+///
+/// Returns an [`AllocError`] when a frame exceeds the stack-cache
+/// offset range or a call carries a guard.
+pub fn allocate(module: &VModule) -> Result<(Module, AllocReport), AllocError> {
+    let mut out = Module {
+        data_lines: module.data_lines.clone(),
+        items: Vec::new(),
+        entry: module.entry.clone(),
+    };
+    let mut report = AllocReport::default();
+    for func in &split_functions(&module.items) {
+        let fa = FuncAllocator::run(func, &module.items, &module.entry, &mut out.items)?;
+        report.funcs.push(fa);
+    }
+    Ok((out, report))
+}
+
+/// Where a virtual register's value lives.
+#[derive(Debug, Clone, Copy)]
+enum Loc {
+    /// The hard-wired zero register.
+    Zero,
+    /// An allocated pool register.
+    Reg(Reg),
+    /// A stack-cache slot (word offset within the frame).
+    Slot(u32),
+}
+
+struct FuncAllocator<'a> {
+    func: &'a FuncCode<'a>,
+    assigned: HashMap<VReg, Reg>,
+    slot_of: HashMap<VReg, u32>,
+    saves_per_call: Vec<Vec<(Reg, u32)>>,
+    save_link: bool,
+    frame_words: u32,
+}
+
+impl<'a> FuncAllocator<'a> {
+    fn run(
+        func: &'a FuncCode<'a>,
+        items: &[VItem],
+        entry: &str,
+        out: &mut Vec<Item>,
+    ) -> Result<FuncAlloc, AllocError> {
+        let cfg = build_vcfg(func, items);
+        for &cp in &cfg.call_positions {
+            if !func.insts[cp].1.guard.is_always() {
+                return Err(AllocError::GuardedCall {
+                    func: func.name.to_string(),
+                });
+            }
+        }
+        for (_, inst) in &func.insts {
+            if matches!(inst.op, VOp::Ret | VOp::Halt) && !inst.guard.is_always() {
+                return Err(AllocError::GuardedReturn {
+                    func: func.name.to_string(),
+                });
+            }
+        }
+        let live = liveness::analyze(func, &cfg);
+
+        // --- Linear scan over the pool ---
+        let mut free: BTreeSet<u8> = (POOL_FIRST..=POOL_LAST).collect();
+        let mut active: Vec<(Interval, Reg)> = Vec::new();
+        let mut assigned: HashMap<VReg, Reg> = HashMap::new();
+        let mut pressure_spilled: BTreeSet<VReg> = BTreeSet::new();
+        for iv in &live.intervals {
+            active.retain(|(a, r)| {
+                if a.end < iv.start {
+                    free.insert(r.index());
+                    false
+                } else {
+                    true
+                }
+            });
+            if let Some(&r) = free.iter().next() {
+                free.remove(&r);
+                let reg = Reg::from_index(r);
+                assigned.insert(iv.vreg, reg);
+                active.push((*iv, reg));
+            } else {
+                // Pool exhausted: spill whichever of the active
+                // intervals (or this one) lives furthest.
+                let victim_idx = active
+                    .iter()
+                    .enumerate()
+                    .max_by_key(|(_, (a, _))| (a.end, a.vreg.id()))
+                    .map(|(i, _)| i)
+                    .expect("pool smaller than active set");
+                if active[victim_idx].0.end > iv.end {
+                    let (victim, reg) = active[victim_idx];
+                    pressure_spilled.insert(victim.vreg);
+                    assigned.remove(&victim.vreg);
+                    assigned.insert(iv.vreg, reg);
+                    active[victim_idx] = (*iv, reg);
+                } else {
+                    pressure_spilled.insert(iv.vreg);
+                }
+            }
+        }
+
+        // --- Call-crossing values need a home slot ---
+        let mut needs_slot: BTreeSet<VReg> = pressure_spilled.clone();
+        let mut call_saved: BTreeSet<VReg> = BTreeSet::new();
+        for live_set in &live.live_across_calls {
+            for v in live_set {
+                if assigned.contains_key(v) {
+                    needs_slot.insert(*v);
+                    call_saved.insert(*v);
+                }
+            }
+        }
+
+        // --- Frame layout ---
+        let save_link = !cfg.call_positions.is_empty() && func.name != entry;
+        let base = u32::from(save_link);
+        let mut slot_of: HashMap<VReg, u32> = HashMap::new();
+        for (i, v) in needs_slot.iter().enumerate() {
+            slot_of.insert(*v, base + i as u32);
+        }
+        let frame_words = base + needs_slot.len() as u32;
+        if frame_words > 63 {
+            return Err(AllocError::FrameTooLarge {
+                func: func.name.to_string(),
+                words: frame_words,
+            });
+        }
+
+        let saves_per_call: Vec<Vec<(Reg, u32)>> = live
+            .live_across_calls
+            .iter()
+            .map(|live_set| {
+                live_set
+                    .iter()
+                    .filter_map(|v| assigned.get(v).map(|r| (*r, slot_of[v])))
+                    .collect()
+            })
+            .collect();
+
+        let this = FuncAllocator {
+            func,
+            assigned,
+            slot_of,
+            saves_per_call,
+            save_link,
+            frame_words,
+        };
+        this.rewrite(items, out);
+
+        let mut assignments: Vec<(VReg, Reg)> =
+            this.assigned.iter().map(|(v, r)| (*v, *r)).collect();
+        assignments.sort_by_key(|(v, _)| v.id());
+        let mut slots: Vec<(VReg, u32)> = this.slot_of.iter().map(|(v, s)| (*v, *s)).collect();
+        slots.sort_by_key(|(v, _)| v.id());
+        Ok(FuncAlloc {
+            name: func.name.to_string(),
+            vregs: live.intervals.len(),
+            assignments,
+            slots,
+            pressure_spills: pressure_spilled.len(),
+            call_saved: call_saved.len(),
+            frame_words: this.frame_words,
+        })
+    }
+
+    fn loc(&self, v: VReg) -> Loc {
+        if v.is_zero() {
+            Loc::Zero
+        } else if let Some(&r) = self.assigned.get(&v) {
+            Loc::Reg(r)
+        } else {
+            Loc::Slot(self.slot_of[&v])
+        }
+    }
+
+    fn slot_load(reg: Reg, slot: u32) -> Item {
+        Item::Inst(LirInst::always(LirOp::Real(Op::Load {
+            area: MemArea::Stack,
+            size: AccessSize::Word,
+            rd: reg,
+            ra: Reg::R0,
+            offset: slot as i16,
+        })))
+    }
+
+    fn slot_store(guard: Guard, slot: u32, reg: Reg) -> Item {
+        Item::Inst(LirInst::new(
+            guard,
+            LirOp::Real(Op::Store {
+                area: MemArea::Stack,
+                size: AccessSize::Word,
+                ra: Reg::R0,
+                offset: slot as i16,
+                rs: reg,
+            }),
+        ))
+    }
+
+    fn always(op: Op) -> Item {
+        Item::Inst(LirInst::always(LirOp::Real(op)))
+    }
+
+    fn rewrite(&self, items: &[VItem], out: &mut Vec<Item>) {
+        let mut call_index = 0usize;
+        for item in &items[self.func.item_range.clone()] {
+            match item {
+                VItem::FuncStart(name) => {
+                    out.push(Item::FuncStart(name.clone()));
+                    if self.frame_words > 0 {
+                        out.push(Self::always(Op::Sres {
+                            words: self.frame_words,
+                        }));
+                    }
+                    if self.save_link {
+                        out.push(Self::slot_store(Guard::ALWAYS, 0, LINK_REG));
+                    }
+                }
+                VItem::Label(name) => out.push(Item::Label(name.clone())),
+                VItem::LoopBound { min, max } => out.push(Item::LoopBound {
+                    min: *min,
+                    max: *max,
+                }),
+                VItem::Inst(vinst) => match &vinst.op {
+                    VOp::CallFunc(name) => {
+                        for &(reg, slot) in &self.saves_per_call[call_index] {
+                            out.push(Self::slot_store(Guard::ALWAYS, slot, reg));
+                        }
+                        out.push(Item::Inst(LirInst::always(LirOp::CallFunc(name.clone()))));
+                        if self.frame_words > 0 {
+                            out.push(Self::always(Op::Sens {
+                                words: self.frame_words,
+                            }));
+                        }
+                        for &(reg, slot) in &self.saves_per_call[call_index] {
+                            out.push(Self::slot_load(reg, slot));
+                        }
+                        call_index += 1;
+                    }
+                    VOp::Ret => {
+                        if self.save_link {
+                            out.push(Self::slot_load(LINK_REG, 0));
+                        }
+                        if self.frame_words > 0 {
+                            out.push(Self::always(Op::Sfree {
+                                words: self.frame_words,
+                            }));
+                        }
+                        out.push(Item::Inst(LirInst::new(vinst.guard, LirOp::Real(Op::Ret))));
+                    }
+                    VOp::Halt => {
+                        if self.frame_words > 0 {
+                            out.push(Self::always(Op::Sfree {
+                                words: self.frame_words,
+                            }));
+                        }
+                        out.push(Item::Inst(LirInst::new(vinst.guard, LirOp::Real(Op::Halt))));
+                    }
+                    _ => self.rewrite_plain(vinst, out),
+                },
+            }
+        }
+    }
+
+    /// Rewrites a non-call, non-terminator instruction: reloads spilled
+    /// operands into scratch registers, maps the rest, and stores a
+    /// spilled definition back to its slot under the original guard.
+    fn rewrite_plain(&self, vinst: &crate::vlir::VInst, out: &mut Vec<Item>) {
+        // Fast paths: ABI copies touching a spilled value become a
+        // single stack access instead of reload-plus-move.
+        match vinst.op {
+            VOp::CopyToPhys { dst, src } => {
+                match self.loc(src) {
+                    Loc::Slot(slot) => out.push(Item::Inst(LirInst::new(
+                        vinst.guard,
+                        LirOp::Real(Op::Load {
+                            area: MemArea::Stack,
+                            size: AccessSize::Word,
+                            rd: dst,
+                            ra: Reg::R0,
+                            offset: slot as i16,
+                        }),
+                    ))),
+                    Loc::Reg(r) => out.push(Item::Inst(LirInst::new(
+                        vinst.guard,
+                        LirOp::Real(Op::AluR {
+                            op: AluOp::Add,
+                            rd: dst,
+                            rs1: r,
+                            rs2: Reg::R0,
+                        }),
+                    ))),
+                    Loc::Zero => out.push(Item::Inst(LirInst::new(
+                        vinst.guard,
+                        LirOp::Real(Op::AluR {
+                            op: AluOp::Add,
+                            rd: dst,
+                            rs1: Reg::R0,
+                            rs2: Reg::R0,
+                        }),
+                    ))),
+                }
+                return;
+            }
+            VOp::CopyFromPhys { dst, src } => {
+                match self.loc(dst) {
+                    Loc::Slot(slot) => out.push(Self::slot_store(vinst.guard, slot, src)),
+                    Loc::Reg(r) => out.push(Item::Inst(LirInst::new(
+                        vinst.guard,
+                        LirOp::Real(Op::AluR {
+                            op: AluOp::Add,
+                            rd: r,
+                            rs1: src,
+                            rs2: Reg::R0,
+                        }),
+                    ))),
+                    Loc::Zero => {}
+                }
+                return;
+            }
+            _ => {}
+        }
+
+        // General case: assign scratch registers to spilled operands.
+        let uses = vinst.op.uses();
+        let mut scratch_map: Vec<(VReg, Reg)> = Vec::new();
+        for u in uses.into_iter().flatten() {
+            if let Loc::Slot(slot) = self.loc(u) {
+                if scratch_map.iter().any(|(v, _)| *v == u) {
+                    continue;
+                }
+                let scratch = if scratch_map.is_empty() {
+                    SCRATCH_A
+                } else {
+                    SCRATCH_B
+                };
+                out.push(Self::slot_load(scratch, slot));
+                scratch_map.push((u, scratch));
+            }
+        }
+        let map = |v: VReg| -> Reg {
+            if let Some(&(_, s)) = scratch_map.iter().find(|(u, _)| *u == v) {
+                return s;
+            }
+            match self.loc(v) {
+                Loc::Zero => Reg::R0,
+                Loc::Reg(r) => r,
+                Loc::Slot(_) => SCRATCH_A, // spilled def lands in scratch A
+            }
+        };
+        // A spilled definition computes into its mapped scratch register
+        // and is stored back to its slot afterwards.
+        let def_store: Option<(u32, Reg)> = vinst.op.def().and_then(|d| match self.loc(d) {
+            Loc::Slot(slot) => Some((slot, map(d))),
+            _ => None,
+        });
+
+        let op = match &vinst.op {
+            VOp::AluR { op, rd, rs1, rs2 } => Op::AluR {
+                op: *op,
+                rd: map(*rd),
+                rs1: map(*rs1),
+                rs2: map(*rs2),
+            },
+            VOp::AluI { op, rd, rs1, imm } => Op::AluI {
+                op: *op,
+                rd: map(*rd),
+                rs1: map(*rs1),
+                imm: *imm,
+            },
+            VOp::Mul { rs1, rs2 } => Op::Mul {
+                rs1: map(*rs1),
+                rs2: map(*rs2),
+            },
+            VOp::Mfs { rd, ss } => Op::Mfs {
+                rd: map(*rd),
+                ss: *ss,
+            },
+            VOp::LoadImmLow { rd, imm } => Op::LoadImmLow {
+                rd: map(*rd),
+                imm: *imm,
+            },
+            VOp::LoadImm32 { rd, imm } => Op::LoadImm32 {
+                rd: map(*rd),
+                imm: *imm,
+            },
+            VOp::Cmp { op, pd, rs1, rs2 } => Op::Cmp {
+                op: *op,
+                pd: *pd,
+                rs1: map(*rs1),
+                rs2: map(*rs2),
+            },
+            VOp::CmpI { op, pd, rs1, imm } => Op::CmpI {
+                op: *op,
+                pd: *pd,
+                rs1: map(*rs1),
+                imm: *imm,
+            },
+            VOp::PredSet { op, pd, p1, p2 } => Op::PredSet {
+                op: *op,
+                pd: *pd,
+                p1: *p1,
+                p2: *p2,
+            },
+            VOp::Load {
+                area,
+                size,
+                rd,
+                ra,
+                offset,
+            } => Op::Load {
+                area: *area,
+                size: *size,
+                rd: map(*rd),
+                ra: map(*ra),
+                offset: *offset,
+            },
+            VOp::Store {
+                area,
+                size,
+                ra,
+                offset,
+                rs,
+            } => Op::Store {
+                area: *area,
+                size: *size,
+                ra: map(*ra),
+                offset: *offset,
+                rs: map(*rs),
+            },
+            VOp::LilSym { rd, sym } => {
+                out.push(Item::Inst(LirInst::new(
+                    vinst.guard,
+                    LirOp::LilSym(map(*rd), sym.clone()),
+                )));
+                if let Some((slot, reg)) = def_store {
+                    out.push(Self::slot_store(vinst.guard, slot, reg));
+                }
+                return;
+            }
+            VOp::BrLabel(label) => {
+                out.push(Item::Inst(LirInst::new(
+                    vinst.guard,
+                    LirOp::BrLabel(label.clone()),
+                )));
+                return;
+            }
+            VOp::CopyToPhys { .. }
+            | VOp::CopyFromPhys { .. }
+            | VOp::CallFunc(_)
+            | VOp::Ret
+            | VOp::Halt => unreachable!("handled by the caller"),
+        };
+        out.push(Item::Inst(LirInst::new(vinst.guard, LirOp::Real(op))));
+        if let Some((slot, reg)) = def_store {
+            out.push(Self::slot_store(vinst.guard, slot, reg));
+        }
+    }
+}

@@ -1,0 +1,255 @@
+//! Liveness-driven register allocation for the PatC compiler backend.
+//!
+//! The compiler's code generator emits LIR over an unbounded supply of
+//! virtual registers ([`vlir`]); this crate maps that code onto the
+//! physical Patmos register file and produces the physical LIR
+//! ([`lir`]) that the VLIW scheduler consumes:
+//!
+//! ```text
+//! codegen ──VModule──▶ allocate() ──Module──▶ scheduler ──▶ assembler
+//! ```
+//!
+//! The allocator builds a small CFG per function ([`cfg`]), runs
+//! backward liveness dataflow ([`liveness`]), and assigns registers with
+//! a deterministic linear scan ([`allocator`]):
+//!
+//! * locals and temporaries live in registers `r7`–`r28`; spill slots in
+//!   the stack cache are used only when more than 22 values are live at
+//!   once, or when a value is live across a call (every allocatable
+//!   register is caller-saved, as in the seed compiler's convention);
+//! * the frame protocol the paper's stack-cache analysis expects — one
+//!   `sres` on entry, `sens` after each call, one `sfree` per exit — is
+//!   emitted here, sized to exactly the slots in use, so leaf functions
+//!   without spills reserve nothing and generate *zero* stack-cache
+//!   traffic;
+//! * the output is plain unscheduled LIR: the downstream list scheduler
+//!   legalises all visible delays (load-use gaps, branch delay slots),
+//!   so the allocator never reasons about timing, only about values.
+//!
+//! # Example
+//!
+//! ```
+//! use patmos_regalloc::vlir::{VInst, VItem, VModule, VOp, VReg};
+//!
+//! let v1 = VReg::new(1);
+//! let module = VModule {
+//!     data_lines: Vec::new(),
+//!     entry: "main".into(),
+//!     items: vec![
+//!         VItem::FuncStart("main".into()),
+//!         VItem::Inst(VInst::always(VOp::LoadImmLow { rd: v1, imm: 42 })),
+//!         VItem::Inst(VInst::always(VOp::CopyToPhys { dst: patmos_isa::Reg::R1, src: v1 })),
+//!         VItem::Inst(VInst::always(VOp::Halt)),
+//!     ],
+//! };
+//! let (physical, report) = patmos_regalloc::allocate(&module)?;
+//! assert_eq!(report.funcs[0].frame_words, 0, "leaf without spills reserves nothing");
+//! assert_eq!(physical.items.len(), 4);
+//! # Ok::<(), patmos_regalloc::AllocError>(())
+//! ```
+
+pub mod allocator;
+pub mod cfg;
+pub mod lir;
+pub mod liveness;
+pub mod vlir;
+
+pub use allocator::{allocate, AllocError, AllocReport, FuncAlloc};
+pub use liveness::Interval;
+pub use vlir::{VInst, VItem, VModule, VOp, VReg};
+
+#[cfg(test)]
+mod tests {
+    use super::vlir::{VInst, VItem, VModule, VOp, VReg};
+    use super::*;
+    use crate::lir::{Item, LirInst, LirOp};
+    use patmos_isa::{AluOp, Op, Reg};
+
+    fn v(id: u32) -> VReg {
+        VReg::new(id)
+    }
+
+    fn module(items: Vec<VItem>) -> VModule {
+        VModule {
+            data_lines: Vec::new(),
+            items,
+            entry: "main".into(),
+        }
+    }
+
+    fn real_ops(items: &[Item]) -> Vec<&LirOp> {
+        items
+            .iter()
+            .filter_map(|i| match i {
+                Item::Inst(LirInst { op, .. }) => Some(op),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn simple_function_allocates_without_frame() {
+        let m = module(vec![
+            VItem::FuncStart("main".into()),
+            VItem::Inst(VInst::always(VOp::LoadImmLow { rd: v(1), imm: 6 })),
+            VItem::Inst(VInst::always(VOp::LoadImmLow { rd: v(2), imm: 7 })),
+            VItem::Inst(VInst::always(VOp::AluR {
+                op: AluOp::Add,
+                rd: v(3),
+                rs1: v(1),
+                rs2: v(2),
+            })),
+            VItem::Inst(VInst::always(VOp::CopyToPhys {
+                dst: Reg::R1,
+                src: v(3),
+            })),
+            VItem::Inst(VInst::always(VOp::Halt)),
+        ]);
+        let (out, report) = allocate(&m).expect("allocates");
+        assert_eq!(report.funcs[0].frame_words, 0);
+        assert_eq!(report.funcs[0].pressure_spills, 0);
+        let ops = real_ops(&out.items);
+        assert!(
+            !ops.iter().any(|o| matches!(
+                o,
+                LirOp::Real(Op::Sres { .. } | Op::Sens { .. } | Op::Sfree { .. })
+            )),
+            "leaf without spills must not touch the stack cache"
+        );
+    }
+
+    #[test]
+    fn distinct_live_values_get_distinct_registers() {
+        let m = module(vec![
+            VItem::FuncStart("main".into()),
+            VItem::Inst(VInst::always(VOp::LoadImmLow { rd: v(1), imm: 1 })),
+            VItem::Inst(VInst::always(VOp::LoadImmLow { rd: v(2), imm: 2 })),
+            VItem::Inst(VInst::always(VOp::AluR {
+                op: AluOp::Add,
+                rd: v(3),
+                rs1: v(1),
+                rs2: v(2),
+            })),
+            VItem::Inst(VInst::always(VOp::Halt)),
+        ]);
+        let (_, report) = allocate(&m).expect("allocates");
+        let fa = &report.funcs[0];
+        let r1 = fa.assignments.iter().find(|(vr, _)| *vr == v(1)).unwrap().1;
+        let r2 = fa.assignments.iter().find(|(vr, _)| *vr == v(2)).unwrap().1;
+        assert_ne!(r1, r2, "overlapping intervals must not share a register");
+    }
+
+    #[test]
+    fn pressure_beyond_the_pool_spills_deterministically() {
+        // Define 30 values, then use them all: 22 fit, the rest spill.
+        let mut items = vec![VItem::FuncStart("main".into())];
+        for i in 1..=30u32 {
+            items.push(VItem::Inst(VInst::always(VOp::LoadImmLow {
+                rd: v(i),
+                imm: i as u16,
+            })));
+        }
+        // Pairwise sums keep every value live until its use.
+        for i in 1..=29u32 {
+            items.push(VItem::Inst(VInst::always(VOp::AluR {
+                op: AluOp::Add,
+                rd: v(100 + i),
+                rs1: v(i),
+                rs2: v(i + 1),
+            })));
+        }
+        items.push(VItem::Inst(VInst::always(VOp::Halt)));
+        let m = module(items);
+        let (out, report) = allocate(&m).expect("allocates");
+        let fa = &report.funcs[0];
+        assert!(
+            fa.pressure_spills > 0,
+            "30 simultaneously live values must spill"
+        );
+        assert!(fa.frame_words >= fa.pressure_spills as u32);
+        // Deterministic: run twice, same result.
+        let (out2, report2) = allocate(&m).expect("allocates");
+        assert_eq!(out.items.len(), out2.items.len());
+        assert_eq!(report.funcs[0].frame_words, report2.funcs[0].frame_words);
+    }
+
+    #[test]
+    fn values_live_across_calls_are_saved_and_restored() {
+        let m = module(vec![
+            VItem::FuncStart("f".into()),
+            VItem::Inst(VInst::always(VOp::LoadImmLow { rd: v(1), imm: 9 })),
+            VItem::Inst(VInst::always(VOp::CallFunc("g".into()))),
+            VItem::Inst(VInst::always(VOp::CopyFromPhys {
+                dst: v(2),
+                src: Reg::R1,
+            })),
+            VItem::Inst(VInst::always(VOp::AluR {
+                op: AluOp::Add,
+                rd: v(3),
+                rs1: v(1),
+                rs2: v(2),
+            })),
+            VItem::Inst(VInst::always(VOp::CopyToPhys {
+                dst: Reg::R1,
+                src: v(3),
+            })),
+            VItem::Inst(VInst::always(VOp::Ret)),
+        ]);
+        let (out, report) = allocate(&m).expect("allocates");
+        let fa = &report.funcs[0];
+        assert_eq!(fa.call_saved, 1, "only v1 crosses the call");
+        // Frame: link slot + 1 save slot.
+        assert_eq!(fa.frame_words, 2);
+        let ops = real_ops(&out.items);
+        let stores = ops
+            .iter()
+            .filter(|o| matches!(o, LirOp::Real(Op::Store { .. })))
+            .count();
+        // Link save + one call save.
+        assert_eq!(stores, 2);
+        assert!(ops
+            .iter()
+            .any(|o| matches!(o, LirOp::Real(Op::Sens { words: 2 }))));
+    }
+
+    #[test]
+    fn guarded_returns_are_rejected() {
+        // The epilogue (link restore, sfree) cannot share the return's
+        // guard, so a guarded `ret` would free the frame and then fall
+        // through; the allocator must refuse it like guarded calls.
+        let m = module(vec![
+            VItem::FuncStart("f".into()),
+            VItem::Inst(VInst::new(
+                patmos_isa::Guard::when(patmos_isa::Pred::P1),
+                VOp::Ret,
+            )),
+            VItem::Inst(VInst::always(VOp::Ret)),
+        ]);
+        assert!(matches!(
+            allocate(&m),
+            Err(AllocError::GuardedReturn { .. })
+        ));
+    }
+
+    #[test]
+    fn entry_function_skips_the_link_save() {
+        let m = module(vec![
+            VItem::FuncStart("main".into()),
+            VItem::Inst(VInst::always(VOp::CallFunc("g".into()))),
+            VItem::Inst(VInst::always(VOp::CopyFromPhys {
+                dst: v(1),
+                src: Reg::R1,
+            })),
+            VItem::Inst(VInst::always(VOp::CopyToPhys {
+                dst: Reg::R1,
+                src: v(1),
+            })),
+            VItem::Inst(VInst::always(VOp::Halt)),
+        ]);
+        let (_, report) = allocate(&m).expect("allocates");
+        assert_eq!(
+            report.funcs[0].frame_words, 0,
+            "entry with nothing live across calls"
+        );
+    }
+}

@@ -1,0 +1,294 @@
+//! Backward liveness dataflow over the virtual-register CFG.
+//!
+//! Produces, per function:
+//!
+//! * one conservative live interval per virtual register (the `[first,
+//!   last]` position span of every point where the value is live, with
+//!   live-through blocks extending the span to their boundaries — the
+//!   linearised-extent form linear scan wants), and
+//! * the precise set of registers live *after* each call position, which
+//!   is exactly the set the allocator must save around the call.
+//!
+//! A def under a non-always guard counts as a use as well: when the
+//! guard is false the old value flows through, so the register must stay
+//! live (and keep the same physical register) across the guarded write.
+
+use std::collections::{HashMap, HashSet};
+
+use crate::cfg::{FuncCode, VCfg};
+use crate::vlir::VReg;
+
+/// Defs and uses of one instruction, with guarded defs widened to uses.
+fn def_uses(inst: &crate::vlir::VInst) -> (Option<VReg>, Vec<VReg>) {
+    let def = inst.op.def();
+    let mut uses: Vec<VReg> = inst.op.uses().into_iter().flatten().collect();
+    if let Some(d) = def {
+        if !inst.guard.is_always() {
+            uses.push(d);
+        }
+    }
+    (def, uses)
+}
+
+/// A live interval over instruction positions, inclusive on both ends.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interval {
+    /// The virtual register.
+    pub vreg: VReg,
+    /// First live position.
+    pub start: usize,
+    /// Last live position.
+    pub end: usize,
+}
+
+/// The liveness result for one function.
+pub struct Liveness {
+    /// Intervals sorted by `(start, vreg id)`.
+    pub intervals: Vec<Interval>,
+    /// For each call position (same order as `VCfg::call_positions`),
+    /// the virtual registers live after the call, sorted by id.
+    pub live_across_calls: Vec<Vec<VReg>>,
+}
+
+/// Computes liveness for one function.
+pub fn analyze(func: &FuncCode<'_>, cfg: &VCfg) -> Liveness {
+    let nblocks = cfg.blocks.len();
+
+    // Block-level gen (upward-exposed uses) and kill (defs).
+    let mut gen: Vec<HashSet<VReg>> = vec![HashSet::new(); nblocks];
+    let mut kill: Vec<HashSet<VReg>> = vec![HashSet::new(); nblocks];
+    for (bi, block) in cfg.blocks.iter().enumerate() {
+        for pos in block.first..block.end {
+            let (def, uses) = def_uses(func.insts[pos].1);
+            for u in uses {
+                if !kill[bi].contains(&u) {
+                    gen[bi].insert(u);
+                }
+            }
+            if let Some(d) = def {
+                kill[bi].insert(d);
+            }
+        }
+    }
+
+    // Iterate live_in/live_out to a fixpoint (backward problem).
+    let mut live_in: Vec<HashSet<VReg>> = vec![HashSet::new(); nblocks];
+    let mut live_out: Vec<HashSet<VReg>> = vec![HashSet::new(); nblocks];
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for bi in (0..nblocks).rev() {
+            let mut out: HashSet<VReg> = HashSet::new();
+            for &s in &cfg.blocks[bi].succs {
+                out.extend(live_in[s].iter().copied());
+            }
+            let mut inn: HashSet<VReg> = gen[bi].clone();
+            inn.extend(out.difference(&kill[bi]).copied());
+            if out != live_out[bi] || inn != live_in[bi] {
+                changed = true;
+                live_out[bi] = out;
+                live_in[bi] = inn;
+            }
+        }
+    }
+
+    // Intervals: walk each block backwards from its live-out set.
+    let mut ranges: HashMap<VReg, (usize, usize)> = HashMap::new();
+    let extend = |v: VReg, pos: usize, ranges: &mut HashMap<VReg, (usize, usize)>| {
+        let e = ranges.entry(v).or_insert((pos, pos));
+        e.0 = e.0.min(pos);
+        e.1 = e.1.max(pos);
+    };
+    for (bi, block) in cfg.blocks.iter().enumerate() {
+        if block.first == block.end {
+            continue;
+        }
+        for &v in &live_out[bi] {
+            extend(v, block.end - 1, &mut ranges);
+        }
+        for &v in &live_in[bi] {
+            extend(v, block.first, &mut ranges);
+        }
+        for pos in block.first..block.end {
+            let (def, uses) = def_uses(func.insts[pos].1);
+            for u in uses {
+                extend(u, pos, &mut ranges);
+            }
+            if let Some(d) = def {
+                extend(d, pos, &mut ranges);
+            }
+        }
+    }
+    let mut intervals: Vec<Interval> = ranges
+        .into_iter()
+        .map(|(vreg, (start, end))| Interval { vreg, start, end })
+        .collect();
+    intervals.sort_by_key(|iv| (iv.start, iv.vreg.id()));
+
+    // Per-call live-after sets: walk the call's block backwards from its
+    // live-out, stopping once the call position is reached.
+    let mut live_across_calls = Vec::with_capacity(cfg.call_positions.len());
+    for &call_pos in &cfg.call_positions {
+        let bi = cfg.block_of(call_pos);
+        let block = &cfg.blocks[bi];
+        let mut live: HashSet<VReg> = live_out[bi].clone();
+        for pos in (call_pos + 1..block.end).rev() {
+            let (def, uses) = def_uses(func.insts[pos].1);
+            if let Some(d) = def {
+                live.remove(&d);
+            }
+            for u in uses {
+                live.insert(u);
+            }
+        }
+        let mut sorted: Vec<VReg> = live.into_iter().collect();
+        sorted.sort_by_key(|v| v.id());
+        live_across_calls.push(sorted);
+    }
+
+    Liveness {
+        intervals,
+        live_across_calls,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cfg::{build_vcfg, split_functions};
+    use crate::vlir::{VInst, VItem, VOp};
+    use patmos_isa::{AluOp, Guard, Pred};
+
+    fn v(id: u32) -> VReg {
+        VReg::new(id)
+    }
+
+    fn inst(op: VOp) -> VItem {
+        VItem::Inst(VInst::always(op))
+    }
+
+    fn analyze_items(items: &[VItem]) -> Liveness {
+        let funcs = split_functions(items);
+        let cfg = build_vcfg(&funcs[0], items);
+        analyze(&funcs[0], &cfg)
+    }
+
+    #[test]
+    fn straight_line_intervals() {
+        let items = vec![
+            VItem::FuncStart("f".into()),
+            inst(VOp::LoadImmLow { rd: v(1), imm: 1 }), // 0: def v1
+            inst(VOp::LoadImmLow { rd: v(2), imm: 2 }), // 1: def v2
+            inst(VOp::AluR {
+                op: AluOp::Add,
+                rd: v(3),
+                rs1: v(1),
+                rs2: v(2),
+            }), // 2
+            inst(VOp::CopyToPhys {
+                dst: patmos_isa::Reg::R1,
+                src: v(3),
+            }), // 3
+            inst(VOp::Halt),                            // 4
+        ];
+        let l = analyze_items(&items);
+        let of = |id: u32| {
+            l.intervals
+                .iter()
+                .find(|iv| iv.vreg == v(id))
+                .copied()
+                .unwrap()
+        };
+        assert_eq!((of(1).start, of(1).end), (0, 2));
+        assert_eq!((of(2).start, of(2).end), (1, 2));
+        assert_eq!((of(3).start, of(3).end), (2, 3));
+    }
+
+    #[test]
+    fn loop_carried_value_spans_the_back_edge() {
+        // v1 defined before the loop, updated inside, used after: its
+        // interval must cover the whole loop body.
+        let items = vec![
+            VItem::FuncStart("f".into()),
+            inst(VOp::LoadImmLow { rd: v(1), imm: 5 }), // 0
+            VItem::Label("f_head".into()),
+            inst(VOp::AluI {
+                op: AluOp::Sub,
+                rd: v(1),
+                rs1: v(1),
+                imm: 1,
+            }), // 1
+            inst(VOp::CmpI {
+                op: patmos_isa::CmpOp::Neq,
+                pd: Pred::P6,
+                rs1: v(1),
+                imm: 0,
+            }), // 2
+            VItem::Inst(VInst::new(
+                Guard::when(Pred::P6),
+                VOp::BrLabel("f_head".into()),
+            )), // 3
+            inst(VOp::CopyToPhys {
+                dst: patmos_isa::Reg::R1,
+                src: v(1),
+            }), // 4
+            inst(VOp::Halt), // 5
+        ];
+        let l = analyze_items(&items);
+        let iv = l.intervals.iter().find(|iv| iv.vreg == v(1)).unwrap();
+        assert_eq!((iv.start, iv.end), (0, 4));
+    }
+
+    #[test]
+    fn guarded_def_keeps_value_live() {
+        // (p1) li v1 = 7 must treat v1 as used: the old value survives
+        // when the guard is false.
+        let items = vec![
+            VItem::FuncStart("f".into()),
+            inst(VOp::LoadImmLow { rd: v(1), imm: 0 }), // 0
+            VItem::Inst(VInst::new(
+                Guard::when(Pred::P1),
+                VOp::LoadImmLow { rd: v(1), imm: 7 },
+            )), // 1
+            inst(VOp::CopyToPhys {
+                dst: patmos_isa::Reg::R1,
+                src: v(1),
+            }), // 2
+            inst(VOp::Halt),                            // 3
+        ];
+        let l = analyze_items(&items);
+        let iv = l.intervals.iter().find(|iv| iv.vreg == v(1)).unwrap();
+        assert_eq!((iv.start, iv.end), (0, 2));
+    }
+
+    #[test]
+    fn live_across_call_is_precise() {
+        let items = vec![
+            VItem::FuncStart("f".into()),
+            inst(VOp::LoadImmLow { rd: v(1), imm: 1 }), // 0: live across
+            inst(VOp::LoadImmLow { rd: v(2), imm: 2 }), // 1: dead at call
+            inst(VOp::CopyToPhys {
+                dst: patmos_isa::Reg::R3,
+                src: v(2),
+            }), // 2
+            inst(VOp::CallFunc("g".into())),            // 3
+            inst(VOp::CopyFromPhys {
+                dst: v(3),
+                src: patmos_isa::Reg::R1,
+            }), // 4
+            inst(VOp::AluR {
+                op: AluOp::Add,
+                rd: v(4),
+                rs1: v(1),
+                rs2: v(3),
+            }), // 5
+            inst(VOp::CopyToPhys {
+                dst: patmos_isa::Reg::R1,
+                src: v(4),
+            }), // 6
+            inst(VOp::Halt),                            // 7
+        ];
+        let l = analyze_items(&items);
+        assert_eq!(l.live_across_calls, vec![vec![v(1)]]);
+    }
+}

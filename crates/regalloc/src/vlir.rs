@@ -1,0 +1,426 @@
+//! Virtual-register LIR: the compiler's code-generation output.
+//!
+//! Code generation produces instructions over an unbounded supply of
+//! [`VReg`] virtual registers; the allocator ([`crate::allocate`]) maps
+//! them onto the physical Patmos register file. Interactions with the
+//! calling convention are expressed with two pseudo-operations
+//! ([`VOp::CopyToPhys`], [`VOp::CopyFromPhys`]) so the allocator never
+//! has to reason about general pre-colored operands: physical registers
+//! appear only as the source or destination of a copy.
+//!
+//! Stack-control instructions (`sres`/`sens`/`sfree`), the link-register
+//! save, and all spill traffic are *absent* at this level — the
+//! allocator inserts them, because only it knows the final frame size.
+
+use std::fmt;
+
+use patmos_isa::{
+    AccessSize, AluOp, CmpOp, Guard, MemArea, Pred, PredOp, PredSrc, Reg, SpecialReg,
+};
+
+/// A virtual register. `VReg::ZERO` (id 0) is special: it always maps to
+/// the hard-wired zero register `r0` and is never allocated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct VReg(u32);
+
+impl VReg {
+    /// The virtual alias of the hard-wired zero register.
+    pub const ZERO: VReg = VReg(0);
+
+    /// Creates a virtual register with the given id (0 is [`VReg::ZERO`]).
+    pub fn new(id: u32) -> VReg {
+        VReg(id)
+    }
+
+    /// The numeric id.
+    pub fn id(self) -> u32 {
+        self.0
+    }
+
+    /// Whether this is the zero alias.
+    pub fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl fmt::Display for VReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            f.write_str("vz")
+        } else {
+            write!(f, "v{}", self.0)
+        }
+    }
+}
+
+/// An operation over virtual registers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VOp {
+    /// Register-register ALU operation.
+    AluR {
+        /// The function.
+        op: AluOp,
+        /// Destination.
+        rd: VReg,
+        /// First source.
+        rs1: VReg,
+        /// Second source.
+        rs2: VReg,
+    },
+    /// Register-immediate ALU operation (12-bit signed immediate).
+    AluI {
+        /// The function.
+        op: AluOp,
+        /// Destination.
+        rd: VReg,
+        /// Source.
+        rs1: VReg,
+        /// Immediate.
+        imm: i16,
+    },
+    /// Multiply into `sl`/`sh`.
+    Mul {
+        /// First source.
+        rs1: VReg,
+        /// Second source.
+        rs2: VReg,
+    },
+    /// Special-register read.
+    Mfs {
+        /// Destination.
+        rd: VReg,
+        /// Source special register.
+        ss: SpecialReg,
+    },
+    /// Load a sign-extended 16-bit immediate.
+    LoadImmLow {
+        /// Destination.
+        rd: VReg,
+        /// Immediate.
+        imm: u16,
+    },
+    /// Load a full 32-bit immediate (occupies a whole bundle).
+    LoadImm32 {
+        /// Destination.
+        rd: VReg,
+        /// Immediate.
+        imm: u32,
+    },
+    /// Register-register compare into a predicate.
+    Cmp {
+        /// The comparison.
+        op: CmpOp,
+        /// Destination predicate.
+        pd: Pred,
+        /// First source.
+        rs1: VReg,
+        /// Second source.
+        rs2: VReg,
+    },
+    /// Register-immediate compare into a predicate (11-bit signed).
+    CmpI {
+        /// The comparison.
+        op: CmpOp,
+        /// Destination predicate.
+        pd: Pred,
+        /// Source.
+        rs1: VReg,
+        /// Immediate.
+        imm: i16,
+    },
+    /// Predicate combination.
+    PredSet {
+        /// The combination.
+        op: PredOp,
+        /// Destination predicate.
+        pd: Pred,
+        /// First operand.
+        p1: PredSrc,
+        /// Second operand.
+        p2: PredSrc,
+    },
+    /// Typed load.
+    Load {
+        /// Memory area.
+        area: MemArea,
+        /// Access width.
+        size: AccessSize,
+        /// Destination.
+        rd: VReg,
+        /// Base address.
+        ra: VReg,
+        /// Offset in units of the access size.
+        offset: i16,
+    },
+    /// Typed store.
+    Store {
+        /// Memory area.
+        area: MemArea,
+        /// Access width.
+        size: AccessSize,
+        /// Base address.
+        ra: VReg,
+        /// Offset in units of the access size.
+        offset: i16,
+        /// Stored value.
+        rs: VReg,
+    },
+    /// `lil rd = symbol`.
+    LilSym {
+        /// Destination.
+        rd: VReg,
+        /// Data symbol name.
+        sym: String,
+    },
+    /// ABI copy into a physical register (argument marshalling, return
+    /// value placement). Lowered to `add dst = src, r0`.
+    CopyToPhys {
+        /// Physical destination (`r1`, `r3`–`r6`).
+        dst: Reg,
+        /// Virtual source.
+        src: VReg,
+    },
+    /// ABI copy out of a physical register (parameter homing, call
+    /// result capture). Lowered to `add dst = src, r0`.
+    CopyFromPhys {
+        /// Virtual destination.
+        dst: VReg,
+        /// Physical source (`r1`, `r3`–`r6`).
+        src: Reg,
+    },
+    /// Direct call by name. Clobbers every allocatable register; the
+    /// allocator saves live values around it.
+    CallFunc(String),
+    /// Branch to a label in the same function.
+    BrLabel(String),
+    /// Return through the link register (the allocator prepends the
+    /// link restore and `sfree`).
+    Ret,
+    /// Stop the simulated processor (entry function only).
+    Halt,
+}
+
+impl VOp {
+    /// The virtual register defined, if any (writes to the zero alias
+    /// are discarded, mirroring `r0`).
+    pub fn def(&self) -> Option<VReg> {
+        let rd = match *self {
+            VOp::AluR { rd, .. }
+            | VOp::AluI { rd, .. }
+            | VOp::Mfs { rd, .. }
+            | VOp::LoadImmLow { rd, .. }
+            | VOp::LoadImm32 { rd, .. }
+            | VOp::Load { rd, .. }
+            | VOp::LilSym { rd, .. }
+            | VOp::CopyFromPhys { dst: rd, .. } => rd,
+            _ => return None,
+        };
+        (!rd.is_zero()).then_some(rd)
+    }
+
+    /// The virtual registers read (at most two; the zero alias is
+    /// filtered out).
+    pub fn uses(&self) -> [Option<VReg>; 2] {
+        let raw = match *self {
+            VOp::AluR { rs1, rs2, .. } | VOp::Mul { rs1, rs2 } | VOp::Cmp { rs1, rs2, .. } => {
+                [Some(rs1), Some(rs2)]
+            }
+            VOp::AluI { rs1, .. } | VOp::CmpI { rs1, .. } => [Some(rs1), None],
+            VOp::Load { ra, .. } => [Some(ra), None],
+            VOp::Store { ra, rs, .. } => [Some(ra), Some(rs)],
+            VOp::CopyToPhys { src, .. } => [Some(src), None],
+            _ => [None, None],
+        };
+        raw.map(|r| r.filter(|v| !v.is_zero()))
+    }
+
+    /// Whether this operation ends a basic block.
+    pub fn is_terminator(&self) -> bool {
+        matches!(self, VOp::BrLabel(_) | VOp::Ret | VOp::Halt)
+    }
+}
+
+/// A guarded virtual instruction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VInst {
+    /// The guard.
+    pub guard: Guard,
+    /// The operation.
+    pub op: VOp,
+}
+
+impl VInst {
+    /// An unconditional instruction.
+    pub fn always(op: VOp) -> VInst {
+        VInst {
+            guard: Guard::ALWAYS,
+            op,
+        }
+    }
+
+    /// A guarded instruction.
+    pub fn new(guard: Guard, op: VOp) -> VInst {
+        VInst { guard, op }
+    }
+}
+
+impl fmt::Display for VInst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if !self.guard.is_always() {
+            write!(f, "{} ", self.guard)?;
+        }
+        match &self.op {
+            VOp::AluR { op, rd, rs1, rs2 } => {
+                write!(f, "{} {} = {}, {}", op.mnemonic(), rd, rs1, rs2)
+            }
+            VOp::AluI { op, rd, rs1, imm } => {
+                write!(f, "{}i {} = {}, {}", op.mnemonic(), rd, rs1, imm)
+            }
+            VOp::Mul { rs1, rs2 } => write!(f, "mul {}, {}", rs1, rs2),
+            VOp::Mfs { rd, ss } => write!(f, "mfs {} = {}", rd, ss),
+            VOp::LoadImmLow { rd, imm } => write!(f, "li {} = {}", rd, *imm as i16),
+            VOp::LoadImm32 { rd, imm } => write!(f, "lil {} = {}", rd, imm),
+            VOp::Cmp { op, pd, rs1, rs2 } => {
+                write!(f, "cmp{} {} = {}, {}", op.mnemonic(), pd, rs1, rs2)
+            }
+            VOp::CmpI { op, pd, rs1, imm } => {
+                write!(f, "cmpi{} {} = {}, {}", op.mnemonic(), pd, rs1, imm)
+            }
+            VOp::PredSet { op, pd, p1, p2 } => {
+                write!(f, "{} {} = {}, {}", op.mnemonic(), pd, p1, p2)
+            }
+            VOp::Load {
+                area,
+                size,
+                rd,
+                ra,
+                offset,
+            } => {
+                write!(
+                    f,
+                    "l{}{} {} = [{} + {}]",
+                    size,
+                    area.suffix(),
+                    rd,
+                    ra,
+                    offset
+                )
+            }
+            VOp::Store {
+                area,
+                size,
+                ra,
+                offset,
+                rs,
+            } => {
+                write!(
+                    f,
+                    "s{}{} [{} + {}] = {}",
+                    size,
+                    area.suffix(),
+                    ra,
+                    offset,
+                    rs
+                )
+            }
+            VOp::LilSym { rd, sym } => write!(f, "lil {} = {}", rd, sym),
+            VOp::CopyToPhys { dst, src } => write!(f, "mov {} = {}", dst, src),
+            VOp::CopyFromPhys { dst, src } => write!(f, "mov {} = {}", dst, src),
+            VOp::CallFunc(name) => write!(f, "call {}", name),
+            VOp::BrLabel(label) => write!(f, "br {}", label),
+            VOp::Ret => f.write_str("ret"),
+            VOp::Halt => f.write_str("halt"),
+        }
+    }
+}
+
+/// One item of a function's virtual code.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VItem {
+    /// Start of a function.
+    FuncStart(String),
+    /// A label.
+    Label(String),
+    /// A `.loopbound` annotation for the label that follows.
+    LoopBound {
+        /// Minimum header executions.
+        min: u32,
+        /// Maximum header executions.
+        max: u32,
+    },
+    /// An instruction.
+    Inst(VInst),
+}
+
+/// A compiled module over virtual registers.
+#[derive(Debug, Clone, Default)]
+pub struct VModule {
+    /// Data directive lines (already in assembler syntax).
+    pub data_lines: Vec<String>,
+    /// The code items of all functions.
+    pub items: Vec<VItem>,
+    /// Name of the entry function.
+    pub entry: String,
+}
+
+impl VModule {
+    /// Renders the virtual code for human inspection (`--dump-lir`).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for item in &self.items {
+            match item {
+                VItem::FuncStart(name) => out.push_str(&format!(".func {name}\n")),
+                VItem::Label(name) => out.push_str(&format!("{name}:\n")),
+                VItem::LoopBound { min, max } => {
+                    out.push_str(&format!("        .loopbound {min} {max}\n"))
+                }
+                VItem::Inst(inst) => out.push_str(&format!("        {inst}\n")),
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_alias_is_never_a_def_or_use() {
+        let op = VOp::AluR {
+            op: AluOp::Add,
+            rd: VReg::ZERO,
+            rs1: VReg::new(1),
+            rs2: VReg::ZERO,
+        };
+        assert_eq!(op.def(), None);
+        assert_eq!(op.uses(), [Some(VReg::new(1)), None]);
+    }
+
+    #[test]
+    fn copies_expose_their_virtual_side() {
+        let to = VOp::CopyToPhys {
+            dst: Reg::R3,
+            src: VReg::new(7),
+        };
+        assert_eq!(to.def(), None);
+        assert_eq!(to.uses(), [Some(VReg::new(7)), None]);
+        let from = VOp::CopyFromPhys {
+            dst: VReg::new(9),
+            src: Reg::R1,
+        };
+        assert_eq!(from.def(), Some(VReg::new(9)));
+        assert_eq!(from.uses(), [None, None]);
+    }
+
+    #[test]
+    fn render_is_stable() {
+        let inst = VInst::always(VOp::AluI {
+            op: AluOp::Add,
+            rd: VReg::new(3),
+            rs1: VReg::new(2),
+            imm: 4,
+        });
+        assert_eq!(inst.to_string(), "addi v3 = v2, 4");
+    }
+}

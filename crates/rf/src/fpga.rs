@@ -35,8 +35,11 @@ pub enum RfImpl {
 
 impl RfImpl {
     /// All implementation choices.
-    pub const ALL: [RfImpl; 3] =
-        [RfImpl::DoubleClockedTdm, RfImpl::ReplicatedBram, RfImpl::FlipFlopArray];
+    pub const ALL: [RfImpl; 3] = [
+        RfImpl::DoubleClockedTdm,
+        RfImpl::ReplicatedBram,
+        RfImpl::FlipFlopArray,
+    ];
 }
 
 impl fmt::Display for RfImpl {
@@ -262,7 +265,11 @@ mod tests {
     fn paper_headline_tdm_pll_exceeds_200mhz() {
         let r = default_eval(RfImpl::DoubleClockedTdm, ClockQuality::Pll);
         assert!(r.fmax_mhz > 200.0, "got {:.1} MHz", r.fmax_mhz);
-        assert_eq!(r.critical_path, CriticalPath::Alu, "ALU remains the critical path");
+        assert_eq!(
+            r.critical_path,
+            CriticalPath::Alu,
+            "ALU remains the critical path"
+        );
         assert_eq!(r.block_rams, 2, "only two block RAMs");
     }
 

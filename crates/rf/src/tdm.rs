@@ -70,7 +70,10 @@ impl Default for DoubleClockedRf {
 impl DoubleClockedRf {
     /// A zero-initialised register file.
     pub fn new() -> DoubleClockedRf {
-        DoubleClockedRf { copies: [[0; NUM_REGS]; NUM_BRAMS], last_schedule: Vec::new() }
+        DoubleClockedRf {
+            copies: [[0; NUM_REGS]; NUM_BRAMS],
+            last_schedule: Vec::new(),
+        }
     }
 
     /// The port schedule executed by the most recent [`Self::cycle`] call
@@ -110,7 +113,12 @@ impl DoubleClockedRf {
                     Some((reg, val)) => PortKind::Write(*reg, *val),
                     None => PortKind::Idle,
                 };
-                schedule.push(PortAccess { bram, port: 1, half, kind });
+                schedule.push(PortAccess {
+                    bram,
+                    port: 1,
+                    half,
+                    kind,
+                });
             }
         }
         // Reads: slot1 in half 0, slot2 in half 1; rs1 from BRAM0.A,
@@ -118,7 +126,12 @@ impl DoubleClockedRf {
         for (i, reg) in reads.iter().enumerate() {
             let half = i / 2;
             let bram = i % 2;
-            schedule.push(PortAccess { bram, port: 0, half, kind: PortKind::Read(*reg) });
+            schedule.push(PortAccess {
+                bram,
+                port: 0,
+                half,
+                kind: PortKind::Read(*reg),
+            });
         }
         Self::check_conflict_free(&schedule);
 
@@ -171,7 +184,10 @@ mod tests {
     #[test]
     fn internal_forwarding_same_cycle() {
         let mut rf = DoubleClockedRf::new();
-        let v = rf.cycle([Reg::R7, Reg::R0, Reg::R0, Reg::R7], [Some((Reg::R7, 9)), None]);
+        let v = rf.cycle(
+            [Reg::R7, Reg::R0, Reg::R0, Reg::R7],
+            [Some((Reg::R7, 9)), None],
+        );
         assert_eq!(v[0], 9, "read-during-write forwards the new value");
         assert_eq!(v[3], 9);
     }

@@ -53,7 +53,10 @@ impl CmpSystem {
             arbiter.fits(worst_burst),
             "a {worst_burst}-cycle line fill does not fit in a {slot_cycles}-cycle TDMA slot"
         );
-        CmpSystem { base_config, arbiter }
+        CmpSystem {
+            base_config,
+            arbiter,
+        }
     }
 
     /// The arbiter (e.g. for computing analytical worst-case waits).
@@ -80,7 +83,10 @@ impl CmpSystem {
         (0..self.arbiter.cores())
             .map(|core| {
                 let mut sim = Simulator::new(image, self.core_config(core));
-                Ok(CmpResult { core, result: sim.run()? })
+                Ok(CmpResult {
+                    core,
+                    result: sim.run()?,
+                })
             })
             .collect()
     }
@@ -95,14 +101,21 @@ impl CmpSystem {
     ///
     /// Returns the first core's [`SimError`], if any.
     pub fn run_each(&self, images: &[&ObjectImage]) -> Result<Vec<CmpResult>, SimError> {
-        assert_eq!(images.len() as u32, self.arbiter.cores(), "one image per core");
+        assert_eq!(
+            images.len() as u32,
+            self.arbiter.cores(),
+            "one image per core"
+        );
         images
             .iter()
             .enumerate()
             .map(|(core, image)| {
                 let core = core as u32;
                 let mut sim = Simulator::new(image, self.core_config(core));
-                Ok(CmpResult { core, result: sim.run()? })
+                Ok(CmpResult {
+                    core,
+                    result: sim.run()?,
+                })
             })
             .collect()
     }
@@ -138,7 +151,11 @@ mod tests {
         for cores in [1u32, 2, 4] {
             let cmp = CmpSystem::new(SimConfig::default(), cores, 64);
             let results = cmp.run_all(&image).expect("runs");
-            let worst = results.iter().map(|r| r.result.stats.cycles).max().expect("non-empty");
+            let worst = results
+                .iter()
+                .map(|r| r.result.stats.cycles)
+                .max()
+                .expect("non-empty");
             assert!(
                 worst >= last,
                 "per-core time must not improve with more cores: {worst} < {last}"

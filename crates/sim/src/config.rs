@@ -18,7 +18,12 @@ pub struct CacheParams {
 impl CacheParams {
     /// Convenience constructor.
     pub fn new(sets: u32, ways: u32, line_words: u32, policy: ReplacementPolicy) -> CacheParams {
-        CacheParams { sets, ways, line_words, policy }
+        CacheParams {
+            sets,
+            ways,
+            line_words,
+            policy,
+        }
     }
 
     /// Capacity in words.

@@ -206,7 +206,10 @@ impl Simulator {
         while !self.halted {
             self.step()?;
         }
-        Ok(RunResult { stats: self.stats(), halt_pc: self.pc })
+        Ok(RunResult {
+            stats: self.stats(),
+            halt_pc: self.pc,
+        })
     }
 
     /// A main-memory transfer of `words` words: orders it after the
@@ -346,7 +349,10 @@ impl Simulator {
         let st = self.scache.stack_top();
         let offset_words = ea.wrapping_sub(st) / 4;
         if ea < st || !self.scache.covers(offset_words) {
-            return Err(SimError::StackWindowViolation { pc: self.pc, offset_words });
+            return Err(SimError::StackWindowViolation {
+                pc: self.pc,
+                offset_words,
+            });
         }
         Ok(())
     }
@@ -364,7 +370,9 @@ impl Simulator {
             }
         }
         if self.now >= self.config.max_cycles {
-            return Err(SimError::MaxCyclesExceeded { limit: self.config.max_cycles });
+            return Err(SimError::MaxCyclesExceeded {
+                limit: self.config.max_cycles,
+            });
         }
 
         let bundle = *self
@@ -380,7 +388,11 @@ impl Simulator {
                 self.check_reg_ready(reg)?;
             }
             if self.config.strict {
-                if let Op::Mfs { ss: SpecialReg::Sl | SpecialReg::Sh, .. } = inst.op {
+                if let Op::Mfs {
+                    ss: SpecialReg::Sl | SpecialReg::Sh,
+                    ..
+                } = inst.op
+                {
                     if self.mul_ready > self.bundle_index {
                         return Err(SimError::MulGapViolation { pc: self.pc });
                     }
@@ -397,7 +409,11 @@ impl Simulator {
 
         // --- Issue ---
         let had_pending_flow = self.pending_flow.is_some();
-        let issue_cycles = if self.config.dual_issue { 1 } else { bundle.slots().count() as u64 };
+        let issue_cycles = if self.config.dual_issue {
+            1
+        } else {
+            bundle.slots().count() as u64
+        };
         self.now += issue_cycles;
         self.bundle_index += 1;
         self.stats.bundles += 1;
@@ -460,11 +476,18 @@ impl Simulator {
                     let b = self.preds[p2.pred.index() as usize] ^ p2.negate;
                     self.write_pred(pd, op.apply(a, b));
                 }
-                Op::Load { area, size, rd, ra, offset } => {
+                Op::Load {
+                    area,
+                    size,
+                    rd,
+                    ra,
+                    offset,
+                } => {
                     let ea = self.effective_address(area, ra, offset, size);
                     let value = match area {
                         MemArea::Stack => {
                             self.check_stack_window(ea)?;
+                            self.stats.stack_ops += 1;
                             self.mem_read(ea, size, false)
                         }
                         MemArea::Spm => self.mem_read(ea, size, true),
@@ -484,18 +507,23 @@ impl Simulator {
                             }
                             self.mem_read(ea, size, false)
                         }
-                        MemArea::Main => {
-                            return Err(SimError::IllegalMainAccess { pc: this_pc })
-                        }
+                        MemArea::Main => return Err(SimError::IllegalMainAccess { pc: this_pc }),
                     };
                     self.write_reg(rd, value, timing::LOAD_USE_GAP);
                 }
-                Op::Store { area, size, ra, offset, rs: _ } => {
+                Op::Store {
+                    area,
+                    size,
+                    ra,
+                    offset,
+                    rs: _,
+                } => {
                     let ea = self.effective_address(area, ra, offset, size);
                     let value = vals[1];
                     match area {
                         MemArea::Stack => {
                             self.check_stack_window(ea)?;
+                            self.stats.stack_ops += 1;
                             self.mem_write(ea, size, value, false);
                         }
                         MemArea::Spm => self.mem_write(ea, size, value, true),
@@ -508,9 +536,7 @@ impl Simulator {
                             self.mem_write(ea, size, value, false);
                             self.post_write();
                         }
-                        MemArea::Main => {
-                            return Err(SimError::IllegalMainAccess { pc: this_pc })
-                        }
+                        MemArea::Main => return Err(SimError::IllegalMainAccess { pc: this_pc }),
                     }
                 }
                 Op::MainLoad { offset, .. } => {
@@ -525,8 +551,10 @@ impl Simulator {
                         Some((arb, core)) => arb.grant(*core, start, burst),
                         None => start,
                     };
-                    self.pending_load =
-                        Some(PendingLoad { ready_at: granted + burst as u64, value });
+                    self.pending_load = Some(PendingLoad {
+                        ready_at: granted + burst as u64,
+                        value,
+                    });
                 }
                 Op::MainWait { rd } => match self.pending_load.take() {
                     Some(p) => {
@@ -602,7 +630,10 @@ impl Simulator {
                         FlowKind::Return => FlowTarget::Ret(vals[0]),
                         FlowKind::None | FlowKind::Halt => unreachable!("flow ops only"),
                     };
-                    new_flow = Some(PendingFlow { target, slots_left: inst.delay_slots() });
+                    new_flow = Some(PendingFlow {
+                        target,
+                        slots_left: inst.delay_slots(),
+                    });
                 }
             }
         }
@@ -621,9 +652,7 @@ impl Simulator {
             if !fresh {
                 flow.slots_left = flow.slots_left.saturating_sub(1);
             }
-            if flow.slots_left == 0 && !fresh
-                || (fresh && flow.slots_left == 0)
-            {
+            if flow.slots_left == 0 {
                 self.redirect(flow.target)?;
             } else {
                 self.pending_flow = Some(flow);
@@ -794,7 +823,10 @@ mod tests {
         );
         assert_eq!(sim.reg(Reg::R3), 0);
         assert_eq!(sim.reg(Reg::R4), 0);
-        assert_eq!(result.stats.static_cache.misses, 2, "write miss + first read miss");
+        assert_eq!(
+            result.stats.static_cache.misses, 2,
+            "write miss + first read miss"
+        );
         assert_eq!(result.stats.static_cache.hits, 1, "second read hits");
     }
 
@@ -825,7 +857,11 @@ mod tests {
         assert_eq!(sim.reg(Reg::R1), 77);
         // Five useful bundles between ldm and wres cover most of the
         // 8-cycle burst that was ordered behind the posted store.
-        assert!(result.stats.stalls.split_load < 12, "{}", result.stats.stalls.split_load);
+        assert!(
+            result.stats.stalls.split_load < 12,
+            "{}",
+            result.stats.stalls.split_load
+        );
     }
 
     #[test]
@@ -860,7 +896,10 @@ mod tests {
         )
         .expect("assembles");
         let mut sim = Simulator::new(&image, SimConfig::default());
-        assert!(matches!(sim.run(), Err(SimError::StackWindowViolation { .. })));
+        assert!(matches!(
+            sim.run(),
+            Err(SimError::StackWindowViolation { .. })
+        ));
     }
 
     #[test]
@@ -870,7 +909,10 @@ mod tests {
         );
         assert_eq!(sim.reg(Reg::R3), 5);
         // Only the cold-start method-cache fill stalls; the SPM never does.
-        assert_eq!(result.stats.stalls.total(), result.stats.stalls.method_cache);
+        assert_eq!(
+            result.stats.stalls.total(),
+            result.stats.stalls.method_cache
+        );
         // SPM and main memory are distinct address spaces: the value sits
         // at SPM address 16, while main-memory address 16 holds code.
         assert_eq!(sim.scratchpad().read_word(16), 5);
@@ -883,8 +925,10 @@ mod tests {
         let image = assemble(src).expect("assembles");
         let mut dual = Simulator::new(&image, SimConfig::default());
         let dual_cycles = dual.run().expect("runs").stats.cycles;
-        let mut single_cfg = SimConfig::default();
-        single_cfg.dual_issue = false;
+        let single_cfg = SimConfig {
+            dual_issue: false,
+            ..SimConfig::default()
+        };
         let mut single = Simulator::new(&image, single_cfg);
         let single_cycles = single.run().expect("runs").stats.cycles;
         assert_eq!(single_cycles, dual_cycles + 2, "two pair bundles");
@@ -893,12 +937,13 @@ mod tests {
 
     #[test]
     fn runaway_program_hits_cycle_budget() {
-        let image = assemble(
-            "        .func main\nspin:\n        br spin\n        nop\n        halt\n",
-        )
-        .expect("assembles");
-        let mut cfg = SimConfig::default();
-        cfg.max_cycles = 1000;
+        let image =
+            assemble("        .func main\nspin:\n        br spin\n        nop\n        halt\n")
+                .expect("assembles");
+        let cfg = SimConfig {
+            max_cycles: 1000,
+            ..SimConfig::default()
+        };
         let mut sim = Simulator::new(&image, cfg);
         assert!(matches!(sim.run(), Err(SimError::MaxCyclesExceeded { .. })));
     }
@@ -916,10 +961,8 @@ mod tests {
 
     #[test]
     fn flow_in_delay_slot_rejected() {
-        let image = assemble(
-            "        .func main\n        br a\n        br a\na:\n        halt\n",
-        )
-        .expect("assembles");
+        let image = assemble("        .func main\n        br a\n        br a\na:\n        halt\n")
+            .expect("assembles");
         let mut sim = Simulator::new(&image, SimConfig::default());
         assert!(matches!(sim.run(), Err(SimError::FlowInDelaySlot { .. })));
     }

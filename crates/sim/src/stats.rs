@@ -77,6 +77,10 @@ pub struct Stats {
     pub calls: u64,
     /// Returns executed.
     pub returns: u64,
+    /// Executed data accesses to the stack cache (`lws`/`sws` and the
+    /// sub-word forms) — the spill/reload traffic the register allocator
+    /// tries to minimise.
+    pub stack_ops: u64,
     /// Stall cycles by cause.
     pub stalls: StallBreakdown,
     /// Method-cache counters.

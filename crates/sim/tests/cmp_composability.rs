@@ -32,8 +32,7 @@ fn a_cores_time_is_independent_of_its_neighbours() {
         .expect("runs");
 
     assert_eq!(
-        homogeneous[0].result.stats.cycles,
-        mixed[0].result.stats.cycles,
+        homogeneous[0].result.stats.cycles, mixed[0].result.stats.cycles,
         "core 0's cycle count must not depend on what cores 1-3 run"
     );
 }
@@ -45,7 +44,10 @@ fn slot_position_fully_determines_core_timing() {
     let a = system.run_all(&img).expect("runs");
     let b = system.run_all(&img).expect("runs");
     for (x, y) in a.iter().zip(&b) {
-        assert_eq!(x.result.stats.cycles, y.result.stats.cycles, "determinism per core");
+        assert_eq!(
+            x.result.stats.cycles, y.result.stats.cycles,
+            "determinism per core"
+        );
     }
 }
 

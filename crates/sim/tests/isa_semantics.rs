@@ -10,7 +10,8 @@ fn run(src: &str) -> Simulator {
     let full = format!("        .func main\n        .entry main\n{src}        halt\n");
     let image = assemble(&full).unwrap_or_else(|e| panic!("assembly failed: {e}\n{full}"));
     let mut sim = Simulator::new(&image, SimConfig::default());
-    sim.run().unwrap_or_else(|e| panic!("run failed: {e}\n{full}"));
+    sim.run()
+        .unwrap_or_else(|e| panic!("run failed: {e}\n{full}"));
     sim
 }
 
@@ -138,8 +139,10 @@ fn wres_without_ldm_is_an_error_in_strict_mode() {
 fn non_strict_mode_tolerates_wres_without_ldm() {
     let src = "        .func main\n        .entry main\n        li r2 = 5\n        mts sm = r2\n        wres r1\n        halt\n";
     let image = assemble(src).expect("assembles");
-    let mut cfg = SimConfig::default();
-    cfg.strict = false;
+    let cfg = SimConfig {
+        strict: false,
+        ..SimConfig::default()
+    };
     let mut sim = Simulator::new(&image, cfg);
     sim.run().expect("non-strict run succeeds");
     assert_eq!(sim.reg(Reg::R1), 5, "wres falls back to sm");
@@ -158,9 +161,7 @@ fn write_buffer_backpressure_is_counted() {
 
 #[test]
 fn r0_and_p0_are_immutable_in_programs() {
-    let sim = run(
-        "        li r0 = 77\n        cmpineq p0 = r0, 0\n        add r1 = r0, r0\n",
-    );
+    let sim = run("        li r0 = 77\n        cmpineq p0 = r0, 0\n        add r1 = r0, r0\n");
     assert_eq!(sim.reg(Reg::R1), 0, "r0 stayed zero");
     assert!(sim.pred(Pred::P0), "p0 stayed true");
 }

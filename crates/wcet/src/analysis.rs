@@ -129,8 +129,10 @@ pub fn analyze(image: &ObjectImage, machine: &Machine) -> Result<WcetReport, Wce
     let order = topo_order(&cfgs)?;
 
     // Stack-depth fact: the deepest chain of frames over the call graph.
-    let frames: HashMap<u32, u32> =
-        cfgs.iter().map(|c| (c.func.start_word, model::frame_words(c))).collect();
+    let frames: HashMap<u32, u32> = cfgs
+        .iter()
+        .map(|c| (c.func.start_word, model::frame_words(c)))
+        .collect();
     let max_depth = max_stack_depth(&cfgs, &order, &frames);
 
     let (facts, warmup) = match machine {
@@ -185,8 +187,11 @@ pub fn analyze(image: &ObjectImage, machine: &Machine) -> Result<WcetReport, Wce
 
 /// Reverse-topological order over the call graph (callees first).
 fn topo_order(cfgs: &[Cfg]) -> Result<Vec<usize>, WcetError> {
-    let index_of: HashMap<u32, usize> =
-        cfgs.iter().enumerate().map(|(i, c)| (c.func.start_word, i)).collect();
+    let index_of: HashMap<u32, usize> = cfgs
+        .iter()
+        .enumerate()
+        .map(|(i, c)| (c.func.start_word, i))
+        .collect();
     let mut state = vec![0u8; cfgs.len()];
     let mut order = Vec::new();
 
@@ -198,7 +203,11 @@ fn topo_order(cfgs: &[Cfg]) -> Result<Vec<usize>, WcetError> {
         order: &mut Vec<usize>,
     ) -> Result<(), WcetError> {
         match state[i] {
-            1 => return Err(WcetError::Recursion { name: cfgs[i].func.name.clone() }),
+            1 => {
+                return Err(WcetError::Recursion {
+                    name: cfgs[i].func.name.clone(),
+                })
+            }
             2 => return Ok(()),
             _ => {}
         }
@@ -223,8 +232,11 @@ fn topo_order(cfgs: &[Cfg]) -> Result<Vec<usize>, WcetError> {
 
 /// Maximum total frame words along any call-graph path.
 fn max_stack_depth(cfgs: &[Cfg], order: &[usize], frames: &HashMap<u32, u32>) -> u32 {
-    let index_of: HashMap<u32, usize> =
-        cfgs.iter().enumerate().map(|(i, c)| (c.func.start_word, i)).collect();
+    let index_of: HashMap<u32, usize> = cfgs
+        .iter()
+        .enumerate()
+        .map(|(i, c)| (c.func.start_word, i))
+        .collect();
     let mut depth: HashMap<usize, u32> = HashMap::new();
     for &i in order {
         // order is callees-first, so callee depths are ready.
@@ -315,7 +327,9 @@ fn ipet(cfg: &Cfg, costs: &[u64]) -> Result<u64, WcetError> {
     for &h in &headers {
         let bound = cfg.blocks[h]
             .loop_bound
-            .ok_or(WcetError::MissingLoopBound { addr: cfg.blocks[h].start_word })?;
+            .ok_or(WcetError::MissingLoopBound {
+                addr: cfg.blocks[h].start_word,
+            })?;
         // x_h <= max * (entry edges into h):
         //   sum(in(h)) - max * sum(non-back in(h)) <= 0.
         let mut coeffs: Vec<(usize, f64)> = Vec::new();
@@ -337,7 +351,9 @@ fn ipet(cfg: &Cfg, costs: &[u64]) -> Result<u64, WcetError> {
 
     match solve(&lp) {
         LpSolution::Optimal { value, .. } => Ok(value.ceil() as u64),
-        LpSolution::Infeasible => Err(WcetError::Infeasible { name: cfg.func.name.clone() }),
+        LpSolution::Infeasible => Err(WcetError::Infeasible {
+            name: cfg.func.name.clone(),
+        }),
         // Unbounded means a loop escaped the bound constraints.
         LpSolution::Unbounded => Err(WcetError::MissingLoopBound {
             addr: cfg.blocks.first().map(|b| b.start_word).unwrap_or(0),
@@ -370,7 +386,11 @@ mod tests {
             observed
         );
         // And it should be tight: the loop has a fixed trip count.
-        assert!(report.pessimism(observed) < 1.3, "ratio {}", report.pessimism(observed));
+        assert!(
+            report.pessimism(observed) < 1.3,
+            "ratio {}",
+            report.pessimism(observed)
+        );
     }
 
     #[test]
@@ -385,7 +405,8 @@ mod tests {
 
     #[test]
     fn recursion_is_rejected() {
-        let src = "        .func a\n        call a\n        nop\n        ret\n        nop\n        nop\n";
+        let src =
+            "        .func a\n        call a\n        nop\n        ret\n        nop\n        nop\n";
         let image = assemble(src).expect("assembles");
         match analyze(&image, &patmos()) {
             Err(WcetError::Recursion { name }) => assert_eq!(name, "a"),
@@ -407,7 +428,11 @@ mod tests {
             worst = worst.max(sim.run().expect("runs").stats.cycles);
         }
         assert!(report.bound_cycles >= worst);
-        assert!(report.pessimism(worst) < 1.5, "ratio {}", report.pessimism(worst));
+        assert!(
+            report.pessimism(worst) < 1.5,
+            "ratio {}",
+            report.pessimism(worst)
+        );
     }
 
     #[test]

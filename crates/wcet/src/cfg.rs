@@ -79,7 +79,10 @@ impl Block {
 
     /// Issue cycles under single issue (one per occupied slot).
     pub fn slot_count(&self) -> u32 {
-        self.bundles.iter().map(|(_, b)| b.slots().count() as u32).sum()
+        self.bundles
+            .iter()
+            .map(|(_, b)| b.slots().count() as u32)
+            .sum()
     }
 }
 
@@ -134,7 +137,11 @@ impl Cfg {
 /// Returns a [`CfgError`] for indirect calls, targets that land inside
 /// blocks, or undecodable code.
 pub fn build_cfgs(image: &ObjectImage) -> Result<Vec<Cfg>, CfgError> {
-    image.functions().iter().map(|f| build_cfg(image, f)).collect()
+    image
+        .functions()
+        .iter()
+        .map(|f| build_cfg(image, f))
+        .collect()
 }
 
 /// Builds the CFG of one function.
@@ -144,7 +151,9 @@ pub fn build_cfgs(image: &ObjectImage) -> Result<Vec<Cfg>, CfgError> {
 /// See [`build_cfgs`].
 pub fn build_cfg(image: &ObjectImage, func: &FuncInfo) -> Result<Cfg, CfgError> {
     // Collect the function's bundles in address order.
-    let decoded = image.decode().map_err(|_| CfgError::UndecodableCode { addr: func.start_word })?;
+    let decoded = image.decode().map_err(|_| CfgError::UndecodableCode {
+        addr: func.start_word,
+    })?;
     let bundles: Vec<(u32, Bundle)> = decoded
         .into_iter()
         .filter(|(a, _)| *a >= func.start_word && *a < func.start_word + func.size_words)
@@ -188,11 +197,9 @@ pub fn build_cfg(image: &ObjectImage, func: &FuncInfo) -> Result<Cfg, CfgError> 
             is_exit: false,
             loop_bound: None,
         };
-        loop {
-            let Some(&(addr, bundle)) = bundles.get(i) else { break };
+        while let Some(&(addr, bundle)) = bundles.get(i) {
             // A leader other than our own start ends the block.
-            if addr != start && leaders.binary_search(&addr).is_ok() && block.bundles.is_empty() == false
-            {
+            if addr != start && leaders.binary_search(&addr).is_ok() && !block.bundles.is_empty() {
                 break;
             }
             block.bundles.push((addr, bundle));
@@ -201,8 +208,7 @@ pub fn build_cfg(image: &ObjectImage, func: &FuncInfo) -> Result<Cfg, CfgError> 
                 // Absorb delay slots, then end the block.
                 for _ in 0..flow.delay_slots() {
                     if let Some(&(daddr, dbundle)) = bundles.get(i) {
-                        if dbundle.flow_inst().is_some()
-                            && !matches!(dbundle.first().op, Op::Halt)
+                        if dbundle.flow_inst().is_some() && !matches!(dbundle.first().op, Op::Halt)
                         {
                             return Err(CfgError::TargetInsideBlock { target: daddr });
                         }
@@ -263,9 +269,7 @@ pub fn build_cfg(image: &ObjectImage, func: &FuncInfo) -> Result<Cfg, CfgError> 
                         succs.push(ft);
                     }
                 }
-                FlowKind::CallIndirect(_) => {
-                    return Err(CfgError::IndirectCall { addr })
-                }
+                FlowKind::CallIndirect(_) => return Err(CfgError::IndirectCall { addr }),
                 FlowKind::None => unreachable!("flow_inst returned a flow op"),
             },
             None => {
@@ -291,7 +295,10 @@ pub fn build_cfg(image: &ObjectImage, func: &FuncInfo) -> Result<Cfg, CfgError> 
         }
     }
 
-    Ok(Cfg { func: func.clone(), blocks })
+    Ok(Cfg {
+        func: func.clone(),
+        blocks,
+    })
 }
 
 #[cfg(test)]
@@ -307,7 +314,8 @@ mod tests {
 
     #[test]
     fn straight_line_is_one_block() {
-        let cfg = cfg_of("        .func main\n        li r1 = 1\n        li r2 = 2\n        halt\n");
+        let cfg =
+            cfg_of("        .func main\n        li r1 = 1\n        li r2 = 2\n        halt\n");
         assert_eq!(cfg.blocks.len(), 1);
         assert!(cfg.blocks[0].is_exit);
         assert_eq!(cfg.blocks[0].bundle_count(), 3);
@@ -334,7 +342,11 @@ mod tests {
         );
         // entry(+branch+slots), then-block(+br+slot), else, join.
         assert_eq!(cfg.blocks.len(), 4);
-        assert_eq!(cfg.blocks[0].succs.len(), 2, "conditional: taken + fallthrough");
+        assert_eq!(
+            cfg.blocks[0].succs.len(),
+            2,
+            "conditional: taken + fallthrough"
+        );
         assert_eq!(cfg.blocks[1].succs.len(), 1, "unconditional: taken only");
         assert!(cfg.back_edges().is_empty());
     }

@@ -78,10 +78,16 @@ pub fn global_facts(
     let _ = frame_words;
     // Method cache: sum of block demands of all functions.
     let mc = config.method_cache;
-    let total_blocks: u32 =
-        image.functions().iter().map(|f| mc.blocks_for(f.size_words)).sum();
+    let total_blocks: u32 = image
+        .functions()
+        .iter()
+        .map(|f| mc.blocks_for(f.size_words))
+        .sum();
     let methods_all_fit = total_blocks <= mc.blocks
-        && image.functions().iter().all(|f| mc.blocks_for(f.size_words) <= mc.blocks);
+        && image
+            .functions()
+            .iter()
+            .all(|f| mc.blocks_for(f.size_words) <= mc.blocks);
 
     // Static cache: count lines per set over the data segments.
     let line_bytes = config.static_cache.line_words * 4;
@@ -97,8 +103,7 @@ pub fn global_facts(
             *per_set.entry(line % sets).or_insert(0) += 1;
         }
     }
-    let static_data_persistent =
-        per_set.values().all(|&n| n <= config.static_cache.ways);
+    let static_data_persistent = per_set.values().all(|&n| n <= config.static_cache.ways);
 
     GlobalFacts {
         methods_all_fit,
@@ -167,15 +172,17 @@ pub fn patmos_block_cost(
     let mut last_mem_op: Option<u64> = None;
 
     for (_, bundle) in &block.bundles {
-        issue += if config.dual_issue { 1 } else { bundle.slots().count() as u64 };
+        issue += if config.dual_issue {
+            1
+        } else {
+            bundle.slots().count() as u64
+        };
         for inst in bundle.slots() {
             match inst.op {
                 Op::Load { area, .. } => match area {
-                    MemArea::Static => {
-                        if !facts.static_data_persistent {
-                            cost += mem_event(mem, tdma, config.static_cache.line_words);
-                            last_mem_op = Some(issue);
-                        }
+                    MemArea::Static if !facts.static_data_persistent => {
+                        cost += mem_event(mem, tdma, config.static_cache.line_words);
+                        last_mem_op = Some(issue);
                     }
                     MemArea::Data => {
                         cost += mem_event(mem, tdma, config.data_cache.line_words);
@@ -211,10 +218,8 @@ pub fn patmos_block_cost(
                     cost += drain.saturating_sub(gap);
                     last_mem_op = Some(issue);
                 }
-                Op::Sres { words } | Op::Sens { words } => {
-                    if !facts.stack_fits {
-                        cost += mem_event(mem, tdma, words.min(config.stack_cache_words));
-                    }
+                Op::Sres { words } | Op::Sens { words } if !facts.stack_fits => {
+                    cost += mem_event(mem, tdma, words.min(config.stack_cache_words));
                 }
                 _ => {}
             }
@@ -323,7 +328,11 @@ mod tests {
         let eager = "        .func main\n        ldm [r1 + 0]\n        wres r2\n        halt\n";
         let overlapped = "        .func main\n        ldm [r1 + 0]\n        li r3 = 1\n        li r4 = 2\n        li r5 = 3\n        wres r2\n        halt\n";
         let config = SimConfig::default();
-        let facts = GlobalFacts { methods_all_fit: true, static_data_persistent: true, stack_fits: true };
+        let facts = GlobalFacts {
+            methods_all_fit: true,
+            static_data_persistent: true,
+            stack_fits: true,
+        };
         let cost = |src: &str| {
             let (image, cfg) = block_of(src);
             patmos_block_cost(&cfg.blocks[0], &config, &facts, &image, 10, &HashMap::new())
@@ -343,8 +352,14 @@ mod tests {
         let src = "        .func main\n        sres 8\n        sfree 8\n        halt\n";
         let config = SimConfig::default();
         let (image, cfg) = block_of(src);
-        let fits = GlobalFacts { stack_fits: true, ..Default::default() };
-        let tight = GlobalFacts { stack_fits: false, ..Default::default() };
+        let fits = GlobalFacts {
+            stack_fits: true,
+            ..Default::default()
+        };
+        let tight = GlobalFacts {
+            stack_fits: false,
+            ..Default::default()
+        };
         let a = patmos_block_cost(&cfg.blocks[0], &config, &fits, &image, 3, &HashMap::new());
         let b = patmos_block_cost(&cfg.blocks[0], &config, &tight, &image, 3, &HashMap::new());
         assert!(a < b);

@@ -28,7 +28,11 @@ pub struct LinearProgram {
 impl LinearProgram {
     /// An empty program over `num_vars` variables.
     pub fn new(num_vars: usize) -> LinearProgram {
-        LinearProgram { num_vars, objective: vec![0.0; num_vars], ..Default::default() }
+        LinearProgram {
+            num_vars,
+            objective: vec![0.0; num_vars],
+            ..Default::default()
+        }
     }
 
     /// Sets the objective coefficient of variable `var`.
@@ -139,7 +143,10 @@ pub fn solve(lp: &LinearProgram) -> LpSolution {
             assignment[basis[r]] = tab[r][n];
         }
     }
-    LpSolution::Optimal { value: obj[n], assignment }
+    LpSolution::Optimal {
+        value: obj[n],
+        assignment,
+    }
 }
 
 /// Makes an objective row consistent with the current basis by
@@ -162,7 +169,7 @@ fn eliminate_basic(obj: &mut [f64], tab: &[Vec<f64>], basis: &[usize]) {
 fn run_simplex(
     tab: &mut [Vec<f64>],
     basis: &mut [usize],
-    obj: &mut Vec<f64>,
+    obj: &mut [f64],
     num_real: usize,
 ) -> bool {
     let m = tab.len();
@@ -179,8 +186,7 @@ fn run_simplex(
             if tab[r][enter] > EPS {
                 let ratio = tab[r][n] / tab[r][enter];
                 if ratio < best - EPS
-                    || (ratio < best + EPS
-                        && leave.map_or(true, |l| basis[r] < basis[l]))
+                    || (ratio < best + EPS && leave.is_none_or(|l| basis[r] < basis[l]))
                 {
                     best = ratio;
                     leave = Some(r);
@@ -197,14 +203,15 @@ fn run_simplex(
 fn pivot(tab: &mut [Vec<f64>], basis: &mut [usize], row: usize, col: usize) {
     let n = tab[0].len() - 1;
     let p = tab[row][col];
-    for j in 0..=n {
-        tab[row][j] /= p;
+    for cell in tab[row].iter_mut().take(n + 1) {
+        *cell /= p;
     }
-    for r in 0..tab.len() {
-        if r != row && tab[r][col].abs() > EPS {
-            let f = tab[r][col];
-            for j in 0..=n {
-                tab[r][j] -= f * tab[row][j];
+    let pivot_row = tab[row].clone();
+    for (r, other) in tab.iter_mut().enumerate() {
+        if r != row && other[col].abs() > EPS {
+            let f = other[col];
+            for (cell, &pv) in other.iter_mut().zip(&pivot_row).take(n + 1) {
+                *cell -= f * pv;
             }
         }
     }

@@ -43,7 +43,10 @@ inner:
     assert!(bound >= observed, "{bound} < {observed}");
     // The loop bodies dominate; the bound must scale with 5 * 7, not
     // explode combinatorially.
-    assert!(bound < observed * 3, "bound {bound} too loose for observed {observed}");
+    assert!(
+        bound < observed * 3,
+        "bound {bound} too loose for observed {observed}"
+    );
 }
 
 #[test]
@@ -70,7 +73,11 @@ end:
     assert!(b_dead >= o_dead);
     // The dead block contributes only through the (slightly larger)
     // method-cache fill, not through its instruction count.
-    assert!(b_dead - b_live < 30, "dead code added {} cycles", b_dead - b_live);
+    assert!(
+        b_dead - b_live < 30,
+        "dead code added {} cycles",
+        b_dead - b_live
+    );
 }
 
 #[test]
@@ -97,7 +104,10 @@ quick:
     // still cover the long one.
     let mut sim = Simulator::new(&image, SimConfig::default());
     let observed = sim.run().expect("runs").stats.cycles;
-    assert!(report.bound_cycles >= observed + 6, "bound must include the unexecuted long path");
+    assert!(
+        report.bound_cycles >= observed + 6,
+        "bound must include the unexecuted long path"
+    );
 }
 
 #[test]
@@ -132,8 +142,18 @@ fn call_tree_bounds_compose() {
     assert!(bound >= observed);
     let image = assemble(src).expect("assembles");
     let report = analyze(&image, &patmos()).expect("analyses");
-    let leaf = report.per_function.iter().find(|(n, _)| n == "leaf").expect("leaf").1;
-    let mid = report.per_function.iter().find(|(n, _)| n == "mid").expect("mid").1;
+    let leaf = report
+        .per_function
+        .iter()
+        .find(|(n, _)| n == "leaf")
+        .expect("leaf")
+        .1;
+    let mid = report
+        .per_function
+        .iter()
+        .find(|(n, _)| n == "mid")
+        .expect("mid")
+        .1;
     assert!(mid >= 2 * leaf, "mid calls leaf twice: {mid} vs {leaf}");
 }
 
@@ -174,9 +194,10 @@ fn tiny_method_cache_changes_call_costs() {
 ";
     let image = assemble(src).expect("assembles");
     let roomy = analyze(&image, &patmos()).expect("analyses");
-    let mut tiny_cfg = SimConfig::default();
-    tiny_cfg.method_cache =
-        patmos_mem::MethodCacheConfig::new(1, 4, patmos_mem::ReplacementPolicy::Fifo);
+    let tiny_cfg = SimConfig {
+        method_cache: patmos_mem::MethodCacheConfig::new(1, 4, patmos_mem::ReplacementPolicy::Fifo),
+        ..SimConfig::default()
+    };
     let tiny = analyze(&image, &Machine::Patmos(tiny_cfg.clone())).expect("analyses");
     assert!(
         tiny.bound_cycles > roomy.bound_cycles,
@@ -244,5 +265,8 @@ fn mutual_recursion_detected() {
         halt
 ";
     let image = assemble(src).expect("assembles");
-    assert!(matches!(analyze(&image, &patmos()), Err(WcetError::Recursion { .. })));
+    assert!(matches!(
+        analyze(&image, &patmos()),
+        Err(WcetError::Recursion { .. })
+    ));
 }

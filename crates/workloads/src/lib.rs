@@ -54,7 +54,7 @@ pub struct Workload {
 
 /// Deterministic pseudo-random data (a fixed LCG so kernels and their
 /// Rust references see identical inputs).
-fn lcg(seed: u32, n: usize) -> Vec<i32> {
+pub(crate) fn lcg(seed: u32, n: usize) -> Vec<i32> {
     let mut x = seed;
     (0..n)
         .map(|_| {
@@ -64,8 +64,12 @@ fn lcg(seed: u32, n: usize) -> Vec<i32> {
         .collect()
 }
 
-fn array_literal(values: &[i32]) -> String {
-    values.iter().map(|v| v.to_string()).collect::<Vec<_>>().join(", ")
+pub(crate) fn array_literal(values: &[i32]) -> String {
+    values
+        .iter()
+        .map(|v| v.to_string())
+        .collect::<Vec<_>>()
+        .join(", ")
 }
 
 /// `fibcall`: iterative Fibonacci — the classic loop kernel.
@@ -94,7 +98,12 @@ pub fn fibcall() -> Workload {
     return a;
 }}"
     );
-    Workload { name: "fibcall", source, expected: a, category: Category::Compute }
+    Workload {
+        name: "fibcall",
+        source,
+        expected: a,
+        category: Category::Compute,
+    }
 }
 
 /// `insertsort`: insertion sort over 16 elements; returns a checksum.
@@ -102,7 +111,11 @@ pub fn insertsort() -> Workload {
     let data = lcg(0xA5A5, 16);
     let mut sorted = data.clone();
     sorted.sort_unstable();
-    let expected: i64 = sorted.iter().enumerate().map(|(i, &v)| (i as i64 + 1) * v as i64).sum();
+    let expected: i64 = sorted
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| (i as i64 + 1) * v as i64)
+        .sum();
     let source = format!(
         "int a[16] = {{{init}}};
 int main() {{
@@ -158,7 +171,12 @@ int main() {{
 }}",
         init = array_literal(&data)
     );
-    Workload { name: "bsort", source, expected, category: Category::Branchy }
+    Workload {
+        name: "bsort",
+        source,
+        expected,
+        category: Category::Branchy,
+    }
 }
 
 /// `binsearch`: 32-entry binary search, 16 queries; returns hit count.
@@ -170,8 +188,15 @@ pub fn binsearch() -> Workload {
         let last = *table.last().expect("non-empty");
         table.push(last + 7);
     }
-    let queries: Vec<i32> =
-        (0..16).map(|i| if i % 2 == 0 { table[(i * 2) % 32] } else { -1 - i as i32 }).collect();
+    let queries: Vec<i32> = (0..16)
+        .map(|i| {
+            if i % 2 == 0 {
+                table[(i * 2) % 32]
+            } else {
+                -1 - i as i32
+            }
+        })
+        .collect();
     let expected = queries
         .iter()
         .filter(|q| table.binary_search(q).is_ok())
@@ -199,7 +224,12 @@ int main() {{
         tab = array_literal(&table),
         queries = array_literal(&queries)
     );
-    Workload { name: "binsearch", source, expected, category: Category::CallHeavy }
+    Workload {
+        name: "binsearch",
+        source,
+        expected,
+        category: Category::CallHeavy,
+    }
 }
 
 /// `crc`: bitwise CRC-CCITT-style over a 32-byte message.
@@ -236,7 +266,12 @@ int main() {{
 }}",
         init = array_literal(&msg)
     );
-    Workload { name: "crc", source, expected: crc, category: Category::Branchy }
+    Workload {
+        name: "crc",
+        source,
+        expected: crc,
+        category: Category::Branchy,
+    }
 }
 
 /// `matmult`: 8×8 integer matrix multiply; returns the trace.
@@ -276,7 +311,12 @@ int main() {{
         a = array_literal(&a),
         b = array_literal(&b)
     );
-    Workload { name: "matmult", source, expected: trace as u32, category: Category::Memory }
+    Workload {
+        name: "matmult",
+        source,
+        expected: trace as u32,
+        category: Category::Memory,
+    }
 }
 
 /// `fir`: 16-tap FIR filter over 48 samples; returns an output checksum.
@@ -311,7 +351,12 @@ int main() {{
         coef = array_literal(&coef),
         input = array_literal(&input)
     );
-    Workload { name: "fir", source, expected: check as u32, category: Category::Memory }
+    Workload {
+        name: "fir",
+        source,
+        expected: check as u32,
+        category: Category::Memory,
+    }
 }
 
 /// `cnt`: counts and sums positive entries of a 8×8 "matrix".
@@ -336,7 +381,12 @@ int main() {{
 }}",
         init = array_literal(&data)
     );
-    Workload { name: "cnt", source, expected, category: Category::Branchy }
+    Workload {
+        name: "cnt",
+        source,
+        expected,
+        category: Category::Branchy,
+    }
 }
 
 /// `dotprod`: dot product over heap-qualified arrays (exercises the
@@ -357,7 +407,12 @@ int main() {{
         a = array_literal(&a),
         b = array_literal(&b)
     );
-    Workload { name: "dotprod", source, expected: expected as u32, category: Category::Memory }
+    Workload {
+        name: "dotprod",
+        source,
+        expected: expected as u32,
+        category: Category::Memory,
+    }
 }
 
 /// `statemach`: a branch-heavy state machine over an input tape.
@@ -425,7 +480,12 @@ int main() {{
 }}",
         init = array_literal(&tape)
     );
-    Workload { name: "statemach", source, expected, category: Category::Branchy }
+    Workload {
+        name: "statemach",
+        source,
+        expected,
+        category: Category::Branchy,
+    }
 }
 
 /// `popcount`: software population count over 32 words.
@@ -450,7 +510,12 @@ int main() {{
 }}",
         init = array_literal(&data)
     );
-    Workload { name: "popcount", source, expected, category: Category::Compute }
+    Workload {
+        name: "popcount",
+        source,
+        expected,
+        category: Category::Compute,
+    }
 }
 
 /// `callchain`: deep non-recursive call chain (method-cache stress).
@@ -476,7 +541,12 @@ pub fn callchain() -> Workload {
         }
     }
     let expected = f(depth as u32 - 1, 3) as u32;
-    Workload { name: "callchain", source, expected, category: Category::CallHeavy }
+    Workload {
+        name: "callchain",
+        source,
+        expected,
+        category: Category::CallHeavy,
+    }
 }
 
 /// `spmfilter`: moving-average filter staged through the scratchpad.
@@ -500,7 +570,12 @@ int main() {{
 }}",
         init = array_literal(&input)
     );
-    Workload { name: "spmfilter", source, expected: expected as u32, category: Category::Memory }
+    Workload {
+        name: "spmfilter",
+        source,
+        expected: expected as u32,
+        category: Category::Memory,
+    }
 }
 
 /// `ns`: nested search over a 4×4×4 "cube" with early exit — the
@@ -532,7 +607,12 @@ int main() {{
 }}",
         init = array_literal(&cube)
     );
-    Workload { name: "ns", source, expected, category: Category::Branchy }
+    Workload {
+        name: "ns",
+        source,
+        expected,
+        category: Category::Branchy,
+    }
 }
 
 /// `lcdnum`: table-driven 7-segment decoding — lookup-dominated.
@@ -552,7 +632,12 @@ int main() {{
         seg = array_literal(&seg),
         digits = array_literal(&digits)
     );
-    Workload { name: "lcdnum", source, expected: expected as u32, category: Category::Memory }
+    Workload {
+        name: "lcdnum",
+        source,
+        expected: expected as u32,
+        category: Category::Memory,
+    }
 }
 
 /// `expintish`: a triangular nested loop (inner trip depends on the
@@ -583,8 +668,15 @@ pub fn expintish() -> Workload {
     return acc;
 }"
     .to_string();
-    Workload { name: "expintish", source, expected: acc as u32, category: Category::Compute }
+    Workload {
+        name: "expintish",
+        source,
+        expected: acc as u32,
+        category: Category::Compute,
+    }
 }
+
+pub use micro::pressure_fir8;
 
 /// All kernels.
 pub fn all() -> Vec<Workload> {
@@ -605,6 +697,7 @@ pub fn all() -> Vec<Workload> {
         ns(),
         lcdnum(),
         expintish(),
+        pressure_fir8(),
     ]
 }
 
@@ -634,7 +727,12 @@ mod tests {
     #[test]
     fn every_category_is_represented() {
         let ws = all();
-        for cat in [Category::Compute, Category::Branchy, Category::Memory, Category::CallHeavy] {
+        for cat in [
+            Category::Compute,
+            Category::Branchy,
+            Category::Memory,
+            Category::CallHeavy,
+        ] {
             assert!(ws.iter().any(|w| w.category == cat), "missing {cat:?}");
         }
     }

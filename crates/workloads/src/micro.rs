@@ -1,9 +1,11 @@
-//! Hand-written assembly micro-benchmark generators.
+//! Micro-benchmark generators.
 //!
 //! Some experiments need precise control over the instruction stream
 //! that a compiler would obscure: the split-load scheduling study (E5)
 //! and the method-cache call-pattern study (E3). These generators emit
-//! Patmos assembly directly.
+//! Patmos assembly directly. [`pressure_fir8`] is the exception: a PatC
+//! kernel built specifically to stress the *register allocator* with
+//! more than ten simultaneously live scalar values.
 
 /// A split-load chain: `loads` main-memory reads, each with
 /// `work_between` independent ALU bundles between `ldm` and `wres`.
@@ -21,7 +23,11 @@ pub fn split_load_chain(loads: u32, work_between: u32) -> String {
     for i in 0..loads {
         s.push_str(&format!("        ldm [r2 + {}]\n", i % 32));
         for w in 0..work_between {
-            s.push_str(&format!("        addi r{} = r9, {}\n", 10 + (w % 12), w + 1));
+            s.push_str(&format!(
+                "        addi r{} = r9, {}\n",
+                10 + (w % 12),
+                w + 1
+            ));
         }
         s.push_str("        wres r1\n");
         s.push_str("        add r9 = r9, r1\n");
@@ -106,6 +112,66 @@ pub fn stack_ladder(depth: u32, frame_words: u32) -> String {
     s.push_str("        call g0\n        nop\n");
     s.push_str("        halt\n");
     s
+}
+
+/// `fir8`: an unrolled 8-tap FIR filter over a sliding register window.
+///
+/// Eleven scalar values are live simultaneously through the loop body
+/// (the eight window registers `s0`–`s7`, the accumulator, the loop
+/// index, and the freshly loaded sample), so a compiler that keeps
+/// locals in stack-cache slots drowns in `lws`/`sws` traffic while a
+/// liveness-driven allocator keeps the whole window in registers. The
+/// taps are powers of two so the filter runs on shifts and adds.
+pub fn pressure_fir8() -> crate::Workload {
+    let input: Vec<i32> = crate::lcg(0xF178, 40).iter().map(|v| v % 256).collect();
+    // Reference: identical wrapping arithmetic over i32.
+    let taps = [1u32, 2, 3, 4, 3, 2, 1, 0];
+    let mut window: Vec<i32> = input[0..8].to_vec();
+    let mut acc: i32 = 0;
+    for &sample in &input[8..40] {
+        let mut sum: i32 = 0;
+        for (t, &shift) in taps.iter().enumerate() {
+            sum = sum.wrapping_add(window[t].wrapping_shl(shift));
+        }
+        acc = acc.wrapping_add(sum);
+        window.rotate_left(1);
+        window[7] = sample;
+    }
+    let source = format!(
+        "int x[40] = {{{init}}};
+int main() {{
+    int s0 = x[0];
+    int s1 = x[1];
+    int s2 = x[2];
+    int s3 = x[3];
+    int s4 = x[4];
+    int s5 = x[5];
+    int s6 = x[6];
+    int s7 = x[7];
+    int acc = 0;
+    int n;
+    for (n = 8; n < 40; n = n + 1) bound(32) {{
+        acc = acc + ((s0 << 1) + (s1 << 2)) + ((s2 << 3) + (s3 << 4))
+                  + ((s4 << 3) + (s5 << 2)) + ((s6 << 1) + s7);
+        s0 = s1;
+        s1 = s2;
+        s2 = s3;
+        s3 = s4;
+        s4 = s5;
+        s5 = s6;
+        s6 = s7;
+        s7 = x[n];
+    }}
+    return acc;
+}}",
+        init = crate::array_literal(&input)
+    );
+    crate::Workload {
+        name: "fir8",
+        source,
+        expected: acc as u32,
+        category: crate::Category::Compute,
+    }
 }
 
 #[cfg(test)]

@@ -24,7 +24,10 @@ fn kernels_match_reference_default_options() {
 
 #[test]
 fn kernels_match_reference_without_if_conversion() {
-    let options = CompileOptions { if_convert: false, ..CompileOptions::default() };
+    let options = CompileOptions {
+        if_convert: false,
+        ..CompileOptions::default()
+    };
     for w in patmos_workloads::all() {
         let (got, _) = run_with(&w.source, &options);
         assert_eq!(got, w.expected, "{} (no if-conversion)", w.name);
@@ -33,7 +36,10 @@ fn kernels_match_reference_without_if_conversion() {
 
 #[test]
 fn kernels_match_reference_single_issue() {
-    let options = CompileOptions { dual_issue: false, ..CompileOptions::default() };
+    let options = CompileOptions {
+        dual_issue: false,
+        ..CompileOptions::default()
+    };
     for w in patmos_workloads::all() {
         let (got, cycles_single) = run_with(&w.source, &options);
         assert_eq!(got, w.expected, "{} (single issue)", w.name);
@@ -47,6 +53,23 @@ fn kernels_match_reference_single_issue() {
             cycles_single
         );
     }
+}
+
+#[test]
+fn register_pressure_kernel_stays_in_registers() {
+    // The unrolled FIR-8 keeps >10 values live at once; the allocator
+    // must still fit the window in registers: correct result, strict
+    // timing, and zero stack-cache traffic (no spills, no calls).
+    let w = patmos_workloads::pressure_fir8();
+    let image = compile(&w.source, &CompileOptions::default()).expect("fir8 compiles");
+    let mut sim = Simulator::new(&image, SimConfig::default());
+    sim.run().expect("fir8 runs under strict timing checks");
+    assert_eq!(sim.reg(Reg::R1), w.expected, "fir8 produced a wrong result");
+    assert_eq!(
+        sim.stats().stack_ops,
+        0,
+        "fir8's register window must not spill to the stack cache"
+    );
 }
 
 #[test]

@@ -13,7 +13,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let image = compile(&kernel.source, &CompileOptions::default())?;
     let slot_cycles = 64;
 
-    println!("kernel: {} on 1, 2, 4, 8 cores (TDMA slot {slot_cycles} cycles)\n", kernel.name);
+    println!(
+        "kernel: {} on 1, 2, 4, 8 cores (TDMA slot {slot_cycles} cycles)\n",
+        kernel.name
+    );
     println!(
         "{:>5} {:>12} {:>14} {:>16}",
         "cores", "worst core", "tdma wait", "wcw per burst"
@@ -21,8 +24,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for cores in [1u32, 2, 4, 8] {
         let system = CmpSystem::new(SimConfig::default(), cores, slot_cycles);
         let results = system.run_all(&image)?;
-        let worst = results.iter().map(|r| r.result.stats.cycles).max().expect("non-empty");
-        let wait = results.iter().map(|r| r.result.stats.stalls.tdma_wait).max().expect("non-empty");
+        let worst = results
+            .iter()
+            .map(|r| r.result.stats.cycles)
+            .max()
+            .expect("non-empty");
+        let wait = results
+            .iter()
+            .map(|r| r.result.stats.stalls.tdma_wait)
+            .max()
+            .expect("non-empty");
         let burst = SimConfig::default().mem.burst_cycles(8);
         println!(
             "{:>5} {:>12} {:>14} {:>16}",

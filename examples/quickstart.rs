@@ -39,7 +39,10 @@ loop:
     println!("cycles           = {}", stats.cycles);
     println!("bundles issued   = {}", stats.bundles);
     println!("IPC              = {:.2}", stats.ipc());
-    println!("second slot used = {:.0}%", stats.slot2_utilisation() * 100.0);
+    println!(
+        "second slot used = {:.0}%",
+        stats.slot2_utilisation() * 100.0
+    );
     println!("stall breakdown  : {}", stats.stalls);
     assert_eq!(core.reg(Reg::R1), 55);
     Ok(())

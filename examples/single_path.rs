@@ -39,12 +39,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let modes: [(&str, CompileOptions); 3] = [
         (
             "branches",
-            CompileOptions { if_convert: false, ..CompileOptions::default() },
+            CompileOptions {
+                if_convert: false,
+                ..CompileOptions::default()
+            },
         ),
         ("if-converted", CompileOptions::default()),
         (
             "single-path",
-            CompileOptions { single_path: true, ..CompileOptions::default() },
+            CompileOptions {
+                single_path: true,
+                ..CompileOptions::default()
+            },
         ),
     ];
 

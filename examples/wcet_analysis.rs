@@ -11,7 +11,10 @@ use patmos::wcet::{analyze, Machine};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let kernel = patmos::workloads::crc();
-    println!("kernel: {} (expected result {:#x})\n", kernel.name, kernel.expected);
+    println!(
+        "kernel: {} (expected result {:#x})\n",
+        kernel.name, kernel.expected
+    );
 
     let image = compile(&kernel.source, &CompileOptions::default())?;
 
@@ -28,7 +31,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let patmos_bound = analyze(&image, &Machine::Patmos(SimConfig::default()))?;
     let baseline_bound = analyze(&image, &Machine::Baseline(BaselineConfig::default()))?;
 
-    println!("{:<28} {:>12} {:>12} {:>10}", "machine", "observed", "WCET bound", "ratio");
+    println!(
+        "{:<28} {:>12} {:>12} {:>10}",
+        "machine", "observed", "WCET bound", "ratio"
+    );
     println!(
         "{:<28} {:>12} {:>12} {:>10.2}",
         "Patmos (time-predictable)",

@@ -17,8 +17,10 @@ fn all_machines_agree_on_all_kernels() {
         let mut patmos_core = Simulator::new(&image, SimConfig::default());
         patmos_core.run().expect("patmos runs");
 
-        let mut single_cfg = SimConfig::default();
-        single_cfg.dual_issue = false;
+        let single_cfg = SimConfig {
+            dual_issue: false,
+            ..SimConfig::default()
+        };
         let mut single_core = Simulator::new(&image, single_cfg);
         single_core.run().expect("single-issue runs");
 
@@ -26,8 +28,18 @@ fn all_machines_agree_on_all_kernels() {
         baseline_core.run().expect("baseline runs");
 
         assert_eq!(patmos_core.reg(Reg::R1), w.expected, "{}", w.name);
-        assert_eq!(single_core.reg(Reg::R1), w.expected, "{} single-issue", w.name);
-        assert_eq!(baseline_core.reg(Reg::R1), w.expected, "{} baseline", w.name);
+        assert_eq!(
+            single_core.reg(Reg::R1),
+            w.expected,
+            "{} single-issue",
+            w.name
+        );
+        assert_eq!(
+            baseline_core.reg(Reg::R1),
+            w.expected,
+            "{} baseline",
+            w.name
+        );
     }
 }
 
@@ -39,7 +51,12 @@ fn simulation_is_deterministic() {
             let mut sim = Simulator::new(&image, SimConfig::default());
             sim.run().expect("runs").stats.cycles
         };
-        assert_eq!(run(), run(), "{}: cycle counts must be reproducible", w.name);
+        assert_eq!(
+            run(),
+            run(),
+            "{}: cycle counts must be reproducible",
+            w.name
+        );
     }
 }
 

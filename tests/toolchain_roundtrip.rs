@@ -28,13 +28,21 @@ fn function_table_is_consistent() {
         let image = compile(&w.source, &CompileOptions::default()).expect("compiles");
         let mut end = 0;
         for f in image.functions() {
-            assert_eq!(f.start_word, end, "{}: functions must tile the image", w.name);
+            assert_eq!(
+                f.start_word, end,
+                "{}: functions must tile the image",
+                w.name
+            );
             assert!(f.size_words > 0, "{}: empty function {}", w.name, f.name);
             end = f.start_word + f.size_words;
         }
         assert_eq!(end as usize, image.code().len(), "{}", w.name);
         // The entry is a function start.
-        assert!(image.function_starting_at(image.entry_word()).is_some(), "{}", w.name);
+        assert!(
+            image.function_starting_at(image.entry_word()).is_some(),
+            "{}",
+            w.name
+        );
     }
 }
 

@@ -71,8 +71,7 @@ fn patmos_bounds_are_reasonably_tight_on_default_config() {
     let mut worst: (f64, &str) = (0.0, "");
     for w in patmos::workloads::all() {
         let image = compile(&w.source, &CompileOptions::default()).expect("compiles");
-        let report =
-            analyze(&image, &Machine::Patmos(SimConfig::default())).expect("analyses");
+        let report = analyze(&image, &Machine::Patmos(SimConfig::default())).expect("analyses");
         let mut sim = Simulator::new(&image, SimConfig::default());
         let observed = sim.run().expect("runs").stats.cycles;
         let ratio = report.pessimism(observed);
@@ -100,8 +99,7 @@ proptest! {
     ) {
         let kernels = ["fibcall", "crc", "binsearch", "statemach"];
         let w = patmos::workloads::by_name(kernels[kernel_idx]).expect("exists");
-        let mut config = SimConfig::default();
-        config.mem = MemConfig::new(latency, per_word);
+        let mut config = SimConfig { mem: MemConfig::new(latency, per_word), ..SimConfig::default() };
         // Slot must fit a full line burst.
         let slot = config.mem.burst_cycles(8).max(config.mem.burst_cycles(1)) + 4;
         config.tdma = Some((TdmaArbiter::new(cores, slot), cores - 1));
