@@ -1,0 +1,11 @@
+//! Regenerates experiment E12 (mid-end optimizer vs straight lowering).
+//!
+//! With `--json`, re-emits `baselines/opt_cycles.json` with fresh
+//! measurements instead of the human-readable table.
+fn main() {
+    if std::env::args().any(|a| a == "--json") {
+        print!("{}", patmos_bench::opt_baseline_json());
+    } else {
+        print!("{}", patmos_bench::exp_e12_opt());
+    }
+}

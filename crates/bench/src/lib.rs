@@ -650,6 +650,7 @@ pub struct RegallocBaseline {
 }
 
 const REGALLOC_BASELINE_JSON: &str = include_str!("../baselines/regalloc_cycles.json");
+const OPT_BASELINE_JSON: &str = include_str!("../baselines/opt_cycles.json");
 
 fn json_field(section: &str, key: &str) -> u64 {
     let marker = format!("\"{key}\":");
@@ -665,10 +666,9 @@ fn json_field(section: &str, key: &str) -> u64 {
         .unwrap_or_else(|_| panic!("baseline key `{key}` is not a number"))
 }
 
-/// Parses the checked-in before/after allocation baseline.
-pub fn regalloc_baseline() -> Vec<RegallocBaseline> {
-    let mut entries = Vec::new();
-    let body = REGALLOC_BASELINE_JSON;
+/// Splits a baseline file's `kernels` object into `(name, body)` pairs.
+fn kernel_sections(body: &'static str) -> Vec<(String, &'static str)> {
+    let mut sections = Vec::new();
     let kernels_at = body
         .find("\"kernels\"")
         .expect("baseline has a kernels object");
@@ -691,22 +691,35 @@ pub fn regalloc_baseline() -> Vec<RegallocBaseline> {
         let Some(close) = rest[open..].find('}') else {
             break;
         };
-        let section = &rest[open..open + close];
-        entries.push(RegallocBaseline {
+        sections.push((name, &rest[open..open + close]));
+        rest = &rest[open + close + 1..];
+    }
+    sections
+}
+
+/// Parses the checked-in before/after allocation baseline.
+pub fn regalloc_baseline() -> Vec<RegallocBaseline> {
+    kernel_sections(REGALLOC_BASELINE_JSON)
+        .into_iter()
+        .map(|(name, section)| RegallocBaseline {
             name,
             seed_cycles: json_field(section, "seed_cycles"),
             seed_stack_ops: json_field(section, "seed_stack_ops"),
             regalloc_cycles: json_field(section, "regalloc_cycles"),
             regalloc_stack_ops: json_field(section, "regalloc_stack_ops"),
-        });
-        rest = &rest[open + close + 1..];
-    }
-    entries
+        })
+        .collect()
 }
 
-/// Measures one kernel on the current backend: `(cycles, stack ops)`.
+/// Measures one kernel on the allocation backend alone (`opt_level` 0,
+/// the PR 1 pipeline the regalloc baseline records): `(cycles, stack
+/// ops)`.
 pub fn measure_regalloc_kernel(source: &str) -> (u64, u64) {
-    let (_, stats) = run_patc(source, &CompileOptions::default(), SimConfig::default());
+    let options = CompileOptions {
+        opt_level: 0,
+        ..CompileOptions::default()
+    };
+    let (_, stats) = run_patc(source, &options, SimConfig::default());
     (stats.cycles, stats.stack_ops)
 }
 
@@ -784,6 +797,121 @@ pub fn regalloc_baseline_json() -> String {
     out
 }
 
+/// One kernel's entry in the checked-in mid-end baseline
+/// (`baselines/opt_cycles.json`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OptBaseline {
+    /// Kernel name.
+    pub name: String,
+    /// Cycles at `opt_level` 0 (straight lowering, the PR 1 pipeline).
+    pub opt0_cycles: u64,
+    /// Cycles at `opt_level` 1 (the `patmos-opt` pass pipeline).
+    pub opt1_cycles: u64,
+}
+
+/// Parses the checked-in mid-end baseline.
+pub fn opt_baseline() -> Vec<OptBaseline> {
+    kernel_sections(OPT_BASELINE_JSON)
+        .into_iter()
+        .map(|(name, section)| OptBaseline {
+            name,
+            opt0_cycles: json_field(section, "opt0_cycles"),
+            opt1_cycles: json_field(section, "opt1_cycles"),
+        })
+        .collect()
+}
+
+/// Measures one kernel at both optimization levels:
+/// `(opt0 cycles, opt1 cycles)`.
+pub fn measure_opt_kernel(source: &str) -> (u64, u64) {
+    let o0 = CompileOptions {
+        opt_level: 0,
+        ..CompileOptions::default()
+    };
+    let (_, s0) = run_patc(source, &o0, SimConfig::default());
+    let (_, s1) = run_patc(source, &CompileOptions::default(), SimConfig::default());
+    (s0.cycles, s1.cycles)
+}
+
+/// Geometric-mean speedup of `opt_level` 1 over `opt_level` 0 across
+/// `(opt0, opt1)` cycle pairs.
+pub fn opt_geomean_speedup(pairs: &[(u64, u64)]) -> f64 {
+    let log_sum: f64 = pairs
+        .iter()
+        .map(|&(o0, o1)| (o0 as f64 / o1 as f64).ln())
+        .sum();
+    (log_sum / pairs.len() as f64).exp()
+}
+
+/// E12 — the mid-end optimizer: cycles at `opt_level` 0 vs 1 across the
+/// kernel suite.
+pub fn exp_e12_opt() -> String {
+    let mut out = String::new();
+    writeln!(
+        out,
+        "E12: mid-end optimizer (patmos-opt) vs straight lowering"
+    )
+    .ok();
+    writeln!(
+        out,
+        "{:<12} {:>11} {:>11} {:>9} {:>8}",
+        "kernel", "opt0 cyc", "opt1 cyc", "speedup", "saved"
+    )
+    .ok();
+    let mut pairs = Vec::new();
+    let mut total0 = 0u64;
+    let mut total1 = 0u64;
+    for entry in &opt_baseline() {
+        let w = workloads::by_name(&entry.name)
+            .unwrap_or_else(|| panic!("baseline kernel `{}` no longer exists", entry.name));
+        let (o0, o1) = measure_opt_kernel(&w.source);
+        pairs.push((o0, o1));
+        total0 += o0;
+        total1 += o1;
+        writeln!(
+            out,
+            "{:<12} {:>11} {:>11} {:>8.2}x {:>7.1}%",
+            entry.name,
+            o0,
+            o1,
+            o0 as f64 / o1 as f64,
+            100.0 * (1.0 - o1 as f64 / o0 as f64)
+        )
+        .ok();
+    }
+    writeln!(
+        out,
+        "total: {total0} -> {total1} cycles; geometric-mean speedup {:.2}x",
+        opt_geomean_speedup(&pairs)
+    )
+    .ok();
+    out
+}
+
+/// Re-emits the mid-end baseline JSON from fresh measurements (both
+/// levels are measurable, so nothing historical is preserved).
+pub fn opt_baseline_json() -> String {
+    let mut out = String::new();
+    out.push_str("{\n  \"schema\": \"patmos-bench/opt-baseline/v1\",\n");
+    out.push_str(
+        "  \"description\": \"Per-kernel cycle counts at opt_level 0 (straight lowering to the allocator, the PR 1 pipeline) and opt_level 1 (the patmos-opt mid-end: const-prop, strength reduction, CSE, copy-prop, DCE to a fixed point). Regenerate with: cargo run -p patmos-bench --bin exp_e12_opt -- --json\",\n",
+    );
+    out.push_str("  \"kernels\": {\n");
+    let entries: Vec<String> = workloads::all()
+        .iter()
+        .map(|w| {
+            let (o0, o1) = measure_opt_kernel(&w.source);
+            format!(
+                "    \"{}\": {{\n      \"opt0_cycles\": {},\n      \"opt1_cycles\": {}\n    }}",
+                w.name, o0, o1
+            )
+        })
+        .collect();
+    out.push_str(&entries.join(",\n"));
+    out.push_str("\n  }\n}\n");
+    out
+}
+
 /// Runs every experiment and concatenates the reports.
 pub fn all_experiments() -> String {
     [
@@ -799,6 +927,7 @@ pub fn all_experiments() -> String {
         exp_e9_stack_cache(),
         exp_e10_scheduler(),
         exp_e11_regalloc(),
+        exp_e12_opt(),
     ]
     .join("\n")
 }
@@ -874,6 +1003,81 @@ mod tests {
                 entry.name
             );
         }
+    }
+
+    #[test]
+    fn e12_opt_baseline_file_matches_current_measurements() {
+        // Compiler and simulator are deterministic; any drift means the
+        // checked-in trajectory is stale. Regenerate with:
+        //   cargo run -p patmos-bench --bin exp_e12_opt -- --json \
+        //     > crates/bench/baselines/opt_cycles.json
+        let baseline = opt_baseline();
+        let suite = workloads::all();
+        assert_eq!(
+            baseline.len(),
+            suite.len(),
+            "every kernel of the suite must be recorded in opt_cycles.json"
+        );
+        for entry in &baseline {
+            let w = workloads::by_name(&entry.name)
+                .unwrap_or_else(|| panic!("baseline kernel `{}` no longer exists", entry.name));
+            let (o0, o1) = measure_opt_kernel(&w.source);
+            assert_eq!(
+                (o0, o1),
+                (entry.opt0_cycles, entry.opt1_cycles),
+                "{}: baselines/opt_cycles.json is stale; regenerate it",
+                entry.name
+            );
+        }
+    }
+
+    #[test]
+    fn e12_opt_level_0_preserves_the_regalloc_trajectory_exactly() {
+        // `opt_level` 0 is the PR 1 pipeline: its cycle counts must
+        // equal the regalloc baseline's recorded numbers bit for bit.
+        let opt = opt_baseline();
+        for entry in regalloc_baseline() {
+            let o = opt
+                .iter()
+                .find(|o| o.name == entry.name)
+                .unwrap_or_else(|| panic!("`{}` missing from opt_cycles.json", entry.name));
+            assert_eq!(
+                o.opt0_cycles, entry.regalloc_cycles,
+                "{}: opt_level 0 must preserve the PR 1 cycle counts exactly",
+                entry.name
+            );
+        }
+    }
+
+    #[test]
+    fn e12_mid_end_never_regresses_and_wins_at_least_10pct_geomean() {
+        let baseline = opt_baseline();
+        let mut total0 = 0u64;
+        let mut total1 = 0u64;
+        let pairs: Vec<(u64, u64)> = baseline
+            .iter()
+            .map(|e| {
+                assert!(
+                    e.opt1_cycles <= e.opt0_cycles,
+                    "{}: the mid-end made the kernel slower ({} -> {})",
+                    e.name,
+                    e.opt0_cycles,
+                    e.opt1_cycles
+                );
+                total0 += e.opt0_cycles;
+                total1 += e.opt1_cycles;
+                (e.opt0_cycles, e.opt1_cycles)
+            })
+            .collect();
+        assert!(
+            total1 < total0,
+            "suite total must strictly improve: {total0} -> {total1}"
+        );
+        let geomean = opt_geomean_speedup(&pairs);
+        assert!(
+            geomean >= 1.10,
+            "geomean speedup {geomean:.3}x is below the 10% target"
+        );
     }
 
     #[test]

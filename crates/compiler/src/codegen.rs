@@ -24,7 +24,7 @@ use std::collections::HashMap;
 use std::fmt;
 
 use patmos_isa::{AluOp, CmpOp, Guard, MemArea, Pred, PredOp, PredSrc, Reg};
-use patmos_regalloc::vlir::{VInst, VItem, VModule, VOp, VReg};
+use patmos_lir::vlir::{VInst, VItem, VModule, VOp, VReg};
 
 use crate::ast::*;
 use crate::CompileOptions;

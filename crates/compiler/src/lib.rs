@@ -33,7 +33,10 @@
 //!
 //! Pipeline: parse → tree-walking code generation into LIR over
 //! unbounded *virtual* registers (scalar locals live in registers, not
-//! stack slots) → liveness-driven linear-scan register allocation
+//! stack slots) → mid-end optimization ([`patmos_opt`]: constant
+//! folding and propagation, strength reduction, common-subexpression
+//! elimination, copy propagation, dead-code elimination, controlled by
+//! [`CompileOptions::opt_level`]) → liveness-driven linear-scan register allocation
 //! ([`patmos_regalloc`]: physical register assignment, minimal spill
 //! code, the `sres`/`sens`/`sfree` frame protocol sized to the slots
 //! actually used) → optional if-conversion or full single-path
@@ -80,16 +83,24 @@ pub struct CompileOptions {
     /// Full single-path conversion: predicate *all* conditionals and pad
     /// every loop to its bound, so execution time is input-independent.
     pub single_path: bool,
+    /// Mid-end optimization level: `0` lowers the AST straight to the
+    /// allocator (the historical pipeline), `1` runs the
+    /// [`patmos_opt`] pass pipeline (const-prop, strength reduction,
+    /// CSE, copy-prop, DCE to a fixed point) between code generation
+    /// and register allocation.
+    pub opt_level: u8,
 }
 
 impl Default for CompileOptions {
-    /// Dual issue on, if-conversion on (threshold 4), single-path off.
+    /// Dual issue on, if-conversion on (threshold 4), single-path off,
+    /// mid-end optimizer on (`opt_level` 1).
     fn default() -> CompileOptions {
         CompileOptions {
             dual_issue: true,
             if_convert: true,
             if_convert_threshold: 4,
             single_path: false,
+            opt_level: 1,
         }
     }
 }
@@ -138,6 +149,16 @@ impl From<AllocError> for CompileError {
     }
 }
 
+/// The mid-end configuration for `options`: single-path compilations
+/// restrict the pipeline to shape-stable rewrites so code shape (and
+/// therefore execution time) cannot depend on literal values.
+fn opt_config(options: &CompileOptions, trace: bool) -> patmos_opt::OptConfig {
+    patmos_opt::OptConfig {
+        shape_stable: options.single_path,
+        trace,
+    }
+}
+
 /// Compiles PatC source to Patmos assembly text.
 ///
 /// # Errors
@@ -147,18 +168,26 @@ impl From<AllocError> for CompileError {
 /// by the WCET analysis), or missing loop bounds.
 pub fn compile_to_asm(source: &str, options: &CompileOptions) -> Result<String, CompileError> {
     let program = parse(source)?;
-    let vlir = codegen::lower(&program, options)?;
+    let mut vlir = codegen::lower(&program, options)?;
+    if options.opt_level >= 1 {
+        patmos_opt::optimize_with(&mut vlir, opt_config(options, false));
+    }
     let (lir, _) = patmos_regalloc::allocate(&vlir)?;
     let scheduled = sched::schedule(lir, options);
     Ok(sched::emit(&scheduled))
 }
 
 /// Intermediate artefacts of one compilation, for inspection tools
-/// (`patmos-cli compile --dump-lir`).
+/// (`patmos-cli compile --dump-lir`/`--dump-opt`/`--dump-cfg`).
 #[derive(Debug, Clone)]
 pub struct CompileArtifacts {
-    /// The virtual-register LIR as rendered text.
+    /// The virtual-register LIR handed to the allocator (post-mid-end
+    /// when `opt_level` ≥ 1), for CFG dumps and further inspection.
+    pub vmodule: patmos_lir::VModule,
+    /// The same LIR as rendered text.
     pub vlir: String,
+    /// The mid-end's per-pass trace (`None` at `opt_level` 0).
+    pub opt: Option<patmos_opt::OptReport>,
     /// The register allocator's per-function report.
     pub allocation: AllocReport,
     /// The scheduled assembly text.
@@ -176,12 +205,16 @@ pub fn compile_with_artifacts(
     options: &CompileOptions,
 ) -> Result<CompileArtifacts, CompileError> {
     let program = parse(source)?;
-    let vlir = codegen::lower(&program, options)?;
+    let mut vlir = codegen::lower(&program, options)?;
+    let opt = (options.opt_level >= 1)
+        .then(|| patmos_opt::optimize_with(&mut vlir, opt_config(options, true)));
     let rendered = vlir.render();
     let (lir, allocation) = patmos_regalloc::allocate(&vlir)?;
     let scheduled = sched::schedule(lir, options);
     Ok(CompileArtifacts {
+        vmodule: vlir,
         vlir: rendered,
+        opt,
         allocation,
         asm: sched::emit(&scheduled),
     })
@@ -209,7 +242,10 @@ pub fn compile_stats(
     options: &CompileOptions,
 ) -> Result<(usize, usize), CompileError> {
     let program = parse(source)?;
-    let vlir = codegen::lower(&program, options)?;
+    let mut vlir = codegen::lower(&program, options)?;
+    if options.opt_level >= 1 {
+        patmos_opt::optimize_with(&mut vlir, opt_config(options, false));
+    }
     let (lir, _) = patmos_regalloc::allocate(&vlir)?;
     let scheduled = sched::schedule(lir, options);
     Ok(scheduled.bundle_stats())

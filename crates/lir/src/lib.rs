@@ -1,0 +1,29 @@
+//! The shared virtual-register LIR of the PatC toolchain.
+//!
+//! The PatC code generator lowers the AST into this representation; the
+//! mid-end optimizer (`patmos-opt`) rewrites it; the register allocator
+//! (`patmos-regalloc`) consumes it and produces physical code. All three
+//! stages share the analyses in this crate:
+//!
+//! * [`vlir`] — the instruction set over unbounded virtual registers
+//!   ([`VReg`], [`VOp`], [`VInst`], [`VItem`], [`VModule`]);
+//! * [`mod@cfg`] — per-function basic-block splitting and successor edges
+//!   over the virtual code;
+//! * [`liveness`] — backward liveness dataflow: live intervals for
+//!   linear scan, block-boundary live sets for dead-code elimination,
+//!   and the precise live-across-call sets the allocator saves;
+//! * [`dot`] — Graphviz rendering of the per-function CFG
+//!   (`patmos-cli compile --dump-cfg`).
+//!
+//! The crate deliberately knows nothing about physical registers beyond
+//! the ABI copy pseudo-ops, and nothing about timing: scheduling and
+//! frame layout stay downstream.
+
+pub mod cfg;
+pub mod dot;
+pub mod liveness;
+pub mod vlir;
+
+pub use cfg::{build_vcfg, split_functions, FuncCode, VBlock, VCfg};
+pub use liveness::{analyze, Interval, Liveness};
+pub use vlir::{VInst, VItem, VModule, VOp, VReg};

@@ -48,6 +48,10 @@ pub struct Liveness {
     /// For each call position (same order as `VCfg::call_positions`),
     /// the virtual registers live after the call, sorted by id.
     pub live_across_calls: Vec<Vec<VReg>>,
+    /// Registers live at each block's entry (indexed like `VCfg::blocks`).
+    pub block_live_in: Vec<HashSet<VReg>>,
+    /// Registers live at each block's exit (indexed like `VCfg::blocks`).
+    pub block_live_out: Vec<HashSet<VReg>>,
 }
 
 /// Computes liveness for one function.
@@ -149,6 +153,8 @@ pub fn analyze(func: &FuncCode<'_>, cfg: &VCfg) -> Liveness {
     Liveness {
         intervals,
         live_across_calls,
+        block_live_in: live_in,
+        block_live_out: live_out,
     }
 }
 

@@ -1,7 +1,7 @@
 //! Virtual-register LIR: the compiler's code-generation output.
 //!
 //! Code generation produces instructions over an unbounded supply of
-//! [`VReg`] virtual registers; the allocator ([`crate::allocate`]) maps
+//! [`VReg`] virtual registers; the allocator (`patmos-regalloc`) maps
 //! them onto the physical Patmos register file. Interactions with the
 //! calling convention are expressed with two pseudo-operations
 //! ([`VOp::CopyToPhys`], [`VOp::CopyFromPhys`]) so the allocator never
@@ -237,6 +237,63 @@ impl VOp {
     /// Whether this operation ends a basic block.
     pub fn is_terminator(&self) -> bool {
         matches!(self, VOp::BrLabel(_) | VOp::Ret | VOp::Halt)
+    }
+
+    /// Rewrites every virtual-register operand through `f` (defs are
+    /// untouched; the zero alias passes through `f` like any other).
+    pub fn map_uses(&mut self, mut f: impl FnMut(VReg) -> VReg) {
+        match self {
+            VOp::AluR { rs1, rs2, .. } | VOp::Mul { rs1, rs2 } | VOp::Cmp { rs1, rs2, .. } => {
+                *rs1 = f(*rs1);
+                *rs2 = f(*rs2);
+            }
+            VOp::AluI { rs1, .. } | VOp::CmpI { rs1, .. } => *rs1 = f(*rs1),
+            VOp::Load { ra, .. } => *ra = f(*ra),
+            VOp::Store { ra, rs, .. } => {
+                *ra = f(*ra);
+                *rs = f(*rs);
+            }
+            VOp::CopyToPhys { src, .. } => *src = f(*src),
+            _ => {}
+        }
+    }
+
+    /// Redirects the defined register to `new`. Returns `false` (and
+    /// leaves the operation alone) when it defines nothing.
+    pub fn set_def(&mut self, new: VReg) -> bool {
+        match self {
+            VOp::AluR { rd, .. }
+            | VOp::AluI { rd, .. }
+            | VOp::Mfs { rd, .. }
+            | VOp::LoadImmLow { rd, .. }
+            | VOp::LoadImm32 { rd, .. }
+            | VOp::Load { rd, .. }
+            | VOp::LilSym { rd, .. }
+            | VOp::CopyFromPhys { dst: rd, .. } => {
+                *rd = new;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Whether the operation has no effect beyond its register def: it
+    /// can be deleted once that def is dead. Loads count as pure — the
+    /// PatC areas cannot fault, so a dead load only warms a cache.
+    /// `Mul` is *not* pure (it defines the `sl`/`sh` pair), and neither
+    /// are compares or predicate ops (predicates are not tracked here).
+    pub fn is_pure(&self) -> bool {
+        matches!(
+            self,
+            VOp::AluR { .. }
+                | VOp::AluI { .. }
+                | VOp::Mfs { .. }
+                | VOp::LoadImmLow { .. }
+                | VOp::LoadImm32 { .. }
+                | VOp::Load { .. }
+                | VOp::LilSym { .. }
+                | VOp::CopyFromPhys { .. }
+        )
     }
 }
 

@@ -1,0 +1,254 @@
+//! Copy propagation and copy coalescing (block-local).
+//!
+//! Two cooperating rewrites over the canonical copy `add rd = rs, r0`:
+//!
+//! * **coalescing** — when a pure definition is immediately followed by
+//!   an unconditional copy of its result, and the copy is that result's
+//!   only use anywhere in the function, the definition writes the copy's
+//!   destination directly and the copy disappears. This deletes the
+//!   temporary-then-assign pattern the tree-walking code generator emits
+//!   for every unguarded assignment;
+//! * **forwarding** — uses of a copied register are rewritten to the
+//!   copy's source while both stay unredefined in the block, turning the
+//!   copy dead for the DCE pass.
+//!
+//! Guarded copies take part in neither (a guarded write merges two
+//! values), but operands of guarded instructions are still forwarded —
+//! the source register holds the same value whether or not the guarded
+//! instruction is annulled.
+
+use std::collections::{BTreeSet, HashMap};
+
+use patmos_lir::{VItem, VModule, VReg};
+
+use crate::util::{self, as_copy};
+
+/// Coalesces `def src; copy dst = src` pairs with a single-use `src`.
+fn coalesce(module: &mut VModule) -> bool {
+    let mut marked: BTreeSet<usize> = BTreeSet::new();
+    for fb in util::function_blocks(&module.items) {
+        // Total use counts per virtual register in this function; a
+        // guarded definition reads its destination (merge semantics).
+        let mut use_count: HashMap<VReg, usize> = HashMap::new();
+        for item in &module.items[fb.range.clone()] {
+            let VItem::Inst(inst) = item else { continue };
+            for u in inst.op.uses().into_iter().flatten() {
+                *use_count.entry(u).or_insert(0) += 1;
+            }
+            if !inst.guard.is_always() {
+                if let Some(d) = inst.op.def() {
+                    *use_count.entry(d).or_insert(0) += 1;
+                }
+            }
+        }
+        for block in fb.blocks {
+            for pair in block.windows(2) {
+                let (i, j) = (pair[0], pair[1]);
+                if marked.contains(&i) || marked.contains(&j) {
+                    continue;
+                }
+                let (VItem::Inst(def_inst), VItem::Inst(copy_inst)) =
+                    (&module.items[i], &module.items[j])
+                else {
+                    unreachable!("blocks contain instruction indices only");
+                };
+                let Some((dst, src)) = as_copy(&copy_inst.op) else {
+                    continue;
+                };
+                if !copy_inst.guard.is_always()
+                    || !def_inst.guard.is_always()
+                    || src.is_zero()
+                    || dst == src
+                    || def_inst.op.def() != Some(src)
+                    || !def_inst.op.is_pure()
+                    || use_count.get(&src).copied().unwrap_or(0) != 1
+                {
+                    continue;
+                }
+                let VItem::Inst(def_inst) = &mut module.items[i] else {
+                    unreachable!();
+                };
+                assert!(def_inst.op.set_def(dst), "pure defs are redirectable");
+                marked.insert(j);
+            }
+        }
+    }
+    let changed = !marked.is_empty();
+    util::remove_marked(&mut module.items, &marked);
+    changed
+}
+
+/// Forwards copy sources into later uses; drops no-op copies.
+fn forward(module: &mut VModule) -> bool {
+    let mut changed = false;
+    let mut marked: BTreeSet<usize> = BTreeSet::new();
+    for fb in util::function_blocks(&module.items) {
+        for block in fb.blocks {
+            // dst -> fully resolved source.
+            let mut copies: HashMap<VReg, VReg> = HashMap::new();
+            for idx in block {
+                let VItem::Inst(inst) = &mut module.items[idx] else {
+                    unreachable!("blocks contain instruction indices only");
+                };
+                inst.op.map_uses(|u| {
+                    if let Some(&s) = copies.get(&u) {
+                        changed = true;
+                        s
+                    } else {
+                        u
+                    }
+                });
+                if inst.guard.is_always() {
+                    if let Some((dst, src)) = as_copy(&inst.op) {
+                        if dst == src {
+                            marked.insert(idx);
+                            changed = true;
+                        } else {
+                            copies.retain(|_, s| *s != dst);
+                            copies.insert(dst, src);
+                        }
+                        continue;
+                    }
+                }
+                if let Some(d) = inst.op.def() {
+                    copies.remove(&d);
+                    copies.retain(|_, s| *s != d);
+                }
+            }
+        }
+    }
+    util::remove_marked(&mut module.items, &marked);
+    changed
+}
+
+/// Runs coalescing then forwarding.
+pub(crate) fn run(module: &mut VModule) -> bool {
+    let coalesced = coalesce(module);
+    forward(module) || coalesced
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use patmos_isa::AluOp;
+    use patmos_lir::{VInst, VOp};
+
+    fn v(id: u32) -> VReg {
+        VReg::new(id)
+    }
+
+    fn module(items: Vec<VItem>) -> VModule {
+        VModule {
+            data_lines: Vec::new(),
+            items,
+            entry: "main".into(),
+        }
+    }
+
+    #[test]
+    fn coalesces_single_use_temporary() {
+        // t = s + 1; s = t  ==>  s = s + 1
+        let mut m = module(vec![
+            VItem::FuncStart("main".into()),
+            VItem::Inst(VInst::always(VOp::AluI {
+                op: AluOp::Add,
+                rd: v(9),
+                rs1: v(1),
+                imm: 1,
+            })),
+            VItem::Inst(VInst::always(util::copy_op(v(1), v(9)))),
+            VItem::Inst(VInst::always(VOp::Halt)),
+        ]);
+        assert!(run(&mut m));
+        assert_eq!(m.items.len(), 3);
+        assert!(matches!(
+            &m.items[1],
+            VItem::Inst(VInst {
+                op: VOp::AluI { rd, rs1, imm: 1, .. },
+                ..
+            }) if *rd == v(1) && *rs1 == v(1)
+        ));
+    }
+
+    #[test]
+    fn multi_use_temporary_is_not_coalesced() {
+        let mut m = module(vec![
+            VItem::FuncStart("main".into()),
+            VItem::Inst(VInst::always(VOp::AluI {
+                op: AluOp::Add,
+                rd: v(9),
+                rs1: v(1),
+                imm: 1,
+            })),
+            VItem::Inst(VInst::always(util::copy_op(v(1), v(9)))),
+            VItem::Inst(VInst::always(VOp::CopyToPhys {
+                dst: patmos_isa::Reg::R1,
+                src: v(9),
+            })),
+            VItem::Inst(VInst::always(VOp::Halt)),
+        ]);
+        run(&mut m);
+        // v9 has two uses; the defining add must still target v9.
+        assert!(matches!(
+            &m.items[1],
+            VItem::Inst(VInst {
+                op: VOp::AluI { rd, .. },
+                ..
+            }) if *rd == v(9)
+        ));
+    }
+
+    #[test]
+    fn forwards_through_copies_until_redefinition() {
+        let mut m = module(vec![
+            VItem::FuncStart("main".into()),
+            VItem::Inst(VInst::always(util::copy_op(v(2), v(1)))),
+            VItem::Inst(VInst::always(VOp::CopyToPhys {
+                dst: patmos_isa::Reg::R3,
+                src: v(2),
+            })),
+            VItem::Inst(VInst::always(VOp::LoadImmLow { rd: v(1), imm: 9 })),
+            VItem::Inst(VInst::always(VOp::CopyToPhys {
+                dst: patmos_isa::Reg::R4,
+                src: v(2),
+            })),
+            VItem::Inst(VInst::always(VOp::Halt)),
+        ]);
+        assert!(run(&mut m));
+        let src_of = |idx: usize| match &m.items[idx] {
+            VItem::Inst(VInst {
+                op: VOp::CopyToPhys { src, .. },
+                ..
+            }) => *src,
+            other => panic!("unexpected {other:?}"),
+        };
+        assert_eq!(src_of(2), v(1), "forwarded before the redefinition");
+        assert_eq!(src_of(4), v(2), "not forwarded past the redefinition");
+    }
+
+    #[test]
+    fn guarded_copy_is_left_alone() {
+        let guard = patmos_isa::Guard::when(patmos_isa::Pred::P1);
+        let mut m = module(vec![
+            VItem::FuncStart("main".into()),
+            VItem::Inst(VInst::always(VOp::LoadImmLow { rd: v(9), imm: 7 })),
+            VItem::Inst(VInst::new(guard, util::copy_op(v(1), v(9)))),
+            VItem::Inst(VInst::always(VOp::CopyToPhys {
+                dst: patmos_isa::Reg::R1,
+                src: v(1),
+            })),
+            VItem::Inst(VInst::always(VOp::Halt)),
+        ]);
+        run(&mut m);
+        // The guarded merge copy must survive, and v1's use must not be
+        // rewritten to v9.
+        assert_eq!(m.items.len(), 5);
+        assert!(matches!(
+            &m.items[3],
+            VItem::Inst(VInst {
+                op: VOp::CopyToPhys { src, .. },
+                ..
+            }) if *src == v(1)
+        ));
+    }
+}

@@ -1,0 +1,132 @@
+//! Dead-code elimination, driven by the shared liveness dataflow.
+//!
+//! Walks each block backwards from its live-out set and deletes pure
+//! instructions whose result is dead at that point — the constant
+//! re-materialisations, address temporaries, and copies the other
+//! passes leave behind. Multiplies, compares, predicate ops, stores,
+//! ABI copies and control flow are never touched; loads are (the PatC
+//! memory areas cannot fault, so a dead load only warms a cache).
+
+use std::collections::BTreeSet;
+
+use patmos_lir::VModule;
+
+use crate::util;
+
+/// Runs the pass over every function of the module.
+pub(crate) fn run(module: &mut VModule) -> bool {
+    let mut marked: BTreeSet<usize> = BTreeSet::new();
+    for func in &patmos_lir::split_functions(&module.items) {
+        let cfg = patmos_lir::build_vcfg(func, &module.items);
+        let live_res = patmos_lir::analyze(func, &cfg);
+        for (bi, block) in cfg.blocks.iter().enumerate() {
+            let mut live = live_res.block_live_out[bi].clone();
+            for pos in (block.first..block.end).rev() {
+                let (item_idx, inst) = (func.insts[pos].0, func.insts[pos].1);
+                let def = inst.op.def();
+                if let Some(d) = def {
+                    if inst.op.is_pure() && !live.contains(&d) {
+                        marked.insert(item_idx);
+                        continue;
+                    }
+                    if inst.guard.is_always() {
+                        live.remove(&d);
+                    }
+                }
+                for u in inst.op.uses().into_iter().flatten() {
+                    live.insert(u);
+                }
+                if let Some(d) = def {
+                    if !inst.guard.is_always() {
+                        // The old value flows through an annulled write.
+                        live.insert(d);
+                    }
+                }
+            }
+        }
+    }
+    let changed = !marked.is_empty();
+    util::remove_marked(&mut module.items, &marked);
+    changed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use patmos_isa::{AluOp, Guard, Pred, Reg};
+    use patmos_lir::{VInst, VItem, VOp, VReg};
+
+    fn v(id: u32) -> VReg {
+        VReg::new(id)
+    }
+
+    #[test]
+    fn dead_chain_is_removed_transitively_over_rounds() {
+        let mut m = VModule {
+            data_lines: Vec::new(),
+            entry: "main".into(),
+            items: vec![
+                VItem::FuncStart("main".into()),
+                VItem::Inst(VInst::always(VOp::LoadImmLow { rd: v(1), imm: 1 })),
+                VItem::Inst(VInst::always(VOp::AluI {
+                    op: AluOp::Add,
+                    rd: v(2),
+                    rs1: v(1),
+                    imm: 2,
+                })),
+                VItem::Inst(VInst::always(VOp::CopyToPhys {
+                    dst: Reg::R1,
+                    src: VReg::ZERO,
+                })),
+                VItem::Inst(VInst::always(VOp::Halt)),
+            ],
+        };
+        // One backward walk removes the whole dead chain: v2's death
+        // is seen before v1's definition is reached.
+        assert!(run(&mut m));
+        assert_eq!(m.items.len(), 3);
+        assert!(!run(&mut m));
+    }
+
+    #[test]
+    fn guarded_write_to_live_value_survives() {
+        let mut m = VModule {
+            data_lines: Vec::new(),
+            entry: "main".into(),
+            items: vec![
+                VItem::FuncStart("main".into()),
+                VItem::Inst(VInst::always(VOp::LoadImmLow { rd: v(1), imm: 0 })),
+                VItem::Inst(VInst::new(
+                    Guard::when(Pred::P1),
+                    VOp::LoadImmLow { rd: v(1), imm: 1 },
+                )),
+                VItem::Inst(VInst::always(VOp::CopyToPhys {
+                    dst: Reg::R1,
+                    src: v(1),
+                })),
+                VItem::Inst(VInst::always(VOp::Halt)),
+            ],
+        };
+        assert!(!run(&mut m), "both writes feed the live result");
+        assert_eq!(m.items.len(), 5);
+    }
+
+    #[test]
+    fn dead_guarded_bool_materialisation_is_removed() {
+        let mut m = VModule {
+            data_lines: Vec::new(),
+            entry: "main".into(),
+            items: vec![
+                VItem::FuncStart("main".into()),
+                VItem::Inst(VInst::always(VOp::LoadImmLow { rd: v(1), imm: 0 })),
+                VItem::Inst(VInst::new(
+                    Guard::when(Pred::P1),
+                    VOp::LoadImmLow { rd: v(1), imm: 1 },
+                )),
+                VItem::Inst(VInst::always(VOp::Halt)),
+            ],
+        };
+        assert!(run(&mut m));
+        assert_eq!(m.items.len(), 2, "both writes of the dead bool go");
+    }
+}

@@ -1,0 +1,360 @@
+//! Mid-end optimizer for the PatC toolchain.
+//!
+//! Runs classical scalar optimizations over the shared virtual-register
+//! LIR ([`patmos_lir`]), between code generation and register
+//! allocation:
+//!
+//! ```text
+//! codegen ──VModule──▶ patmos_opt::optimize ──VModule──▶ regalloc
+//! ```
+//!
+//! The level-1 pipeline iterates five passes to a fixed point:
+//!
+//! 1. **constant folding & propagation** — immediate loads flow into
+//!    ALU/compare operations; known results fold to immediate loads;
+//! 2. **strength reduction** — `mul`/`mfs sl` pairs by powers of two
+//!    become single shifts;
+//! 3. **common-subexpression elimination** — repeated pure computations
+//!    (notably the address arithmetic of array subscripts) and
+//!    redundant loads collapse to copies, with word-sized
+//!    store-to-load forwarding;
+//! 4. **copy propagation** — coalesces the generator's
+//!    temporary-then-assign pattern and forwards copy sources;
+//! 5. **dead-code elimination** — liveness-driven removal of pure
+//!    instructions whose results are never read.
+//!
+//! Every pass is *guard-aware*: definitions under a non-always
+//! predicate merge with the old value and therefore block propagation,
+//! while their operands may still be rewritten. Single-path code stays
+//! single-path — no pass introduces or removes control flow.
+//!
+//! # Example
+//!
+//! ```
+//! use patmos_lir::{VInst, VItem, VModule, VOp, VReg};
+//!
+//! let v = VReg::new;
+//! let mut module = VModule {
+//!     data_lines: Vec::new(),
+//!     entry: "main".into(),
+//!     items: vec![
+//!         VItem::FuncStart("main".into()),
+//!         VItem::Inst(VInst::always(VOp::LoadImmLow { rd: v(1), imm: 6 })),
+//!         VItem::Inst(VInst::always(VOp::AluI {
+//!             op: patmos_isa::AluOp::Shl,
+//!             rd: v(2),
+//!             rs1: v(1),
+//!             imm: 3,
+//!         })),
+//!         VItem::Inst(VInst::always(VOp::CopyToPhys {
+//!             dst: patmos_isa::Reg::R1,
+//!             src: v(2),
+//!         })),
+//!         VItem::Inst(VInst::always(VOp::Halt)),
+//!     ],
+//! };
+//! let report = patmos_opt::optimize(&mut module);
+//! // `6 << 3` folds to one immediate load of 48.
+//! assert_eq!(report.insts_after, 3);
+//! ```
+
+mod constprop;
+mod copyprop;
+mod cse;
+mod dce;
+mod strength;
+mod util;
+
+use patmos_lir::{VItem, VModule};
+
+/// Upper bound on fixpoint rounds; real modules converge in two or
+/// three, so hitting this means a pass pair is oscillating.
+const MAX_ROUNDS: u32 = 10;
+
+/// One pass application that changed the module, captured for
+/// `--dump-opt`.
+#[derive(Debug, Clone)]
+pub struct PassDump {
+    /// 1-based fixpoint round.
+    pub round: u32,
+    /// Pass name.
+    pub pass: &'static str,
+    /// Rendered LIR before the pass.
+    pub before: String,
+    /// Rendered LIR after the pass.
+    pub after: String,
+}
+
+/// Outcome of one optimization run.
+#[derive(Debug, Clone, Default)]
+pub struct OptReport {
+    /// Fixpoint rounds executed (including the final no-change round).
+    pub rounds: u32,
+    /// Instruction count before optimization.
+    pub insts_before: usize,
+    /// Instruction count after optimization.
+    pub insts_after: usize,
+    /// Per-pass before/after snapshots (empty unless tracing).
+    pub dumps: Vec<PassDump>,
+}
+
+fn count_insts(module: &VModule) -> usize {
+    module
+        .items
+        .iter()
+        .filter(|i| matches!(i, VItem::Inst(_)))
+        .count()
+}
+
+/// A pass entry point: rewrites the module, reports whether it changed.
+type Pass = fn(&mut VModule) -> bool;
+
+/// How to run the pipeline.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct OptConfig {
+    /// Restrict the pipeline to *shape-stable* rewrites: passes whose
+    /// effect cannot depend on the value of any literal, so two
+    /// compilations differing only in a constant emit identically
+    /// shaped code. Required by single-path mode, whose contract is
+    /// that execution time does not depend on input values — including
+    /// values baked in as literals. Drops constant folding, strength
+    /// reduction, and immediate-keyed CSE; keeps structural CSE, copy
+    /// propagation and DCE.
+    pub shape_stable: bool,
+    /// Capture a per-pass before/after snapshot for every pass that
+    /// changed the module.
+    pub trace: bool,
+}
+
+fn run_pipeline(module: &mut VModule, config: OptConfig) -> OptReport {
+    let full: &[(&'static str, Pass)] = &[
+        ("const-prop", constprop::run),
+        ("strength-reduce", strength::run),
+        ("cse", cse::run),
+        ("copy-prop", copyprop::run),
+        ("dce", dce::run),
+    ];
+    let shape_stable: &[(&'static str, Pass)] = &[
+        ("cse", cse::run_shape_stable),
+        ("copy-prop", copyprop::run),
+        ("dce", dce::run),
+    ];
+    let passes = if config.shape_stable {
+        shape_stable
+    } else {
+        full
+    };
+    let trace = config.trace;
+    let mut report = OptReport {
+        insts_before: count_insts(module),
+        ..OptReport::default()
+    };
+    for round in 1..=MAX_ROUNDS {
+        report.rounds = round;
+        let mut changed = false;
+        for &(name, pass) in passes {
+            let before = trace.then(|| module.render());
+            if pass(module) {
+                changed = true;
+                if let Some(before) = before {
+                    report.dumps.push(PassDump {
+                        round,
+                        pass: name,
+                        before,
+                        after: module.render(),
+                    });
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    report.insts_after = count_insts(module);
+    report
+}
+
+/// Runs the level-1 pipeline to a fixed point under `config`.
+pub fn optimize_with(module: &mut VModule, config: OptConfig) -> OptReport {
+    run_pipeline(module, config)
+}
+
+/// Runs the full level-1 pipeline to a fixed point.
+pub fn optimize(module: &mut VModule) -> OptReport {
+    run_pipeline(module, OptConfig::default())
+}
+
+/// Like [`optimize`], additionally capturing a per-pass before/after
+/// snapshot for every pass that changed the module (`--dump-opt`).
+pub fn optimize_traced(module: &mut VModule) -> OptReport {
+    run_pipeline(
+        module,
+        OptConfig {
+            trace: true,
+            ..OptConfig::default()
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use patmos_isa::{AluOp, Reg, SpecialReg};
+    use patmos_lir::{VInst, VOp, VReg};
+
+    fn v(id: u32) -> VReg {
+        VReg::new(id)
+    }
+
+    /// The code shape the generator emits for `return (a[1] + a[1]) * 4`
+    /// with `a[1]` spelled twice: two full address computations, a
+    /// multiply by a constant, and a chain of single-use temporaries.
+    fn redundant_module() -> VModule {
+        let mut items = vec![VItem::FuncStart("main".into())];
+        for (base, scaled, addr, val) in [(1u32, 2, 3, 4), (5, 6, 7, 8)] {
+            items.push(VItem::Inst(VInst::always(VOp::LilSym {
+                rd: v(base),
+                sym: "a".into(),
+            })));
+            items.push(VItem::Inst(VInst::always(VOp::LoadImmLow {
+                rd: v(20 + base),
+                imm: 1,
+            })));
+            items.push(VItem::Inst(VInst::always(VOp::AluI {
+                op: AluOp::Shl,
+                rd: v(scaled),
+                rs1: v(20 + base),
+                imm: 2,
+            })));
+            items.push(VItem::Inst(VInst::always(VOp::AluR {
+                op: AluOp::Add,
+                rd: v(addr),
+                rs1: v(base),
+                rs2: v(scaled),
+            })));
+            items.push(VItem::Inst(VInst::always(VOp::Load {
+                area: patmos_isa::MemArea::Static,
+                size: patmos_isa::AccessSize::Word,
+                rd: v(val),
+                ra: v(addr),
+                offset: 0,
+            })));
+        }
+        items.push(VItem::Inst(VInst::always(VOp::AluR {
+            op: AluOp::Add,
+            rd: v(9),
+            rs1: v(4),
+            rs2: v(8),
+        })));
+        items.push(VItem::Inst(VInst::always(VOp::LoadImmLow {
+            rd: v(10),
+            imm: 4,
+        })));
+        items.push(VItem::Inst(VInst::always(VOp::Mul {
+            rs1: v(9),
+            rs2: v(10),
+        })));
+        items.push(VItem::Inst(VInst::always(VOp::Mfs {
+            rd: v(11),
+            ss: SpecialReg::Sl,
+        })));
+        items.push(VItem::Inst(VInst::always(VOp::CopyToPhys {
+            dst: Reg::R1,
+            src: v(11),
+        })));
+        items.push(VItem::Inst(VInst::always(VOp::Halt)));
+        VModule {
+            data_lines: Vec::new(),
+            items,
+            entry: "main".into(),
+        }
+    }
+
+    #[test]
+    fn pipeline_reaches_a_fixed_point_and_shrinks_redundancy() {
+        let mut m = redundant_module();
+        let report = optimize(&mut m);
+        assert!(report.rounds < MAX_ROUNDS, "must converge");
+        // 16 instructions down to: lil, li 1, shl, add, load (one address
+        // computation + one load survive), add of the two loaded values
+        // (now the same register), shl by 2, mov, halt.
+        assert!(
+            report.insts_after <= 9,
+            "expected ≤ 9 instructions, got {}:\n{}",
+            report.insts_after,
+            m.render()
+        );
+        // The multiply is strength-reduced away.
+        assert!(
+            !m.items.iter().any(|i| matches!(
+                i,
+                VItem::Inst(VInst {
+                    op: VOp::Mul { .. },
+                    ..
+                })
+            )),
+            "{}",
+            m.render()
+        );
+        // The second load collapsed onto the first.
+        let loads = m
+            .items
+            .iter()
+            .filter(|i| {
+                matches!(
+                    i,
+                    VItem::Inst(VInst {
+                        op: VOp::Load { .. },
+                        ..
+                    })
+                )
+            })
+            .count();
+        assert_eq!(loads, 1, "{}", m.render());
+    }
+
+    #[test]
+    fn duplicate_constants_converge_instead_of_oscillating() {
+        // CSE rewrites the duplicate `li` into a copy; const-prop must
+        // NOT fold that copy back into a `li`, or the pair ping-pongs
+        // until the round cap. Two live uses keep both values alive.
+        let mut m = VModule {
+            data_lines: Vec::new(),
+            entry: "main".into(),
+            items: vec![
+                VItem::FuncStart("main".into()),
+                VItem::Inst(VInst::always(VOp::LoadImmLow { rd: v(1), imm: 0 })),
+                VItem::Inst(VInst::always(VOp::LoadImmLow { rd: v(2), imm: 0 })),
+                VItem::Inst(VInst::always(VOp::CopyToPhys {
+                    dst: Reg::R1,
+                    src: v(1),
+                })),
+                VItem::Inst(VInst::always(VOp::CopyToPhys {
+                    dst: Reg::R3,
+                    src: v(2),
+                })),
+                VItem::Inst(VInst::always(VOp::Halt)),
+            ],
+        };
+        let report = optimize(&mut m);
+        assert!(
+            report.rounds < MAX_ROUNDS,
+            "pipeline oscillated:\n{}",
+            m.render()
+        );
+    }
+
+    #[test]
+    fn trace_captures_only_changing_passes() {
+        let mut m = redundant_module();
+        let report = optimize_traced(&mut m);
+        assert!(!report.dumps.is_empty());
+        for dump in &report.dumps {
+            assert_ne!(dump.before, dump.after, "{} captured a no-op", dump.pass);
+        }
+        // A second run is a no-op and captures nothing.
+        let report2 = optimize_traced(&mut m);
+        assert!(report2.dumps.is_empty());
+        assert_eq!(report2.rounds, 1);
+    }
+}

@@ -1,0 +1,200 @@
+//! Strength reduction of multiplications by known constants.
+//!
+//! The code generator lowers `a * b` to the `mul rs1, rs2` /
+//! `mfs rd = sl` pair (the multiply unit writes the `sl`/`sh` special
+//! registers). When one operand is a block-local constant, the pair is
+//! replaced:
+//!
+//! * power of two → a single logical shift left (exact in wrapping
+//!   32-bit arithmetic, including by 2³¹),
+//! * `0` / `1` → an immediate load / the canonical copy,
+//! * both operands constant → the folded immediate load.
+//!
+//! The rewrite fires only when the `mfs` reading `sl` immediately
+//! follows its `mul` (the only pattern the code generator emits) and
+//! the function never reads `sh`, so deleting the `mul` cannot starve
+//! another consumer of the multiply unit.
+
+use patmos_isa::SpecialReg;
+use patmos_lir::{VItem, VModule, VOp, VReg};
+
+use crate::util::{self, copy_op, load_imm, Consts};
+use std::collections::BTreeSet;
+
+/// The replacement for `v * c` into `rd`, when one exists.
+fn reduce(rd: VReg, v: VReg, c: u32) -> Option<VOp> {
+    match c {
+        0 => Some(load_imm(rd, 0)),
+        1 => Some(copy_op(rd, v)),
+        _ if c.is_power_of_two() => Some(VOp::AluI {
+            op: patmos_isa::AluOp::Shl,
+            rd,
+            rs1: v,
+            imm: c.trailing_zeros() as i16,
+        }),
+        _ => None,
+    }
+}
+
+/// Rewrites the `mul` at item `i` / `mfs sl` at item `j` when an
+/// operand is constant, marking the `mul` for deletion.
+fn try_reduce_pair(
+    module: &mut VModule,
+    i: usize,
+    j: usize,
+    consts: &Consts,
+    marked: &mut BTreeSet<usize>,
+) {
+    let (VItem::Inst(mul), VItem::Inst(mfs)) = (&module.items[i], &module.items[j]) else {
+        return;
+    };
+    let (VOp::Mul { rs1, rs2 }, true) = (&mul.op, mul.guard.is_always()) else {
+        return;
+    };
+    let (
+        VOp::Mfs {
+            rd,
+            ss: SpecialReg::Sl,
+        },
+        true,
+    ) = (&mfs.op, mfs.guard.is_always())
+    else {
+        return;
+    };
+    let (rd, rs1, rs2) = (*rd, *rs1, *rs2);
+    let replacement = match (consts.get(rs1), consts.get(rs2)) {
+        (Some(a), Some(b)) => Some(load_imm(rd, (a as i32).wrapping_mul(b as i32) as u32)),
+        (Some(a), None) => reduce(rd, rs2, a),
+        (None, Some(b)) => reduce(rd, rs1, b),
+        (None, None) => None,
+    };
+    if let Some(new_op) = replacement {
+        let VItem::Inst(mfs) = &mut module.items[j] else {
+            unreachable!();
+        };
+        mfs.op = new_op;
+        marked.insert(i);
+    }
+}
+
+/// Runs the pass over every block of the module.
+pub(crate) fn run(module: &mut VModule) -> bool {
+    let mut marked: BTreeSet<usize> = BTreeSet::new();
+    for fb in util::function_blocks(&module.items) {
+        // A consumer of `sh` would observe the deleted `mul`.
+        let reads_sh = module.items[fb.range.clone()].iter().any(|item| {
+            matches!(
+                item,
+                VItem::Inst(patmos_lir::VInst {
+                    op: VOp::Mfs {
+                        ss: SpecialReg::Sh,
+                        ..
+                    },
+                    ..
+                })
+            )
+        });
+        if reads_sh {
+            continue;
+        }
+        for block in fb.blocks {
+            let mut consts = Consts::default();
+            for (w, &i) in block.iter().enumerate() {
+                if let Some(&j) = block.get(w + 1) {
+                    try_reduce_pair(module, i, j, &consts, &mut marked);
+                }
+                // A deleted `mul` defines nothing; a rewritten `mfs` is
+                // tracked in its new (possibly constant-loading) form.
+                let VItem::Inst(inst) = &module.items[i] else {
+                    unreachable!("blocks contain instruction indices only");
+                };
+                consts.update(inst);
+            }
+        }
+    }
+    let changed = !marked.is_empty();
+    util::remove_marked(&mut module.items, &marked);
+    changed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use patmos_isa::AluOp;
+    use patmos_lir::VInst;
+
+    fn v(id: u32) -> VReg {
+        VReg::new(id)
+    }
+
+    fn mul_by_const(c: u16) -> VModule {
+        VModule {
+            data_lines: Vec::new(),
+            entry: "main".into(),
+            items: vec![
+                VItem::FuncStart("main".into()),
+                VItem::Inst(VInst::always(VOp::LoadImmLow { rd: v(1), imm: c })),
+                VItem::Inst(VInst::always(VOp::Mul {
+                    rs1: v(2),
+                    rs2: v(1),
+                })),
+                VItem::Inst(VInst::always(VOp::Mfs {
+                    rd: v(3),
+                    ss: SpecialReg::Sl,
+                })),
+                VItem::Inst(VInst::always(VOp::Halt)),
+            ],
+        }
+    }
+
+    #[test]
+    fn power_of_two_becomes_shift() {
+        let mut m = mul_by_const(8);
+        assert!(run(&mut m));
+        assert_eq!(m.items.len(), 4, "the mul is gone");
+        assert!(matches!(
+            &m.items[2],
+            VItem::Inst(VInst {
+                op: VOp::AluI {
+                    op: AluOp::Shl,
+                    imm: 3,
+                    ..
+                },
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn non_power_of_two_is_kept() {
+        let mut m = mul_by_const(7);
+        assert!(!run(&mut m));
+        assert_eq!(m.items.len(), 5);
+    }
+
+    #[test]
+    fn sh_reader_blocks_the_rewrite() {
+        let mut m = mul_by_const(8);
+        m.items.insert(
+            4,
+            VItem::Inst(VInst::always(VOp::Mfs {
+                rd: v(4),
+                ss: SpecialReg::Sh,
+            })),
+        );
+        assert!(!run(&mut m));
+    }
+
+    #[test]
+    fn mul_by_one_becomes_copy() {
+        let mut m = mul_by_const(1);
+        assert!(run(&mut m));
+        assert_eq!(
+            crate::util::as_copy(match &m.items[2] {
+                VItem::Inst(i) => &i.op,
+                _ => unreachable!(),
+            }),
+            Some((v(3), v(2)))
+        );
+    }
+}

@@ -1,15 +1,21 @@
 //! Command-line driver for the Patmos toolchain.
 //!
 //! ```text
-//! patmos-cli compile <file.patc> [--single-path] [--no-if-convert] [--single-issue] [--dump-lir]
+//! patmos-cli compile <file.patc> [--single-path] [--no-if-convert] [--single-issue]
+//!                                [--opt-level N] [--dump-lir] [--dump-opt] [--dump-cfg]
 //! patmos-cli asm     <file.pasm>
 //! patmos-cli disasm  <file.pasm | file.patc>
-//! patmos-cli run     <file.pasm | file.patc> [--single-issue] [--non-strict] [--stats] [--dump-lir]
-//! patmos-cli wcet    <file.pasm | file.patc>
+//! patmos-cli run     <file.pasm | file.patc> [--single-issue] [--non-strict] [--stats]
+//!                                [--opt-level N] [--dump-lir] [--dump-opt] [--dump-cfg]
+//! patmos-cli wcet    <file.pasm | file.patc> [--opt-level N]
 //! ```
 //!
-//! `--dump-lir` prints the compiler's virtual-register LIR and the
-//! register allocator's per-function report before the usual output;
+//! `--opt-level N` selects the mid-end pipeline (0 = straight lowering,
+//! 1 = the default `patmos-opt` pass pipeline). `--dump-lir` prints the
+//! compiler's virtual-register LIR and the register allocator's
+//! per-function report before the usual output; `--dump-opt` prints
+//! each optimization pass's before/after LIR; `--dump-cfg` emits the
+//! per-function virtual-LIR control-flow graph as Graphviz DOT.
 //! `--stats` extends `run` with the full counter set, including the
 //! per-cause stall breakdown and executed stack-cache operations.
 //!
@@ -31,14 +37,18 @@ struct Args {
     no_if_convert: bool,
     single_issue: bool,
     non_strict: bool,
+    opt_level: u8,
     dump_lir: bool,
+    dump_opt: bool,
+    dump_cfg: bool,
     stats: bool,
 }
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage: patmos-cli <compile|asm|disasm|run|wcet> <file.patc|file.pasm> \
-         [--single-path] [--no-if-convert] [--single-issue] [--non-strict] [--dump-lir] [--stats]"
+         [--single-path] [--no-if-convert] [--single-issue] [--non-strict] [--opt-level N] \
+         [--dump-lir] [--dump-opt] [--dump-cfg] [--stats]"
     );
     ExitCode::from(2)
 }
@@ -52,16 +62,29 @@ fn parse_args() -> Option<Args> {
         no_if_convert: false,
         single_issue: false,
         non_strict: false,
+        opt_level: CompileOptions::default().opt_level,
         dump_lir: false,
+        dump_opt: false,
+        dump_cfg: false,
         stats: false,
     };
-    for arg in std::env::args().skip(1) {
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
         match arg.as_str() {
             "--single-path" => args.single_path = true,
             "--no-if-convert" => args.no_if_convert = true,
             "--single-issue" => args.single_issue = true,
             "--non-strict" => args.non_strict = true,
+            "--opt-level" => {
+                let Some(level) = argv.next().and_then(|v| v.parse::<u8>().ok()) else {
+                    eprintln!("--opt-level expects a small integer");
+                    return None;
+                };
+                args.opt_level = level;
+            }
             "--dump-lir" => args.dump_lir = true,
+            "--dump-opt" => args.dump_opt = true,
+            "--dump-cfg" => args.dump_cfg = true,
             "--stats" => args.stats = true,
             flag if flag.starts_with("--") => {
                 eprintln!("unknown flag `{flag}`");
@@ -78,16 +101,26 @@ fn parse_args() -> Option<Args> {
     Some(args)
 }
 
+impl Args {
+    fn compile_options(&self) -> CompileOptions {
+        CompileOptions {
+            dual_issue: !self.single_issue,
+            if_convert: !self.no_if_convert,
+            single_path: self.single_path,
+            opt_level: self.opt_level,
+            ..CompileOptions::default()
+        }
+    }
+
+    fn wants_dump(&self) -> bool {
+        self.dump_lir || self.dump_opt || self.dump_cfg
+    }
+}
+
 fn load_image(args: &Args) -> Result<ObjectImage, String> {
     let source = std::fs::read_to_string(&args.path).map_err(|e| format!("{}: {e}", args.path))?;
     if args.path.ends_with(".patc") {
-        let options = CompileOptions {
-            dual_issue: !args.single_issue,
-            if_convert: !args.no_if_convert,
-            single_path: args.single_path,
-            ..CompileOptions::default()
-        };
-        patmos::compiler::compile(&source, &options).map_err(|e| e.to_string())
+        patmos::compiler::compile(&source, &args.compile_options()).map_err(|e| e.to_string())
     } else {
         patmos::asm::assemble(&source).map_err(|e| e.to_string())
     }
@@ -119,14 +152,9 @@ fn main() -> ExitCode {
 
 fn cmd_compile(args: &Args) -> Result<(), String> {
     let source = std::fs::read_to_string(&args.path).map_err(|e| format!("{}: {e}", args.path))?;
-    let options = CompileOptions {
-        dual_issue: !args.single_issue,
-        if_convert: !args.no_if_convert,
-        single_path: args.single_path,
-        ..CompileOptions::default()
-    };
-    if args.dump_lir {
-        dump_lir(&source, &options)?;
+    let options = args.compile_options();
+    if args.wants_dump() {
+        dump_artifacts(&source, &options, args)?;
         return Ok(());
     }
     let asm = patmos::compiler::compile_to_asm(&source, &options).map_err(|e| e.to_string())?;
@@ -134,16 +162,41 @@ fn cmd_compile(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-/// Prints the virtual-register LIR and the allocation report.
-fn dump_lir(source: &str, options: &CompileOptions) -> Result<(), String> {
+/// Prints the requested intermediate artefacts: the optimizer's
+/// per-pass trace (`--dump-opt`), the CFG as Graphviz DOT
+/// (`--dump-cfg`), and/or the virtual LIR plus allocation report and
+/// scheduled assembly (`--dump-lir`).
+fn dump_artifacts(source: &str, options: &CompileOptions, args: &Args) -> Result<(), String> {
     let artifacts =
         patmos::compiler::compile_with_artifacts(source, options).map_err(|e| e.to_string())?;
-    println!("=== virtual LIR (before register allocation) ===");
-    print!("{}", artifacts.vlir);
-    println!("=== register allocation ===");
-    print!("{}", artifacts.allocation);
-    println!("=== scheduled assembly ===");
-    print!("{}", artifacts.asm);
+    if args.dump_opt {
+        match &artifacts.opt {
+            Some(report) => {
+                println!(
+                    "=== optimizer: {} -> {} instructions in {} round(s) ===",
+                    report.insts_before, report.insts_after, report.rounds
+                );
+                for dump in &report.dumps {
+                    println!("--- round {} / {}: before ---", dump.round, dump.pass);
+                    print!("{}", dump.before);
+                    println!("--- round {} / {}: after ---", dump.round, dump.pass);
+                    print!("{}", dump.after);
+                }
+            }
+            None => println!("=== optimizer disabled (opt-level 0) ==="),
+        }
+    }
+    if args.dump_cfg {
+        print!("{}", patmos::lir::dot::render(&artifacts.vmodule));
+    }
+    if args.dump_lir {
+        println!("=== virtual LIR (before register allocation) ===");
+        print!("{}", artifacts.vlir);
+        println!("=== register allocation ===");
+        print!("{}", artifacts.allocation);
+        println!("=== scheduled assembly ===");
+        print!("{}", artifacts.asm);
+    }
     Ok(())
 }
 
@@ -180,16 +233,10 @@ fn cmd_disasm(args: &Args) -> Result<(), String> {
 }
 
 fn cmd_run(args: &Args) -> Result<(), String> {
-    if args.dump_lir && args.path.ends_with(".patc") {
+    if args.wants_dump() && args.path.ends_with(".patc") {
         let source =
             std::fs::read_to_string(&args.path).map_err(|e| format!("{}: {e}", args.path))?;
-        let options = CompileOptions {
-            dual_issue: !args.single_issue,
-            if_convert: !args.no_if_convert,
-            single_path: args.single_path,
-            ..CompileOptions::default()
-        };
-        dump_lir(&source, &options)?;
+        dump_artifacts(&source, &args.compile_options(), args)?;
     }
     let image = load_image(args)?;
     let config = SimConfig {

@@ -18,8 +18,12 @@
 //!   built-in simplex solver);
 //! * [`compiler`] — the PatC compiler: virtual-register codegen,
 //!   if-conversion, single-path transformation, VLIW scheduling;
+//! * [`lir`] — the shared virtual-register LIR with CFG construction
+//!   and liveness dataflow, consumed by the mid-end and the backend;
+//! * [`opt`] — the mid-end optimizer: const-prop, strength reduction,
+//!   CSE, copy-prop and DCE over the virtual LIR;
 //! * [`regalloc`] — liveness-driven linear-scan register allocation
-//!   between code generation and scheduling;
+//!   between the mid-end and scheduling;
 //! * [`workloads`] — the benchmark kernels used by the experiments.
 //!
 //! # Quickstart
@@ -52,7 +56,9 @@ pub use patmos_asm as asm;
 pub use patmos_baseline as baseline;
 pub use patmos_compiler as compiler;
 pub use patmos_isa as isa;
+pub use patmos_lir as lir;
 pub use patmos_mem as mem;
+pub use patmos_opt as opt;
 pub use patmos_regalloc as regalloc;
 pub use patmos_rf as rf;
 pub use patmos_sim as sim;

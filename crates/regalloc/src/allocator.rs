@@ -25,10 +25,10 @@ use std::fmt;
 
 use patmos_isa::{AccessSize, AluOp, Guard, MemArea, Op, Reg, LINK_REG};
 
-use crate::cfg::{build_vcfg, split_functions, FuncCode};
 use crate::lir::{Item, LirInst, LirOp, Module};
-use crate::liveness::{self, Interval};
-use crate::vlir::{VItem, VModule, VOp, VReg};
+use patmos_lir::cfg::{build_vcfg, split_functions, FuncCode};
+use patmos_lir::liveness::{self, Interval};
+use patmos_lir::vlir::{VItem, VModule, VOp, VReg};
 
 /// First register of the allocatable pool.
 pub const POOL_FIRST: u8 = 7;
@@ -421,7 +421,7 @@ impl<'a> FuncAllocator<'a> {
     /// Rewrites a non-call, non-terminator instruction: reloads spilled
     /// operands into scratch registers, maps the rest, and stores a
     /// spilled definition back to its slot under the original guard.
-    fn rewrite_plain(&self, vinst: &crate::vlir::VInst, out: &mut Vec<Item>) {
+    fn rewrite_plain(&self, vinst: &patmos_lir::vlir::VInst, out: &mut Vec<Item>) {
         // Fast paths: ABI copies touching a spilled value become a
         // single stack access instead of reload-plus-move.
         match vinst.op {

@@ -1,7 +1,7 @@
 //! Liveness-driven register allocation for the PatC compiler backend.
 //!
 //! The compiler's code generator emits LIR over an unbounded supply of
-//! virtual registers ([`vlir`]); this crate maps that code onto the
+//! virtual registers ([`patmos_lir::vlir`]); this crate maps that code onto the
 //! physical Patmos register file and produces the physical LIR
 //! ([`lir`]) that the VLIW scheduler consumes:
 //!
@@ -9,9 +9,10 @@
 //! codegen ──VModule──▶ allocate() ──Module──▶ scheduler ──▶ assembler
 //! ```
 //!
-//! The allocator builds a small CFG per function ([`cfg`]), runs
-//! backward liveness dataflow ([`liveness`]), and assigns registers with
-//! a deterministic linear scan ([`allocator`]):
+//! The allocator builds a small CFG per function and runs backward
+//! liveness dataflow (both shared with the mid-end via [`patmos_lir`]),
+//! then assigns registers with a deterministic linear scan
+//! ([`allocator`]):
 //!
 //! * locals and temporaries live in registers `r7`–`r28`; spill slots in
 //!   the stack cache are used only when more than 22 values are live at
@@ -49,14 +50,17 @@
 //! ```
 
 pub mod allocator;
-pub mod cfg;
 pub mod lir;
-pub mod liveness;
-pub mod vlir;
+
+/// Re-exported from [`patmos_lir`]: the shared CFG construction.
+pub use patmos_lir::cfg;
+/// Re-exported from [`patmos_lir`]: the shared liveness dataflow.
+pub use patmos_lir::liveness;
+/// Re-exported from [`patmos_lir`]: the shared virtual-register LIR.
+pub use patmos_lir::vlir;
 
 pub use allocator::{allocate, AllocError, AllocReport, FuncAlloc};
-pub use liveness::Interval;
-pub use vlir::{VInst, VItem, VModule, VOp, VReg};
+pub use patmos_lir::{Interval, VInst, VItem, VModule, VOp, VReg};
 
 #[cfg(test)]
 mod tests {

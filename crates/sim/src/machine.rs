@@ -417,8 +417,11 @@ impl Simulator {
         self.now += issue_cycles;
         self.bundle_index += 1;
         self.stats.bundles += 1;
-        if let Some(second) = bundle.second() {
-            if !matches!(second.op, Op::Nop) {
+        // The second slot counts as used only when it actually executes:
+        // an annulled (false-guard) operation occupies the slot but does
+        // no work, exactly like an encoded `nop`.
+        if let Some((inst, guard_true, _)) = slot_ops.get(1) {
+            if !matches!(inst.op, Op::Nop) && *guard_true {
                 self.stats.second_slots_used += 1;
             }
         }
@@ -957,6 +960,52 @@ mod tests {
         // returns hit.
         assert_eq!(result.stats.method_cache.misses, 2);
         assert_eq!(result.stats.method_cache.hits, 3);
+    }
+
+    #[test]
+    fn counters_are_pinned_on_a_predicated_dual_issue_program() {
+        // p1 is true, p2 is false: one second slot executes, one is
+        // annulled, one guarded store is annulled. Every counter value
+        // below is architectural, not incidental — annulled slots must
+        // not count as used second slots, executed instructions, or
+        // stack operations.
+        let (sim, result) = run_src(
+            "        .func main
+        li r1 = 5
+        cmpieq p1 = r1, 5
+        cmpieq p2 = r1, 4
+        { (p1) addi r2 = r1, 1 ; (p2) addi r3 = r1, 2 }
+        { (p2) addi r4 = r1, 3 ; (p1) addi r5 = r1, 4 }
+        sres 2
+        sws [r0 + 0] = r2
+        (p2) sws [r0 + 1] = r3
+        lws r6 = [r0 + 0]
+        nop
+        sfree 2
+        halt
+",
+        );
+        assert_eq!(sim.reg(Reg::R2), 6);
+        assert_eq!(sim.reg(Reg::R3), 0, "annulled second slot");
+        assert_eq!(sim.reg(Reg::R4), 0, "annulled first slot");
+        assert_eq!(sim.reg(Reg::R5), 9, "executed second slot");
+        assert_eq!(sim.reg(Reg::R6), 6);
+        let s = result.stats;
+        assert_eq!(s.bundles, 12);
+        assert_eq!(
+            s.second_slots_used, 1,
+            "only the guard-true second slot counts"
+        );
+        assert_eq!(
+            s.insts_executed, 10,
+            "li, 2 cmp, 2 adds, sres, sws, lws, sfree, halt"
+        );
+        assert_eq!(
+            s.insts_annulled, 3,
+            "two bundle slots and the guarded store"
+        );
+        assert_eq!(s.stack_ops, 2, "the annulled store moves no data");
+        assert_eq!(s.nops, 1);
     }
 
     #[test]

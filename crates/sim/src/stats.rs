@@ -67,7 +67,8 @@ pub struct Stats {
     /// `nop`s issued (explicit plus empty second slots count as zero —
     /// only encoded `nop` operations).
     pub nops: u64,
-    /// Bundles whose second slot held a real (non-`nop`) operation.
+    /// Bundles whose second slot *executed* a real (non-`nop`)
+    /// operation — slots annulled by a false guard do not count.
     pub second_slots_used: u64,
     /// Taken control transfers.
     pub taken_branches: u64,

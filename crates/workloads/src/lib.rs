@@ -676,6 +676,59 @@ pub fn expintish() -> Workload {
     }
 }
 
+/// `stencil2d`: a 5-point stencil over an 8×8 grid with a threshold
+/// branch — every inner iteration spells the centre index `i * 8 + j`
+/// five times, so the kernel is dominated by exactly the redundant
+/// address arithmetic the mid-end's CSE and strength reduction remove.
+pub fn stencil2d() -> Workload {
+    let g: Vec<i32> = lcg(0x57E2, 64).iter().map(|v| v % 1000).collect();
+    let mut acc = 0i64;
+    for i in 1..7usize {
+        for j in 1..7usize {
+            let centre = g[i * 8 + j];
+            let c = (centre * 4
+                + g[i * 8 + j - 1]
+                + g[i * 8 + j + 1]
+                + g[(i - 1) * 8 + j]
+                + g[(i + 1) * 8 + j])
+                / 8;
+            if c > centre {
+                acc += (c - centre) as i64;
+            }
+        }
+    }
+    let source = format!(
+        "int g[64] = {{{init}}};
+int edges[64];
+int main() {{
+    int i;
+    int j;
+    int c;
+    int acc = 0;
+    for (i = 1; i < 7; i = i + 1) bound(6) {{
+        for (j = 1; j < 7; j = j + 1) bound(6) {{
+            c = (g[i * 8 + j] * 4 + g[i * 8 + j - 1] + g[i * 8 + j + 1]
+                 + g[(i - 1) * 8 + j] + g[(i + 1) * 8 + j]) / 8;
+            if (c > g[i * 8 + j]) {{
+                edges[i * 8 + j] = c - g[i * 8 + j];
+            }} else {{
+                edges[i * 8 + j] = 0;
+            }}
+            acc = acc + edges[i * 8 + j];
+        }}
+    }}
+    return acc;
+}}",
+        init = array_literal(&g)
+    );
+    Workload {
+        name: "stencil2d",
+        source,
+        expected: acc as u32,
+        category: Category::Branchy,
+    }
+}
+
 pub use micro::pressure_fir8;
 
 /// All kernels.
@@ -697,6 +750,7 @@ pub fn all() -> Vec<Workload> {
         ns(),
         lcdnum(),
         expintish(),
+        stencil2d(),
         pressure_fir8(),
     ]
 }

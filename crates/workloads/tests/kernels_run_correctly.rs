@@ -56,6 +56,28 @@ fn kernels_match_reference_single_issue() {
 }
 
 #[test]
+fn stencil_kernel_is_correct_and_profits_from_the_mid_end() {
+    // The 2-D stencil re-spells `i * 8 + j` five times per iteration;
+    // it must be correct in strict mode at both optimization levels,
+    // and the mid-end must visibly pay for itself on it.
+    let w = patmos_workloads::stencil2d();
+    let (got_o0, cycles_o0) = run_with(
+        &w.source,
+        &CompileOptions {
+            opt_level: 0,
+            ..CompileOptions::default()
+        },
+    );
+    let (got_o1, cycles_o1) = run_with(&w.source, &CompileOptions::default());
+    assert_eq!(got_o0, w.expected, "stencil2d wrong at opt-level 0");
+    assert_eq!(got_o1, w.expected, "stencil2d wrong at opt-level 1");
+    assert!(
+        cycles_o1 * 10 <= cycles_o0 * 9,
+        "mid-end must cut at least 10% off the stencil: {cycles_o0} -> {cycles_o1}"
+    );
+}
+
+#[test]
 fn register_pressure_kernel_stays_in_registers() {
     // The unrolled FIR-8 keeps >10 values live at once; the allocator
     // must still fit the window in registers: correct result, strict

@@ -65,6 +65,50 @@ fn bound_covers_observed_across_configs_and_kernels() {
 }
 
 #[test]
+fn bound_covers_observed_at_every_opt_level() {
+    // The mid-end rewrites the code the IPET analysis sees; soundness
+    // must survive it. Sweep the whole suite at every optimization
+    // level, in both branching and single-path mode.
+    for opt_level in [0u8, 1] {
+        for single_path in [false, true] {
+            for w in patmos::workloads::all() {
+                let options = CompileOptions {
+                    opt_level,
+                    single_path,
+                    ..CompileOptions::default()
+                };
+                let image = match compile(&w.source, &options) {
+                    Ok(image) => image,
+                    // Some kernels legitimately reject single-path
+                    // conversion (calls inside converted regions).
+                    Err(_) if single_path => continue,
+                    Err(e) => panic!("O{opt_level}/{}: compile failed: {e}", w.name),
+                };
+                let report = analyze(&image, &Machine::Patmos(SimConfig::default()))
+                    .unwrap_or_else(|e| panic!("O{opt_level}/{}: analysis failed: {e}", w.name));
+                let mut sim = Simulator::new(&image, SimConfig::default());
+                let run = sim
+                    .run()
+                    .unwrap_or_else(|e| panic!("O{opt_level}/{}: run failed: {e}", w.name));
+                assert_eq!(
+                    sim.reg(patmos::isa::Reg::R1),
+                    w.expected,
+                    "O{opt_level}/single_path={single_path}/{}: wrong result",
+                    w.name
+                );
+                assert!(
+                    report.bound_cycles >= run.stats.cycles,
+                    "O{opt_level}/single_path={single_path}/{}: bound {} < observed {}",
+                    w.name,
+                    report.bound_cycles,
+                    run.stats.cycles
+                );
+            }
+        }
+    }
+}
+
+#[test]
 fn patmos_bounds_are_reasonably_tight_on_default_config() {
     // Tightness is the paper's selling point; enforce a global sanity
     // ceiling on the pessimism ratio for the default machine.
