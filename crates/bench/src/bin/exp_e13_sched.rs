@@ -1,0 +1,11 @@
+//! Regenerates experiment E13 (DAG scheduler vs run scheduler).
+//!
+//! With `--json`, re-emits `baselines/sched_cycles.json` with fresh
+//! measurements instead of the human-readable table.
+fn main() {
+    if std::env::args().any(|a| a == "--json") {
+        print!("{}", patmos_bench::sched_baseline_json());
+    } else {
+        print!("{}", patmos_bench::exp_e13_sched());
+    }
+}

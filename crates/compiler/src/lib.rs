@@ -40,8 +40,11 @@
 //! ([`patmos_regalloc`]: physical register assignment, minimal spill
 //! code, the `sres`/`sens`/`sfree` frame protocol sized to the slots
 //! actually used) → optional if-conversion or full single-path
-//! conversion → VLIW list scheduling (bundle pairing, visible-delay
-//! respecting) → Patmos assembly text → [`patmos_asm::assemble`].
+//! conversion → VLIW scheduling ([`patmos_sched`]: per-block
+//! dependence DAGs, critical-path list scheduling, dual-issue packing
+//! and delay-slot filling, controlled by
+//! [`CompileOptions::sched_level`]) → Patmos assembly text →
+//! [`patmos_asm::assemble`].
 //!
 //! # Example
 //!
@@ -89,11 +92,21 @@ pub struct CompileOptions {
     /// CSE, copy-prop, DCE to a fixed point) between code generation
     /// and register allocation.
     pub opt_level: u8,
+    /// Scheduler level: `0` runs the historical run scheduler (pairs
+    /// textually adjacent operations, `nop`-fills every delay slot —
+    /// bit-for-bit the pre-DAG pipeline), `1` runs the [`patmos_sched`]
+    /// dependence-DAG scheduler (critical-path list scheduling,
+    /// dual-issue packing, branch delay-slot filling). Both are
+    /// shape-stable: scheduling decisions never depend on operand
+    /// values, so single-path timing stays input-independent at every
+    /// level.
+    pub sched_level: u8,
 }
 
 impl Default for CompileOptions {
     /// Dual issue on, if-conversion on (threshold 4), single-path off,
-    /// mid-end optimizer on (`opt_level` 1).
+    /// mid-end optimizer on (`opt_level` 1), DAG scheduler on
+    /// (`sched_level` 1).
     fn default() -> CompileOptions {
         CompileOptions {
             dual_issue: true,
@@ -101,6 +114,7 @@ impl Default for CompileOptions {
             if_convert_threshold: 4,
             single_path: false,
             opt_level: 1,
+            sched_level: 1,
         }
     }
 }
@@ -159,6 +173,24 @@ fn opt_config(options: &CompileOptions, trace: bool) -> patmos_opt::OptConfig {
     }
 }
 
+/// Runs the scheduler stage selected by
+/// [`CompileOptions::sched_level`]; the report is `None` at level 0
+/// (the run scheduler keeps no per-block accounting).
+fn run_scheduler(
+    lir: lir::Module,
+    options: &CompileOptions,
+) -> (sched::ScheduledModule, Option<patmos_sched::SchedReport>) {
+    if options.sched_level == 0 {
+        (sched::schedule(lir, options), None)
+    } else {
+        let sched_options = patmos_sched::SchedOptions {
+            dual_issue: options.dual_issue,
+        };
+        let (module, report) = patmos_sched::schedule_with_report(lir, &sched_options);
+        (module, Some(report))
+    }
+}
+
 /// Compiles PatC source to Patmos assembly text.
 ///
 /// # Errors
@@ -173,7 +205,7 @@ pub fn compile_to_asm(source: &str, options: &CompileOptions) -> Result<String, 
         patmos_opt::optimize_with(&mut vlir, opt_config(options, false));
     }
     let (lir, _) = patmos_regalloc::allocate(&vlir)?;
-    let scheduled = sched::schedule(lir, options);
+    let (scheduled, _) = run_scheduler(lir, options);
     Ok(sched::emit(&scheduled))
 }
 
@@ -190,6 +222,9 @@ pub struct CompileArtifacts {
     pub opt: Option<patmos_opt::OptReport>,
     /// The register allocator's per-function report.
     pub allocation: AllocReport,
+    /// The DAG scheduler's per-block report (`None` at `sched_level`
+    /// 0).
+    pub sched: Option<patmos_sched::SchedReport>,
     /// The scheduled assembly text.
     pub asm: String,
 }
@@ -210,12 +245,13 @@ pub fn compile_with_artifacts(
         .then(|| patmos_opt::optimize_with(&mut vlir, opt_config(options, true)));
     let rendered = vlir.render();
     let (lir, allocation) = patmos_regalloc::allocate(&vlir)?;
-    let scheduled = sched::schedule(lir, options);
+    let (scheduled, sched_report) = run_scheduler(lir, options);
     Ok(CompileArtifacts {
         vmodule: vlir,
         vlir: rendered,
         opt,
         allocation,
+        sched: sched_report,
         asm: sched::emit(&scheduled),
     })
 }
@@ -247,6 +283,6 @@ pub fn compile_stats(
         patmos_opt::optimize_with(&mut vlir, opt_config(options, false));
     }
     let (lir, _) = patmos_regalloc::allocate(&vlir)?;
-    let scheduled = sched::schedule(lir, options);
+    let (scheduled, _) = run_scheduler(lir, options);
     Ok(scheduled.bundle_stats())
 }

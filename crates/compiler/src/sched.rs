@@ -1,82 +1,27 @@
-//! VLIW list scheduler and assembly emission.
+//! Scheduling entry point and assembly emission — the thin final layer
+//! of the compiler.
 //!
-//! Code generation produces a naive linear sequence; this pass makes it
-//! *legal* and *fast* under the visible-delay contract of
-//! [`patmos_isa::timing`]:
+//! The bundle/item output types come from [`patmos_sched`] (re-exported
+//! here), which also hosts the default dependence-DAG scheduler
+//! ([`CompileOptions::sched_level`] ≥ 1: critical-path list scheduling,
+//! dual-issue packing, delay-slot filling). This module keeps two
+//! things:
 //!
-//! * register/predicate dependences get the required bundle gaps
-//!   (ALU results one bundle, loads two, `mul`→`mfs` two), with `nop`
-//!   bundles inserted only when no independent work is available;
-//! * independent operations are paired into dual-issue bundles (slot-two
-//!   legality respected) when [`crate::CompileOptions::dual_issue`] is on;
-//! * every control transfer is followed by its architectural delay
-//!   slots.
-//!
-//! The scheduler never reorders memory or stack-control operations
-//! relative to each other.
+//! * [`schedule`] — the historical *run* scheduler, selected by
+//!   `sched_level` 0 to reproduce the pre-DAG pipeline exactly: it
+//!   pairs textually adjacent independent operations and fills every
+//!   branch and load shadow with `nop`s;
+//! * [`emit`] — rendering a [`ScheduledModule`] as assembler text.
 
 use patmos_isa::Op;
+pub use patmos_sched::dag::dependence_gap;
+pub use patmos_sched::{SchedBundle, SchedItem, ScheduledModule};
 
 use crate::lir::{Item, LirInst, LirOp, Module};
 use crate::CompileOptions;
 
-/// A scheduled bundle: one or two instructions.
-#[derive(Debug, Clone)]
-pub struct SchedBundle {
-    /// Slot one.
-    pub first: LirInst,
-    /// Slot two, if paired.
-    pub second: Option<LirInst>,
-}
-
-/// Items after scheduling.
-#[derive(Debug, Clone)]
-pub enum SchedItem {
-    /// `.func` marker.
-    FuncStart(String),
-    /// A label.
-    Label(String),
-    /// A loop-bound annotation.
-    LoopBound {
-        /// Minimum header executions.
-        min: u32,
-        /// Maximum header executions.
-        max: u32,
-    },
-    /// An issued bundle.
-    Bundle(SchedBundle),
-}
-
-/// A scheduled module ready for emission.
-#[derive(Debug, Clone)]
-pub struct ScheduledModule {
-    /// Data directive lines.
-    pub data_lines: Vec<String>,
-    /// Scheduled code items.
-    pub items: Vec<SchedItem>,
-    /// Entry function name.
-    pub entry: String,
-}
-
-impl ScheduledModule {
-    /// Counts bundles and filled second slots (for the scheduler
-    /// experiments).
-    pub fn bundle_stats(&self) -> (usize, usize) {
-        let mut bundles = 0;
-        let mut filled = 0;
-        for item in &self.items {
-            if let SchedItem::Bundle(b) = item {
-                bundles += 1;
-                if b.second.is_some() {
-                    filled += 1;
-                }
-            }
-        }
-        (bundles, filled)
-    }
-}
-
-/// Schedules a module.
+/// Schedules a module with the historical run scheduler
+/// (`sched_level` 0).
 pub fn schedule(module: Module, options: &CompileOptions) -> ScheduledModule {
     let mut items = Vec::new();
     let mut run: Vec<LirInst> = Vec::new();
@@ -279,78 +224,6 @@ fn schedule_run(run: Vec<LirInst>, options: &CompileOptions, out: &mut Vec<Sched
         residue = residue.max((b + gap).saturating_sub(total));
     }
     residue
-}
-
-/// The minimum bundle gap from `a` (earlier) to `b` (later), or `None`
-/// when they are independent.
-fn dependence_gap(a: &LirInst, b: &LirInst) -> Option<u32> {
-    let mut gap: Option<u32> = None;
-    let mut need = |g: u32| gap = Some(gap.map_or(g, |old: u32| old.max(g)));
-
-    // Memory/stack-control order is preserved.
-    if a.op.is_ordered() && b.op.is_ordered() {
-        need(1);
-    }
-    // Calls are barriers: nothing moves across them.
-    if matches!(a.op, LirOp::CallFunc(_)) || matches!(b.op, LirOp::CallFunc(_)) {
-        need(1);
-    }
-
-    // Register RAW/WAW/WAR.
-    if let Some(d) = a.op.def() {
-        if b.op.uses().into_iter().flatten().any(|u| u == d) {
-            need(a.op.def_gap());
-        }
-        if b.op.def() == Some(d) {
-            need(1);
-        }
-    }
-    if let Some(d) = b.op.def() {
-        if a.op.uses().into_iter().flatten().any(|u| u == d) {
-            need(0); // same bundle is fine: reads see pre-state
-        }
-    }
-
-    // Predicate RAW/WAW/WAR, including guards.
-    let b_pred_reads = || {
-        b.op.pred_uses()
-            .into_iter()
-            .flatten()
-            .chain((!b.guard.is_always()).then_some(b.guard.pred))
-    };
-    if let Some(d) = a.op.pred_def() {
-        if b_pred_reads().any(|p| p == d) {
-            need(1);
-        }
-        if b.op.pred_def() == Some(d) {
-            need(1);
-        }
-    }
-    if let Some(d) = b.op.pred_def() {
-        let a_reads =
-            a.op.pred_uses()
-                .into_iter()
-                .flatten()
-                .chain((!a.guard.is_always()).then_some(a.guard.pred));
-        for p in a_reads {
-            if p == d {
-                need(0);
-            }
-        }
-    }
-
-    // Multiplier unit.
-    if a.op.writes_mul() && b.op.reads_mul() {
-        need(1 + patmos_isa::timing::MUL_GAP);
-    }
-    if a.op.writes_mul() && b.op.writes_mul() {
-        need(1);
-    }
-    if a.op.reads_mul() && b.op.writes_mul() {
-        need(0);
-    }
-
-    gap
 }
 
 /// Renders a scheduled module as assembler source.

@@ -1,0 +1,271 @@
+//! Differential property test of the DAG scheduler: every generated
+//! program is compiled at `sched_level` 0 (the historical run
+//! scheduler) and `sched_level` 1 (dependence-DAG list scheduling with
+//! delay-slot filling), across dual-issue on/off and single-path
+//! on/off, and all binaries run on the strict cycle-accurate
+//! simulator. The observable outcomes must be identical in every
+//! configuration — the ABI result register and the final contents of
+//! every global. The generator leans on the shapes the scheduler
+//! rewrites most aggressively: short data-dependent loops whose bodies
+//! end in branch shadows, guarded assignments, array traffic whose
+//! loads want reordering, and enough arithmetic to keep both issue
+//! slots contested. Strict simulation doubles as the timing oracle: a
+//! misscheduled load-use gap or a clobbered register on a speculated
+//! path fails the run outright.
+
+use proptest::prelude::*;
+
+use patmos_compiler::{compile, CompileOptions};
+use patmos_isa::Reg;
+use patmos_sim::{SimConfig, Simulator};
+
+const VARS: [&str; 3] = ["a", "b", "c"];
+const ARR_LEN: usize = 4;
+
+#[derive(Debug, Clone)]
+enum E {
+    Lit(i32),
+    Var(usize),
+    Arr(usize),
+    Add(Box<E>, Box<E>),
+    Sub(Box<E>, Box<E>),
+    Mul(Box<E>, Box<E>),
+    Xor(Box<E>, Box<E>),
+    Shr(Box<E>, u32),
+    Lt(Box<E>, Box<E>),
+}
+
+#[derive(Debug, Clone)]
+enum S {
+    Assign(usize, E),
+    ArrSet(usize, E),
+    If(E, Vec<S>, Vec<S>),
+}
+
+struct Env {
+    vars: [i32; 3],
+    arr: [i32; ARR_LEN],
+}
+
+fn render_e(e: &E) -> String {
+    match e {
+        E::Lit(v) => {
+            if *v < 0 {
+                format!("(0 - {})", -(*v as i64))
+            } else {
+                v.to_string()
+            }
+        }
+        E::Var(i) => VARS[*i].to_string(),
+        E::Arr(i) => format!("out[{i}]"),
+        E::Add(l, r) => format!("({} + {})", render_e(l), render_e(r)),
+        E::Sub(l, r) => format!("({} - {})", render_e(l), render_e(r)),
+        E::Mul(l, r) => format!("({} * {})", render_e(l), render_e(r)),
+        E::Xor(l, r) => format!("({} ^ {})", render_e(l), render_e(r)),
+        E::Shr(l, k) => format!("(({}) / {})", render_e(l), 1i64 << k),
+        E::Lt(l, r) => format!("({} < {})", render_e(l), render_e(r)),
+    }
+}
+
+fn eval_e(e: &E, env: &Env) -> i32 {
+    match e {
+        E::Lit(v) => *v,
+        E::Var(i) => env.vars[*i],
+        E::Arr(i) => env.arr[*i],
+        E::Add(l, r) => eval_e(l, env).wrapping_add(eval_e(r, env)),
+        E::Sub(l, r) => eval_e(l, env).wrapping_sub(eval_e(r, env)),
+        E::Mul(l, r) => eval_e(l, env).wrapping_mul(eval_e(r, env)),
+        E::Xor(l, r) => eval_e(l, env) ^ eval_e(r, env),
+        // PatC lowers `/ 2^k` to an arithmetic shift.
+        E::Shr(l, k) => eval_e(l, env).wrapping_shr(*k),
+        E::Lt(l, r) => (eval_e(l, env) < eval_e(r, env)) as i32,
+    }
+}
+
+fn render_s(s: &S, indent: usize) -> String {
+    let pad = "    ".repeat(indent);
+    match s {
+        S::Assign(v, e) => format!("{pad}{} = {};\n", VARS[*v], render_e(e)),
+        S::ArrSet(i, e) => format!("{pad}out[{i}] = {};\n", render_e(e)),
+        S::If(cond, then_s, else_s) => {
+            let mut out = format!("{pad}if ({}) {{\n", render_e(cond));
+            for s in then_s {
+                out.push_str(&render_s(s, indent + 1));
+            }
+            out.push_str(&format!("{pad}}}"));
+            if !else_s.is_empty() {
+                out.push_str(" else {\n");
+                for s in else_s {
+                    out.push_str(&render_s(s, indent + 1));
+                }
+                out.push_str(&format!("{pad}}}"));
+            }
+            out.push('\n');
+            out
+        }
+    }
+}
+
+fn eval_s(s: &S, env: &mut Env) {
+    match s {
+        S::Assign(v, e) => env.vars[*v] = eval_e(e, env),
+        S::ArrSet(i, e) => env.arr[*i] = eval_e(e, env),
+        S::If(cond, then_s, else_s) => {
+            let branch = if eval_e(cond, env) != 0 {
+                then_s
+            } else {
+                else_s
+            };
+            for s in branch {
+                eval_s(s, env);
+            }
+        }
+    }
+}
+
+fn arb_expr() -> impl Strategy<Value = E> {
+    let leaf = prop_oneof![
+        (-64i32..64).prop_map(E::Lit),
+        (0usize..3).prop_map(E::Var),
+        (0usize..ARR_LEN).prop_map(E::Arr),
+    ];
+    leaf.prop_recursive(3, 16, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(l, r)| E::Add(Box::new(l), Box::new(r))),
+            (inner.clone(), inner.clone()).prop_map(|(l, r)| E::Sub(Box::new(l), Box::new(r))),
+            (inner.clone(), inner.clone()).prop_map(|(l, r)| E::Mul(Box::new(l), Box::new(r))),
+            (inner.clone(), inner.clone()).prop_map(|(l, r)| E::Xor(Box::new(l), Box::new(r))),
+            (inner.clone(), 0u32..6).prop_map(|(l, k)| E::Shr(Box::new(l), k)),
+            (inner.clone(), inner.clone()).prop_map(|(l, r)| E::Lt(Box::new(l), Box::new(r))),
+        ]
+    })
+}
+
+fn arb_stmt() -> impl Strategy<Value = S> {
+    let leaf = prop_oneof![
+        (0usize..3, arb_expr()).prop_map(|(v, e)| S::Assign(v, e)),
+        (0usize..ARR_LEN, arb_expr()).prop_map(|(i, e)| S::ArrSet(i, e)),
+    ];
+    leaf.prop_recursive(2, 10, 3, |inner| {
+        prop_oneof![
+            (0usize..3, arb_expr()).prop_map(|(v, e)| S::Assign(v, e)),
+            (0usize..ARR_LEN, arb_expr()).prop_map(|(i, e)| S::ArrSet(i, e)),
+            (
+                arb_expr(),
+                prop::collection::vec(inner.clone(), 1..3),
+                prop::collection::vec(inner, 0..2)
+            )
+                .prop_map(|(c, t, e)| S::If(c, t, e)),
+        ]
+    })
+}
+
+fn render_program(stmts: &[S], reps: u32, init: [i32; 3]) -> String {
+    let mut source = format!("int out[{ARR_LEN}];\nint main() {{\n");
+    for (i, name) in VARS.iter().enumerate() {
+        source.push_str(&format!("    int {name} = {};\n", init[i]));
+    }
+    source.push_str("    int li;\n");
+    source.push_str(&format!(
+        "    for (li = 0; li < {reps}; li = li + 1) bound({reps}) {{\n"
+    ));
+    for s in stmts {
+        source.push_str(&render_s(s, 2));
+    }
+    source.push_str("    }\n    return (a ^ b) ^ c;\n}\n");
+    source
+}
+
+/// Compiles and runs one configuration; returns `(r1, out[..])`, or
+/// `None` when the program legitimately rejects single-path
+/// conversion.
+fn observe(
+    source: &str,
+    sched_level: u8,
+    dual_issue: bool,
+    single_path: bool,
+) -> Option<(u32, [u32; ARR_LEN])> {
+    let options = CompileOptions {
+        sched_level,
+        dual_issue,
+        single_path,
+        ..CompileOptions::default()
+    };
+    let image = match compile(source, &options) {
+        Ok(image) => image,
+        Err(_) if single_path => return None,
+        Err(e) => panic!("S{sched_level} compile failed: {e}\n{source}"),
+    };
+    let config = SimConfig {
+        dual_issue,
+        ..SimConfig::default()
+    };
+    let mut sim = Simulator::new(&image, config);
+    sim.run().unwrap_or_else(|e| {
+        panic!(
+            "S{sched_level}/dual={dual_issue}/sp={single_path} strict simulation failed: {e}\n{source}"
+        )
+    });
+    let base = image.symbol("out").expect("global array exists");
+    let mut arr = [0u32; ARR_LEN];
+    for (i, slot) in arr.iter_mut().enumerate() {
+        *slot = sim.memory().read_word(base + 4 * i as u32);
+    }
+    Some((sim.reg(Reg::R1), arr))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+    #[test]
+    fn sched_levels_agree_in_every_mode(
+        stmts in prop::collection::vec(arb_stmt(), 1..5),
+        reps in 1u32..4,
+        init in (-50i32..50, -50i32..50, -50i32..50),
+    ) {
+        let source = render_program(&stmts, reps, [init.0, init.1, init.2]);
+
+        // Reference semantics.
+        let mut env = Env { vars: [init.0, init.1, init.2], arr: [0; ARR_LEN] };
+        for _ in 0..reps {
+            for s in &stmts {
+                eval_s(s, &mut env);
+            }
+        }
+        let want_r1 = (env.vars[0] ^ env.vars[1] ^ env.vars[2]) as u32;
+        let want_arr = env.arr.map(|v| v as u32);
+
+        for dual_issue in [true, false] {
+            for single_path in [false, true] {
+                let o0 = observe(&source, 0, dual_issue, single_path);
+                let o1 = observe(&source, 1, dual_issue, single_path);
+                prop_assert_eq!(
+                    o0.is_some(),
+                    o1.is_some(),
+                    "sched levels disagree on single-path feasibility\n{}",
+                    &source
+                );
+                let (Some((r1_s0, arr_s0)), Some((r1_s1, arr_s1))) = (o0, o1) else {
+                    continue;
+                };
+                if !single_path {
+                    prop_assert_eq!(
+                        r1_s0, want_r1,
+                        "sched 0 diverged from reference (dual={})\n{}",
+                        dual_issue, &source
+                    );
+                    prop_assert_eq!(arr_s0, want_arr, "sched 0 memory diverged\n{}", &source);
+                }
+                prop_assert_eq!(
+                    r1_s1, r1_s0,
+                    "sched levels disagree on the result (dual={}, sp={})\n{}",
+                    dual_issue, single_path, &source
+                );
+                prop_assert_eq!(
+                    arr_s1, arr_s0,
+                    "sched levels disagree on memory (dual={}, sp={})\n{}",
+                    dual_issue, single_path, &source
+                );
+            }
+        }
+    }
+}

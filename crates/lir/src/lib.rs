@@ -13,15 +13,20 @@
 //!   linear scan, block-boundary live sets for dead-code elimination,
 //!   and the precise live-across-call sets the allocator saves;
 //! * [`dot`] — Graphviz rendering of the per-function CFG
-//!   (`patmos-cli compile --dump-cfg`).
+//!   (`patmos-cli compile --dump-cfg`);
+//! * [`plir`] — the *physical* LIR over machine registers that the
+//!   register allocator emits and the VLIW scheduler (`patmos-sched`)
+//!   consumes ([`plir::LirOp`], [`plir::LirInst`], [`plir::Item`],
+//!   [`plir::Module`]).
 //!
-//! The crate deliberately knows nothing about physical registers beyond
-//! the ABI copy pseudo-ops, and nothing about timing: scheduling and
-//! frame layout stay downstream.
+//! The virtual side deliberately knows nothing about physical registers
+//! beyond the ABI copy pseudo-ops, and nothing about timing: scheduling
+//! and frame layout live downstream, on the [`plir`] types.
 
 pub mod cfg;
 pub mod dot;
 pub mod liveness;
+pub mod plir;
 pub mod vlir;
 
 pub use cfg::{build_vcfg, split_functions, FuncCode, VBlock, VCfg};

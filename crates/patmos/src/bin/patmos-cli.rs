@@ -2,22 +2,29 @@
 //!
 //! ```text
 //! patmos-cli compile <file.patc> [--single-path] [--no-if-convert] [--single-issue]
-//!                                [--opt-level N] [--dump-lir] [--dump-opt] [--dump-cfg]
+//!                                [--opt-level N] [--sched-level N]
+//!                                [--dump-lir] [--dump-opt] [--dump-cfg] [--dump-sched]
 //! patmos-cli asm     <file.pasm>
 //! patmos-cli disasm  <file.pasm | file.patc>
 //! patmos-cli run     <file.pasm | file.patc> [--single-issue] [--non-strict] [--stats]
-//!                                [--opt-level N] [--dump-lir] [--dump-opt] [--dump-cfg]
-//! patmos-cli wcet    <file.pasm | file.patc> [--opt-level N]
+//!                                [--opt-level N] [--sched-level N]
+//!                                [--dump-lir] [--dump-opt] [--dump-cfg] [--dump-sched]
+//! patmos-cli wcet    <file.pasm | file.patc> [--opt-level N] [--sched-level N]
 //! ```
 //!
 //! `--opt-level N` selects the mid-end pipeline (0 = straight lowering,
-//! 1 = the default `patmos-opt` pass pipeline). `--dump-lir` prints the
-//! compiler's virtual-register LIR and the register allocator's
-//! per-function report before the usual output; `--dump-opt` prints
-//! each optimization pass's before/after LIR; `--dump-cfg` emits the
-//! per-function virtual-LIR control-flow graph as Graphviz DOT.
-//! `--stats` extends `run` with the full counter set, including the
-//! per-cause stall breakdown and executed stack-cache operations.
+//! 1 = the default `patmos-opt` pass pipeline); `--sched-level N`
+//! selects the backend scheduler (0 = the historical run scheduler,
+//! 1 = the default `patmos-sched` dependence-DAG scheduler with
+//! delay-slot filling). `--dump-lir` prints the compiler's
+//! virtual-register LIR and the register allocator's per-function
+//! report before the usual output; `--dump-opt` prints each
+//! optimization pass's before/after LIR; `--dump-cfg` emits the
+//! per-function virtual-LIR control-flow graph as Graphviz DOT;
+//! `--dump-sched` prints the scheduler's per-block report (bundle
+//! counts, critical paths, pairing, shadow fills, hoists). `--stats`
+//! extends `run` with the full counter set, including the per-cause
+//! stall breakdown and executed stack-cache operations.
 //!
 //! `.patc` files are compiled from PatC; `.pasm` files are assembled
 //! directly. Results, cycle counts and stall breakdowns go to stdout.
@@ -38,9 +45,11 @@ struct Args {
     single_issue: bool,
     non_strict: bool,
     opt_level: u8,
+    sched_level: u8,
     dump_lir: bool,
     dump_opt: bool,
     dump_cfg: bool,
+    dump_sched: bool,
     stats: bool,
 }
 
@@ -48,7 +57,7 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage: patmos-cli <compile|asm|disasm|run|wcet> <file.patc|file.pasm> \
          [--single-path] [--no-if-convert] [--single-issue] [--non-strict] [--opt-level N] \
-         [--dump-lir] [--dump-opt] [--dump-cfg] [--stats]"
+         [--sched-level N] [--dump-lir] [--dump-opt] [--dump-cfg] [--dump-sched] [--stats]"
     );
     ExitCode::from(2)
 }
@@ -63,9 +72,11 @@ fn parse_args() -> Option<Args> {
         single_issue: false,
         non_strict: false,
         opt_level: CompileOptions::default().opt_level,
+        sched_level: CompileOptions::default().sched_level,
         dump_lir: false,
         dump_opt: false,
         dump_cfg: false,
+        dump_sched: false,
         stats: false,
     };
     let mut argv = std::env::args().skip(1);
@@ -82,9 +93,17 @@ fn parse_args() -> Option<Args> {
                 };
                 args.opt_level = level;
             }
+            "--sched-level" => {
+                let Some(level) = argv.next().and_then(|v| v.parse::<u8>().ok()) else {
+                    eprintln!("--sched-level expects a small integer");
+                    return None;
+                };
+                args.sched_level = level;
+            }
             "--dump-lir" => args.dump_lir = true,
             "--dump-opt" => args.dump_opt = true,
             "--dump-cfg" => args.dump_cfg = true,
+            "--dump-sched" => args.dump_sched = true,
             "--stats" => args.stats = true,
             flag if flag.starts_with("--") => {
                 eprintln!("unknown flag `{flag}`");
@@ -108,12 +127,13 @@ impl Args {
             if_convert: !self.no_if_convert,
             single_path: self.single_path,
             opt_level: self.opt_level,
+            sched_level: self.sched_level,
             ..CompileOptions::default()
         }
     }
 
     fn wants_dump(&self) -> bool {
-        self.dump_lir || self.dump_opt || self.dump_cfg
+        self.dump_lir || self.dump_opt || self.dump_cfg || self.dump_sched
     }
 }
 
@@ -189,6 +209,19 @@ fn dump_artifacts(source: &str, options: &CompileOptions, args: &Args) -> Result
     if args.dump_cfg {
         print!("{}", patmos::lir::dot::render(&artifacts.vmodule));
     }
+    if args.dump_sched {
+        match &artifacts.sched {
+            Some(report) => {
+                println!(
+                    "=== scheduler: {} shadow bundle(s) filled, {} op(s) hoisted ===",
+                    report.total_shadow_filled(),
+                    report.total_hoisted()
+                );
+                print!("{report}");
+            }
+            None => println!("=== DAG scheduler disabled (sched-level 0) ==="),
+        }
+    }
     if args.dump_lir {
         println!("=== virtual LIR (before register allocation) ===");
         print!("{}", artifacts.vlir);
@@ -252,8 +285,9 @@ fn cmd_run(args: &Args) -> Result<(), String> {
     println!("bundles          = {}", stats.bundles);
     println!("IPC              = {:.2}", stats.ipc());
     println!(
-        "second slot used = {:.0}%",
-        stats.slot2_utilisation() * 100.0
+        "second slot used = {:.0}% of all bundles, {:.0}% of active (non-nop) bundles",
+        stats.slot2_utilisation() * 100.0,
+        stats.slot2_utilisation_active() * 100.0
     );
     println!("stalls           : {}", stats.stalls);
     println!("method cache     : {}", stats.method_cache);
@@ -273,6 +307,7 @@ fn cmd_run(args: &Args) -> Result<(), String> {
         println!("insts executed   = {}", stats.insts_executed);
         println!("insts annulled   = {}", stats.insts_annulled);
         println!("nops             = {}", stats.nops);
+        println!("nop bundles      = {}", stats.nop_bundles);
         println!("taken branches   = {}", stats.taken_branches);
         println!("calls            = {}", stats.calls);
         println!("returns          = {}", stats.returns);

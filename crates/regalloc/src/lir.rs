@@ -1,241 +1,8 @@
 //! Low-level IR: Patmos instructions with unresolved labels and symbols.
+//!
+//! The definitions moved to [`patmos_lir::plir`] so the VLIW scheduler
+//! (`patmos-sched`) can consume the allocator's output without
+//! depending on this crate; they remain re-exported here because the
+//! compiler historically reaches them through `patmos_regalloc::lir`.
 
-use patmos_isa::{Guard, Op, Pred, Reg};
-
-/// A low-level operation: either a fully resolved ISA operation or one
-/// that still references a label or data symbol.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum LirOp {
-    /// A resolved ISA operation.
-    Real(Op),
-    /// A branch to a label within the same function.
-    BrLabel(String),
-    /// A direct call to a function by name.
-    CallFunc(String),
-    /// `lil rd = symbol`.
-    LilSym(Reg, String),
-}
-
-impl LirOp {
-    /// The general-purpose register defined, mirroring [`Op::def`].
-    pub fn def(&self) -> Option<Reg> {
-        match self {
-            LirOp::Real(op) => op.def(),
-            LirOp::BrLabel(_) => None,
-            LirOp::CallFunc(_) => Some(patmos_isa::LINK_REG),
-            LirOp::LilSym(rd, _) => (!rd.is_zero()).then_some(*rd),
-        }
-    }
-
-    /// Registers read, mirroring [`Op::uses`].
-    pub fn uses(&self) -> [Option<Reg>; 2] {
-        match self {
-            LirOp::Real(op) => op.uses(),
-            _ => [None, None],
-        }
-    }
-
-    /// The predicate defined, mirroring [`Op::pred_def`].
-    pub fn pred_def(&self) -> Option<Pred> {
-        match self {
-            LirOp::Real(op) => op.pred_def(),
-            _ => None,
-        }
-    }
-
-    /// Predicates read by the operation body.
-    pub fn pred_uses(&self) -> [Option<Pred>; 2] {
-        match self {
-            LirOp::Real(op) => op.pred_uses(),
-            _ => [None, None],
-        }
-    }
-
-    /// Whether this is a control transfer (ends a schedulable block).
-    pub fn is_flow(&self) -> bool {
-        match self {
-            LirOp::Real(op) => op.is_flow(),
-            LirOp::BrLabel(_) | LirOp::CallFunc(_) => true,
-            LirOp::LilSym(..) => false,
-        }
-    }
-
-    /// Whether this is a memory or stack-control operation whose order
-    /// must be preserved.
-    pub fn is_ordered(&self) -> bool {
-        match self {
-            LirOp::Real(op) => op.is_memory() || op.is_stack_control(),
-            _ => false,
-        }
-    }
-
-    /// Whether this op may go in the second issue slot.
-    pub fn allowed_in_second_slot(&self) -> bool {
-        match self {
-            LirOp::Real(op) => op.allowed_in_second_slot(),
-            _ => false,
-        }
-    }
-
-    /// Whether this op occupies a whole bundle (`lil`).
-    pub fn is_long(&self) -> bool {
-        matches!(self, LirOp::LilSym(..)) || matches!(self, LirOp::Real(Op::LoadImm32 { .. }))
-    }
-
-    /// Whether this op writes `sl`/`sh` (the multiply unit).
-    pub fn writes_mul(&self) -> bool {
-        matches!(self, LirOp::Real(Op::Mul { .. }))
-    }
-
-    /// Whether this op reads `sl`/`sh`.
-    pub fn reads_mul(&self) -> bool {
-        matches!(
-            self,
-            LirOp::Real(Op::Mfs {
-                ss: patmos_isa::SpecialReg::Sl | patmos_isa::SpecialReg::Sh,
-                ..
-            })
-        )
-    }
-
-    /// The extra bundle gap a consumer of this op's register result must
-    /// respect (loads deliver late).
-    pub fn def_gap(&self) -> u32 {
-        match self {
-            LirOp::Real(Op::Load { .. }) => 1 + patmos_isa::timing::LOAD_USE_GAP,
-            _ => 1,
-        }
-    }
-
-    /// Delay slots this op exposes when it is a flow op with `guard`.
-    pub fn delay_slots(&self, guard: Guard) -> u32 {
-        match self {
-            LirOp::Real(op) => patmos_isa::Inst::new(guard, *op).delay_slots(),
-            LirOp::BrLabel(_) | LirOp::CallFunc(_) => {
-                if guard.is_always() {
-                    patmos_isa::timing::BRANCH_DELAY_UNCOND
-                } else {
-                    patmos_isa::timing::BRANCH_DELAY_COND
-                }
-            }
-            LirOp::LilSym(..) => 0,
-        }
-    }
-}
-
-/// A guarded LIR instruction.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct LirInst {
-    /// The guard.
-    pub guard: Guard,
-    /// The operation.
-    pub op: LirOp,
-}
-
-impl LirInst {
-    /// An unconditional instruction.
-    pub fn always(op: LirOp) -> LirInst {
-        LirInst {
-            guard: Guard::ALWAYS,
-            op,
-        }
-    }
-
-    /// A guarded instruction.
-    pub fn new(guard: Guard, op: LirOp) -> LirInst {
-        LirInst { guard, op }
-    }
-
-    /// Renders the instruction in assembler syntax.
-    pub fn render(&self) -> String {
-        match &self.op {
-            LirOp::Real(op) => patmos_isa::Inst::new(self.guard, *op).to_string(),
-            LirOp::BrLabel(label) => {
-                if self.guard.is_always() {
-                    format!("br {label}")
-                } else {
-                    format!("{} br {label}", self.guard)
-                }
-            }
-            LirOp::CallFunc(func) => {
-                if self.guard.is_always() {
-                    format!("call {func}")
-                } else {
-                    format!("{} call {func}", self.guard)
-                }
-            }
-            LirOp::LilSym(rd, sym) => {
-                if self.guard.is_always() {
-                    format!("lil {rd} = {sym}")
-                } else {
-                    format!("{} lil {rd} = {sym}", self.guard)
-                }
-            }
-        }
-    }
-}
-
-/// One item of a function's linear code.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum Item {
-    /// Start of a function (emits `.func`).
-    FuncStart(String),
-    /// A label.
-    Label(String),
-    /// A `.loopbound` annotation for the label that follows.
-    LoopBound {
-        /// Minimum header executions.
-        min: u32,
-        /// Maximum header executions.
-        max: u32,
-    },
-    /// An instruction.
-    Inst(LirInst),
-}
-
-/// A compiled module: items plus data directives.
-#[derive(Debug, Clone, Default)]
-pub struct Module {
-    /// Data directive lines (already in assembler syntax).
-    pub data_lines: Vec<String>,
-    /// The code items of all functions.
-    pub items: Vec<Item>,
-    /// Name of the entry function.
-    pub entry: String,
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use patmos_isa::{AluOp, Op};
-
-    #[test]
-    fn render_matches_assembler_syntax() {
-        let i = LirInst::always(LirOp::Real(Op::AluI {
-            op: AluOp::Add,
-            rd: Reg::R3,
-            rs1: Reg::R3,
-            imm: 1,
-        }));
-        assert_eq!(i.render(), "addi r3 = r3, 1");
-        let b = LirInst::new(Guard::unless(Pred::P6), LirOp::BrLabel("f_L1".into()));
-        assert_eq!(b.render(), "(!p6) br f_L1");
-    }
-
-    #[test]
-    fn flow_and_ordering_queries() {
-        assert!(LirOp::BrLabel("x".into()).is_flow());
-        assert!(LirOp::CallFunc("f".into()).is_flow());
-        assert!(!LirOp::LilSym(Reg::R3, "g".into()).is_flow());
-        assert!(LirOp::LilSym(Reg::R3, "g".into()).is_long());
-        let load = LirOp::Real(Op::Load {
-            area: patmos_isa::MemArea::Stack,
-            size: patmos_isa::AccessSize::Word,
-            rd: Reg::R3,
-            ra: Reg::R0,
-            offset: 0,
-        });
-        assert!(load.is_ordered());
-        assert_eq!(load.def_gap(), 2);
-    }
-}
+pub use patmos_lir::plir::{Item, LirInst, LirOp, Module};

@@ -1,0 +1,493 @@
+//! Dependence-DAG VLIW scheduler for the Patmos backend.
+//!
+//! The compiler's historical scheduler legalised straight-line *runs*:
+//! it paired textually adjacent independent operations and filled every
+//! branch and load shadow with `nop`s. This crate replaces it with a
+//! real backend stage over the physical LIR ([`patmos_lir::plir`]):
+//!
+//! 1. **Block splitting** — the allocator's linear item stream is cut
+//!    into per-function basic blocks ([`dag::split_blocks`]).
+//! 2. **Dependence DAGs** — per block, every pair of operations gets
+//!    its minimum issue-bundle gap from [`dag::dependence_gap`]: true,
+//!    anti and output dependences over registers and predicates
+//!    (guards included), conservative program order between memory and
+//!    stack-control operations, call barriers, and the multiplier's
+//!    `mul`→`mfs` latency.
+//! 3. **Critical-path list scheduling** — operations issue in
+//!    longest-path-first order, packing a legal second slot per bundle
+//!    when dual issue is on ([`list::schedule_block`]).
+//! 4. **Delay-slot filling** — a label branch is pulled forward so the
+//!    trailing bundles of its own block execute in its shadow, and
+//!    remaining empty shadow bundles are filled from a successor when
+//!    provably safe ([`list::hoist_into_shadow`]): from the unique
+//!    successor of an unconditional branch, or *speculatively* from
+//!    the anonymous fall-through path of a conditional branch when the
+//!    hoisted op is pure and its targets are dead on the taken path
+//!    (shown by the [`dag::live_in_sets`] dataflow).
+//!
+//! The scheduler is **shape-stable** by construction: every decision
+//! is a function of the dependence structure (opcodes, register
+//! numbers, ordering classes), never of immediate operand values, so
+//! single-path code keeps its data-independent shape and timing.
+//!
+//! Emission to assembler text stays in the compiler
+//! (`patmos_compiler`); this crate only produces the bundle stream.
+
+pub mod dag;
+pub mod list;
+
+use patmos_isa::Op;
+use patmos_lir::plir::{Item, LirInst, LirOp, Module};
+
+/// Scheduler configuration.
+#[derive(Debug, Clone)]
+pub struct SchedOptions {
+    /// Pair independent operations into dual-issue bundles.
+    pub dual_issue: bool,
+}
+
+impl Default for SchedOptions {
+    fn default() -> SchedOptions {
+        SchedOptions { dual_issue: true }
+    }
+}
+
+/// A scheduled bundle: one or two instructions.
+#[derive(Debug, Clone)]
+pub struct SchedBundle {
+    /// Slot one.
+    pub first: LirInst,
+    /// Slot two, if paired.
+    pub second: Option<LirInst>,
+}
+
+/// Items after scheduling.
+#[derive(Debug, Clone)]
+pub enum SchedItem {
+    /// `.func` marker.
+    FuncStart(String),
+    /// A label.
+    Label(String),
+    /// A loop-bound annotation.
+    LoopBound {
+        /// Minimum header executions.
+        min: u32,
+        /// Maximum header executions.
+        max: u32,
+    },
+    /// An issued bundle.
+    Bundle(SchedBundle),
+}
+
+/// A scheduled module ready for emission.
+#[derive(Debug, Clone)]
+pub struct ScheduledModule {
+    /// Data directive lines.
+    pub data_lines: Vec<String>,
+    /// Scheduled code items.
+    pub items: Vec<SchedItem>,
+    /// Entry function name.
+    pub entry: String,
+}
+
+impl ScheduledModule {
+    /// Counts bundles and filled second slots (for the scheduler
+    /// experiments).
+    pub fn bundle_stats(&self) -> (usize, usize) {
+        let mut bundles = 0;
+        let mut filled = 0;
+        for item in &self.items {
+            if let SchedItem::Bundle(b) = item {
+                bundles += 1;
+                if b.second.is_some() {
+                    filled += 1;
+                }
+            }
+        }
+        (bundles, filled)
+    }
+}
+
+/// Per-block line of the scheduling report.
+#[derive(Debug, Clone)]
+pub struct BlockReport {
+    /// The block's first label, or `None` for anonymous blocks.
+    pub label: Option<String>,
+    /// Operations scheduled (terminator included).
+    pub ops: usize,
+    /// Bundles issued for the block.
+    pub bundles: usize,
+    /// Longest dependence chain through the body, in bundles.
+    pub critical_path: u32,
+    /// Bundles with a filled second slot.
+    pub paired: usize,
+    /// Architectural delay slots of the terminator.
+    pub delay_slots: u32,
+    /// Shadow bundles holding real work (shifted or hoisted).
+    pub shadow_filled: u32,
+    /// Operations hoisted in from a successor block.
+    pub hoisted: u32,
+}
+
+/// Per-function scheduling report.
+#[derive(Debug, Clone)]
+pub struct FuncReport {
+    /// Function name.
+    pub name: String,
+    /// One entry per basic block, in layout order.
+    pub blocks: Vec<BlockReport>,
+}
+
+/// The whole-module report behind `patmos-cli compile --dump-sched`.
+#[derive(Debug, Clone, Default)]
+pub struct SchedReport {
+    /// One entry per function.
+    pub funcs: Vec<FuncReport>,
+}
+
+impl SchedReport {
+    /// Total operations hoisted across all shadows.
+    pub fn total_hoisted(&self) -> u32 {
+        self.funcs
+            .iter()
+            .flat_map(|f| &f.blocks)
+            .map(|b| b.hoisted)
+            .sum()
+    }
+
+    /// Total shadow bundles carrying real work.
+    pub fn total_shadow_filled(&self) -> u32 {
+        self.funcs
+            .iter()
+            .flat_map(|f| &f.blocks)
+            .map(|b| b.shadow_filled)
+            .sum()
+    }
+}
+
+impl std::fmt::Display for SchedReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for func in &self.funcs {
+            writeln!(f, "function {}:", func.name)?;
+            writeln!(
+                f,
+                "  {:<14} {:>4} {:>8} {:>5} {:>7} {:>6} {:>7} {:>7}",
+                "block", "ops", "bundles", "crit", "paired", "delay", "filled", "hoisted"
+            )?;
+            for b in &func.blocks {
+                writeln!(
+                    f,
+                    "  {:<14} {:>4} {:>8} {:>5} {:>7} {:>6} {:>7} {:>7}",
+                    b.label.as_deref().unwrap_or("(anon)"),
+                    b.ops,
+                    b.bundles,
+                    b.critical_path,
+                    b.paired,
+                    b.delay_slots,
+                    b.shadow_filled,
+                    b.hoisted
+                )?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Schedules a module: DAG construction, list scheduling, dual-issue
+/// packing and delay-slot filling per basic block.
+pub fn schedule(module: Module, options: &SchedOptions) -> ScheduledModule {
+    schedule_with_report(module, options).0
+}
+
+fn push_item(items: &mut Vec<SchedItem>, item: &Item) {
+    match item {
+        Item::FuncStart(name) => items.push(SchedItem::FuncStart(name.clone())),
+        Item::Label(name) => items.push(SchedItem::Label(name.clone())),
+        Item::LoopBound { min, max } => items.push(SchedItem::LoopBound {
+            min: *min,
+            max: *max,
+        }),
+        Item::Inst(inst) => items.push(SchedItem::Bundle(SchedBundle {
+            first: inst.clone(),
+            second: None,
+        })),
+    }
+}
+
+/// Schedules a module and returns the per-block report alongside it.
+pub fn schedule_with_report(
+    module: Module,
+    options: &SchedOptions,
+) -> (ScheduledModule, SchedReport) {
+    let mut split = dag::split_blocks(&module);
+    let mut items: Vec<SchedItem> = Vec::new();
+    let mut report = SchedReport::default();
+
+    for item in &split.prelude {
+        push_item(&mut items, item);
+    }
+
+    for func in &mut split.funcs {
+        // Live-ins are computed once per function. Hoisting only moves
+        // an operation across the single boundary between a branch and
+        // its unique (or anonymous fall-through) successor, so the
+        // sets at every other block boundary stay exact.
+        let live_in = dag::live_in_sets(func);
+        let mut func_report = FuncReport {
+            name: func.name.clone(),
+            blocks: Vec::new(),
+        };
+
+        for bi in 0..func.blocks.len() {
+            let insts = std::mem::take(&mut func.blocks[bi].insts);
+            let term = func.blocks[bi].term.clone();
+            let mut sched = list::schedule_block(&insts, term.as_ref(), options.dual_issue);
+
+            // Try to fill leftover shadow bundles from a successor.
+            let mut hoisted = 0u32;
+            if sched.shadow_fillable {
+                if let (Some(term_at), Some(term)) = (sched.term_at, &term) {
+                    if let LirOp::BrLabel(target) = &term.op {
+                        if let Some(donor) = donor_index(func, bi, target, term.guard.is_always()) {
+                            let speculative = if term.guard.is_always() {
+                                None
+                            } else {
+                                // The op will also run on the taken
+                                // path; its targets must be dead there.
+                                func.block_of_label(target).map(|ti| live_in[ti])
+                            };
+                            let run = term.guard.is_always() || speculative.is_some();
+                            if run {
+                                let mut donor_insts = std::mem::take(&mut func.blocks[donor].insts);
+                                hoisted = list::hoist_into_shadow(
+                                    &mut sched.bundles,
+                                    term_at,
+                                    sched.delay_slots,
+                                    &mut donor_insts,
+                                    speculative,
+                                );
+                                func.blocks[donor].insts = donor_insts;
+                            }
+                        }
+                    }
+                }
+            }
+
+            let shadow_filled = match sched.term_at {
+                Some(t) => sched.bundles[t + 1..]
+                    .iter()
+                    .take(sched.delay_slots as usize)
+                    .filter(|b| !matches!(b.0.op, LirOp::Real(Op::Nop)) || b.1.is_some())
+                    .count() as u32,
+                None => 0,
+            };
+            func_report.blocks.push(BlockReport {
+                label: func.blocks[bi].labels.first().cloned(),
+                ops: insts.len() + term.is_some() as usize,
+                bundles: sched.bundles.len(),
+                critical_path: sched.critical_path,
+                paired: sched.paired,
+                delay_slots: sched.delay_slots,
+                shadow_filled,
+                hoisted,
+            });
+
+            for item in &func.blocks[bi].head {
+                push_item(&mut items, item);
+            }
+            for (first, second) in sched.bundles {
+                items.push(SchedItem::Bundle(SchedBundle { first, second }));
+            }
+        }
+        report.funcs.push(func_report);
+    }
+
+    (
+        ScheduledModule {
+            data_lines: module.data_lines,
+            items,
+            entry: module.entry,
+        },
+        report,
+    )
+}
+
+/// The index of the block a branch's shadow may be filled from, if the
+/// move is structurally safe.
+///
+/// * Unconditional branch: its target — but only if the branch is the
+///   *sole* way in (exactly one reference to the target's labels, no
+///   fall-through from the preceding block, not the function entry, no
+///   loop bound) and the target has not been scheduled yet.
+/// * Conditional branch: the anonymous fall-through block right after
+///   it; having no label, it cannot be entered any other way. The
+///   hoist is then speculative (the caller checks liveness on the
+///   taken path).
+fn donor_index(func: &dag::Func, bi: usize, target: &str, uncond: bool) -> Option<usize> {
+    if uncond {
+        let ti = func.block_of_label(target)?;
+        let refs: usize = func.blocks[ti]
+            .labels
+            .iter()
+            .map(|l| func.label_refs(l))
+            .sum();
+        let fall_through_entry = ti > 0 && func.blocks[ti - 1].falls_through();
+        if ti > bi && refs == 1 && !fall_through_entry && !func.blocks[ti].has_loop_bound {
+            Some(ti)
+        } else {
+            None
+        }
+    } else {
+        let di = bi + 1;
+        if di < func.blocks.len()
+            && func.blocks[di].labels.is_empty()
+            && !func.blocks[di].has_loop_bound
+        {
+            Some(di)
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use patmos_isa::{AluOp, Guard, Pred, Reg};
+
+    fn alu(rd: u8, rs1: u8, rs2: u8) -> LirInst {
+        LirInst::always(LirOp::Real(Op::AluR {
+            op: AluOp::Add,
+            rd: Reg::from_index(rd),
+            rs1: Reg::from_index(rs1),
+            rs2: Reg::from_index(rs2),
+        }))
+    }
+
+    fn bundles(module: &ScheduledModule) -> Vec<&SchedBundle> {
+        module
+            .items
+            .iter()
+            .filter_map(|i| match i {
+                SchedItem::Bundle(b) => Some(b),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// A loop in the shape the compiler emits: head with a guarded
+    /// exit branch, anonymous body falling back via an unconditional
+    /// branch, labelled exit computing the result.
+    fn loop_module() -> Module {
+        Module {
+            data_lines: Vec::new(),
+            entry: "main".into(),
+            items: vec![
+                Item::FuncStart("main".into()),
+                Item::Inst(alu(7, 0, 0)),
+                Item::Inst(alu(8, 0, 0)),
+                Item::Inst(alu(9, 0, 0)),
+                Item::LoopBound { min: 1, max: 31 },
+                Item::Label("head".into()),
+                Item::Inst(LirInst::always(LirOp::Real(Op::CmpI {
+                    op: patmos_isa::CmpOp::Lt,
+                    pd: Pred::P6,
+                    rs1: Reg::from_index(7),
+                    imm: 30,
+                }))),
+                Item::Inst(LirInst::new(
+                    Guard::unless(Pred::P6),
+                    LirOp::BrLabel("exit".into()),
+                )),
+                Item::Inst(alu(10, 8, 9)),
+                Item::Inst(alu(8, 9, 0)),
+                Item::Inst(alu(9, 10, 0)),
+                Item::Inst(LirInst::always(LirOp::Real(Op::AluI {
+                    op: AluOp::Add,
+                    rd: Reg::from_index(7),
+                    rs1: Reg::from_index(7),
+                    imm: 1,
+                }))),
+                Item::Inst(LirInst::always(LirOp::BrLabel("head".into()))),
+                Item::Label("exit".into()),
+                Item::Inst(alu(1, 8, 0)),
+                Item::Inst(LirInst::always(LirOp::Real(Op::Halt))),
+            ],
+        }
+    }
+
+    #[test]
+    fn loop_shadows_get_filled() {
+        let (module, report) = schedule_with_report(loop_module(), &SchedOptions::default());
+        // The conditional exit branch's two-bundle shadow picks up
+        // speculative body work (r10/r7 defs are dead at `exit`), and
+        // the back edge's single slot takes trailing body work too.
+        assert!(
+            report.total_hoisted() >= 1,
+            "expected speculative hoisting:\n{report}"
+        );
+        assert!(
+            report.total_shadow_filled() >= 2,
+            "expected filled shadows:\n{report}"
+        );
+        // No flow instruction may ever sit in a shadow: the simulator
+        // rejects flow-in-delay-slot outright.
+        let bs = bundles(&module);
+        let mut shadow_left = 0u32;
+        for b in &bs {
+            if shadow_left > 0 {
+                assert!(!b.first.op.is_flow(), "flow op in a delay slot");
+                assert!(b.second.as_ref().is_none_or(|s| !s.op.is_flow()));
+                shadow_left -= 1;
+            }
+            if b.first.op.is_flow() {
+                shadow_left = b.first.op.delay_slots(b.first.guard);
+            }
+        }
+    }
+
+    #[test]
+    fn single_issue_never_pairs() {
+        let options = SchedOptions { dual_issue: false };
+        let (module, _) = schedule_with_report(loop_module(), &options);
+        assert!(bundles(&module).iter().all(|b| b.second.is_none()));
+    }
+
+    #[test]
+    fn markers_survive_in_order() {
+        let (module, _) = schedule_with_report(loop_module(), &SchedOptions::default());
+        let markers: Vec<String> = module
+            .items
+            .iter()
+            .filter_map(|i| match i {
+                SchedItem::FuncStart(n) => Some(format!("func:{n}")),
+                SchedItem::Label(n) => Some(format!("label:{n}")),
+                SchedItem::LoopBound { max, .. } => Some(format!("bound:{max}")),
+                SchedItem::Bundle(_) => None,
+            })
+            .collect();
+        assert_eq!(
+            markers,
+            vec!["func:main", "bound:31", "label:head", "label:exit"]
+        );
+    }
+
+    #[test]
+    fn scheduling_is_deterministic() {
+        let a = schedule(loop_module(), &SchedOptions::default());
+        let b = schedule(loop_module(), &SchedOptions::default());
+        let render = |m: &ScheduledModule| -> Vec<String> {
+            bundles(m)
+                .iter()
+                .map(|x| {
+                    format!(
+                        "{}|{}",
+                        x.first.render(),
+                        x.second.as_ref().map(|s| s.render()).unwrap_or_default()
+                    )
+                })
+                .collect()
+        };
+        assert_eq!(render(&a), render(&b));
+    }
+}

@@ -425,6 +425,14 @@ impl Simulator {
                 self.stats.second_slots_used += 1;
             }
         }
+        // A bundle of encoded `nop`s is scheduler filler; tracking it
+        // separately lets utilisation ratios exclude it.
+        if slot_ops
+            .iter()
+            .all(|(inst, _, _)| matches!(inst.op, Op::Nop))
+        {
+            self.stats.nop_bundles += 1;
+        }
 
         let width = bundle.width_words();
         let this_pc = self.pc;
@@ -1006,6 +1014,41 @@ mod tests {
         );
         assert_eq!(s.stack_ops, 2, "the annulled store moves no data");
         assert_eq!(s.nops, 1);
+        assert_eq!(s.nop_bundles, 1, "the lone nop bundle is filler");
+        assert_eq!(s.active_bundles(), 11);
+        // Raw utilisation divides by all 12 bundles, the active ratio
+        // only by the 11 that issued real work — both are pinned so
+        // the denominators cannot silently drift again.
+        assert!((s.slot2_utilisation() - 1.0 / 12.0).abs() < 1e-12);
+        assert!((s.slot2_utilisation_active() - 1.0 / 11.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pure_nop_bundles_are_counted_separately() {
+        // Three filler bundles: two explicit nops plus the branch's
+        // unfilled delay slot; the paired and single real bundles are
+        // active. An annulled-but-real slot is not filler.
+        let (_, result) = run_src(
+            "        .func main
+        li r1 = 1
+        cmpieq p1 = r1, 2
+        { nop ; nop }
+        nop
+        { addi r2 = r1, 1 ; (p1) addi r3 = r1, 2 }
+        br end
+        nop
+end:
+        halt
+",
+        );
+        let s = result.stats;
+        assert_eq!(s.bundles, 8);
+        assert_eq!(s.nop_bundles, 3);
+        assert_eq!(s.active_bundles(), 5);
+        assert_eq!(
+            s.second_slots_used, 0,
+            "an annulled second slot is not used"
+        );
     }
 
     #[test]

@@ -70,6 +70,10 @@ pub struct Stats {
     /// Bundles whose second slot *executed* a real (non-`nop`)
     /// operation — slots annulled by a false guard do not count.
     pub second_slots_used: u64,
+    /// Bundles carrying no real operation in either slot (every slot
+    /// an encoded `nop`): scheduler filler for visible delays and
+    /// unfilled delay slots.
+    pub nop_bundles: u64,
     /// Taken control transfers.
     pub taken_branches: u64,
     /// Untaken (annulled) control transfers.
@@ -104,12 +108,33 @@ impl Stats {
         }
     }
 
-    /// Fraction of bundles that used the second issue slot.
+    /// Fraction of *all* bundles that used the second issue slot.
+    ///
+    /// Pure-`nop` bundles count in the denominator, so this understates
+    /// how well real work is paired; see
+    /// [`Stats::slot2_utilisation_active`] for the nop-excluded ratio.
     pub fn slot2_utilisation(&self) -> f64 {
         if self.bundles == 0 {
             0.0
         } else {
             self.second_slots_used as f64 / self.bundles as f64
+        }
+    }
+
+    /// Bundles that issued at least one real operation.
+    pub fn active_bundles(&self) -> u64 {
+        self.bundles - self.nop_bundles
+    }
+
+    /// Fraction of *active* (non-pure-`nop`) bundles that used the
+    /// second issue slot — the dual-issue packing quality of the
+    /// scheduler, undiluted by delay-slot filler.
+    pub fn slot2_utilisation_active(&self) -> f64 {
+        let active = self.active_bundles();
+        if active == 0 {
+            0.0
+        } else {
+            self.second_slots_used as f64 / active as f64
         }
     }
 }
@@ -118,12 +143,13 @@ impl fmt::Display for Stats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(
             f,
-            "{} cycles, {} bundles, {} insts (IPC {:.2}), slot2 {:.0}%",
+            "{} cycles, {} bundles, {} insts (IPC {:.2}), slot2 {:.0}% raw / {:.0}% active",
             self.cycles,
             self.bundles,
             self.insts_executed,
             self.ipc(),
-            self.slot2_utilisation() * 100.0
+            self.slot2_utilisation() * 100.0,
+            self.slot2_utilisation_active() * 100.0
         )?;
         write!(f, "stalls: {}", self.stalls)
     }
@@ -137,12 +163,17 @@ mod tests {
     fn derived_rates() {
         let mut s = Stats::default();
         assert_eq!(s.ipc(), 0.0);
+        assert_eq!(s.slot2_utilisation_active(), 0.0);
         s.cycles = 10;
         s.insts_executed = 15;
         s.bundles = 10;
         s.second_slots_used = 5;
+        s.nop_bundles = 2;
         assert!((s.ipc() - 1.5).abs() < 1e-12);
         assert!((s.slot2_utilisation() - 0.5).abs() < 1e-12);
+        // Excluding the two pure-nop bundles: 5 of 8 active bundles.
+        assert_eq!(s.active_bundles(), 8);
+        assert!((s.slot2_utilisation_active() - 0.625).abs() < 1e-12);
     }
 
     #[test]

@@ -729,6 +729,50 @@ int main() {{
     }
 }
 
+/// `sort8`: insertion sort over 8 scalar-register elements with a
+/// short, branch-heavy inner loop — almost every cycle sits within two
+/// bundles of a conditional branch, so the kernel's runtime is
+/// dominated by branch shadows and measures how well the scheduler
+/// fills delay slots instead of padding them with `nop`s.
+pub fn sort8() -> Workload {
+    let data: Vec<i32> = lcg(0x5087, 8).iter().map(|v| v % 256).collect();
+    let mut sorted = data.clone();
+    sorted.sort_unstable();
+    let expected: i64 = sorted
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| (2 * i as i64 + 1) * v as i64)
+        .sum();
+    let source = format!(
+        "int a[8] = {{{init}}};
+int main() {{
+    int i = 1;
+    int j;
+    int key;
+    while (i < 8) bound(7) {{
+        key = a[i];
+        j = i - 1;
+        while (j >= 0 && a[j] > key) bound(7) {{
+            a[j + 1] = a[j];
+            j = j - 1;
+        }}
+        a[j + 1] = key;
+        i = i + 1;
+    }}
+    int sum = 0;
+    for (i = 0; i < 8; i = i + 1) bound(8) {{ sum = sum + (2 * i + 1) * a[i]; }}
+    return sum;
+}}",
+        init = array_literal(&data)
+    );
+    Workload {
+        name: "sort8",
+        source,
+        expected: expected as u32,
+        category: Category::Branchy,
+    }
+}
+
 pub use micro::pressure_fir8;
 
 /// All kernels.
@@ -751,6 +795,7 @@ pub fn all() -> Vec<Workload> {
         lcdnum(),
         expintish(),
         stencil2d(),
+        sort8(),
         pressure_fir8(),
     ]
 }

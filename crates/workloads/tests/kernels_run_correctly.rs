@@ -78,6 +78,29 @@ fn stencil_kernel_is_correct_and_profits_from_the_mid_end() {
 }
 
 #[test]
+fn sort8_is_correct_in_strict_mode_and_profits_from_delay_filling() {
+    // The branch-heavy insertion sort spends most of its cycles within
+    // two bundles of a conditional branch; it must stay correct under
+    // strict timing checks at both scheduler levels, and the DAG
+    // scheduler's delay-slot filling must visibly pay for itself.
+    let w = patmos_workloads::sort8();
+    let (got_s0, cycles_s0) = run_with(
+        &w.source,
+        &CompileOptions {
+            sched_level: 0,
+            ..CompileOptions::default()
+        },
+    );
+    let (got_s1, cycles_s1) = run_with(&w.source, &CompileOptions::default());
+    assert_eq!(got_s0, w.expected, "sort8 wrong at sched-level 0");
+    assert_eq!(got_s1, w.expected, "sort8 wrong at sched-level 1");
+    assert!(
+        cycles_s1 * 10 <= cycles_s0 * 9,
+        "delay-slot filling must cut at least 10% off sort8: {cycles_s0} -> {cycles_s1}"
+    );
+}
+
+#[test]
 fn register_pressure_kernel_stays_in_registers() {
     // The unrolled FIR-8 keeps >10 values live at once; the allocator
     // must still fit the window in registers: correct result, strict

@@ -109,6 +109,51 @@ fn bound_covers_observed_at_every_opt_level() {
 }
 
 #[test]
+fn bound_covers_observed_at_every_sched_level() {
+    // The DAG scheduler reorders code and fills delay slots with real
+    // work; the IPET analysis sees whatever it emitted, and soundness
+    // must survive it — in branching and single-path mode, at both
+    // scheduler levels, with the results staying correct.
+    for sched_level in [0u8, 1] {
+        for single_path in [false, true] {
+            for w in patmos::workloads::all() {
+                let options = CompileOptions {
+                    sched_level,
+                    single_path,
+                    ..CompileOptions::default()
+                };
+                let image = match compile(&w.source, &options) {
+                    Ok(image) => image,
+                    // Some kernels legitimately reject single-path
+                    // conversion (calls inside converted regions).
+                    Err(_) if single_path => continue,
+                    Err(e) => panic!("S{sched_level}/{}: compile failed: {e}", w.name),
+                };
+                let report = analyze(&image, &Machine::Patmos(SimConfig::default()))
+                    .unwrap_or_else(|e| panic!("S{sched_level}/{}: analysis failed: {e}", w.name));
+                let mut sim = Simulator::new(&image, SimConfig::default());
+                let run = sim
+                    .run()
+                    .unwrap_or_else(|e| panic!("S{sched_level}/{}: run failed: {e}", w.name));
+                assert_eq!(
+                    sim.reg(patmos::isa::Reg::R1),
+                    w.expected,
+                    "S{sched_level}/single_path={single_path}/{}: wrong result",
+                    w.name
+                );
+                assert!(
+                    report.bound_cycles >= run.stats.cycles,
+                    "S{sched_level}/single_path={single_path}/{}: bound {} < observed {}",
+                    w.name,
+                    report.bound_cycles,
+                    run.stats.cycles
+                );
+            }
+        }
+    }
+}
+
+#[test]
 fn patmos_bounds_are_reasonably_tight_on_default_config() {
     // Tightness is the paper's selling point; enforce a global sanity
     // ceiling on the pessimism ratio for the default machine.
