@@ -653,6 +653,7 @@ pub struct RegallocBaseline {
 const REGALLOC_BASELINE_JSON: &str = include_str!("../baselines/regalloc_cycles.json");
 const OPT_BASELINE_JSON: &str = include_str!("../baselines/opt_cycles.json");
 const SCHED_BASELINE_JSON: &str = include_str!("../baselines/sched_cycles.json");
+const OPT2_BASELINE_JSON: &str = include_str!("../baselines/opt2_cycles.json");
 
 fn json_field(section: &str, key: &str) -> u64 {
     let marker = format!("\"{key}\":");
@@ -1054,6 +1055,114 @@ pub fn sched_baseline_json() -> String {
     out
 }
 
+/// One kernel's entry in the checked-in loop-aware mid-end baseline
+/// (`baselines/opt2_cycles.json`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Opt2Baseline {
+    /// Kernel name.
+    pub name: String,
+    /// Cycles at `opt_level` 1 (the full PR 3 pipeline — identical to
+    /// `sched1_cycles` in `sched_cycles.json`).
+    pub opt1_cycles: u64,
+    /// Cycles at `opt_level` 2 (inlining + LICM + unrolling on top).
+    pub opt2_cycles: u64,
+}
+
+/// Parses the checked-in loop-aware baseline.
+pub fn opt2_baseline() -> Vec<Opt2Baseline> {
+    kernel_sections(OPT2_BASELINE_JSON)
+        .into_iter()
+        .map(|(name, section)| Opt2Baseline {
+            name,
+            opt1_cycles: json_field(section, "opt1_cycles"),
+            opt2_cycles: json_field(section, "opt2_cycles"),
+        })
+        .collect()
+}
+
+/// Measures one kernel at mid-end levels 1 and 2, both on the full
+/// default backend (DAG scheduler, dual issue): `(opt1 cycles, opt2
+/// cycles)`. The level-1 number is the PR 3 trajectory's
+/// `sched1_cycles` remeasured — the two files are cross-pinned by a
+/// test.
+pub fn measure_opt2_kernel(source: &str) -> (u64, u64) {
+    let o2 = CompileOptions {
+        opt_level: 2,
+        ..CompileOptions::default()
+    };
+    let (_, s1) = run_patc(source, &CompileOptions::default(), SimConfig::default());
+    let (_, s2) = run_patc(source, &o2, SimConfig::default());
+    (s1.cycles, s2.cycles)
+}
+
+/// E14 — the loop-aware mid-end (inlining, LICM, unrolling): cycles at
+/// `opt_level` 1 vs 2 across the kernel suite.
+pub fn exp_e14_opt2() -> String {
+    let mut out = String::new();
+    writeln!(
+        out,
+        "E14: loop-aware mid-end (inline + LICM + unroll) vs scalar mid-end"
+    )
+    .ok();
+    writeln!(
+        out,
+        "{:<12} {:>11} {:>11} {:>9} {:>8}",
+        "kernel", "opt1 cyc", "opt2 cyc", "speedup", "saved"
+    )
+    .ok();
+    let mut pairs = Vec::new();
+    let mut total1 = 0u64;
+    let mut total2 = 0u64;
+    for entry in &opt2_baseline() {
+        let w = workloads::by_name(&entry.name)
+            .unwrap_or_else(|| panic!("baseline kernel `{}` no longer exists", entry.name));
+        let (o1, o2) = measure_opt2_kernel(&w.source);
+        pairs.push((o1, o2));
+        total1 += o1;
+        total2 += o2;
+        writeln!(
+            out,
+            "{:<12} {:>11} {:>11} {:>8.2}x {:>7.1}%",
+            entry.name,
+            o1,
+            o2,
+            o1 as f64 / o2 as f64,
+            100.0 * (1.0 - o2 as f64 / o1 as f64)
+        )
+        .ok();
+    }
+    writeln!(
+        out,
+        "total: {total1} -> {total2} cycles; geometric-mean speedup {:.2}x",
+        geomean_speedup(&pairs)
+    )
+    .ok();
+    out
+}
+
+/// Re-emits the loop-aware baseline JSON from fresh measurements.
+pub fn opt2_baseline_json() -> String {
+    let mut out = String::new();
+    out.push_str("{\n  \"schema\": \"patmos-bench/opt2-baseline/v1\",\n");
+    out.push_str(
+        "  \"description\": \"Per-kernel cycle counts at opt_level 1 (the scalar mid-end — the PR 3 pipeline, equal to sched1_cycles in sched_cycles.json) and opt_level 2 (the loop-aware mid-end: size-budgeted inlining, loop-invariant code motion, full unrolling of small constant-trip-count loops), both on the default backend. Regenerate with: cargo run -p patmos-bench --bin exp_e14_opt2 -- --json\",\n",
+    );
+    out.push_str("  \"kernels\": {\n");
+    let entries: Vec<String> = workloads::all()
+        .iter()
+        .map(|w| {
+            let (o1, o2) = measure_opt2_kernel(&w.source);
+            format!(
+                "    \"{}\": {{\n      \"opt1_cycles\": {},\n      \"opt2_cycles\": {}\n    }}",
+                w.name, o1, o2
+            )
+        })
+        .collect();
+    out.push_str(&entries.join(",\n"));
+    out.push_str("\n  }\n}\n");
+    out
+}
+
 /// Runs every experiment and concatenates the reports.
 pub fn all_experiments() -> String {
     [
@@ -1071,6 +1180,7 @@ pub fn all_experiments() -> String {
         exp_e11_regalloc(),
         exp_e12_opt(),
         exp_e13_sched(),
+        exp_e14_opt2(),
     ]
     .join("\n")
 }
@@ -1317,6 +1427,82 @@ mod tests {
         assert!(
             utilisation >= 0.15,
             "suite dual-issue utilisation {utilisation:.3} fell below the 0.15 floor"
+        );
+    }
+
+    #[test]
+    fn e14_opt2_baseline_file_matches_current_measurements() {
+        // Compiler and simulator are deterministic; any drift means the
+        // checked-in trajectory is stale. Regenerate with:
+        //   cargo run -p patmos-bench --bin exp_e14_opt2 -- --json \
+        //     > crates/bench/baselines/opt2_cycles.json
+        let baseline = opt2_baseline();
+        let suite = workloads::all();
+        assert_eq!(
+            baseline.len(),
+            suite.len(),
+            "every kernel of the suite must be recorded in opt2_cycles.json"
+        );
+        for entry in &baseline {
+            let w = workloads::by_name(&entry.name)
+                .unwrap_or_else(|| panic!("baseline kernel `{}` no longer exists", entry.name));
+            let (o1, o2) = measure_opt2_kernel(&w.source);
+            assert_eq!(
+                (o1, o2),
+                (entry.opt1_cycles, entry.opt2_cycles),
+                "{}: baselines/opt2_cycles.json is stale; regenerate it",
+                entry.name
+            );
+        }
+    }
+
+    #[test]
+    fn e14_opt_level_1_preserves_the_sched_trajectory_exactly() {
+        // The opt2 baseline's level-1 side is the PR 3 pipeline: it
+        // must equal the scheduler baseline's `sched1_cycles` bit for
+        // bit — the two trajectory files pin the same pipeline.
+        let sched = sched_baseline();
+        for entry in opt2_baseline() {
+            let s = sched
+                .iter()
+                .find(|s| s.name == entry.name)
+                .unwrap_or_else(|| panic!("`{}` missing from sched_cycles.json", entry.name));
+            assert_eq!(
+                entry.opt1_cycles, s.sched1_cycles,
+                "{}: opt_level 1 must preserve the PR 3 cycle counts exactly",
+                entry.name
+            );
+        }
+    }
+
+    #[test]
+    fn e14_loop_aware_mid_end_never_regresses_and_wins_at_least_5pct_geomean() {
+        let baseline = opt2_baseline();
+        let mut total1 = 0u64;
+        let mut total2 = 0u64;
+        let pairs: Vec<(u64, u64)> = baseline
+            .iter()
+            .map(|e| {
+                assert!(
+                    e.opt2_cycles <= e.opt1_cycles,
+                    "{}: the loop-aware mid-end made the kernel slower ({} -> {})",
+                    e.name,
+                    e.opt1_cycles,
+                    e.opt2_cycles
+                );
+                total1 += e.opt1_cycles;
+                total2 += e.opt2_cycles;
+                (e.opt1_cycles, e.opt2_cycles)
+            })
+            .collect();
+        assert!(
+            total2 < total1,
+            "suite total must strictly improve: {total1} -> {total2}"
+        );
+        let geomean = geomean_speedup(&pairs);
+        assert!(
+            geomean >= 1.05,
+            "geomean speedup {geomean:.3}x is below the 5% target"
         );
     }
 

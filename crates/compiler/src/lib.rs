@@ -90,7 +90,13 @@ pub struct CompileOptions {
     /// allocator (the historical pipeline), `1` runs the
     /// [`patmos_opt`] pass pipeline (const-prop, strength reduction,
     /// CSE, copy-prop, DCE to a fixed point) between code generation
-    /// and register allocation.
+    /// and register allocation, `2` adds the loop-aware passes
+    /// (size-budgeted inlining of non-recursive calls, loop-invariant
+    /// code motion into preheaders, full unrolling of small
+    /// constant-trip-count loops). Levels 0 and 1 reproduce their
+    /// historical pipelines bit for bit; in single-path mode level 2
+    /// keeps only the shape-stable subset (inlining and LICM — never
+    /// unrolling, whose decision reads a literal trip count).
     pub opt_level: u8,
     /// Scheduler level: `0` runs the historical run scheduler (pairs
     /// textually adjacent operations, `nop`-fills every delay slot —
@@ -170,6 +176,7 @@ fn opt_config(options: &CompileOptions, trace: bool) -> patmos_opt::OptConfig {
     patmos_opt::OptConfig {
         shape_stable: options.single_path,
         trace,
+        level: options.opt_level,
     }
 }
 

@@ -1,13 +1,15 @@
 //! Differential property test of the mid-end optimizer: every generated
-//! program is compiled at `opt_level` 0 and `opt_level` 1, both
-//! binaries run on the strict cycle-accurate simulator, and the
-//! observable outcomes must be identical — the ABI result register and
-//! the final contents of every global. (The scratch register file
-//! itself legitimately differs: the two pipelines allocate different
-//! temporaries.) The generator leans on exactly the shapes the
-//! optimizer rewrites: repeated subscripts of a global array, constant
-//! subexpressions, multiplication, power-of-two division/remainder,
-//! and guarded (if-converted) assignments.
+//! program is compiled at `opt_level` 0, 1 and 2 — across single-path
+//! and dual-/single-issue modes — all binaries run on the strict
+//! cycle-accurate simulator, and the observable outcomes must be
+//! identical — the ABI result register and the final contents of every
+//! global. (The scratch register file itself legitimately differs: the
+//! pipelines allocate different temporaries.) The generator leans on
+//! exactly the shapes the optimizer rewrites: repeated subscripts of a
+//! global array, constant subexpressions, multiplication, power-of-two
+//! division/remainder, guarded (if-converted) assignments, and — via
+//! the surrounding counted repetition loop — the loop shapes level 2
+//! hoists from and unrolls.
 
 use proptest::prelude::*;
 
@@ -185,23 +187,42 @@ fn render_program(stmts: &[S], reps: u32, init: [i32; 3]) -> String {
     source
 }
 
-/// Compiles and runs at one opt level; returns `(r1, out[..])`.
-fn observe(source: &str, opt_level: u8) -> (u32, [u32; ARR_LEN]) {
+/// Compiles and runs one configuration; returns `(r1, out[..])`, or
+/// `None` when the configuration legitimately rejects the program
+/// (single-path conversion refuses some shapes).
+fn observe(
+    source: &str,
+    opt_level: u8,
+    single_path: bool,
+    dual_issue: bool,
+) -> Option<(u32, [u32; ARR_LEN])> {
     let options = CompileOptions {
         opt_level,
+        single_path,
+        dual_issue,
         ..CompileOptions::default()
     };
-    let image = compile(source, &options)
-        .unwrap_or_else(|e| panic!("O{opt_level} compile failed: {e}\n{source}"));
-    let mut sim = Simulator::new(&image, SimConfig::default());
-    sim.run()
-        .unwrap_or_else(|e| panic!("O{opt_level} strict simulation failed: {e}\n{source}"));
+    let image = match compile(source, &options) {
+        Ok(image) => image,
+        Err(_) if single_path => return None,
+        Err(e) => panic!("O{opt_level} compile failed: {e}\n{source}"),
+    };
+    let config = SimConfig {
+        dual_issue,
+        ..SimConfig::default()
+    };
+    let mut sim = Simulator::new(&image, config);
+    sim.run().unwrap_or_else(|e| {
+        panic!(
+            "O{opt_level}/sp={single_path}/dual={dual_issue} strict simulation failed: {e}\n{source}"
+        )
+    });
     let base = image.symbol("out").expect("global array exists");
     let mut arr = [0u32; ARR_LEN];
     for (i, slot) in arr.iter_mut().enumerate() {
         *slot = sim.memory().read_word(base + 4 * i as u32);
     }
-    (sim.reg(Reg::R1), arr)
+    Some((sim.reg(Reg::R1), arr))
 }
 
 proptest! {
@@ -224,12 +245,36 @@ proptest! {
         let want_r1 = (env.vars[0] ^ env.vars[1] ^ env.vars[2]) as u32;
         let want_arr = env.arr.map(|v| v as u32);
 
-        let (r1_o0, arr_o0) = observe(&source, 0);
-        let (r1_o1, arr_o1) = observe(&source, 1);
-
-        prop_assert_eq!(r1_o0, want_r1, "opt 0 diverged from reference\n{}", source);
-        prop_assert_eq!(arr_o0, want_arr, "opt 0 memory diverged\n{}", source);
-        prop_assert_eq!(r1_o1, r1_o0, "opt levels disagree on the result\n{}", source);
-        prop_assert_eq!(arr_o1, arr_o0, "opt levels disagree on memory\n{}", source);
+        // Every optimization level × single-path × issue width must
+        // agree with the reference (single-path configurations may
+        // reject a program outright — predicate depth — but whatever
+        // one level rejects, all levels reject: codegen runs first).
+        let mut rejected = 0usize;
+        for single_path in [false, true] {
+            for dual_issue in [true, false] {
+                for opt_level in [0u8, 1, 2] {
+                    match observe(&source, opt_level, single_path, dual_issue) {
+                        Some((r1, arr)) => {
+                            prop_assert_eq!(
+                                r1, want_r1,
+                                "O{}/sp={}/dual={} diverged from reference\n{}",
+                                opt_level, single_path, dual_issue, source
+                            );
+                            prop_assert_eq!(
+                                arr, want_arr,
+                                "O{}/sp={}/dual={} memory diverged\n{}",
+                                opt_level, single_path, dual_issue, source
+                            );
+                        }
+                        None => rejected += 1,
+                    }
+                }
+            }
+        }
+        prop_assert!(
+            rejected == 0 || rejected == 6,
+            "single-path rejection must not depend on the opt level or issue width: {}/6\n{}",
+            rejected, source
+        );
     }
 }

@@ -12,6 +12,12 @@
 //! * [`liveness`] — backward liveness dataflow: live intervals for
 //!   linear scan, block-boundary live sets for dead-code elimination,
 //!   and the precise live-across-call sets the allocator saves;
+//! * [`mod@dom`] — the dominator tree over the CFG (iterative
+//!   Cooper–Harper–Kennedy);
+//! * [`mod@loops`] — the natural-loop forest derived from the back
+//!   edges, which the loop-aware mid-end passes (inlining enablement,
+//!   loop-invariant code motion, unrolling) and
+//!   `patmos-cli compile --dump-loops` consume;
 //! * [`dot`] — Graphviz rendering of the per-function CFG
 //!   (`patmos-cli compile --dump-cfg`);
 //! * [`plir`] — the *physical* LIR over machine registers that the
@@ -22,13 +28,79 @@
 //! The virtual side deliberately knows nothing about physical registers
 //! beyond the ABI copy pseudo-ops, and nothing about timing: scheduling
 //! and frame layout live downstream, on the [`plir`] types.
+//!
+//! # Example: CFG, liveness and the loop forest over one function
+//!
+//! A counted loop in the code generator's shape — header entered by
+//! fall-through, one back edge from the latch — analysed end to end:
+//!
+//! ```
+//! use patmos_isa::{AluOp, CmpOp, Guard, Pred};
+//! use patmos_lir::{build_vcfg, split_functions, LoopForest, VInst, VItem, VOp, VReg};
+//!
+//! let v = VReg::new;
+//! let items = vec![
+//!     VItem::FuncStart("sum".into()),
+//!     VItem::Inst(VInst::always(VOp::LoadImmLow { rd: v(1), imm: 0 })), // i
+//!     VItem::Inst(VInst::always(VOp::LoadImmLow { rd: v(2), imm: 0 })), // acc
+//!     VItem::LoopBound { min: 1, max: 9 },
+//!     VItem::Label("sum_head1".into()),
+//!     VItem::Inst(VInst::always(VOp::CmpI {
+//!         op: CmpOp::Lt,
+//!         pd: Pred::P6,
+//!         rs1: v(1),
+//!         imm: 8,
+//!     })),
+//!     VItem::Inst(VInst::new(Guard::unless(Pred::P6), VOp::BrLabel("sum_exit2".into()))),
+//!     VItem::Inst(VInst::always(VOp::AluR {
+//!         op: AluOp::Add,
+//!         rd: v(2),
+//!         rs1: v(2),
+//!         rs2: v(1),
+//!     })),
+//!     VItem::Inst(VInst::always(VOp::AluI {
+//!         op: AluOp::Add,
+//!         rd: v(1),
+//!         rs1: v(1),
+//!         imm: 1,
+//!     })),
+//!     VItem::Inst(VInst::always(VOp::BrLabel("sum_head1".into()))),
+//!     VItem::Label("sum_exit2".into()),
+//!     VItem::Inst(VInst::always(VOp::CopyToPhys {
+//!         dst: patmos_isa::Reg::R1,
+//!         src: v(2),
+//!     })),
+//!     VItem::Inst(VInst::always(VOp::Ret)),
+//! ];
+//!
+//! // Per-function basic blocks and successor edges.
+//! let funcs = split_functions(&items);
+//! let cfg = build_vcfg(&funcs[0], &items);
+//! assert_eq!(cfg.blocks.len(), 4); // entry, header, body+latch, exit
+//! assert_eq!(cfg.blocks[1].succs, vec![3, 2]); // exit target, then fall-through
+//!
+//! // Backward liveness: the accumulator v2 is live across the back
+//! // edge, from its zero-init to the ABI copy.
+//! let live = patmos_lir::analyze(&funcs[0], &cfg);
+//! assert!(live.block_live_in[1].contains(&v(2)));
+//!
+//! // The natural-loop forest: one loop, header block 1, latch block 2.
+//! let forest = LoopForest::build(&cfg);
+//! assert_eq!(forest.loops.len(), 1);
+//! assert_eq!((forest.loops[0].header, forest.loops[0].depth), (1, 1));
+//! assert_eq!(forest.loops[0].latches, vec![2]);
+//! ```
 
 pub mod cfg;
+pub mod dom;
 pub mod dot;
 pub mod liveness;
+pub mod loops;
 pub mod plir;
 pub mod vlir;
 
 pub use cfg::{build_vcfg, split_functions, FuncCode, VBlock, VCfg};
+pub use dom::DomTree;
 pub use liveness::{analyze, Interval, Liveness};
+pub use loops::{header_lead, HeaderLead, LoopForest, NaturalLoop};
 pub use vlir::{VInst, VItem, VModule, VOp, VReg};

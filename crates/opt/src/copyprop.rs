@@ -127,6 +127,89 @@ pub(crate) fn run(module: &mut VModule) -> bool {
     forward(module) || coalesced
 }
 
+/// Function-global copy forwarding over *single-definition* registers
+/// (an `opt_level` 2 pass).
+///
+/// The block-local [`forward`] cannot chase a copy whose uses live in
+/// another block — exactly what LICM leaves behind when it hoists a
+/// CSE-made copy into a preheader while the uses stay in the loop.
+/// When `dst = src` is the **only** definition of `dst` in the
+/// function, and `src` is the zero alias or itself defined exactly
+/// once and unconditionally, every use of `dst` anywhere reads the one
+/// value `src` ever holds, so the rewrite `dst → src` is sound in
+/// every block. Copy chains resolve transitively; the dead copies are
+/// left for DCE.
+pub(crate) fn run_global(module: &mut VModule) -> bool {
+    // Phase 1 (items borrowed): per function, the resolved rewrite map
+    // and the item indices to visit.
+    let mut plans: Vec<(Vec<usize>, HashMap<VReg, VReg>)> = Vec::new();
+    for func in &patmos_lir::split_functions(&module.items) {
+        // Definition counts; a guarded def still counts (the merge
+        // makes the register multi-valued).
+        let mut defs: HashMap<VReg, (usize, bool)> = HashMap::new();
+        for (_, inst) in &func.insts {
+            if let Some(d) = inst.op.def() {
+                let e = defs.entry(d).or_insert((0, true));
+                e.0 += 1;
+                e.1 &= inst.guard.is_always();
+            }
+        }
+        let single_always = |v: VReg| v.is_zero() || defs.get(&v) == Some(&(1, true));
+
+        let mut rewrite: HashMap<VReg, VReg> = HashMap::new();
+        for (_, inst) in &func.insts {
+            if !inst.guard.is_always() {
+                continue;
+            }
+            if let Some((dst, src)) = as_copy(&inst.op) {
+                if dst != src && defs.get(&dst) == Some(&(1, true)) && single_always(src) {
+                    rewrite.insert(dst, src);
+                }
+            }
+        }
+        if rewrite.is_empty() {
+            continue;
+        }
+        // Resolve chains (`c → b → a` becomes `c → a`).
+        let resolve = |mut v: VReg| {
+            let mut hops = 0;
+            while let Some(&next) = rewrite.get(&v) {
+                v = next;
+                hops += 1;
+                if hops > rewrite.len() {
+                    break; // self-referential degenerate chain
+                }
+            }
+            v
+        };
+        let resolved: HashMap<VReg, VReg> = rewrite.keys().map(|&d| (d, resolve(d))).collect();
+        plans.push((func.insts.iter().map(|&(idx, _)| idx).collect(), resolved));
+    }
+
+    // Phase 2: apply.
+    let mut changed = false;
+    for (item_indices, resolved) in plans {
+        for idx in item_indices {
+            let VItem::Inst(inst) = &mut module.items[idx] else {
+                unreachable!("insts index instruction items");
+            };
+            // Keep the defining copies themselves intact: rewriting a
+            // copy's source is fine, but `dst = dst` must not appear.
+            let own_def = inst.op.def();
+            inst.op.map_uses(|u| {
+                let r = resolved.get(&u).copied().unwrap_or(u);
+                if r != u && Some(r) != own_def {
+                    changed = true;
+                    r
+                } else {
+                    u
+                }
+            });
+        }
+    }
+    changed
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

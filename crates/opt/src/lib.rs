@@ -23,10 +23,27 @@
 //! 5. **dead-code elimination** — liveness-driven removal of pure
 //!    instructions whose results are never read.
 //!
+//! Level 2 ([`OptConfig::level`]) makes the pipeline *loop-aware*, over
+//! the dominator-tree and natural-loop-forest analyses of
+//! [`patmos_lir`]:
+//!
+//! * a size-budgeted **function inliner** runs first, on raw generator
+//!   output (the `inline` module documents the call-protocol pattern
+//!   it splices);
+//! * **loop-invariant code motion** joins the fixpoint, hoisting pure
+//!   computations (symbol loads, constants, invariant address
+//!   arithmetic, loads from unwritten areas) into loop preheaders;
+//! * small **constant-trip-count loops unroll fully** between fixpoint
+//!   reruns, handing the scalar passes straight-line code in which the
+//!   induction variable folds to per-iteration constants.
+//!
 //! Every pass is *guard-aware*: definitions under a non-always
 //! predicate merge with the old value and therefore block propagation,
 //! while their operands may still be rewritten. Single-path code stays
-//! single-path — no pass introduces or removes control flow.
+//! single-path — no pass introduces or removes control flow, and the
+//! shape-stable pipeline used by single-path mode excludes unrolling
+//! (trip counts are literal values) while keeping inlining and LICM,
+//! whose decisions read only code shape.
 //!
 //! # Example
 //!
@@ -57,12 +74,80 @@
 //! // `6 << 3` folds to one immediate load of 48.
 //! assert_eq!(report.insts_after, 3);
 //! ```
+//!
+//! # Example: the loop-aware level
+//!
+//! A counted loop summing `0..5` flattens completely at level 2 — the
+//! unroller copies the body, constant propagation rewrites the
+//! induction variable per copy, and the whole computation folds:
+//!
+//! ```
+//! use patmos_isa::{AluOp, CmpOp, Guard, Pred};
+//! use patmos_lir::{VInst, VItem, VModule, VOp, VReg};
+//!
+//! let v = VReg::new;
+//! let mut module = VModule {
+//!     data_lines: Vec::new(),
+//!     entry: "main".into(),
+//!     items: vec![
+//!         VItem::FuncStart("main".into()),
+//!         VItem::Inst(VInst::always(VOp::LoadImmLow { rd: v(1), imm: 0 })),
+//!         VItem::Inst(VInst::always(VOp::LoadImmLow { rd: v(2), imm: 0 })),
+//!         VItem::LoopBound { min: 1, max: 6 },
+//!         VItem::Label("main_head1".into()),
+//!         VItem::Inst(VInst::always(VOp::CmpI {
+//!             op: CmpOp::Lt,
+//!             pd: Pred::P6,
+//!             rs1: v(1),
+//!             imm: 5,
+//!         })),
+//!         VItem::Inst(VInst::new(
+//!             Guard::unless(Pred::P6),
+//!             VOp::BrLabel("main_exit2".into()),
+//!         )),
+//!         VItem::Inst(VInst::always(VOp::AluR {
+//!             op: AluOp::Add,
+//!             rd: v(2),
+//!             rs1: v(2),
+//!             rs2: v(1),
+//!         })),
+//!         VItem::Inst(VInst::always(VOp::AluI {
+//!             op: AluOp::Add,
+//!             rd: v(1),
+//!             rs1: v(1),
+//!             imm: 1,
+//!         })),
+//!         VItem::Inst(VInst::always(VOp::BrLabel("main_head1".into()))),
+//!         VItem::Label("main_exit2".into()),
+//!         VItem::Inst(VInst::always(VOp::CopyToPhys {
+//!             dst: patmos_isa::Reg::R1,
+//!             src: v(2),
+//!         })),
+//!         VItem::Inst(VInst::always(VOp::Halt)),
+//!     ],
+//! };
+//! let config = patmos_opt::OptConfig {
+//!     level: 2,
+//!     ..patmos_opt::OptConfig::default()
+//! };
+//! patmos_opt::optimize_with(&mut module, config);
+//! // No control flow left: `0+1+2+3+4` became `li 10` + the ABI copy.
+//! assert!(!module.items.iter().any(|i| matches!(
+//!     i,
+//!     VItem::Label(_)
+//!         | VItem::LoopBound { .. }
+//!         | VItem::Inst(VInst { op: VOp::BrLabel(_), .. })
+//! )));
+//! ```
 
 mod constprop;
 mod copyprop;
 mod cse;
 mod dce;
+mod inline;
+mod licm;
 mod strength;
+mod unroll;
 mod util;
 
 use patmos_lir::{VItem, VModule};
@@ -110,7 +195,7 @@ fn count_insts(module: &VModule) -> usize {
 type Pass = fn(&mut VModule) -> bool;
 
 /// How to run the pipeline.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy)]
 pub struct OptConfig {
     /// Restrict the pipeline to *shape-stable* rewrites: passes whose
     /// effect cannot depend on the value of any literal, so two
@@ -118,42 +203,54 @@ pub struct OptConfig {
     /// shaped code. Required by single-path mode, whose contract is
     /// that execution time does not depend on input values — including
     /// values baked in as literals. Drops constant folding, strength
-    /// reduction, and immediate-keyed CSE; keeps structural CSE, copy
-    /// propagation and DCE.
+    /// reduction, immediate-keyed CSE and loop unrolling (a trip count
+    /// *is* a literal); keeps structural CSE, copy propagation, DCE,
+    /// and — at level 2 — inlining and loop-invariant code motion,
+    /// whose decisions read only code shape.
     pub shape_stable: bool,
     /// Capture a per-pass before/after snapshot for every pass that
     /// changed the module.
     pub trace: bool,
+    /// Pipeline level. `1` runs the scalar fixpoint; `2` additionally
+    /// inlines small non-recursive calls first, hoists loop-invariant
+    /// code inside the fixpoint, and fully unrolls small
+    /// constant-trip-count loops between fixpoint reruns. Levels beyond
+    /// 2 behave like 2.
+    pub level: u8,
 }
 
-fn run_pipeline(module: &mut VModule, config: OptConfig) -> OptReport {
-    let full: &[(&'static str, Pass)] = &[
-        ("const-prop", constprop::run),
-        ("strength-reduce", strength::run),
-        ("cse", cse::run),
-        ("copy-prop", copyprop::run),
-        ("dce", dce::run),
-    ];
-    let shape_stable: &[(&'static str, Pass)] = &[
-        ("cse", cse::run_shape_stable),
-        ("copy-prop", copyprop::run),
-        ("dce", dce::run),
-    ];
-    let passes = if config.shape_stable {
-        shape_stable
-    } else {
-        full
-    };
-    let trace = config.trace;
-    let mut report = OptReport {
-        insts_before: count_insts(module),
-        ..OptReport::default()
-    };
-    for round in 1..=MAX_ROUNDS {
+impl Default for OptConfig {
+    /// Level 1, value-dependent rewrites allowed, no tracing.
+    fn default() -> OptConfig {
+        OptConfig {
+            shape_stable: false,
+            trace: false,
+            level: 1,
+        }
+    }
+}
+
+/// Upper bound on unroll→fixpoint reruns: each round can only unroll
+/// what the previous round's folding turned into an innermost counted
+/// loop, and nests in practice flatten within two.
+const MAX_UNROLL_ROUNDS: u32 = 3;
+
+/// The scalar (and, at level 2, LICM) fixpoint.
+fn run_fixpoint(
+    module: &mut VModule,
+    config: OptConfig,
+    report: &mut OptReport,
+    passes: &[(&'static str, Pass)],
+) {
+    // Round numbering continues across the level-2 unroll reruns, so
+    // `OptReport::rounds` counts the whole pipeline and a traced dump's
+    // round is globally unique.
+    let base = report.rounds;
+    for round in base + 1..=base + MAX_ROUNDS {
         report.rounds = round;
         let mut changed = false;
         for &(name, pass) in passes {
-            let before = trace.then(|| module.render());
+            let before = config.trace.then(|| module.render());
             if pass(module) {
                 changed = true;
                 if let Some(before) = before {
@@ -170,6 +267,86 @@ fn run_pipeline(module: &mut VModule, config: OptConfig) -> OptReport {
             break;
         }
     }
+}
+
+fn run_pipeline(module: &mut VModule, config: OptConfig) -> OptReport {
+    let full: &[(&'static str, Pass)] = &[
+        ("const-prop", constprop::run),
+        ("strength-reduce", strength::run),
+        ("cse", cse::run),
+        ("copy-prop", copyprop::run),
+        ("dce", dce::run),
+    ];
+    let full_loop: &[(&'static str, Pass)] = &[
+        ("const-prop", constprop::run),
+        ("strength-reduce", strength::run),
+        ("cse", cse::run),
+        ("licm", licm::run),
+        ("copy-prop", copyprop::run),
+        ("copy-prop-global", copyprop::run_global),
+        ("dce", dce::run),
+    ];
+    let shape_stable: &[(&'static str, Pass)] = &[
+        ("cse", cse::run_shape_stable),
+        ("copy-prop", copyprop::run),
+        ("dce", dce::run),
+    ];
+    let shape_stable_loop: &[(&'static str, Pass)] = &[
+        ("cse", cse::run_shape_stable),
+        ("licm", licm::run),
+        ("copy-prop", copyprop::run),
+        ("copy-prop-global", copyprop::run_global),
+        ("dce", dce::run),
+    ];
+    let loop_aware = config.level >= 2;
+    let passes = match (config.shape_stable, loop_aware) {
+        (false, false) => full,
+        (false, true) => full_loop,
+        (true, false) => shape_stable,
+        (true, true) => shape_stable_loop,
+    };
+    let mut report = OptReport {
+        insts_before: count_insts(module),
+        ..OptReport::default()
+    };
+
+    if loop_aware {
+        let before = config.trace.then(|| module.render());
+        if inline::run(module) {
+            if let Some(before) = before {
+                report.dumps.push(PassDump {
+                    round: 0,
+                    pass: "inline",
+                    before,
+                    after: module.render(),
+                });
+            }
+        }
+    }
+
+    run_fixpoint(module, config, &mut report, passes);
+
+    if loop_aware && !config.shape_stable {
+        for _ in 0..MAX_UNROLL_ROUNDS {
+            let before = config.trace.then(|| module.render());
+            if !unroll::run(module) {
+                break;
+            }
+            // The unroll application is a round of its own; the next
+            // fixpoint continues counting from it.
+            report.rounds += 1;
+            if let Some(before) = before {
+                report.dumps.push(PassDump {
+                    round: report.rounds,
+                    pass: "unroll",
+                    before,
+                    after: module.render(),
+                });
+            }
+            run_fixpoint(module, config, &mut report, passes);
+        }
+    }
+
     report.insts_after = count_insts(module);
     report
 }

@@ -1,0 +1,488 @@
+//! Loop-invariant code motion (an `opt_level` 2 pass).
+//!
+//! For every natural loop of the [`patmos_lir::LoopForest`], pure
+//! unconditional instructions whose operands are loop-invariant move to
+//! the loop's *preheader* — the fall-through position immediately
+//! before the `.loopbound`/label items of the header. The generator
+//! re-emits symbol loads (`lil`), constants and address arithmetic on
+//! every iteration; one hoist pays for the whole trip count.
+//!
+//! Hoisting an instruction `d = op(uses)` out of loop `L` requires:
+//!
+//! * the guard is *always* and the op is pure — but not `mfs` (reads
+//!   the multiplier state) and not an ABI copy (reads physical state);
+//! * a load additionally requires that `L` contains no call and no
+//!   store to the same memory area;
+//! * `d` has exactly this one definition in `L` and is **not live into
+//!   the header** — otherwise a pre-loop value (reachable on the
+//!   zero-trip path or read before the def) would be clobbered;
+//! * every use is defined outside `L`, or by an instruction already
+//!   hoisted in this pass (the invariant closure);
+//! * the header's label is branched to only by the loop's own back
+//!   edges, so the spot before the header *is* a preheader.
+//!
+//! Inner loops are processed first; the fixpoint driver re-runs the
+//! pass, so an instruction hoisted into an inner preheader (still
+//! inside the outer loop) migrates further out on the next round if it
+//! is invariant there too. All decisions are structural — opcode,
+//! operand identity, dataflow — never literal values, so the pass is
+//! part of the shape-stable (single-path) pipeline.
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+use patmos_isa::MemArea;
+use patmos_lir::{FuncCode, VCfg, VItem, VModule, VOp, VReg};
+
+/// One loop's planned hoists: the items move, in dependency order, to
+/// just before `insert_at`.
+struct Hoist {
+    insert_at: usize,
+    items: Vec<usize>,
+}
+
+/// The header's own leading items — label and attached `.loopbound` —
+/// via the shared [`patmos_lir::header_lead`] walk. Its `start` is the
+/// preheader insertion point: hoisted code must land *below* any
+/// earlier label in the run, which is a live side entry (the join
+/// label of a branching `if` right before the loop).
+fn header_lead<'a>(
+    items: &'a [VItem],
+    func: &FuncCode<'_>,
+    cfg: &VCfg,
+    header: usize,
+) -> patmos_lir::HeaderLead<'a> {
+    patmos_lir::header_lead(items, func.insts[cfg.blocks[header].first].0)
+}
+
+fn plan_function(
+    items: &[VItem],
+    func: &FuncCode<'_>,
+    taken: &mut HashSet<usize>,
+    hoists: &mut Vec<Hoist>,
+) {
+    let cfg = patmos_lir::build_vcfg(func, items);
+    let dom = patmos_lir::DomTree::build(&cfg);
+    let forest = patmos_lir::LoopForest::build_with_dom(&cfg, &dom);
+    let liveness = patmos_lir::analyze(func, &cfg);
+
+    // Innermost first: deepest loops claim their instructions before
+    // the enclosing ones look.
+    let mut order: Vec<usize> = (0..forest.loops.len()).collect();
+    order.sort_by_key(|&i| std::cmp::Reverse(forest.loops[i].depth));
+
+    for li in order {
+        let lp = &forest.loops[li];
+        let Some(label) = header_lead(items, func, &cfg, lp.header).label else {
+            continue;
+        };
+        // Every branch to the header must be one of the loop's own back
+        // edges — otherwise the spot before the header is not a
+        // preheader.
+        let mut proper = true;
+        for (pos, (_, inst)) in func.insts.iter().enumerate() {
+            if matches!(&inst.op, VOp::BrLabel(l) if l == label)
+                && !lp.latches.contains(&cfg.block_of(pos))
+            {
+                proper = false;
+                break;
+            }
+        }
+        if !proper {
+            continue;
+        }
+
+        // Loop-wide facts: definition counts, stored areas, calls.
+        let positions: Vec<usize> = lp
+            .blocks
+            .iter()
+            .flat_map(|&b| cfg.blocks[b].first..cfg.blocks[b].end)
+            .collect();
+        let mut def_count: HashMap<VReg, u32> = HashMap::new();
+        let mut store_areas: HashSet<MemArea> = HashSet::new();
+        let mut has_call = false;
+        for &pos in &positions {
+            let inst = func.insts[pos].1;
+            if let Some(d) = inst.op.def() {
+                *def_count.entry(d).or_default() += 1;
+            }
+            match &inst.op {
+                VOp::Store { area, .. } => {
+                    store_areas.insert(*area);
+                }
+                VOp::CallFunc(_) => has_call = true,
+                _ => {}
+            }
+        }
+
+        // Invariant closure.
+        let mut marked: Vec<usize> = Vec::new(); // positions, program order
+        let mut marked_defs: HashSet<VReg> = HashSet::new();
+        loop {
+            let mut grew = false;
+            for &pos in &positions {
+                let (item_idx, inst) = (func.insts[pos].0, func.insts[pos].1);
+                if taken.contains(&item_idx) || marked.contains(&pos) || !inst.guard.is_always() {
+                    continue;
+                }
+                let hoistable_op = match &inst.op {
+                    VOp::Mfs { .. } | VOp::CopyFromPhys { .. } => false,
+                    VOp::Load { area, .. } => !has_call && !store_areas.contains(area),
+                    op => op.is_pure(),
+                };
+                if !hoistable_op {
+                    continue;
+                }
+                let Some(d) = inst.op.def() else { continue };
+                if def_count.get(&d).copied().unwrap_or(0) != 1
+                    || liveness.block_live_in[lp.header].contains(&d)
+                {
+                    continue;
+                }
+                let uses_ok = inst.op.uses().into_iter().flatten().all(|u| {
+                    def_count.get(&u).copied().unwrap_or(0) == 0
+                        || (def_count[&u] == 1 && marked_defs.contains(&u))
+                });
+                if !uses_ok {
+                    continue;
+                }
+                marked.push(pos);
+                marked_defs.insert(d);
+                grew = true;
+            }
+            if !grew {
+                break;
+            }
+        }
+        if marked.is_empty() {
+            continue;
+        }
+
+        // Emit in dependency order: an instruction waits until no
+        // not-yet-emitted marked instruction still defines one of its
+        // uses.
+        marked.sort_unstable();
+        let mut ordered: Vec<usize> = Vec::with_capacity(marked.len());
+        let mut pending: Vec<usize> = marked.clone();
+        while !pending.is_empty() {
+            let pending_defs: HashSet<VReg> = pending
+                .iter()
+                .filter_map(|&p| func.insts[p].1.op.def())
+                .collect();
+            let ready = pending.iter().position(|&p| {
+                func.insts[p]
+                    .1
+                    .op
+                    .uses()
+                    .into_iter()
+                    .flatten()
+                    .all(|u| !pending_defs.contains(&u) || func.insts[p].1.op.def() == Some(u))
+            });
+            match ready {
+                Some(i) => ordered.push(pending.remove(i)),
+                None => unreachable!("invariant closure has no def cycles"),
+            }
+        }
+
+        let item_indices: Vec<usize> = ordered.iter().map(|&p| func.insts[p].0).collect();
+        taken.extend(item_indices.iter().copied());
+        hoists.push(Hoist {
+            insert_at: header_lead(items, func, &cfg, lp.header).start,
+            items: item_indices,
+        });
+    }
+}
+
+/// Runs the pass over every function of the module.
+pub(crate) fn run(module: &mut VModule) -> bool {
+    let mut taken: HashSet<usize> = HashSet::new();
+    let mut hoists: Vec<Hoist> = Vec::new();
+    for func in &patmos_lir::split_functions(&module.items) {
+        plan_function(&module.items, func, &mut taken, &mut hoists);
+    }
+    if hoists.is_empty() {
+        return false;
+    }
+
+    let mut insertions: BTreeMap<usize, Vec<VItem>> = BTreeMap::new();
+    for h in &hoists {
+        let moved: Vec<VItem> = h.items.iter().map(|&i| module.items[i].clone()).collect();
+        insertions.entry(h.insert_at).or_default().extend(moved);
+    }
+    let removed: HashSet<usize> = taken;
+    let mut out: Vec<VItem> = Vec::with_capacity(module.items.len());
+    for (idx, item) in module.items.drain(..).enumerate() {
+        if let Some(mut hoisted) = insertions.remove(&idx) {
+            out.append(&mut hoisted);
+        }
+        if removed.contains(&idx) {
+            continue;
+        }
+        out.push(item);
+    }
+    module.items = out;
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use patmos_isa::{AccessSize, AluOp, CmpOp, Guard, Pred, Reg};
+    use patmos_lir::{VInst, VItem, VOp};
+
+    fn v(id: u32) -> VReg {
+        VReg::new(id)
+    }
+
+    fn inst(op: VOp) -> VItem {
+        VItem::Inst(VInst::always(op))
+    }
+
+    /// `for (i = 0; i < 8; i++) { s += tab[i]; }` as the generator
+    /// spells it: the `lil` base reload sits inside the loop.
+    fn loop_with_invariant_base() -> VModule {
+        VModule {
+            data_lines: Vec::new(),
+            entry: "main".into(),
+            items: vec![
+                VItem::FuncStart("main".into()),
+                inst(VOp::LoadImmLow { rd: v(1), imm: 0 }), // i
+                inst(VOp::LoadImmLow { rd: v(2), imm: 0 }), // s
+                VItem::LoopBound { min: 1, max: 9 },
+                VItem::Label("main_head1".into()),
+                inst(VOp::CmpI {
+                    op: CmpOp::Lt,
+                    pd: Pred::P6,
+                    rs1: v(1),
+                    imm: 8,
+                }),
+                VItem::Inst(VInst::new(
+                    Guard::unless(Pred::P6),
+                    VOp::BrLabel("main_exit2".into()),
+                )),
+                inst(VOp::LilSym {
+                    rd: v(3),
+                    sym: "tab".into(),
+                }), // invariant
+                inst(VOp::AluI {
+                    op: AluOp::Shl,
+                    rd: v(4),
+                    rs1: v(1),
+                    imm: 2,
+                }), // variant (uses i)
+                inst(VOp::AluR {
+                    op: AluOp::Add,
+                    rd: v(5),
+                    rs1: v(3),
+                    rs2: v(4),
+                }),
+                inst(VOp::Load {
+                    area: MemArea::Static,
+                    size: AccessSize::Word,
+                    rd: v(6),
+                    ra: v(5),
+                    offset: 0,
+                }),
+                inst(VOp::AluR {
+                    op: AluOp::Add,
+                    rd: v(2),
+                    rs1: v(2),
+                    rs2: v(6),
+                }),
+                inst(VOp::AluI {
+                    op: AluOp::Add,
+                    rd: v(1),
+                    rs1: v(1),
+                    imm: 1,
+                }),
+                inst(VOp::BrLabel("main_head1".into())),
+                VItem::Label("main_exit2".into()),
+                inst(VOp::CopyToPhys {
+                    dst: Reg::R1,
+                    src: v(2),
+                }),
+                inst(VOp::Halt),
+            ],
+        }
+    }
+
+    #[test]
+    fn invariant_symbol_load_is_hoisted_to_the_preheader() {
+        let mut m = loop_with_invariant_base();
+        assert!(run(&mut m));
+        // The lil must now precede the .loopbound.
+        let lil_at = m
+            .items
+            .iter()
+            .position(|i| {
+                matches!(
+                    i,
+                    VItem::Inst(VInst {
+                        op: VOp::LilSym { .. },
+                        ..
+                    })
+                )
+            })
+            .expect("lil survives");
+        let bound_at = m
+            .items
+            .iter()
+            .position(|i| matches!(i, VItem::LoopBound { .. }))
+            .expect("bound survives");
+        assert!(lil_at < bound_at, "{}", m.render());
+        // Variant address math stays inside.
+        let shl_at = m
+            .items
+            .iter()
+            .position(|i| {
+                matches!(
+                    i,
+                    VItem::Inst(VInst {
+                        op: VOp::AluI { op: AluOp::Shl, .. },
+                        ..
+                    })
+                )
+            })
+            .expect("shl survives");
+        assert!(shl_at > bound_at, "{}", m.render());
+        // A second run finds nothing new.
+        assert!(!run(&mut m));
+    }
+
+    #[test]
+    fn stores_in_the_loop_pin_same_area_loads() {
+        let mut m = loop_with_invariant_base();
+        // Add a store to the static area inside the loop (after the
+        // accumulating add, before the increment).
+        m.items.insert(
+            12,
+            inst(VOp::Store {
+                area: MemArea::Static,
+                size: AccessSize::Word,
+                ra: v(3),
+                offset: 0,
+                rs: v(2),
+            }),
+        );
+        assert!(run(&mut m), "the lil still hoists");
+        let load_at = m
+            .items
+            .iter()
+            .position(|i| {
+                matches!(
+                    i,
+                    VItem::Inst(VInst {
+                        op: VOp::Load { .. },
+                        ..
+                    })
+                )
+            })
+            .expect("load survives");
+        let bound_at = m
+            .items
+            .iter()
+            .position(|i| matches!(i, VItem::LoopBound { .. }))
+            .expect("bound survives");
+        assert!(load_at > bound_at, "load must stay inside:\n{}", m.render());
+    }
+
+    #[test]
+    fn hoisted_code_lands_below_a_side_entry_label() {
+        // A branching if's join label sits directly before the loop's
+        // `.loopbound`/label run; the `(!p6) br` into it is a live side
+        // entry. Hoisted code must land *after* that label, or the
+        // taken path skips it (a real miscompile this reproduces).
+        let mut m = loop_with_invariant_base();
+        m.items.splice(
+            3..3,
+            vec![
+                VItem::Inst(VInst::always(VOp::CmpI {
+                    op: CmpOp::Eq,
+                    pd: Pred::P6,
+                    rs1: v(9),
+                    imm: 1,
+                })),
+                VItem::Inst(VInst::new(
+                    Guard::unless(Pred::P6),
+                    VOp::BrLabel("main_join9".into()),
+                )),
+                inst(VOp::AluI {
+                    op: AluOp::Add,
+                    rd: v(9),
+                    rs1: v(9),
+                    imm: 7,
+                }),
+                VItem::Label("main_join9".into()),
+            ],
+        );
+        assert!(run(&mut m));
+        let join_at = m
+            .items
+            .iter()
+            .position(|i| matches!(i, VItem::Label(l) if l == "main_join9"))
+            .expect("join label survives");
+        let lil_at = m
+            .items
+            .iter()
+            .position(|i| {
+                matches!(
+                    i,
+                    VItem::Inst(VInst {
+                        op: VOp::LilSym { .. },
+                        ..
+                    })
+                )
+            })
+            .expect("lil survives");
+        let bound_at = m
+            .items
+            .iter()
+            .position(|i| matches!(i, VItem::LoopBound { .. }))
+            .expect("bound survives");
+        assert!(
+            join_at < lil_at && lil_at < bound_at,
+            "hoist must sit between the side entry and the loop:\n{}",
+            m.render()
+        );
+    }
+
+    #[test]
+    fn live_in_register_is_never_clobbered() {
+        // v7 is read at the loop head before being rewritten inside:
+        // hoisting its (otherwise invariant-looking) redefinition would
+        // clobber the pre-loop value.
+        let mut m = VModule {
+            data_lines: Vec::new(),
+            entry: "main".into(),
+            items: vec![
+                VItem::FuncStart("main".into()),
+                inst(VOp::LoadImmLow { rd: v(7), imm: 3 }),
+                inst(VOp::LoadImmLow { rd: v(1), imm: 0 }),
+                VItem::Label("main_head1".into()),
+                inst(VOp::AluR {
+                    op: AluOp::Add,
+                    rd: v(1),
+                    rs1: v(1),
+                    rs2: v(7),
+                }),
+                inst(VOp::LoadImmLow { rd: v(7), imm: 9 }),
+                inst(VOp::CmpI {
+                    op: CmpOp::Lt,
+                    pd: Pred::P6,
+                    rs1: v(1),
+                    imm: 40,
+                }),
+                VItem::Inst(VInst::new(
+                    Guard::when(Pred::P6),
+                    VOp::BrLabel("main_head1".into()),
+                )),
+                inst(VOp::CopyToPhys {
+                    dst: Reg::R1,
+                    src: v(1),
+                }),
+                inst(VOp::Halt),
+            ],
+        };
+        let before = m.render();
+        assert!(!run(&mut m), "nothing may hoist:\n{before}");
+    }
+}

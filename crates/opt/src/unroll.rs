@@ -1,0 +1,693 @@
+//! Bounded full unrolling of constant-trip-count loops (an
+//! `opt_level` 2 pass).
+//!
+//! A counted `while` loop in the generator's shape —
+//!
+//! ```text
+//!         li  vi = C0          ← induction start, found in the
+//!         .loopbound min max     fall-through predecessor
+//! head:
+//!         cmpilt p6 = vi, K    ← header: compare + exit branch only
+//!         (!p6) br exit
+//!         …body…               ← may contain internal control flow
+//!         addi vi = vi, S      ← the only def of vi, in the latch
+//!         br head
+//! exit:
+//! ```
+//!
+//! — runs exactly `T = ⌈(K−C0)/S⌉` (or `+1` for `<=`) iterations. When
+//! `T·|body|` fits the size budget the loop is replaced by `T` verbatim
+//! copies of the body: the compare, both loop branches, the loop labels
+//! and the `.loopbound` disappear, and internal labels (a branching
+//! `if` inside the body) are uniquified per copy. The induction updates
+//! are kept in every copy, so register state (including the final `vi`)
+//! evolves exactly as the rolled loop would; the scalar fixpoint that
+//! re-runs afterwards then rewrites the induction variable to per-copy
+//! constants, folds the re-scaled address arithmetic, and CSEs across
+//! what used to be iteration boundaries — the induction-variable
+//! rewriting step classic unrollers do explicitly falls out of constant
+//! propagation here. The DAG scheduler downstream sees a handful of
+//! long blocks instead of `T` short ones, which is where the dual-issue
+//! packing headroom comes from.
+//!
+//! Eligibility, beyond the shape above:
+//!
+//! * the body leaves the loop only through the header's exit branch —
+//!   no `ret`, no branch to an outside label (so every iteration runs
+//!   the latch, and the trip count is exact);
+//! * if the body touches the scratch exit predicate `p6`, its first
+//!   touch must be an unconditional definition ahead of all internal
+//!   control flow — a body that *read* the header compare's value
+//!   would see a stale predicate once the compare is gone;
+//! * the loop is innermost, and either nested inside another loop or
+//!   free of memory traffic. A top-level loop executes once: unless
+//!   its body folds to constants (the pure-compute case), duplicating
+//!   it mostly buys a longer cold method-cache fill — measurably a
+//!   net loss on small lookup kernels.
+//!
+//! Only innermost loops unroll in one call; the driver re-runs the
+//! fixpoint in between, so a nest unrolls inside-out while each step
+//! re-checks the budget against the already-flattened body. The
+//! transformation reads the literal values `C0`, `K` and `S`, so it is
+//! **not** shape-stable and never runs in single-path mode.
+
+use std::collections::HashSet;
+
+use patmos_isa::{AluOp, CmpOp, Pred};
+use patmos_lir::{FuncCode, VCfg, VInst, VItem, VModule, VOp, VReg};
+
+/// Largest number of instructions a fully unrolled loop may occupy.
+const UNROLL_BUDGET: usize = 256;
+/// Largest trip count considered.
+const MAX_TRIP: i64 = 64;
+
+/// One unrollable loop, in module item-index space.
+struct Plan {
+    /// First item of the loop's leading `.loopbound`/label run.
+    start: usize,
+    /// The `exit:` label item (inclusive end of the replaced span).
+    end: usize,
+    /// Body item range: everything after the header's exit branch up to
+    /// (excluding) the back branch — instructions *and* internal labels.
+    body: std::ops::Range<usize>,
+    /// Trip count.
+    trips: i64,
+}
+
+/// Matches `inst` as the unconditional branch `br <label>`.
+fn as_back_branch(inst: &VInst) -> Option<&str> {
+    match &inst.op {
+        VOp::BrLabel(l) if inst.guard.is_always() => Some(l),
+        _ => None,
+    }
+}
+
+/// Whether `op` writes predicate `p`.
+fn defines_pred(op: &VOp, p: Pred) -> bool {
+    matches!(
+        op,
+        VOp::Cmp { pd, .. } | VOp::CmpI { pd, .. } | VOp::PredSet { pd, .. } if *pd == p
+    )
+}
+
+/// Whether `inst` reads predicate `p` (as a guard or combination input).
+fn uses_pred(inst: &VInst, p: Pred) -> bool {
+    (!inst.guard.is_always() && inst.guard.pred == p)
+        || matches!(&inst.op, VOp::PredSet { p1, p2, .. } if p1.pred == p || p2.pred == p)
+}
+
+/// The constant reaching definition of `vi` at the loop entry: the last
+/// def of `vi` among the instructions that fall through into the
+/// header, which must be an unconditional immediate load or the
+/// canonical zero copy. Gives up at the first label (another block) or
+/// non-instruction item.
+fn entry_constant(items: &[VItem], loop_start: usize, vi: VReg) -> Option<i64> {
+    for item in items[..loop_start].iter().rev() {
+        let VItem::Inst(inst) = item else { return None };
+        if inst.op.def() == Some(vi) {
+            if !inst.guard.is_always() {
+                return None;
+            }
+            return match inst.op {
+                VOp::LoadImmLow { imm, .. } => Some(imm as i16 as i64),
+                VOp::LoadImm32 { imm, .. } => Some(imm as i32 as i64),
+                // The canonical zero copy `add vi = vz, vz` — what the
+                // scalar passes leave behind for `i = 0`.
+                _ => match crate::util::as_copy(&inst.op) {
+                    Some((_, src)) if src.is_zero() => Some(0),
+                    _ => None,
+                },
+            };
+        }
+    }
+    None
+}
+
+/// Trip count of `for (vi = c0; vi <op> k; vi += s)`, when every
+/// intermediate value stays within `i32` (the compare is signed).
+fn trip_count(c0: i64, k: i64, op: CmpOp, s: i64) -> Option<i64> {
+    if s <= 0 {
+        return None;
+    }
+    let trips = match op {
+        CmpOp::Lt if c0 < k => (k - c0 + s - 1) / s,
+        CmpOp::Le if c0 <= k => (k - c0) / s + 1,
+        _ => return None,
+    };
+    let last = c0 + trips * s;
+    if i32::try_from(last).is_err() {
+        return None;
+    }
+    Some(trips)
+}
+
+fn plan_loop(
+    items: &[VItem],
+    func: &FuncCode<'_>,
+    cfg: &VCfg,
+    lp: &patmos_lir::NaturalLoop,
+) -> Option<Plan> {
+    // Shape: contiguous blocks, the single latch laid out last.
+    let h = lp.header;
+    let latch = *lp.latches.first()?;
+    if lp.latches.len() != 1 || latch < h {
+        return None;
+    }
+    let span: Vec<usize> = (h..=latch).collect();
+    if lp.blocks != span {
+        return None;
+    }
+    let hb = &cfg.blocks[h];
+    let lb = &cfg.blocks[latch];
+
+    // Header: `cmpi<lt|le> p6 = vi, K` then `(!p6) br exit`.
+    if hb.end - hb.first != 2 {
+        return None;
+    }
+    let cmp = func.insts[hb.first].1;
+    let br = func.insts[hb.first + 1].1;
+    let VOp::CmpI {
+        op: cmp_op @ (CmpOp::Lt | CmpOp::Le),
+        pd,
+        rs1: vi,
+        imm: k,
+    } = cmp.op
+    else {
+        return None;
+    };
+    if !cmp.guard.is_always() || pd != Pred::P6 {
+        return None;
+    }
+    let VOp::BrLabel(exit_label) = &br.op else {
+        return None;
+    };
+    if !(br.guard.negate && br.guard.pred == pd) {
+        return None;
+    }
+
+    // Latch ends with the unconditional back branch; the exit label
+    // follows immediately.
+    let head_label = as_back_branch(func.insts[lb.end - 1].1)?;
+    let back_item = func.insts[lb.end - 1].0;
+    let end = back_item + 1;
+    if !matches!(&items[end], VItem::Label(l) if l == exit_label) {
+        return None;
+    }
+
+    // Both loop labels must be private: the back branch is the only way
+    // to the header, the exit branch the only way to the exit.
+    for (pos, (_, inst)) in func.insts.iter().enumerate() {
+        if let VOp::BrLabel(l) = &inst.op {
+            if l == head_label && pos != lb.end - 1 {
+                return None;
+            }
+            if l == exit_label && pos != hb.first + 1 {
+                return None;
+            }
+        }
+    }
+
+    // The body: item span between the exit branch and the back branch.
+    let body_start = func.insts[hb.first + 1].0 + 1;
+    let body = body_start..back_item;
+    let internal_labels: HashSet<&str> = items[body.clone()]
+        .iter()
+        .filter_map(|i| match i {
+            VItem::Label(l) => Some(l.as_str()),
+            _ => None,
+        })
+        .collect();
+
+    // Walk the body: exits, the induction variable, the scratch
+    // predicate discipline, memory traffic.
+    let mut step: Option<i64> = None;
+    let mut body_insts = 0usize;
+    let mut has_memory = false;
+    let mut flow_seen = false; // a label or branch so far
+    let mut p6_defined = false;
+    for item in &items[body.clone()] {
+        match item {
+            VItem::LoopBound { .. } => return None, // never: innermost
+            VItem::Label(_) => flow_seen = true,
+            VItem::FuncStart(_) => unreachable!("span is within one function"),
+            VItem::Inst(inst) => {
+                body_insts += 1;
+                match &inst.op {
+                    VOp::Ret | VOp::Halt => return None,
+                    VOp::BrLabel(l) => {
+                        if !internal_labels.contains(l.as_str()) {
+                            return None;
+                        }
+                        flow_seen = true;
+                    }
+                    VOp::Load { .. } | VOp::Store { .. } | VOp::CallFunc(_) => has_memory = true,
+                    _ => {}
+                }
+                if uses_pred(inst, pd) && !p6_defined {
+                    return None;
+                }
+                if defines_pred(&inst.op, pd) && !flow_seen {
+                    p6_defined = true;
+                }
+                if inst.op.def() == Some(vi) {
+                    // Exactly one def, the canonical increment, in the
+                    // latch block (runs once per completed iteration).
+                    match inst.op {
+                        VOp::AluI {
+                            op: AluOp::Add,
+                            rs1,
+                            imm,
+                            ..
+                        } if rs1 == vi && inst.guard.is_always() && step.is_none() => {
+                            step = Some(imm as i64);
+                        }
+                        _ => return None,
+                    }
+                }
+            }
+        }
+    }
+    // The increment must sit in the latch block.
+    let latch_items: HashSet<usize> = (lb.first..lb.end).map(|pos| func.insts[pos].0).collect();
+    let inc_in_latch = items[body.clone()].iter().enumerate().any(|(off, item)| {
+        matches!(item, VItem::Inst(inst) if inst.op.def() == Some(vi))
+            && latch_items.contains(&(body.start + off))
+    });
+    if !inc_in_latch {
+        return None;
+    }
+
+    // Span bookkeeping via the shared header-lead walk: the replaced
+    // span starts at the header's own label and its `.loopbound` — and
+    // nothing more. A *second* label in the run (the join label of a
+    // branching `if` right before the loop) is a live branch target
+    // that must survive the splice; it also marks a side entry, so the
+    // constant scan below (which starts at `start` and stops at any
+    // label) never looks past it either.
+    let start = patmos_lir::header_lead(items, func.insts[hb.first].0).start;
+
+    let c0 = entry_constant(items, start, vi)?;
+    let trips = trip_count(c0, k as i64, cmp_op, step?)?;
+    if trips == 0
+        || trips > MAX_TRIP
+        || trips as usize * body_insts > UNROLL_BUDGET
+        || body_insts == 0
+    {
+        return None;
+    }
+    // Top-level loops run once: only pure-compute bodies (which fold)
+    // are worth the code growth; nested loops amortise it.
+    if lp.depth < 2 && has_memory {
+        return None;
+    }
+    Some(Plan {
+        start,
+        end,
+        body,
+        trips,
+    })
+}
+
+/// Unrolls every eligible *innermost* loop once; returns whether the
+/// module changed. The driver re-runs the scalar fixpoint before
+/// calling again, so outer loops are reconsidered against their
+/// flattened bodies.
+pub(crate) fn run(module: &mut VModule) -> bool {
+    let mut plans: Vec<Plan> = Vec::new();
+    for func in &patmos_lir::split_functions(&module.items) {
+        let cfg = patmos_lir::build_vcfg(func, &module.items);
+        let forest = patmos_lir::LoopForest::build(&cfg);
+        for (li, lp) in forest.loops.iter().enumerate() {
+            let innermost = !forest.loops.iter().any(|other| other.parent == Some(li));
+            if !innermost {
+                continue;
+            }
+            if let Some(plan) = plan_loop(&module.items, func, &cfg, lp) {
+                plans.push(plan);
+            }
+        }
+    }
+    if plans.is_empty() {
+        return false;
+    }
+
+    // Rewrite back to front so earlier spans stay valid.
+    plans.sort_by_key(|p| std::cmp::Reverse(p.start));
+    for plan in plans {
+        let body: Vec<VItem> = module.items[plan.body.clone()].to_vec();
+        let mut unrolled: Vec<VItem> = Vec::with_capacity(body.len() * plan.trips as usize);
+        for copy in 0..plan.trips {
+            for item in &body {
+                unrolled.push(match item {
+                    // Internal labels (and their branches) get one name
+                    // per copy.
+                    VItem::Label(l) => VItem::Label(format!("u{copy}_{l}")),
+                    VItem::Inst(VInst {
+                        guard,
+                        op: VOp::BrLabel(l),
+                    }) => VItem::Inst(VInst::new(*guard, VOp::BrLabel(format!("u{copy}_{l}")))),
+                    other => other.clone(),
+                });
+            }
+        }
+        module.items.splice(plan.start..=plan.end, unrolled);
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use patmos_isa::{Guard, Reg};
+
+    fn v(id: u32) -> VReg {
+        VReg::new(id)
+    }
+
+    fn inst(op: VOp) -> VItem {
+        VItem::Inst(VInst::always(op))
+    }
+
+    /// An inner counted loop `for (i = 0; i < 5; i++) { s = s + i; }`
+    /// nested in an outer counted loop, in the generator's shape.
+    fn nested_counted_loop() -> VModule {
+        VModule {
+            data_lines: Vec::new(),
+            entry: "main".into(),
+            items: vec![
+                VItem::FuncStart("main".into()),
+                inst(VOp::LoadImmLow { rd: v(8), imm: 0 }), // outer i
+                inst(VOp::LoadImmLow { rd: v(2), imm: 0 }), // s
+                VItem::LoopBound { min: 1, max: 3 },
+                VItem::Label("main_head9".into()),
+                inst(VOp::CmpI {
+                    op: CmpOp::Lt,
+                    pd: Pred::P6,
+                    rs1: v(8),
+                    imm: 2,
+                }),
+                VItem::Inst(VInst::new(
+                    Guard::unless(Pred::P6),
+                    VOp::BrLabel("main_exit9".into()),
+                )),
+                inst(VOp::LoadImmLow { rd: v(1), imm: 0 }), // inner i
+                VItem::LoopBound { min: 1, max: 6 },
+                VItem::Label("main_head1".into()),
+                inst(VOp::CmpI {
+                    op: CmpOp::Lt,
+                    pd: Pred::P6,
+                    rs1: v(1),
+                    imm: 5,
+                }),
+                VItem::Inst(VInst::new(
+                    Guard::unless(Pred::P6),
+                    VOp::BrLabel("main_exit2".into()),
+                )),
+                inst(VOp::AluR {
+                    op: AluOp::Add,
+                    rd: v(2),
+                    rs1: v(2),
+                    rs2: v(1),
+                }),
+                inst(VOp::AluI {
+                    op: AluOp::Add,
+                    rd: v(1),
+                    rs1: v(1),
+                    imm: 1,
+                }),
+                inst(VOp::BrLabel("main_head1".into())),
+                VItem::Label("main_exit2".into()),
+                inst(VOp::AluI {
+                    op: AluOp::Add,
+                    rd: v(8),
+                    rs1: v(8),
+                    imm: 1,
+                }),
+                inst(VOp::BrLabel("main_head9".into())),
+                VItem::Label("main_exit9".into()),
+                inst(VOp::CopyToPhys {
+                    dst: Reg::R1,
+                    src: v(2),
+                }),
+                inst(VOp::Halt),
+            ],
+        }
+    }
+
+    #[test]
+    fn inner_counted_loop_fully_unrolls() {
+        let mut m = nested_counted_loop();
+        assert!(run(&mut m));
+        // The inner loop's branches are gone; the outer loop's remain.
+        let branches = m
+            .items
+            .iter()
+            .filter(|i| {
+                matches!(
+                    i,
+                    VItem::Inst(VInst {
+                        op: VOp::BrLabel(_),
+                        ..
+                    })
+                )
+            })
+            .count();
+        assert_eq!(branches, 2, "{}", m.render());
+        // Five copies of the accumulate, inside the outer loop.
+        let adds = m
+            .items
+            .iter()
+            .filter(|i| {
+                matches!(
+                    i,
+                    VItem::Inst(VInst {
+                        op: VOp::AluR { op: AluOp::Add, .. },
+                        ..
+                    })
+                )
+            })
+            .count();
+        assert_eq!(adds, 5, "{}", m.render());
+        // The outer loop is now innermost and straight-line: a second
+        // round flattens the whole nest (2 × 5 accumulates).
+        assert!(run(&mut m), "outer loop unrolls next");
+        let adds = m
+            .items
+            .iter()
+            .filter(|i| {
+                matches!(
+                    i,
+                    VItem::Inst(VInst {
+                        op: VOp::AluR { op: AluOp::Add, .. },
+                        ..
+                    })
+                )
+            })
+            .count();
+        assert_eq!(adds, 10, "{}", m.render());
+    }
+
+    /// A top-level pure-compute loop: allowed to unroll (it folds).
+    fn pure_toplevel_loop() -> VModule {
+        let mut m = nested_counted_loop();
+        // Strip the outer loop items, keep the inner one at top level.
+        m.items = vec![
+            VItem::FuncStart("main".into()),
+            inst(VOp::LoadImmLow { rd: v(1), imm: 0 }),
+            inst(VOp::LoadImmLow { rd: v(2), imm: 0 }),
+            VItem::LoopBound { min: 1, max: 6 },
+            VItem::Label("main_head1".into()),
+            inst(VOp::CmpI {
+                op: CmpOp::Lt,
+                pd: Pred::P6,
+                rs1: v(1),
+                imm: 5,
+            }),
+            VItem::Inst(VInst::new(
+                Guard::unless(Pred::P6),
+                VOp::BrLabel("main_exit2".into()),
+            )),
+            inst(VOp::AluR {
+                op: AluOp::Add,
+                rd: v(2),
+                rs1: v(2),
+                rs2: v(1),
+            }),
+            inst(VOp::AluI {
+                op: AluOp::Add,
+                rd: v(1),
+                rs1: v(1),
+                imm: 1,
+            }),
+            inst(VOp::BrLabel("main_head1".into())),
+            VItem::Label("main_exit2".into()),
+            inst(VOp::CopyToPhys {
+                dst: Reg::R1,
+                src: v(2),
+            }),
+            inst(VOp::Halt),
+        ];
+        m
+    }
+
+    #[test]
+    fn toplevel_pure_loop_unrolls_but_memory_loop_does_not() {
+        let mut pure = pure_toplevel_loop();
+        assert!(run(&mut pure), "pure compute folds away, worth it");
+
+        let mut mem = pure_toplevel_loop();
+        // Same loop, but the body loads: top level + memory = keep.
+        mem.items[7] = inst(VOp::Load {
+            area: patmos_isa::MemArea::Static,
+            size: patmos_isa::AccessSize::Word,
+            rd: v(2),
+            ra: v(1),
+            offset: 0,
+        });
+        assert!(!run(&mut mem));
+    }
+
+    #[test]
+    fn branching_if_in_body_unrolls_with_renamed_labels() {
+        let mut m = pure_toplevel_loop();
+        // Body: `cmpilt p6 = v2, 9; (!p6) br skip; add; skip:` — a
+        // branching if that redefines the scratch predicate first.
+        m.items.splice(
+            7..7,
+            vec![
+                inst(VOp::CmpI {
+                    op: CmpOp::Lt,
+                    pd: Pred::P6,
+                    rs1: v(2),
+                    imm: 9,
+                }),
+                VItem::Inst(VInst::new(
+                    Guard::unless(Pred::P6),
+                    VOp::BrLabel("main_skip4".into()),
+                )),
+            ],
+        );
+        m.items.insert(10, VItem::Label("main_skip4".into()));
+        assert!(run(&mut m));
+        // Five distinct copies of the internal label, each referenced
+        // by exactly one branch.
+        let labels: Vec<&str> = m
+            .items
+            .iter()
+            .filter_map(|i| match i {
+                VItem::Label(l) => Some(l.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(labels.len(), 5, "{}", m.render());
+        let unique: HashSet<&str> = labels.iter().copied().collect();
+        assert_eq!(unique.len(), 5, "labels must be uniquified per copy");
+    }
+
+    #[test]
+    fn body_reading_stale_exit_predicate_blocks_unrolling() {
+        let mut m = pure_toplevel_loop();
+        // Body guards an op with p6 *before* any body-local p6 write:
+        // it would read the header compare we delete.
+        m.items[7] = VItem::Inst(VInst::new(
+            Guard::when(Pred::P6),
+            VOp::AluR {
+                op: AluOp::Add,
+                rd: v(2),
+                rs1: v(2),
+                rs2: v(1),
+            },
+        ));
+        assert!(!run(&mut m));
+    }
+
+    #[test]
+    fn side_entry_label_before_the_loop_blocks_unrolling() {
+        // A branching if's join label directly before the loop is a
+        // live branch target: the splice must not swallow it, and the
+        // induction start cannot be trusted (the side entry bypasses
+        // the init — the if may reassign `i`). The safe answer is to
+        // leave the loop alone.
+        let mut m = pure_toplevel_loop();
+        m.items.splice(
+            2..2,
+            vec![
+                inst(VOp::CmpI {
+                    op: CmpOp::Eq,
+                    pd: Pred::P6,
+                    rs1: v(9),
+                    imm: 1,
+                }),
+                VItem::Inst(VInst::new(
+                    Guard::unless(Pred::P6),
+                    VOp::BrLabel("main_join9".into()),
+                )),
+                inst(VOp::AluI {
+                    op: AluOp::Add,
+                    rd: v(1),
+                    rs1: v(1),
+                    imm: 5,
+                }),
+                VItem::Label("main_join9".into()),
+            ],
+        );
+        assert!(!run(&mut m));
+        assert!(
+            m.items
+                .iter()
+                .any(|i| matches!(i, VItem::Label(l) if l == "main_join9")),
+            "the side-entry label must survive:\n{}",
+            m.render()
+        );
+    }
+
+    #[test]
+    fn unknown_start_value_blocks_unrolling() {
+        let mut m = pure_toplevel_loop();
+        // Replace `li i = 0` with a copy from another register.
+        m.items[1] = inst(VOp::AluR {
+            op: AluOp::Add,
+            rd: v(1),
+            rs1: v(9),
+            rs2: VReg::ZERO,
+        });
+        assert!(!run(&mut m));
+    }
+
+    #[test]
+    fn oversized_trip_count_blocks_unrolling() {
+        let mut m = pure_toplevel_loop();
+        m.items[5] = inst(VOp::CmpI {
+            op: CmpOp::Lt,
+            pd: Pred::P6,
+            rs1: v(1),
+            imm: 999,
+        });
+        assert!(!run(&mut m));
+    }
+
+    #[test]
+    fn guarded_body_writes_survive_unrolling_verbatim() {
+        let mut m = pure_toplevel_loop();
+        // A p1-guarded add (what if-conversion produces).
+        m.items.insert(
+            7,
+            VItem::Inst(VInst::new(
+                Guard::when(Pred::P1),
+                VOp::AluI {
+                    op: AluOp::Add,
+                    rd: v(2),
+                    rs1: v(2),
+                    imm: 3,
+                },
+            )),
+        );
+        assert!(run(&mut m));
+        let guarded = m
+            .items
+            .iter()
+            .filter(|i| matches!(i, VItem::Inst(inst) if !inst.guard.is_always()))
+            .count();
+        assert_eq!(guarded, 5, "one guarded copy per trip: {}", m.render());
+    }
+}

@@ -3,17 +3,21 @@
 //! ```text
 //! patmos-cli compile <file.patc> [--single-path] [--no-if-convert] [--single-issue]
 //!                                [--opt-level N] [--sched-level N]
-//!                                [--dump-lir] [--dump-opt] [--dump-cfg] [--dump-sched]
+//!                                [--dump-lir] [--dump-opt] [--dump-cfg] [--dump-loops]
+//!                                [--dump-sched]
 //! patmos-cli asm     <file.pasm>
 //! patmos-cli disasm  <file.pasm | file.patc>
 //! patmos-cli run     <file.pasm | file.patc> [--single-issue] [--non-strict] [--stats]
 //!                                [--opt-level N] [--sched-level N]
-//!                                [--dump-lir] [--dump-opt] [--dump-cfg] [--dump-sched]
+//!                                [--dump-lir] [--dump-opt] [--dump-cfg] [--dump-loops]
+//!                                [--dump-sched]
 //! patmos-cli wcet    <file.pasm | file.patc> [--opt-level N] [--sched-level N]
 //! ```
 //!
 //! `--opt-level N` selects the mid-end pipeline (0 = straight lowering,
-//! 1 = the default `patmos-opt` pass pipeline); `--sched-level N`
+//! 1 = the default `patmos-opt` pass pipeline, 2 = the loop-aware
+//! pipeline: inlining, loop-invariant code motion, bounded unrolling);
+//! `--sched-level N`
 //! selects the backend scheduler (0 = the historical run scheduler,
 //! 1 = the default `patmos-sched` dependence-DAG scheduler with
 //! delay-slot filling). `--dump-lir` prints the compiler's
@@ -49,6 +53,7 @@ struct Args {
     dump_lir: bool,
     dump_opt: bool,
     dump_cfg: bool,
+    dump_loops: bool,
     dump_sched: bool,
     stats: bool,
 }
@@ -57,7 +62,8 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage: patmos-cli <compile|asm|disasm|run|wcet> <file.patc|file.pasm> \
          [--single-path] [--no-if-convert] [--single-issue] [--non-strict] [--opt-level N] \
-         [--sched-level N] [--dump-lir] [--dump-opt] [--dump-cfg] [--dump-sched] [--stats]"
+         [--sched-level N] [--dump-lir] [--dump-opt] [--dump-cfg] [--dump-loops] [--dump-sched] \
+         [--stats]"
     );
     ExitCode::from(2)
 }
@@ -76,6 +82,7 @@ fn parse_args() -> Option<Args> {
         dump_lir: false,
         dump_opt: false,
         dump_cfg: false,
+        dump_loops: false,
         dump_sched: false,
         stats: false,
     };
@@ -103,6 +110,7 @@ fn parse_args() -> Option<Args> {
             "--dump-lir" => args.dump_lir = true,
             "--dump-opt" => args.dump_opt = true,
             "--dump-cfg" => args.dump_cfg = true,
+            "--dump-loops" => args.dump_loops = true,
             "--dump-sched" => args.dump_sched = true,
             "--stats" => args.stats = true,
             flag if flag.starts_with("--") => {
@@ -133,7 +141,7 @@ impl Args {
     }
 
     fn wants_dump(&self) -> bool {
-        self.dump_lir || self.dump_opt || self.dump_cfg || self.dump_sched
+        self.dump_lir || self.dump_opt || self.dump_cfg || self.dump_loops || self.dump_sched
     }
 }
 
@@ -208,6 +216,9 @@ fn dump_artifacts(source: &str, options: &CompileOptions, args: &Args) -> Result
     }
     if args.dump_cfg {
         print!("{}", patmos::lir::dot::render(&artifacts.vmodule));
+    }
+    if args.dump_loops {
+        print!("{}", patmos::lir::loops::render(&artifacts.vmodule));
     }
     if args.dump_sched {
         match &artifacts.sched {

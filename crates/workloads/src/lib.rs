@@ -773,6 +773,53 @@ int main() {{
     }
 }
 
+/// `matvec8`: 8×8 matrix–vector multiply plus an output checksum — the
+/// canonical loop-nest shape for the loop-aware mid-end. The inner
+/// product loop has a constant trip count (unrolls fully, its `x[j]`
+/// loads turning into fixed addresses), while the row base addresses
+/// and symbol loads are invariant in the inner loop (LICM hoists them
+/// into the preheaders).
+pub fn matvec8() -> Workload {
+    let a: Vec<i32> = lcg(0x3A7C, 64).iter().map(|v| v % 200).collect();
+    let x: Vec<i32> = lcg(0x9E05, 8).iter().map(|v| v % 100).collect();
+    let mut check = 0i64;
+    for i in 0..8usize {
+        let mut s = 0i64;
+        for j in 0..8usize {
+            s += a[i * 8 + j] as i64 * x[j] as i64;
+        }
+        check ^= s;
+    }
+    let source = format!(
+        "int a[64] = {{{a}}};
+int x[8] = {{{x}}};
+int y[8];
+int main() {{
+    int i;
+    int j;
+    int s;
+    for (i = 0; i < 8; i = i + 1) bound(8) {{
+        s = 0;
+        for (j = 0; j < 8; j = j + 1) bound(8) {{
+            s = s + a[i * 8 + j] * x[j];
+        }}
+        y[i] = s;
+    }}
+    int check = 0;
+    for (i = 0; i < 8; i = i + 1) bound(8) {{ check = check ^ y[i]; }}
+    return check;
+}}",
+        a = array_literal(&a),
+        x = array_literal(&x)
+    );
+    Workload {
+        name: "matvec8",
+        source,
+        expected: check as u32,
+        category: Category::Memory,
+    }
+}
+
 pub use micro::pressure_fir8;
 
 /// All kernels.
@@ -796,6 +843,7 @@ pub fn all() -> Vec<Workload> {
         expintish(),
         stencil2d(),
         sort8(),
+        matvec8(),
         pressure_fir8(),
     ]
 }

@@ -101,6 +101,43 @@ fn sort8_is_correct_in_strict_mode_and_profits_from_delay_filling() {
 }
 
 #[test]
+fn kernels_match_reference_at_the_loop_aware_opt_level() {
+    // Inlining, LICM and unrolling rewrite control flow; every kernel
+    // must still be correct under strict timing checks at opt_level 2.
+    let options = CompileOptions {
+        opt_level: 2,
+        ..CompileOptions::default()
+    };
+    for w in patmos_workloads::all() {
+        let (got, _) = run_with(&w.source, &options);
+        assert_eq!(got, w.expected, "{} (opt_level 2)", w.name);
+    }
+}
+
+#[test]
+fn matvec_kernel_is_correct_and_profits_from_the_loop_aware_mid_end() {
+    // The matrix–vector nest is the loop-aware mid-end's showcase: the
+    // inner product unrolls fully and the row bases hoist. It must be
+    // correct in strict mode at both levels, and LICM + unrolling must
+    // cut at least 10% of its cycles.
+    let w = patmos_workloads::matvec8();
+    let (got_o1, cycles_o1) = run_with(&w.source, &CompileOptions::default());
+    let (got_o2, cycles_o2) = run_with(
+        &w.source,
+        &CompileOptions {
+            opt_level: 2,
+            ..CompileOptions::default()
+        },
+    );
+    assert_eq!(got_o1, w.expected, "matvec8 wrong at opt-level 1");
+    assert_eq!(got_o2, w.expected, "matvec8 wrong at opt-level 2");
+    assert!(
+        cycles_o2 * 10 <= cycles_o1 * 9,
+        "LICM + unrolling must cut at least 10% off matvec8: {cycles_o1} -> {cycles_o2}"
+    );
+}
+
+#[test]
 fn register_pressure_kernel_stays_in_registers() {
     // The unrolled FIR-8 keeps >10 values live at once; the allocator
     // must still fit the window in registers: correct result, strict

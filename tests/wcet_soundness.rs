@@ -67,9 +67,11 @@ fn bound_covers_observed_across_configs_and_kernels() {
 #[test]
 fn bound_covers_observed_at_every_opt_level() {
     // The mid-end rewrites the code the IPET analysis sees; soundness
-    // must survive it. Sweep the whole suite at every optimization
+    // must survive it — including level 2, where inlining copies
+    // `.loopbound` annotations into callers and unrolling removes
+    // loops outright. Sweep the whole suite at every optimization
     // level, in both branching and single-path mode.
-    for opt_level in [0u8, 1] {
+    for opt_level in [0u8, 1, 2] {
         for single_path in [false, true] {
             for w in patmos::workloads::all() {
                 let options = CompileOptions {
