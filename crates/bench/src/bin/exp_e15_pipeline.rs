@@ -1,0 +1,12 @@
+//! Regenerates experiment E15 (software pipelining + partial
+//! unrolling vs the PR 4 pipeline).
+//!
+//! With `--json`, re-emits `baselines/opt3_cycles.json` with fresh
+//! measurements instead of the human-readable table.
+fn main() {
+    if std::env::args().any(|a| a == "--json") {
+        print!("{}", patmos_bench::opt3_baseline_json());
+    } else {
+        print!("{}", patmos_bench::exp_e15_pipeline());
+    }
+}

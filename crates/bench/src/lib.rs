@@ -654,6 +654,7 @@ const REGALLOC_BASELINE_JSON: &str = include_str!("../baselines/regalloc_cycles.
 const OPT_BASELINE_JSON: &str = include_str!("../baselines/opt_cycles.json");
 const SCHED_BASELINE_JSON: &str = include_str!("../baselines/sched_cycles.json");
 const OPT2_BASELINE_JSON: &str = include_str!("../baselines/opt2_cycles.json");
+const OPT3_BASELINE_JSON: &str = include_str!("../baselines/opt3_cycles.json");
 
 fn json_field(section: &str, key: &str) -> u64 {
     let marker = format!("\"{key}\":");
@@ -838,6 +839,7 @@ pub fn measure_opt_kernel(source: &str) -> (u64, u64) {
         ..CompileOptions::default()
     };
     let o1 = CompileOptions {
+        opt_level: 1,
         sched_level: 0,
         ..CompileOptions::default()
     };
@@ -962,12 +964,20 @@ pub fn sched_baseline() -> Vec<SchedBaseline> {
 /// default pipeline either way): cycles at level 0, then cycles,
 /// executed second slots and active bundles at level 1.
 pub fn measure_sched_kernel(source: &str) -> (u64, u64, u64, u64) {
+    // Pinned to `opt_level` 1 — this file records the PR 3 trajectory,
+    // which predates the loop-aware mid-end (now the default level).
     let s0_opts = CompileOptions {
+        opt_level: 1,
         sched_level: 0,
         ..CompileOptions::default()
     };
+    let s1_opts = CompileOptions {
+        opt_level: 1,
+        sched_level: 1,
+        ..CompileOptions::default()
+    };
     let (_, s0) = run_patc(source, &s0_opts, SimConfig::default());
-    let (_, s1) = run_patc(source, &CompileOptions::default(), SimConfig::default());
+    let (_, s1) = run_patc(source, &s1_opts, SimConfig::default());
     (
         s0.cycles,
         s1.cycles,
@@ -1086,11 +1096,17 @@ pub fn opt2_baseline() -> Vec<Opt2Baseline> {
 /// `sched1_cycles` remeasured — the two files are cross-pinned by a
 /// test.
 pub fn measure_opt2_kernel(source: &str) -> (u64, u64) {
-    let o2 = CompileOptions {
-        opt_level: 2,
+    let o1 = CompileOptions {
+        opt_level: 1,
+        sched_level: 1,
         ..CompileOptions::default()
     };
-    let (_, s1) = run_patc(source, &CompileOptions::default(), SimConfig::default());
+    let o2 = CompileOptions {
+        opt_level: 2,
+        sched_level: 1,
+        ..CompileOptions::default()
+    };
+    let (_, s1) = run_patc(source, &o1, SimConfig::default());
     let (_, s2) = run_patc(source, &o2, SimConfig::default());
     (s1.cycles, s2.cycles)
 }
@@ -1163,6 +1179,172 @@ pub fn opt2_baseline_json() -> String {
     out
 }
 
+/// One kernel's entry in the checked-in loop-throughput baseline
+/// (`baselines/opt3_cycles.json`) — the `opt3/sched2` pipeline
+/// (partial unrolling + software pipelining) against the PR 4
+/// `opt2/sched1` pipeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Opt3Baseline {
+    /// Kernel name.
+    pub name: String,
+    /// Cycles at `opt_level` 2 / `sched_level` 1 (the PR 4 pipeline —
+    /// identical to `opt2_cycles` in `opt2_cycles.json`).
+    pub opt2_cycles: u64,
+    /// Cycles at `opt_level` 3 / `sched_level` 2.
+    pub opt3_cycles: u64,
+    /// Executed second issue slots at `opt3/sched2`.
+    pub opt3_second_slots: u64,
+    /// Bundles issuing real work (non-pure-`nop`) at `opt3/sched2`.
+    pub opt3_active_bundles: u64,
+}
+
+/// Parses the checked-in loop-throughput baseline.
+pub fn opt3_baseline() -> Vec<Opt3Baseline> {
+    kernel_sections(OPT3_BASELINE_JSON)
+        .into_iter()
+        .map(|(name, section)| Opt3Baseline {
+            name,
+            opt2_cycles: json_field(section, "opt2_cycles"),
+            opt3_cycles: json_field(section, "opt3_cycles"),
+            opt3_second_slots: json_field(section, "opt3_second_slots"),
+            opt3_active_bundles: json_field(section, "opt3_active_bundles"),
+        })
+        .collect()
+}
+
+/// Measures one kernel at `opt2/sched1` and `opt3/sched2`: cycles at
+/// both, plus executed second slots and active bundles at the latter.
+pub fn measure_opt3_kernel(source: &str) -> (u64, u64, u64, u64) {
+    let o2 = CompileOptions {
+        opt_level: 2,
+        sched_level: 1,
+        ..CompileOptions::default()
+    };
+    let o3 = CompileOptions {
+        opt_level: 3,
+        sched_level: 2,
+        ..CompileOptions::default()
+    };
+    let (_, s2) = run_patc(source, &o2, SimConfig::default());
+    let (_, s3) = run_patc(source, &o3, SimConfig::default());
+    (
+        s2.cycles,
+        s3.cycles,
+        s3.second_slots_used,
+        s3.active_bundles(),
+    )
+}
+
+/// E15 — loop-throughput pipeline (partial unrolling + software
+/// pipelining): cycles at `opt2/sched1` vs `opt3/sched2`, with
+/// dual-issue utilisation and the per-kernel pipelining/unrolling
+/// footprint (loops pipelined with MII → achieved II, loops partially
+/// unrolled).
+pub fn exp_e15_pipeline() -> String {
+    use patmos::compiler::compile_with_artifacts;
+
+    let mut out = String::new();
+    writeln!(
+        out,
+        "E15: software pipelining + partial unrolling (opt3/sched2) vs PR 4 (opt2/sched1)"
+    )
+    .ok();
+    writeln!(
+        out,
+        "{:<12} {:>10} {:>10} {:>9} {:>13} {:>11} {:>14}",
+        "kernel", "opt2 cyc", "opt3 cyc", "speedup", "slot2 active", "pipelined", "partial unroll"
+    )
+    .ok();
+    let o3 = CompileOptions {
+        opt_level: 3,
+        sched_level: 2,
+        ..CompileOptions::default()
+    };
+    let mut pairs = Vec::new();
+    let mut slots = 0u64;
+    let mut active = 0u64;
+    for entry in &opt3_baseline() {
+        let w = workloads::by_name(&entry.name)
+            .unwrap_or_else(|| panic!("baseline kernel `{}` no longer exists", entry.name));
+        let (c2, c3, used, act) = measure_opt3_kernel(&w.source);
+        pairs.push((c2, c3));
+        slots += used;
+        active += act;
+        let artifacts = compile_with_artifacts(&w.source, &o3).expect("kernel compiles");
+        let pipelined: Vec<String> = artifacts
+            .sched
+            .as_ref()
+            .map(|r| {
+                r.pipelined_loops()
+                    .map(|l| format!("{}→{}", l.mii, l.ii))
+                    .collect()
+            })
+            .unwrap_or_default();
+        let partial = artifacts
+            .opt
+            .as_ref()
+            .map(|r| {
+                r.unrolls
+                    .iter()
+                    .filter(|u| u.kind != patmos::opt::UnrollKind::Full)
+                    .map(|u| format!("{}x", u.factor))
+                    .collect::<Vec<_>>()
+            })
+            .unwrap_or_default();
+        writeln!(
+            out,
+            "{:<12} {:>10} {:>10} {:>8.2}x {:>12.0}% {:>11} {:>14}",
+            entry.name,
+            c2,
+            c3,
+            c2 as f64 / c3 as f64,
+            100.0 * used as f64 / act.max(1) as f64,
+            if pipelined.is_empty() {
+                "-".to_string()
+            } else {
+                pipelined.join(" ")
+            },
+            if partial.is_empty() {
+                "-".to_string()
+            } else {
+                partial.join(" ")
+            },
+        )
+        .ok();
+    }
+    writeln!(
+        out,
+        "geomean speedup {:.2}x; suite slot2 {:.0}% of active bundles",
+        geomean_speedup(&pairs),
+        100.0 * slots as f64 / active.max(1) as f64
+    )
+    .ok();
+    out
+}
+
+/// Re-emits the loop-throughput baseline JSON from fresh measurements.
+pub fn opt3_baseline_json() -> String {
+    let mut out = String::new();
+    out.push_str("{\n  \"schema\": \"patmos-bench/opt3-baseline/v1\",\n");
+    out.push_str(
+        "  \"description\": \"Per-kernel cycle counts at opt_level 2 / sched_level 1 (the PR 4 pipeline, equal to opt2_cycles in opt2_cycles.json) and opt_level 3 / sched_level 2 (partial unrolling in the mid-end plus iterative modulo scheduling of innermost counted loops in the backend), with executed second issue slots and active (non-pure-nop) bundles at the latter. Regenerate with: cargo run -p patmos-bench --bin exp_e15_pipeline -- --json\",\n",
+    );
+    out.push_str("  \"kernels\": {\n");
+    let entries: Vec<String> = workloads::all()
+        .iter()
+        .map(|w| {
+            let (c2, c3, used, active) = measure_opt3_kernel(&w.source);
+            format!(
+                "    \"{}\": {{\n      \"opt2_cycles\": {},\n      \"opt3_cycles\": {},\n      \"opt3_second_slots\": {},\n      \"opt3_active_bundles\": {}\n    }}",
+                w.name, c2, c3, used, active
+            )
+        })
+        .collect();
+    out.push_str(&entries.join(",\n"));
+    out.push_str("\n  }\n}\n");
+    out
+}
+
 /// Runs every experiment and concatenates the reports.
 pub fn all_experiments() -> String {
     [
@@ -1181,6 +1363,7 @@ pub fn all_experiments() -> String {
         exp_e12_opt(),
         exp_e13_sched(),
         exp_e14_opt2(),
+        exp_e15_pipeline(),
     ]
     .join("\n")
 }
@@ -1503,6 +1686,104 @@ mod tests {
         assert!(
             geomean >= 1.05,
             "geomean speedup {geomean:.3}x is below the 5% target"
+        );
+    }
+
+    #[test]
+    fn e15_opt3_baseline_file_matches_current_measurements() {
+        // Compiler and simulator are deterministic; any drift means the
+        // checked-in trajectory is stale. Regenerate with:
+        //   cargo run -p patmos-bench --bin exp_e15_pipeline -- --json \
+        //     > crates/bench/baselines/opt3_cycles.json
+        let baseline = opt3_baseline();
+        let suite = workloads::all();
+        assert_eq!(
+            baseline.len(),
+            suite.len(),
+            "every kernel of the suite must be recorded in opt3_cycles.json"
+        );
+        for entry in &baseline {
+            let w = workloads::by_name(&entry.name)
+                .unwrap_or_else(|| panic!("baseline kernel `{}` no longer exists", entry.name));
+            let (c2, c3, used, active) = measure_opt3_kernel(&w.source);
+            assert_eq!(
+                (c2, c3, used, active),
+                (
+                    entry.opt2_cycles,
+                    entry.opt3_cycles,
+                    entry.opt3_second_slots,
+                    entry.opt3_active_bundles
+                ),
+                "{}: baselines/opt3_cycles.json is stale; regenerate it",
+                entry.name
+            );
+        }
+    }
+
+    #[test]
+    fn e15_opt2_side_preserves_the_opt2_trajectory_exactly() {
+        // The opt3 baseline's `opt2/sched1` side is the PR 4 pipeline:
+        // it must equal opt2_cycles.json's `opt2_cycles` bit for bit —
+        // the two trajectory files pin the same pipeline (and, with
+        // the chain of cross-pins behind it, every historical level).
+        let opt2 = opt2_baseline();
+        for entry in opt3_baseline() {
+            let o = opt2
+                .iter()
+                .find(|o| o.name == entry.name)
+                .unwrap_or_else(|| panic!("`{}` missing from opt2_cycles.json", entry.name));
+            assert_eq!(
+                entry.opt2_cycles, o.opt2_cycles,
+                "{}: the opt2/sched1 pipeline must be unchanged",
+                entry.name
+            );
+        }
+    }
+
+    #[test]
+    fn e15_loop_throughput_never_regresses_and_wins_at_least_5pct_geomean() {
+        let baseline = opt3_baseline();
+        let mut total2 = 0u64;
+        let mut total3 = 0u64;
+        let pairs: Vec<(u64, u64)> = baseline
+            .iter()
+            .map(|e| {
+                assert!(
+                    e.opt3_cycles <= e.opt2_cycles,
+                    "{}: the loop-throughput pipeline made the kernel slower ({} -> {})",
+                    e.name,
+                    e.opt2_cycles,
+                    e.opt3_cycles
+                );
+                total2 += e.opt2_cycles;
+                total3 += e.opt3_cycles;
+                (e.opt2_cycles, e.opt3_cycles)
+            })
+            .collect();
+        assert!(
+            total3 < total2,
+            "suite total must strictly improve: {total2} -> {total3}"
+        );
+        let geomean = geomean_speedup(&pairs);
+        assert!(
+            geomean >= 1.05,
+            "geomean speedup {geomean:.3}x is below the 5% target"
+        );
+    }
+
+    #[test]
+    fn e15_dual_issue_utilisation_reaches_a_quarter() {
+        // The loop-throughput pipeline's whole point: keep both issue
+        // slots busy in the hot loops. Across the suite at
+        // `opt3/sched2`, at least 25% of bundles doing real work must
+        // fill their second slot (the PR 3 scheduler managed ~20%).
+        let baseline = opt3_baseline();
+        let slots: u64 = baseline.iter().map(|e| e.opt3_second_slots).sum();
+        let active: u64 = baseline.iter().map(|e| e.opt3_active_bundles).sum();
+        let utilisation = slots as f64 / active as f64;
+        assert!(
+            utilisation >= 0.25,
+            "suite dual-issue utilisation {utilisation:.3} fell below the 0.25 floor"
         );
     }
 

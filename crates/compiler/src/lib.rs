@@ -41,8 +41,9 @@
 //! code, the `sres`/`sens`/`sfree` frame protocol sized to the slots
 //! actually used) → optional if-conversion or full single-path
 //! conversion → VLIW scheduling ([`patmos_sched`]: per-block
-//! dependence DAGs, critical-path list scheduling, dual-issue packing
-//! and delay-slot filling, controlled by
+//! dependence DAGs, critical-path list scheduling, dual-issue packing,
+//! delay-slot filling, and — at level 2 — iterative modulo scheduling
+//! of innermost counted loops, controlled by
 //! [`CompileOptions::sched_level`]) → Patmos assembly text →
 //! [`patmos_asm::assemble`].
 //!
@@ -93,25 +94,33 @@ pub struct CompileOptions {
     /// and register allocation, `2` adds the loop-aware passes
     /// (size-budgeted inlining of non-recursive calls, loop-invariant
     /// code motion into preheaders, full unrolling of small
-    /// constant-trip-count loops). Levels 0 and 1 reproduce their
-    /// historical pipelines bit for bit; in single-path mode level 2
-    /// keeps only the shape-stable subset (inlining and LICM — never
-    /// unrolling, whose decision reads a literal trip count).
+    /// constant-trip-count loops), `3` adds partial unrolling: an
+    /// over-budget constant-trip loop replicates its body by the
+    /// largest divisor of the trip count that fits the budget, and a
+    /// runtime-trip straight-line loop becomes a factor-4/2 main loop
+    /// plus a scalar remainder loop. Levels 0–2 reproduce their
+    /// historical pipelines bit for bit; in single-path mode levels
+    /// 2–3 keep only the shape-stable subset (inlining and LICM —
+    /// never unrolling, whose decisions read literal trip counts).
     pub opt_level: u8,
     /// Scheduler level: `0` runs the historical run scheduler (pairs
     /// textually adjacent operations, `nop`-fills every delay slot —
     /// bit-for-bit the pre-DAG pipeline), `1` runs the [`patmos_sched`]
     /// dependence-DAG scheduler (critical-path list scheduling,
-    /// dual-issue packing, branch delay-slot filling). Both are
-    /// shape-stable: scheduling decisions never depend on operand
-    /// values, so single-path timing stays input-independent at every
-    /// level.
+    /// dual-issue packing, branch delay-slot filling), `2` additionally
+    /// software-pipelines innermost counted loops by iterative modulo
+    /// scheduling (prologue/kernel/epilogue with a trip-count guard
+    /// and a plain fallback loop). Levels 0 and 1 are shape-stable:
+    /// scheduling decisions never depend on operand values, so
+    /// single-path timing stays input-independent. The pipeliner reads
+    /// the loop's literal bound and step, so in single-path mode
+    /// level 2 falls back to the level-1 behaviour.
     pub sched_level: u8,
 }
 
 impl Default for CompileOptions {
     /// Dual issue on, if-conversion on (threshold 4), single-path off,
-    /// mid-end optimizer on (`opt_level` 1), DAG scheduler on
+    /// loop-aware mid-end on (`opt_level` 2), DAG scheduler on
     /// (`sched_level` 1).
     fn default() -> CompileOptions {
         CompileOptions {
@@ -119,7 +128,7 @@ impl Default for CompileOptions {
             if_convert: true,
             if_convert_threshold: 4,
             single_path: false,
-            opt_level: 1,
+            opt_level: 2,
             sched_level: 1,
         }
     }
@@ -192,6 +201,10 @@ fn run_scheduler(
     } else {
         let sched_options = patmos_sched::SchedOptions {
             dual_issue: options.dual_issue,
+            // The modulo scheduler's decisions read the loop's literal
+            // bound and step — not shape-stable, so single-path mode
+            // keeps the plain DAG scheduler.
+            pipeline: options.sched_level >= 2 && !options.single_path,
         };
         let (module, report) = patmos_sched::schedule_with_report(lir, &sched_options);
         (module, Some(report))

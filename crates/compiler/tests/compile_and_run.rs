@@ -237,9 +237,15 @@ fn dual_issue_is_not_slower() {
                 .wrapping_add((i << 5) ^ (i + 7))
         })
         .sum();
-    let dual = CompileOptions::default();
+    // Pinned to `opt_level` 1: the default loop-aware mid-end folds
+    // this constant-trip loop away entirely, leaving nothing to pair.
+    let dual = CompileOptions {
+        opt_level: 1,
+        ..CompileOptions::default()
+    };
     let single = CompileOptions {
         dual_issue: false,
+        opt_level: 1,
         ..CompileOptions::default()
     };
     let (_, c_dual) = run(src, &dual);

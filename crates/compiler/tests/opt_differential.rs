@@ -1,15 +1,17 @@
 //! Differential property test of the mid-end optimizer: every generated
-//! program is compiled at `opt_level` 0, 1 and 2 — across single-path
-//! and dual-/single-issue modes — all binaries run on the strict
-//! cycle-accurate simulator, and the observable outcomes must be
-//! identical — the ABI result register and the final contents of every
-//! global. (The scratch register file itself legitimately differs: the
-//! pipelines allocate different temporaries.) The generator leans on
-//! exactly the shapes the optimizer rewrites: repeated subscripts of a
-//! global array, constant subexpressions, multiplication, power-of-two
-//! division/remainder, guarded (if-converted) assignments, and — via
-//! the surrounding counted repetition loop — the loop shapes level 2
-//! hoists from and unrolls.
+//! program is compiled at `opt_level` 0, 1, 2 and 3 — across scheduler
+//! levels 1 and 2, single-path and dual-/single-issue modes — all
+//! binaries run on the strict cycle-accurate simulator, and the
+//! observable outcomes must be identical — the ABI result register and
+//! the final contents of every global. (The scratch register file
+//! itself legitimately differs: the pipelines allocate different
+//! temporaries.) The generator leans on exactly the shapes the
+//! optimizer rewrites: repeated subscripts of a global array, constant
+//! subexpressions, multiplication, power-of-two division/remainder,
+//! guarded (if-converted) assignments, and — via the surrounding
+//! counted repetition loop — the loop shapes level 2 hoists from and
+//! unrolls, level 3 partially unrolls, and scheduler level 2
+//! software-pipelines.
 
 use proptest::prelude::*;
 
@@ -193,11 +195,13 @@ fn render_program(stmts: &[S], reps: u32, init: [i32; 3]) -> String {
 fn observe(
     source: &str,
     opt_level: u8,
+    sched_level: u8,
     single_path: bool,
     dual_issue: bool,
 ) -> Option<(u32, [u32; ARR_LEN])> {
     let options = CompileOptions {
         opt_level,
+        sched_level,
         single_path,
         dual_issue,
         ..CompileOptions::default()
@@ -205,7 +209,7 @@ fn observe(
     let image = match compile(source, &options) {
         Ok(image) => image,
         Err(_) if single_path => return None,
-        Err(e) => panic!("O{opt_level} compile failed: {e}\n{source}"),
+        Err(e) => panic!("O{opt_level}/S{sched_level} compile failed: {e}\n{source}"),
     };
     let config = SimConfig {
         dual_issue,
@@ -214,7 +218,7 @@ fn observe(
     let mut sim = Simulator::new(&image, config);
     sim.run().unwrap_or_else(|e| {
         panic!(
-            "O{opt_level}/sp={single_path}/dual={dual_issue} strict simulation failed: {e}\n{source}"
+            "O{opt_level}/S{sched_level}/sp={single_path}/dual={dual_issue} strict simulation failed: {e}\n{source}"
         )
     });
     let base = image.symbol("out").expect("global array exists");
@@ -226,11 +230,11 @@ fn observe(
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(40))]
+    #![proptest_config(ProptestConfig::with_cases(24))]
     #[test]
     fn opt_levels_agree_with_each_other_and_the_reference(
         stmts in prop::collection::vec(arb_stmt(), 1..5),
-        reps in 1u32..4,
+        reps in 1u32..9,
         init in (-50i32..50, -50i32..50, -50i32..50),
     ) {
         let source = render_program(&stmts, reps, [init.0, init.1, init.2]);
@@ -245,35 +249,38 @@ proptest! {
         let want_r1 = (env.vars[0] ^ env.vars[1] ^ env.vars[2]) as u32;
         let want_arr = env.arr.map(|v| v as u32);
 
-        // Every optimization level × single-path × issue width must
-        // agree with the reference (single-path configurations may
-        // reject a program outright — predicate depth — but whatever
-        // one level rejects, all levels reject: codegen runs first).
+        // Every optimization level × scheduler level × single-path ×
+        // issue width must agree with the reference (single-path
+        // configurations may reject a program outright — predicate
+        // depth — but whatever one level rejects, all levels reject:
+        // codegen runs first).
         let mut rejected = 0usize;
         for single_path in [false, true] {
             for dual_issue in [true, false] {
-                for opt_level in [0u8, 1, 2] {
-                    match observe(&source, opt_level, single_path, dual_issue) {
-                        Some((r1, arr)) => {
-                            prop_assert_eq!(
-                                r1, want_r1,
-                                "O{}/sp={}/dual={} diverged from reference\n{}",
-                                opt_level, single_path, dual_issue, source
-                            );
-                            prop_assert_eq!(
-                                arr, want_arr,
-                                "O{}/sp={}/dual={} memory diverged\n{}",
-                                opt_level, single_path, dual_issue, source
-                            );
+                for opt_level in [0u8, 1, 2, 3] {
+                    for sched_level in [1u8, 2] {
+                        match observe(&source, opt_level, sched_level, single_path, dual_issue) {
+                            Some((r1, arr)) => {
+                                prop_assert_eq!(
+                                    r1, want_r1,
+                                    "O{}/S{}/sp={}/dual={} diverged from reference\n{}",
+                                    opt_level, sched_level, single_path, dual_issue, source
+                                );
+                                prop_assert_eq!(
+                                    arr, want_arr,
+                                    "O{}/S{}/sp={}/dual={} memory diverged\n{}",
+                                    opt_level, sched_level, single_path, dual_issue, source
+                                );
+                            }
+                            None => rejected += 1,
                         }
-                        None => rejected += 1,
                     }
                 }
             }
         }
         prop_assert!(
-            rejected == 0 || rejected == 6,
-            "single-path rejection must not depend on the opt level or issue width: {}/6\n{}",
+            rejected == 0 || rejected == 16,
+            "single-path rejection must not depend on the opt or sched level or issue width: {}/16\n{}",
             rejected, source
         );
     }

@@ -1,17 +1,22 @@
-//! Differential property test of the DAG scheduler: every generated
-//! program is compiled at `sched_level` 0 (the historical run
-//! scheduler) and `sched_level` 1 (dependence-DAG list scheduling with
-//! delay-slot filling), across dual-issue on/off and single-path
-//! on/off, and all binaries run on the strict cycle-accurate
-//! simulator. The observable outcomes must be identical in every
-//! configuration — the ABI result register and the final contents of
-//! every global. The generator leans on the shapes the scheduler
-//! rewrites most aggressively: short data-dependent loops whose bodies
-//! end in branch shadows, guarded assignments, array traffic whose
-//! loads want reordering, and enough arithmetic to keep both issue
-//! slots contested. Strict simulation doubles as the timing oracle: a
-//! misscheduled load-use gap or a clobbered register on a speculated
-//! path fails the run outright.
+//! Differential property test of the backend schedulers: every
+//! generated program is compiled at `sched_level` 0 (the historical
+//! run scheduler), 1 (dependence-DAG list scheduling with delay-slot
+//! filling) and 2 (iterative modulo scheduling of innermost counted
+//! loops on top), across dual-issue on/off and single-path on/off, and
+//! all binaries run on the strict cycle-accurate simulator. The
+//! observable outcomes must be identical in every configuration — the
+//! ABI result register and the final contents of every global. The
+//! generator leans on the shapes the schedulers rewrite most
+//! aggressively: short data-dependent loops whose bodies end in branch
+//! shadows, guarded assignments, array traffic whose loads want
+//! reordering, and enough arithmetic to keep both issue slots
+//! contested; a second generator produces straight-line loop bodies
+//! built around multiply-accumulate recurrences — loop-carried
+//! dependences that force the pipeliner's `MII` above one — with trip
+//! counts long enough that pipelining actually triggers. Strict
+//! simulation doubles as the timing oracle: a misscheduled load-use
+//! gap, a violated loop-carried gap in a kernel, or a clobbered
+//! register on a speculated path fails the run outright.
 
 use proptest::prelude::*;
 
@@ -237,34 +242,111 @@ proptest! {
         for dual_issue in [true, false] {
             for single_path in [false, true] {
                 let o0 = observe(&source, 0, dual_issue, single_path);
-                let o1 = observe(&source, 1, dual_issue, single_path);
-                prop_assert_eq!(
-                    o0.is_some(),
-                    o1.is_some(),
-                    "sched levels disagree on single-path feasibility\n{}",
-                    &source
-                );
-                let (Some((r1_s0, arr_s0)), Some((r1_s1, arr_s1))) = (o0, o1) else {
-                    continue;
-                };
-                if !single_path {
+                for sched_level in [1u8, 2] {
+                    let o1 = observe(&source, sched_level, dual_issue, single_path);
                     prop_assert_eq!(
-                        r1_s0, want_r1,
-                        "sched 0 diverged from reference (dual={})\n{}",
-                        dual_issue, &source
+                        o0.is_some(),
+                        o1.is_some(),
+                        "sched levels disagree on single-path feasibility\n{}",
+                        &source
                     );
-                    prop_assert_eq!(arr_s0, want_arr, "sched 0 memory diverged\n{}", &source);
+                    let (Some((r1_s0, arr_s0)), Some((r1_s1, arr_s1))) = (o0, o1) else {
+                        continue;
+                    };
+                    if !single_path {
+                        prop_assert_eq!(
+                            r1_s0, want_r1,
+                            "sched 0 diverged from reference (dual={})\n{}",
+                            dual_issue, &source
+                        );
+                        prop_assert_eq!(arr_s0, want_arr, "sched 0 memory diverged\n{}", &source);
+                    }
+                    prop_assert_eq!(
+                        r1_s1, r1_s0,
+                        "sched levels 0/{} disagree on the result (dual={}, sp={})\n{}",
+                        sched_level, dual_issue, single_path, &source
+                    );
+                    prop_assert_eq!(
+                        arr_s1, arr_s0,
+                        "sched levels 0/{} disagree on memory (dual={}, sp={})\n{}",
+                        sched_level, dual_issue, single_path, &source
+                    );
                 }
+            }
+        }
+    }
+
+    /// Loop-carried recurrences under the pipeliner: straight-line
+    /// bodies (no `if`s, so the loop stays a single block the modulo
+    /// scheduler accepts) built around a multiply-accumulate whose
+    /// `mul`→`mfs`→use→`mul` chain forces `MII` above one, with trip
+    /// counts long enough for pipelining to pay. Checked across every
+    /// scheduler level and both issue widths, at the partial-unrolling
+    /// mid-end level, against the host reference.
+    #[test]
+    fn pipelined_recurrences_agree_with_the_reference(
+        tail in prop::collection::vec(
+            prop_oneof![
+                (0usize..3, arb_expr()).prop_map(|(v, e)| S::Assign(v, e)),
+                (0usize..ARR_LEN, arb_expr()).prop_map(|(i, e)| S::ArrSet(i, e)),
+            ],
+            0..3,
+        ),
+        mul_of in 0usize..3,
+        addend in -40i32..40,
+        reps in 6u32..16,
+        init in (-50i32..50, -50i32..50, -50i32..50),
+    ) {
+        // `v = v * 3 + (addend ^ other)` — the accumulator reads its
+        // own previous-iteration value through the multiplier.
+        let rec = S::Assign(
+            mul_of,
+            E::Add(
+                Box::new(E::Mul(Box::new(E::Var(mul_of)), Box::new(E::Lit(3)))),
+                Box::new(E::Xor(Box::new(E::Lit(addend)), Box::new(E::Var((mul_of + 1) % 3)))),
+            ),
+        );
+        let mut stmts = vec![rec];
+        stmts.extend(tail);
+        let source = render_program(&stmts, reps, [init.0, init.1, init.2]);
+
+        let mut env = Env { vars: [init.0, init.1, init.2], arr: [0; ARR_LEN] };
+        for _ in 0..reps {
+            for s in &stmts {
+                eval_s(s, &mut env);
+            }
+        }
+        let want_r1 = (env.vars[0] ^ env.vars[1] ^ env.vars[2]) as u32;
+        let want_arr = env.arr.map(|v| v as u32);
+
+        for dual_issue in [true, false] {
+            for sched_level in [0u8, 1, 2] {
+                let options = CompileOptions {
+                    opt_level: 3,
+                    sched_level,
+                    dual_issue,
+                    ..CompileOptions::default()
+                };
+                let image = compile(&source, &options)
+                    .unwrap_or_else(|e| panic!("S{sched_level} compile failed: {e}\n{source}"));
+                let config = SimConfig { dual_issue, ..SimConfig::default() };
+                let mut sim = Simulator::new(&image, config);
+                sim.run().unwrap_or_else(|e| {
+                    panic!("S{sched_level}/dual={dual_issue} strict simulation failed: {e}\n{source}")
+                });
                 prop_assert_eq!(
-                    r1_s1, r1_s0,
-                    "sched levels disagree on the result (dual={}, sp={})\n{}",
-                    dual_issue, single_path, &source
+                    sim.reg(Reg::R1), want_r1,
+                    "S{}/dual={} diverged from reference\n{}",
+                    sched_level, dual_issue, &source
                 );
-                prop_assert_eq!(
-                    arr_s1, arr_s0,
-                    "sched levels disagree on memory (dual={}, sp={})\n{}",
-                    dual_issue, single_path, &source
-                );
+                let base = image.symbol("out").expect("global array exists");
+                for (i, want) in want_arr.iter().enumerate() {
+                    prop_assert_eq!(
+                        sim.memory().read_word(base + 4 * i as u32), *want,
+                        "S{}/dual={} memory diverged at out[{}]\n{}",
+                        sched_level, dual_issue, i, &source
+                    );
+                }
             }
         }
     }

@@ -183,6 +183,151 @@ impl LirInst {
     }
 }
 
+/// The bound operand of a counted loop's header compare.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LoopBoundSrc {
+    /// `cmpi<op> pd = vi, K` — a literal bound.
+    Imm(i16),
+    /// `cmp<op> pd = vi, rK` — a register bound, loop-invariant by
+    /// construction (the recogniser rejects bodies that write it).
+    Reg(Reg),
+}
+
+/// Metadata of a counted innermost loop recognised on *physical* LIR —
+/// the loop-forest shape the mid-end analyses on virtual code, threaded
+/// through register allocation by structure: the canonical header
+/// (`cmpi<lt|le> pd = vi, K` + `(!pd) br exit`) followed by one
+/// straight-line body block ending in the unconditional back branch,
+/// with `vi` stepped exactly once by a constant.
+///
+/// This is what the software pipeliner (`patmos-sched`, scheduler
+/// level 2) keys on: `vi`/`step`/`bound` give it the lookahead exit
+/// test and the trip-count guard, `pd` the kernel branch predicate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CountedLoop {
+    /// The exit predicate the header compare defines.
+    pub pd: Pred,
+    /// The induction variable.
+    pub vi: Reg,
+    /// The header comparison (`Lt` or `Le`).
+    pub cmp_op: patmos_isa::CmpOp,
+    /// The loop bound `K` (literal, or a loop-invariant register).
+    pub bound: LoopBoundSrc,
+    /// The induction step per iteration (positive) — the sum of the
+    /// body's canonical updates (a partially unrolled body carries one
+    /// `addi` per copy).
+    pub step: i32,
+}
+
+impl CountedLoop {
+    /// Recognises the canonical counted-loop shape over a header block
+    /// (instructions + conditional exit branch) and a body block
+    /// (instructions + unconditional back branch). Returns `None` for
+    /// anything the pipeliner cannot reason about: a register bound,
+    /// extra header work, a body that touches the exit predicate or
+    /// the stack frame, special-register traffic beyond the multiply
+    /// unit, or a non-canonical induction update.
+    pub fn recognize(
+        header: &[LirInst],
+        header_term: &LirInst,
+        body: &[LirInst],
+        body_term: &LirInst,
+    ) -> Option<CountedLoop> {
+        // Header: exactly the compare, then the guarded exit branch.
+        let [cmp] = header else { return None };
+        let (cmp_op, pd, vi, bound) = match &cmp.op {
+            LirOp::Real(Op::CmpI {
+                op: op @ (patmos_isa::CmpOp::Lt | patmos_isa::CmpOp::Le),
+                pd,
+                rs1,
+                imm,
+            }) => (*op, *pd, *rs1, LoopBoundSrc::Imm(*imm)),
+            LirOp::Real(Op::Cmp {
+                op: op @ (patmos_isa::CmpOp::Lt | patmos_isa::CmpOp::Le),
+                pd,
+                rs1,
+                rs2,
+            }) if rs2 != rs1 => (*op, *pd, *rs1, LoopBoundSrc::Reg(*rs2)),
+            _ => return None,
+        };
+        if !cmp.guard.is_always() || vi.is_zero() {
+            return None;
+        }
+        if !(matches!(&header_term.op, LirOp::BrLabel(_))
+            && header_term.guard.negate
+            && header_term.guard.pred == pd)
+        {
+            return None;
+        }
+        if !matches!(&body_term.op, LirOp::BrLabel(_)) || !body_term.guard.is_always() {
+            return None;
+        }
+
+        // Body: straight-line, no frame or special-register traffic
+        // (the multiply unit excepted), no touch of the exit
+        // predicate, and only canonical induction updates (one per
+        // unrolled copy; their steps sum).
+        let mut step: i32 = 0;
+        for inst in body.iter() {
+            let op = match &inst.op {
+                LirOp::Real(op) => op,
+                LirOp::LilSym(..) => {
+                    continue;
+                }
+                LirOp::BrLabel(_) | LirOp::CallFunc(_) => return None,
+            };
+            if op.is_flow() || op.is_stack_control() {
+                return None;
+            }
+            match op {
+                Op::Mts { .. } => return None,
+                Op::Mfs { ss, .. }
+                    if !matches!(ss, patmos_isa::SpecialReg::Sl | patmos_isa::SpecialReg::Sh) =>
+                {
+                    return None
+                }
+                _ => {}
+            }
+            // The exit predicate belongs to the header compare alone.
+            if inst.op.pred_def() == Some(pd)
+                || inst.op.pred_uses().into_iter().flatten().any(|p| p == pd)
+                || (!inst.guard.is_always() && inst.guard.pred == pd)
+            {
+                return None;
+            }
+            // A register bound must be loop-invariant.
+            if let LoopBoundSrc::Reg(k) = bound {
+                if inst.op.def() == Some(k) {
+                    return None;
+                }
+            }
+            if inst.op.def() == Some(vi) {
+                match op {
+                    Op::AluI {
+                        op: patmos_isa::AluOp::Add,
+                        rs1,
+                        imm,
+                        ..
+                    } if *rs1 == vi && inst.guard.is_always() && *imm > 0 => {
+                        step += *imm as i32;
+                    }
+                    _ => return None,
+                }
+            }
+        }
+        if step == 0 || step > i16::MAX as i32 {
+            return None;
+        }
+        Some(CountedLoop {
+            pd,
+            vi,
+            cmp_op,
+            bound,
+            step,
+        })
+    }
+}
+
 /// One item of a function's linear code.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Item {
@@ -228,6 +373,58 @@ mod tests {
         assert_eq!(i.render(), "addi r3 = r3, 1");
         let b = LirInst::new(Guard::unless(Pred::P6), LirOp::BrLabel("f_L1".into()));
         assert_eq!(b.render(), "(!p6) br f_L1");
+    }
+
+    #[test]
+    fn counted_loop_recognition() {
+        use patmos_isa::{AluOp, CmpOp, Guard};
+        let cmp = LirInst::always(LirOp::Real(Op::CmpI {
+            op: CmpOp::Lt,
+            pd: Pred::P6,
+            rs1: Reg::from_index(7),
+            imm: 60,
+        }));
+        let exit_br = LirInst::new(Guard::unless(Pred::P6), LirOp::BrLabel("exit".into()));
+        let addi = |rd: u8, imm: i16| {
+            LirInst::always(LirOp::Real(Op::AluI {
+                op: AluOp::Add,
+                rd: Reg::from_index(rd),
+                rs1: Reg::from_index(rd),
+                imm,
+            }))
+        };
+        let back = LirInst::always(LirOp::BrLabel("head".into()));
+        // Two canonical updates (a partially unrolled body): steps sum.
+        let body = vec![addi(7, 1), addi(8, 4), addi(7, 2)];
+        let cl = CountedLoop::recognize(std::slice::from_ref(&cmp), &exit_br, &body, &back)
+            .expect("canonical shape");
+        assert_eq!(cl.vi, Reg::from_index(7));
+        assert_eq!(cl.step, 3);
+        assert_eq!(cl.bound, LoopBoundSrc::Imm(60));
+        // A body touching the exit predicate is rejected.
+        let bad = vec![
+            addi(7, 1),
+            LirInst::new(Guard::when(Pred::P6), LirOp::Real(Op::Nop)),
+        ];
+        assert!(
+            CountedLoop::recognize(std::slice::from_ref(&cmp), &exit_br, &bad, &back).is_none()
+        );
+        // A register bound is recognised when loop-invariant…
+        let rcmp = LirInst::always(LirOp::Real(Op::Cmp {
+            op: CmpOp::Lt,
+            pd: Pred::P6,
+            rs1: Reg::from_index(7),
+            rs2: Reg::from_index(11),
+        }));
+        let cl = CountedLoop::recognize(std::slice::from_ref(&rcmp), &exit_br, &body, &back)
+            .expect("register bound");
+        assert_eq!(cl.bound, LoopBoundSrc::Reg(Reg::from_index(11)));
+        // …and rejected when the body writes it.
+        let clobber = vec![addi(7, 1), addi(11, 1)];
+        assert!(
+            CountedLoop::recognize(std::slice::from_ref(&rcmp), &exit_br, &clobber, &back)
+                .is_none()
+        );
     }
 
     #[test]

@@ -37,6 +37,16 @@
 //!   reruns, handing the scalar passes straight-line code in which the
 //!   induction variable folds to per-iteration constants.
 //!
+//! Level 3 extends the unroll step with **partial unrolling** for the
+//! loops the full scheme cannot touch: an over-budget constant-trip
+//! loop replicates its body by the largest *paying* divisor of the
+//! trip count (the header test stays exact, the `.loopbound`
+//! tightens), and a runtime-trip straight-line loop splits into a
+//! factor-4/2 main loop guarded by `K − (U−1)·S` plus a scalar
+//! remainder loop. A cost model gates both schemes on what
+//! replication actually buys against the cold method-cache fill of
+//! the added code (see the `unroll` module).
+//!
 //! Every pass is *guard-aware*: definitions under a non-always
 //! predicate merge with the old value and therefore block propagation,
 //! while their operands may still be rewritten. Single-path code stays
@@ -170,6 +180,43 @@ pub struct PassDump {
     pub after: String,
 }
 
+/// How the unroller rewrote one loop (for `--dump-pipeline`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnrollKind {
+    /// The loop was replaced by straight-line body copies.
+    Full,
+    /// The body was replicated by a factor dividing the constant trip
+    /// count; the loop survives with a tightened bound.
+    Divisor,
+    /// A runtime-trip loop was split into a factor-wide main loop and
+    /// a scalar remainder loop.
+    Remainder,
+}
+
+impl std::fmt::Display for UnrollKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            UnrollKind::Full => "full",
+            UnrollKind::Divisor => "divisor",
+            UnrollKind::Remainder => "remainder",
+        })
+    }
+}
+
+/// One loop rewritten by the unroller.
+#[derive(Debug, Clone)]
+pub struct LoopUnroll {
+    /// The loop's header label.
+    pub label: String,
+    /// The scheme applied.
+    pub kind: UnrollKind,
+    /// Body copies per iteration of the surviving loop (equal to the
+    /// trip count for [`UnrollKind::Full`]).
+    pub factor: u32,
+    /// The constant trip count, when known.
+    pub trips: Option<u32>,
+}
+
 /// Outcome of one optimization run.
 #[derive(Debug, Clone, Default)]
 pub struct OptReport {
@@ -181,6 +228,8 @@ pub struct OptReport {
     pub insts_after: usize,
     /// Per-pass before/after snapshots (empty unless tracing).
     pub dumps: Vec<PassDump>,
+    /// Loops the unroller rewrote (levels 2+), in application order.
+    pub unrolls: Vec<LoopUnroll>,
 }
 
 fn count_insts(module: &VModule) -> usize {
@@ -214,8 +263,12 @@ pub struct OptConfig {
     /// Pipeline level. `1` runs the scalar fixpoint; `2` additionally
     /// inlines small non-recursive calls first, hoists loop-invariant
     /// code inside the fixpoint, and fully unrolls small
-    /// constant-trip-count loops between fixpoint reruns. Levels beyond
-    /// 2 behave like 2.
+    /// constant-trip-count loops between fixpoint reruns. `3` extends
+    /// the unroll step with *partial* unrolling: over-budget
+    /// constant-trip loops replicate their body by the largest divisor
+    /// of the trip count that fits the budget, and runtime-trip
+    /// straight-line loops get a factor-4/2 main loop plus a scalar
+    /// remainder loop. Levels beyond 3 behave like 3.
     pub level: u8,
 }
 
@@ -327,9 +380,10 @@ fn run_pipeline(module: &mut VModule, config: OptConfig) -> OptReport {
     run_fixpoint(module, config, &mut report, passes);
 
     if loop_aware && !config.shape_stable {
+        let partial = config.level >= 3;
         for _ in 0..MAX_UNROLL_ROUNDS {
             let before = config.trace.then(|| module.render());
-            if !unroll::run(module) {
+            if !unroll::run(module, partial, &mut report.unrolls) {
                 break;
             }
             // The unroll application is a round of its own; the next

@@ -1,5 +1,6 @@
 //! Bounded full unrolling of constant-trip-count loops (an
-//! `opt_level` 2 pass).
+//! `opt_level` 2 pass) and **partial unrolling** of loops the full
+//! scheme cannot touch (`opt_level` 3).
 //!
 //! A counted `while` loop in the generator's shape —
 //!
@@ -8,60 +9,86 @@
 //!         .loopbound min max     fall-through predecessor
 //! head:
 //!         cmpilt p6 = vi, K    ← header: compare + exit branch only
-//!         (!p6) br exit
+//!         (!p6) br exit          (K may also be a register)
 //!         …body…               ← may contain internal control flow
 //!         addi vi = vi, S      ← the only def of vi, in the latch
 //!         br head
 //! exit:
 //! ```
 //!
-//! — runs exactly `T = ⌈(K−C0)/S⌉` (or `+1` for `<=`) iterations. When
-//! `T·|body|` fits the size budget the loop is replaced by `T` verbatim
-//! copies of the body: the compare, both loop branches, the loop labels
-//! and the `.loopbound` disappear, and internal labels (a branching
-//! `if` inside the body) are uniquified per copy. The induction updates
-//! are kept in every copy, so register state (including the final `vi`)
-//! evolves exactly as the rolled loop would; the scalar fixpoint that
-//! re-runs afterwards then rewrites the induction variable to per-copy
-//! constants, folds the re-scaled address arithmetic, and CSEs across
-//! what used to be iteration boundaries — the induction-variable
-//! rewriting step classic unrollers do explicitly falls out of constant
-//! propagation here. The DAG scheduler downstream sees a handful of
-//! long blocks instead of `T` short ones, which is where the dual-issue
-//! packing headroom comes from.
+//! — runs exactly `T = ⌈(K−C0)/S⌉` (or `+1` for `<=`) iterations when
+//! `C0`, `K` and `S` are all compile-time constants. Three schemes
+//! apply, tried in this order per loop:
+//!
+//! 1. **Full unrolling** (level 2): when `T·|body|` fits the size
+//!    budget the loop is replaced by `T` verbatim copies of the body;
+//!    compare, branches, labels and the `.loopbound` disappear, and the
+//!    scalar fixpoint folds the induction variable to per-copy
+//!    constants.
+//! 2. **Divisor partial unrolling** (level 3): a constant-trip loop
+//!    over budget keeps its compare and branches but its body is
+//!    replicated `U` times, for the largest `U ≥ 2` dividing `T` with
+//!    `U·|body|` within budget. Every copy keeps the induction update,
+//!    so after `U` copies the header test is exact again — `U | T`
+//!    means the loop can never exit mid-group. The `.loopbound`
+//!    tightens to `T/U + 1` header executions.
+//! 3. **Remainder partial unrolling** (level 3): a *runtime*-trip loop
+//!    (register bound, or an unknown induction start) with a
+//!    straight-line body is split into a main loop running groups of
+//!    `U ∈ {4, 2}` iterations while at least `U` remain — the guard
+//!    compares against `K − (U−1)·S`, computed into a fresh register in
+//!    the preheader when `K` is a register — and a scalar remainder
+//!    loop (the original, relabelled) that finishes the last `< U`
+//!    iterations. Works for any runtime trip count, including zero.
 //!
 //! Eligibility, beyond the shape above:
 //!
 //! * the body leaves the loop only through the header's exit branch —
 //!   no `ret`, no branch to an outside label (so every iteration runs
-//!   the latch, and the trip count is exact);
+//!   the latch, and the group structure is exact);
 //! * if the body touches the scratch exit predicate `p6`, its first
 //!   touch must be an unconditional definition ahead of all internal
 //!   control flow — a body that *read* the header compare's value
-//!   would see a stale predicate once the compare is gone;
-//! * the loop is innermost, and either nested inside another loop or
-//!   free of memory traffic. A top-level loop executes once: unless
-//!   its body folds to constants (the pure-compute case), duplicating
-//!   it mostly buys a longer cold method-cache fill — measurably a
-//!   net loss on small lookup kernels.
+//!   would see a stale predicate once the compare is gone (full
+//!   unrolling) or a differently-biased one (partial);
+//! * full unrolling additionally requires the loop to be innermost and
+//!   either nested or memory-free (a duplicated top-level body mostly
+//!   buys a longer cold method-cache fill); the partial schemes keep
+//!   the loop and amortise its control overhead instead, so they run
+//!   on top-level memory loops — `dotprod`, `cnt` — too.
 //!
-//! Only innermost loops unroll in one call; the driver re-runs the
+//! Only innermost loops rewrite in one call; the driver re-runs the
 //! fixpoint in between, so a nest unrolls inside-out while each step
-//! re-checks the budget against the already-flattened body. The
-//! transformation reads the literal values `C0`, `K` and `S`, so it is
-//! **not** shape-stable and never runs in single-path mode.
+//! re-checks the budget against the already-flattened body. All three
+//! schemes read the literal values `C0`, `K` and `S`, so they are
+//! **not** shape-stable and never run in single-path mode.
 
 use std::collections::HashSet;
 
 use patmos_isa::{AluOp, CmpOp, Pred};
 use patmos_lir::{FuncCode, VCfg, VInst, VItem, VModule, VOp, VReg};
 
-/// Largest number of instructions a fully unrolled loop may occupy.
-const UNROLL_BUDGET: usize = 256;
-/// Largest trip count considered.
-const MAX_TRIP: i64 = 64;
+use crate::{LoopUnroll, UnrollKind};
 
-/// One unrollable loop, in module item-index space.
+/// Largest number of instructions a fully unrolled loop (or one
+/// replicated partial-unroll body group) may occupy.
+const UNROLL_BUDGET: usize = 256;
+/// Largest trip count considered for full unrolling.
+const MAX_TRIP: i64 = 64;
+/// The `cmpi` immediate is 11-bit signed; adjusted bounds must fit.
+const CMPI_IMM_RANGE: std::ops::RangeInclusive<i64> = -1024..=1023;
+
+/// How the compare bounds the induction variable.
+#[derive(Clone, Copy)]
+enum BoundSrc {
+    /// `cmpi<op> pd = vi, K` — a literal bound.
+    Imm(i16),
+    /// `cmp<op> pd = vi, vK` — a register bound (runtime trip count).
+    Reg(VReg),
+}
+
+/// One recognised counted loop, in module item-index space, with the
+/// facts the three unrolling schemes decide on.
 struct Plan {
     /// First item of the loop's leading `.loopbound`/label run.
     start: usize,
@@ -70,8 +97,45 @@ struct Plan {
     /// Body item range: everything after the header's exit branch up to
     /// (excluding) the back branch — instructions *and* internal labels.
     body: std::ops::Range<usize>,
-    /// Trip count.
-    trips: i64,
+    /// The header's own label.
+    head_label: String,
+    /// The exit label.
+    exit_label: String,
+    /// The header compare (`Lt` or `Le`).
+    cmp_op: CmpOp,
+    /// The exit predicate the header compare defines.
+    pd: Pred,
+    /// The induction variable.
+    vi: VReg,
+    /// The loop bound operand.
+    bound: BoundSrc,
+    /// The induction step (positive).
+    step: i64,
+    /// Instructions in the body (labels excluded).
+    body_insts: usize,
+    /// Whether the body touches memory or calls.
+    has_memory: bool,
+    /// Memory operations in the body (they serialise on the single
+    /// memory port, capping how much replication can pack).
+    mem_ops: usize,
+    /// Whether a multiply reads a value carried around the back edge
+    /// (an `a = a * k + …` recurrence): its copies chain through the
+    /// multiplier and replication packs nothing.
+    carried_mul: bool,
+    /// Distinct virtual registers the body references — a register
+    /// pressure proxy: replicating a wide body invites the post-unroll
+    /// CSE to stretch live ranges until the allocator spills in the
+    /// hot loop.
+    distinct_vregs: usize,
+    /// Whether the body is straight-line (no internal labels or
+    /// branches) — required by the remainder scheme.
+    single_block: bool,
+    /// Exact trip count, when start value and bound are constants.
+    trips: Option<i64>,
+    /// Nesting depth (1 = outermost).
+    depth: u32,
+    /// The loop's `.loopbound` annotation, when present.
+    bound_ann: Option<(u32, u32)>,
 }
 
 /// Matches `inst` as the unconditional branch `br <label>`.
@@ -160,20 +224,26 @@ fn plan_loop(
     let hb = &cfg.blocks[h];
     let lb = &cfg.blocks[latch];
 
-    // Header: `cmpi<lt|le> p6 = vi, K` then `(!p6) br exit`.
+    // Header: `cmp(i)<lt|le> p6 = vi, K` then `(!p6) br exit`.
     if hb.end - hb.first != 2 {
         return None;
     }
     let cmp = func.insts[hb.first].1;
     let br = func.insts[hb.first + 1].1;
-    let VOp::CmpI {
-        op: cmp_op @ (CmpOp::Lt | CmpOp::Le),
-        pd,
-        rs1: vi,
-        imm: k,
-    } = cmp.op
-    else {
-        return None;
+    let (cmp_op, pd, vi, bound) = match cmp.op {
+        VOp::CmpI {
+            op: op @ (CmpOp::Lt | CmpOp::Le),
+            pd,
+            rs1,
+            imm,
+        } => (op, pd, rs1, BoundSrc::Imm(imm)),
+        VOp::Cmp {
+            op: op @ (CmpOp::Lt | CmpOp::Le),
+            pd,
+            rs1,
+            rs2,
+        } if rs2 != rs1 => (op, pd, rs1, BoundSrc::Reg(rs2)),
+        _ => return None,
     };
     if !cmp.guard.is_always() || pd != Pred::P6 {
         return None;
@@ -219,10 +289,14 @@ fn plan_loop(
         .collect();
 
     // Walk the body: exits, the induction variable, the scratch
-    // predicate discipline, memory traffic.
+    // predicate discipline, memory traffic, bound invariance.
     let mut step: Option<i64> = None;
     let mut body_insts = 0usize;
     let mut has_memory = false;
+    let mut mem_ops = 0usize;
+    let mut carried_mul = false;
+    let mut vregs: HashSet<VReg> = HashSet::new();
+    let mut defined: HashSet<VReg> = HashSet::new();
     let mut flow_seen = false; // a label or branch so far
     let mut p6_defined = false;
     for item in &items[body.clone()] {
@@ -240,14 +314,34 @@ fn plan_loop(
                         }
                         flow_seen = true;
                     }
-                    VOp::Load { .. } | VOp::Store { .. } | VOp::CallFunc(_) => has_memory = true,
+                    VOp::Load { .. } | VOp::Store { .. } | VOp::CallFunc(_) => {
+                        has_memory = true;
+                        mem_ops += 1;
+                    }
+                    VOp::Mul { rs1, rs2 } => {
+                        // An operand read before any body definition is
+                        // carried around the back edge.
+                        for r in [rs1, rs2] {
+                            if !r.is_zero() && !defined.contains(r) {
+                                carried_mul = true;
+                            }
+                        }
+                    }
                     _ => {}
                 }
+                vregs.extend(inst.op.uses().into_iter().flatten().chain(inst.op.def()));
+                defined.extend(inst.op.def());
                 if uses_pred(inst, pd) && !p6_defined {
                     return None;
                 }
                 if defines_pred(&inst.op, pd) && !flow_seen {
                     p6_defined = true;
+                }
+                // A register bound must be loop-invariant.
+                if let BoundSrc::Reg(k) = bound {
+                    if inst.op.def() == Some(k) {
+                        return None;
+                    }
                 }
                 if inst.op.def() == Some(vi) {
                     // Exactly one def, the canonical increment, in the
@@ -258,7 +352,7 @@ fn plan_loop(
                             rs1,
                             imm,
                             ..
-                        } if rs1 == vi && inst.guard.is_always() && step.is_none() => {
+                        } if rs1 == vi && inst.guard.is_always() && step.is_none() && imm > 0 => {
                             step = Some(imm as i64);
                         }
                         _ => return None,
@@ -284,36 +378,207 @@ fn plan_loop(
     // that must survive the splice; it also marks a side entry, so the
     // constant scan below (which starts at `start` and stops at any
     // label) never looks past it either.
-    let start = patmos_lir::header_lead(items, func.insts[hb.first].0).start;
+    let lead = patmos_lir::header_lead(items, func.insts[hb.first].0);
+    let start = lead.start;
+    let bound_ann = lead.bound;
 
-    let c0 = entry_constant(items, start, vi)?;
-    let trips = trip_count(c0, k as i64, cmp_op, step?)?;
-    if trips == 0
-        || trips > MAX_TRIP
-        || trips as usize * body_insts > UNROLL_BUDGET
-        || body_insts == 0
-    {
-        return None;
-    }
-    // Top-level loops run once: only pure-compute bodies (which fold)
-    // are worth the code growth; nested loops amortise it.
-    if lp.depth < 2 && has_memory {
+    let step = step?;
+    let c0 = entry_constant(items, start, vi);
+    let trips = match (bound, c0) {
+        (BoundSrc::Imm(k), Some(c0)) => trip_count(c0, k as i64, cmp_op, step),
+        _ => None,
+    };
+    if body_insts == 0 {
         return None;
     }
     Some(Plan {
         start,
         end,
         body,
+        head_label: head_label.to_string(),
+        exit_label: exit_label.clone(),
+        cmp_op,
+        pd,
+        vi,
+        bound,
+        step,
+        body_insts,
+        has_memory,
+        mem_ops,
+        carried_mul,
+        distinct_vregs: vregs.len(),
+        single_block: internal_labels.is_empty() && !flow_seen,
         trips,
+        depth: lp.depth,
+        bound_ann,
     })
+}
+
+/// The rewrite chosen for one planned loop.
+enum Scheme {
+    /// Replace the loop by `trips` straight-line body copies.
+    Full { trips: i64 },
+    /// Keep the loop; replicate the body `factor` times (`factor`
+    /// divides the trip count).
+    Divisor { factor: i64, trips: i64 },
+    /// Main loop of `factor`-iteration groups plus a scalar remainder
+    /// loop.
+    Remainder { factor: i64 },
+}
+
+/// Replicating a body whose copy references more distinct registers
+/// than this invites the post-unroll CSE to stretch live ranges until
+/// the allocator spills inside the hot loop — a catastrophic trade.
+const MAX_BODY_VREGS: usize = 16;
+
+/// Whether replicating `plan`'s body `factor`-fold pays: the cycles
+/// saved on loop overhead and dual-issue packing across `trips`
+/// iterations must beat the cost of the added code (a longer cold
+/// method-cache fill; amortised when the loop is nested and its
+/// function stays resident).
+fn replication_pays(plan: &Plan, factor: i64, trips: i64, added_insts: i64) -> bool {
+    // Per skipped header: the compare, the exit branch and the mostly
+    // empty branch shadows (~3 cycles); straight-line bodies
+    // additionally let copies pack into the second issue slot, capped
+    // by the single memory port — unless a multiply recurrence chains
+    // the copies through the multiplier, in which case replication
+    // packs nothing.
+    let packing = if plan.single_block && !plan.carried_mul {
+        (plan.body_insts / 2).saturating_sub(plan.mem_ops).min(3) as i64
+    } else {
+        0
+    };
+    let per_iter = 3 + packing;
+    let savings = trips * (factor - 1) / factor * per_iter;
+    let growth = if plan.depth >= 2 {
+        added_insts / 2
+    } else {
+        added_insts * 3 / 2
+    };
+    // A third of margin: these are estimates, and a marginal
+    // replication is not worth the code.
+    savings * 3 > growth * 4
+}
+
+/// Picks the scheme for `plan`, or `None` to leave the loop alone.
+fn choose_scheme(plan: &Plan, partial: bool) -> Option<Scheme> {
+    // Full unrolling: small constant trip within budget; top-level
+    // loops only when memory-free (duplicating a once-run memory body
+    // mostly lengthens the cold method-cache fill).
+    if let Some(trips) = plan.trips {
+        if trips > 0
+            && trips <= MAX_TRIP
+            && trips as usize * plan.body_insts <= UNROLL_BUDGET
+            && (plan.depth >= 2 || !plan.has_memory)
+        {
+            return Some(Scheme::Full { trips });
+        }
+        if !partial || plan.distinct_vregs > MAX_BODY_VREGS {
+            return None;
+        }
+        // Divisor partial unrolling: the largest *proper* factor
+        // dividing the trip count that stays within budget and pays
+        // for its code growth — a factor equal to the trip count would
+        // be a full unroll wearing a loop costume, dodging the gate
+        // above.
+        if trips >= 4 {
+            let max_u = (UNROLL_BUDGET / plan.body_insts) as i64;
+            let factor = (2..=max_u.min(trips - 1))
+                .rev()
+                .filter(|u| trips % u == 0)
+                .find(|&u| replication_pays(plan, u, trips, (u - 1) * plan.body_insts as i64))?;
+            return Some(Scheme::Divisor { factor, trips });
+        }
+        return None;
+    }
+    if !partial || !plan.single_block || plan.distinct_vregs > MAX_BODY_VREGS {
+        return None;
+    }
+    // Remainder partial unrolling for runtime trip counts. Never
+    // re-unroll a main or remainder loop this pass created.
+    if plan.head_label.ends_with("_pu") || plan.head_label.ends_with("_rem") {
+        return None;
+    }
+    let expected_trips = plan.bound_ann.map(|(_, max)| max.saturating_sub(1))?;
+    for factor in [4i64, 2] {
+        if factor as usize * plan.body_insts > UNROLL_BUDGET {
+            continue;
+        }
+        // The main loop should run at least a couple of groups at the
+        // annotated worst case, or the guard never pays for itself.
+        if (expected_trips as i64) < 2 * factor {
+            continue;
+        }
+        // The adjusted bound must still encode: folded into the
+        // `cmpi` immediate for a literal bound, or as the preheader
+        // `addi`'s 12-bit immediate for a register bound.
+        match plan.bound {
+            BoundSrc::Imm(k) => {
+                let adjusted = k as i64 - (factor - 1) * plan.step;
+                if !CMPI_IMM_RANGE.contains(&adjusted) {
+                    continue;
+                }
+            }
+            BoundSrc::Reg(_) => {
+                if (factor - 1) * plan.step > 2047 {
+                    continue;
+                }
+            }
+        }
+        // Main copies plus the relabelled remainder loop.
+        let added = factor * plan.body_insts as i64 + 4;
+        if !replication_pays(plan, factor, expected_trips as i64, added) {
+            continue;
+        }
+        return Some(Scheme::Remainder { factor });
+    }
+    None
+}
+
+/// The largest virtual-register id in use (fresh registers are
+/// allocated past it).
+fn max_vreg(items: &[VItem]) -> u32 {
+    let mut max = 0u32;
+    for item in items {
+        if let VItem::Inst(inst) = item {
+            for r in inst.op.uses().into_iter().flatten().chain(inst.op.def()) {
+                max = max.max(r.id());
+            }
+        }
+    }
+    max
+}
+
+/// Replicates `body` `copies` times, uniquifying internal labels (and
+/// the branches to them) with `prefix{copy}_`.
+fn replicate(body: &[VItem], copies: i64, prefix: &str) -> Vec<VItem> {
+    let mut out = Vec::with_capacity(body.len() * copies as usize);
+    for copy in 0..copies {
+        for item in body {
+            out.push(match item {
+                VItem::Label(l) => VItem::Label(format!("{prefix}{copy}_{l}")),
+                VItem::Inst(VInst {
+                    guard,
+                    op: VOp::BrLabel(l),
+                }) => VItem::Inst(VInst::new(
+                    *guard,
+                    VOp::BrLabel(format!("{prefix}{copy}_{l}")),
+                )),
+                other => other.clone(),
+            });
+        }
+    }
+    out
 }
 
 /// Unrolls every eligible *innermost* loop once; returns whether the
 /// module changed. The driver re-runs the scalar fixpoint before
 /// calling again, so outer loops are reconsidered against their
-/// flattened bodies.
-pub(crate) fn run(module: &mut VModule) -> bool {
-    let mut plans: Vec<Plan> = Vec::new();
+/// flattened bodies. With `partial`, loops the full scheme cannot
+/// handle get the divisor or remainder treatment (`opt_level` 3).
+/// Every rewrite is recorded in `log`.
+pub(crate) fn run(module: &mut VModule, partial: bool, log: &mut Vec<LoopUnroll>) -> bool {
+    let mut plans: Vec<(Plan, Scheme)> = Vec::new();
     for func in &patmos_lir::split_functions(&module.items) {
         let cfg = patmos_lir::build_vcfg(func, &module.items);
         let forest = patmos_lir::LoopForest::build(&cfg);
@@ -323,7 +588,9 @@ pub(crate) fn run(module: &mut VModule) -> bool {
                 continue;
             }
             if let Some(plan) = plan_loop(&module.items, func, &cfg, lp) {
-                plans.push(plan);
+                if let Some(scheme) = choose_scheme(&plan, partial) {
+                    plans.push((plan, scheme));
+                }
             }
         }
     }
@@ -331,26 +598,124 @@ pub(crate) fn run(module: &mut VModule) -> bool {
         return false;
     }
 
+    let mut next_vreg = max_vreg(&module.items) + 1;
+
     // Rewrite back to front so earlier spans stay valid.
-    plans.sort_by_key(|p| std::cmp::Reverse(p.start));
-    for plan in plans {
+    plans.sort_by_key(|(p, _)| std::cmp::Reverse(p.start));
+    for (plan, scheme) in plans {
         let body: Vec<VItem> = module.items[plan.body.clone()].to_vec();
-        let mut unrolled: Vec<VItem> = Vec::with_capacity(body.len() * plan.trips as usize);
-        for copy in 0..plan.trips {
-            for item in &body {
-                unrolled.push(match item {
-                    // Internal labels (and their branches) get one name
-                    // per copy.
-                    VItem::Label(l) => VItem::Label(format!("u{copy}_{l}")),
-                    VItem::Inst(VInst {
-                        guard,
-                        op: VOp::BrLabel(l),
-                    }) => VItem::Inst(VInst::new(*guard, VOp::BrLabel(format!("u{copy}_{l}")))),
-                    other => other.clone(),
+        match scheme {
+            Scheme::Full { trips } => {
+                log.push(LoopUnroll {
+                    label: plan.head_label.clone(),
+                    kind: UnrollKind::Full,
+                    factor: trips as u32,
+                    trips: Some(trips as u32),
                 });
+                let unrolled = replicate(&body, trips, "u");
+                module.items.splice(plan.start..=plan.end, unrolled);
+            }
+            Scheme::Divisor { factor, trips } => {
+                log.push(LoopUnroll {
+                    label: plan.head_label.clone(),
+                    kind: UnrollKind::Divisor,
+                    factor: factor as u32,
+                    trips: Some(trips as u32),
+                });
+                // Keep the original header and branches; replace the
+                // body with `factor` copies and tighten the bound.
+                let new_max = (trips / factor + 1) as u32;
+                let mut out: Vec<VItem> = vec![VItem::LoopBound {
+                    min: 1,
+                    max: new_max,
+                }];
+                // Header label + compare + exit branch, verbatim.
+                out.push(VItem::Label(plan.head_label.clone()));
+                let hdr_at = module.items[plan.start..]
+                    .iter()
+                    .position(|i| matches!(i, VItem::Inst(_)))
+                    .expect("header compare exists")
+                    + plan.start;
+                out.push(module.items[hdr_at].clone());
+                out.push(module.items[hdr_at + 1].clone());
+                out.extend(replicate(&body, factor, "pu"));
+                out.push(VItem::Inst(VInst::always(VOp::BrLabel(
+                    plan.head_label.clone(),
+                ))));
+                out.push(VItem::Label(plan.exit_label.clone()));
+                module.items.splice(plan.start..=plan.end, out);
+            }
+            Scheme::Remainder { factor } => {
+                log.push(LoopUnroll {
+                    label: plan.head_label.clone(),
+                    kind: UnrollKind::Remainder,
+                    factor: factor as u32,
+                    trips: None,
+                });
+                let (_, max_ann) = plan.bound_ann.expect("remainder scheme requires a bound");
+                let main_label = format!("{}_pu", plan.head_label);
+                let rem_label = format!("{}_rem", plan.head_label);
+                let adjust = (factor - 1) * plan.step;
+                let mut out: Vec<VItem> = Vec::new();
+                // Guard bound: `K − (U−1)·S`, folded into the immediate
+                // or computed once into a fresh register.
+                let main_cmp = match plan.bound {
+                    BoundSrc::Imm(k) => VOp::CmpI {
+                        op: plan.cmp_op,
+                        pd: plan.pd,
+                        rs1: plan.vi,
+                        imm: (k as i64 - adjust) as i16,
+                    },
+                    BoundSrc::Reg(k) => {
+                        let kp = VReg::new(next_vreg);
+                        next_vreg += 1;
+                        out.push(VItem::Inst(VInst::always(VOp::AluI {
+                            op: AluOp::Add,
+                            rd: kp,
+                            rs1: k,
+                            imm: (-adjust) as i16,
+                        })));
+                        VOp::Cmp {
+                            op: plan.cmp_op,
+                            pd: plan.pd,
+                            rs1: plan.vi,
+                            rs2: kp,
+                        }
+                    }
+                };
+                let exit_guard = patmos_isa::Guard::unless(plan.pd);
+                // Main loop: groups of `factor` iterations.
+                out.push(VItem::LoopBound {
+                    min: 1,
+                    max: max_ann.saturating_sub(1) / factor as u32 + 1,
+                });
+                out.push(VItem::Label(main_label.clone()));
+                out.push(VItem::Inst(VInst::always(main_cmp)));
+                out.push(VItem::Inst(VInst::new(
+                    exit_guard,
+                    VOp::BrLabel(rem_label.clone()),
+                )));
+                out.extend(replicate(&body, factor, "pu"));
+                out.push(VItem::Inst(VInst::always(VOp::BrLabel(main_label))));
+                // Remainder loop: the original loop, relabelled.
+                out.push(VItem::LoopBound {
+                    min: 1,
+                    max: (factor as u32).min(max_ann),
+                });
+                out.push(VItem::Label(rem_label.clone()));
+                let hdr_at = module.items[plan.start..]
+                    .iter()
+                    .position(|i| matches!(i, VItem::Inst(_)))
+                    .expect("header compare exists")
+                    + plan.start;
+                out.push(module.items[hdr_at].clone());
+                out.push(module.items[hdr_at + 1].clone());
+                out.extend(body.iter().cloned());
+                out.push(VItem::Inst(VInst::always(VOp::BrLabel(rem_label))));
+                out.push(VItem::Label(plan.exit_label.clone()));
+                module.items.splice(plan.start..=plan.end, out);
             }
         }
-        module.items.splice(plan.start..=plan.end, unrolled);
     }
     true
 }
@@ -366,6 +731,16 @@ mod tests {
 
     fn inst(op: VOp) -> VItem {
         VItem::Inst(VInst::always(op))
+    }
+
+    fn run_full(m: &mut VModule) -> bool {
+        run(m, false, &mut Vec::new())
+    }
+
+    fn run_partial(m: &mut VModule) -> (bool, Vec<LoopUnroll>) {
+        let mut log = Vec::new();
+        let changed = run(m, true, &mut log);
+        (changed, log)
     }
 
     /// An inner counted loop `for (i = 0; i < 5; i++) { s = s + i; }`
@@ -437,7 +812,7 @@ mod tests {
     #[test]
     fn inner_counted_loop_fully_unrolls() {
         let mut m = nested_counted_loop();
-        assert!(run(&mut m));
+        assert!(run_full(&mut m));
         // The inner loop's branches are gone; the outer loop's remain.
         let branches = m
             .items
@@ -470,7 +845,7 @@ mod tests {
         assert_eq!(adds, 5, "{}", m.render());
         // The outer loop is now innermost and straight-line: a second
         // round flattens the whole nest (2 × 5 accumulates).
-        assert!(run(&mut m), "outer loop unrolls next");
+        assert!(run_full(&mut m), "outer loop unrolls next");
         let adds = m
             .items
             .iter()
@@ -533,7 +908,7 @@ mod tests {
     #[test]
     fn toplevel_pure_loop_unrolls_but_memory_loop_does_not() {
         let mut pure = pure_toplevel_loop();
-        assert!(run(&mut pure), "pure compute folds away, worth it");
+        assert!(run_full(&mut pure), "pure compute folds away, worth it");
 
         let mut mem = pure_toplevel_loop();
         // Same loop, but the body loads: top level + memory = keep.
@@ -544,7 +919,7 @@ mod tests {
             ra: v(1),
             offset: 0,
         });
-        assert!(!run(&mut mem));
+        assert!(!run_full(&mut mem));
     }
 
     #[test]
@@ -568,7 +943,7 @@ mod tests {
             ],
         );
         m.items.insert(10, VItem::Label("main_skip4".into()));
-        assert!(run(&mut m));
+        assert!(run_full(&mut m));
         // Five distinct copies of the internal label, each referenced
         // by exactly one branch.
         let labels: Vec<&str> = m
@@ -598,7 +973,7 @@ mod tests {
                 rs2: v(1),
             },
         ));
-        assert!(!run(&mut m));
+        assert!(!run_full(&mut m));
     }
 
     #[test]
@@ -631,7 +1006,7 @@ mod tests {
                 VItem::Label("main_join9".into()),
             ],
         );
-        assert!(!run(&mut m));
+        assert!(!run_full(&mut m));
         assert!(
             m.items
                 .iter()
@@ -642,7 +1017,7 @@ mod tests {
     }
 
     #[test]
-    fn unknown_start_value_blocks_unrolling() {
+    fn unknown_start_value_blocks_full_unrolling() {
         let mut m = pure_toplevel_loop();
         // Replace `li i = 0` with a copy from another register.
         m.items[1] = inst(VOp::AluR {
@@ -651,11 +1026,11 @@ mod tests {
             rs1: v(9),
             rs2: VReg::ZERO,
         });
-        assert!(!run(&mut m));
+        assert!(!run_full(&mut m));
     }
 
     #[test]
-    fn oversized_trip_count_blocks_unrolling() {
+    fn oversized_trip_count_blocks_full_unrolling() {
         let mut m = pure_toplevel_loop();
         m.items[5] = inst(VOp::CmpI {
             op: CmpOp::Lt,
@@ -663,7 +1038,7 @@ mod tests {
             rs1: v(1),
             imm: 999,
         });
-        assert!(!run(&mut m));
+        assert!(!run_full(&mut m));
     }
 
     #[test]
@@ -682,12 +1057,247 @@ mod tests {
                 },
             )),
         );
-        assert!(run(&mut m));
+        assert!(run_full(&mut m));
         let guarded = m
             .items
             .iter()
             .filter(|i| matches!(i, VItem::Inst(inst) if !inst.guard.is_always()))
             .count();
         assert_eq!(guarded, 5, "one guarded copy per trip: {}", m.render());
+    }
+
+    /// A 64-trip constant loop whose full unroll blows the budget with
+    /// a padded body; bumped past the per-loop limit by `pad` filler
+    /// adds.
+    fn overbudget_constant_loop(trip: i16, pad: usize) -> VModule {
+        let mut m = pure_toplevel_loop();
+        m.items[5] = inst(VOp::CmpI {
+            op: CmpOp::Lt,
+            pd: Pred::P6,
+            rs1: v(1),
+            imm: trip,
+        });
+        m.items[3] = VItem::LoopBound {
+            min: 1,
+            max: trip as u32 + 1,
+        };
+        let filler: Vec<VItem> = (0..pad)
+            .map(|i| {
+                inst(VOp::AluI {
+                    op: AluOp::Add,
+                    rd: v(20 + i as u32),
+                    rs1: v(2),
+                    imm: 1,
+                })
+            })
+            .collect();
+        m.items.splice(7..7, filler);
+        m
+    }
+
+    #[test]
+    fn overbudget_constant_loop_partially_unrolls_by_a_divisor() {
+        // 64 trips × 7-inst body = 448 > 256: full unrolling refuses,
+        // the divisor scheme unrolls by the largest divisor that both
+        // fits the budget and pays for its code growth (16 here — 32
+        // would fit the budget but its growth outweighs the removed
+        // loop overhead).
+        let mut m = overbudget_constant_loop(64, 4);
+        assert!(!run_full(&mut m.clone()));
+        let (changed, log) = run_partial(&mut m);
+        assert!(changed);
+        assert_eq!(log.len(), 1);
+        assert_eq!(log[0].kind, UnrollKind::Divisor);
+        assert_eq!(log[0].factor, 16, "largest paying divisor");
+        // The loop survives: one back branch, one exit branch, and the
+        // bound tightens to 64/16 + 1 = 5 header executions.
+        let branches = m
+            .items
+            .iter()
+            .filter(|i| {
+                matches!(
+                    i,
+                    VItem::Inst(VInst {
+                        op: VOp::BrLabel(_),
+                        ..
+                    })
+                )
+            })
+            .count();
+        assert_eq!(branches, 2, "{}", m.render());
+        assert!(
+            m.items
+                .iter()
+                .any(|i| matches!(i, VItem::LoopBound { min: 1, max: 5 })),
+            "{}",
+            m.render()
+        );
+        // 16 induction updates in the replicated body.
+        let incs = m
+            .items
+            .iter()
+            .filter(|i| {
+                matches!(
+                    i,
+                    VItem::Inst(VInst {
+                        op: VOp::AluI {
+                            op: AluOp::Add,
+                            rd,
+                            ..
+                        },
+                        ..
+                    }) if *rd == v(1)
+                )
+            })
+            .count();
+        assert_eq!(incs, 16, "{}", m.render());
+        // A second application finds nothing left to do.
+        assert!(!run_partial(&mut m).0, "divisor unrolling is idempotent");
+    }
+
+    /// A runtime-trip loop: bound in a register, straight-line body.
+    fn runtime_trip_loop() -> VModule {
+        let mut m = pure_toplevel_loop();
+        m.items[5] = inst(VOp::Cmp {
+            op: CmpOp::Lt,
+            pd: Pred::P6,
+            rs1: v(1),
+            rs2: v(9),
+        });
+        m.items[3] = VItem::LoopBound { min: 1, max: 65 };
+        m
+    }
+
+    #[test]
+    fn runtime_trip_loop_gets_a_main_and_remainder_loop() {
+        let mut m = runtime_trip_loop();
+        assert!(!run_full(&mut m.clone()), "full unrolling cannot touch it");
+        let (changed, log) = run_partial(&mut m);
+        assert!(changed, "{}", m.render());
+        assert_eq!(log.len(), 1);
+        assert_eq!(log[0].kind, UnrollKind::Remainder);
+        assert_eq!(log[0].factor, 4);
+        let rendered = m.render();
+        // The guard bound is computed once into a fresh register.
+        assert!(
+            m.items.iter().any(|i| matches!(
+                i,
+                VItem::Inst(VInst {
+                    op: VOp::AluI {
+                        op: AluOp::Add,
+                        imm: -3,
+                        ..
+                    },
+                    ..
+                })
+            )),
+            "preheader computes K - 3*step:\n{rendered}"
+        );
+        // Two loops: main (4 copies) + remainder (1 copy).
+        let labels: Vec<&str> = m
+            .items
+            .iter()
+            .filter_map(|i| match i {
+                VItem::Label(l) => Some(l.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert!(labels.contains(&"main_head1_pu"), "{rendered}");
+        assert!(labels.contains(&"main_head1_rem"), "{rendered}");
+        let incs = m
+            .items
+            .iter()
+            .filter(|i| {
+                matches!(
+                    i,
+                    VItem::Inst(VInst {
+                        op: VOp::AluI {
+                            op: AluOp::Add,
+                            rd,
+                            ..
+                        },
+                        ..
+                    }) if *rd == v(1)
+                )
+            })
+            .count();
+        assert_eq!(incs, 5, "4 main copies + 1 remainder: {rendered}");
+        // Both loops carry bounds: 64/4 + 1 = 17 and the factor 4.
+        assert!(
+            m.items
+                .iter()
+                .any(|i| matches!(i, VItem::LoopBound { min: 1, max: 17 })),
+            "{rendered}"
+        );
+        assert!(
+            m.items
+                .iter()
+                .any(|i| matches!(i, VItem::LoopBound { min: 1, max: 4 })),
+            "{rendered}"
+        );
+        // A second application leaves the created loops alone.
+        assert!(!run_partial(&mut m).0, "remainder unrolling is idempotent");
+    }
+
+    #[test]
+    fn runtime_trip_loop_with_branching_body_is_left_alone() {
+        let mut m = runtime_trip_loop();
+        m.items.splice(
+            7..7,
+            vec![
+                inst(VOp::CmpI {
+                    op: CmpOp::Lt,
+                    pd: Pred::P6,
+                    rs1: v(2),
+                    imm: 9,
+                }),
+                VItem::Inst(VInst::new(
+                    Guard::unless(Pred::P6),
+                    VOp::BrLabel("main_skip4".into()),
+                )),
+            ],
+        );
+        m.items.insert(10, VItem::Label("main_skip4".into()));
+        assert!(!run_partial(&mut m).0, "remainder needs a single block");
+    }
+
+    #[test]
+    fn oversized_step_adjustment_falls_back_to_factor_two() {
+        // With step 700, the factor-4 adjustment (3·700 = 2100) does
+        // not fit the `addi` immediate; factor 2 (700) does. Emitting
+        // the unencodable constant used to abort compilation later.
+        let mut m = runtime_trip_loop();
+        m.items[8] = inst(VOp::AluI {
+            op: AluOp::Add,
+            rd: v(1),
+            rs1: v(1),
+            imm: 700,
+        });
+        let (changed, log) = run_partial(&mut m);
+        assert!(changed, "{}", m.render());
+        assert_eq!(log[0].factor, 2, "factor 4's adjustment cannot encode");
+        assert!(
+            m.items.iter().any(|i| matches!(
+                i,
+                VItem::Inst(VInst {
+                    op: VOp::AluI {
+                        op: AluOp::Add,
+                        imm: -700,
+                        ..
+                    },
+                    ..
+                })
+            )),
+            "preheader computes K - step:\n{}",
+            m.render()
+        );
+    }
+
+    #[test]
+    fn small_annotated_bound_blocks_remainder_unrolling() {
+        let mut m = runtime_trip_loop();
+        // At most 3 trips: a factor-2 group loop would barely run.
+        m.items[3] = VItem::LoopBound { min: 1, max: 4 };
+        assert!(!run_partial(&mut m).0);
     }
 }

@@ -4,31 +4,40 @@
 //! patmos-cli compile <file.patc> [--single-path] [--no-if-convert] [--single-issue]
 //!                                [--opt-level N] [--sched-level N]
 //!                                [--dump-lir] [--dump-opt] [--dump-cfg] [--dump-loops]
-//!                                [--dump-sched]
+//!                                [--dump-sched] [--dump-pipeline]
 //! patmos-cli asm     <file.pasm>
 //! patmos-cli disasm  <file.pasm | file.patc>
 //! patmos-cli run     <file.pasm | file.patc> [--single-issue] [--non-strict] [--stats]
 //!                                [--opt-level N] [--sched-level N]
 //!                                [--dump-lir] [--dump-opt] [--dump-cfg] [--dump-loops]
-//!                                [--dump-sched]
+//!                                [--dump-sched] [--dump-pipeline]
 //! patmos-cli wcet    <file.pasm | file.patc> [--opt-level N] [--sched-level N]
 //! ```
 //!
 //! `--opt-level N` selects the mid-end pipeline (0 = straight lowering,
-//! 1 = the default `patmos-opt` pass pipeline, 2 = the loop-aware
-//! pipeline: inlining, loop-invariant code motion, bounded unrolling);
-//! `--sched-level N`
+//! 1 = the `patmos-opt` scalar pass pipeline, 2 = the default
+//! loop-aware pipeline: inlining, loop-invariant code motion, bounded
+//! full unrolling, 3 = partial unrolling on top: divisor replication of
+//! over-budget constant-trip loops, main/remainder splitting of
+//! runtime-trip loops); `--sched-level N`
 //! selects the backend scheduler (0 = the historical run scheduler,
 //! 1 = the default `patmos-sched` dependence-DAG scheduler with
-//! delay-slot filling). `--dump-lir` prints the compiler's
-//! virtual-register LIR and the register allocator's per-function
-//! report before the usual output; `--dump-opt` prints each
-//! optimization pass's before/after LIR; `--dump-cfg` emits the
+//! delay-slot filling, 2 = iterative modulo scheduling on top:
+//! innermost counted loops become software-pipelined
+//! guard/prologue/kernel/epilogue chains). `--dump-lir` prints the
+//! compiler's virtual-register LIR and the register allocator's
+//! per-function report before the usual output; `--dump-opt` prints
+//! each optimization pass's before/after LIR; `--dump-cfg` emits the
 //! per-function virtual-LIR control-flow graph as Graphviz DOT;
 //! `--dump-sched` prints the scheduler's per-block report (bundle
-//! counts, critical paths, pairing, shadow fills, hoists). `--stats`
-//! extends `run` with the full counter set, including the per-cause
-//! stall breakdown and executed stack-cache operations.
+//! counts, critical paths, pairing, shadow fills, hoists);
+//! `--dump-pipeline` prints the loop-throughput report: every loop the
+//! unroller rewrote (scheme, factor, trip count) and every loop the
+//! modulo scheduler pipelined (ops, MII, achieved II, stages,
+//! prologue/kernel/epilogue bundle counts). `--stats` extends `run`
+//! with the full counter set, including the per-cause stall breakdown,
+//! executed stack-cache operations, and — for `.patc` inputs — the
+//! static loops-unrolled/loops-pipelined counts.
 //!
 //! `.patc` files are compiled from PatC; `.pasm` files are assembled
 //! directly. Results, cycle counts and stall breakdowns go to stdout.
@@ -55,6 +64,7 @@ struct Args {
     dump_cfg: bool,
     dump_loops: bool,
     dump_sched: bool,
+    dump_pipeline: bool,
     stats: bool,
 }
 
@@ -63,7 +73,7 @@ fn usage() -> ExitCode {
         "usage: patmos-cli <compile|asm|disasm|run|wcet> <file.patc|file.pasm> \
          [--single-path] [--no-if-convert] [--single-issue] [--non-strict] [--opt-level N] \
          [--sched-level N] [--dump-lir] [--dump-opt] [--dump-cfg] [--dump-loops] [--dump-sched] \
-         [--stats]"
+         [--dump-pipeline] [--stats]"
     );
     ExitCode::from(2)
 }
@@ -84,6 +94,7 @@ fn parse_args() -> Option<Args> {
         dump_cfg: false,
         dump_loops: false,
         dump_sched: false,
+        dump_pipeline: false,
         stats: false,
     };
     let mut argv = std::env::args().skip(1);
@@ -112,6 +123,7 @@ fn parse_args() -> Option<Args> {
             "--dump-cfg" => args.dump_cfg = true,
             "--dump-loops" => args.dump_loops = true,
             "--dump-sched" => args.dump_sched = true,
+            "--dump-pipeline" => args.dump_pipeline = true,
             "--stats" => args.stats = true,
             flag if flag.starts_with("--") => {
                 eprintln!("unknown flag `{flag}`");
@@ -141,7 +153,12 @@ impl Args {
     }
 
     fn wants_dump(&self) -> bool {
-        self.dump_lir || self.dump_opt || self.dump_cfg || self.dump_loops || self.dump_sched
+        self.dump_lir
+            || self.dump_opt
+            || self.dump_cfg
+            || self.dump_loops
+            || self.dump_sched
+            || self.dump_pipeline
     }
 }
 
@@ -231,6 +248,46 @@ fn dump_artifacts(source: &str, options: &CompileOptions, args: &Args) -> Result
                 print!("{report}");
             }
             None => println!("=== DAG scheduler disabled (sched-level 0) ==="),
+        }
+    }
+    if args.dump_pipeline {
+        println!("=== loop throughput (unroller + software pipeliner) ===");
+        let unrolls = artifacts.opt.as_ref().map_or(&[][..], |r| &r.unrolls);
+        if unrolls.is_empty() {
+            println!("no loops unrolled (opt-level < 2, or nothing eligible)");
+        } else {
+            println!(
+                "{:<20} {:>10} {:>7} {:>6}",
+                "unrolled loop", "scheme", "factor", "trips"
+            );
+            for u in unrolls {
+                println!(
+                    "{:<20} {:>10} {:>6}x {:>6}",
+                    u.label,
+                    u.kind.to_string(),
+                    u.factor,
+                    u.trips.map_or("?".into(), |t| t.to_string())
+                );
+            }
+        }
+        let loops: Vec<_> = artifacts
+            .sched
+            .as_ref()
+            .map(|r| r.pipelined_loops().collect())
+            .unwrap_or_default();
+        if loops.is_empty() {
+            println!("no loops software-pipelined (sched-level < 2, or nothing eligible)");
+        } else {
+            println!(
+                "{:<20} {:>4} {:>5} {:>4} {:>7} {:>9} {:>7} {:>9}",
+                "pipelined loop", "ops", "MII", "II", "stages", "prologue", "kernel", "epilogue"
+            );
+            for l in loops {
+                println!(
+                    "{:<20} {:>4} {:>5} {:>4} {:>7} {:>9} {:>7} {:>9}",
+                    l.label, l.ops, l.mii, l.ii, l.stages, l.prologue, l.kernel, l.epilogue
+                );
+            }
         }
     }
     if args.dump_lir {
@@ -324,6 +381,25 @@ fn cmd_run(args: &Args) -> Result<(), String> {
         println!("returns          = {}", stats.returns);
         println!("stack cache ops  = {}", stats.stack_ops);
         println!("S$ words moved   = {}", stats.stack_cache.transferred_words);
+        if args.path.ends_with(".patc") {
+            let source =
+                std::fs::read_to_string(&args.path).map_err(|e| format!("{}: {e}", args.path))?;
+            let artifacts =
+                patmos::compiler::compile_with_artifacts(&source, &args.compile_options())
+                    .map_err(|e| e.to_string())?;
+            println!("--- loop throughput ---");
+            println!(
+                "loops unrolled   = {}",
+                artifacts.opt.as_ref().map_or(0, |r| r.unrolls.len())
+            );
+            println!(
+                "loops pipelined  = {}",
+                artifacts
+                    .sched
+                    .as_ref()
+                    .map_or(0, |r| r.pipelined_loops().count())
+            );
+        }
     }
     Ok(())
 }

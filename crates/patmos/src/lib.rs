@@ -24,6 +24,10 @@
 //!   CSE, copy-prop and DCE over the virtual LIR;
 //! * [`regalloc`] — liveness-driven linear-scan register allocation
 //!   between the mid-end and scheduling;
+//! * [`sched`] — the VLIW backend scheduler: per-block dependence
+//!   DAGs, critical-path list scheduling, delay-slot filling, and
+//!   iterative modulo scheduling (software pipelining) of innermost
+//!   counted loops;
 //! * [`workloads`] — the benchmark kernels used by the experiments.
 //!
 //! # Quickstart
@@ -61,6 +65,7 @@ pub use patmos_mem as mem;
 pub use patmos_opt as opt;
 pub use patmos_regalloc as regalloc;
 pub use patmos_rf as rf;
+pub use patmos_sched as sched;
 pub use patmos_sim as sim;
 pub use patmos_wcet as wcet;
 pub use patmos_workloads as workloads;

@@ -35,6 +35,7 @@
 
 pub mod dag;
 pub mod list;
+pub mod modulo;
 
 use patmos_isa::Op;
 use patmos_lir::plir::{Item, LirInst, LirOp, Module};
@@ -44,11 +45,19 @@ use patmos_lir::plir::{Item, LirInst, LirOp, Module};
 pub struct SchedOptions {
     /// Pair independent operations into dual-issue bundles.
     pub dual_issue: bool,
+    /// Software-pipeline innermost counted loops by iterative modulo
+    /// scheduling (`sched_level` 2). Off by default; the compiler also
+    /// keeps it off in single-path mode, because the pipeliner's
+    /// decisions read the loop's literal bound and step.
+    pub pipeline: bool,
 }
 
 impl Default for SchedOptions {
     fn default() -> SchedOptions {
-        SchedOptions { dual_issue: true }
+        SchedOptions {
+            dual_issue: true,
+            pipeline: false,
+        }
     }
 }
 
@@ -129,6 +138,29 @@ pub struct BlockReport {
     pub hoisted: u32,
 }
 
+/// One software-pipelined loop (`sched_level` 2), for the
+/// `--dump-pipeline` report.
+#[derive(Debug, Clone)]
+pub struct LoopReport {
+    /// The loop's header label.
+    pub label: String,
+    /// Operations per iteration (lookahead compare included).
+    pub ops: usize,
+    /// The lower bound on the initiation interval (resource,
+    /// recurrence and structural).
+    pub mii: u32,
+    /// The achieved initiation interval.
+    pub ii: u32,
+    /// Overlapped stages in the kernel.
+    pub stages: u32,
+    /// Prologue bundles (fill).
+    pub prologue: usize,
+    /// Kernel bundles (exactly `ii`).
+    pub kernel: usize,
+    /// Epilogue bundles (drain, padding included).
+    pub epilogue: usize,
+}
+
 /// Per-function scheduling report.
 #[derive(Debug, Clone)]
 pub struct FuncReport {
@@ -136,6 +168,8 @@ pub struct FuncReport {
     pub name: String,
     /// One entry per basic block, in layout order.
     pub blocks: Vec<BlockReport>,
+    /// One entry per software-pipelined loop, in layout order.
+    pub loops: Vec<LoopReport>,
 }
 
 /// The whole-module report behind `patmos-cli compile --dump-sched`.
@@ -163,6 +197,11 @@ impl SchedReport {
             .map(|b| b.shadow_filled)
             .sum()
     }
+
+    /// All software-pipelined loops, across functions.
+    pub fn pipelined_loops(&self) -> impl Iterator<Item = &LoopReport> {
+        self.funcs.iter().flat_map(|f| &f.loops)
+    }
 }
 
 impl std::fmt::Display for SchedReport {
@@ -187,6 +226,20 @@ impl std::fmt::Display for SchedReport {
                     b.shadow_filled,
                     b.hoisted
                 )?;
+            }
+            if !func.loops.is_empty() {
+                writeln!(
+                    f,
+                    "  {:<14} {:>4} {:>5} {:>4} {:>7} {:>9} {:>7} {:>9}",
+                    "pipelined", "ops", "MII", "II", "stages", "prologue", "kernel", "epilogue"
+                )?;
+                for l in &func.loops {
+                    writeln!(
+                        f,
+                        "  {:<14} {:>4} {:>5} {:>4} {:>7} {:>9} {:>7} {:>9}",
+                        l.label, l.ops, l.mii, l.ii, l.stages, l.prologue, l.kernel, l.epilogue
+                    )?;
+                }
             }
         }
         Ok(())
@@ -236,9 +289,38 @@ pub fn schedule_with_report(
         let mut func_report = FuncReport {
             name: func.name.clone(),
             blocks: Vec::new(),
+            loops: Vec::new(),
         };
 
+        let mut skip_body = false;
         for bi in 0..func.blocks.len() {
+            if skip_body {
+                skip_body = false;
+                continue;
+            }
+            // Software pipelining first: an innermost counted loop
+            // (header block `bi`, body block `bi + 1`) that schedules
+            // at a winning II replaces both blocks with its
+            // guard/prologue/kernel/epilogue/fallback stream.
+            if options.pipeline {
+                if let Some(p) = modulo::try_pipeline(func, bi, options.dual_issue, &live_in) {
+                    let ops = func.blocks[bi].insts.len() + func.blocks[bi + 1].insts.len() + 2;
+                    func_report.blocks.push(BlockReport {
+                        label: func.blocks[bi].labels.first().cloned(),
+                        ops,
+                        bundles: p.bundles,
+                        critical_path: 0,
+                        paired: p.paired,
+                        delay_slots: 0,
+                        shadow_filled: 0,
+                        hoisted: 0,
+                    });
+                    func_report.loops.push(p.report);
+                    items.extend(p.items);
+                    skip_body = true;
+                    continue;
+                }
+            }
             let insts = std::mem::take(&mut func.blocks[bi].insts);
             let term = func.blocks[bi].term.clone();
             let mut sched = list::schedule_block(&insts, term.as_ref(), options.dual_issue);
@@ -448,7 +530,10 @@ mod tests {
 
     #[test]
     fn single_issue_never_pairs() {
-        let options = SchedOptions { dual_issue: false };
+        let options = SchedOptions {
+            dual_issue: false,
+            ..SchedOptions::default()
+        };
         let (module, _) = schedule_with_report(loop_module(), &options);
         assert!(bundles(&module).iter().all(|b| b.second.is_none()));
     }

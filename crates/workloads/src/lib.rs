@@ -820,6 +820,83 @@ int main() {{
     }
 }
 
+/// `dotprod64`: dot product with a *runtime* trip count (the length
+/// loads from memory, so no compile-time pass can count the loop),
+/// repeated over four rounds for a long total trip. The shape the
+/// `opt_level` 3 remainder partial unroller splits into a factor-4
+/// main loop plus a scalar remainder, and the `sched_level` 2 modulo
+/// scheduler then software-pipelines the main loop (its bound lives in
+/// a register; the pipeliner computes the adjusted guard and lookahead
+/// bounds into spare registers).
+pub fn dotprod64() -> Workload {
+    let a: Vec<i32> = lcg(0xD07, 64).iter().map(|v| v % 1000).collect();
+    let b: Vec<i32> = lcg(0x64D, 64).iter().map(|v| v % 1000).collect();
+    let dot: i64 = a.iter().zip(&b).map(|(&x, &y)| x as i64 * y as i64).sum();
+    let expected = (4 * dot) as u32;
+    let source = format!(
+        "int a[64] = {{{a}}};
+int b[64] = {{{b}}};
+int len = 64;
+int main() {{
+    int r;
+    int i;
+    int n = len;
+    int s = 0;
+    for (r = 0; r < 4; r = r + 1) bound(4) {{
+        for (i = 0; i < n; i = i + 1) bound(64) {{
+            s = s + a[i] * b[i];
+        }}
+    }}
+    return s;
+}}",
+        a = array_literal(&a),
+        b = array_literal(&b)
+    );
+    Workload {
+        name: "dotprod64",
+        source,
+        expected,
+        category: Category::Memory,
+    }
+}
+
+/// `cnt2d`: counts and sums the positive entries of a 16×32 grid — the
+/// 2-D big sibling of `cnt`. The 32-trip inner loop blows the full
+/// unroll budget (`opt_level` 2 leaves it rolled), so it is exactly
+/// the shape the divisor partial unroller replicates; 512 total inner
+/// trips amortise the code growth through the warm method cache.
+pub fn cnt2d() -> Workload {
+    let data: Vec<i32> = lcg(0xC27D, 512).iter().map(|v| v - 16000).collect();
+    let count = data.iter().filter(|&&v| v > 0).count() as i64;
+    let sum: i64 = data.iter().filter(|&&v| v > 0).map(|&v| v as i64).sum();
+    let expected = ((sum & 0xffff) * 65536 + (count & 0xffff)) as u32;
+    let source = format!(
+        "int m[512] = {{{init}}};
+int main() {{
+    int i;
+    int j;
+    int count = 0;
+    int sum = 0;
+    for (i = 0; i < 16; i = i + 1) bound(16) {{
+        for (j = 0; j < 32; j = j + 1) bound(32) {{
+            if (m[i * 32 + j] > 0) {{
+                count = count + 1;
+                sum = sum + m[i * 32 + j];
+            }}
+        }}
+    }}
+    return (sum & 0xffff) * 65536 + (count & 0xffff);
+}}",
+        init = array_literal(&data)
+    );
+    Workload {
+        name: "cnt2d",
+        source,
+        expected,
+        category: Category::Memory,
+    }
+}
+
 pub use micro::pressure_fir8;
 
 /// All kernels.
@@ -844,6 +921,8 @@ pub fn all() -> Vec<Workload> {
         stencil2d(),
         sort8(),
         matvec8(),
+        dotprod64(),
+        cnt2d(),
         pressure_fir8(),
     ]
 }
