@@ -9,7 +9,9 @@ use patmos_isa::{
 };
 
 use crate::lexer::{tokenize_line, Token};
-use crate::object::{DataSegment, FuncInfo, LoopBound, ObjectImage};
+use crate::object::{
+    DataSegment, FuncInfo, LoopBound, ObjectImage, SourceFunc, SourceInfo, SourceLoop,
+};
 
 /// An assembly error with its source line (1-based).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -66,12 +68,30 @@ enum Stmt {
     Label(String),
     Func(String),
     Entry(String),
-    DataStart { name: String, addr: u32 },
+    DataStart {
+        name: String,
+        addr: u32,
+    },
     Words(Vec<SymOrVal>),
     Bytes(Vec<i64>),
     Space(u32),
-    Equ { name: String, value: i64 },
-    LoopBound { min: u32, max: u32 },
+    Equ {
+        name: String,
+        value: i64,
+    },
+    LoopBound {
+        min: u32,
+        max: u32,
+    },
+    SrcFunc {
+        name: String,
+        line: u32,
+    },
+    SrcLoop {
+        line: u32,
+        start: String,
+        end: String,
+    },
     Bundle(Vec<PInst>),
 }
 
@@ -111,6 +131,8 @@ pub fn assemble(source: &str) -> Result<ObjectImage, AsmError> {
     let mut symbols: HashMap<String, u32> = HashMap::new();
     let mut functions: Vec<FuncInfo> = Vec::new();
     let mut loop_bounds: Vec<LoopBound> = Vec::new();
+    let mut src_funcs: Vec<(String, u32, usize)> = Vec::new();
+    let mut src_loops: Vec<(u32, String, String, usize)> = Vec::new();
     let mut entry_name: Option<(String, usize)> = None;
     let mut addr: u32 = 0;
     let mut data_addr: u32 = 0;
@@ -187,6 +209,16 @@ pub fn assemble(source: &str) -> Result<ObjectImage, AsmError> {
                     max: *max,
                 });
             }
+            Stmt::SrcFunc { name, line: l } => {
+                src_funcs.push((name.clone(), *l, line.number));
+            }
+            Stmt::SrcLoop {
+                line: l,
+                start,
+                end,
+            } => {
+                src_loops.push((*l, start.clone(), end.clone(), line.number));
+            }
             Stmt::Bundle(insts) => {
                 if in_data {
                     return Err(AsmError {
@@ -211,6 +243,42 @@ pub fn assemble(source: &str) -> Result<ObjectImage, AsmError> {
     }
     if let Some(prev) = functions.last_mut() {
         prev.size_words = addr - prev.start_word;
+    }
+
+    // Source map: resolvable only now that every label has an address.
+    let mut source = SourceInfo::default();
+    for (name, src_line, line) in src_funcs {
+        if !functions.iter().any(|f| f.name == name) {
+            return Err(AsmError {
+                line,
+                message: format!(".srcfunc names unknown function `{name}`"),
+            });
+        }
+        source.funcs.push(SourceFunc {
+            name,
+            line: src_line,
+        });
+    }
+    for (src_line, start, end, line) in src_loops {
+        let lookup = |name: &str| {
+            symbols.get(name).copied().ok_or_else(|| AsmError {
+                line,
+                message: format!(".srcloop references undefined label `{name}`"),
+            })
+        };
+        let start_word = lookup(&start)?;
+        let end_word = lookup(&end)?;
+        if end_word < start_word {
+            return Err(AsmError {
+                line,
+                message: format!(".srcloop region `{start}`..`{end}` is reversed"),
+            });
+        }
+        source.loops.push(SourceLoop {
+            line: src_line,
+            start_word,
+            end_word,
+        });
     }
 
     // Pass 2: encode.
@@ -354,6 +422,7 @@ pub fn assemble(source: &str) -> Result<ObjectImage, AsmError> {
         data,
         symbols,
         loop_bounds,
+        source,
         entry_word,
     ))
 }
@@ -546,6 +615,17 @@ fn parse_statements(tokens: &[Token]) -> Result<Vec<Stmt>, String> {
                         return Err("loop bound min exceeds max".into());
                     }
                     Stmt::LoopBound { min, max }
+                }
+                ".srcfunc" => {
+                    let name = cur.ident()?.to_string();
+                    let line = cur.int()? as u32;
+                    Stmt::SrcFunc { name, line }
+                }
+                ".srcloop" => {
+                    let line = cur.int()? as u32;
+                    let start = cur.ident()?.to_string();
+                    let end = cur.ident()?.to_string();
+                    Stmt::SrcLoop { line, start, end }
                 }
                 other => return Err(format!("unknown directive `{other}`")),
             };

@@ -32,7 +32,10 @@
 //! ```
 //!
 //! Directives: `.func name`, `.entry name`, `.data name addr`, `.word v,
-//! ...`, `.space bytes`, `.equ name value`, `.loopbound min max`.
+//! ...`, `.space bytes`, `.equ name value`, `.loopbound min max`, plus
+//! the source-map side table the compiler emits for the profiler:
+//! `.srcfunc name line` (definition line of a function) and `.srcloop
+//! line start end` (a source loop's code region between two labels).
 //!
 //! # Example
 //!
@@ -53,4 +56,6 @@ mod object;
 
 pub use assembler::{assemble, AsmError};
 pub use disasm::disassemble;
-pub use object::{DataSegment, FuncInfo, LoopBound, ObjectImage};
+pub use object::{
+    DataSegment, FuncInfo, LoopBound, ObjectImage, SourceFunc, SourceInfo, SourceLoop,
+};

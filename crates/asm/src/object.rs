@@ -38,6 +38,66 @@ pub struct LoopBound {
     pub max: u32,
 }
 
+/// A function's source location, from a `.srcfunc` directive.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SourceFunc {
+    /// The function name (matches a `.func` symbol).
+    pub name: String,
+    /// 1-based source line of the definition.
+    pub line: u32,
+}
+
+/// A source loop's code region, from a `.srcloop` directive. The span
+/// covers everything the compiler derived from the loop — unrolled
+/// copies, a software-pipelined prologue/kernel/epilogue and its
+/// list-scheduled fallback included.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SourceLoop {
+    /// 1-based source line of the loop statement.
+    pub line: u32,
+    /// First word of the region.
+    pub start_word: u32,
+    /// One past the last word of the region.
+    pub end_word: u32,
+}
+
+impl SourceLoop {
+    /// Whether the region contains the word address.
+    pub fn contains(&self, word: u32) -> bool {
+        word >= self.start_word && word < self.end_word
+    }
+}
+
+/// The source-map side table: function definition lines and loop code
+/// regions. Empty for images assembled from plain `.pasm` sources.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SourceInfo {
+    /// Function definition lines.
+    pub funcs: Vec<SourceFunc>,
+    /// Loop regions, in program order.
+    pub loops: Vec<SourceLoop>,
+}
+
+impl SourceInfo {
+    /// Whether the image carries no source map at all.
+    pub fn is_empty(&self) -> bool {
+        self.funcs.is_empty() && self.loops.is_empty()
+    }
+
+    /// The definition line of a function, if mapped.
+    pub fn func_line(&self, name: &str) -> Option<u32> {
+        self.funcs.iter().find(|f| f.name == name).map(|f| f.line)
+    }
+
+    /// The innermost (smallest) loop region containing the word address.
+    pub fn innermost_loop_at(&self, word: u32) -> Option<&SourceLoop> {
+        self.loops
+            .iter()
+            .filter(|l| l.contains(word))
+            .min_by_key(|l| l.end_word - l.start_word)
+    }
+}
+
 /// The assembled program: code, function table, data, symbols and
 /// annotations.
 #[derive(Debug, Clone, Default)]
@@ -47,6 +107,7 @@ pub struct ObjectImage {
     data: Vec<DataSegment>,
     symbols: HashMap<String, u32>,
     loop_bounds: Vec<LoopBound>,
+    source: SourceInfo,
     entry_word: u32,
 }
 
@@ -57,6 +118,7 @@ impl ObjectImage {
         data: Vec<DataSegment>,
         symbols: HashMap<String, u32>,
         loop_bounds: Vec<LoopBound>,
+        source: SourceInfo,
         entry_word: u32,
     ) -> ObjectImage {
         ObjectImage {
@@ -65,6 +127,7 @@ impl ObjectImage {
             data,
             symbols,
             loop_bounds,
+            source,
             entry_word,
         }
     }
@@ -92,6 +155,24 @@ impl ObjectImage {
     /// Loop-bound annotations in program order.
     pub fn loop_bounds(&self) -> &[LoopBound] {
         &self.loop_bounds
+    }
+
+    /// The source-map side table (empty for plain assembly sources).
+    pub fn source_info(&self) -> &SourceInfo {
+        &self.source
+    }
+
+    /// Resolves a word address to `(function name, source line)` using
+    /// the source map: the innermost loop's line if the address sits in
+    /// a mapped loop region, else the containing function's definition
+    /// line.
+    pub fn source_at(&self, word_addr: u32) -> Option<(&str, u32)> {
+        let func = self.function_at(word_addr)?;
+        if let Some(l) = self.source.innermost_loop_at(word_addr) {
+            return Some((func.name.as_str(), l.line));
+        }
+        let line = self.source.func_line(&func.name)?;
+        Some((func.name.as_str(), line))
     }
 
     /// Word address of the entry function.
@@ -149,6 +230,7 @@ mod tests {
             Vec::new(),
             HashMap::new(),
             Vec::new(),
+            SourceInfo::default(),
             0,
         )
     }

@@ -195,6 +195,38 @@ fn bench_e10_scheduler(c: &mut Criterion) {
     });
 }
 
+/// The NullSink-overhead check behind the CI gate: untraced `run`
+/// against `run_traced(&mut NullSink)` (instrumentation compiled out —
+/// must cost the same) and against a recording `VecSink` (the real
+/// price of capturing a full event stream).
+fn bench_e16_trace_overhead(c: &mut Criterion) {
+    use patmos::trace::{NullSink, VecSink};
+    let w = workloads::matmult();
+    let image = compile(&w.source, &CompileOptions::default()).expect("compiles");
+    let mut group = c.benchmark_group("e16_trace_overhead");
+    group.bench_function("matmult_untraced", |b| {
+        b.iter(|| {
+            let mut sim = Simulator::new(&image, SimConfig::default());
+            sim.run().expect("runs").stats.cycles
+        })
+    });
+    group.bench_function("matmult_nullsink", |b| {
+        b.iter(|| {
+            let mut sim = Simulator::new(&image, SimConfig::default());
+            sim.run_traced(&mut NullSink).expect("runs").stats.cycles
+        })
+    });
+    group.bench_function("matmult_vecsink", |b| {
+        b.iter(|| {
+            let mut sim = Simulator::new(&image, SimConfig::default());
+            let mut sink = VecSink::new();
+            sim.run_traced(&mut sink).expect("runs");
+            sink.events.len()
+        })
+    });
+    group.finish();
+}
+
 fn bench_toolchain(c: &mut Criterion) {
     let w = workloads::fir();
     let asm_text =
@@ -229,6 +261,7 @@ criterion_group!(
         bench_e8_cmp_tdma,
         bench_e9_stack_cache,
         bench_e10_scheduler,
+        bench_e16_trace_overhead,
         bench_toolchain
 );
 criterion_main!(experiments);

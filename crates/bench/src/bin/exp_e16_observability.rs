@@ -1,0 +1,18 @@
+//! E16 — cycle attribution: per-kernel issue/stall breakdown, plus the
+//! suite-wide observability artifacts.
+//!
+//! ```text
+//! exp_e16_observability                    # the E16 table
+//! exp_e16_observability --profile-json     # suite cycle-attribution profile
+//! exp_e16_observability --remarks-json     # suite optimization remarks
+//! exp_e16_observability --pessimism-json   # suite WCET pessimism summary
+//! ```
+
+fn main() {
+    match std::env::args().nth(1).as_deref() {
+        Some("--profile-json") => print!("{}", patmos_bench::observe::suite_profile_json()),
+        Some("--remarks-json") => print!("{}", patmos_bench::observe::suite_remarks_json()),
+        Some("--pessimism-json") => print!("{}", patmos_bench::observe::suite_pessimism_json()),
+        _ => print!("{}", patmos_bench::observe::exp_e16_observability()),
+    }
+}

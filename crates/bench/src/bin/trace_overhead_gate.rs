@@ -1,0 +1,34 @@
+//! The NullSink overhead gate: traced simulation with the compiled-out
+//! [`patmos::trace::NullSink`] must cost the same as the untraced fast
+//! path. CI runs this in release mode and fails the build when the
+//! suite-wide overhead exceeds the threshold.
+//!
+//! The threshold is 1% by default; pass a float argument to override
+//! (e.g. `trace_overhead_gate 0.02`). Exits non-zero on failure.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let threshold: f64 = std::env::args()
+        .nth(1)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0.01);
+    let (plain, null, overhead) = patmos_bench::observe::trace_overhead(5);
+    println!(
+        "suite sweep: untraced {:.4}s, NullSink-traced {:.4}s, overhead {:+.2}%",
+        plain,
+        null,
+        overhead * 100.0
+    );
+    if overhead > threshold {
+        eprintln!(
+            "FAIL: NullSink overhead {:.2}% exceeds the {:.2}% gate — tracing is not \
+             monomorphizing away",
+            overhead * 100.0,
+            threshold * 100.0
+        );
+        return ExitCode::FAILURE;
+    }
+    println!("ok: within the {:.2}% gate", threshold * 100.0);
+    ExitCode::SUCCESS
+}

@@ -7,6 +7,8 @@
 //! Criterion benches, and the documentation generator share one
 //! implementation.
 
+pub mod observe;
+
 use std::fmt::Write as _;
 
 use patmos::asm::assemble;
@@ -1364,6 +1366,7 @@ pub fn all_experiments() -> String {
         exp_e13_sched(),
         exp_e14_opt2(),
         exp_e15_pipeline(),
+        observe::exp_e16_observability(),
     ]
     .join("\n")
 }

@@ -72,8 +72,9 @@ pub enum Stmt {
     /// `if (cond) { .. } else { .. }`.
     If(Expr, Vec<Stmt>, Vec<Stmt>),
     /// `while (cond) bound(n) { .. }` — `bound` is the maximum number of
-    /// body iterations.
-    While(Expr, u32, Vec<Stmt>),
+    /// body iterations; the final field is the 1-based source line of
+    /// the loop statement (for the profiler's source map).
+    While(Expr, u32, Vec<Stmt>, u32),
     /// `return e;`.
     Return(Expr),
     /// Expression evaluated for effect (a call).
@@ -114,6 +115,8 @@ pub struct Function {
     pub params: Vec<String>,
     /// The body.
     pub body: Vec<Stmt>,
+    /// 1-based source line of the definition (for the source map).
+    pub line: u32,
 }
 
 /// A complete PatC translation unit.

@@ -27,6 +27,7 @@ use patmos_isa::{AluOp, CmpOp, Guard, MemArea, Pred, PredOp, PredSrc, Reg};
 use patmos_lir::vlir::{VInst, VItem, VModule, VOp, VReg};
 
 use crate::ast::*;
+use crate::srcmap::{LoopSpan, SourceMap};
 use crate::CompileOptions;
 
 /// Base byte address of static-area globals.
@@ -112,13 +113,18 @@ fn area_of(q: MemQualifier) -> MemArea {
     }
 }
 
-/// Lowers a parsed program to virtual-register LIR.
+/// Lowers a parsed program to virtual-register LIR, alongside the
+/// source map relating generated labels back to PatC source lines.
 ///
 /// # Errors
 ///
 /// See [`CodegenError`].
-pub fn lower(program: &Program, options: &CompileOptions) -> Result<VModule, CodegenError> {
+pub fn lower(
+    program: &Program,
+    options: &CompileOptions,
+) -> Result<(VModule, SourceMap), CodegenError> {
     let mut module = VModule::default();
+    let mut srcmap = SourceMap::default();
     let mut globals: HashMap<String, GlobalRef> = HashMap::new();
 
     // Data layout.
@@ -187,6 +193,7 @@ pub fn lower(program: &Program, options: &CompileOptions) -> Result<VModule, Cod
     }
 
     for func in &program.functions {
+        srcmap.funcs.push((func.name.clone(), func.line));
         let mut ctx = FnCtx {
             globals: &globals,
             func_names: &func_names,
@@ -199,6 +206,7 @@ pub fn lower(program: &Program, options: &CompileOptions) -> Result<VModule, Cod
             guard: Guard::ALWAYS,
             pred_depth: 0,
             is_main: func.name == "main",
+            loops: Vec::new(),
         };
         ctx.items.push(VItem::FuncStart(func.name.clone()));
         // Home the parameters into their virtual registers.
@@ -219,11 +227,12 @@ pub fn lower(program: &Program, options: &CompileOptions) -> Result<VModule, Cod
             src: VReg::ZERO,
         });
         ctx.epilogue();
+        srcmap.loops.append(&mut ctx.loops);
         module.items.extend(ctx.items);
     }
 
     module.entry = "main".into();
-    Ok(module)
+    Ok((module, srcmap))
 }
 
 struct FnCtx<'a> {
@@ -238,6 +247,8 @@ struct FnCtx<'a> {
     guard: Guard,
     pred_depth: u32,
     is_main: bool,
+    /// Loop spans for the source map, in generation order.
+    loops: Vec<LoopSpan>,
 }
 
 impl FnCtx<'_> {
@@ -754,7 +765,7 @@ impl FnCtx<'_> {
                 Ok(())
             }
             Stmt::If(cond_e, then_body, else_body) => self.if_stmt(cond_e, then_body, else_body),
-            Stmt::While(cond_e, bound, body) => self.while_stmt(cond_e, *bound, body),
+            Stmt::While(cond_e, bound, body, line) => self.while_stmt(cond_e, *bound, body, *line),
         }
     }
 
@@ -852,7 +863,7 @@ impl FnCtx<'_> {
                 body.iter().any(|s| match s {
                     Stmt::Return(_) => true,
                     Stmt::If(_, t, e) => blames_return(t) || blames_return(e),
-                    Stmt::While(_, _, b) => blames_return(b),
+                    Stmt::While(_, _, b, _) => blames_return(b),
                     _ => false,
                 })
             }
@@ -890,7 +901,13 @@ impl FnCtx<'_> {
         Ok(())
     }
 
-    fn while_stmt(&mut self, cond_e: &Expr, bound: u32, body: &[Stmt]) -> Result<(), CodegenError> {
+    fn while_stmt(
+        &mut self,
+        cond_e: &Expr,
+        bound: u32,
+        body: &[Stmt],
+        line: u32,
+    ) -> Result<(), CodegenError> {
         if self.options.single_path {
             // Single-path loop: run exactly `bound` iterations; the body
             // is guarded by the accumulated "still live" predicate.
@@ -952,6 +969,14 @@ impl FnCtx<'_> {
 
         let head = self.label("head");
         let exit = self.label("exit");
+        // Single-path loops have no exit label to delimit a span, so
+        // only branching loops enter the source map.
+        self.loops.push(LoopSpan {
+            func: self.func.clone(),
+            line,
+            head: head.clone(),
+            exit: exit.clone(),
+        });
         // The header executes at most bound+1 times per loop entry.
         self.items.push(VItem::LoopBound {
             min: 1,

@@ -67,11 +67,13 @@ mod lexer;
 mod lir;
 mod parser;
 mod sched;
+mod srcmap;
 
 pub use ast::{BinOp, Expr, Function, Global, MemQualifier, Program, Stmt, UnOp};
 pub use codegen::CodegenError;
 pub use parser::{parse, ParseError};
 pub use patmos_regalloc::{AllocError, AllocReport};
+pub use srcmap::{LoopSpan, SourceMap};
 
 use patmos_asm::ObjectImage;
 
@@ -220,13 +222,14 @@ fn run_scheduler(
 /// by the WCET analysis), or missing loop bounds.
 pub fn compile_to_asm(source: &str, options: &CompileOptions) -> Result<String, CompileError> {
     let program = parse(source)?;
-    let mut vlir = codegen::lower(&program, options)?;
+    let (mut vlir, mut srcmap) = codegen::lower(&program, options)?;
     if options.opt_level >= 1 {
-        patmos_opt::optimize_with(&mut vlir, opt_config(options, false));
+        let report = patmos_opt::optimize_with(&mut vlir, opt_config(options, false));
+        srcmap.apply_inlines(&report.inlines);
     }
     let (lir, _) = patmos_regalloc::allocate(&vlir)?;
     let (scheduled, _) = run_scheduler(lir, options);
-    Ok(sched::emit(&scheduled))
+    Ok(sched::emit_with_map(&scheduled, &srcmap))
 }
 
 /// Intermediate artefacts of one compilation, for inspection tools
@@ -245,6 +248,9 @@ pub struct CompileArtifacts {
     /// The DAG scheduler's per-block report (`None` at `sched_level`
     /// 0).
     pub sched: Option<patmos_sched::SchedReport>,
+    /// The source map after inline bookkeeping — what became the
+    /// `.srcfunc`/`.srcloop` directives in `asm`.
+    pub srcmap: SourceMap,
     /// The scheduled assembly text.
     pub asm: String,
 }
@@ -260,19 +266,24 @@ pub fn compile_with_artifacts(
     options: &CompileOptions,
 ) -> Result<CompileArtifacts, CompileError> {
     let program = parse(source)?;
-    let mut vlir = codegen::lower(&program, options)?;
+    let (mut vlir, mut srcmap) = codegen::lower(&program, options)?;
     let opt = (options.opt_level >= 1)
         .then(|| patmos_opt::optimize_with(&mut vlir, opt_config(options, true)));
+    if let Some(report) = &opt {
+        srcmap.apply_inlines(&report.inlines);
+    }
     let rendered = vlir.render();
     let (lir, allocation) = patmos_regalloc::allocate(&vlir)?;
     let (scheduled, sched_report) = run_scheduler(lir, options);
+    let asm = sched::emit_with_map(&scheduled, &srcmap);
     Ok(CompileArtifacts {
         vmodule: vlir,
         vlir: rendered,
         opt,
         allocation,
         sched: sched_report,
-        asm: sched::emit(&scheduled),
+        srcmap,
+        asm,
     })
 }
 
@@ -298,7 +309,7 @@ pub fn compile_stats(
     options: &CompileOptions,
 ) -> Result<(usize, usize), CompileError> {
     let program = parse(source)?;
-    let mut vlir = codegen::lower(&program, options)?;
+    let (mut vlir, _) = codegen::lower(&program, options)?;
     if options.opt_level >= 1 {
         patmos_opt::optimize_with(&mut vlir, opt_config(options, false));
     }

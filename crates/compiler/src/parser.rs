@@ -169,6 +169,7 @@ impl Parser {
     }
 
     fn function(&mut self, name: String) -> Result<Function, ParseError> {
+        let line = self.line() as u32;
         self.expect(Tok::LParen)?;
         let mut params = Vec::new();
         if !self.eat(&Tok::RParen) {
@@ -185,7 +186,12 @@ impl Parser {
             return Err(self.err("at most four parameters are supported"));
         }
         let body = self.block()?;
-        Ok(Function { name, params, body })
+        Ok(Function {
+            name,
+            params,
+            body,
+            line,
+        })
     }
 
     // ---- statements ----
@@ -246,15 +252,17 @@ impl Parser {
                 Ok(Stmt::If(cond, then_body, else_body))
             }
             Some(Tok::KwWhile) => {
+                let line = self.line() as u32;
                 self.next();
                 self.expect(Tok::LParen)?;
                 let cond = self.expr()?;
                 self.expect(Tok::RParen)?;
                 let bound = self.bound()?;
                 let body = self.block()?;
-                Ok(Stmt::While(cond, bound, body))
+                Ok(Stmt::While(cond, bound, body, line))
             }
             Some(Tok::KwFor) => {
+                let line = self.line() as u32;
                 self.next();
                 self.expect(Tok::LParen)?;
                 let init = self.simple_stmt()?;
@@ -274,7 +282,7 @@ impl Parser {
                 // sequence via If(true).
                 Ok(Stmt::If(
                     Expr::Lit(1),
-                    vec![init, Stmt::While(cond, bound, body)],
+                    vec![init, Stmt::While(cond, bound, body, line)],
                     vec![],
                 ))
             }

@@ -226,6 +226,65 @@ fn schedule_run(run: Vec<LirInst>, options: &CompileOptions, out: &mut Vec<Sched
     residue
 }
 
+/// Renders a scheduled module as assembler source, appending the
+/// source map as `.srcfunc`/`.srcloop` directives.
+///
+/// The map is validated against the *final* code shape, so every
+/// mid-end and back-end transformation is accounted for by
+/// construction:
+///
+/// * a `.srcfunc` is emitted only for functions still present (the
+///   inliner drops unreachable callees);
+/// * a `.srcloop` whose header label is gone falls back to the
+///   `{head}_pu` label a remainder unroll leaves behind (its span then
+///   covers both the main and the remainder loop), and is dropped when
+///   neither label survives (full unrolling flattened the loop — its
+///   cycles correctly attribute to the enclosing function);
+/// * divisor-unrolled and modulo-scheduled loops keep their header and
+///   exit labels, so their spans pass through unchanged (a pipelined
+///   loop's prologue, kernel, epilogue and fallback all lie between
+///   the two labels).
+pub fn emit_with_map(module: &ScheduledModule, map: &crate::srcmap::SourceMap) -> String {
+    let mut out = emit(module);
+    let mut funcs: std::collections::HashSet<&str> = std::collections::HashSet::new();
+    let mut labels: std::collections::HashSet<&str> = std::collections::HashSet::new();
+    for item in &module.items {
+        match item {
+            SchedItem::FuncStart(name) => {
+                funcs.insert(name.as_str());
+            }
+            SchedItem::Label(name) => {
+                labels.insert(name.as_str());
+            }
+            _ => {}
+        }
+    }
+    for (name, line) in &map.funcs {
+        if funcs.contains(name.as_str()) {
+            out.push_str(&format!("        .srcfunc {name} {line}\n"));
+        }
+    }
+    for lp in &map.loops {
+        let head = if labels.contains(lp.head.as_str()) {
+            lp.head.clone()
+        } else {
+            let pu = format!("{}_pu", lp.head);
+            if !labels.contains(pu.as_str()) {
+                continue;
+            }
+            pu
+        };
+        if !labels.contains(lp.exit.as_str()) {
+            continue;
+        }
+        out.push_str(&format!(
+            "        .srcloop {} {head} {}\n",
+            lp.line, lp.exit
+        ));
+    }
+    out
+}
+
 /// Renders a scheduled module as assembler source.
 pub fn emit(module: &ScheduledModule) -> String {
     let mut out = String::new();

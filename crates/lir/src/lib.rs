@@ -97,10 +97,12 @@ pub mod dot;
 pub mod liveness;
 pub mod loops;
 pub mod plir;
+pub mod remark;
 pub mod vlir;
 
 pub use cfg::{build_vcfg, split_functions, FuncCode, VBlock, VCfg};
 pub use dom::DomTree;
 pub use liveness::{analyze, Interval, Liveness};
 pub use loops::{header_lead, HeaderLead, LoopForest, NaturalLoop};
+pub use remark::Remark;
 pub use vlir::{VInst, VItem, VModule, VOp, VReg};

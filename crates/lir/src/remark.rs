@@ -1,0 +1,65 @@
+//! Structured optimization remarks.
+//!
+//! Every transformation stage that makes a non-obvious decision — the
+//! inliner, loop-invariant code motion, the unroller, the modulo
+//! scheduler — records what it did (or refused to do, and why) as a
+//! [`Remark`]. The type lives here, in the shared LIR crate, because
+//! both the mid-end (`patmos-opt`) and the back-end scheduler
+//! (`patmos-sched`) emit them; `patmos-cli --remarks` renders the
+//! combined stream for the user.
+//!
+//! Remarks are diagnostics about *decisions*, not dumps of *code*: each
+//! one names the pass, the function, the loop or call site it concerns,
+//! and a human-readable message carrying the cost-model numbers that
+//! drove the choice (budgets, trip counts, II bounds). A remark with
+//! `applied == false` explains a refusal — the cases a performance
+//! engineer actually needs to see.
+
+/// One decision made by an optimization or scheduling pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Remark {
+    /// The pass that made the decision (`"inline"`, `"licm"`,
+    /// `"unroll"`, `"modulo-sched"`, …).
+    pub pass: &'static str,
+    /// The function the decision concerns.
+    pub function: String,
+    /// The loop-header label or callee name the decision concerns, when
+    /// it is about a specific site rather than the whole function.
+    pub site: Option<String>,
+    /// `true` for an applied transformation, `false` for a refusal.
+    pub applied: bool,
+    /// What happened and why, with the cost-model numbers that decided
+    /// it.
+    pub message: String,
+}
+
+impl std::fmt::Display for Remark {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let verdict = if self.applied { "applied" } else { "missed" };
+        write!(f, "remark[{}] {verdict} {}", self.pass, self.function)?;
+        if let Some(site) = &self.site {
+            write!(f, " @ {site}")?;
+        }
+        write!(f, ": {}", self.message)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_pass_site_and_verdict() {
+        let r = Remark {
+            pass: "unroll",
+            function: "main".into(),
+            site: Some("main_head1".into()),
+            applied: false,
+            message: "trip count 3 below divisor threshold 4".into(),
+        };
+        let s = r.to_string();
+        assert!(s.contains("remark[unroll]"), "{s}");
+        assert!(s.contains("missed main @ main_head1"), "{s}");
+        assert!(s.contains("threshold 4"), "{s}");
+    }
+}

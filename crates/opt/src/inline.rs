@@ -137,6 +137,10 @@ struct Site {
     /// per argument register index (3–6).
     marshal: Vec<usize>,
     args: HashMap<u8, VReg>,
+    /// Names for the splice record and remark.
+    caller_name: String,
+    callee_name: String,
+    callee_insts: usize,
 }
 
 /// The callee's leading parameter homes: `(item offset within body,
@@ -243,6 +247,9 @@ fn find_site(module: &VModule, prefer_leaf: bool) -> Option<Site> {
                 callee: callee.range.clone(),
                 marshal,
                 args,
+                caller_name: caller.name.clone(),
+                callee_name: callee.name.clone(),
+                callee_insts: callee.insts,
             });
         }
     }
@@ -406,16 +413,109 @@ fn remove_dead_functions(module: &mut VModule) -> bool {
     true
 }
 
+/// Why a surviving call site was not inlined — the first failing
+/// eligibility check, in [`find_site`]'s order.
+fn refusal_reason(module: &VModule, caller: &Func, callee: Option<&Func>, idx: usize) -> String {
+    let items = &module.items;
+    let Some(callee) = callee else {
+        return "callee is external to the module".into();
+    };
+    let recursive = recursive_functions(items, &split(items));
+    if callee.name == module.entry {
+        return "callee is the entry function".into();
+    }
+    if recursive.contains(&callee.name) {
+        return "callee is (mutually) recursive".into();
+    }
+    if callee.insts > CALLEE_BUDGET {
+        return format!(
+            "callee has {} instructions, over the {CALLEE_BUDGET}-instruction budget",
+            callee.insts
+        );
+    }
+    if caller.insts + callee.insts > CALLER_CAP {
+        return format!(
+            "caller would grow to {} instructions, over the {CALLER_CAP}-instruction cap",
+            caller.insts + callee.insts
+        );
+    }
+    if items[callee.range.clone()].iter().any(|i| match i {
+        VItem::Inst(inst) => match inst.op {
+            VOp::Halt => true,
+            VOp::Ret | VOp::CopyToPhys { .. } | VOp::CopyFromPhys { .. } => !inst.guard.is_always(),
+            _ => false,
+        },
+        _ => false,
+    }) {
+        return "callee halts or has guarded protocol instructions".into();
+    }
+    if !matches!(
+        items.get(idx + 1),
+        Some(VItem::Inst(VInst {
+            op: VOp::CopyFromPhys { src: Reg::R1, .. },
+            ..
+        }))
+    ) {
+        return "call site lacks the generator's result-capture copy".into();
+    }
+    "call site does not match the generator's marshalling protocol".into()
+}
+
+/// Emits a `missed` remark for every call still standing after the
+/// splice fixpoint.
+fn remark_survivors(module: &VModule, report: &mut crate::OptReport) {
+    let funcs = split(&module.items);
+    let by_name: HashMap<&str, &Func> = funcs.iter().map(|f| (f.name.as_str(), f)).collect();
+    for caller in &funcs {
+        for idx in caller.range.clone() {
+            let VItem::Inst(VInst {
+                op: VOp::CallFunc(callee_name),
+                ..
+            }) = &module.items[idx]
+            else {
+                continue;
+            };
+            let callee = by_name.get(callee_name.as_str()).copied();
+            report.push_remark(patmos_lir::Remark {
+                pass: "inline",
+                function: caller.name.clone(),
+                site: Some(callee_name.clone()),
+                applied: false,
+                message: format!(
+                    "call not inlined: {}",
+                    refusal_reason(module, caller, callee, idx)
+                ),
+            });
+        }
+    }
+}
+
 /// Runs the inliner to its own fixed point; returns whether the module
-/// changed.
-pub(crate) fn run(module: &mut VModule) -> bool {
+/// changed. Splices and refusals are recorded on `report`.
+pub(crate) fn run(module: &mut VModule, report: &mut crate::OptReport) -> bool {
     let mut changed = false;
     for serial in 0..MAX_SPLICES {
         let site = find_site(module, true).or_else(|| find_site(module, false));
         let Some(site) = site else { break };
+        report.inlines.push(crate::InlineSplice {
+            serial,
+            callee: site.callee_name.clone(),
+            caller: site.caller_name.clone(),
+        });
+        report.push_remark(patmos_lir::Remark {
+            pass: "inline",
+            function: site.caller_name.clone(),
+            site: Some(site.callee_name.clone()),
+            applied: true,
+            message: format!(
+                "inlined {} ({} instructions, budget {CALLEE_BUDGET})",
+                site.callee_name, site.callee_insts
+            ),
+        });
         splice(module, site, serial);
         changed = true;
     }
+    remark_survivors(module, report);
     if changed {
         remove_dead_functions(module);
     }
@@ -480,7 +580,7 @@ mod tests {
     #[test]
     fn leaf_call_is_inlined_and_callee_dropped() {
         let mut m = call_module();
-        assert!(run(&mut m));
+        assert!(run(&mut m, &mut crate::OptReport::default()));
         assert!(
             !m.items.iter().any(|i| matches!(
                 i,
@@ -536,7 +636,7 @@ mod tests {
                 src: v(1),
             }),
         );
-        assert!(!run(&mut m));
+        assert!(!run(&mut m, &mut crate::OptReport::default()));
     }
 
     #[test]
@@ -545,7 +645,7 @@ mod tests {
         // hand is overkill here; instead assert the structural contract
         // that the result register copy chain survives.
         let mut m = call_module();
-        run(&mut m);
+        run(&mut m, &mut crate::OptReport::default());
         let renders = m.render();
         assert!(renders.contains("mov r1 ="), "{renders}");
     }

@@ -160,7 +160,7 @@ mod strength;
 mod unroll;
 mod util;
 
-use patmos_lir::{VItem, VModule};
+use patmos_lir::{Remark, VItem, VModule};
 
 /// Upper bound on fixpoint rounds; real modules converge in two or
 /// three, so hitting this means a pass pair is oscillating.
@@ -217,6 +217,20 @@ pub struct LoopUnroll {
     pub trips: Option<u32>,
 }
 
+/// One call site the inliner spliced (levels 2+). The profiler's
+/// source map uses these records to follow a callee's loop labels into
+/// the caller, where they now carry the `il{serial}_` prefix.
+#[derive(Debug, Clone)]
+pub struct InlineSplice {
+    /// The splice serial: the callee's labels were renamed to
+    /// `il{serial}_{label}`.
+    pub serial: usize,
+    /// The function whose body was duplicated.
+    pub callee: String,
+    /// The function the body landed in.
+    pub caller: String,
+}
+
 /// Outcome of one optimization run.
 #[derive(Debug, Clone, Default)]
 pub struct OptReport {
@@ -230,6 +244,22 @@ pub struct OptReport {
     pub dumps: Vec<PassDump>,
     /// Loops the unroller rewrote (levels 2+), in application order.
     pub unrolls: Vec<LoopUnroll>,
+    /// Call sites the inliner spliced (levels 2+), in splice order.
+    pub inlines: Vec<InlineSplice>,
+    /// Structured decisions (applied and refused) from the inliner,
+    /// LICM and the unroller, for `--remarks`.
+    pub remarks: Vec<Remark>,
+}
+
+impl OptReport {
+    /// Records `remark` unless an identical one is already present —
+    /// the unroll/fixpoint loop revisits refused loops every round, and
+    /// a refusal repeated verbatim carries no new information.
+    fn push_remark(&mut self, remark: Remark) {
+        if !self.remarks.contains(&remark) {
+            self.remarks.push(remark);
+        }
+    }
 }
 
 fn count_insts(module: &VModule) -> usize {
@@ -241,7 +271,32 @@ fn count_insts(module: &VModule) -> usize {
 }
 
 /// A pass entry point: rewrites the module, reports whether it changed.
-type Pass = fn(&mut VModule) -> bool;
+/// The report is for remark emission; the scalar passes ignore it.
+type Pass = fn(&mut VModule, &mut OptReport) -> bool;
+
+// The scalar passes make no remark-worthy decisions; adapt their plain
+// signatures to the table type.
+fn constprop_pass(m: &mut VModule, _: &mut OptReport) -> bool {
+    constprop::run(m)
+}
+fn strength_pass(m: &mut VModule, _: &mut OptReport) -> bool {
+    strength::run(m)
+}
+fn cse_pass(m: &mut VModule, _: &mut OptReport) -> bool {
+    cse::run(m)
+}
+fn cse_shape_stable_pass(m: &mut VModule, _: &mut OptReport) -> bool {
+    cse::run_shape_stable(m)
+}
+fn copyprop_pass(m: &mut VModule, _: &mut OptReport) -> bool {
+    copyprop::run(m)
+}
+fn copyprop_global_pass(m: &mut VModule, _: &mut OptReport) -> bool {
+    copyprop::run_global(m)
+}
+fn dce_pass(m: &mut VModule, _: &mut OptReport) -> bool {
+    dce::run(m)
+}
 
 /// How to run the pipeline.
 #[derive(Debug, Clone, Copy)]
@@ -304,7 +359,7 @@ fn run_fixpoint(
         let mut changed = false;
         for &(name, pass) in passes {
             let before = config.trace.then(|| module.render());
-            if pass(module) {
+            if pass(module, report) {
                 changed = true;
                 if let Some(before) = before {
                     report.dumps.push(PassDump {
@@ -324,32 +379,32 @@ fn run_fixpoint(
 
 fn run_pipeline(module: &mut VModule, config: OptConfig) -> OptReport {
     let full: &[(&'static str, Pass)] = &[
-        ("const-prop", constprop::run),
-        ("strength-reduce", strength::run),
-        ("cse", cse::run),
-        ("copy-prop", copyprop::run),
-        ("dce", dce::run),
+        ("const-prop", constprop_pass),
+        ("strength-reduce", strength_pass),
+        ("cse", cse_pass),
+        ("copy-prop", copyprop_pass),
+        ("dce", dce_pass),
     ];
     let full_loop: &[(&'static str, Pass)] = &[
-        ("const-prop", constprop::run),
-        ("strength-reduce", strength::run),
-        ("cse", cse::run),
+        ("const-prop", constprop_pass),
+        ("strength-reduce", strength_pass),
+        ("cse", cse_pass),
         ("licm", licm::run),
-        ("copy-prop", copyprop::run),
-        ("copy-prop-global", copyprop::run_global),
-        ("dce", dce::run),
+        ("copy-prop", copyprop_pass),
+        ("copy-prop-global", copyprop_global_pass),
+        ("dce", dce_pass),
     ];
     let shape_stable: &[(&'static str, Pass)] = &[
-        ("cse", cse::run_shape_stable),
-        ("copy-prop", copyprop::run),
-        ("dce", dce::run),
+        ("cse", cse_shape_stable_pass),
+        ("copy-prop", copyprop_pass),
+        ("dce", dce_pass),
     ];
     let shape_stable_loop: &[(&'static str, Pass)] = &[
-        ("cse", cse::run_shape_stable),
+        ("cse", cse_shape_stable_pass),
         ("licm", licm::run),
-        ("copy-prop", copyprop::run),
-        ("copy-prop-global", copyprop::run_global),
-        ("dce", dce::run),
+        ("copy-prop", copyprop_pass),
+        ("copy-prop-global", copyprop_global_pass),
+        ("dce", dce_pass),
     ];
     let loop_aware = config.level >= 2;
     let passes = match (config.shape_stable, loop_aware) {
@@ -365,7 +420,7 @@ fn run_pipeline(module: &mut VModule, config: OptConfig) -> OptReport {
 
     if loop_aware {
         let before = config.trace.then(|| module.render());
-        if inline::run(module) {
+        if inline::run(module, &mut report) {
             if let Some(before) = before {
                 report.dumps.push(PassDump {
                     round: 0,
@@ -383,7 +438,7 @@ fn run_pipeline(module: &mut VModule, config: OptConfig) -> OptReport {
         let partial = config.level >= 3;
         for _ in 0..MAX_UNROLL_ROUNDS {
             let before = config.trace.then(|| module.render());
-            if !unroll::run(module, partial, &mut report.unrolls) {
+            if !unroll::run(module, partial, &mut report) {
                 break;
             }
             // The unroll application is a round of its own; the next

@@ -34,10 +34,13 @@ use patmos_isa::MemArea;
 use patmos_lir::{FuncCode, VCfg, VItem, VModule, VOp, VReg};
 
 /// One loop's planned hoists: the items move, in dependency order, to
-/// just before `insert_at`.
+/// just before `insert_at`. Function and header label ride along for
+/// the remark.
 struct Hoist {
     insert_at: usize,
     items: Vec<usize>,
+    function: String,
+    label: String,
 }
 
 /// The header's own leading items — label and attached `.loopbound` —
@@ -188,12 +191,14 @@ fn plan_function(
         hoists.push(Hoist {
             insert_at: header_lead(items, func, &cfg, lp.header).start,
             items: item_indices,
+            function: func.name.to_string(),
+            label: label.to_string(),
         });
     }
 }
 
 /// Runs the pass over every function of the module.
-pub(crate) fn run(module: &mut VModule) -> bool {
+pub(crate) fn run(module: &mut VModule, report: &mut crate::OptReport) -> bool {
     let mut taken: HashSet<usize> = HashSet::new();
     let mut hoists: Vec<Hoist> = Vec::new();
     for func in &patmos_lir::split_functions(&module.items) {
@@ -201,6 +206,18 @@ pub(crate) fn run(module: &mut VModule) -> bool {
     }
     if hoists.is_empty() {
         return false;
+    }
+    for h in &hoists {
+        report.push_remark(patmos_lir::Remark {
+            pass: "licm",
+            function: h.function.clone(),
+            site: Some(h.label.clone()),
+            applied: true,
+            message: format!(
+                "hoisted {} loop-invariant instruction(s) into the preheader",
+                h.items.len()
+            ),
+        });
     }
 
     let mut insertions: BTreeMap<usize, Vec<VItem>> = BTreeMap::new();
@@ -308,7 +325,7 @@ mod tests {
     #[test]
     fn invariant_symbol_load_is_hoisted_to_the_preheader() {
         let mut m = loop_with_invariant_base();
-        assert!(run(&mut m));
+        assert!(run(&mut m, &mut crate::OptReport::default()));
         // The lil must now precede the .loopbound.
         let lil_at = m
             .items
@@ -345,7 +362,7 @@ mod tests {
             .expect("shl survives");
         assert!(shl_at > bound_at, "{}", m.render());
         // A second run finds nothing new.
-        assert!(!run(&mut m));
+        assert!(!run(&mut m, &mut crate::OptReport::default()));
     }
 
     #[test]
@@ -363,7 +380,10 @@ mod tests {
                 rs: v(2),
             }),
         );
-        assert!(run(&mut m), "the lil still hoists");
+        assert!(
+            run(&mut m, &mut crate::OptReport::default()),
+            "the lil still hoists"
+        );
         let load_at = m
             .items
             .iter()
@@ -414,7 +434,7 @@ mod tests {
                 VItem::Label("main_join9".into()),
             ],
         );
-        assert!(run(&mut m));
+        assert!(run(&mut m, &mut crate::OptReport::default()));
         let join_at = m
             .items
             .iter()
@@ -483,6 +503,9 @@ mod tests {
             ],
         };
         let before = m.render();
-        assert!(!run(&mut m), "nothing may hoist:\n{before}");
+        assert!(
+            !run(&mut m, &mut crate::OptReport::default()),
+            "nothing may hoist:\n{before}"
+        );
     }
 }

@@ -460,8 +460,11 @@ fn replication_pays(plan: &Plan, factor: i64, trips: i64, added_insts: i64) -> b
     savings * 3 > growth * 4
 }
 
-/// Picks the scheme for `plan`, or `None` to leave the loop alone.
-fn choose_scheme(plan: &Plan, partial: bool) -> Option<Scheme> {
+/// Picks the scheme for `plan`. `Err(Some(message))` is a refusal
+/// worth a `--remarks` line (a canonical loop the cost model or a
+/// budget turned down); `Err(None)` leaves the loop alone silently
+/// (partial unrolling is off, or the loop is one this pass created).
+fn choose_scheme(plan: &Plan, partial: bool) -> Result<Scheme, Option<String>> {
     // Full unrolling: small constant trip within budget; top-level
     // loops only when memory-free (duplicating a once-run memory body
     // mostly lengthens the cold method-cache fill).
@@ -471,10 +474,26 @@ fn choose_scheme(plan: &Plan, partial: bool) -> Option<Scheme> {
             && trips as usize * plan.body_insts <= UNROLL_BUDGET
             && (plan.depth >= 2 || !plan.has_memory)
         {
-            return Some(Scheme::Full { trips });
+            return Ok(Scheme::Full { trips });
         }
-        if !partial || plan.distinct_vregs > MAX_BODY_VREGS {
-            return None;
+        if !partial {
+            return Err(Some(format!(
+                "constant trip {trips} not fully unrolled ({} body instructions, budget \
+                 {UNROLL_BUDGET}{}); partial unrolling needs opt_level 3",
+                plan.body_insts,
+                if plan.depth < 2 && plan.has_memory {
+                    ", memory ops at top level"
+                } else {
+                    ""
+                },
+            )));
+        }
+        if plan.distinct_vregs > MAX_BODY_VREGS {
+            return Err(Some(format!(
+                "body references {} distinct registers (cap {MAX_BODY_VREGS}): replication \
+                 would invite spills",
+                plan.distinct_vregs
+            )));
         }
         // Divisor partial unrolling: the largest *proper* factor
         // dividing the trip count that stays within budget and pays
@@ -486,20 +505,47 @@ fn choose_scheme(plan: &Plan, partial: bool) -> Option<Scheme> {
             let factor = (2..=max_u.min(trips - 1))
                 .rev()
                 .filter(|u| trips % u == 0)
-                .find(|&u| replication_pays(plan, u, trips, (u - 1) * plan.body_insts as i64))?;
-            return Some(Scheme::Divisor { factor, trips });
+                .find(|&u| replication_pays(plan, u, trips, (u - 1) * plan.body_insts as i64));
+            return match factor {
+                Some(factor) => Ok(Scheme::Divisor { factor, trips }),
+                None => Err(Some(format!(
+                    "no paying divisor of trip count {trips} ({} body instructions, budget \
+                     {UNROLL_BUDGET})",
+                    plan.body_insts
+                ))),
+            };
         }
-        return None;
+        return Err(Some(format!(
+            "constant trip {trips} below the divisor-unroll threshold 4"
+        )));
     }
-    if !partial || !plan.single_block || plan.distinct_vregs > MAX_BODY_VREGS {
-        return None;
+    if !partial {
+        return Err(None);
+    }
+    if !plan.single_block {
+        return Err(Some(
+            "runtime-trip loop has internal control flow; remainder unrolling needs a \
+             straight-line body"
+                .into(),
+        ));
+    }
+    if plan.distinct_vregs > MAX_BODY_VREGS {
+        return Err(Some(format!(
+            "body references {} distinct registers (cap {MAX_BODY_VREGS}): replication would \
+             invite spills",
+            plan.distinct_vregs
+        )));
     }
     // Remainder partial unrolling for runtime trip counts. Never
     // re-unroll a main or remainder loop this pass created.
     if plan.head_label.ends_with("_pu") || plan.head_label.ends_with("_rem") {
-        return None;
+        return Err(None);
     }
-    let expected_trips = plan.bound_ann.map(|(_, max)| max.saturating_sub(1))?;
+    let Some(expected_trips) = plan.bound_ann.map(|(_, max)| max.saturating_sub(1)) else {
+        return Err(Some(
+            "runtime-trip loop has no .loopbound annotation to size the main loop against".into(),
+        ));
+    };
     for factor in [4i64, 2] {
         if factor as usize * plan.body_insts > UNROLL_BUDGET {
             continue;
@@ -530,9 +576,13 @@ fn choose_scheme(plan: &Plan, partial: bool) -> Option<Scheme> {
         if !replication_pays(plan, factor, expected_trips as i64, added) {
             continue;
         }
-        return Some(Scheme::Remainder { factor });
+        return Ok(Scheme::Remainder { factor });
     }
-    None
+    Err(Some(format!(
+        "no remainder-unroll factor pays: expected trips {expected_trips}, {} body \
+         instructions (budget {UNROLL_BUDGET})",
+        plan.body_insts
+    )))
 }
 
 /// The largest virtual-register id in use (fresh registers are
@@ -576,9 +626,10 @@ fn replicate(body: &[VItem], copies: i64, prefix: &str) -> Vec<VItem> {
 /// calling again, so outer loops are reconsidered against their
 /// flattened bodies. With `partial`, loops the full scheme cannot
 /// handle get the divisor or remainder treatment (`opt_level` 3).
-/// Every rewrite is recorded in `log`.
-pub(crate) fn run(module: &mut VModule, partial: bool, log: &mut Vec<LoopUnroll>) -> bool {
-    let mut plans: Vec<(Plan, Scheme)> = Vec::new();
+/// Every rewrite is recorded in `report.unrolls`, and both rewrites and
+/// cost-model refusals become remarks.
+pub(crate) fn run(module: &mut VModule, partial: bool, report: &mut crate::OptReport) -> bool {
+    let mut plans: Vec<(String, Plan, Scheme)> = Vec::new();
     for func in &patmos_lir::split_functions(&module.items) {
         let cfg = patmos_lir::build_vcfg(func, &module.items);
         let forest = patmos_lir::LoopForest::build(&cfg);
@@ -588,8 +639,16 @@ pub(crate) fn run(module: &mut VModule, partial: bool, log: &mut Vec<LoopUnroll>
                 continue;
             }
             if let Some(plan) = plan_loop(&module.items, func, &cfg, lp) {
-                if let Some(scheme) = choose_scheme(&plan, partial) {
-                    plans.push((plan, scheme));
+                match choose_scheme(&plan, partial) {
+                    Ok(scheme) => plans.push((func.name.to_string(), plan, scheme)),
+                    Err(Some(message)) => report.push_remark(patmos_lir::Remark {
+                        pass: "unroll",
+                        function: func.name.to_string(),
+                        site: Some(plan.head_label.clone()),
+                        applied: false,
+                        message,
+                    }),
+                    Err(None) => {}
                 }
             }
         }
@@ -601,12 +660,34 @@ pub(crate) fn run(module: &mut VModule, partial: bool, log: &mut Vec<LoopUnroll>
     let mut next_vreg = max_vreg(&module.items) + 1;
 
     // Rewrite back to front so earlier spans stay valid.
-    plans.sort_by_key(|(p, _)| std::cmp::Reverse(p.start));
-    for (plan, scheme) in plans {
+    plans.sort_by_key(|(_, p, _)| std::cmp::Reverse(p.start));
+    for (function, plan, scheme) in plans {
+        let (kind, factor, trips) = match &scheme {
+            Scheme::Full { trips } => (UnrollKind::Full, *trips, Some(*trips)),
+            Scheme::Divisor { factor, trips } => (UnrollKind::Divisor, *factor, Some(*trips)),
+            Scheme::Remainder { factor } => (UnrollKind::Remainder, *factor, None),
+        };
+        report.push_remark(patmos_lir::Remark {
+            pass: "unroll",
+            function,
+            site: Some(plan.head_label.clone()),
+            applied: true,
+            message: match trips {
+                Some(trips) => format!(
+                    "{kind} unroll by {factor} (trip count {trips}, {} body instructions, \
+                     budget {UNROLL_BUDGET})",
+                    plan.body_insts
+                ),
+                None => format!(
+                    "{kind} unroll by {factor} ({} body instructions, budget {UNROLL_BUDGET})",
+                    plan.body_insts
+                ),
+            },
+        });
         let body: Vec<VItem> = module.items[plan.body.clone()].to_vec();
         match scheme {
             Scheme::Full { trips } => {
-                log.push(LoopUnroll {
+                report.unrolls.push(LoopUnroll {
                     label: plan.head_label.clone(),
                     kind: UnrollKind::Full,
                     factor: trips as u32,
@@ -616,7 +697,7 @@ pub(crate) fn run(module: &mut VModule, partial: bool, log: &mut Vec<LoopUnroll>
                 module.items.splice(plan.start..=plan.end, unrolled);
             }
             Scheme::Divisor { factor, trips } => {
-                log.push(LoopUnroll {
+                report.unrolls.push(LoopUnroll {
                     label: plan.head_label.clone(),
                     kind: UnrollKind::Divisor,
                     factor: factor as u32,
@@ -646,7 +727,7 @@ pub(crate) fn run(module: &mut VModule, partial: bool, log: &mut Vec<LoopUnroll>
                 module.items.splice(plan.start..=plan.end, out);
             }
             Scheme::Remainder { factor } => {
-                log.push(LoopUnroll {
+                report.unrolls.push(LoopUnroll {
                     label: plan.head_label.clone(),
                     kind: UnrollKind::Remainder,
                     factor: factor as u32,
@@ -734,13 +815,13 @@ mod tests {
     }
 
     fn run_full(m: &mut VModule) -> bool {
-        run(m, false, &mut Vec::new())
+        run(m, false, &mut crate::OptReport::default())
     }
 
     fn run_partial(m: &mut VModule) -> (bool, Vec<LoopUnroll>) {
-        let mut log = Vec::new();
-        let changed = run(m, true, &mut log);
-        (changed, log)
+        let mut report = crate::OptReport::default();
+        let changed = run(m, true, &mut report);
+        (changed, report.unrolls)
     }
 
     /// An inner counted loop `for (i = 0; i < 5; i++) { s = s + i; }`

@@ -11,7 +11,10 @@
 //!                                [--opt-level N] [--sched-level N]
 //!                                [--dump-lir] [--dump-opt] [--dump-cfg] [--dump-loops]
 //!                                [--dump-sched] [--dump-pipeline]
-//! patmos-cli wcet    <file.pasm | file.patc> [--opt-level N] [--sched-level N]
+//! patmos-cli wcet    <file.pasm | file.patc> [--opt-level N] [--sched-level N] [--pessimism]
+//! patmos-cli profile <file.pasm | file.patc> [--opt-level N] [--sched-level N]
+//!                                [--single-issue] [--non-strict] [--json]
+//!                                [--chrome <out.json>] [--cores N] [--slot-cycles N]
 //! ```
 //!
 //! `--opt-level N` selects the mid-end pipeline (0 = straight lowering,
@@ -38,6 +41,20 @@
 //! with the full counter set, including the per-cause stall breakdown,
 //! executed stack-cache operations, and — for `.patc` inputs — the
 //! static loops-unrolled/loops-pipelined counts.
+//!
+//! `profile` runs the program under the structured tracer and folds
+//! every retired bundle and attributed stall onto functions and
+//! source-mapped loops: a flat text report by default, the same data as
+//! JSON with `--json`, and — with `--chrome <path>` — a Chrome
+//! trace-event document (loadable in `chrome://tracing`/Perfetto) with
+//! one track per CMP core and TDMA slot-boundary markers when `--cores
+//! N` (and optionally `--slot-cycles M`, default 64) selects the CMP
+//! system. `--remarks` prints the structured optimization remarks
+//! (inliner, LICM, unroller, modulo scheduler — applied rewrites and
+//! refusals with their cost-model numbers) after `compile`, `run` or
+//! `profile` of a `.patc` file. `wcet --pessimism` joins the IPET
+//! bound's per-block charges against a traced run of the same binary
+//! and prints the loosest blocks first.
 //!
 //! `.patc` files are compiled from PatC; `.pasm` files are assembled
 //! directly. Results, cycle counts and stall breakdowns go to stdout.
@@ -66,14 +83,21 @@ struct Args {
     dump_sched: bool,
     dump_pipeline: bool,
     stats: bool,
+    remarks: bool,
+    json: bool,
+    chrome: Option<String>,
+    cores: u32,
+    slot_cycles: u32,
+    pessimism: bool,
 }
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: patmos-cli <compile|asm|disasm|run|wcet> <file.patc|file.pasm> \
+        "usage: patmos-cli <compile|asm|disasm|run|wcet|profile> <file.patc|file.pasm> \
          [--single-path] [--no-if-convert] [--single-issue] [--non-strict] [--opt-level N] \
          [--sched-level N] [--dump-lir] [--dump-opt] [--dump-cfg] [--dump-loops] [--dump-sched] \
-         [--dump-pipeline] [--stats]"
+         [--dump-pipeline] [--stats] [--remarks] [--json] [--chrome <out.json>] [--cores N] \
+         [--slot-cycles N] [--pessimism]"
     );
     ExitCode::from(2)
 }
@@ -96,6 +120,12 @@ fn parse_args() -> Option<Args> {
         dump_sched: false,
         dump_pipeline: false,
         stats: false,
+        remarks: false,
+        json: false,
+        chrome: None,
+        cores: 1,
+        slot_cycles: 64,
+        pessimism: false,
     };
     let mut argv = std::env::args().skip(1);
     while let Some(arg) = argv.next() {
@@ -125,6 +155,38 @@ fn parse_args() -> Option<Args> {
             "--dump-sched" => args.dump_sched = true,
             "--dump-pipeline" => args.dump_pipeline = true,
             "--stats" => args.stats = true,
+            "--remarks" => args.remarks = true,
+            "--json" => args.json = true,
+            "--pessimism" => args.pessimism = true,
+            "--chrome" => {
+                let Some(path) = argv.next() else {
+                    eprintln!("--chrome expects an output path");
+                    return None;
+                };
+                args.chrome = Some(path);
+            }
+            "--cores" => {
+                let Some(n) = argv
+                    .next()
+                    .and_then(|v| v.parse::<u32>().ok())
+                    .filter(|&n| n > 0)
+                else {
+                    eprintln!("--cores expects a positive integer");
+                    return None;
+                };
+                args.cores = n;
+            }
+            "--slot-cycles" => {
+                let Some(n) = argv
+                    .next()
+                    .and_then(|v| v.parse::<u32>().ok())
+                    .filter(|&n| n > 0)
+                else {
+                    eprintln!("--slot-cycles expects a positive integer");
+                    return None;
+                };
+                args.slot_cycles = n;
+            }
             flag if flag.starts_with("--") => {
                 eprintln!("unknown flag `{flag}`");
                 return None;
@@ -181,6 +243,7 @@ fn main() -> ExitCode {
         "disasm" => cmd_disasm(&args),
         "run" => cmd_run(&args),
         "wcet" => cmd_wcet(&args),
+        "profile" => cmd_profile(&args),
         other => {
             eprintln!("unknown command `{other}`");
             return usage();
@@ -204,6 +267,28 @@ fn cmd_compile(args: &Args) -> Result<(), String> {
     }
     let asm = patmos::compiler::compile_to_asm(&source, &options).map_err(|e| e.to_string())?;
     print!("{asm}");
+    if args.remarks {
+        print_remarks(&source, &options)?;
+    }
+    Ok(())
+}
+
+/// Prints the optimizer's and scheduler's structured remarks: every
+/// applied rewrite and every refusal, with the cost-model numbers that
+/// decided it.
+fn print_remarks(source: &str, options: &CompileOptions) -> Result<(), String> {
+    let artifacts =
+        patmos::compiler::compile_with_artifacts(source, options).map_err(|e| e.to_string())?;
+    let opt_remarks = artifacts.opt.as_ref().map_or(&[][..], |r| &r.remarks);
+    let sched_remarks = artifacts.sched.as_ref().map_or(&[][..], |r| &r.remarks);
+    eprintln!(
+        "=== optimization remarks ({} mid-end, {} scheduler) ===",
+        opt_remarks.len(),
+        sched_remarks.len()
+    );
+    for r in opt_remarks.iter().chain(sched_remarks) {
+        eprintln!("{r}");
+    }
     Ok(())
 }
 
@@ -339,6 +424,11 @@ fn cmd_run(args: &Args) -> Result<(), String> {
             std::fs::read_to_string(&args.path).map_err(|e| format!("{}: {e}", args.path))?;
         dump_artifacts(&source, &args.compile_options(), args)?;
     }
+    if args.remarks && args.path.ends_with(".patc") {
+        let source =
+            std::fs::read_to_string(&args.path).map_err(|e| format!("{}: {e}", args.path))?;
+        print_remarks(&source, &args.compile_options())?;
+    }
     let image = load_image(args)?;
     let config = SimConfig {
         dual_issue: !args.single_issue,
@@ -404,6 +494,115 @@ fn cmd_run(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// Traces one run and folds it into a cycle-attribution profile; with
+/// `--cores N` the same image runs on every core of the TDMA-arbitrated
+/// CMP system and each core gets its own report and trace track.
+fn cmd_profile(args: &Args) -> Result<(), String> {
+    if args.remarks && args.path.ends_with(".patc") {
+        let source =
+            std::fs::read_to_string(&args.path).map_err(|e| format!("{}: {e}", args.path))?;
+        print_remarks(&source, &args.compile_options())?;
+    }
+    let image = load_image(args)?;
+    let config = SimConfig {
+        dual_issue: !args.single_issue,
+        strict: !args.non_strict,
+        ..SimConfig::default()
+    };
+
+    // One event stream per core.
+    let mut streams: Vec<(u32, patmos::trace::VecSink)> = Vec::new();
+    if args.cores > 1 {
+        let system = patmos::sim::CmpSystem::new(config, args.cores, args.slot_cycles);
+        for (res, sink) in system.run_all_traced(&image).map_err(|e| e.to_string())? {
+            streams.push((res.core, sink));
+        }
+    } else {
+        let mut core = Simulator::new(&image, config);
+        let mut sink = patmos::trace::VecSink::new();
+        core.run_traced(&mut sink).map_err(|e| e.to_string())?;
+        streams.push((0, sink));
+    }
+
+    for (core, sink) in &streams {
+        let profile = patmos::trace::Profile::build(&sink.events, &image);
+        if streams.len() > 1 {
+            println!("=== core {core} ===");
+        }
+        if args.json {
+            print!("{}", profile.to_json());
+        } else {
+            print!("{}", profile.flat_report());
+        }
+    }
+
+    if let Some(path) = &args.chrome {
+        let cores: Vec<patmos::trace::chrome::CoreTrace<'_>> = streams
+            .iter()
+            .map(|(core, sink)| patmos::trace::chrome::CoreTrace {
+                core: *core,
+                events: &sink.events,
+            })
+            .collect();
+        let tdma = (args.cores > 1).then_some(patmos::trace::chrome::TdmaSlots {
+            slot_cycles: args.slot_cycles,
+            cores: args.cores,
+        });
+        let json = patmos::trace::chrome::chrome_trace(&cores, &image, tdma);
+        std::fs::write(path, json).map_err(|e| format!("{path}: {e}"))?;
+        eprintln!("chrome trace written to {path}");
+    }
+    Ok(())
+}
+
+/// Prints the per-block pessimism breakdown: the IPET bound's charges
+/// joined against a traced run, loosest blocks first.
+fn print_pessimism(image: &ObjectImage) -> Result<(), String> {
+    let mut core = Simulator::new(image, SimConfig::default());
+    let mut sink = patmos::trace::VecSink::new();
+    core.run_traced(&mut sink).map_err(|e| e.to_string())?;
+    let mut measured: std::collections::HashMap<u32, u64> = std::collections::HashMap::new();
+    for e in &sink.events {
+        match *e {
+            patmos::trace::TraceEvent::Retire {
+                pc, issue_cycles, ..
+            } => *measured.entry(pc).or_insert(0) += issue_cycles,
+            patmos::trace::TraceEvent::Stall { pc, cycles, .. } => {
+                *measured.entry(pc).or_insert(0) += cycles
+            }
+            _ => {}
+        }
+    }
+    let report = patmos::wcet::pessimism(image, &Machine::Patmos(SimConfig::default()), &measured)
+        .map_err(|e| e.to_string())?;
+    println!("--- pessimism breakdown (IPET charge vs measured, loosest first) ---");
+    println!(
+        "bound {} (warm-up {}), measured {}",
+        report.bound_cycles, report.warmup_cycles, report.measured_cycles
+    );
+    println!(
+        "{:<20} {:>6} {:>9} {:>6} {:>6} {:>10} {:>10} {:>10}",
+        "block", "word", "source", "count", "cost", "charged", "measured", "slack"
+    );
+    for b in &report.blocks {
+        println!(
+            "{:<20} {:>6} {:>9} {:>6} {:>6} {:>10} {:>10} {:>10}",
+            b.function,
+            b.start_word,
+            b.source
+                .as_ref()
+                .map(|(_, l)| format!("line {l}"))
+                .unwrap_or_else(|| "-".into()),
+            b.count,
+            b.cost,
+            b.contribution,
+            b.measured,
+            b.slack
+        );
+    }
+    Ok(())
+}
+
 fn cmd_wcet(args: &Args) -> Result<(), String> {
     let image = load_image(args)?;
     let mut core = Simulator::new(&image, SimConfig::default());
@@ -420,6 +619,9 @@ fn cmd_wcet(args: &Args) -> Result<(), String> {
     println!("pessimism        = {:.2}x", report.pessimism(observed));
     for (name, bound) in &report.per_function {
         println!("  {:<20} {:>10} cycles", name, bound);
+    }
+    if args.pessimism {
+        print_pessimism(&image)?;
     }
     // Baseline comparison when the binary also runs there.
     let mut baseline = BaselineSim::new(&image, BaselineConfig::default());

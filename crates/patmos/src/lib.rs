@@ -11,6 +11,9 @@
 //! * [`mem`] — method cache, stack cache, split data caches, scratchpad,
 //!   main memory and TDMA arbitration;
 //! * [`sim`] — the cycle-accurate dual-issue core and the CMP system;
+//! * [`trace`] — structured execution tracing: the [`trace::TraceSink`]
+//!   event stream, the cycle-attribution profiler, and Chrome
+//!   trace-event export;
 //! * [`rf`] — the double-clocked TDM register file and the FPGA timing
 //!   model behind the paper's Section 5 feasibility study;
 //! * [`baseline`] — the conventional average-case-optimised comparator;
@@ -67,5 +70,6 @@ pub use patmos_regalloc as regalloc;
 pub use patmos_rf as rf;
 pub use patmos_sched as sched;
 pub use patmos_sim as sim;
+pub use patmos_trace as trace;
 pub use patmos_wcet as wcet;
 pub use patmos_workloads as workloads;

@@ -177,6 +177,10 @@ pub struct FuncReport {
 pub struct SchedReport {
     /// One entry per function.
     pub funcs: Vec<FuncReport>,
+    /// Structured modulo-scheduling decisions — pipelined loops with
+    /// their MII/II, and refusals with the cost-model estimate that
+    /// turned them down — for `patmos-cli --remarks`.
+    pub remarks: Vec<patmos_lir::Remark>,
 }
 
 impl SchedReport {
@@ -303,7 +307,23 @@ pub fn schedule_with_report(
             // at a winning II replaces both blocks with its
             // guard/prologue/kernel/epilogue/fallback stream.
             if options.pipeline {
-                if let Some(p) = modulo::try_pipeline(func, bi, options.dual_issue, &live_in) {
+                if let Some(p) = modulo::try_pipeline(
+                    func,
+                    bi,
+                    options.dual_issue,
+                    &live_in,
+                    &mut report.remarks,
+                ) {
+                    report.remarks.push(patmos_lir::Remark {
+                        pass: "modulo-sched",
+                        function: func.name.clone(),
+                        site: Some(p.report.label.clone()),
+                        applied: true,
+                        message: format!(
+                            "software-pipelined at II {} (MII {}, {} stage(s), {} op(s)/iteration)",
+                            p.report.ii, p.report.mii, p.report.stages, p.report.ops
+                        ),
+                    });
                     let ops = func.blocks[bi].insts.len() + func.blocks[bi + 1].insts.len() + 2;
                     func_report.blocks.push(BlockReport {
                         label: func.blocks[bi].labels.first().cloned(),

@@ -213,7 +213,20 @@ pub(crate) fn try_pipeline(
     h: usize,
     dual_issue: bool,
     live_in: &[LiveSet],
+    remarks: &mut Vec<patmos_lir::Remark>,
 ) -> Option<Pipelined> {
+    let mut refuse = |site: &str, message: String| {
+        if std::env::var_os("PATMOS_MODULO_DEBUG").is_some() {
+            eprintln!("{site}: {message}");
+        }
+        remarks.push(patmos_lir::Remark {
+            pass: "modulo-sched",
+            function: func.name.clone(),
+            site: Some(site.to_string()),
+            applied: false,
+            message,
+        });
+    };
     // ---- shape ----
     if h == 0 || h + 1 >= func.blocks.len() {
         return None;
@@ -242,9 +255,7 @@ pub(crate) fn try_pipeline(
     let cl = match CountedLoop::recognize(&hb.insts, hterm, &bb.insts, bterm) {
         Some(cl) => cl,
         None => {
-            if std::env::var_os("PATMOS_MODULO_DEBUG").is_some() {
-                eprintln!("{label}: not a recognisable counted loop");
-            }
+            refuse(&label, "not a recognisable counted loop".into());
             return None;
         }
     };
@@ -284,9 +295,10 @@ pub(crate) fn try_pipeline(
         }
         LoopBoundSrc::Reg(k) => {
             if pool.len() < 2 || cl.step > 2047 {
-                if std::env::var_os("PATMOS_MODULO_DEBUG").is_some() {
-                    eprintln!("{label}: no spare bound registers (pool {})", pool.len());
-                }
+                refuse(
+                    &label,
+                    format!("no spare bound registers (pool {})", pool.len()),
+                );
                 return None;
             }
             let kb2 = pool.remove(0);
@@ -417,6 +429,10 @@ pub(crate) fn try_pipeline(
         let trips = max_ann.saturating_sub(1) as i64;
         let s = stages as i64;
         if trips < s + 1 {
+            refuse(
+                &label,
+                format!("worst-case trip count {trips} cannot fill {stages} stage(s)"),
+            );
             return None;
         }
         let ramp = 2 * (s - 1) * ii as i64;
@@ -424,11 +440,13 @@ pub(crate) fn try_pipeline(
         let pipelined = 4 + ramp + (trips - s + 1) * ii as i64 + 6 + code_growth;
         let plain = trips * baseline as i64 + 3;
         if pipelined * 10 >= plain * 9 {
-            if std::env::var_os("PATMOS_MODULO_DEBUG").is_some() {
-                eprintln!(
-                    "{label}: no benefit at II {ii} (S {stages}, est {pipelined} vs {plain})"
-                );
-            }
+            refuse(
+                &label,
+                format!(
+                    "no benefit at II {ii}: {stages} stage(s), estimated {pipelined} cycles \
+                     pipelined vs {plain} plain over {trips} worst-case trips"
+                ),
+            );
             return None;
         }
 
@@ -937,7 +955,7 @@ mod tests {
         let split = crate::dag::split_blocks(module);
         let func = &split.funcs[0];
         let live = crate::dag::live_in_sets(func);
-        try_pipeline(func, 1, true, &live)
+        try_pipeline(func, 1, true, &live, &mut Vec::new())
     }
 
     #[test]

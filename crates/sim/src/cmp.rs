@@ -13,6 +13,7 @@
 
 use patmos_asm::ObjectImage;
 use patmos_mem::TdmaArbiter;
+use patmos_trace::VecSink;
 
 use crate::config::SimConfig;
 use crate::error::SimError;
@@ -87,6 +88,26 @@ impl CmpSystem {
                     core,
                     result: sim.run()?,
                 })
+            })
+            .collect()
+    }
+
+    /// Runs the same image on every core, recording each core's full
+    /// event stream alongside its result.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first core's [`SimError`], if any.
+    pub fn run_all_traced(
+        &self,
+        image: &ObjectImage,
+    ) -> Result<Vec<(CmpResult, VecSink)>, SimError> {
+        (0..self.arbiter.cores())
+            .map(|core| {
+                let mut sim = Simulator::new(image, self.core_config(core));
+                let mut sink = VecSink::new();
+                let result = sim.run_traced(&mut sink)?;
+                Ok((CmpResult { core, result }, sink))
             })
             .collect()
     }

@@ -15,7 +15,10 @@
 //! The simulator counts cycles exactly under this model and attributes
 //! every stall cycle to its cause ([`StallBreakdown`]), which is what the
 //! paper's evaluation story (and our WCET analysis in `patmos-wcet`)
-//! builds on.
+//! builds on. The same accounting streams out as structured
+//! [`patmos_trace::TraceEvent`]s through [`Simulator::run_traced`]; an
+//! untraced run uses the monomorphized [`patmos_trace::NullSink`] and
+//! pays nothing.
 //!
 //! In *strict* mode (the default) the simulator reports a program that
 //! violates a visible delay (e.g. uses a loaded value one bundle too

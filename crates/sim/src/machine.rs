@@ -9,6 +9,7 @@ use patmos_isa::{
 use patmos_mem::{
     MainMemory, MethodCache, Scratchpad, SetAssocCache, StackCache, SHADOW_STACK_TOP, STACK_TOP,
 };
+use patmos_trace::{CacheKind, NullSink, StallCause, TraceEvent, TraceSink};
 
 use crate::config::SimConfig;
 use crate::error::SimError;
@@ -203,8 +204,20 @@ impl Simulator {
     /// Returns a [`SimError`] for contract violations (strict mode), bad
     /// control flow, or an exceeded cycle budget.
     pub fn run(&mut self) -> Result<RunResult, SimError> {
+        self.run_traced(&mut NullSink)
+    }
+
+    /// Runs until `halt` or an error, streaming [`TraceEvent`]s into the
+    /// sink. With [`NullSink`] this is exactly [`Simulator::run`]: the
+    /// `if S::ENABLED` guards compile every event construction away, so
+    /// a traced run is cycle-bit-identical to an untraced one.
+    ///
+    /// # Errors
+    ///
+    /// As [`Simulator::run`].
+    pub fn run_traced<S: TraceSink>(&mut self, sink: &mut S) -> Result<RunResult, SimError> {
         while !self.halted {
-            self.step()?;
+            self.step_traced(sink)?;
         }
         Ok(RunResult {
             stats: self.stats(),
@@ -214,12 +227,19 @@ impl Simulator {
 
     /// A main-memory transfer of `words` words: orders it after the
     /// posted-write buffer, waits for TDMA grants, advances time, and
-    /// returns the stall this caused. Under TDMA, transfers that exceed
-    /// one slot are split into per-slot chunks (each paying the burst
-    /// setup again), as a real slotted memory controller would.
-    fn transact_words(&mut self, words: u32) -> u64 {
+    /// attributes the whole stall to `cause` at word address `pc`. Under
+    /// TDMA, transfers that exceed one slot are split into per-slot
+    /// chunks (each paying the burst setup again), as a real slotted
+    /// memory controller would.
+    fn transact_words<S: TraceSink>(
+        &mut self,
+        words: u32,
+        cause: StallCause,
+        pc: u32,
+        sink: &mut S,
+    ) {
         if words == 0 {
-            return 0;
+            return;
         }
         let begin = self.now;
         match self.config.tdma {
@@ -243,21 +263,52 @@ impl Simulator {
                     let start = self.now.max(self.wb_drains_at);
                     let granted = arb.grant(core, start, burst);
                     self.stats.stalls.tdma_wait += granted - start;
+                    if S::ENABLED && granted > start {
+                        sink.event(TraceEvent::TdmaWait {
+                            pc,
+                            cycle: granted,
+                            cycles: granted - start,
+                        });
+                    }
                     self.now = granted + burst as u64;
                     remaining -= w;
                 }
             }
         }
-        self.now - begin
+        let stall = self.now - begin;
+        match cause {
+            StallCause::MethodCache => self.stats.stalls.method_cache += stall,
+            StallCause::DataCache => self.stats.stalls.data_cache += stall,
+            StallCause::StaticCache => self.stats.stalls.static_cache += stall,
+            StallCause::StackCache => self.stats.stalls.stack_cache += stall,
+            StallCause::SplitLoad => self.stats.stalls.split_load += stall,
+            StallCause::WriteBuffer => self.stats.stalls.write_buffer += stall,
+        }
+        if S::ENABLED && stall > 0 {
+            sink.event(TraceEvent::Stall {
+                pc,
+                cycle: self.now,
+                cycles: stall,
+                cause,
+            });
+        }
     }
 
     /// Posts a one-word write: stalls only if the buffer is full; the
     /// drain itself happens in the background.
-    fn post_write(&mut self) {
+    fn post_write<S: TraceSink>(&mut self, pc: u32, sink: &mut S) {
         if self.wb_drains_at > self.now {
             let wait = self.wb_drains_at - self.now;
             self.stats.stalls.write_buffer += wait;
             self.now = self.wb_drains_at;
+            if S::ENABLED {
+                sink.event(TraceEvent::Stall {
+                    pc,
+                    cycle: self.now,
+                    cycles: wait,
+                    cause: StallCause::WriteBuffer,
+                });
+            }
         }
         let burst = self.mem.burst_cycles(1);
         let granted = match &self.config.tdma {
@@ -278,11 +329,21 @@ impl Simulator {
     }
 
     /// Charges a method-cache lookup for the function at `start`/`size`.
-    fn method_fill(&mut self, start: u32, size: u32) {
+    /// The stall (and the lookup event) attribute to the entered
+    /// function's first word.
+    fn method_fill<S: TraceSink>(&mut self, start: u32, size: u32, sink: &mut S) {
         let access = self.mcache.access(start, size);
+        if S::ENABLED {
+            sink.event(TraceEvent::CacheAccess {
+                pc: start,
+                cycle: self.now,
+                cache: CacheKind::Method,
+                hit: access.hit,
+                transfer_words: access.transfer_words,
+            });
+        }
         if !access.hit {
-            let stall = self.transact_words(access.transfer_words);
-            self.stats.stalls.method_cache += stall;
+            self.transact_words(access.transfer_words, StallCause::MethodCache, start, sink);
         }
     }
 
@@ -359,6 +420,15 @@ impl Simulator {
 
     /// Executes one bundle.
     pub fn step(&mut self) -> Result<(), SimError> {
+        self.step_traced(&mut NullSink)
+    }
+
+    /// Executes one bundle, streaming its [`TraceEvent`]s into the sink.
+    ///
+    /// # Errors
+    ///
+    /// As [`Simulator::step`].
+    pub fn step_traced<S: TraceSink>(&mut self, sink: &mut S) -> Result<(), SimError> {
         if self.halted {
             return Ok(());
         }
@@ -366,7 +436,7 @@ impl Simulator {
             self.started = true;
             // Cold start: the entry function streams into the method cache.
             if let Some(f) = self.function_at(self.pc).cloned() {
-                self.method_fill(f.start_word, f.size_words);
+                self.method_fill(f.start_word, f.size_words, sink);
             }
         }
         if self.now >= self.config.max_cycles {
@@ -417,6 +487,14 @@ impl Simulator {
         self.now += issue_cycles;
         self.bundle_index += 1;
         self.stats.bundles += 1;
+        self.stats.issue_cycles += issue_cycles;
+        // Snapshot for the retire event's per-bundle deltas.
+        let issue_end = self.now;
+        let snap = if S::ENABLED {
+            self.stats
+        } else {
+            Stats::default()
+        };
         // The second slot counts as used only when it actually executes:
         // an annulled (false-guard) operation occupies the slot but does
         // no work, exactly like an encoded `nop`.
@@ -503,18 +581,30 @@ impl Simulator {
                         }
                         MemArea::Spm => self.mem_read(ea, size, true),
                         MemArea::Static | MemArea::Data => {
-                            let result = if area == MemArea::Static {
-                                self.ccache.access(ea, false)
+                            let (result, kind, cause) = if area == MemArea::Static {
+                                (
+                                    self.ccache.access(ea, false),
+                                    CacheKind::Static,
+                                    StallCause::StaticCache,
+                                )
                             } else {
-                                self.dcache.access(ea, false)
+                                (
+                                    self.dcache.access(ea, false),
+                                    CacheKind::Data,
+                                    StallCause::DataCache,
+                                )
                             };
+                            if S::ENABLED {
+                                sink.event(TraceEvent::CacheAccess {
+                                    pc: this_pc,
+                                    cycle: self.now,
+                                    cache: kind,
+                                    hit: result.hit,
+                                    transfer_words: result.transfer_words,
+                                });
+                            }
                             if !result.hit {
-                                let stall = self.transact_words(result.transfer_words);
-                                if area == MemArea::Static {
-                                    self.stats.stalls.static_cache += stall;
-                                } else {
-                                    self.stats.stalls.data_cache += stall;
-                                }
+                                self.transact_words(result.transfer_words, cause, this_pc, sink);
                             }
                             self.mem_read(ea, size, false)
                         }
@@ -539,13 +629,22 @@ impl Simulator {
                         }
                         MemArea::Spm => self.mem_write(ea, size, value, true),
                         MemArea::Static | MemArea::Data => {
-                            if area == MemArea::Static {
-                                self.ccache.access(ea, true);
+                            let (result, kind) = if area == MemArea::Static {
+                                (self.ccache.access(ea, true), CacheKind::Static)
                             } else {
-                                self.dcache.access(ea, true);
+                                (self.dcache.access(ea, true), CacheKind::Data)
+                            };
+                            if S::ENABLED {
+                                sink.event(TraceEvent::CacheAccess {
+                                    pc: this_pc,
+                                    cycle: self.now,
+                                    cache: kind,
+                                    hit: result.hit,
+                                    transfer_words: result.transfer_words,
+                                });
                             }
                             self.mem_write(ea, size, value, false);
-                            self.post_write();
+                            self.post_write(this_pc, sink);
                         }
                         MemArea::Main => return Err(SimError::IllegalMainAccess { pc: this_pc }),
                     }
@@ -570,8 +669,17 @@ impl Simulator {
                 Op::MainWait { rd } => match self.pending_load.take() {
                     Some(p) => {
                         if p.ready_at > self.now {
-                            self.stats.stalls.split_load += p.ready_at - self.now;
+                            let wait = p.ready_at - self.now;
+                            self.stats.stalls.split_load += wait;
                             self.now = p.ready_at;
+                            if S::ENABLED {
+                                sink.event(TraceEvent::Stall {
+                                    pc: this_pc,
+                                    cycle: self.now,
+                                    cycles: wait,
+                                    cause: StallCause::SplitLoad,
+                                });
+                            }
                         }
                         self.sm = p.value;
                         self.write_reg(rd, p.value, 0);
@@ -587,24 +695,59 @@ impl Simulator {
                 Op::MainStore { offset, .. } => {
                     let ea = vals[0].wrapping_add((offset as i32 as u32).wrapping_mul(4));
                     self.mem_write(ea, AccessSize::Word, vals[1], false);
-                    self.post_write();
+                    self.post_write(this_pc, sink);
                 }
                 Op::Sres { words } => {
                     let effect = self.scache.reserve(words);
+                    if S::ENABLED {
+                        sink.event(TraceEvent::CacheAccess {
+                            pc: this_pc,
+                            cycle: self.now,
+                            cache: CacheKind::Stack,
+                            hit: effect.spill_words == 0,
+                            transfer_words: effect.spill_words,
+                        });
+                    }
                     if effect.spill_words > 0 {
-                        let stall = self.transact_words(effect.spill_words);
-                        self.stats.stalls.stack_cache += stall;
+                        self.transact_words(
+                            effect.spill_words,
+                            StallCause::StackCache,
+                            this_pc,
+                            sink,
+                        );
                     }
                 }
                 Op::Sens { words } => {
                     let effect = self.scache.ensure(words);
+                    if S::ENABLED {
+                        sink.event(TraceEvent::CacheAccess {
+                            pc: this_pc,
+                            cycle: self.now,
+                            cache: CacheKind::Stack,
+                            hit: effect.fill_words == 0,
+                            transfer_words: effect.fill_words,
+                        });
+                    }
                     if effect.fill_words > 0 {
-                        let stall = self.transact_words(effect.fill_words);
-                        self.stats.stalls.stack_cache += stall;
+                        self.transact_words(
+                            effect.fill_words,
+                            StallCause::StackCache,
+                            this_pc,
+                            sink,
+                        );
                     }
                 }
                 Op::Sfree { words } => {
                     self.scache.free(words);
+                    if S::ENABLED {
+                        sink.event(TraceEvent::CacheAccess {
+                            pc: this_pc,
+                            cycle: self.now,
+                            cache: CacheKind::Stack,
+                            hit: true,
+                            transfer_words: 0,
+                        });
+                    }
                 }
                 Op::Mts { sd, .. } => match sd {
                     SpecialReg::Sl => self.sl = vals[0],
@@ -649,6 +792,25 @@ impl Simulator {
             }
         }
 
+        // Every bundle retires exactly one event, the halt bundle
+        // included — the event stream reconciles with the counters.
+        if S::ENABLED {
+            let d = &self.stats;
+            sink.event(TraceEvent::Retire {
+                pc: this_pc,
+                cycle: issue_end,
+                issue_cycles,
+                executed: (d.insts_executed - snap.insts_executed) as u8,
+                annulled: (d.insts_annulled - snap.insts_annulled) as u8,
+                nops: (d.nops - snap.nops) as u8,
+                second_slot_used: d.second_slots_used > snap.second_slots_used,
+                nop_bundle: d.nop_bundles > snap.nop_bundles,
+                stack_ops: (d.stack_ops - snap.stack_ops) as u8,
+                taken_branch: d.taken_branches > snap.taken_branches,
+                untaken_branches: (d.untaken_branches - snap.untaken_branches) as u8,
+            });
+        }
+
         if self.halted {
             return Ok(());
         }
@@ -664,7 +826,7 @@ impl Simulator {
                 flow.slots_left = flow.slots_left.saturating_sub(1);
             }
             if flow.slots_left == 0 {
-                self.redirect(flow.target)?;
+                self.redirect(flow.target, sink)?;
             } else {
                 self.pending_flow = Some(flow);
             }
@@ -673,7 +835,7 @@ impl Simulator {
         Ok(())
     }
 
-    fn redirect(&mut self, target: FlowTarget) -> Result<(), SimError> {
+    fn redirect<S: TraceSink>(&mut self, target: FlowTarget, sink: &mut S) -> Result<(), SimError> {
         match target {
             FlowTarget::Jump(t) => {
                 self.pc = t;
@@ -685,8 +847,14 @@ impl Simulator {
                     .ok_or(SimError::NotAFunction { target: t })?;
                 let link = self.pc;
                 self.write_reg(LINK_REG, link, 0);
-                self.method_fill(f.start_word, f.size_words);
+                self.method_fill(f.start_word, f.size_words, sink);
                 self.stats.calls += 1;
+                if S::ENABLED {
+                    sink.event(TraceEvent::Call {
+                        pc: t,
+                        cycle: self.now,
+                    });
+                }
                 self.pc = t;
             }
             FlowTarget::Ret(t) => {
@@ -694,8 +862,14 @@ impl Simulator {
                     .function_at(t)
                     .cloned()
                     .ok_or(SimError::BadPc { pc: t })?;
-                self.method_fill(f.start_word, f.size_words);
+                self.method_fill(f.start_word, f.size_words, sink);
                 self.stats.returns += 1;
+                if S::ENABLED {
+                    sink.event(TraceEvent::Return {
+                        pc: t,
+                        cycle: self.now,
+                    });
+                }
                 self.pc = t;
             }
         }
@@ -1049,6 +1223,95 @@ end:
             s.second_slots_used, 0,
             "an annulled second slot is not used"
         );
+    }
+
+    #[test]
+    fn traced_run_is_bit_identical_and_reconciles() {
+        use patmos_trace::{EventTotals, VecSink};
+        // Exercises every event source: a call/return (method-cache
+        // fills), static-cache load and store (write buffer), stack
+        // cache (sres/sws/lws/sfree), and a split main-memory load.
+        let src = "        .func callee\n        li r5 = 9\n        ret\n        nop\n        nop\n        .func main\n        .entry main\n        sres 2\n        lil r2 = 0x10000\n        swc [r2 + 0] = r0\n        lwc r1 = [r2 + 0]\n        nop\n        sws [r0 + 0] = r1\n        lws r6 = [r0 + 0]\n        nop\n        lil r3 = 0x20000\n        ldm [r3 + 0]\n        call callee\n        nop\n        wres r4\n        sfree 2\n        halt\n";
+        let image = assemble(src).expect("assembles");
+
+        let mut plain = Simulator::new(&image, SimConfig::default());
+        let plain_result = plain.run().expect("runs");
+
+        let mut traced = Simulator::new(&image, SimConfig::default());
+        let mut sink = VecSink::new();
+        let traced_result = traced.run_traced(&mut sink).expect("runs");
+
+        // Tracing must not perturb the simulation at all.
+        assert_eq!(plain_result.stats, traced_result.stats);
+        assert_eq!(plain_result.halt_pc, traced_result.halt_pc);
+
+        // The "no hidden state" invariant: every cycle is issue or an
+        // attributed stall.
+        let s = traced_result.stats;
+        assert_eq!(s.cycles, s.issue_cycles + s.stalls.total());
+
+        // The event stream reproduces every counter exactly.
+        let t = EventTotals::from_events(&sink.events);
+        assert_eq!(t.cycles, s.cycles);
+        assert_eq!(t.issue_cycles, s.issue_cycles);
+        assert_eq!(t.bundles, s.bundles);
+        assert_eq!(t.insts_executed, s.insts_executed);
+        assert_eq!(t.insts_annulled, s.insts_annulled);
+        assert_eq!(t.nops, s.nops);
+        assert_eq!(t.second_slots_used, s.second_slots_used);
+        assert_eq!(t.nop_bundles, s.nop_bundles);
+        assert_eq!(t.taken_branches, s.taken_branches);
+        assert_eq!(t.untaken_branches, s.untaken_branches);
+        assert_eq!(t.calls, s.calls);
+        assert_eq!(t.returns, s.returns);
+        assert_eq!(t.stack_ops, s.stack_ops);
+        assert_eq!(t.stall_method_cache, s.stalls.method_cache);
+        assert_eq!(t.stall_data_cache, s.stalls.data_cache);
+        assert_eq!(t.stall_static_cache, s.stalls.static_cache);
+        assert_eq!(t.stall_stack_cache, s.stalls.stack_cache);
+        assert_eq!(t.stall_split_load, s.stalls.split_load);
+        assert_eq!(t.stall_write_buffer, s.stalls.write_buffer);
+        assert_eq!(t.tdma_wait, s.stalls.tdma_wait);
+        assert_eq!(t.method_accesses, s.method_cache.accesses);
+        assert_eq!(t.method_hits, s.method_cache.hits);
+        assert_eq!(t.method_misses, s.method_cache.misses);
+        assert_eq!(t.method_transferred_words, s.method_cache.transferred_words);
+        assert_eq!(t.data_accesses, s.data_cache.accesses);
+        assert_eq!(t.static_accesses, s.static_cache.accesses);
+        assert_eq!(t.static_hits, s.static_cache.hits);
+        assert_eq!(t.static_misses, s.static_cache.misses);
+        assert_eq!(t.static_transferred_words, s.static_cache.transferred_words);
+        assert_eq!(t.stack_accesses, s.stack_cache.accesses);
+        assert_eq!(t.stack_hits, s.stack_cache.hits);
+        assert_eq!(t.stack_misses, s.stack_cache.misses);
+        assert_eq!(t.stack_transferred_words, s.stack_cache.transferred_words);
+
+        // Some of everything actually happened.
+        assert!(t.stall_method_cache > 0);
+        assert!(t.stall_static_cache > 0);
+        assert!(t.calls == 1 && t.returns == 1);
+    }
+
+    #[test]
+    fn tdma_wait_events_reconcile_under_cmp() {
+        use patmos_trace::{EventTotals, VecSink};
+        let image = assemble(
+            "        .func main\n        lil r2 = 0x20000\n        ldm [r2 + 0]\n        wres r1\n        halt\n",
+        )
+        .expect("assembles");
+        let cfg = SimConfig {
+            tdma: Some((patmos_mem::TdmaArbiter::new(4, 64), 3)),
+            ..SimConfig::default()
+        };
+        let mut sim = Simulator::new(&image, cfg);
+        let mut sink = VecSink::new();
+        let result = sim.run_traced(&mut sink).expect("runs");
+        let s = result.stats;
+        assert!(s.stalls.tdma_wait > 0, "core 3 waits for its slot");
+        assert_eq!(s.cycles, s.issue_cycles + s.stalls.total());
+        let t = EventTotals::from_events(&sink.events);
+        assert_eq!(t.tdma_wait, s.stalls.tdma_wait);
+        assert_eq!(t.cycles, s.cycles);
     }
 
     #[test]

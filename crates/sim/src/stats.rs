@@ -58,6 +58,10 @@ impl fmt::Display for StallBreakdown {
 pub struct Stats {
     /// Total cycles elapsed.
     pub cycles: u64,
+    /// Cycles spent issuing bundles. Together with the stall breakdown
+    /// this accounts for every cycle of a run exactly:
+    /// `cycles == issue_cycles + stalls.total()`.
+    pub issue_cycles: u64,
     /// Bundles issued.
     pub bundles: u64,
     /// Operations executed with a true guard, excluding `nop`s.
@@ -143,8 +147,10 @@ impl fmt::Display for Stats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(
             f,
-            "{} cycles, {} bundles, {} insts (IPC {:.2}), slot2 {:.0}% raw / {:.0}% active",
+            "{} cycles ({} issue + {} stall), {} bundles, {} insts (IPC {:.2}), slot2 {:.0}% raw / {:.0}% active",
             self.cycles,
+            self.issue_cycles,
+            self.stalls.total(),
             self.bundles,
             self.insts_executed,
             self.ipc(),

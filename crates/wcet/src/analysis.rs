@@ -163,7 +163,7 @@ pub fn analyze(image: &ObjectImage, machine: &Machine) -> Result<WcetReport, Wce
                 Machine::Baseline(config) => model::baseline_block_cost(b, config, &wcet),
             })
             .collect();
-        let bound = ipet(cfg, &costs)?;
+        let (bound, _) = ipet(cfg, &costs)?;
         wcet.insert(cfg.func.start_word, bound);
         per_function.push((cfg.func.name.clone(), bound));
     }
@@ -186,7 +186,7 @@ pub fn analyze(image: &ObjectImage, machine: &Machine) -> Result<WcetReport, Wce
 }
 
 /// Reverse-topological order over the call graph (callees first).
-fn topo_order(cfgs: &[Cfg]) -> Result<Vec<usize>, WcetError> {
+pub(crate) fn topo_order(cfgs: &[Cfg]) -> Result<Vec<usize>, WcetError> {
     let index_of: HashMap<u32, usize> = cfgs
         .iter()
         .enumerate()
@@ -231,7 +231,7 @@ fn topo_order(cfgs: &[Cfg]) -> Result<Vec<usize>, WcetError> {
 }
 
 /// Maximum total frame words along any call-graph path.
-fn max_stack_depth(cfgs: &[Cfg], order: &[usize], frames: &HashMap<u32, u32>) -> u32 {
+pub(crate) fn max_stack_depth(cfgs: &[Cfg], order: &[usize], frames: &HashMap<u32, u32>) -> u32 {
     let index_of: HashMap<u32, usize> = cfgs
         .iter()
         .enumerate()
@@ -255,7 +255,12 @@ fn max_stack_depth(cfgs: &[Cfg], order: &[usize], frames: &HashMap<u32, u32>) ->
 }
 
 /// Solves the IPET linear program for one function.
-fn ipet(cfg: &Cfg, costs: &[u64]) -> Result<u64, WcetError> {
+///
+/// Returns the bound together with the per-block execution counts of
+/// the witnessing worst-case flow (the number of times each block runs
+/// on the path the bound charges for) — the raw material of the
+/// pessimism report.
+pub(crate) fn ipet(cfg: &Cfg, costs: &[u64]) -> Result<(u64, Vec<u64>), WcetError> {
     // Edge variables: a virtual entry edge, every CFG edge, one exit edge
     // per exit block.
     #[derive(Clone, Copy, PartialEq)]
@@ -350,7 +355,19 @@ fn ipet(cfg: &Cfg, costs: &[u64]) -> Result<u64, WcetError> {
     }
 
     match solve(&lp) {
-        LpSolution::Optimal { value, .. } => Ok(value.ceil() as u64),
+        LpSolution::Optimal { value, assignment } => {
+            // Block count = total flow entering the block.
+            let mut counts = vec![0u64; cfg.blocks.len()];
+            for (ei, e) in edges.iter().enumerate() {
+                let flow = assignment.get(ei).copied().unwrap_or(0.0);
+                match e {
+                    Edge::Entry => counts[0] += flow.round() as u64,
+                    Edge::Flow(_, v) => counts[*v] += flow.round() as u64,
+                    Edge::Exit(_) => {}
+                }
+            }
+            Ok((value.ceil() as u64, counts))
+        }
         LpSolution::Infeasible => Err(WcetError::Infeasible {
             name: cfg.func.name.clone(),
         }),

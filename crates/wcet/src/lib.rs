@@ -36,10 +36,12 @@
 
 pub mod cfg;
 pub mod model;
+pub mod pessimism;
 pub mod solver;
 
 mod analysis;
 
 pub use analysis::{analyze, Machine, WcetError, WcetReport};
 pub use cfg::{build_cfg, build_cfgs, Block, Cfg, CfgError};
+pub use pessimism::{pessimism, BlockSlack, PessimismReport};
 pub use solver::{solve, LinearProgram, LpSolution};
