@@ -132,6 +132,18 @@ impl ObjectImage {
         }
     }
 
+    /// Builds an image directly from raw code words and a function
+    /// table — the entry point for binary loaders, and for tests that
+    /// need images the assembler would never emit (e.g. corrupt words).
+    pub fn from_raw(code: Vec<u32>, functions: Vec<FuncInfo>, entry_word: u32) -> ObjectImage {
+        ObjectImage {
+            code,
+            functions,
+            entry_word,
+            ..ObjectImage::default()
+        }
+    }
+
     /// The encoded instruction words.
     pub fn code(&self) -> &[u32] {
         &self.code

@@ -227,6 +227,37 @@ fn bench_e16_trace_overhead(c: &mut Criterion) {
     group.finish();
 }
 
+/// The host-throughput measurement behind the E17 table and the CI
+/// floor: the same image and guest cycles, executed by the reference
+/// interpreter (`fast_path = false`) and by the predecoded fast engine.
+fn bench_e17_host_throughput(c: &mut Criterion) {
+    let opts = CompileOptions {
+        opt_level: 3,
+        sched_level: 2,
+        ..CompileOptions::default()
+    };
+    let w = workloads::matmult();
+    let image = compile(&w.source, &opts).expect("compiles");
+    let mut group = c.benchmark_group("e17_host_throughput");
+    group.bench_function("matmult_reference", |b| {
+        let cfg = SimConfig {
+            fast_path: false,
+            ..SimConfig::default()
+        };
+        b.iter(|| {
+            let mut sim = Simulator::new(&image, cfg.clone());
+            sim.run().expect("runs").stats.cycles
+        })
+    });
+    group.bench_function("matmult_fast_engine", |b| {
+        b.iter(|| {
+            let mut sim = Simulator::new(&image, SimConfig::default());
+            sim.run().expect("runs").stats.cycles
+        })
+    });
+    group.finish();
+}
+
 fn bench_toolchain(c: &mut Criterion) {
     let w = workloads::fir();
     let asm_text =
@@ -262,6 +293,7 @@ criterion_group!(
         bench_e9_stack_cache,
         bench_e10_scheduler,
         bench_e16_trace_overhead,
+        bench_e17_host_throughput,
         bench_toolchain
 );
 criterion_main!(experiments);

@@ -1,0 +1,13 @@
+//! Regenerates experiment E17 (host throughput of the predecoded fast
+//! engine vs the reference interpreter).
+//!
+//! With `--json`, emits the machine-readable measurement document the
+//! perf-trajectory CI job uploads. Wall-clock numbers vary with the
+//! host, so the JSON is a trend artifact, never a pinned baseline.
+fn main() {
+    if std::env::args().any(|a| a == "--json") {
+        print!("{}", patmos_bench::hostperf::host_throughput_json());
+    } else {
+        print!("{}", patmos_bench::hostperf::exp_e17_host_throughput());
+    }
+}

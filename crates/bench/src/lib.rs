@@ -7,6 +7,7 @@
 //! Criterion benches, and the documentation generator share one
 //! implementation.
 
+pub mod hostperf;
 pub mod observe;
 
 use std::fmt::Write as _;
@@ -1367,6 +1368,7 @@ pub fn all_experiments() -> String {
         exp_e14_opt2(),
         exp_e15_pipeline(),
         observe::exp_e16_observability(),
+        hostperf::exp_e17_host_throughput(),
     ]
     .join("\n")
 }

@@ -52,6 +52,7 @@ impl AluOp {
     ///
     /// Shifts use only the low 5 bits of the second operand; `add`/`sub`
     /// wrap, as on the hardware.
+    #[inline]
     pub fn apply(self, a: u32, b: u32) -> u32 {
         match self {
             AluOp::Add => a.wrapping_add(b),
@@ -122,6 +123,7 @@ impl CmpOp {
     }
 
     /// Evaluates the comparison.
+    #[inline]
     pub fn apply(self, a: u32, b: u32) -> bool {
         match self {
             CmpOp::Eq => a == b,
@@ -170,6 +172,7 @@ impl PredOp {
     }
 
     /// Evaluates the combination.
+    #[inline]
     pub fn apply(self, a: bool, b: bool) -> bool {
         match self {
             PredOp::Or => a | b,
@@ -256,12 +259,14 @@ impl Guard {
     }
 
     /// Whether this guard is statically always true.
+    #[inline]
     pub fn is_always(self) -> bool {
         self.pred.is_always_true() && !self.negate
     }
 
     /// Evaluates the guard against a predicate-file snapshot (`preds[i]`
     /// is the value of `p<i>`; `preds[0]` must be `true`).
+    #[inline]
     pub fn eval(self, preds: &[bool; crate::NUM_PREDS]) -> bool {
         preds[self.pred.index() as usize] ^ self.negate
     }
@@ -506,6 +511,7 @@ pub enum FlowKind {
 
 impl Op {
     /// The control-flow effect of this operation.
+    #[inline]
     pub fn flow_kind(&self) -> FlowKind {
         match *self {
             Op::Br { offset } => FlowKind::Branch(offset),
@@ -518,6 +524,7 @@ impl Op {
     }
 
     /// Whether this operation transfers control.
+    #[inline]
     pub fn is_flow(&self) -> bool {
         !matches!(self.flow_kind(), FlowKind::None)
     }
@@ -539,6 +546,7 @@ impl Op {
     }
 
     /// The general-purpose registers read (at most two, `None`-padded).
+    #[inline]
     pub fn uses(&self) -> [Option<Reg>; 2] {
         match *self {
             Op::AluR { rs1, rs2, .. } | Op::Mul { rs1, rs2 } | Op::Cmp { rs1, rs2, .. } => {
@@ -682,6 +690,7 @@ impl Inst {
     /// multiplexer from `IR`), costing one delay bundle. Guarded branches,
     /// indirect calls and returns resolve in the execute stage, costing
     /// two. Non-flow instructions report zero.
+    #[inline]
     pub fn delay_slots(&self) -> u32 {
         match self.op.flow_kind() {
             FlowKind::Branch(_) | FlowKind::CallDirect(_) => {
@@ -875,16 +884,19 @@ impl Bundle {
     }
 
     /// The instruction in the second issue slot, if present.
+    #[inline]
     pub fn second(&self) -> Option<&Inst> {
         self.second.as_ref()
     }
 
     /// Iterates over the occupied slots.
+    #[inline]
     pub fn slots(&self) -> impl Iterator<Item = &Inst> {
         std::iter::once(&self.first).chain(self.second.as_ref())
     }
 
     /// The number of 32-bit words this bundle occupies in memory (1 or 2).
+    #[inline]
     pub fn width_words(&self) -> u32 {
         if self.second.is_some() || matches!(self.first.op, Op::LoadImm32 { .. }) {
             2
@@ -895,12 +907,14 @@ impl Bundle {
 
     /// The control-flow instruction of this bundle, if any (only slot one
     /// may hold one).
+    #[inline]
     pub fn flow_inst(&self) -> Option<&Inst> {
         self.first.op.is_flow().then_some(&self.first)
     }
 
     /// The delay slots exposed after this bundle (zero if it does not
     /// transfer control).
+    #[inline]
     pub fn delay_slots(&self) -> u32 {
         self.flow_inst().map_or(0, Inst::delay_slots)
     }

@@ -53,16 +53,19 @@ impl Reg {
     /// # Panics
     ///
     /// Panics if `index` is not in `0..32`.
+    #[inline]
     pub fn from_index(index: u8) -> Reg {
         Reg::new(index).expect("register index must be in 0..32")
     }
 
     /// The register index, in `0..32`.
+    #[inline]
     pub fn index(self) -> u8 {
         self.0
     }
 
     /// Whether this is `r0`, the hard-wired zero register.
+    #[inline]
     pub fn is_zero(self) -> bool {
         self.0 == 0
     }
@@ -115,16 +118,19 @@ impl Pred {
     /// # Panics
     ///
     /// Panics if `index` is not in `0..8`.
+    #[inline]
     pub fn from_index(index: u8) -> Pred {
         Pred::new(index).expect("predicate index must be in 0..8")
     }
 
     /// The predicate index, in `0..8`.
+    #[inline]
     pub fn index(self) -> u8 {
         self.0
     }
 
     /// Whether this is `p0`, which always reads true.
+    #[inline]
     pub fn is_always_true(self) -> bool {
         self.0 == 0
     }

@@ -5,10 +5,12 @@
 //! `latency + words * cycles_per_word` SDRAM abstraction used throughout
 //! the time-predictable-architecture literature.
 
-use std::collections::HashMap;
+use std::fmt;
 
-const PAGE_SHIFT: u32 = 12;
+const PAGE_SHIFT: u32 = 16;
 const PAGE_SIZE: usize = 1 << PAGE_SHIFT;
+const NUM_PAGES: usize = 1 << (32 - PAGE_SHIFT);
+const OFFSET_MASK: usize = PAGE_SIZE - 1;
 
 /// Timing parameters of the main-memory interface.
 ///
@@ -61,19 +63,54 @@ impl Default for MemConfig {
 ///
 /// Reads of untouched locations return zero, like initialised SRAM in the
 /// FPGA prototype. Addresses wrap within the 32-bit space.
-#[derive(Debug, Clone, Default)]
+///
+/// Storage is a flat page table — one pointer slot per 64 KiB page of
+/// the 32-bit space — so every access is a single bounds-free index
+/// instead of a hash lookup. Pages materialise zero-filled on first
+/// write; the table itself costs half a megabyte per memory instance.
+#[derive(Clone)]
 pub struct MainMemory {
-    pages: HashMap<u32, Box<[u8; PAGE_SIZE]>>,
+    pages: Vec<Option<Box<[u8; PAGE_SIZE]>>>,
     config: MemConfig,
+}
+
+fn zero_page() -> Box<[u8; PAGE_SIZE]> {
+    vec![0u8; PAGE_SIZE]
+        .into_boxed_slice()
+        .try_into()
+        .expect("page-sized allocation")
+}
+
+impl fmt::Debug for MainMemory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("MainMemory")
+            .field(
+                "resident_pages",
+                &self.pages.iter().filter(|p| p.is_some()).count(),
+            )
+            .field("config", &self.config)
+            .finish()
+    }
+}
+
+impl Default for MainMemory {
+    fn default() -> MainMemory {
+        MainMemory::new(MemConfig::default())
+    }
 }
 
 impl MainMemory {
     /// An empty memory with the given timing configuration.
     pub fn new(config: MemConfig) -> MainMemory {
         MainMemory {
-            pages: HashMap::new(),
+            pages: vec![None; NUM_PAGES],
             config,
         }
+    }
+
+    #[inline]
+    fn page_mut(&mut self, addr: u32) -> &mut [u8; PAGE_SIZE] {
+        self.pages[(addr >> PAGE_SHIFT) as usize].get_or_insert_with(zero_page)
     }
 
     /// The timing configuration.
@@ -87,48 +124,76 @@ impl MainMemory {
     }
 
     /// Reads one byte.
+    #[inline]
     pub fn read_byte(&self, addr: u32) -> u8 {
-        match self.pages.get(&(addr >> PAGE_SHIFT)) {
-            Some(page) => page[(addr as usize) & (PAGE_SIZE - 1)],
+        match &self.pages[(addr >> PAGE_SHIFT) as usize] {
+            Some(page) => page[addr as usize & OFFSET_MASK],
             None => 0,
         }
     }
 
     /// Writes one byte.
+    #[inline]
     pub fn write_byte(&mut self, addr: u32, value: u8) {
-        let page = self
-            .pages
-            .entry(addr >> PAGE_SHIFT)
-            .or_insert_with(|| Box::new([0u8; PAGE_SIZE]));
-        page[(addr as usize) & (PAGE_SIZE - 1)] = value;
+        self.page_mut(addr)[addr as usize & OFFSET_MASK] = value;
     }
 
     /// Reads a 16-bit little-endian half-word.
+    #[inline]
     pub fn read_half(&self, addr: u32) -> u16 {
-        u16::from_le_bytes([self.read_byte(addr), self.read_byte(addr.wrapping_add(1))])
+        let off = addr as usize & OFFSET_MASK;
+        if off <= PAGE_SIZE - 2 {
+            match &self.pages[(addr >> PAGE_SHIFT) as usize] {
+                Some(page) => u16::from_le_bytes(page[off..off + 2].try_into().expect("2 bytes")),
+                None => 0,
+            }
+        } else {
+            u16::from_le_bytes([self.read_byte(addr), self.read_byte(addr.wrapping_add(1))])
+        }
     }
 
     /// Writes a 16-bit little-endian half-word.
+    #[inline]
     pub fn write_half(&mut self, addr: u32, value: u16) {
-        let [a, b] = value.to_le_bytes();
-        self.write_byte(addr, a);
-        self.write_byte(addr.wrapping_add(1), b);
+        let off = addr as usize & OFFSET_MASK;
+        if off <= PAGE_SIZE - 2 {
+            self.page_mut(addr)[off..off + 2].copy_from_slice(&value.to_le_bytes());
+        } else {
+            let [a, b] = value.to_le_bytes();
+            self.write_byte(addr, a);
+            self.write_byte(addr.wrapping_add(1), b);
+        }
     }
 
     /// Reads a 32-bit little-endian word.
+    #[inline]
     pub fn read_word(&self, addr: u32) -> u32 {
-        u32::from_le_bytes([
-            self.read_byte(addr),
-            self.read_byte(addr.wrapping_add(1)),
-            self.read_byte(addr.wrapping_add(2)),
-            self.read_byte(addr.wrapping_add(3)),
-        ])
+        let off = addr as usize & OFFSET_MASK;
+        if off <= PAGE_SIZE - 4 {
+            match &self.pages[(addr >> PAGE_SHIFT) as usize] {
+                Some(page) => u32::from_le_bytes(page[off..off + 4].try_into().expect("4 bytes")),
+                None => 0,
+            }
+        } else {
+            u32::from_le_bytes([
+                self.read_byte(addr),
+                self.read_byte(addr.wrapping_add(1)),
+                self.read_byte(addr.wrapping_add(2)),
+                self.read_byte(addr.wrapping_add(3)),
+            ])
+        }
     }
 
     /// Writes a 32-bit little-endian word.
+    #[inline]
     pub fn write_word(&mut self, addr: u32, value: u32) {
-        for (i, b) in value.to_le_bytes().into_iter().enumerate() {
-            self.write_byte(addr.wrapping_add(i as u32), b);
+        let off = addr as usize & OFFSET_MASK;
+        if off <= PAGE_SIZE - 4 {
+            self.page_mut(addr)[off..off + 4].copy_from_slice(&value.to_le_bytes());
+        } else {
+            for (i, b) in value.to_le_bytes().into_iter().enumerate() {
+                self.write_byte(addr.wrapping_add(i as u32), b);
+            }
         }
     }
 

@@ -56,6 +56,10 @@ pub struct SetAssocCache {
     sets: u32,
     ways: u32,
     line_words: u32,
+    /// `log2(line_words * 4)`: address-to-line-number shift.
+    line_shift: u32,
+    /// `log2(sets)`: line-number-to-tag shift.
+    set_shift: u32,
     lines: Vec<Option<Line>>,
     policy: ReplacementPolicy,
     clock: u64,
@@ -81,6 +85,8 @@ impl SetAssocCache {
             sets,
             ways,
             line_words,
+            line_shift: (line_words * 4).trailing_zeros(),
+            set_shift: sets.trailing_zeros(),
             lines: vec![None; (sets * ways) as usize],
             policy,
             clock: 0,
@@ -110,11 +116,14 @@ impl SetAssocCache {
         self.stats = CacheStats::new();
     }
 
+    /// Splits an address into (set, tag). `sets` and `line_words` are
+    /// powers of two (asserted in `new`), so this is shifts and a mask —
+    /// no division on the per-access path.
+    #[inline]
     fn line_index(&self, addr: u32) -> (usize, u32) {
-        let line_bytes = self.line_words * 4;
-        let line_addr = addr / line_bytes;
+        let line_addr = addr >> self.line_shift;
         let set = line_addr & (self.sets - 1);
-        let tag = line_addr / self.sets;
+        let tag = line_addr >> self.set_shift;
         (set as usize, tag)
     }
 

@@ -8,6 +8,7 @@
 //! patmos-cli asm     <file.pasm>
 //! patmos-cli disasm  <file.pasm | file.patc>
 //! patmos-cli run     <file.pasm | file.patc> [--single-issue] [--non-strict] [--stats]
+//!                                [--host-stats] [--slow-path]
 //!                                [--opt-level N] [--sched-level N]
 //!                                [--dump-lir] [--dump-opt] [--dump-cfg] [--dump-loops]
 //!                                [--dump-sched] [--dump-pipeline]
@@ -40,7 +41,11 @@
 //! prologue/kernel/epilogue bundle counts). `--stats` extends `run`
 //! with the full counter set, including the per-cause stall breakdown,
 //! executed stack-cache operations, and — for `.patc` inputs — the
-//! static loops-unrolled/loops-pipelined counts.
+//! static loops-unrolled/loops-pipelined counts. `--host-stats` extends
+//! `run` with host-side throughput: wall-clock time, simulated cycles
+//! per host second, and the fast-path/predecoded coverage of the
+//! simulator's tiered engine; `--slow-path` forces the reference
+//! interpreter (guest cycles are bit-identical either way).
 //!
 //! `profile` runs the program under the structured tracer and folds
 //! every retired bundle and attributed stall onto functions and
@@ -83,6 +88,8 @@ struct Args {
     dump_sched: bool,
     dump_pipeline: bool,
     stats: bool,
+    host_stats: bool,
+    slow_path: bool,
     remarks: bool,
     json: bool,
     chrome: Option<String>,
@@ -96,8 +103,8 @@ fn usage() -> ExitCode {
         "usage: patmos-cli <compile|asm|disasm|run|wcet|profile> <file.patc|file.pasm> \
          [--single-path] [--no-if-convert] [--single-issue] [--non-strict] [--opt-level N] \
          [--sched-level N] [--dump-lir] [--dump-opt] [--dump-cfg] [--dump-loops] [--dump-sched] \
-         [--dump-pipeline] [--stats] [--remarks] [--json] [--chrome <out.json>] [--cores N] \
-         [--slot-cycles N] [--pessimism]"
+         [--dump-pipeline] [--stats] [--host-stats] [--slow-path] [--remarks] [--json] \
+         [--chrome <out.json>] [--cores N] [--slot-cycles N] [--pessimism]"
     );
     ExitCode::from(2)
 }
@@ -120,6 +127,8 @@ fn parse_args() -> Option<Args> {
         dump_sched: false,
         dump_pipeline: false,
         stats: false,
+        host_stats: false,
+        slow_path: false,
         remarks: false,
         json: false,
         chrome: None,
@@ -155,6 +164,8 @@ fn parse_args() -> Option<Args> {
             "--dump-sched" => args.dump_sched = true,
             "--dump-pipeline" => args.dump_pipeline = true,
             "--stats" => args.stats = true,
+            "--host-stats" => args.host_stats = true,
+            "--slow-path" => args.slow_path = true,
             "--remarks" => args.remarks = true,
             "--json" => args.json = true,
             "--pessimism" => args.pessimism = true,
@@ -433,10 +444,13 @@ fn cmd_run(args: &Args) -> Result<(), String> {
     let config = SimConfig {
         dual_issue: !args.single_issue,
         strict: !args.non_strict,
+        fast_path: !args.slow_path,
         ..SimConfig::default()
     };
-    let mut core = Simulator::new(&image, config);
+    let mut core = Simulator::try_new(&image, config).map_err(|e| e.to_string())?;
+    let started = std::time::Instant::now();
     core.run().map_err(|e| e.to_string())?;
+    let wall = started.elapsed();
     let stats = core.stats();
     println!("result (r1)      = {}", core.reg(patmos::isa::Reg::R1));
     println!("cycles           = {}", stats.cycles);
@@ -491,6 +505,34 @@ fn cmd_run(args: &Args) -> Result<(), String> {
             );
         }
     }
+    if args.host_stats {
+        let host = core.host_stats();
+        let secs = wall.as_secs_f64();
+        println!("--- host throughput ---");
+        println!(
+            "engine           = {}",
+            if args.slow_path {
+                "reference (--slow-path)"
+            } else {
+                "fast"
+            }
+        );
+        println!("wall time        = {:.3} ms", secs * 1e3);
+        println!(
+            "host throughput  = {:.1} M simulated cycles/s",
+            stats.cycles as f64 / secs / 1e6
+        );
+        println!(
+            "fast-path cover  = {:.1}% of cycles ({} bundles)",
+            host.fast_coverage(stats.cycles) * 100.0,
+            host.fast_bundles
+        );
+        println!(
+            "predecoded cover = {:.1}% of cycles ({} bundles)",
+            host.predecoded_coverage(stats.cycles) * 100.0,
+            host.fast_bundles + host.pre_bundles
+        );
+    }
     Ok(())
 }
 
@@ -518,7 +560,7 @@ fn cmd_profile(args: &Args) -> Result<(), String> {
             streams.push((res.core, sink));
         }
     } else {
-        let mut core = Simulator::new(&image, config);
+        let mut core = Simulator::try_new(&image, config).map_err(|e| e.to_string())?;
         let mut sink = patmos::trace::VecSink::new();
         core.run_traced(&mut sink).map_err(|e| e.to_string())?;
         streams.push((0, sink));
@@ -558,7 +600,7 @@ fn cmd_profile(args: &Args) -> Result<(), String> {
 /// Prints the per-block pessimism breakdown: the IPET bound's charges
 /// joined against a traced run, loosest blocks first.
 fn print_pessimism(image: &ObjectImage) -> Result<(), String> {
-    let mut core = Simulator::new(image, SimConfig::default());
+    let mut core = Simulator::try_new(image, SimConfig::default()).map_err(|e| e.to_string())?;
     let mut sink = patmos::trace::VecSink::new();
     core.run_traced(&mut sink).map_err(|e| e.to_string())?;
     let mut measured: std::collections::HashMap<u32, u64> = std::collections::HashMap::new();
@@ -605,7 +647,7 @@ fn print_pessimism(image: &ObjectImage) -> Result<(), String> {
 
 fn cmd_wcet(args: &Args) -> Result<(), String> {
     let image = load_image(args)?;
-    let mut core = Simulator::new(&image, SimConfig::default());
+    let mut core = Simulator::try_new(&image, SimConfig::default()).map_err(|e| e.to_string())?;
     core.run().map_err(|e| e.to_string())?;
     let observed = core.stats().cycles;
     let report =

@@ -9,7 +9,9 @@
 //! other cores' behaviour. Each core can therefore be simulated — and
 //! analysed — in isolation with its TDMA-adjusted memory costs, which is
 //! exactly what this module does, and exactly why per-core WCET analysis
-//! stays tractable (experiment E8).
+//! stays tractable (experiment E8). The same composability makes the
+//! host-side simulation embarrassingly parallel: cores run on separate
+//! `std::thread` workers with bit-identical per-core results.
 
 use patmos_asm::ObjectImage;
 use patmos_mem::TdmaArbiter;
@@ -72,47 +74,74 @@ impl CmpSystem {
         cfg
     }
 
+    /// Runs `f` for every core on its own `std::thread` worker and
+    /// collects the outcomes in core order.
+    ///
+    /// This is sound *because* of the TDMA schedule: the arbiter is a
+    /// pure function of `(core, cycle)` with no shared mutable state, so
+    /// each core's timing is independent of when — or on which host
+    /// thread — the other cores are simulated. The merge is
+    /// deterministic: results are joined in core index order, so the
+    /// first failing core's error is returned exactly as it would be by
+    /// a sequential loop.
+    fn run_cores<T, F>(&self, f: F) -> Result<Vec<T>, SimError>
+    where
+        T: Send,
+        F: Fn(u32) -> Result<T, SimError> + Sync,
+    {
+        let f = &f;
+        let outcomes = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..self.arbiter.cores())
+                .map(|core| s.spawn(move || f(core)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("core worker panicked"))
+                .collect::<Vec<_>>()
+        });
+        outcomes.into_iter().collect()
+    }
+
     /// Runs the same image on every core and collects per-core results.
     ///
     /// Thanks to the static TDMA schedule the cores are timing-composable
-    /// and can be executed sequentially without losing cycle accuracy.
+    /// and are executed on parallel host threads without losing cycle
+    /// accuracy.
     ///
     /// # Errors
     ///
-    /// Returns the first core's [`SimError`], if any.
+    /// Returns the lowest-index failing core's [`SimError`], if any.
     pub fn run_all(&self, image: &ObjectImage) -> Result<Vec<CmpResult>, SimError> {
-        (0..self.arbiter.cores())
-            .map(|core| {
-                let mut sim = Simulator::new(image, self.core_config(core));
-                Ok(CmpResult {
-                    core,
-                    result: sim.run()?,
-                })
+        self.run_cores(|core| {
+            let mut sim = Simulator::new(image, self.core_config(core));
+            Ok(CmpResult {
+                core,
+                result: sim.run()?,
             })
-            .collect()
+        })
     }
 
     /// Runs the same image on every core, recording each core's full
-    /// event stream alongside its result.
+    /// event stream alongside its result. Cores run on parallel host
+    /// threads; each stream is private to its core, so the merged output
+    /// is identical to a sequential run.
     ///
     /// # Errors
     ///
-    /// Returns the first core's [`SimError`], if any.
+    /// Returns the lowest-index failing core's [`SimError`], if any.
     pub fn run_all_traced(
         &self,
         image: &ObjectImage,
     ) -> Result<Vec<(CmpResult, VecSink)>, SimError> {
-        (0..self.arbiter.cores())
-            .map(|core| {
-                let mut sim = Simulator::new(image, self.core_config(core));
-                let mut sink = VecSink::new();
-                let result = sim.run_traced(&mut sink)?;
-                Ok((CmpResult { core, result }, sink))
-            })
-            .collect()
+        self.run_cores(|core| {
+            let mut sim = Simulator::new(image, self.core_config(core));
+            let mut sink = VecSink::new();
+            let result = sim.run_traced(&mut sink)?;
+            Ok((CmpResult { core, result }, sink))
+        })
     }
 
-    /// Runs a different image on each core.
+    /// Runs a different image on each core, in parallel.
     ///
     /// # Panics
     ///
@@ -120,25 +149,20 @@ impl CmpSystem {
     ///
     /// # Errors
     ///
-    /// Returns the first core's [`SimError`], if any.
+    /// Returns the lowest-index failing core's [`SimError`], if any.
     pub fn run_each(&self, images: &[&ObjectImage]) -> Result<Vec<CmpResult>, SimError> {
         assert_eq!(
             images.len() as u32,
             self.arbiter.cores(),
             "one image per core"
         );
-        images
-            .iter()
-            .enumerate()
-            .map(|(core, image)| {
-                let core = core as u32;
-                let mut sim = Simulator::new(image, self.core_config(core));
-                Ok(CmpResult {
-                    core,
-                    result: sim.run()?,
-                })
+        self.run_cores(|core| {
+            let mut sim = Simulator::new(images[core as usize], self.core_config(core));
+            Ok(CmpResult {
+                core,
+                result: sim.run()?,
             })
-            .collect()
+        })
     }
 }
 
@@ -197,5 +221,43 @@ mod tests {
     #[should_panic(expected = "does not fit")]
     fn undersized_slots_rejected() {
         let _ = CmpSystem::new(SimConfig::default(), 2, 2);
+    }
+
+    #[test]
+    fn parallel_cores_match_sequential_per_core_runs() {
+        let image = memory_heavy_image();
+        let cmp = CmpSystem::new(SimConfig::default(), 4, 64);
+        let parallel = cmp.run_all(&image).expect("runs");
+        assert_eq!(parallel.len(), 4);
+        for r in &parallel {
+            // The reference: this core simulated alone, sequentially,
+            // on the reference engine.
+            let mut alone = Simulator::new(
+                &image,
+                SimConfig {
+                    fast_path: false,
+                    ..cmp.core_config(r.core)
+                },
+            );
+            let seq = alone.run().expect("runs");
+            assert_eq!(r.result.stats, seq.stats, "core {}", r.core);
+            assert_eq!(r.result.halt_pc, seq.halt_pc, "core {}", r.core);
+        }
+    }
+
+    #[test]
+    fn parallel_traced_streams_match_sequential_streams() {
+        let image = memory_heavy_image();
+        let cmp = CmpSystem::new(SimConfig::default(), 4, 64);
+        let traced = cmp.run_all_traced(&image).expect("runs");
+        let plain = cmp.run_all(&image).expect("runs");
+        for ((r, sink), p) in traced.iter().zip(&plain) {
+            assert_eq!(r.result.stats, p.result.stats, "core {}", r.core);
+            let mut alone = Simulator::new(&image, cmp.core_config(r.core));
+            let mut alone_sink = VecSink::new();
+            let alone_result = alone.run_traced(&mut alone_sink).expect("runs");
+            assert_eq!(r.result.stats, alone_result.stats, "core {}", r.core);
+            assert_eq!(sink.events, alone_sink.events, "core {}", r.core);
+        }
     }
 }

@@ -58,6 +58,12 @@ pub struct SimConfig {
     pub tdma: Option<(TdmaArbiter, u32)>,
     /// Abort after this many cycles (guards against runaway programs).
     pub max_cycles: u64,
+    /// Use the predecoded-bundle/fast-path execution engine for untraced
+    /// runs (guest-cycle identical; purely a host-speed switch). `false`
+    /// forces the reference per-cycle interpreter everywhere — the
+    /// baseline the host-throughput experiments compare against. Traced
+    /// runs always take the reference path regardless of this flag.
+    pub fast_path: bool,
 }
 
 impl Default for SimConfig {
@@ -77,6 +83,7 @@ impl Default for SimConfig {
             mem: MemConfig::default(),
             tdma: None,
             max_cycles: 200_000_000,
+            fast_path: true,
         }
     }
 }
@@ -91,6 +98,7 @@ mod tests {
         assert!(cfg.dual_issue);
         assert!(cfg.strict);
         assert!(cfg.tdma.is_none());
+        assert!(cfg.fast_path);
     }
 
     #[test]

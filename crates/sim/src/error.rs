@@ -67,6 +67,12 @@ pub enum SimError {
         /// The configured limit.
         limit: u64,
     },
+    /// The loaded image does not decode into bundles (a corrupt or
+    /// hand-forged code section — assembler output always decodes).
+    MalformedImage {
+        /// The decoder's description of the first undecodable word.
+        reason: String,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -101,6 +107,9 @@ impl fmt::Display for SimError {
             }
             SimError::MaxCyclesExceeded { limit } => {
                 write!(f, "exceeded the cycle budget of {limit}")
+            }
+            SimError::MalformedImage { reason } => {
+                write!(f, "image does not decode: {reason}")
             }
         }
     }

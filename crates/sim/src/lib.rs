@@ -26,6 +26,14 @@
 //! hardware would deliver — turning the ISA contract into an executable
 //! check for the compiler.
 //!
+//! Untraced runs execute on a host-side fast engine — predecoded bundles
+//! whose lifetime is keyed to the method cache's own fills and
+//! evictions, plus a basic-block fast path for stall-free bundle runs —
+//! that is bit-identical in guest cycles, [`Stats`], and results to the
+//! reference interpreter ([`SimConfig::fast_path`] `= false` forces the
+//! latter; tracing always uses it). [`Simulator::host_stats`] reports
+//! how much work each engine tier retired ([`HostStats`]).
+//!
 //! # Example
 //!
 //! ```
@@ -50,5 +58,5 @@ mod stats;
 pub use cmp::{CmpResult, CmpSystem};
 pub use config::{CacheParams, SimConfig};
 pub use error::SimError;
-pub use machine::{RunResult, Simulator};
+pub use machine::{HostStats, RunResult, Simulator};
 pub use stats::{StallBreakdown, Stats};
