@@ -658,6 +658,7 @@ const OPT_BASELINE_JSON: &str = include_str!("../baselines/opt_cycles.json");
 const SCHED_BASELINE_JSON: &str = include_str!("../baselines/sched_cycles.json");
 const OPT2_BASELINE_JSON: &str = include_str!("../baselines/opt2_cycles.json");
 const OPT3_BASELINE_JSON: &str = include_str!("../baselines/opt3_cycles.json");
+const REGALLOC2_BASELINE_JSON: &str = include_str!("../baselines/regalloc2_cycles.json");
 
 fn json_field(section: &str, key: &str) -> u64 {
     let marker = format!("\"{key}\":");
@@ -1348,6 +1349,217 @@ pub fn opt3_baseline_json() -> String {
     out
 }
 
+/// One kernel's entry in the checked-in register-policy baseline
+/// (`baselines/regalloc2_cycles.json`): the loop-aware allocation
+/// policy (`--reg-policy loop`) against the default linear scan, both
+/// at the full `opt3/sched2` pipeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Regalloc2Baseline {
+    /// Kernel name.
+    pub name: String,
+    /// Cycles under linear scan (identical to `opt3_cycles` in
+    /// `opt3_cycles.json` — the policy interface reproduces the
+    /// historical allocator bit for bit).
+    pub linear_cycles: u64,
+    /// Cycles under the loop-aware policy.
+    pub loop_cycles: u64,
+    /// Modulo-scheduler renames under linear scan (worst-case
+    /// renaming: every renameable kernel def).
+    pub linear_renames: u64,
+    /// Modulo-scheduler renames under the loop-aware policy
+    /// (reuse-aware: only registers the allocator actually reused).
+    pub loop_renames: u64,
+}
+
+/// Parses the checked-in register-policy baseline.
+pub fn regalloc2_baseline() -> Vec<Regalloc2Baseline> {
+    kernel_sections(REGALLOC2_BASELINE_JSON)
+        .into_iter()
+        .map(|(name, section)| Regalloc2Baseline {
+            name,
+            linear_cycles: json_field(section, "linear_cycles"),
+            loop_cycles: json_field(section, "loop_cycles"),
+            linear_renames: json_field(section, "linear_renames"),
+            loop_renames: json_field(section, "loop_renames"),
+        })
+        .collect()
+}
+
+/// Measured register-policy numbers for one kernel at `opt3/sched2`:
+/// what [`regalloc2_baseline`] pins, plus the spill and unroll
+/// footprint the E18 table and the CI artifact report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Regalloc2Measure {
+    /// Cycles under linear scan.
+    pub linear_cycles: u64,
+    /// Cycles under the loop-aware policy.
+    pub loop_cycles: u64,
+    /// Modulo renames under linear scan.
+    pub linear_renames: u64,
+    /// Modulo renames under the loop-aware policy.
+    pub loop_renames: u64,
+    /// Pure pressure spills under linear scan.
+    pub linear_spills: u64,
+    /// Pure pressure spills under the loop-aware policy.
+    pub loop_spills: u64,
+    /// Loops the unroller rewrote under linear scan.
+    pub linear_unrolls: u64,
+    /// Loops the unroller rewrote under the loop-aware policy (its
+    /// liveness-based pressure estimate admits wide-but-shallow
+    /// bodies the distinct-register proxy refuses).
+    pub loop_unrolls: u64,
+}
+
+fn policy_options(policy: patmos::Policy) -> CompileOptions {
+    CompileOptions {
+        opt_level: 3,
+        sched_level: 2,
+        reg_policy: policy,
+        ..CompileOptions::default()
+    }
+}
+
+/// Measures one kernel under both allocation policies at `opt3/sched2`.
+pub fn measure_regalloc2_kernel(source: &str) -> Regalloc2Measure {
+    use patmos::compiler::compile_with_artifacts;
+    use patmos::Policy;
+
+    let linear = policy_options(Policy::Linear);
+    let looped = policy_options(Policy::Loop);
+    let (r_lin, s_lin) = run_patc(source, &linear, SimConfig::default());
+    let (r_loop, s_loop) = run_patc(source, &looped, SimConfig::default());
+    assert_eq!(
+        r_lin, r_loop,
+        "the two allocation policies disagree on the kernel's result"
+    );
+    let a_lin = compile_with_artifacts(source, &linear).expect("kernel compiles");
+    let a_loop = compile_with_artifacts(source, &looped).expect("kernel compiles");
+    let renames = |a: &patmos::compiler::CompileArtifacts| {
+        a.sched
+            .as_ref()
+            .map_or(0, |r| r.total_modulo_renames() as u64)
+    };
+    let unrolls = |a: &patmos::compiler::CompileArtifacts| {
+        a.opt.as_ref().map_or(0, |r| r.unrolls.len() as u64)
+    };
+    Regalloc2Measure {
+        linear_cycles: s_lin.cycles,
+        loop_cycles: s_loop.cycles,
+        linear_renames: renames(&a_lin),
+        loop_renames: renames(&a_loop),
+        linear_spills: a_lin.allocation.total_pressure_spills() as u64,
+        loop_spills: a_loop.allocation.total_pressure_spills() as u64,
+        linear_unrolls: unrolls(&a_lin),
+        loop_unrolls: unrolls(&a_loop),
+    }
+}
+
+/// E18 — constraint-driven register allocation: the loop-aware policy
+/// against linear scan across the kernel suite at `opt3/sched2` —
+/// cycles, modulo-rename footprint (worst-case vs reuse-aware), pure
+/// pressure spills and unroller decisions under each policy's pressure
+/// estimate.
+pub fn exp_e18_regalloc2() -> String {
+    let mut out = String::new();
+    writeln!(
+        out,
+        "E18: loop-aware register allocation (--reg-policy loop) vs linear scan (opt3/sched2)"
+    )
+    .ok();
+    writeln!(
+        out,
+        "{:<12} {:>10} {:>10} {:>9} {:>13} {:>13} {:>13}",
+        "kernel", "lin cyc", "loop cyc", "speedup", "renames l/l", "spills l/l", "unrolls l/l"
+    )
+    .ok();
+    let mut pairs = Vec::new();
+    let mut renames_lin = 0u64;
+    let mut renames_loop = 0u64;
+    for entry in &regalloc2_baseline() {
+        let w = workloads::by_name(&entry.name)
+            .unwrap_or_else(|| panic!("baseline kernel `{}` no longer exists", entry.name));
+        let m = measure_regalloc2_kernel(&w.source);
+        pairs.push((m.linear_cycles, m.loop_cycles));
+        renames_lin += m.linear_renames;
+        renames_loop += m.loop_renames;
+        writeln!(
+            out,
+            "{:<12} {:>10} {:>10} {:>8.2}x {:>6}/{:<6} {:>6}/{:<6} {:>6}/{:<6}",
+            entry.name,
+            m.linear_cycles,
+            m.loop_cycles,
+            m.linear_cycles as f64 / m.loop_cycles as f64,
+            m.linear_renames,
+            m.loop_renames,
+            m.linear_spills,
+            m.loop_spills,
+            m.linear_unrolls,
+            m.loop_unrolls,
+        )
+        .ok();
+    }
+    writeln!(
+        out,
+        "geomean speedup {:.2}x; suite modulo renames {} (linear) -> {} (loop)",
+        geomean_speedup(&pairs),
+        renames_lin,
+        renames_loop
+    )
+    .ok();
+    out
+}
+
+/// Re-emits the register-policy baseline JSON from fresh measurements.
+pub fn regalloc2_baseline_json() -> String {
+    let mut out = String::new();
+    out.push_str("{\n  \"schema\": \"patmos-bench/regalloc2-baseline/v1\",\n");
+    out.push_str(
+        "  \"description\": \"Per-kernel cycle counts and modulo-scheduler rename counts at opt_level 3 / sched_level 2 under both register-allocation policies: linear (the historical linear scan, equal to opt3_cycles in opt3_cycles.json) and loop (loop-aware allocation: round-robin assignment inside hot loops, preheader-hoisted caller-saves and invariant reloads, reuse-aware modulo renaming, liveness-based unroll pressure). Regenerate with: cargo run -p patmos-bench --bin exp_e18_regalloc2 -- --json\",\n",
+    );
+    out.push_str("  \"kernels\": {\n");
+    let entries: Vec<String> = workloads::all()
+        .iter()
+        .map(|w| {
+            let m = measure_regalloc2_kernel(&w.source);
+            format!(
+                "    \"{}\": {{\n      \"linear_cycles\": {},\n      \"loop_cycles\": {},\n      \"linear_renames\": {},\n      \"loop_renames\": {}\n    }}",
+                w.name, m.linear_cycles, m.loop_cycles, m.linear_renames, m.loop_renames
+            )
+        })
+        .collect();
+    out.push_str(&entries.join(",\n"));
+    out.push_str("\n  }\n}\n");
+    out
+}
+
+/// The per-kernel spill/rename footprint of both policies as a JSON
+/// document — the CI perf-trajectory job uploads this next to the
+/// cycle baselines.
+pub fn regalloc2_footprint_json() -> String {
+    let mut out = String::new();
+    out.push_str("{\n  \"schema\": \"patmos-bench/regalloc2-footprint/v1\",\n");
+    out.push_str("  \"kernels\": {\n");
+    let entries: Vec<String> = workloads::all()
+        .iter()
+        .map(|w| {
+            let m = measure_regalloc2_kernel(&w.source);
+            format!(
+                "    \"{}\": {{\n      \"linear_spills\": {},\n      \"loop_spills\": {},\n      \"linear_renames\": {},\n      \"loop_renames\": {},\n      \"linear_unrolls\": {},\n      \"loop_unrolls\": {}\n    }}",
+                w.name,
+                m.linear_spills,
+                m.loop_spills,
+                m.linear_renames,
+                m.loop_renames,
+                m.linear_unrolls,
+                m.loop_unrolls
+            )
+        })
+        .collect();
+    out.push_str(&entries.join(",\n"));
+    out.push_str("\n  }\n}\n");
+    out
+}
+
 /// Runs every experiment and concatenates the reports.
 pub fn all_experiments() -> String {
     [
@@ -1369,6 +1581,7 @@ pub fn all_experiments() -> String {
         exp_e15_pipeline(),
         observe::exp_e16_observability(),
         hostperf::exp_e17_host_throughput(),
+        exp_e18_regalloc2(),
     ]
     .join("\n")
 }
@@ -1789,6 +2002,155 @@ mod tests {
         assert!(
             utilisation >= 0.25,
             "suite dual-issue utilisation {utilisation:.3} fell below the 0.25 floor"
+        );
+    }
+
+    #[test]
+    fn e18_regalloc2_baseline_file_matches_current_measurements() {
+        // Both policies are deterministic; any drift means the
+        // checked-in trajectory is stale. Regenerate with:
+        //   cargo run -p patmos-bench --bin exp_e18_regalloc2 -- --json \
+        //     > crates/bench/baselines/regalloc2_cycles.json
+        let baseline = regalloc2_baseline();
+        let suite = workloads::all();
+        assert_eq!(
+            baseline.len(),
+            suite.len(),
+            "every kernel of the suite must be recorded in regalloc2_cycles.json"
+        );
+        for entry in &baseline {
+            let w = workloads::by_name(&entry.name)
+                .unwrap_or_else(|| panic!("baseline kernel `{}` no longer exists", entry.name));
+            let m = measure_regalloc2_kernel(&w.source);
+            assert_eq!(
+                (
+                    m.linear_cycles,
+                    m.loop_cycles,
+                    m.linear_renames,
+                    m.loop_renames
+                ),
+                (
+                    entry.linear_cycles,
+                    entry.loop_cycles,
+                    entry.linear_renames,
+                    entry.loop_renames
+                ),
+                "{}: baselines/regalloc2_cycles.json is stale; regenerate it",
+                entry.name
+            );
+        }
+    }
+
+    #[test]
+    fn e18_linear_side_preserves_the_opt3_trajectory_exactly() {
+        // The `Constraints`-driven entry point with the default linear
+        // policy must be the historical allocator bit for bit: its
+        // cycle column equals opt3_cycles.json's `opt3_cycles` — and
+        // through that file's own cross-pins, every pinned level of
+        // the trajectory.
+        let opt3 = opt3_baseline();
+        for entry in regalloc2_baseline() {
+            let o = opt3
+                .iter()
+                .find(|o| o.name == entry.name)
+                .unwrap_or_else(|| panic!("`{}` missing from opt3_cycles.json", entry.name));
+            assert_eq!(
+                entry.linear_cycles, o.opt3_cycles,
+                "{}: linear scan under the policy interface must reproduce the opt3 pipeline",
+                entry.name
+            );
+        }
+    }
+
+    #[test]
+    fn e18_loop_policy_never_regresses_a_kernel() {
+        let baseline = regalloc2_baseline();
+        let mut lin = 0u64;
+        let mut lp = 0u64;
+        for e in &baseline {
+            assert!(
+                e.loop_cycles <= e.linear_cycles,
+                "{}: the loop-aware policy made the kernel slower ({} -> {})",
+                e.name,
+                e.linear_cycles,
+                e.loop_cycles
+            );
+            lin += e.linear_cycles;
+            lp += e.loop_cycles;
+        }
+        assert!(
+            lp < lin,
+            "the loop-aware policy must win somewhere on the suite: {lin} -> {lp}"
+        );
+    }
+
+    #[test]
+    fn e18_loop_policy_eliminates_modulo_renaming() {
+        // The tentpole's headline: with loop-aware assignment the
+        // modulo scheduler finds no genuinely reused registers to
+        // rename — worst-case renaming (21 defs across the suite under
+        // linear scan at the time of pinning) drops to zero.
+        let baseline = regalloc2_baseline();
+        let linear: u64 = baseline.iter().map(|e| e.linear_renames).sum();
+        let looped: u64 = baseline.iter().map(|e| e.loop_renames).sum();
+        assert!(
+            linear > 0,
+            "linear scan must still exercise worst-case renaming somewhere"
+        );
+        assert_eq!(
+            looped, 0,
+            "reuse-aware renaming under the loop policy must find nothing to rename"
+        );
+    }
+
+    #[test]
+    fn e18_liveness_pressure_estimate_admits_a_refused_unroll() {
+        // The loop policy's `MaxLive` estimate accepts at least one
+        // wide-but-shallow body the linear policy's distinct-register
+        // proxy refuses (spmfilter's filter loop at the time of
+        // pinning).
+        let more = workloads::all().iter().any(|w| {
+            let m = measure_regalloc2_kernel(&w.source);
+            m.loop_unrolls > m.linear_unrolls
+        });
+        assert!(
+            more,
+            "no kernel gained an unroll under the liveness-based pressure estimate"
+        );
+    }
+
+    #[test]
+    fn e18_spill_accounting_separates_pressure_from_call_saves() {
+        use patmos::compiler::{compile_with_artifacts, CompileOptions};
+        // The corrected `AllocReport` accounting: a value saved around
+        // a call is `call_saved`, not a pressure spill — the old
+        // report double-counted such refills into both columns.
+        // callchain's seven call-crossing values are exactly that;
+        // fir8, the suite's pressure kernel, keeps every value in
+        // registers under both columns.
+        let opts = CompileOptions {
+            opt_level: 3,
+            sched_level: 2,
+            ..CompileOptions::default()
+        };
+        let chain = compile_with_artifacts(&workloads::by_name("callchain").unwrap().source, &opts)
+            .expect("callchain compiles");
+        assert_eq!(chain.allocation.total_call_saved(), 7);
+        assert_eq!(
+            chain.allocation.total_pressure_spills(),
+            0,
+            "call-crossing saves must not be double-counted as pressure spills"
+        );
+        let fir8 = compile_with_artifacts(&workloads::pressure_fir8().source, &opts)
+            .expect("fir8 compiles");
+        assert_eq!(
+            (
+                fir8.allocation.total_pressure_spills(),
+                fir8.allocation.total_call_saved(),
+                fir8.allocation.total_frame_words()
+            ),
+            (0, 0, 0),
+            "fir8's eight-tap window must fit the pool with no spill traffic"
         );
     }
 

@@ -72,7 +72,7 @@ mod srcmap;
 pub use ast::{BinOp, Expr, Function, Global, MemQualifier, Program, Stmt, UnOp};
 pub use codegen::CodegenError;
 pub use parser::{parse, ParseError};
-pub use patmos_regalloc::{AllocError, AllocReport};
+pub use patmos_regalloc::{AllocError, AllocReport, Constraints, Policy, RegisterInfo};
 pub use srcmap::{LoopSpan, SourceMap};
 
 use patmos_asm::ObjectImage;
@@ -118,6 +118,14 @@ pub struct CompileOptions {
     /// the loop's literal bound and step, so in single-path mode
     /// level 2 falls back to the level-1 behaviour.
     pub sched_level: u8,
+    /// Register-allocation policy: [`Policy::Linear`] (the default)
+    /// reproduces the historical linear scan bit for bit at every
+    /// opt/sched level; [`Policy::Loop`] allocates loop-aware —
+    /// round-robin assignment inside hot loops (shrinking the modulo
+    /// scheduler's renaming), caller-saves and invariant reloads
+    /// hoisted to preheaders — and switches the unroller to the
+    /// liveness-based pressure estimate.
+    pub reg_policy: Policy,
 }
 
 impl Default for CompileOptions {
@@ -132,7 +140,18 @@ impl Default for CompileOptions {
             single_path: false,
             opt_level: 2,
             sched_level: 1,
+            reg_policy: Policy::default(),
         }
+    }
+}
+
+impl CompileOptions {
+    /// The allocation constraints these options select: the Patmos
+    /// register file under [`CompileOptions::reg_policy`]. Threaded to
+    /// [`patmos_regalloc::regalloc`] and, via
+    /// [`Constraints::pressure_estimate`], to the unroller.
+    pub fn constraints(&self) -> Constraints {
+        Constraints::for_policy(self.reg_policy)
     }
 }
 
@@ -188,6 +207,7 @@ fn opt_config(options: &CompileOptions, trace: bool) -> patmos_opt::OptConfig {
         shape_stable: options.single_path,
         trace,
         level: options.opt_level,
+        pressure: options.constraints().pressure_estimate(),
     }
 }
 
@@ -207,6 +227,10 @@ fn run_scheduler(
             // bound and step — not shape-stable, so single-path mode
             // keeps the plain DAG scheduler.
             pipeline: options.sched_level >= 2 && !options.single_path,
+            // Under the loop-aware policy the allocator's assignments
+            // already separate iteration-local values, so the renamer
+            // trusts them and renames only genuinely reused registers.
+            reuse_renaming: options.reg_policy == Policy::Loop,
         };
         let (module, report) = patmos_sched::schedule_with_report(lir, &sched_options);
         (module, Some(report))
@@ -227,7 +251,7 @@ pub fn compile_to_asm(source: &str, options: &CompileOptions) -> Result<String, 
         let report = patmos_opt::optimize_with(&mut vlir, opt_config(options, false));
         srcmap.apply_inlines(&report.inlines);
     }
-    let (lir, _) = patmos_regalloc::allocate(&vlir)?;
+    let (lir, _) = patmos_regalloc::regalloc(&options.constraints(), &vlir)?;
     let (scheduled, _) = run_scheduler(lir, options);
     Ok(sched::emit_with_map(&scheduled, &srcmap))
 }
@@ -273,7 +297,7 @@ pub fn compile_with_artifacts(
         srcmap.apply_inlines(&report.inlines);
     }
     let rendered = vlir.render();
-    let (lir, allocation) = patmos_regalloc::allocate(&vlir)?;
+    let (lir, allocation) = patmos_regalloc::regalloc(&options.constraints(), &vlir)?;
     let (scheduled, sched_report) = run_scheduler(lir, options);
     let asm = sched::emit_with_map(&scheduled, &srcmap);
     Ok(CompileArtifacts {
@@ -313,7 +337,7 @@ pub fn compile_stats(
     if options.opt_level >= 1 {
         patmos_opt::optimize_with(&mut vlir, opt_config(options, false));
     }
-    let (lir, _) = patmos_regalloc::allocate(&vlir)?;
+    let (lir, _) = patmos_regalloc::regalloc(&options.constraints(), &vlir)?;
     let (scheduled, _) = run_scheduler(lir, options);
     Ok(scheduled.bundle_stats())
 }

@@ -173,6 +173,39 @@ impl LoopForest {
 
         LoopForest { loops }
     }
+
+    /// Index (into [`LoopForest::loops`]) of the innermost loop
+    /// containing each of the `num_blocks` blocks, `None` outside any
+    /// loop. The innermost loop is the smallest member loop, which by
+    /// construction is unique.
+    pub fn innermost_per_block(&self, num_blocks: usize) -> Vec<Option<usize>> {
+        let mut innermost: Vec<Option<usize>> = vec![None; num_blocks];
+        for (b, slot) in innermost.iter_mut().enumerate() {
+            for (i, lp) in self.loops.iter().enumerate() {
+                if lp.contains(b)
+                    && slot
+                        .is_none_or(|best: usize| lp.blocks.len() < self.loops[best].blocks.len())
+                {
+                    *slot = Some(i);
+                }
+            }
+        }
+        innermost
+    }
+
+    /// Nesting depth of each of the `num_blocks` blocks: 0 outside any
+    /// loop, otherwise the depth of the innermost containing loop.
+    pub fn depth_per_block(&self, num_blocks: usize) -> Vec<u32> {
+        self.innermost_per_block(num_blocks)
+            .into_iter()
+            .map(|lp| lp.map_or(0, |i| self.loops[i].depth))
+            .collect()
+    }
+
+    /// Whether loop `i` has any loop nested inside it.
+    pub fn has_children(&self, i: usize) -> bool {
+        self.loops.iter().any(|lp| lp.parent == Some(i))
+    }
 }
 
 /// The items leading a loop header: its label and the `.loopbound`

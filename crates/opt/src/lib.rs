@@ -325,6 +325,12 @@ pub struct OptConfig {
     /// straight-line loops get a factor-4/2 main loop plus a scalar
     /// remainder loop. Levels beyond 3 behave like 3.
     pub level: u8,
+    /// The register-pressure estimate the unroller checks before
+    /// replicating a loop body, provided by the register-allocation
+    /// policy (see
+    /// [`patmos_regalloc::Constraints::pressure_estimate`]). The
+    /// default is the linear-scan distinct-register proxy.
+    pub pressure: patmos_regalloc::PressureEstimate,
 }
 
 impl Default for OptConfig {
@@ -334,6 +340,7 @@ impl Default for OptConfig {
             shape_stable: false,
             trace: false,
             level: 1,
+            pressure: patmos_regalloc::PressureEstimate::default(),
         }
     }
 }
@@ -438,7 +445,7 @@ fn run_pipeline(module: &mut VModule, config: OptConfig) -> OptReport {
         let partial = config.level >= 3;
         for _ in 0..MAX_UNROLL_ROUNDS {
             let before = config.trace.then(|| module.render());
-            if !unroll::run(module, partial, &mut report) {
+            if !unroll::run(module, partial, config.pressure, &mut report) {
                 break;
             }
             // The unroll application is a round of its own; the next

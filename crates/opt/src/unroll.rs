@@ -67,6 +67,7 @@ use std::collections::HashSet;
 
 use patmos_isa::{AluOp, CmpOp, Pred};
 use patmos_lir::{FuncCode, VCfg, VInst, VItem, VModule, VOp, VReg};
+use patmos_regalloc::{PressureEstimate, PressureModel};
 
 use crate::{LoopUnroll, UnrollKind};
 
@@ -122,11 +123,16 @@ struct Plan {
     /// (an `a = a * k + …` recurrence): its copies chain through the
     /// multiplier and replication packs nothing.
     carried_mul: bool,
-    /// Distinct virtual registers the body references — a register
-    /// pressure proxy: replicating a wide body invites the post-unroll
-    /// CSE to stretch live ranges until the allocator spills in the
-    /// hot loop.
+    /// Distinct virtual registers the body references — the register
+    /// pressure proxy the linear-scan policy's estimate compares
+    /// against its cap: replicating a wide body invites the
+    /// post-unroll CSE to stretch live ranges until the allocator
+    /// spills in the hot loop.
     distinct_vregs: usize,
+    /// Maximum simultaneously live values across the body — the
+    /// measure the loop-aware policy's estimate uses: it assigns by
+    /// liveness, so only genuine overlap costs registers.
+    max_live: usize,
     /// Whether the body is straight-line (no internal labels or
     /// branches) — required by the remainder scheme.
     single_block: bool,
@@ -361,6 +367,31 @@ fn plan_loop(
             }
         }
     }
+    // Maximum simultaneous liveness across the body: a backward scan
+    // seeded with the values carried around the back edge (the
+    // induction variable and a register bound). Treating a multi-block
+    // body as straight-line over-approximates liveness across its
+    // internal joins — the safe direction for a pressure measure.
+    let mut live: HashSet<VReg> = HashSet::new();
+    live.insert(vi);
+    if let BoundSrc::Reg(k) = bound {
+        live.insert(k);
+    }
+    let mut max_live = live.len();
+    for item in items[body.clone()].iter().rev() {
+        if let VItem::Inst(inst) = item {
+            if let Some(d) = inst.op.def() {
+                live.remove(&d);
+            }
+            for u in inst.op.uses().into_iter().flatten() {
+                if !u.is_zero() {
+                    live.insert(u);
+                }
+            }
+            max_live = max_live.max(live.len());
+        }
+    }
+
     // The increment must sit in the latch block.
     let latch_items: HashSet<usize> = (lb.first..lb.end).map(|pos| func.insts[pos].0).collect();
     let inc_in_latch = items[body.clone()].iter().enumerate().any(|(off, item)| {
@@ -407,6 +438,7 @@ fn plan_loop(
         mem_ops,
         carried_mul,
         distinct_vregs: vregs.len(),
+        max_live,
         single_block: internal_labels.is_empty() && !flow_seen,
         trips,
         depth: lp.depth,
@@ -426,10 +458,27 @@ enum Scheme {
     Remainder { factor: i64 },
 }
 
-/// Replicating a body whose copy references more distinct registers
-/// than this invites the post-unroll CSE to stretch live ranges until
-/// the allocator spills inside the hot loop — a catastrophic trade.
-const MAX_BODY_VREGS: usize = 16;
+/// Replicating a body that exceeds the allocation policy's pressure
+/// cap invites spills inside the hot loop — a catastrophic trade. The
+/// estimate comes from [`patmos_regalloc::Constraints::pressure_estimate`]:
+/// the linear-scan policy counts distinct body registers (eager reuse
+/// makes every named temporary a potential extra live value), the
+/// loop-aware policy counts maximum simultaneous liveness.
+fn pressure_refusal(plan: &Plan, pressure: PressureEstimate) -> Option<String> {
+    if pressure.body_fits(plan.distinct_vregs, plan.max_live) {
+        return None;
+    }
+    Some(match pressure.model {
+        PressureModel::DistinctVregs => format!(
+            "body references {} distinct registers (cap {}): replication would invite spills",
+            plan.distinct_vregs, pressure.cap
+        ),
+        PressureModel::MaxLive => format!(
+            "body keeps {} values live at once (cap {}): replication would invite spills",
+            plan.max_live, pressure.cap
+        ),
+    })
+}
 
 /// Whether replicating `plan`'s body `factor`-fold pays: the cycles
 /// saved on loop overhead and dual-issue packing across `trips`
@@ -464,7 +513,11 @@ fn replication_pays(plan: &Plan, factor: i64, trips: i64, added_insts: i64) -> b
 /// worth a `--remarks` line (a canonical loop the cost model or a
 /// budget turned down); `Err(None)` leaves the loop alone silently
 /// (partial unrolling is off, or the loop is one this pass created).
-fn choose_scheme(plan: &Plan, partial: bool) -> Result<Scheme, Option<String>> {
+fn choose_scheme(
+    plan: &Plan,
+    partial: bool,
+    pressure: PressureEstimate,
+) -> Result<Scheme, Option<String>> {
     // Full unrolling: small constant trip within budget; top-level
     // loops only when memory-free (duplicating a once-run memory body
     // mostly lengthens the cold method-cache fill).
@@ -488,12 +541,8 @@ fn choose_scheme(plan: &Plan, partial: bool) -> Result<Scheme, Option<String>> {
                 },
             )));
         }
-        if plan.distinct_vregs > MAX_BODY_VREGS {
-            return Err(Some(format!(
-                "body references {} distinct registers (cap {MAX_BODY_VREGS}): replication \
-                 would invite spills",
-                plan.distinct_vregs
-            )));
+        if let Some(message) = pressure_refusal(plan, pressure) {
+            return Err(Some(message));
         }
         // Divisor partial unrolling: the largest *proper* factor
         // dividing the trip count that stays within budget and pays
@@ -529,12 +578,8 @@ fn choose_scheme(plan: &Plan, partial: bool) -> Result<Scheme, Option<String>> {
                 .into(),
         ));
     }
-    if plan.distinct_vregs > MAX_BODY_VREGS {
-        return Err(Some(format!(
-            "body references {} distinct registers (cap {MAX_BODY_VREGS}): replication would \
-             invite spills",
-            plan.distinct_vregs
-        )));
+    if let Some(message) = pressure_refusal(plan, pressure) {
+        return Err(Some(message));
     }
     // Remainder partial unrolling for runtime trip counts. Never
     // re-unroll a main or remainder loop this pass created.
@@ -628,7 +673,12 @@ fn replicate(body: &[VItem], copies: i64, prefix: &str) -> Vec<VItem> {
 /// handle get the divisor or remainder treatment (`opt_level` 3).
 /// Every rewrite is recorded in `report.unrolls`, and both rewrites and
 /// cost-model refusals become remarks.
-pub(crate) fn run(module: &mut VModule, partial: bool, report: &mut crate::OptReport) -> bool {
+pub(crate) fn run(
+    module: &mut VModule,
+    partial: bool,
+    pressure: PressureEstimate,
+    report: &mut crate::OptReport,
+) -> bool {
     let mut plans: Vec<(String, Plan, Scheme)> = Vec::new();
     for func in &patmos_lir::split_functions(&module.items) {
         let cfg = patmos_lir::build_vcfg(func, &module.items);
@@ -639,7 +689,7 @@ pub(crate) fn run(module: &mut VModule, partial: bool, report: &mut crate::OptRe
                 continue;
             }
             if let Some(plan) = plan_loop(&module.items, func, &cfg, lp) {
-                match choose_scheme(&plan, partial) {
+                match choose_scheme(&plan, partial, pressure) {
                     Ok(scheme) => plans.push((func.name.to_string(), plan, scheme)),
                     Err(Some(message)) => report.push_remark(patmos_lir::Remark {
                         pass: "unroll",
@@ -815,12 +865,17 @@ mod tests {
     }
 
     fn run_full(m: &mut VModule) -> bool {
-        run(m, false, &mut crate::OptReport::default())
+        run(
+            m,
+            false,
+            PressureEstimate::default(),
+            &mut crate::OptReport::default(),
+        )
     }
 
     fn run_partial(m: &mut VModule) -> (bool, Vec<LoopUnroll>) {
         let mut report = crate::OptReport::default();
-        let changed = run(m, true, &mut report);
+        let changed = run(m, true, PressureEstimate::default(), &mut report);
         (changed, report.unrolls)
     }
 

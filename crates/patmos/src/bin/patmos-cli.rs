@@ -2,16 +2,16 @@
 //!
 //! ```text
 //! patmos-cli compile <file.patc> [--single-path] [--no-if-convert] [--single-issue]
-//!                                [--opt-level N] [--sched-level N]
+//!                                [--opt-level N] [--sched-level N] [--reg-policy linear|loop]
 //!                                [--dump-lir] [--dump-opt] [--dump-cfg] [--dump-loops]
-//!                                [--dump-sched] [--dump-pipeline]
+//!                                [--dump-sched] [--dump-pipeline] [--dump-alloc]
 //! patmos-cli asm     <file.pasm>
 //! patmos-cli disasm  <file.pasm | file.patc>
 //! patmos-cli run     <file.pasm | file.patc> [--single-issue] [--non-strict] [--stats]
 //!                                [--host-stats] [--slow-path]
-//!                                [--opt-level N] [--sched-level N]
+//!                                [--opt-level N] [--sched-level N] [--reg-policy linear|loop]
 //!                                [--dump-lir] [--dump-opt] [--dump-cfg] [--dump-loops]
-//!                                [--dump-sched] [--dump-pipeline]
+//!                                [--dump-sched] [--dump-pipeline] [--dump-alloc]
 //! patmos-cli wcet    <file.pasm | file.patc> [--opt-level N] [--sched-level N] [--pessimism]
 //! patmos-cli profile <file.pasm | file.patc> [--opt-level N] [--sched-level N]
 //!                                [--single-issue] [--non-strict] [--json]
@@ -28,7 +28,12 @@
 //! 1 = the default `patmos-sched` dependence-DAG scheduler with
 //! delay-slot filling, 2 = iterative modulo scheduling on top:
 //! innermost counted loops become software-pipelined
-//! guard/prologue/kernel/epilogue chains). `--dump-lir` prints the
+//! guard/prologue/kernel/epilogue chains); `--reg-policy` selects the
+//! register-allocation policy (`linear` = the default historical
+//! linear scan, `loop` = loop-aware allocation: round-robin assignment
+//! inside hot loops, caller-saves and invariant spill reloads hoisted
+//! to preheaders, and a liveness-based unroll pressure estimate).
+//! `--dump-lir` prints the
 //! compiler's virtual-register LIR and the register allocator's
 //! per-function report before the usual output; `--dump-opt` prints
 //! each optimization pass's before/after LIR; `--dump-cfg` emits the
@@ -38,7 +43,11 @@
 //! `--dump-pipeline` prints the loop-throughput report: every loop the
 //! unroller rewrote (scheme, factor, trip count) and every loop the
 //! modulo scheduler pipelined (ops, MII, achieved II, stages,
-//! prologue/kernel/epilogue bundle counts). `--stats` extends `run`
+//! prologue/kernel/epilogue bundle counts); `--dump-alloc` prints the
+//! allocator's detailed per-function map: register assignments, spill
+//! slots, and — under `--reg-policy loop` — each loop's round-robin
+//! register class, hoisted caller-saves and preheader reloads.
+//! `--stats` extends `run`
 //! with the full counter set, including the per-cause stall breakdown,
 //! executed stack-cache operations, and — for `.patc` inputs — the
 //! static loops-unrolled/loops-pipelined counts. `--host-stats` extends
@@ -81,12 +90,14 @@ struct Args {
     non_strict: bool,
     opt_level: u8,
     sched_level: u8,
+    reg_policy: patmos::Policy,
     dump_lir: bool,
     dump_opt: bool,
     dump_cfg: bool,
     dump_loops: bool,
     dump_sched: bool,
     dump_pipeline: bool,
+    dump_alloc: bool,
     stats: bool,
     host_stats: bool,
     slow_path: bool,
@@ -102,9 +113,10 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage: patmos-cli <compile|asm|disasm|run|wcet|profile> <file.patc|file.pasm> \
          [--single-path] [--no-if-convert] [--single-issue] [--non-strict] [--opt-level N] \
-         [--sched-level N] [--dump-lir] [--dump-opt] [--dump-cfg] [--dump-loops] [--dump-sched] \
-         [--dump-pipeline] [--stats] [--host-stats] [--slow-path] [--remarks] [--json] \
-         [--chrome <out.json>] [--cores N] [--slot-cycles N] [--pessimism]"
+         [--sched-level N] [--reg-policy linear|loop] [--dump-lir] [--dump-opt] [--dump-cfg] \
+         [--dump-loops] [--dump-sched] [--dump-pipeline] [--dump-alloc] [--stats] \
+         [--host-stats] [--slow-path] [--remarks] [--json] [--chrome <out.json>] [--cores N] \
+         [--slot-cycles N] [--pessimism]"
     );
     ExitCode::from(2)
 }
@@ -120,12 +132,14 @@ fn parse_args() -> Option<Args> {
         non_strict: false,
         opt_level: CompileOptions::default().opt_level,
         sched_level: CompileOptions::default().sched_level,
+        reg_policy: patmos::Policy::default(),
         dump_lir: false,
         dump_opt: false,
         dump_cfg: false,
         dump_loops: false,
         dump_sched: false,
         dump_pipeline: false,
+        dump_alloc: false,
         stats: false,
         host_stats: false,
         slow_path: false,
@@ -157,12 +171,29 @@ fn parse_args() -> Option<Args> {
                 };
                 args.sched_level = level;
             }
+            "--reg-policy" => {
+                let policy = match argv.next() {
+                    Some(v) => match v.parse::<patmos::Policy>() {
+                        Ok(p) => p,
+                        Err(e) => {
+                            eprintln!("{e}");
+                            return None;
+                        }
+                    },
+                    None => {
+                        eprintln!("--reg-policy expects `linear` or `loop`");
+                        return None;
+                    }
+                };
+                args.reg_policy = policy;
+            }
             "--dump-lir" => args.dump_lir = true,
             "--dump-opt" => args.dump_opt = true,
             "--dump-cfg" => args.dump_cfg = true,
             "--dump-loops" => args.dump_loops = true,
             "--dump-sched" => args.dump_sched = true,
             "--dump-pipeline" => args.dump_pipeline = true,
+            "--dump-alloc" => args.dump_alloc = true,
             "--stats" => args.stats = true,
             "--host-stats" => args.host_stats = true,
             "--slow-path" => args.slow_path = true,
@@ -221,6 +252,7 @@ impl Args {
             single_path: self.single_path,
             opt_level: self.opt_level,
             sched_level: self.sched_level,
+            reg_policy: self.reg_policy,
             ..CompileOptions::default()
         }
     }
@@ -232,6 +264,7 @@ impl Args {
             || self.dump_loops
             || self.dump_sched
             || self.dump_pipeline
+            || self.dump_alloc
     }
 }
 
@@ -386,6 +419,10 @@ fn dump_artifacts(source: &str, options: &CompileOptions, args: &Args) -> Result
             }
         }
     }
+    if args.dump_alloc {
+        println!("=== register allocation (detail) ===");
+        print!("{}", artifacts.allocation.detail());
+    }
     if args.dump_lir {
         println!("=== virtual LIR (before register allocation) ===");
         print!("{}", artifacts.vlir);
@@ -502,6 +539,13 @@ fn cmd_run(args: &Args) -> Result<(), String> {
                     .sched
                     .as_ref()
                     .map_or(0, |r| r.pipelined_loops().count())
+            );
+            println!(
+                "modulo renames   = {}",
+                artifacts
+                    .sched
+                    .as_ref()
+                    .map_or(0, |r| r.total_modulo_renames())
             );
         }
     }

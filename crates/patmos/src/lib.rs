@@ -73,3 +73,8 @@ pub use patmos_sim as sim;
 pub use patmos_trace as trace;
 pub use patmos_wcet as wcet;
 pub use patmos_workloads as workloads;
+
+// The register-allocation policy surface, re-exported at the top level:
+// these types travel from the CLI/compile options all the way into the
+// allocator and the mid-end's pressure checks.
+pub use patmos_regalloc::{AllocPolicy, Constraints, Policy, RegisterInfo};

@@ -6,13 +6,19 @@
 //! ([`lir`]) that the VLIW scheduler consumes:
 //!
 //! ```text
-//! codegen ──VModule──▶ allocate() ──Module──▶ scheduler ──▶ assembler
+//! codegen ──VModule──▶ regalloc(&Constraints, ·) ──Module──▶ scheduler ──▶ assembler
 //! ```
 //!
-//! The allocator builds a small CFG per function and runs backward
-//! liveness dataflow (both shared with the mid-end via [`patmos_lir`]),
-//! then assigns registers with a deterministic linear scan
-//! ([`allocator`]):
+//! Allocation runs behind an explicit policy interface: a
+//! [`RegisterInfo`] describes the physical file, and a [`Constraints`]
+//! object selects one of the swappable [`AllocPolicy`] implementations
+//! — the deterministic [`policy::LinearScan`] (the default) or the
+//! [`policy::LoopAware`] allocator, which consults the [`patmos_lir`]
+//! loop forest to assign registers round-robin inside hot loops, evict
+//! loop-quiet values first, and hoist call-saves and spill reloads out
+//! to loop preheaders. Both build a small CFG per function and run
+//! backward liveness dataflow (shared with the mid-end via
+//! [`patmos_lir`]), then scan the live intervals ([`allocator`]):
 //!
 //! * locals and temporaries live in registers `r7`–`r28`; spill slots in
 //!   the stack cache are used only when more than 22 values are live at
@@ -31,6 +37,7 @@
 //!
 //! ```
 //! use patmos_regalloc::vlir::{VInst, VItem, VModule, VOp, VReg};
+//! use patmos_regalloc::Constraints;
 //!
 //! let v1 = VReg::new(1);
 //! let module = VModule {
@@ -43,14 +50,17 @@
 //!         VItem::Inst(VInst::always(VOp::Halt)),
 //!     ],
 //! };
-//! let (physical, report) = patmos_regalloc::allocate(&module)?;
+//! let (physical, report) = patmos_regalloc::regalloc(&Constraints::default(), &module)?;
+//! assert_eq!(report.policy, "linear");
 //! assert_eq!(report.funcs[0].frame_words, 0, "leaf without spills reserves nothing");
 //! assert_eq!(physical.items.len(), 4);
 //! # Ok::<(), patmos_regalloc::AllocError>(())
 //! ```
 
 pub mod allocator;
+pub mod constraints;
 pub mod lir;
+pub mod policy;
 
 /// Re-exported from [`patmos_lir`]: the shared CFG construction.
 pub use patmos_lir::cfg;
@@ -59,8 +69,12 @@ pub use patmos_lir::liveness;
 /// Re-exported from [`patmos_lir`]: the shared virtual-register LIR.
 pub use patmos_lir::vlir;
 
-pub use allocator::{allocate, AllocError, AllocReport, FuncAlloc};
+#[allow(deprecated)]
+pub use allocator::allocate;
+pub use allocator::{regalloc, AllocError, AllocReport, FuncAlloc, LoopClass};
+pub use constraints::{Constraints, Policy, PressureEstimate, PressureModel, RegisterInfo};
 pub use patmos_lir::{Interval, VInst, VItem, VModule, VOp, VReg};
+pub use policy::{AllocPolicy, LinearScan, LoopAware};
 
 #[cfg(test)]
 mod tests {
@@ -79,6 +93,10 @@ mod tests {
             items,
             entry: "main".into(),
         }
+    }
+
+    fn allocate(m: &VModule) -> Result<(lir::Module, AllocReport), AllocError> {
+        regalloc(&Constraints::default(), m)
     }
 
     fn real_ops(items: &[Item]) -> Vec<&LirOp> {
@@ -233,6 +251,252 @@ mod tests {
             allocate(&m),
             Err(AllocError::GuardedReturn { .. })
         ));
+    }
+
+    #[test]
+    fn new_api_linear_scan_matches_the_deprecated_shim_bit_for_bit() {
+        // A module exercising spills, call saves and the frame
+        // protocol: the policy interface must reproduce the historical
+        // entry point exactly.
+        let mut items = vec![VItem::FuncStart("f".into())];
+        for i in 1..=25u32 {
+            items.push(VItem::Inst(VInst::always(VOp::LoadImmLow {
+                rd: v(i),
+                imm: i as u16,
+            })));
+        }
+        items.push(VItem::Inst(VInst::always(VOp::CallFunc("g".into()))));
+        for i in 1..=24u32 {
+            items.push(VItem::Inst(VInst::always(VOp::AluR {
+                op: AluOp::Add,
+                rd: v(100 + i),
+                rs1: v(i),
+                rs2: v(i + 1),
+            })));
+        }
+        items.push(VItem::Inst(VInst::always(VOp::Ret)));
+        let m = module(items);
+        #[allow(deprecated)]
+        let (old, old_report) = super::allocate(&m).expect("shim allocates");
+        let (new, new_report) = regalloc(&Constraints::linear_scan(), &m).expect("allocates");
+        assert_eq!(old.items, new.items, "physical items must be identical");
+        assert_eq!(old_report.policy, "linear");
+        assert_eq!(
+            old_report.funcs[0].assignments,
+            new_report.funcs[0].assignments
+        );
+        assert_eq!(old_report.funcs[0].slots, new_report.funcs[0].slots);
+        assert_eq!(
+            old_report.funcs[0].frame_words,
+            new_report.funcs[0].frame_words
+        );
+    }
+
+    #[test]
+    fn call_crossing_spills_are_not_double_counted_as_pressure() {
+        // 30 values defined before a call and all used after it: every
+        // one is live across the call, and the pool eviction pushes
+        // some of them to memory. Their slot traffic is caller-save
+        // traffic, so the pressure column must not count them again.
+        let mut items = vec![VItem::FuncStart("f".into())];
+        for i in 1..=30u32 {
+            items.push(VItem::Inst(VInst::always(VOp::LoadImmLow {
+                rd: v(i),
+                imm: i as u16,
+            })));
+        }
+        items.push(VItem::Inst(VInst::always(VOp::CallFunc("g".into()))));
+        for i in 1..=29u32 {
+            items.push(VItem::Inst(VInst::always(VOp::AluR {
+                op: AluOp::Add,
+                rd: v(100 + i),
+                rs1: v(i),
+                rs2: v(i + 1),
+            })));
+        }
+        items.push(VItem::Inst(VInst::always(VOp::Ret)));
+        let (_, report) = allocate(&module(items)).expect("allocates");
+        let fa = &report.funcs[0];
+        assert_eq!(
+            fa.call_saved, 30,
+            "every pre-call value crosses the call, spilled or not"
+        );
+        assert_eq!(
+            fa.pressure_spills, 0,
+            "call-crossing evictions are caller-save traffic, not pressure"
+        );
+        // Each value owns exactly one slot: link + 30, no double booking.
+        assert_eq!(fa.frame_words, 31);
+    }
+
+    #[test]
+    fn loop_policy_round_robins_iteration_local_temporaries() {
+        // A counted loop whose body computes two short-lived, disjoint
+        // temporaries per iteration. Linear scan reuses one register
+        // for both; the loop-aware FIFO hands out distinct ones, which
+        // is exactly what kills the modulo scheduler's false
+        // anti-dependences.
+        let items = vec![
+            VItem::FuncStart("main".into()),
+            VItem::Inst(VInst::always(VOp::LoadImmLow { rd: v(1), imm: 0 })),
+            VItem::Inst(VInst::always(VOp::LoadImmLow { rd: v(2), imm: 64 })),
+            VItem::Label("main_head1".into()),
+            VItem::Inst(VInst::always(VOp::CmpI {
+                op: patmos_isa::CmpOp::Lt,
+                pd: patmos_isa::Pred::P6,
+                rs1: v(1),
+                imm: 8,
+            })),
+            VItem::Inst(VInst::new(
+                patmos_isa::Guard::unless(patmos_isa::Pred::P6),
+                VOp::BrLabel("main_exit1".into()),
+            )),
+            VItem::Inst(VInst::always(VOp::AluI {
+                op: AluOp::Add,
+                rd: v(10),
+                rs1: v(1),
+                imm: 5,
+            })),
+            VItem::Inst(VInst::always(VOp::Store {
+                area: patmos_isa::MemArea::Data,
+                size: patmos_isa::AccessSize::Word,
+                ra: v(2),
+                offset: 0,
+                rs: v(10),
+            })),
+            VItem::Inst(VInst::always(VOp::AluI {
+                op: AluOp::Add,
+                rd: v(11),
+                rs1: v(1),
+                imm: 9,
+            })),
+            VItem::Inst(VInst::always(VOp::Store {
+                area: patmos_isa::MemArea::Data,
+                size: patmos_isa::AccessSize::Word,
+                ra: v(2),
+                offset: 4,
+                rs: v(11),
+            })),
+            VItem::Inst(VInst::always(VOp::AluI {
+                op: AluOp::Add,
+                rd: v(1),
+                rs1: v(1),
+                imm: 1,
+            })),
+            VItem::Inst(VInst::always(VOp::BrLabel("main_head1".into()))),
+            VItem::Label("main_exit1".into()),
+            VItem::Inst(VInst::always(VOp::Halt)),
+        ];
+        let m = module(items);
+        let (_, linear) = regalloc(&Constraints::linear_scan(), &m).expect("linear");
+        let (_, loops) = regalloc(&Constraints::loop_aware(), &m).expect("loop");
+        let reg_of = |rep: &AllocReport, id: u32| {
+            rep.funcs[0]
+                .assignments
+                .iter()
+                .find(|(vr, _)| *vr == v(id))
+                .map(|(_, r)| *r)
+                .expect("assigned")
+        };
+        assert_eq!(
+            reg_of(&linear, 10),
+            reg_of(&linear, 11),
+            "linear scan eagerly reuses the freed register"
+        );
+        assert_ne!(
+            reg_of(&loops, 10),
+            reg_of(&loops, 11),
+            "the FIFO discipline must separate iteration-local temporaries"
+        );
+        assert_eq!(loops.policy, "loop");
+        let classes = &loops.funcs[0].loop_classes;
+        assert_eq!(classes.len(), 1);
+        assert_eq!(classes[0].label, "main_head1");
+        assert!(
+            classes[0].regs.len() >= 2,
+            "the round-robin class covers the in-loop intervals"
+        );
+        // Determinism: the loop-aware policy replays exactly.
+        let (out1, _) = regalloc(&Constraints::loop_aware(), &m).expect("loop");
+        let (out2, _) = regalloc(&Constraints::loop_aware(), &m).expect("loop");
+        assert_eq!(out1.items, out2.items);
+    }
+
+    #[test]
+    fn loop_policy_hoists_invariant_call_saves_to_the_preheader() {
+        // A value defined before the loop and live across a call inside
+        // it: the save store belongs in the preheader, once, not on
+        // every iteration.
+        let items = vec![
+            VItem::FuncStart("f".into()),
+            VItem::Inst(VInst::always(VOp::LoadImmLow { rd: v(1), imm: 3 })),
+            VItem::Inst(VInst::always(VOp::LoadImmLow { rd: v(2), imm: 0 })),
+            VItem::Label("f_head1".into()),
+            VItem::Inst(VInst::always(VOp::CmpI {
+                op: patmos_isa::CmpOp::Lt,
+                pd: patmos_isa::Pred::P6,
+                rs1: v(2),
+                imm: 4,
+            })),
+            VItem::Inst(VInst::new(
+                patmos_isa::Guard::unless(patmos_isa::Pred::P6),
+                VOp::BrLabel("f_exit1".into()),
+            )),
+            VItem::Inst(VInst::always(VOp::CallFunc("g".into()))),
+            VItem::Inst(VInst::always(VOp::AluI {
+                op: AluOp::Add,
+                rd: v(2),
+                rs1: v(2),
+                imm: 1,
+            })),
+            VItem::Inst(VInst::always(VOp::BrLabel("f_head1".into()))),
+            VItem::Label("f_exit1".into()),
+            VItem::Inst(VInst::always(VOp::CopyToPhys {
+                dst: Reg::R1,
+                src: v(1),
+            })),
+            VItem::Inst(VInst::always(VOp::Ret)),
+        ];
+        let m = module(items);
+        let (out, report) = regalloc(&Constraints::loop_aware(), &m).expect("loop");
+        let fa = &report.funcs[0];
+        assert_eq!(fa.hoisted_saves, 1, "v1's save belongs in the preheader");
+        // The hoisted store must precede the loop header label.
+        let header_at = out
+            .items
+            .iter()
+            .position(|i| matches!(i, Item::Label(l) if l == "f_head1"))
+            .expect("header label");
+        let reg = fa
+            .assignments
+            .iter()
+            .find(|(vr, _)| *vr == v(1))
+            .map(|(_, r)| *r)
+            .expect("v1 assigned");
+        let store_at = out
+            .items
+            .iter()
+            .position(
+                |i| matches!(i, Item::Inst(LirInst { op: LirOp::Real(Op::Store { rs, .. }), .. }) if *rs == reg),
+            )
+            .expect("hoisted store");
+        assert!(
+            store_at < header_at,
+            "the save store must sit in the preheader, before the header label"
+        );
+        // And no store of that register inside the loop body.
+        let exit_at = out
+            .items
+            .iter()
+            .position(|i| matches!(i, Item::Label(l) if l == "f_exit1"))
+            .expect("exit label");
+        let in_loop_stores = out.items[header_at..exit_at]
+            .iter()
+            .filter(
+                |i| matches!(i, Item::Inst(LirInst { op: LirOp::Real(Op::Store { rs, .. }), .. }) if *rs == reg),
+            )
+            .count();
+        assert_eq!(in_loop_stores, 0, "the per-call store was hoisted away");
     }
 
     #[test]

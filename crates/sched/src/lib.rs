@@ -50,6 +50,13 @@ pub struct SchedOptions {
     /// keeps it off in single-path mode, because the pipeliner's
     /// decisions read the loop's literal bound and step.
     pub pipeline: bool,
+    /// Let the modulo renamer consult the allocator's actual
+    /// assignments: only registers genuinely reused for unrelated
+    /// values within one iteration are renamed. Off by default (the
+    /// historical worst-case renaming, as the linear-scan policy
+    /// requires for bit-identical schedules); the compiler turns it on
+    /// under the loop-aware allocation policy.
+    pub reuse_renaming: bool,
 }
 
 impl Default for SchedOptions {
@@ -57,6 +64,7 @@ impl Default for SchedOptions {
         SchedOptions {
             dual_issue: true,
             pipeline: false,
+            reuse_renaming: false,
         }
     }
 }
@@ -159,6 +167,11 @@ pub struct LoopReport {
     pub kernel: usize,
     /// Epilogue bundles (drain, padding included).
     pub epilogue: usize,
+    /// Definitions renamed to a fresh register to break
+    /// allocator-induced false anti-dependences. Under the loop-aware
+    /// allocation policy (which already separates iteration-local
+    /// temporaries) this drops to ~zero.
+    pub renamed: usize,
 }
 
 /// Per-function scheduling report.
@@ -205,6 +218,13 @@ impl SchedReport {
     /// All software-pipelined loops, across functions.
     pub fn pipelined_loops(&self) -> impl Iterator<Item = &LoopReport> {
         self.funcs.iter().flat_map(|f| &f.loops)
+    }
+
+    /// Total cross-iteration renames the modulo scheduler performed.
+    /// Drops to (near) zero when the loop-aware allocation policy has
+    /// already kept iteration-local values in distinct registers.
+    pub fn total_modulo_renames(&self) -> usize {
+        self.pipelined_loops().map(|l| l.renamed).sum()
     }
 }
 
@@ -311,6 +331,7 @@ pub fn schedule_with_report(
                     func,
                     bi,
                     options.dual_issue,
+                    options.reuse_renaming,
                     &live_in,
                     &mut report.remarks,
                 ) {

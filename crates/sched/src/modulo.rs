@@ -154,7 +154,23 @@ fn subst_def(op: &mut LirOp, to: Reg) {
 /// span (no overlap). Runs out of fresh registers gracefully: later
 /// definitions simply keep their current name, constraining `II`
 /// instead of blocking pipelining.
-fn rename_loop_temporaries(ops: &mut [LirInst], boundary_live: LiveSet, mut pool: Vec<Reg>) {
+///
+/// With `reuse_aware` set, the pass trusts the allocator's actual
+/// assignments instead of assuming worst-case reuse: only registers
+/// opening *two or more* live ranges in the iteration (genuine reuse
+/// chaining unrelated values) are renamed; a register carrying a
+/// single range already is a dedicated name, renaming it would only
+/// relabel the same dependence structure. Under the loop-aware
+/// allocation policy, which round-robins iteration-local temporaries
+/// over distinct registers, this shrinks the pass to (near) nothing.
+///
+/// Returns the number of definitions renamed to a fresh register.
+fn rename_loop_temporaries(
+    ops: &mut [LirInst],
+    boundary_live: LiveSet,
+    mut pool: Vec<Reg>,
+    reuse_aware: bool,
+) -> usize {
     // A register is renameable when its every definition here is
     // unconditional and it is dead at every loop boundary.
     let mut renameable = [false; 32];
@@ -169,6 +185,26 @@ fn rename_loop_temporaries(ops: &mut [LirInst], boundary_live: LiveSet, mut pool
         }
     }
 
+    // Range-opening definitions per register: a def that does not read
+    // its own register starts a new value; two or more openings mean
+    // the allocator reused the register for unrelated values.
+    if reuse_aware {
+        let mut openings = [0u32; 32];
+        for inst in ops.iter() {
+            if let Some(d) = inst.op.def() {
+                if !inst.op.uses().into_iter().flatten().any(|u| u == d) {
+                    openings[d.index() as usize] += 1;
+                }
+            }
+        }
+        for r in ALLOC_FIRST..=ALLOC_LAST {
+            if openings[r as usize] < 2 {
+                renameable[r as usize] = false;
+            }
+        }
+    }
+
+    let mut renamed = 0usize;
     let mut map: [Reg; 32] = std::array::from_fn(|i| Reg::from_index(i as u8));
     for inst in ops.iter_mut() {
         // Original def name and whether the op also reads it (an
@@ -185,11 +221,13 @@ fn rename_loop_temporaries(ops: &mut [LirInst], boundary_live: LiveSet, mut pool
         if !reads_own_def {
             if let Some(fresh) = pool.pop() {
                 map[orig.index() as usize] = fresh;
+                renamed += 1;
             }
             // Pool exhausted: the def keeps its current mapping.
         }
         subst_def(&mut inst.op, map[orig.index() as usize]);
     }
+    renamed
 }
 
 /// The `.loopbound` annotation among a block's head items.
@@ -212,6 +250,7 @@ pub(crate) fn try_pipeline(
     func: &Func,
     h: usize,
     dual_issue: bool,
+    reuse_renaming: bool,
     live_in: &[LiveSet],
     remarks: &mut Vec<patmos_lir::Remark>,
 ) -> Option<Pipelined> {
@@ -326,7 +365,7 @@ pub(crate) fn try_pipeline(
     ops.extend(bb.insts.iter().cloned());
     let n = ops.len();
     let cmp_idx = 0usize;
-    rename_loop_temporaries(&mut ops, boundary_live, pool);
+    let renamed = rename_loop_temporaries(&mut ops, boundary_live, pool, reuse_renaming);
 
     // ---- dependence relations ----
     // d0[i][j] (i < j): minimum gap within one iteration.
@@ -450,10 +489,12 @@ pub(crate) fn try_pipeline(
             return None;
         }
 
-        return Some(emit(
+        let mut p = emit(
             func, h, &cl, bound_regs, &label, exit_label, &ops, &times, ii, stages, mii, max_ann,
             dual_issue,
-        ));
+        );
+        p.report.renamed = renamed;
+        return Some(p);
     }
     None
 }
@@ -863,6 +904,7 @@ fn emit(
         prologue: prologue_len,
         kernel: kernel_len,
         epilogue: epilogue_len,
+        renamed: 0, // filled in by the caller, which ran the renamer
     };
     Pipelined {
         items,
@@ -955,7 +997,7 @@ mod tests {
         let split = crate::dag::split_blocks(module);
         let func = &split.funcs[0];
         let live = crate::dag::live_in_sets(func);
-        try_pipeline(func, 1, true, &live, &mut Vec::new())
+        try_pipeline(func, 1, true, false, &live, &mut Vec::new())
     }
 
     #[test]
