@@ -10,7 +10,7 @@ use patmos_isa::{
 
 use crate::lexer::{tokenize_line, Token};
 use crate::object::{
-    DataSegment, FuncInfo, LoopBound, ObjectImage, SourceFunc, SourceInfo, SourceLoop,
+    DataSegment, FuncInfo, LoopBound, ObjectImage, PipeLoop, SourceFunc, SourceInfo, SourceLoop,
 };
 
 /// An assembly error with its source line (1-based).
@@ -92,6 +92,17 @@ enum Stmt {
         start: String,
         end: String,
     },
+    PipeLoop {
+        guard: String,
+        kernel: String,
+        fallback: String,
+        ii: u32,
+        stages: u32,
+        prologue: u32,
+        epilogue: u32,
+        threshold: u32,
+        min_trips: u32,
+    },
     Bundle(Vec<PInst>),
 }
 
@@ -133,6 +144,7 @@ pub fn assemble(source: &str) -> Result<ObjectImage, AsmError> {
     let mut loop_bounds: Vec<LoopBound> = Vec::new();
     let mut src_funcs: Vec<(String, u32, usize)> = Vec::new();
     let mut src_loops: Vec<(u32, String, String, usize)> = Vec::new();
+    let mut raw_pipe_loops: Vec<(Stmt, usize)> = Vec::new();
     let mut entry_name: Option<(String, usize)> = None;
     let mut addr: u32 = 0;
     let mut data_addr: u32 = 0;
@@ -219,6 +231,9 @@ pub fn assemble(source: &str) -> Result<ObjectImage, AsmError> {
             } => {
                 src_loops.push((*l, start.clone(), end.clone(), line.number));
             }
+            Stmt::PipeLoop { .. } => {
+                raw_pipe_loops.push((line.stmt.clone(), line.number));
+            }
             Stmt::Bundle(insts) => {
                 if in_data {
                     return Err(AsmError {
@@ -278,6 +293,40 @@ pub fn assemble(source: &str) -> Result<ObjectImage, AsmError> {
             line: src_line,
             start_word,
             end_word,
+        });
+    }
+    let mut pipe_loops: Vec<PipeLoop> = Vec::new();
+    for (stmt, line) in raw_pipe_loops {
+        let Stmt::PipeLoop {
+            guard,
+            kernel,
+            fallback,
+            ii,
+            stages,
+            prologue,
+            epilogue,
+            threshold,
+            min_trips,
+        } = stmt
+        else {
+            unreachable!("only PipeLoop statements are collected");
+        };
+        let lookup = |name: &str| {
+            symbols.get(name).copied().ok_or_else(|| AsmError {
+                line,
+                message: format!(".pipeloop references undefined label `{name}`"),
+            })
+        };
+        pipe_loops.push(PipeLoop {
+            guard_word: lookup(&guard)?,
+            kernel_word: lookup(&kernel)?,
+            fallback_word: lookup(&fallback)?,
+            ii,
+            stages,
+            prologue,
+            epilogue,
+            threshold,
+            min_trips,
         });
     }
 
@@ -416,15 +465,16 @@ pub fn assemble(source: &str) -> Result<ObjectImage, AsmError> {
         None => functions.first().map(|f| f.start_word).unwrap_or(0),
     };
 
-    Ok(ObjectImage::new(
+    Ok(ObjectImage {
         code,
         functions,
         data,
         symbols,
         loop_bounds,
+        pipe_loops,
         source,
         entry_word,
-    ))
+    })
 }
 
 // ---------------------------------------------------------------------
@@ -626,6 +676,31 @@ fn parse_statements(tokens: &[Token]) -> Result<Vec<Stmt>, String> {
                     let start = cur.ident()?.to_string();
                     let end = cur.ident()?.to_string();
                     Stmt::SrcLoop { line, start, end }
+                }
+                ".pipeloop" => {
+                    let guard = cur.ident()?.to_string();
+                    let kernel = cur.ident()?.to_string();
+                    let fallback = cur.ident()?.to_string();
+                    let ii = cur.int()? as u32;
+                    let stages = cur.int()? as u32;
+                    let prologue = cur.int()? as u32;
+                    let epilogue = cur.int()? as u32;
+                    let threshold = cur.int()? as u32;
+                    let min_trips = cur.int()? as u32;
+                    if ii == 0 || stages == 0 {
+                        return Err("pipeloop II and stage count must be positive".into());
+                    }
+                    Stmt::PipeLoop {
+                        guard,
+                        kernel,
+                        fallback,
+                        ii,
+                        stages,
+                        prologue,
+                        epilogue,
+                        threshold,
+                        min_trips,
+                    }
                 }
                 other => return Err(format!("unknown directive `{other}`")),
             };

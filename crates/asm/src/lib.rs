@@ -57,5 +57,5 @@ mod object;
 pub use assembler::{assemble, AsmError};
 pub use disasm::disassemble;
 pub use object::{
-    DataSegment, FuncInfo, LoopBound, ObjectImage, SourceFunc, SourceInfo, SourceLoop,
+    DataSegment, FuncInfo, LoopBound, ObjectImage, PipeLoop, SourceFunc, SourceInfo, SourceLoop,
 };

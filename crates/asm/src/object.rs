@@ -68,6 +68,36 @@ impl SourceLoop {
     }
 }
 
+/// A software-pipelined loop's structured shape record, from a
+/// `.pipeloop` directive: which block guards the pipeline, where the
+/// kernel and the short-trip fallback loop live, and the facts the
+/// WCET analysis needs to charge the pipelined shape instead of the
+/// fallback — the fallback runs at most `threshold` header executions
+/// per entry (it is only entered when the guard fails), and it never
+/// runs at all when `min_trips >= threshold`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PipeLoop {
+    /// Word address of the guard block (the original loop header).
+    pub guard_word: u32,
+    /// Word address of the kernel loop header.
+    pub kernel_word: u32,
+    /// Word address of the fallback loop header.
+    pub fallback_word: u32,
+    /// Kernel initiation interval in bundles.
+    pub ii: u32,
+    /// Pipeline stage count.
+    pub stages: u32,
+    /// Prologue bundle count.
+    pub prologue: u32,
+    /// Epilogue bundle count.
+    pub epilogue: u32,
+    /// The guard's trip-count threshold: the guard passes exactly when
+    /// the loop runs at least this many iterations.
+    pub threshold: u32,
+    /// Provable lower bound on the trip count (0 when unknown).
+    pub min_trips: u32,
+}
+
 /// The source-map side table: function definition lines and loop code
 /// regions. Empty for images assembled from plain `.pasm` sources.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -102,36 +132,17 @@ impl SourceInfo {
 /// annotations.
 #[derive(Debug, Clone, Default)]
 pub struct ObjectImage {
-    code: Vec<u32>,
-    functions: Vec<FuncInfo>,
-    data: Vec<DataSegment>,
-    symbols: HashMap<String, u32>,
-    loop_bounds: Vec<LoopBound>,
-    source: SourceInfo,
-    entry_word: u32,
+    pub(crate) code: Vec<u32>,
+    pub(crate) functions: Vec<FuncInfo>,
+    pub(crate) data: Vec<DataSegment>,
+    pub(crate) symbols: HashMap<String, u32>,
+    pub(crate) loop_bounds: Vec<LoopBound>,
+    pub(crate) pipe_loops: Vec<PipeLoop>,
+    pub(crate) source: SourceInfo,
+    pub(crate) entry_word: u32,
 }
 
 impl ObjectImage {
-    pub(crate) fn new(
-        code: Vec<u32>,
-        functions: Vec<FuncInfo>,
-        data: Vec<DataSegment>,
-        symbols: HashMap<String, u32>,
-        loop_bounds: Vec<LoopBound>,
-        source: SourceInfo,
-        entry_word: u32,
-    ) -> ObjectImage {
-        ObjectImage {
-            code,
-            functions,
-            data,
-            symbols,
-            loop_bounds,
-            source,
-            entry_word,
-        }
-    }
-
     /// Builds an image directly from raw code words and a function
     /// table — the entry point for binary loaders, and for tests that
     /// need images the assembler would never emit (e.g. corrupt words).
@@ -167,6 +178,11 @@ impl ObjectImage {
     /// Loop-bound annotations in program order.
     pub fn loop_bounds(&self) -> &[LoopBound] {
         &self.loop_bounds
+    }
+
+    /// Software-pipelined loop records in program order.
+    pub fn pipe_loops(&self) -> &[PipeLoop] {
+        &self.pipe_loops
     }
 
     /// The source-map side table (empty for plain assembly sources).
@@ -225,9 +241,9 @@ mod tests {
     use super::*;
 
     fn image_with_functions() -> ObjectImage {
-        ObjectImage::new(
-            vec![0; 10],
-            vec![
+        ObjectImage {
+            code: vec![0; 10],
+            functions: vec![
                 FuncInfo {
                     name: "a".into(),
                     start_word: 0,
@@ -239,12 +255,8 @@ mod tests {
                     size_words: 6,
                 },
             ],
-            Vec::new(),
-            HashMap::new(),
-            Vec::new(),
-            SourceInfo::default(),
-            0,
-        )
+            ..ObjectImage::default()
+        }
     }
 
     #[test]

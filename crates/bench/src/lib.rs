@@ -19,7 +19,7 @@ use patmos::isa::Reg;
 use patmos::mem::{MethodCacheConfig, ReplacementPolicy};
 use patmos::rf::fpga;
 use patmos::sim::{CmpSystem, SimConfig, Simulator};
-use patmos::wcet::{analyze, Machine};
+use patmos::wcet::{analyze, analyze_unpipelined, Machine};
 use patmos::workloads::{self, micro, Category};
 
 fn run_asm(source: &str, config: SimConfig) -> patmos::sim::Stats {
@@ -659,6 +659,7 @@ const SCHED_BASELINE_JSON: &str = include_str!("../baselines/sched_cycles.json")
 const OPT2_BASELINE_JSON: &str = include_str!("../baselines/opt2_cycles.json");
 const OPT3_BASELINE_JSON: &str = include_str!("../baselines/opt3_cycles.json");
 const REGALLOC2_BASELINE_JSON: &str = include_str!("../baselines/regalloc2_cycles.json");
+const WCET_BOUNDS_BASELINE_JSON: &str = include_str!("../baselines/wcet_bounds.json");
 
 fn json_field(section: &str, key: &str) -> u64 {
     let marker = format!("\"{key}\":");
@@ -1560,6 +1561,119 @@ pub fn regalloc2_footprint_json() -> String {
     out
 }
 
+/// Kernels whose innermost loop the modulo scheduler pipelines at
+/// `opt3/sched2` — the rows `wcet_bounds.json` requires to tighten
+/// strictly under the `.pipeloop`-aware analysis.
+pub const PIPELINED_KERNELS: [&str; 4] = ["dotprod64", "cnt2d", "fir8", "spmfilter"];
+
+/// One kernel's entry in the checked-in WCET-bound trajectory baseline
+/// (`baselines/wcet_bounds.json`): the pipelined-aware IPET bound, the
+/// bound with `.pipeloop` records ignored (the fallback loop charged
+/// its full annotated trips), and the cycles of one simulated run —
+/// all at explicit `opt3/sched2`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WcetBoundsBaseline {
+    /// Kernel name.
+    pub name: String,
+    /// The pipelined-aware WCET bound (warm-up included).
+    pub bound_cycles: u64,
+    /// The bound when `.pipeloop` records are ignored — every
+    /// software-pipelined loop is charged through its list-scheduled
+    /// fallback at the full `.loopbound`.
+    pub fallback_bound_cycles: u64,
+    /// Cycles of one run on the default machine configuration.
+    pub measured_cycles: u64,
+}
+
+/// Parses the checked-in WCET-bound trajectory baseline.
+pub fn wcet_bounds_baseline() -> Vec<WcetBoundsBaseline> {
+    kernel_sections(WCET_BOUNDS_BASELINE_JSON)
+        .into_iter()
+        .map(|(name, section)| WcetBoundsBaseline {
+            name,
+            bound_cycles: json_field(section, "bound_cycles"),
+            fallback_bound_cycles: json_field(section, "fallback_bound_cycles"),
+            measured_cycles: json_field(section, "measured_cycles"),
+        })
+        .collect()
+}
+
+/// Measures one kernel's WCET trajectory entry at explicit
+/// `opt3/sched2`: `(bound, fallback bound, measured cycles)`.
+pub fn measure_wcet_bounds_kernel(source: &str) -> (u64, u64, u64) {
+    let options = CompileOptions {
+        opt_level: 3,
+        sched_level: 2,
+        ..CompileOptions::default()
+    };
+    let image = compile(source, &options).expect("kernel compiles");
+    let machine = Machine::Patmos(SimConfig::default());
+    let aware = analyze(&image, &machine).expect("kernel is analysable");
+    let blind = analyze_unpipelined(&image, &machine).expect("kernel is analysable");
+    let mut sim = Simulator::new(&image, SimConfig::default());
+    sim.run().expect("kernel runs");
+    (aware.bound_cycles, blind.bound_cycles, sim.stats().cycles)
+}
+
+/// E19 — the pipeline-aware WCET trajectory: per-kernel IPET bounds at
+/// `opt3/sched2` with and without the `.pipeloop` cost model, against
+/// measured cycles.
+pub fn exp_e19_wcet_trajectory() -> String {
+    let mut out = String::new();
+    writeln!(
+        out,
+        "E19: pipeline-aware WCET bounds (opt3/sched2) vs the fallback-charged analysis"
+    )
+    .ok();
+    writeln!(
+        out,
+        "{:<12} {:>10} {:>13} {:>10} {:>10} {:>10}",
+        "kernel", "bound", "no-pipeloop", "tightening", "measured", "pessimism"
+    )
+    .ok();
+    for entry in &wcet_bounds_baseline() {
+        let w = workloads::by_name(&entry.name)
+            .unwrap_or_else(|| panic!("baseline kernel `{}` no longer exists", entry.name));
+        let (bound, fallback, measured) = measure_wcet_bounds_kernel(&w.source);
+        writeln!(
+            out,
+            "{:<12} {:>10} {:>13} {:>9.2}x {:>10} {:>9.2}x",
+            entry.name,
+            bound,
+            fallback,
+            fallback as f64 / bound as f64,
+            measured,
+            bound as f64 / measured as f64,
+        )
+        .ok();
+    }
+    out
+}
+
+/// Re-emits the WCET-bound trajectory baseline JSON from fresh
+/// measurements.
+pub fn wcet_bounds_baseline_json() -> String {
+    let mut out = String::new();
+    out.push_str("{\n  \"schema\": \"patmos-bench/wcet-bounds-baseline/v1\",\n");
+    out.push_str(
+        "  \"description\": \"Per-kernel WCET trajectory at opt_level 3 / sched_level 2: the pipelined-aware IPET bound (software-pipelined loops charged guard + prologue + kernel iterations at the II + epilogue via their .pipeloop records), the bound with those records ignored (the list-scheduled fallback charged its full .loopbound trips), and the cycles of one simulated run on the default machine. Regenerate with: cargo run -p patmos-bench --bin exp_e19_wcet_trajectory -- --json\",\n",
+    );
+    out.push_str("  \"kernels\": {\n");
+    let entries: Vec<String> = workloads::all()
+        .iter()
+        .map(|w| {
+            let (bound, fallback, measured) = measure_wcet_bounds_kernel(&w.source);
+            format!(
+                "    \"{}\": {{\n      \"bound_cycles\": {},\n      \"fallback_bound_cycles\": {},\n      \"measured_cycles\": {}\n    }}",
+                w.name, bound, fallback, measured
+            )
+        })
+        .collect();
+    out.push_str(&entries.join(",\n"));
+    out.push_str("\n  }\n}\n");
+    out
+}
+
 /// Runs every experiment and concatenates the reports.
 pub fn all_experiments() -> String {
     [
@@ -1582,6 +1696,7 @@ pub fn all_experiments() -> String {
         observe::exp_e16_observability(),
         hostperf::exp_e17_host_throughput(),
         exp_e18_regalloc2(),
+        exp_e19_wcet_trajectory(),
     ]
     .join("\n")
 }
@@ -2108,11 +2223,25 @@ mod tests {
         // The loop policy's `MaxLive` estimate accepts at least one
         // wide-but-shallow body the linear policy's distinct-register
         // proxy refuses (spmfilter's filter loop at the time of
-        // pinning).
-        let more = workloads::all().iter().any(|w| {
-            let m = measure_regalloc2_kernel(&w.source);
-            m.loop_unrolls > m.linear_unrolls
-        });
+        // pinning). Measured at `sched_level` 1: with the software
+        // pipeliner on, the unroller defers memory loops to it under
+        // *both* policies before either pressure estimate is
+        // consulted, so only the pipeliner-free level still
+        // distinguishes the estimators.
+        use patmos::compiler::compile_with_artifacts;
+        let unrolls = |w: &workloads::Workload, policy: patmos::Policy| {
+            let opts = CompileOptions {
+                sched_level: 1,
+                ..policy_options(policy)
+            };
+            compile_with_artifacts(&w.source, &opts)
+                .expect("kernel compiles")
+                .opt
+                .map_or(0, |r| r.unrolls.len())
+        };
+        let more = workloads::all()
+            .iter()
+            .any(|w| unrolls(w, patmos::Policy::Loop) > unrolls(w, patmos::Policy::Linear));
         assert!(
             more,
             "no kernel gained an unroll under the liveness-based pressure estimate"
@@ -2152,6 +2281,82 @@ mod tests {
             (0, 0, 0),
             "fir8's eight-tap window must fit the pool with no spill traffic"
         );
+    }
+
+    #[test]
+    fn e19_wcet_bounds_baseline_file_matches_current_measurements() {
+        // Compiler, simulator and IPET solver are deterministic; any
+        // drift means the checked-in trajectory is stale. Regenerate
+        // with:
+        //   cargo run -p patmos-bench --bin exp_e19_wcet_trajectory -- --json \
+        //     > crates/bench/baselines/wcet_bounds.json
+        let baseline = wcet_bounds_baseline();
+        let suite = workloads::all();
+        assert_eq!(
+            baseline.len(),
+            suite.len(),
+            "every kernel of the suite must be recorded in wcet_bounds.json"
+        );
+        for entry in &baseline {
+            let w = workloads::by_name(&entry.name)
+                .unwrap_or_else(|| panic!("baseline kernel `{}` no longer exists", entry.name));
+            let (bound, fallback, measured) = measure_wcet_bounds_kernel(&w.source);
+            assert_eq!(
+                (bound, fallback, measured),
+                (
+                    entry.bound_cycles,
+                    entry.fallback_bound_cycles,
+                    entry.measured_cycles
+                ),
+                "{}: baselines/wcet_bounds.json is stale; regenerate it",
+                entry.name
+            );
+        }
+    }
+
+    #[test]
+    fn e19_every_bound_covers_its_measured_run() {
+        // Soundness of the pinned trajectory itself: no kernel's
+        // pipeline-aware bound may dip below the simulated run, and
+        // ignoring the `.pipeloop` records can only loosen a bound,
+        // never tighten it.
+        for e in wcet_bounds_baseline() {
+            assert!(
+                e.bound_cycles >= e.measured_cycles,
+                "{}: bound {} below measured {}",
+                e.name,
+                e.bound_cycles,
+                e.measured_cycles
+            );
+            assert!(
+                e.fallback_bound_cycles >= e.bound_cycles,
+                "{}: pipeline-aware bound {} exceeds the record-blind bound {}",
+                e.name,
+                e.bound_cycles,
+                e.fallback_bound_cycles
+            );
+        }
+    }
+
+    #[test]
+    fn e19_pipelined_kernels_strictly_tighten() {
+        // The tentpole acceptance: on every software-pipelined kernel
+        // the `.pipeloop`-aware bound must be strictly below the bound
+        // that charges the list-scheduled fallback its full
+        // `.loopbound` trips.
+        let baseline = wcet_bounds_baseline();
+        for name in PIPELINED_KERNELS {
+            let e = baseline
+                .iter()
+                .find(|e| e.name == name)
+                .unwrap_or_else(|| panic!("pipelined kernel `{name}` missing from the baseline"));
+            assert!(
+                e.bound_cycles < e.fallback_bound_cycles,
+                "{name}: pipeline-aware analysis must strictly tighten ({} vs {})",
+                e.bound_cycles,
+                e.fallback_bound_cycles
+            );
+        }
     }
 
     #[test]

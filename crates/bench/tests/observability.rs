@@ -149,44 +149,54 @@ fn dotprod64_profile_sums_to_pinned_baseline() {
     );
 }
 
-/// The pessimism acceptance: on a software-pipelined kernel the
-/// loosest block must be pipelining fallback code — charged by the
-/// analysis (the guard is data-dependent) but never executed, inside
-/// the pipelined loop's source region.
+/// The pessimism acceptance, inverted from the pre-`.pipeloop` era:
+/// a software-pipelined kernel's fallback loop used to be the
+/// canonical loosest block — charged its full `.loopbound` trips by
+/// the analysis but never executed. Now the `.pipeloop` records teach
+/// IPET the guard's trip-count threshold: a constant-trip loop's
+/// fallback is excluded outright (the `.loopbound` min proves the
+/// guard passes), a runtime-trip loop's is capped at the threshold —
+/// either way the worst-case path stays on the kernel, the fallback's
+/// execution count in the IPET solution drops to zero, and it no
+/// longer tops the pessimism ranking.
 #[test]
-fn pessimism_ranks_pipelined_fallback_top() {
-    // fir8 pipelines its inner loop at sched_level 2 (II 15) with no
-    // partial unrolling, so its unexecuted-but-charged code is
-    // exactly the modulo scheduler's fallback.
-    let w = workloads::by_name("fir8").expect("fir8 exists");
-    let image = compile(&w.source, &opt3()).expect("compiles");
-    let mut sim = Simulator::new(&image, SimConfig::default());
-    let mut sink = VecSink::new();
-    sim.run_traced(&mut sink).expect("runs");
-    let measured = measured_by_pc(&sink);
-    let report = pessimism(&image, &Machine::Patmos(SimConfig::default()), &measured)
-        .expect("fir8 is analysable");
+fn pipelined_fallback_is_dead_in_the_ipet_solution() {
+    for name in patmos_bench::PIPELINED_KERNELS {
+        let w = workloads::by_name(name).expect("pipelined kernel exists");
+        let image = compile(&w.source, &opt3()).expect("compiles");
+        let fallbacks: Vec<(String, u32)> = image
+            .symbols()
+            .iter()
+            .filter(|(sym, _)| sym.ends_with("_mf"))
+            .map(|(sym, &addr)| (sym.clone(), addr))
+            .collect();
+        assert!(!fallbacks.is_empty(), "{name}: no pipelined loop emitted");
 
-    let top = report.blocks.first().expect("report has blocks");
-    assert!(top.slack > 0, "loosest block over-charges");
-    assert_eq!(
-        top.measured, 0,
-        "loosest block never ran: {} at word {}",
-        top.function, top.start_word
-    );
-    // It sits inside the pipelined loop's mapped source region.
-    let (_, line) = image
-        .source_at(top.start_word)
-        .expect("fallback maps to a source loop");
-    let inner_loop_line = image
-        .source_info()
-        .loops
-        .iter()
-        .map(|l| l.line)
-        .max()
-        .expect("fir8 has mapped loops");
-    assert_eq!(
-        line, inner_loop_line,
-        "loosest block attributes to the innermost (pipelined) loop"
-    );
+        let mut sim = Simulator::new(&image, SimConfig::default());
+        let mut sink = VecSink::new();
+        sim.run_traced(&mut sink).expect("runs");
+        let measured = measured_by_pc(&sink);
+        let report = pessimism(&image, &Machine::Patmos(SimConfig::default()), &measured)
+            .expect("kernel is analysable");
+
+        let top = report.blocks.first().expect("report has blocks");
+        for (sym, addr) in &fallbacks {
+            // A fully dead block (no charge, no measured cycles) is
+            // omitted from the report — exactly the expected outcome.
+            // If a row survives, it must carry zero everything.
+            if let Some(block) = report.blocks.iter().find(|b| b.start_word == *addr) {
+                assert_eq!(
+                    block.count, 0,
+                    "{name}: fallback {sym} is charged {} executions",
+                    block.count
+                );
+                assert_eq!(block.contribution, 0, "{name}: {sym} contributes cycles");
+                assert_eq!(block.measured, 0, "{name}: {sym} ran in the trace");
+            }
+            assert_ne!(
+                top.start_word, *addr,
+                "{name}: fallback {sym} still tops the pessimism ranking"
+            );
+        }
+    }
 }

@@ -130,16 +130,19 @@ pub struct CompileOptions {
 
 impl Default for CompileOptions {
     /// Dual issue on, if-conversion on (threshold 4), single-path off,
-    /// loop-aware mid-end on (`opt_level` 2), DAG scheduler on
-    /// (`sched_level` 1).
+    /// full mid-end on (`opt_level` 3), software pipelining on
+    /// (`sched_level` 2). The pipelined loop shape is WCET-analysable
+    /// through its `.pipeloop` records, so the most aggressive levels
+    /// are the default; historical baselines pin their levels
+    /// explicitly.
     fn default() -> CompileOptions {
         CompileOptions {
             dual_issue: true,
             if_convert: true,
             if_convert_threshold: 4,
             single_path: false,
-            opt_level: 2,
-            sched_level: 1,
+            opt_level: 3,
+            sched_level: 2,
             reg_policy: Policy::default(),
         }
     }
@@ -208,6 +211,12 @@ fn opt_config(options: &CompileOptions, trace: bool) -> patmos_opt::OptConfig {
         trace,
         level: options.opt_level,
         pressure: options.constraints().pressure_estimate(),
+        // The modulo scheduler downstream takes straight-line memory
+        // loops further than replication can, and its `.pipeloop`
+        // records keep the shape WCET-analysable; the unroller leaves
+        // those loops to it. Single-path mode never pipelines, so it
+        // never defers either.
+        defer_pipelineable: options.sched_level >= 2 && !options.single_path,
     }
 }
 

@@ -310,6 +310,20 @@ pub fn emit(module: &ScheduledModule) -> String {
                     second.render()
                 )),
             },
+            SchedItem::PipeLoop {
+                guard,
+                kernel,
+                fallback,
+                ii,
+                stages,
+                prologue,
+                epilogue,
+                threshold,
+                min_trips,
+            } => out.push_str(&format!(
+                "        .pipeloop {guard} {kernel} {fallback} {ii} {stages} {prologue} \
+                 {epilogue} {threshold} {min_trips}\n"
+            )),
         }
     }
     out

@@ -331,6 +331,15 @@ pub struct OptConfig {
     /// [`patmos_regalloc::Constraints::pressure_estimate`]). The
     /// default is the linear-scan distinct-register proxy.
     pub pressure: patmos_regalloc::PressureEstimate,
+    /// A software pipeliner runs after this pipeline (`sched_level` 2):
+    /// the partial-unroll schemes leave modulo-schedulable loops —
+    /// straight-line memory loops with enough trips to fill a pipeline
+    /// — alone, because replication turns them into shapes the
+    /// pipeliner can no longer overlap (a replicated body's serial
+    /// memory chain pushes `II` up to the plain iteration cost), and a
+    /// pipelined kernel both runs faster and gives the WCET analysis a
+    /// structured `.pipeloop` shape to charge exactly.
+    pub defer_pipelineable: bool,
 }
 
 impl Default for OptConfig {
@@ -341,6 +350,7 @@ impl Default for OptConfig {
             trace: false,
             level: 1,
             pressure: patmos_regalloc::PressureEstimate::default(),
+            defer_pipelineable: false,
         }
     }
 }
@@ -445,7 +455,13 @@ fn run_pipeline(module: &mut VModule, config: OptConfig) -> OptReport {
         let partial = config.level >= 3;
         for _ in 0..MAX_UNROLL_ROUNDS {
             let before = config.trace.then(|| module.render());
-            if !unroll::run(module, partial, config.pressure, &mut report) {
+            if !unroll::run(
+                module,
+                partial,
+                config.defer_pipelineable,
+                config.pressure,
+                &mut report,
+            ) {
                 break;
             }
             // The unroll application is a round of its own; the next

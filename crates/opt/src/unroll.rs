@@ -509,6 +509,24 @@ fn replication_pays(plan: &Plan, factor: i64, trips: i64, added_insts: i64) -> b
     savings * 3 > growth * 4
 }
 
+/// Whether `plan` is a loop the `sched_level` 2 modulo scheduler can
+/// take further than replication can: one straight-line block (the
+/// pipeliner's shape requirement), memory traffic to hide (a pure-ALU
+/// body gains more from replication's dual-issue packing than from
+/// overlap), no multiply recurrence (it fixes the recurrence `MII` at
+/// the full chain latency), and enough worst-case trips to fill and
+/// pay for a multi-stage pipeline.
+fn pipeliner_can_take(plan: &Plan) -> bool {
+    const MIN_PIPELINE_TRIPS: i64 = 8;
+    let expected_trips = plan
+        .trips
+        .or_else(|| plan.bound_ann.map(|(_, max)| max.saturating_sub(1) as i64));
+    plan.single_block
+        && plan.has_memory
+        && !plan.carried_mul
+        && expected_trips.is_some_and(|t| t >= MIN_PIPELINE_TRIPS)
+}
+
 /// Picks the scheme for `plan`. `Err(Some(message))` is a refusal
 /// worth a `--remarks` line (a canonical loop the cost model or a
 /// budget turned down); `Err(None)` leaves the loop alone silently
@@ -516,6 +534,7 @@ fn replication_pays(plan: &Plan, factor: i64, trips: i64, added_insts: i64) -> b
 fn choose_scheme(
     plan: &Plan,
     partial: bool,
+    defer_pipelineable: bool,
     pressure: PressureEstimate,
 ) -> Result<Scheme, Option<String>> {
     // Full unrolling: small constant trip within budget; top-level
@@ -539,6 +558,12 @@ fn choose_scheme(
                 } else {
                     ""
                 },
+            )));
+        }
+        if defer_pipelineable && pipeliner_can_take(plan) {
+            return Err(Some(format!(
+                "constant trip {trips} left for the software pipeliner (replication would \
+                 serialise its memory chain)"
             )));
         }
         if let Some(message) = pressure_refusal(plan, pressure) {
@@ -575,6 +600,13 @@ fn choose_scheme(
         return Err(Some(
             "runtime-trip loop has internal control flow; remainder unrolling needs a \
              straight-line body"
+                .into(),
+        ));
+    }
+    if defer_pipelineable && pipeliner_can_take(plan) {
+        return Err(Some(
+            "runtime-trip loop left for the software pipeliner (replication would serialise \
+             its memory chain)"
                 .into(),
         ));
     }
@@ -676,10 +708,17 @@ fn replicate(body: &[VItem], copies: i64, prefix: &str) -> Vec<VItem> {
 pub(crate) fn run(
     module: &mut VModule,
     partial: bool,
+    defer_pipelineable: bool,
     pressure: PressureEstimate,
     report: &mut crate::OptReport,
 ) -> bool {
     let mut plans: Vec<(String, Plan, Scheme)> = Vec::new();
+    // Loops with a proven constant trip count that stay loops still
+    // get their `.loopbound` *min* raised to the exact header-execution
+    // count: `min` never shapes code, but it rides through to the WCET
+    // analysis, where it proves a software-pipelined loop's short-trip
+    // fallback dead (the guard provably passes).
+    let mut tightens: Vec<(String, String, usize, u32)> = Vec::new();
     for func in &patmos_lir::split_functions(&module.items) {
         let cfg = patmos_lir::build_vcfg(func, &module.items);
         let forest = patmos_lir::LoopForest::build(&cfg);
@@ -689,22 +728,55 @@ pub(crate) fn run(
                 continue;
             }
             if let Some(plan) = plan_loop(&module.items, func, &cfg, lp) {
-                match choose_scheme(&plan, partial, pressure) {
+                match choose_scheme(&plan, partial, defer_pipelineable, pressure) {
                     Ok(scheme) => plans.push((func.name.to_string(), plan, scheme)),
-                    Err(Some(message)) => report.push_remark(patmos_lir::Remark {
-                        pass: "unroll",
-                        function: func.name.to_string(),
-                        site: Some(plan.head_label.clone()),
-                        applied: false,
-                        message,
-                    }),
-                    Err(None) => {}
+                    refused => {
+                        if let Err(Some(message)) = refused {
+                            report.push_remark(patmos_lir::Remark {
+                                pass: "unroll",
+                                function: func.name.to_string(),
+                                site: Some(plan.head_label.clone()),
+                                applied: false,
+                                message,
+                            });
+                        }
+                        if let (Some(trips), Some((min, max))) = (plan.trips, plan.bound_ann) {
+                            let exact = trips as u32 + 1;
+                            if min < exact && exact <= max {
+                                tightens.push((
+                                    func.name.to_string(),
+                                    plan.head_label.clone(),
+                                    plan.start,
+                                    exact,
+                                ));
+                            }
+                        }
+                    }
                 }
             }
         }
     }
-    if plans.is_empty() {
+    if plans.is_empty() && tightens.is_empty() {
         return false;
+    }
+
+    // In-place single-item rewrites first: they shift no indices, so
+    // the spliced plans below stay valid.
+    for (function, site, at, exact) in tightens {
+        let VItem::LoopBound { max, .. } = module.items[at] else {
+            unreachable!("plan.start points at the recorded .loopbound");
+        };
+        module.items[at] = VItem::LoopBound { min: exact, max };
+        report.push_remark(patmos_lir::Remark {
+            pass: "unroll",
+            function,
+            site: Some(site),
+            applied: true,
+            message: format!(
+                "constant trip count {}: .loopbound min tightened to {exact} header executions",
+                exact - 1
+            ),
+        });
     }
 
     let mut next_vreg = max_vreg(&module.items) + 1;
@@ -754,10 +826,12 @@ pub(crate) fn run(
                     trips: Some(trips as u32),
                 });
                 // Keep the original header and branches; replace the
-                // body with `factor` copies and tighten the bound.
+                // body with `factor` copies and tighten the bound —
+                // exactly, on both sides: the trip count is a proven
+                // constant and the factor divides it.
                 let new_max = (trips / factor + 1) as u32;
                 let mut out: Vec<VItem> = vec![VItem::LoopBound {
-                    min: 1,
+                    min: new_max,
                     max: new_max,
                 }];
                 // Header label + compare + exit branch, verbatim.
@@ -868,6 +942,7 @@ mod tests {
         run(
             m,
             false,
+            false,
             PressureEstimate::default(),
             &mut crate::OptReport::default(),
         )
@@ -875,7 +950,13 @@ mod tests {
 
     fn run_partial(m: &mut VModule) -> (bool, Vec<LoopUnroll>) {
         let mut report = crate::OptReport::default();
-        let changed = run(m, true, PressureEstimate::default(), &mut report);
+        let changed = run(m, true, false, PressureEstimate::default(), &mut report);
+        (changed, report.unrolls)
+    }
+
+    fn run_partial_deferring(m: &mut VModule) -> (bool, Vec<LoopUnroll>) {
+        let mut report = crate::OptReport::default();
+        let changed = run(m, true, true, PressureEstimate::default(), &mut report);
         (changed, report.unrolls)
     }
 
@@ -1055,7 +1136,17 @@ mod tests {
             ra: v(1),
             offset: 0,
         });
-        assert!(!run_full(&mut mem));
+        // The loop survives, but its proven constant trip count still
+        // tightens the `.loopbound` min to the exact header count.
+        assert!(run_full(&mut mem));
+        assert!(
+            mem.items
+                .iter()
+                .any(|i| matches!(i, VItem::LoopBound { min: 6, max: 6 })),
+            "{}",
+            mem.render()
+        );
+        assert!(!run_full(&mut mem), "bound tightening is idempotent");
     }
 
     #[test]
@@ -1239,7 +1330,19 @@ mod tests {
         // would fit the budget but its growth outweighs the removed
         // loop overhead).
         let mut m = overbudget_constant_loop(64, 4);
-        assert!(!run_full(&mut m.clone()));
+        // Without partial unrolling the loop stays, but the constant
+        // trip count still tightens the `.loopbound` min.
+        let mut full_only = m.clone();
+        assert!(run_full(&mut full_only));
+        assert!(
+            full_only
+                .items
+                .iter()
+                .any(|i| matches!(i, VItem::LoopBound { min: 65, max: 65 })),
+            "{}",
+            full_only.render()
+        );
+        assert!(!run_full(&mut full_only), "bound tightening is idempotent");
         let (changed, log) = run_partial(&mut m);
         assert!(changed);
         assert_eq!(log.len(), 1);
@@ -1264,7 +1367,7 @@ mod tests {
         assert!(
             m.items
                 .iter()
-                .any(|i| matches!(i, VItem::LoopBound { min: 1, max: 5 })),
+                .any(|i| matches!(i, VItem::LoopBound { min: 5, max: 5 })),
             "{}",
             m.render()
         );
@@ -1427,6 +1530,53 @@ mod tests {
             "preheader computes K - step:\n{}",
             m.render()
         );
+    }
+
+    #[test]
+    fn memory_loops_are_left_for_the_pipeliner_when_deferring() {
+        // A runtime-trip memory loop: remainder unrolling would take
+        // it, but with a software pipeliner downstream it stays a
+        // plain loop for the modulo scheduler to overlap.
+        let mut m = runtime_trip_loop();
+        m.items[7] = inst(VOp::Load {
+            area: patmos_isa::MemArea::Static,
+            size: patmos_isa::AccessSize::Word,
+            rd: v(2),
+            ra: v(1),
+            offset: 0,
+        });
+        assert!(run_partial(&mut m.clone()).0, "unrolls when not deferring");
+        assert!(!run_partial_deferring(&mut m).0, "{}", m.render());
+
+        // An over-budget constant-trip memory loop defers too — but
+        // its proven trip count still tightens the `.loopbound` min,
+        // which is what proves the pipelined fallback dead later.
+        let mut m = overbudget_constant_loop(64, 4);
+        m.items[7] = inst(VOp::Load {
+            area: patmos_isa::MemArea::Static,
+            size: patmos_isa::AccessSize::Word,
+            rd: v(20),
+            ra: v(1),
+            offset: 0,
+        });
+        let (changed, log) = run_partial_deferring(&mut m);
+        assert!(changed, "the min-tightening still applies");
+        assert!(log.is_empty(), "no unroll: {}", m.render());
+        assert!(
+            m.items
+                .iter()
+                .any(|i| matches!(i, VItem::LoopBound { min: 65, max: 65 })),
+            "{}",
+            m.render()
+        );
+
+        // A pure-ALU loop gains more from replication's dual-issue
+        // packing than from overlap: it still unrolls under deferral.
+        let mut pure = runtime_trip_loop();
+        let (changed, log) = run_partial_deferring(&mut pure);
+        assert!(changed);
+        assert_eq!(log.len(), 1);
+        assert_eq!(log[0].kind, UnrollKind::Remainder);
     }
 
     #[test]

@@ -19,16 +19,17 @@
 //! ```
 //!
 //! `--opt-level N` selects the mid-end pipeline (0 = straight lowering,
-//! 1 = the `patmos-opt` scalar pass pipeline, 2 = the default
-//! loop-aware pipeline: inlining, loop-invariant code motion, bounded
-//! full unrolling, 3 = partial unrolling on top: divisor replication of
-//! over-budget constant-trip loops, main/remainder splitting of
-//! runtime-trip loops); `--sched-level N`
+//! 1 = the `patmos-opt` scalar pass pipeline, 2 = the loop-aware
+//! pipeline: inlining, loop-invariant code motion, bounded full
+//! unrolling, 3 = the default: partial unrolling on top — divisor
+//! replication of over-budget constant-trip loops, main/remainder
+//! splitting of runtime-trip loops); `--sched-level N`
 //! selects the backend scheduler (0 = the historical run scheduler,
-//! 1 = the default `patmos-sched` dependence-DAG scheduler with
-//! delay-slot filling, 2 = iterative modulo scheduling on top:
-//! innermost counted loops become software-pipelined
-//! guard/prologue/kernel/epilogue chains); `--reg-policy` selects the
+//! 1 = the `patmos-sched` dependence-DAG scheduler with
+//! delay-slot filling, 2 = the default: iterative modulo scheduling on
+//! top — innermost counted loops become software-pipelined
+//! guard/prologue/kernel/epilogue chains whose `.pipeloop` records the
+//! WCET analysis charges at the pipelined shape); `--reg-policy` selects the
 //! register-allocation policy (`linear` = the default historical
 //! linear scan, `loop` = loop-aware allocation: round-robin assignment
 //! inside hot loops, caller-saves and invariant spill reloads hoisted

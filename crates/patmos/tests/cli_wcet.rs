@@ -1,0 +1,109 @@
+//! `patmos-cli wcet --pessimism` stays well-formed on every kernel of
+//! the benchmark suite at the default (`opt3/sched2`) levels — the
+//! satellite acceptance of the pipeline-aware WCET work: the pessimism
+//! breakdown must print for software-pipelined code (whose CFGs carry
+//! `.pipeloop` records) exactly as for straight-line code, and its
+//! accounting identity must hold in the rendered output, not just in
+//! the library API.
+
+use std::process::Command;
+
+/// Runs the CLI on `source` written to a scratch `.patc` file and
+/// returns captured stdout.
+fn run_wcet_pessimism(name: &str, source: &str) -> String {
+    let dir = std::env::temp_dir().join(format!("patmos-cli-wcet-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    let path = dir.join(format!("{name}.patc"));
+    std::fs::write(&path, source).expect("write kernel source");
+    let out = Command::new(env!("CARGO_BIN_EXE_patmos-cli"))
+        .arg("wcet")
+        .arg(&path)
+        .arg("--pessimism")
+        .output()
+        .expect("patmos-cli runs");
+    assert!(
+        out.status.success(),
+        "{name}: wcet --pessimism failed:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8(out.stdout).expect("utf-8 output")
+}
+
+/// The integers in `line`, in order of appearance.
+fn ints(line: &str) -> Vec<u64> {
+    line.split(|c: char| !c.is_ascii_digit())
+        .filter(|s| !s.is_empty())
+        .filter_map(|s| s.parse().ok())
+        .collect()
+}
+
+#[test]
+fn wcet_pessimism_output_is_well_formed_on_every_kernel() {
+    for w in patmos::workloads::all() {
+        let stdout = run_wcet_pessimism(w.name, &w.source);
+        let mut lines = stdout.lines();
+
+        // The summary block: entry, observed, bound, pessimism.
+        assert!(
+            stdout.contains("entry function"),
+            "{}: missing entry line:\n{stdout}",
+            w.name
+        );
+        let observed = ints(
+            lines
+                .find(|l| l.starts_with("observed cycles"))
+                .unwrap_or_else(|| panic!("{}: no observed line:\n{stdout}", w.name)),
+        )[0];
+        let bound_line = lines
+            .find(|l| l.starts_with("WCET bound"))
+            .unwrap_or_else(|| panic!("{}: no bound line:\n{stdout}", w.name));
+        let bound = ints(bound_line)[0];
+        assert!(
+            bound >= observed,
+            "{}: bound {bound} below observed {observed}",
+            w.name
+        );
+
+        // The breakdown: its own bound/measured recap must agree with
+        // the summary, and the charged column must account for the
+        // whole bound (minus warm-up) — the accounting identity, read
+        // back from the rendered table.
+        let marker = lines
+            .find(|l| l.contains("pessimism breakdown"))
+            .unwrap_or_else(|| panic!("{}: no breakdown header:\n{stdout}", w.name));
+        assert!(marker.contains("loosest first"), "{}: {marker}", w.name);
+        let recap = ints(
+            lines
+                .next()
+                .unwrap_or_else(|| panic!("{}: breakdown recap missing", w.name)),
+        );
+        let (b_bound, warmup) = (recap[0], recap[1]);
+        assert_eq!(
+            b_bound, bound,
+            "{}: breakdown disagrees on the bound",
+            w.name
+        );
+        let header = lines.next().expect("column header");
+        assert!(header.contains("slack"), "{}: {header}", w.name);
+        let mut charged_sum = 0u64;
+        let mut rows = 0usize;
+        for row in lines.by_ref() {
+            if !row.starts_with(char::is_alphabetic) || row.starts_with("baseline") {
+                break;
+            }
+            // block word [source] count cost charged measured slack —
+            // the last four numeric columns are always present.
+            let nums = ints(row);
+            assert!(nums.len() >= 5, "{}: malformed row `{row}`", w.name);
+            charged_sum += nums[nums.len() - 3];
+            rows += 1;
+        }
+        assert!(rows > 0, "{}: breakdown has no block rows", w.name);
+        assert_eq!(
+            charged_sum + warmup,
+            bound,
+            "{}: charged cycles + warm-up must equal the bound",
+            w.name
+        );
+    }
+}

@@ -94,6 +94,36 @@ pub enum SchedItem {
     },
     /// An issued bundle.
     Bundle(SchedBundle),
+    /// Structured metadata for one software-pipelined loop, emitted
+    /// right before the loop's guard so the WCET analysis can model
+    /// the guard/prologue/kernel/epilogue shape instead of charging
+    /// the short-trip fallback loop at the full trip count.
+    PipeLoop {
+        /// Label of the block holding the guard compare-and-branch.
+        guard: String,
+        /// Label of the steady-state kernel loop.
+        kernel: String,
+        /// Label of the list-scheduled short-trip fallback loop.
+        fallback: String,
+        /// Kernel initiation interval in bundles.
+        ii: u32,
+        /// Pipeline stage count.
+        stages: u32,
+        /// Prologue bundle count (`(stages − 1) × ii`).
+        prologue: u32,
+        /// Epilogue bundle count (drain plus shadow padding).
+        epilogue: u32,
+        /// The guard's trip-count threshold: the guard passes exactly
+        /// when the loop runs at least this many iterations, so the
+        /// fallback executes its header at most `threshold` times per
+        /// entry (it is only entered when the guard fails).
+        threshold: u32,
+        /// Provable lower bound on the trip count, from the
+        /// `.loopbound` annotation's `min` (header executions − 1).
+        /// When `min_trips ≥ threshold` the guard provably passes and
+        /// the fallback is dead.
+        min_trips: u32,
+    },
 }
 
 /// A scheduled module ready for emission.
@@ -589,7 +619,7 @@ mod tests {
                 SchedItem::FuncStart(n) => Some(format!("func:{n}")),
                 SchedItem::Label(n) => Some(format!("label:{n}")),
                 SchedItem::LoopBound { max, .. } => Some(format!("bound:{max}")),
-                SchedItem::Bundle(_) => None,
+                SchedItem::Bundle(_) | SchedItem::PipeLoop { .. } => None,
             })
             .collect();
         assert_eq!(

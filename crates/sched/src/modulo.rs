@@ -33,6 +33,7 @@
 //! 4. **Code shape.** The loop becomes:
 //!
 //!    ```text
+//!    .pipeloop head kernel fallback …         ; structured shape record
 //!           cmpi<lt> pd = vi, K-(S-1)*step   ; guard: at least S trips?
 //!           (!pd) br fallback                 ; else: run the plain loop
 //!           …prologue…                        ; stages 0..S-2 fill
@@ -276,7 +277,7 @@ pub(crate) fn try_pipeline(
         return None;
     }
     let label = hb.labels[0].clone();
-    let (_, max_ann) = head_bound(&hb.head)?;
+    let (min_ann, max_ann) = head_bound(&hb.head)?;
     let hterm = hb.term.as_ref()?;
     let bterm = bb.term.as_ref()?;
     let LirOp::BrLabel(exit_label) = &hterm.op else {
@@ -490,8 +491,8 @@ pub(crate) fn try_pipeline(
         }
 
         let mut p = emit(
-            func, h, &cl, bound_regs, &label, exit_label, &ops, &times, ii, stages, mii, max_ann,
-            dual_issue,
+            func, h, &cl, bound_regs, &label, exit_label, &ops, &times, ii, stages, mii, min_ann,
+            max_ann, dual_issue,
         );
         p.report.renamed = renamed;
         return Some(p);
@@ -710,6 +711,7 @@ fn emit(
     ii: u32,
     stages: u32,
     mii: u32,
+    min_ann: u32,
     max_ann: u32,
     dual_issue: bool,
 ) -> Pipelined {
@@ -740,6 +742,9 @@ fn emit(
             items.push(SchedItem::Label(l.clone()));
         }
     }
+    // The `.pipeloop` record lands here, once the prologue/epilogue
+    // bundle counts are known.
+    let pipeinfo_at = items.len();
 
     // Guard: enough trips for the prologue's unconditional starts?
     let guard_cmp = match (cl.bound, bound_regs) {
@@ -894,6 +899,26 @@ fn emit(
     for (f, s) in body_sched.bundles {
         push_bundle(&mut items, f, s);
     }
+
+    // The structured record the WCET analysis resolves: the guard
+    // passes exactly when the loop runs at least `stages` trips, so
+    // the fallback never executes its header more than `stages` times
+    // per entry — and never at all when the `.loopbound` min already
+    // proves that many trips.
+    items.insert(
+        pipeinfo_at,
+        SchedItem::PipeLoop {
+            guard: label.to_string(),
+            kernel: kern_label.clone(),
+            fallback: format!("{label}_mf"),
+            ii,
+            stages,
+            prologue: prologue_len as u32,
+            epilogue: epilogue_len as u32,
+            threshold: stages,
+            min_trips: min_ann.saturating_sub(1),
+        },
+    );
 
     let report = LoopReport {
         label: label.to_string(),

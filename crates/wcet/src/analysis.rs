@@ -98,6 +98,14 @@ impl WcetReport {
 /// Computes a WCET bound for the image's entry function on the given
 /// machine model.
 ///
+/// Software-pipelined loops carrying a `.pipeloop` record are charged
+/// at their pipelined shape — guard, prologue, kernel iterations at
+/// the initiation interval, epilogue — with the short-trip fallback
+/// loop capped at the guard's trip-count threshold (and excluded
+/// entirely when the `.loopbound` minimum proves the guard passes).
+/// Use [`analyze_unpipelined`] to measure what the bound would be
+/// without that shape knowledge.
+///
 /// # Errors
 ///
 /// Returns a [`WcetError`] for unanalysable programs: indirect calls,
@@ -108,23 +116,51 @@ impl WcetReport {
 /// ```
 /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
 /// use patmos_wcet::{analyze, Machine};
-/// let image = patmos_asm::assemble(
-///     "        .func main\n        li r2 = 5\nloop:\n        .loopbound 5 5\n        subi r2 = r2, 1\n        cmpineq p1 = r2, 0\n        (p1) br loop\n        nop\n        nop\n        halt\n",
-/// )?;
+/// let image = patmos_asm::assemble(&patmos_wcet::fixtures::counted_loop(5))?;
 /// let report = analyze(&image, &Machine::Patmos(patmos_sim::SimConfig::default()))?;
 /// assert!(report.bound_cycles > 0);
 /// # Ok(())
 /// # }
 /// ```
 pub fn analyze(image: &ObjectImage, machine: &Machine) -> Result<WcetReport, WcetError> {
+    analyze_impl(image, machine, true)
+}
+
+/// Like [`analyze`], but deliberately blind to `.pipeloop` records:
+/// every software-pipelined loop is charged as if its short-trip
+/// fallback could run the full trip count — the shape the analysis
+/// assumed before it learnt the pipelined cost model. The gap between
+/// this bound and [`analyze`]'s is exactly what modelling the pipeline
+/// buys.
+///
+/// # Errors
+///
+/// Same conditions as [`analyze`].
+pub fn analyze_unpipelined(
+    image: &ObjectImage,
+    machine: &Machine,
+) -> Result<WcetReport, WcetError> {
+    analyze_impl(image, machine, false)
+}
+
+fn analyze_impl(
+    image: &ObjectImage,
+    machine: &Machine,
+    use_pipe_loops: bool,
+) -> Result<WcetReport, WcetError> {
     if image.functions().is_empty() {
         return Err(WcetError::Empty);
     }
-    let cfgs: Vec<Cfg> = image
+    let mut cfgs: Vec<Cfg> = image
         .functions()
         .iter()
         .map(|f| build_cfg(image, f))
         .collect::<Result<_, _>>()?;
+    if !use_pipe_loops {
+        for cfg in &mut cfgs {
+            cfg.pipe_loops.clear();
+        }
+    }
 
     let order = topo_order(&cfgs)?;
 
@@ -335,23 +371,59 @@ pub(crate) fn ipet(cfg: &Cfg, costs: &[u64]) -> Result<(u64, Vec<u64>), WcetErro
             .ok_or(WcetError::MissingLoopBound {
                 addr: cfg.blocks[h].start_word,
             })?;
+        // A software-pipelined loop's fallback carries the *original*
+        // loop's annotation, but it only runs when the guard fails —
+        // i.e. with fewer than `threshold` trips remaining — so its
+        // per-entry bound caps at the threshold. The worst-case flow
+        // then routes through the (costlier) guard + prologue +
+        // kernel + epilogue path, which the kernel's own `.loopbound`
+        // charges at II per iteration: exactly the pipelined cost
+        // model. The fallback path still participates (the LP takes
+        // the max), unless the exclusion below kills it.
+        let pipe = cfg.pipe_loops.iter().find(|p| p.fallback == h);
+        let max = match pipe {
+            Some(p) => bound.max.min(p.record.threshold),
+            None => bound.max,
+        };
         // x_h <= max * (entry edges into h):
         //   sum(in(h)) - max * sum(non-back in(h)) <= 0.
         let mut coeffs: Vec<(usize, f64)> = Vec::new();
         for (ei, e) in edges.iter().enumerate() {
             match e {
                 Edge::Entry if h == 0 => {
-                    coeffs.push((ei, 1.0 - bound.max as f64));
+                    coeffs.push((ei, 1.0 - max as f64));
                 }
                 Edge::Flow(u, v) if *v == h => {
                     let is_back = back.contains(&(*u, h));
-                    let c = if is_back { 1.0 } else { 1.0 - bound.max as f64 };
+                    let c = if is_back { 1.0 } else { 1.0 - max as f64 };
                     coeffs.push((ei, c));
                 }
                 _ => {}
             }
         }
         lp.add_ub(coeffs, 0.0);
+    }
+    // A fallback whose loop provably runs at least `threshold` trips
+    // is dead: the guard always passes, so no flow may enter it at
+    // all (its entry edges sum to zero). This fires on constant-trip
+    // loops, where the unroller tightened the `.loopbound` min.
+    for p in &cfg.pipe_loops {
+        if p.record.min_trips < p.record.threshold {
+            continue;
+        }
+        let coeffs: Vec<(usize, f64)> = edges
+            .iter()
+            .enumerate()
+            .filter_map(|(ei, e)| match e {
+                Edge::Flow(u, v) if *v == p.fallback && !back.contains(&(*u, p.fallback)) => {
+                    Some((ei, 1.0))
+                }
+                _ => None,
+            })
+            .collect();
+        if !coeffs.is_empty() {
+            lp.add_ub(coeffs, 0.0);
+        }
     }
 
     match solve(&lp) {
@@ -366,7 +438,21 @@ pub(crate) fn ipet(cfg: &Cfg, costs: &[u64]) -> Result<(u64, Vec<u64>), WcetErro
                     Edge::Exit(_) => {}
                 }
             }
-            Ok((value.ceil() as u64, counts))
+            // The bound is re-derived from the rounded witnessing flow
+            // in exact integer arithmetic: the float objective can sit
+            // an ulp above the true integral optimum, and `ceil` would
+            // then charge a phantom cycle the per-block counts never
+            // account for. Should the solver ever land on a fractional
+            // vertex, the rounded flow could undercut the objective —
+            // keep the ceiling in that case; soundness beats the
+            // accounting identity.
+            let flow_value: u64 = counts.iter().zip(costs).map(|(&n, &c)| n * c).sum();
+            let bound = if (flow_value as f64) + 0.5 < value {
+                value.ceil() as u64
+            } else {
+                flow_value
+            };
+            Ok((bound, counts))
         }
         LpSolution::Infeasible => Err(WcetError::Infeasible {
             name: cfg.func.name.clone(),
@@ -384,15 +470,13 @@ mod tests {
     use patmos_asm::assemble;
     use patmos_sim::Simulator;
 
-    const SUM_LOOP: &str = "        .func main\n        li r1 = 0\n        li r2 = 5\nloop:\n        .loopbound 5 5\n        add r1 = r1, r2\n        subi r2 = r2, 1\n        cmpineq p1 = r2, 0\n        (p1) br loop\n        nop\n        nop\n        halt\n";
-
     fn patmos() -> Machine {
         Machine::Patmos(SimConfig::default())
     }
 
     #[test]
     fn bound_covers_observed_loop() {
-        let image = assemble(SUM_LOOP).expect("assembles");
+        let image = assemble(&crate::fixtures::counted_loop(5)).expect("assembles");
         let report = analyze(&image, &patmos()).expect("analyses");
         let mut sim = Simulator::new(&image, SimConfig::default());
         let observed = sim.run().expect("runs").stats.cycles;
@@ -416,6 +500,38 @@ mod tests {
         let image = assemble(src).expect("assembles");
         match analyze(&image, &patmos()) {
             Err(WcetError::MissingLoopBound { .. }) => {}
+            other => panic!("expected MissingLoopBound, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn pipeloop_record_tightens_the_bound() {
+        // Same image minus the `.pipeloop` record: the fallback is
+        // charged its full 9 annotated trips instead of the guard's
+        // 2-trip threshold, so the pipelined-aware bound is strictly
+        // lower.
+        let image = assemble(&crate::fixtures::pipelined_loop(Some((1, 3)), 0)).expect("assembles");
+        let aware = analyze(&image, &patmos()).expect("analyses");
+        let blind = analyze_unpipelined(&image, &patmos()).expect("analyses");
+        assert!(
+            aware.bound_cycles < blind.bound_cycles,
+            "pipelined-aware bound {} must beat the fallback-charged bound {}",
+            aware.bound_cycles,
+            blind.bound_cycles
+        );
+    }
+
+    #[test]
+    fn missing_kernel_bound_names_the_kernel_header() {
+        // Satellite: an unannotated *pipelined* kernel loop must point
+        // the user at the kernel header, not the guard block.
+        let image = assemble(&crate::fixtures::pipelined_loop(None, 0)).expect("assembles");
+        let kernel = image.symbol("kernel").expect("kernel label kept");
+        match analyze(&image, &patmos()) {
+            Err(WcetError::MissingLoopBound { addr }) => assert_eq!(
+                addr, kernel,
+                "error should name the kernel header at word {kernel}, got {addr}"
+            ),
             other => panic!("expected MissingLoopBound, got {other:?}"),
         }
     }
@@ -464,7 +580,7 @@ mod tests {
 
     #[test]
     fn baseline_bound_is_much_looser() {
-        let image = assemble(SUM_LOOP).expect("assembles");
+        let image = assemble(&crate::fixtures::counted_loop(5)).expect("assembles");
         let patmos_report = analyze(&image, &patmos()).expect("analyses");
         let baseline_report =
             analyze(&image, &Machine::Baseline(BaselineConfig::default())).expect("analyses");

@@ -8,7 +8,7 @@
 
 use std::fmt;
 
-use patmos_asm::{FuncInfo, LoopBound, ObjectImage};
+use patmos_asm::{FuncInfo, LoopBound, ObjectImage, PipeLoop};
 use patmos_isa::{Bundle, FlowKind, Op};
 
 /// Why a binary could not be turned into an analysable CFG.
@@ -86,6 +86,21 @@ impl Block {
     }
 }
 
+/// A software-pipelined loop's `.pipeloop` record resolved to block
+/// indices of this function's CFG.
+#[derive(Debug, Clone, Copy)]
+pub struct PipeLoopInfo {
+    /// The guard block (holds the compare-and-branch into the fallback).
+    pub guard: usize,
+    /// The kernel loop's header block.
+    pub kernel: usize,
+    /// The fallback loop's header block.
+    pub fallback: usize,
+    /// The raw directive record (II, stages, prologue/epilogue bundle
+    /// counts, guard threshold, provable minimum trip count).
+    pub record: PipeLoop,
+}
+
 /// The CFG of one function.
 #[derive(Debug, Clone)]
 pub struct Cfg {
@@ -93,6 +108,9 @@ pub struct Cfg {
     pub func: FuncInfo,
     /// Blocks in address order; block 0 is the entry.
     pub blocks: Vec<Block>,
+    /// Software-pipelined loops whose guard, kernel and fallback all
+    /// resolve to blocks of this function.
+    pub pipe_loops: Vec<PipeLoopInfo>,
 }
 
 impl Cfg {
@@ -295,9 +313,34 @@ pub fn build_cfg(image: &ObjectImage, func: &FuncInfo) -> Result<Cfg, CfgError> 
         }
     }
 
+    // Attach pipelined-loop records whose three blocks all live here.
+    // Kernel and fallback are loop headers, hence branch targets and
+    // block starts; the guard label may be fallen into mid-block, so it
+    // resolves to the containing block.
+    let block_at = |word: u32| blocks.iter().position(|b| b.start_word == word);
+    let block_containing = |word: u32| {
+        blocks.iter().position(|b| {
+            b.bundles.first().is_some_and(|&(a, _)| a <= word)
+                && b.bundles.last().is_some_and(|&(a, _)| word <= a)
+        })
+    };
+    let pipe_loops = image
+        .pipe_loops()
+        .iter()
+        .filter_map(|record| {
+            Some(PipeLoopInfo {
+                guard: block_containing(record.guard_word)?,
+                kernel: block_at(record.kernel_word)?,
+                fallback: block_at(record.fallback_word)?,
+                record: *record,
+            })
+        })
+        .collect();
+
     Ok(Cfg {
         func: func.clone(),
         blocks,
+        pipe_loops,
     })
 }
 

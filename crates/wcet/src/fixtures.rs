@@ -1,0 +1,78 @@
+//! Shared assembly fixtures for tests and doctests.
+//!
+//! Hand-written loop fixtures kept getting the machine details subtly
+//! wrong — most often the two delay slots a conditional branch drags
+//! behind it. These builders centralise the shapes the analysis tests
+//! exercise: the plain counted loop, and the guard / prologue / kernel
+//! / epilogue / fallback skeleton a software-pipelined loop leaves
+//! behind (with its `.pipeloop` record).
+
+/// The conditional back branch to `label` with its two delay slots
+/// filled — the detail hand-written fixtures used to get wrong.
+pub fn back_branch(label: &str) -> String {
+    format!("        (p1) br {label}\n        nop\n        nop\n")
+}
+
+/// A `main` function summing over a counted loop of `trips` iterations,
+/// annotated `.loopbound {trips} {trips}`.
+pub fn counted_loop(trips: u32) -> String {
+    let mut s = String::new();
+    s.push_str("        .func main\n");
+    s.push_str("        li r1 = 0\n");
+    s.push_str(&format!("        li r2 = {trips}\n"));
+    s.push_str("loop:\n");
+    s.push_str(&format!("        .loopbound {trips} {trips}\n"));
+    s.push_str("        add r1 = r1, r2\n");
+    s.push_str("        subi r2 = r2, 1\n");
+    s.push_str("        cmpineq p1 = r2, 0\n");
+    s.push_str(&back_branch("loop"));
+    s.push_str("        halt\n");
+    s
+}
+
+/// The code shape the modulo scheduler emits for a pipelined loop, in
+/// miniature: guard block, 3-bundle prologue, a 3-bundle kernel
+/// carrying `kernel_bound` (pass `None` to drop the annotation — the
+/// missing-bound error must then name the *kernel* header), epilogue,
+/// and the list-scheduled fallback, tied together by a `.pipeloop`
+/// record with II 3, 2 stages, threshold 2 and the given `min_trips`.
+pub fn pipelined_loop(kernel_bound: Option<(u32, u32)>, min_trips: u32) -> String {
+    let mut s = String::new();
+    s.push_str("        .func main\n");
+    s.push_str("        li r1 = 0\n");
+    s.push_str("        li r2 = 8\n");
+    s.push_str("guard:\n");
+    s.push_str(&format!(
+        "        .pipeloop guard kernel fallback 3 2 3 4 2 {min_trips}\n"
+    ));
+    // Guard: too few trips for the pipelined body -> take the fallback.
+    s.push_str("        cmpilt p1 = r2, 2\n");
+    s.push_str(&back_branch("fallback"));
+    // Prologue: one stage of the pipeline filling.
+    s.push_str("        add r1 = r1, r2\n");
+    s.push_str("        add r1 = r1, r2\n");
+    s.push_str("        add r1 = r1, r2\n");
+    s.push_str("kernel:\n");
+    if let Some((min, max)) = kernel_bound {
+        s.push_str(&format!("        .loopbound {min} {max}\n"));
+    }
+    s.push_str("        add r1 = r1, r2\n");
+    s.push_str("        subi r2 = r2, 1\n");
+    s.push_str("        cmpineq p1 = r2, 0\n");
+    s.push_str(&back_branch("kernel"));
+    // Epilogue: the pipeline draining.
+    s.push_str("        add r1 = r1, r2\n");
+    s.push_str("        add r1 = r1, r2\n");
+    s.push_str("        add r1 = r1, r2\n");
+    s.push_str("        br exit\n");
+    s.push_str("        nop\n");
+    s.push_str("fallback:\n");
+    s.push_str("        .loopbound 1 9\n");
+    s.push_str("        add r1 = r1, r2\n");
+    s.push_str("        subi r2 = r2, 1\n");
+    s.push_str("        cmpineq p1 = r2, 0\n");
+    s.push_str(&back_branch("fallback"));
+    s.push_str("exit:\n");
+    s.push_str("        halt\n");
+    s
+}

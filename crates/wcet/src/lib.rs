@@ -35,13 +35,14 @@
 //! ```
 
 pub mod cfg;
+pub mod fixtures;
 pub mod model;
 pub mod pessimism;
 pub mod solver;
 
 mod analysis;
 
-pub use analysis::{analyze, Machine, WcetError, WcetReport};
-pub use cfg::{build_cfg, build_cfgs, Block, Cfg, CfgError};
+pub use analysis::{analyze, analyze_unpipelined, Machine, WcetError, WcetReport};
+pub use cfg::{build_cfg, build_cfgs, Block, Cfg, CfgError, PipeLoopInfo};
 pub use pessimism::{pessimism, BlockSlack, PessimismReport};
 pub use solver::{solve, LinearProgram, LpSolution};

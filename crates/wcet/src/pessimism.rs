@@ -7,10 +7,13 @@
 //! profiled run's per-address cycles onto the same blocks produces a
 //! ranked answer to "which code is the bound over-charging?": blocks
 //! the analysis pays for but execution never (or rarely) visits float
-//! to the top. The canonical example is a software-pipelined loop's
-//! list-scheduled fallback: the analysis must budget its full
-//! worst-case trips (the guard is data-dependent), while a profiled
-//! run takes the kernel — pure pessimism, surfaced by this report.
+//! to the top. A software-pipelined loop's list-scheduled fallback
+//! used to be the canonical example — the analysis budgeted its full
+//! worst-case trips while a profiled run took the kernel — until the
+//! `.pipeloop` records taught IPET the guard's trip-count threshold;
+//! the fallback is now capped (or excluded outright when the
+//! `.loopbound` minimum proves the guard passes), and this report is
+//! how such residual pessimism gets found in the first place.
 //!
 //! The measured side is a plain `word address → cycles` map so this
 //! crate stays independent of the tracing machinery; `patmos-cli wcet
@@ -239,15 +242,13 @@ mod tests {
     use patmos_asm::assemble;
     use patmos_sim::SimConfig;
 
-    const SUM_LOOP: &str = "        .func main\n        li r1 = 0\n        li r2 = 5\nloop:\n        .loopbound 5 5\n        add r1 = r1, r2\n        subi r2 = r2, 1\n        cmpineq p1 = r2, 0\n        (p1) br loop\n        nop\n        nop\n        halt\n";
-
     fn patmos() -> Machine {
         Machine::Patmos(SimConfig::default())
     }
 
     #[test]
     fn contributions_sum_to_the_bound() {
-        let image = assemble(SUM_LOOP).expect("assembles");
+        let image = assemble(&crate::fixtures::counted_loop(5)).expect("assembles");
         let report = pessimism(&image, &patmos(), &HashMap::new()).expect("analyses");
         let total: u64 = report.blocks.iter().map(|b| b.contribution).sum();
         assert_eq!(
@@ -259,7 +260,7 @@ mod tests {
 
     #[test]
     fn loop_block_is_charged_per_trip() {
-        let image = assemble(SUM_LOOP).expect("assembles");
+        let image = assemble(&crate::fixtures::counted_loop(5)).expect("assembles");
         let report = pessimism(&image, &patmos(), &HashMap::new()).expect("analyses");
         let body = report
             .blocks
@@ -271,7 +272,7 @@ mod tests {
 
     #[test]
     fn measured_cycles_reduce_slack() {
-        let image = assemble(SUM_LOOP).expect("assembles");
+        let image = assemble(&crate::fixtures::counted_loop(5)).expect("assembles");
         let cold = pessimism(&image, &patmos(), &HashMap::new()).expect("analyses");
         let top = cold.blocks.first().expect("has blocks");
         // Credit the top block with exactly its contribution: it
@@ -286,6 +287,42 @@ mod tests {
             .expect("block still reported");
         assert_eq!(same.slack, 0);
         assert_eq!(warm.measured_cycles, top.contribution);
+    }
+
+    #[test]
+    fn fallback_count_caps_at_the_guard_threshold() {
+        // With an unknown trip count the guard may fail, but then at
+        // most `threshold` trips remain: the fallback's charged count
+        // must not exceed the threshold (2 in the fixture) even though
+        // its own `.loopbound` admits 9 trips.
+        let image = assemble(&crate::fixtures::pipelined_loop(Some((1, 3)), 0)).expect("assembles");
+        let fallback = image.symbol("fallback").expect("fallback label kept");
+        let report = pessimism(&image, &patmos(), &HashMap::new()).expect("analyses");
+        let count = report
+            .blocks
+            .iter()
+            .find(|b| b.start_word == fallback)
+            .map(|b| b.count)
+            .unwrap_or(0);
+        assert!(count <= 2, "fallback charged {count} trips, threshold is 2");
+    }
+
+    #[test]
+    fn provable_guard_zeroes_the_fallback_count() {
+        // `min_trips` (5) ≥ threshold (2): the guard provably passes,
+        // so the IPET solution must route zero flow into the fallback.
+        let image = assemble(&crate::fixtures::pipelined_loop(Some((1, 3)), 5)).expect("assembles");
+        let fallback = image.symbol("fallback").expect("fallback label kept");
+        let report = pessimism(&image, &patmos(), &HashMap::new()).expect("analyses");
+        let count = report
+            .blocks
+            .iter()
+            .find(|b| b.start_word == fallback)
+            .map(|b| b.count)
+            .unwrap_or(0);
+        assert_eq!(count, 0, "dead fallback must carry no charge");
+        let total: u64 = report.blocks.iter().map(|b| b.contribution).sum();
+        assert_eq!(total + report.warmup_cycles, report.bound_cycles);
     }
 
     #[test]
