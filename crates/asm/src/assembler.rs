@@ -347,6 +347,17 @@ pub fn assemble(source: &str) -> Result<ObjectImage, AsmError> {
     let mut code: Vec<u32> = Vec::new();
     let mut data: Vec<DataSegment> = Vec::new();
     let mut addr: u32 = 0;
+    // Pass 1 rejected data directives outside a segment; re-check here
+    // rather than coupling this pass to that invariant with a panic.
+    let open_segment = |data: &mut Vec<DataSegment>, number: usize| -> Result<usize, AsmError> {
+        match data.len().checked_sub(1) {
+            Some(i) => Ok(i),
+            None => Err(AsmError {
+                line: number,
+                message: "data directive outside a .data segment".into(),
+            }),
+        }
+    };
     for line in &lines {
         match &line.stmt {
             Stmt::DataStart { name, addr: a } => {
@@ -357,21 +368,23 @@ pub fn assemble(source: &str) -> Result<ObjectImage, AsmError> {
                 });
             }
             Stmt::Words(ws) => {
-                let seg = data.last_mut().expect("pass 1 checked .data");
+                let seg = open_segment(&mut data, line.number)?;
                 for w in ws {
                     let v = resolve(w, line.number)? as u32;
-                    seg.bytes.extend_from_slice(&v.to_le_bytes());
+                    data[seg].bytes.extend_from_slice(&v.to_le_bytes());
                 }
             }
             Stmt::Bytes(bs) => {
-                let seg = data.last_mut().expect("pass 1 checked .data");
+                let seg = open_segment(&mut data, line.number)?;
                 for b in bs {
-                    seg.bytes.push(*b as u8);
+                    data[seg].bytes.push(*b as u8);
                 }
             }
             Stmt::Space(n) => {
-                let seg = data.last_mut().expect("pass 1 checked .data");
-                seg.bytes.extend(std::iter::repeat_n(0u8, *n as usize));
+                let seg = open_segment(&mut data, line.number)?;
+                data[seg]
+                    .bytes
+                    .extend(std::iter::repeat_n(0u8, *n as usize));
             }
             Stmt::Bundle(insts) => {
                 let mut resolved = Vec::with_capacity(insts.len());

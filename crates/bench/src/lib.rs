@@ -9,6 +9,7 @@
 
 pub mod hostperf;
 pub mod observe;
+pub mod resilience;
 
 use std::fmt::Write as _;
 
@@ -661,7 +662,7 @@ const OPT3_BASELINE_JSON: &str = include_str!("../baselines/opt3_cycles.json");
 const REGALLOC2_BASELINE_JSON: &str = include_str!("../baselines/regalloc2_cycles.json");
 const WCET_BOUNDS_BASELINE_JSON: &str = include_str!("../baselines/wcet_bounds.json");
 
-fn json_field(section: &str, key: &str) -> u64 {
+pub(crate) fn json_field(section: &str, key: &str) -> u64 {
     let marker = format!("\"{key}\":");
     let start = section
         .find(&marker)
@@ -676,7 +677,7 @@ fn json_field(section: &str, key: &str) -> u64 {
 }
 
 /// Splits a baseline file's `kernels` object into `(name, body)` pairs.
-fn kernel_sections(body: &'static str) -> Vec<(String, &'static str)> {
+pub(crate) fn kernel_sections(body: &'static str) -> Vec<(String, &'static str)> {
     let mut sections = Vec::new();
     let kernels_at = body
         .find("\"kernels\"")
@@ -1697,6 +1698,7 @@ pub fn all_experiments() -> String {
         hostperf::exp_e17_host_throughput(),
         exp_e18_regalloc2(),
         exp_e19_wcet_trajectory(),
+        resilience::exp_e20_resilience(),
     ]
     .join("\n")
 }

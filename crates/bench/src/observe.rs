@@ -307,6 +307,57 @@ pub fn trace_overhead(reps: u32) -> (f64, f64, f64) {
     )
 }
 
+/// Measures the cost of the unarmed fault-injection hook: the suite on
+/// the reference interpreter with `faults: None` against the same runs
+/// with an armed-but-empty [`patmos::sim::FaultPlan`]. Both sides run
+/// the reference loop (an armed plan forces it), so the delta isolates
+/// the per-cycle `faults.is_some()` checks and the empty pending-list
+/// scan. Returns `(unarmed_secs, armed_empty_secs, overhead_fraction)`.
+///
+/// The fast path is untouched by construction — with `faults: None` the
+/// hook is a single `Option` test on a field the engine router already
+/// reads, and unarmed runs never enter the fault-servicing code at all.
+pub fn faults_overhead(reps: u32) -> (f64, f64, f64) {
+    let images: Vec<patmos::asm::ObjectImage> = workloads::all()
+        .iter()
+        .map(|w| compile(&w.source, &CompileOptions::default()).expect("kernel compiles"))
+        .collect();
+
+    let reference = SimConfig {
+        fast_path: false,
+        ..SimConfig::default()
+    };
+    let armed = SimConfig {
+        faults: Some(patmos::sim::FaultPlan { injections: vec![] }),
+        ..reference.clone()
+    };
+
+    const INNER: u32 = 25;
+    let pass = |config: &SimConfig| {
+        let start = Instant::now();
+        for image in &images {
+            let mut sim = Simulator::new(image, config.clone());
+            sim.run().expect("kernel runs");
+        }
+        start.elapsed().as_secs_f64()
+    };
+
+    // Same interleaved-minimum protocol as [`trace_overhead`].
+    pass(&reference);
+    pass(&armed);
+    let mut unarmed = f64::INFINITY;
+    let mut hooked = f64::INFINITY;
+    for _ in 0..reps.max(1) * INNER {
+        unarmed = unarmed.min(pass(&reference));
+        hooked = hooked.min(pass(&armed));
+    }
+    (
+        unarmed * INNER as f64,
+        hooked * INNER as f64,
+        hooked / unarmed - 1.0,
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,0 +1,134 @@
+//! E20 campaign pinning, determinism and taxonomy-coverage tests.
+//!
+//! The toolchain, the simulator and the fault streams are all
+//! deterministic, so the checked-in `resilience_baseline.json` must
+//! match a fresh campaign exactly — across runs, host thread counts
+//! (each kernel's stream is seeded from the campaign seed and the
+//! kernel *name*, never from spawn order), and `--test-threads`
+//! settings.
+
+use patmos_bench::resilience::{
+    measure_resilience_kernel, resilience_baseline, resilience_report_json, run_campaign,
+    CAMPAIGN_SEED, INJECTIONS_PER_KERNEL,
+};
+
+#[test]
+fn e20_resilience_baseline_file_matches_current_measurements() {
+    // Any drift means the checked-in campaign is stale (or an
+    // unintended behaviour change in the simulator, the compiler, or
+    // the fault model). Regenerate with:
+    //   cargo run -p patmos-bench --bin exp_e20_resilience -- --json \
+    //     > crates/bench/baselines/resilience_baseline.json
+    let baseline = resilience_baseline();
+    assert_eq!(
+        baseline.len(),
+        patmos::workloads::all().len(),
+        "every kernel of the suite must be recorded in resilience_baseline.json"
+    );
+    let fresh = run_campaign(CAMPAIGN_SEED, INJECTIONS_PER_KERNEL);
+    assert_eq!(fresh.len(), baseline.len());
+    for (measured, pinned) in fresh.iter().zip(&baseline) {
+        assert_eq!(
+            measured, pinned,
+            "{}: baselines/resilience_baseline.json is stale; regenerate it",
+            pinned.name
+        );
+    }
+}
+
+#[test]
+fn e20_campaign_is_deterministic_across_runs_and_schedules() {
+    // Two full campaigns (parallel, thread::scope) and a sequential
+    // remeasure of a few kernels must agree byte for byte: the
+    // per-kernel streams are pure functions of (seed, kernel name), so
+    // neither spawn order nor the host thread count can leak in.
+    let first = run_campaign(CAMPAIGN_SEED, INJECTIONS_PER_KERNEL);
+    let second = run_campaign(CAMPAIGN_SEED, INJECTIONS_PER_KERNEL);
+    assert_eq!(first, second, "the campaign must be deterministic");
+    for w in patmos::workloads::all().iter().take(3) {
+        let alone = measure_resilience_kernel(w, CAMPAIGN_SEED, INJECTIONS_PER_KERNEL);
+        let in_campaign = first
+            .iter()
+            .find(|k| k.name == w.name)
+            .expect("kernel present in the campaign");
+        assert_eq!(
+            &alone, in_campaign,
+            "{}: sequential and campaign-parallel tallies must agree",
+            w.name
+        );
+    }
+    // The rendered CI artifact inherits the same guarantee.
+    assert_eq!(
+        resilience_report_json(),
+        resilience_report_json(),
+        "the report JSON must be byte-identical across renders"
+    );
+}
+
+#[test]
+fn e20_campaign_exercises_the_full_outcome_taxonomy() {
+    // Across the pinned campaign's two detector arms, every class of
+    // the four-way taxonomy must actually occur: masked and silent
+    // corruptions under the full stack, control-flow detections by the
+    // CFG checker, contract detections and watchdog hangs under strict
+    // mode (where the checker is not there to pre-empt them).
+    let baseline = resilience_baseline();
+    let masked: u64 = baseline.iter().map(|k| k.masked).sum();
+    let sdc: u64 = baseline.iter().map(|k| k.sdc).sum();
+    let cflow: u64 = baseline.iter().map(|k| k.detected_control_flow).sum();
+    let strict_detected: u64 = baseline.iter().map(|k| k.strict_detected).sum();
+    let strict_hang: u64 = baseline.iter().map(|k| k.strict_hang).sum();
+    assert!(masked > 0, "no masked faults in the campaign");
+    assert!(sdc > 0, "no silent data corruptions in the campaign");
+    assert!(cflow > 0, "no control-flow detections in the campaign");
+    assert!(
+        strict_detected > 0,
+        "no strict-mode contract detections in the campaign"
+    );
+    assert!(strict_hang > 0, "no watchdog hangs in the campaign");
+}
+
+#[test]
+fn e20_cfg_checker_beats_strict_mode_somewhere() {
+    // The tentpole acceptance: the campaign must contain at least one
+    // wild branch (or runaway loop) that the CFG-derived checker
+    // detects while strict mode alone runs to an SDC or a hang.
+    let cfg_only: u64 = resilience_baseline().iter().map(|k| k.cfg_only).sum();
+    assert!(
+        cfg_only >= 1,
+        "the control-flow checker caught nothing strict mode misses"
+    );
+}
+
+#[test]
+fn e20_detection_latencies_are_consistent() {
+    for k in resilience_baseline() {
+        let detections = k.detections();
+        assert_eq!(
+            k.injections,
+            k.masked + k.sdc + detections,
+            "{}: the outcome split must partition the injections",
+            k.name
+        );
+        if detections == 0 {
+            assert_eq!(
+                (k.latency_min, k.latency_max, k.latency_total),
+                (0, 0, 0),
+                "{}: latencies without detections",
+                k.name
+            );
+        } else {
+            assert!(k.latency_min <= k.latency_max, "{}", k.name);
+            assert!(
+                k.latency_total >= k.latency_max,
+                "{}: total below max",
+                k.name
+            );
+            assert!(
+                k.latency_total <= k.latency_max * detections,
+                "{}: total above max * detections",
+                k.name
+            );
+        }
+    }
+}

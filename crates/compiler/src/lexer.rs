@@ -114,10 +114,12 @@ pub fn lex(source: &str) -> Result<Vec<SpannedTok>, (usize, String)> {
     let mut line = 1usize;
     while i < bytes.len() {
         let c = bytes[i] as char;
-        let two = if i + 1 < bytes.len() {
-            &source[i..i + 2]
+        // Byte-wise lookahead: the source need not be ASCII (garbage
+        // input included), so never slice the `str` at raw offsets.
+        let two: &[u8] = if i + 1 < bytes.len() {
+            &bytes[i..i + 2]
         } else {
-            ""
+            b""
         };
         match c {
             '\n' => {
@@ -125,14 +127,14 @@ pub fn lex(source: &str) -> Result<Vec<SpannedTok>, (usize, String)> {
                 i += 1;
             }
             ' ' | '\t' | '\r' => i += 1,
-            '/' if two == "//" => {
+            '/' if two == b"//" => {
                 while i < bytes.len() && bytes[i] != b'\n' {
                     i += 1;
                 }
             }
-            '/' if two == "/*" => {
+            '/' if two == b"/*" => {
                 i += 2;
-                while i + 1 < bytes.len() && &source[i..i + 2] != "*/" {
+                while i + 1 < bytes.len() && &bytes[i..i + 2] != b"*/" {
                     if bytes[i] == b'\n' {
                         line += 1;
                     }
@@ -190,14 +192,14 @@ pub fn lex(source: &str) -> Result<Vec<SpannedTok>, (usize, String)> {
             }
             _ => {
                 let (tok, len) = match two {
-                    "<<" => (Tok::Shl, 2),
-                    ">>" => (Tok::Shr, 2),
-                    "==" => (Tok::EqEq, 2),
-                    "!=" => (Tok::NotEq, 2),
-                    "<=" => (Tok::Le, 2),
-                    ">=" => (Tok::Ge, 2),
-                    "&&" => (Tok::AndAnd, 2),
-                    "||" => (Tok::OrOr, 2),
+                    b"<<" => (Tok::Shl, 2),
+                    b">>" => (Tok::Shr, 2),
+                    b"==" => (Tok::EqEq, 2),
+                    b"!=" => (Tok::NotEq, 2),
+                    b"<=" => (Tok::Le, 2),
+                    b">=" => (Tok::Ge, 2),
+                    b"&&" => (Tok::AndAnd, 2),
+                    b"||" => (Tok::OrOr, 2),
                     _ => {
                         let t = match c {
                             '(' => Tok::LParen,
@@ -221,6 +223,12 @@ pub fn lex(source: &str) -> Result<Vec<SpannedTok>, (usize, String)> {
                             '!' => Tok::Bang,
                             '<' => Tok::Lt,
                             '>' => Tok::Gt,
+                            _ if !c.is_ascii() => {
+                                return Err((
+                                    line,
+                                    format!("unexpected non-ascii byte {:#04x}", bytes[i]),
+                                ))
+                            }
                             other => return Err((line, format!("unexpected character `{other}`"))),
                         };
                         (t, 1)

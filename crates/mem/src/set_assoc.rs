@@ -116,6 +116,13 @@ impl SetAssocCache {
         self.stats = CacheStats::new();
     }
 
+    /// Invalidates every line but keeps the statistics — the model of a
+    /// parity-checked tag array dropping its contents after an upset
+    /// (used by `patmos_sim::faults` cache-state injection).
+    pub fn invalidate_all(&mut self) {
+        self.lines.fill(None);
+    }
+
     /// Splits an address into (set, tag). `sets` and `line_words` are
     /// powers of two (asserted in `new`), so this is shifts and a mask —
     /// no division on the per-access path.

@@ -16,6 +16,8 @@
 //! patmos-cli profile <file.pasm | file.patc> [--opt-level N] [--sched-level N]
 //!                                [--single-issue] [--non-strict] [--json]
 //!                                [--chrome <out.json>] [--cores N] [--slot-cycles N]
+//! patmos-cli faults  <file.pasm | file.patc> [--seed N] [--campaign N] [--json]
+//!                                [--opt-level N] [--sched-level N]
 //! ```
 //!
 //! `--opt-level N` selects the mid-end pipeline (0 = straight lowering,
@@ -71,6 +73,15 @@
 //! bound's per-block charges against a traced run of the same binary
 //! and prints the loosest blocks first.
 //!
+//! `faults` runs the seeded fault-injection campaign machinery on one
+//! program: it draws a single bit-flip injection (`--seed N` picks the
+//! stream, default `0x5eedfa17`), runs it against the program's golden
+//! run, and classifies the outcome twice — under the strict-mode
+//! contract checks and watchdog alone, and under the full stack with
+//! the CFG-derived control-flow checker armed. `--campaign N` draws N
+//! injections instead and prints the tallied outcome split; `--json`
+//! emits the same data as a JSON document.
+//!
 //! `.patc` files are compiled from PatC; `.pasm` files are assembled
 //! directly. Results, cycle counts and stall breakdowns go to stdout.
 
@@ -108,16 +119,18 @@ struct Args {
     cores: u32,
     slot_cycles: u32,
     pessimism: bool,
+    seed: u64,
+    campaign: Option<u32>,
 }
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: patmos-cli <compile|asm|disasm|run|wcet|profile> <file.patc|file.pasm> \
+        "usage: patmos-cli <compile|asm|disasm|run|wcet|profile|faults> <file.patc|file.pasm> \
          [--single-path] [--no-if-convert] [--single-issue] [--non-strict] [--opt-level N] \
          [--sched-level N] [--reg-policy linear|loop] [--dump-lir] [--dump-opt] [--dump-cfg] \
          [--dump-loops] [--dump-sched] [--dump-pipeline] [--dump-alloc] [--stats] \
          [--host-stats] [--slow-path] [--remarks] [--json] [--chrome <out.json>] [--cores N] \
-         [--slot-cycles N] [--pessimism]"
+         [--slot-cycles N] [--pessimism] [--seed N] [--campaign N]"
     );
     ExitCode::from(2)
 }
@@ -150,6 +163,8 @@ fn parse_args() -> Option<Args> {
         cores: 1,
         slot_cycles: 64,
         pessimism: false,
+        seed: 0x5EED_FA17,
+        campaign: None,
     };
     let mut argv = std::env::args().skip(1);
     while let Some(arg) = argv.next() {
@@ -218,6 +233,24 @@ fn parse_args() -> Option<Args> {
                     return None;
                 };
                 args.cores = n;
+            }
+            "--seed" => {
+                let Some(n) = argv.next().and_then(|v| v.parse::<u64>().ok()) else {
+                    eprintln!("--seed expects an unsigned integer");
+                    return None;
+                };
+                args.seed = n;
+            }
+            "--campaign" => {
+                let Some(n) = argv
+                    .next()
+                    .and_then(|v| v.parse::<u32>().ok())
+                    .filter(|&n| n > 0)
+                else {
+                    eprintln!("--campaign expects a positive injection count");
+                    return None;
+                };
+                args.campaign = Some(n);
             }
             "--slot-cycles" => {
                 let Some(n) = argv
@@ -289,6 +322,7 @@ fn main() -> ExitCode {
         "run" => cmd_run(&args),
         "wcet" => cmd_wcet(&args),
         "profile" => cmd_profile(&args),
+        "faults" => cmd_faults(&args),
         other => {
             eprintln!("unknown command `{other}`");
             return usage();
@@ -722,6 +756,181 @@ fn cmd_wcet(args: &Args) -> Result<(), String> {
                 b_rep.pessimism(b_obs)
             );
         }
+    }
+    Ok(())
+}
+
+fn describe_target(target: &patmos::sim::FaultTarget) -> String {
+    use patmos::sim::faults::{CacheSel, SpecialTarget};
+    use patmos::sim::FaultTarget;
+    match target {
+        FaultTarget::Register { reg, bit } => format!("flip r{reg} bit {bit}"),
+        FaultTarget::Predicate { pred } => format!("invert p{pred}"),
+        FaultTarget::Special { reg, bit } => {
+            let name = match reg {
+                SpecialTarget::Sl => "sl",
+                SpecialTarget::Sh => "sh",
+                SpecialTarget::Sm => "smask",
+            };
+            format!("flip {name} bit {bit}")
+        }
+        FaultTarget::Memory { addr, bit } => format!("flip mem[{addr:#x}] bit {bit}"),
+        FaultTarget::CacheTags { cache } => {
+            let name = match cache {
+                CacheSel::Data => "data",
+                CacheSel::Static => "static",
+            };
+            format!("{name}-cache tag upset")
+        }
+    }
+}
+
+fn describe_trigger(trigger: &patmos::sim::FaultTrigger) -> String {
+    match trigger {
+        patmos::sim::FaultTrigger::Cycle(cycle) => format!("cycle {cycle}"),
+        patmos::sim::FaultTrigger::RetiredPc { pc, occurrence } => {
+            format!("retirement {occurrence} of pc {pc:#x}")
+        }
+    }
+}
+
+/// Runs the seeded fault-injection machinery on one program: a single
+/// drawn injection by default, an N-injection campaign with
+/// `--campaign N`. Every injection is classified against the program's
+/// golden run twice — under the strict-mode contract checks and
+/// watchdog alone, and under the full stack with the CFG-derived
+/// control-flow checker armed — so the outcome shows what each detector
+/// layer contributes.
+fn cmd_faults(args: &Args) -> Result<(), String> {
+    use patmos::sim::faults::{golden_run, run_injection};
+    use patmos::sim::{DetectorKind, FaultOutcome, FaultPlan, FaultRng, FaultSpace};
+
+    let image = load_image(args)?;
+    let config = SimConfig {
+        dual_issue: !args.single_issue,
+        ..SimConfig::default()
+    };
+    let golden = golden_run(&image, &config).map_err(|e| format!("golden run failed: {e}"))?;
+    let flow = patmos::wcet::flow_map(&image).map_err(|e| e.to_string())?;
+    let space = FaultSpace::for_image(&image, golden.cycles);
+    let mut rng = FaultRng::new(args.seed);
+    let count = args.campaign.unwrap_or(1);
+
+    let mut runs = Vec::new();
+    for _ in 0..count {
+        let injection = FaultPlan::draw(&mut rng, &space);
+        let strict = run_injection(&image, &config, injection, None, &golden);
+        let full = run_injection(&image, &config, injection, Some(&flow), &golden);
+        runs.push((injection, strict, full));
+    }
+
+    let mut masked = 0u64;
+    let mut sdc = 0u64;
+    let mut det_contract = 0u64;
+    let mut det_cflow = 0u64;
+    let mut hang = 0u64;
+    let mut strict_detected = 0u64;
+    let mut strict_sdc = 0u64;
+    let mut strict_hang = 0u64;
+    let mut cfg_only = 0u64;
+    for (_, strict, full) in &runs {
+        match full.outcome {
+            FaultOutcome::Masked => masked += 1,
+            FaultOutcome::SilentDataCorruption => sdc += 1,
+            FaultOutcome::Detected(DetectorKind::ControlFlow) => det_cflow += 1,
+            FaultOutcome::Detected(_) => det_contract += 1,
+            FaultOutcome::Hang => hang += 1,
+        }
+        match strict.outcome {
+            FaultOutcome::Detected(_) => strict_detected += 1,
+            FaultOutcome::SilentDataCorruption => strict_sdc += 1,
+            FaultOutcome::Hang => strict_hang += 1,
+            FaultOutcome::Masked => {}
+        }
+        if matches!(
+            full.outcome,
+            FaultOutcome::Detected(DetectorKind::ControlFlow)
+        ) && !matches!(strict.outcome, FaultOutcome::Detected(_))
+        {
+            cfg_only += 1;
+        }
+    }
+
+    if args.json {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str("  \"schema\": \"patmos-cli/faults/v1\",\n");
+        out.push_str(&format!("  \"seed\": {},\n", args.seed));
+        out.push_str(&format!("  \"injections\": {count},\n"));
+        out.push_str(&format!(
+            "  \"golden\": {{ \"result_r1\": {}, \"cycles\": {}, \"halt_pc\": {} }},\n",
+            golden.result_r1, golden.cycles, golden.halt_pc
+        ));
+        out.push_str("  \"runs\": [\n");
+        for (i, (injection, strict, full)) in runs.iter().enumerate() {
+            let latency = full
+                .detection_latency
+                .map_or("null".to_string(), |l| l.to_string());
+            out.push_str(&format!(
+                "    {{ \"target\": \"{}\", \"trigger\": \"{}\", \"fired\": {}, \
+                 \"strict\": \"{}\", \"full\": \"{}\", \"latency\": {}, \"cycles\": {} }}{}\n",
+                describe_target(&injection.target),
+                describe_trigger(&injection.trigger),
+                full.injected,
+                strict.outcome.name(),
+                full.outcome.name(),
+                latency,
+                full.cycles,
+                if i + 1 == runs.len() { "" } else { "," }
+            ));
+        }
+        out.push_str("  ],\n");
+        out.push_str(&format!(
+            "  \"tally\": {{ \"masked\": {masked}, \"sdc\": {sdc}, \
+             \"detected_contract\": {det_contract}, \"detected_control_flow\": {det_cflow}, \
+             \"hang\": {hang}, \"strict_detected\": {strict_detected}, \
+             \"strict_sdc\": {strict_sdc}, \"strict_hang\": {strict_hang}, \
+             \"cfg_only\": {cfg_only} }}\n"
+        ));
+        out.push_str("}\n");
+        print!("{out}");
+        return Ok(());
+    }
+
+    println!(
+        "golden run       = r1 {}, {} cycles, halt pc {:#x}",
+        golden.result_r1, golden.cycles, golden.halt_pc
+    );
+    println!("seed             = {:#x}", args.seed);
+    println!(
+        "{:>3}  {:<28} {:<26} {:>5}  {:<15} {:<22} {:>8}",
+        "#", "target", "trigger", "fired", "strict mode", "full stack", "latency"
+    );
+    for (i, (injection, strict, full)) in runs.iter().enumerate() {
+        println!(
+            "{:>3}  {:<28} {:<26} {:>5}  {:<15} {:<22} {:>8}",
+            i,
+            describe_target(&injection.target),
+            describe_trigger(&injection.trigger),
+            if full.injected { "yes" } else { "no" },
+            strict.outcome.name(),
+            full.outcome.name(),
+            full.detection_latency
+                .map_or("-".to_string(), |l| l.to_string()),
+        );
+    }
+    if args.campaign.is_some() {
+        println!("--- tally (full stack) ---");
+        println!("masked           = {masked}");
+        println!("sdc              = {sdc}");
+        println!("detected (ctr)   = {det_contract}");
+        println!("detected (cfg)   = {det_cflow}");
+        println!("hang             = {hang}");
+        println!("--- strict mode alone ---");
+        println!("detected         = {strict_detected}");
+        println!("sdc              = {strict_sdc}");
+        println!("hang             = {strict_hang}");
+        println!("cfg-checker-only = {cfg_only}");
     }
     Ok(())
 }

@@ -83,7 +83,10 @@ impl CmpSystem {
     /// thread — the other cores are simulated. The merge is
     /// deterministic: results are joined in core index order, so the
     /// first failing core's error is returned exactly as it would be by
-    /// a sequential loop.
+    /// a sequential loop. A worker that *panics* (a host-side bug, never
+    /// a guest error) is contained the same way: every other core's
+    /// worker still runs to completion, and the lowest panicked core
+    /// surfaces as [`SimError::CoreWorkerPanicked`] in core order.
     fn run_cores<T, F>(&self, f: F) -> Result<Vec<T>, SimError>
     where
         T: Send,
@@ -96,7 +99,11 @@ impl CmpSystem {
                 .collect();
             handles
                 .into_iter()
-                .map(|h| h.join().expect("core worker panicked"))
+                .enumerate()
+                .map(|(core, h)| {
+                    h.join()
+                        .unwrap_or_else(|_| Err(SimError::CoreWorkerPanicked { core: core as u32 }))
+                })
                 .collect::<Vec<_>>()
         });
         outcomes.into_iter().collect()
@@ -221,6 +228,38 @@ mod tests {
     #[should_panic(expected = "does not fit")]
     fn undersized_slots_rejected() {
         let _ = CmpSystem::new(SimConfig::default(), 2, 2);
+    }
+
+    #[test]
+    fn poisoned_core_errors_cleanly_and_other_cores_survive() {
+        use std::sync::atomic::{AtomicU32, Ordering};
+        let cmp = CmpSystem::new(SimConfig::default(), 4, 64);
+        let completed = AtomicU32::new(0);
+        // Core 2's worker dies on the host; the panic must surface as a
+        // clean error, not a process abort, and every other worker must
+        // still run to completion.
+        let result = cmp.run_cores(|core| {
+            if core == 2 {
+                panic!("deliberately poisoned worker");
+            }
+            completed.fetch_add(1, Ordering::SeqCst);
+            Ok(core)
+        });
+        assert_eq!(result, Err(SimError::CoreWorkerPanicked { core: 2 }));
+        assert_eq!(completed.load(Ordering::SeqCst), 3);
+    }
+
+    #[test]
+    fn guest_error_on_lower_core_wins_over_higher_panic() {
+        let cmp = CmpSystem::new(SimConfig::default(), 4, 64);
+        let result: Result<Vec<u32>, SimError> = cmp.run_cores(|core| match core {
+            1 => Err(SimError::BadPc { pc: 0xbad }),
+            3 => panic!("deliberately poisoned worker"),
+            _ => Ok(core),
+        });
+        // Merge order is core order: core 1's guest error precedes core
+        // 3's host panic.
+        assert_eq!(result, Err(SimError::BadPc { pc: 0xbad }));
     }
 
     #[test]

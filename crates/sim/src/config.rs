@@ -2,6 +2,8 @@
 
 use patmos_mem::{MemConfig, MethodCacheConfig, ReplacementPolicy, TdmaArbiter};
 
+use crate::faults::FaultPlan;
+
 /// Geometry of a set-associative cache instance.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CacheParams {
@@ -64,6 +66,11 @@ pub struct SimConfig {
     /// baseline the host-throughput experiments compare against. Traced
     /// runs always take the reference path regardless of this flag.
     pub fast_path: bool,
+    /// An armed fault-injection plan (`Some`, even empty, forces the
+    /// reference interpreter so every bundle passes the injection
+    /// hooks). `None` — the default — leaves the hooks dormant and the
+    /// engine choice untouched.
+    pub faults: Option<FaultPlan>,
 }
 
 impl Default for SimConfig {
@@ -84,6 +91,7 @@ impl Default for SimConfig {
             tdma: None,
             max_cycles: 200_000_000,
             fast_path: true,
+            faults: None,
         }
     }
 }
@@ -99,6 +107,7 @@ mod tests {
         assert!(cfg.strict);
         assert!(cfg.tdma.is_none());
         assert!(cfg.fast_path);
+        assert!(cfg.faults.is_none());
     }
 
     #[test]

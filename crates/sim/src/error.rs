@@ -73,6 +73,31 @@ pub enum SimError {
         /// The decoder's description of the first undecodable word.
         reason: String,
     },
+    /// The control-flow checker saw a resolved call or return leave the
+    /// statically legal edge set — a wild branch that lands on valid
+    /// code, which the plain contract checks cannot see.
+    IllegalControlFlow {
+        /// PC at the time of the transfer.
+        pc: u32,
+        /// The illegal target word address.
+        target: u32,
+    },
+    /// The control-flow checker counted more entries of a loop header
+    /// than its `.loopbound` flow cap allows — a runaway loop flagged
+    /// before the cycle-budget watchdog expires.
+    LoopBoundExceeded {
+        /// The loop header's word address.
+        header: u32,
+        /// The violated bound.
+        bound: u32,
+    },
+    /// A CMP core's host worker thread panicked; the panic is contained
+    /// and reported for the lowest affected core instead of aborting the
+    /// whole process.
+    CoreWorkerPanicked {
+        /// The core whose worker died.
+        core: u32,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -110,6 +135,21 @@ impl fmt::Display for SimError {
             }
             SimError::MalformedImage { reason } => {
                 write!(f, "image does not decode: {reason}")
+            }
+            SimError::IllegalControlFlow { pc, target } => {
+                write!(
+                    f,
+                    "control transfer at {pc:#x} to {target:#x} leaves the legal edge set"
+                )
+            }
+            SimError::LoopBoundExceeded { header, bound } => {
+                write!(
+                    f,
+                    "loop header {header:#x} entered more than its flow cap of {bound}"
+                )
+            }
+            SimError::CoreWorkerPanicked { core } => {
+                write!(f, "core {core}'s worker thread panicked")
             }
         }
     }

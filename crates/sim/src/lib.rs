@@ -52,11 +52,16 @@
 mod cmp;
 mod config;
 mod error;
+pub mod faults;
 mod machine;
 mod stats;
 
 pub use cmp::{CmpResult, CmpSystem};
 pub use config::{CacheParams, SimConfig};
 pub use error::SimError;
+pub use faults::{
+    ControlFlowMap, DetectorKind, FaultOutcome, FaultPlan, FaultRng, FaultSpace, FaultTarget,
+    FaultTrigger, Injection, LoopCap,
+};
 pub use machine::{HostStats, RunResult, Simulator};
 pub use stats::{StallBreakdown, Stats};

@@ -11,10 +11,13 @@ use patmos_isa::{
 use patmos_mem::{
     MainMemory, MethodCache, Scratchpad, SetAssocCache, StackCache, SHADOW_STACK_TOP, STACK_TOP,
 };
-use patmos_trace::{CacheKind, NullSink, StallCause, TraceEvent, TraceSink};
+use patmos_trace::{CacheKind, FaultKind, NullSink, StallCause, TraceEvent, TraceSink};
 
 use crate::config::SimConfig;
 use crate::error::SimError;
+use crate::faults::{
+    CacheSel, ControlFlowMap, FaultState, FaultTarget, FaultTrigger, FlowCheckState, SpecialTarget,
+};
 use crate::stats::Stats;
 
 /// Byte address where the loader places the code image (method-cache
@@ -277,6 +280,10 @@ pub struct Simulator {
     /// A malformed code image, surfaced as an error at the first step
     /// instead of a construction-time panic.
     decode_error: Option<SimError>,
+    /// Live fault-injection state when [`SimConfig::faults`] is armed.
+    faults: Option<Box<FaultState>>,
+    /// The control-flow checker, when installed.
+    flow_check: Option<Box<FlowCheckState>>,
 }
 
 impl Simulator {
@@ -352,6 +359,8 @@ impl Simulator {
             cur_func: 0,
             host: HostStats::default(),
             decode_error,
+            faults: config.faults.as_ref().map(|p| Box::new(FaultState::new(p))),
+            flow_check: None,
             config,
         }
     }
@@ -458,7 +467,15 @@ impl Simulator {
     ///
     /// As [`Simulator::run`].
     pub fn run_traced<S: TraceSink>(&mut self, sink: &mut S) -> Result<RunResult, SimError> {
-        if S::ENABLED || !self.config.fast_path {
+        // An armed fault plan or an installed control-flow checker pins
+        // the run to the reference interpreter: the injection and
+        // checking hooks live only on that path, and the engine
+        // differential sweep proves the choice invisible to the guest.
+        if S::ENABLED
+            || !self.config.fast_path
+            || self.faults.is_some()
+            || self.flow_check.is_some()
+        {
             // Reference engine: the per-bundle interpreter, which is also
             // the only path that can emit trace events.
             while !self.halted {
@@ -819,6 +836,9 @@ impl Simulator {
                 limit: self.config.max_cycles,
             });
         }
+        if self.fault_pending() {
+            self.service_cycle_faults(sink);
+        }
 
         let bundle = *self
             .bundles
@@ -911,7 +931,131 @@ impl Simulator {
             issue_end,
             snap,
             sink,
-        )
+        )?;
+        if self.fault_pending() {
+            self.service_retire_faults(this_pc, sink);
+        }
+        Ok(())
+    }
+
+    /// Installs the control-flow checker: every retired call and return
+    /// (and loop-header entry) is validated against `map`. Forces the
+    /// reference interpreter, like an armed fault plan.
+    pub fn install_flow_checker(&mut self, map: ControlFlowMap) {
+        self.flow_check = Some(Box::new(FlowCheckState::new(map)));
+    }
+
+    /// Cycle of the first fired injection, if any fired yet.
+    pub fn fault_injected_at(&self) -> Option<u64> {
+        self.faults.as_ref().and_then(|f| f.injected_at)
+    }
+
+    /// How many of the armed plan's injections have fired.
+    pub fn faults_injected(&self) -> u32 {
+        self.faults.as_ref().map_or(0, |f| f.injected)
+    }
+
+    /// Whether any armed injection is still waiting to fire. Gates the
+    /// per-cycle/per-retirement service calls so an exhausted (or empty)
+    /// plan costs one length test per site, not a trigger scan.
+    #[inline]
+    fn fault_pending(&self) -> bool {
+        self.faults.as_ref().is_some_and(|f| !f.pending.is_empty())
+    }
+
+    /// Fires pending cycle-triggered injections whose trigger has
+    /// arrived.
+    fn service_cycle_faults<S: TraceSink>(&mut self, sink: &mut S) {
+        let mut state = self.faults.take().expect("checked by caller");
+        let now = self.now;
+        let mut fired = Vec::new();
+        state.pending.retain(|(inj, _)| {
+            if let FaultTrigger::Cycle(c) = inj.trigger {
+                if now >= c {
+                    fired.push(inj.target);
+                    return false;
+                }
+            }
+            true
+        });
+        if !fired.is_empty() {
+            state.injected_at.get_or_insert(now);
+            state.injected += fired.len() as u32;
+        }
+        self.faults = Some(state);
+        for target in fired {
+            self.apply_fault(target, sink);
+        }
+    }
+
+    /// Fires pending retired-pc-triggered injections for the bundle that
+    /// just retired at `this_pc`.
+    fn service_retire_faults<S: TraceSink>(&mut self, this_pc: u32, sink: &mut S) {
+        let mut state = self.faults.take().expect("checked by caller");
+        let mut fired = Vec::new();
+        state.pending.retain_mut(|(inj, countdown)| {
+            if let FaultTrigger::RetiredPc { pc, .. } = inj.trigger {
+                if pc == this_pc {
+                    *countdown = countdown.saturating_sub(1);
+                    if *countdown == 0 {
+                        fired.push(inj.target);
+                        return false;
+                    }
+                }
+            }
+            true
+        });
+        if !fired.is_empty() {
+            state.injected_at.get_or_insert(self.now);
+            state.injected += fired.len() as u32;
+        }
+        self.faults = Some(state);
+        for target in fired {
+            self.apply_fault(target, sink);
+        }
+    }
+
+    /// Flips the targeted state. r0 and p0 stay hardwired; a flip aimed
+    /// at them is masked by construction, exactly like the hardware.
+    fn apply_fault<S: TraceSink>(&mut self, target: FaultTarget, sink: &mut S) {
+        match target {
+            FaultTarget::Register { reg, bit } => {
+                let idx = (reg as usize) % NUM_REGS;
+                if idx != 0 {
+                    self.regs[idx] ^= 1 << (bit % 32);
+                }
+            }
+            FaultTarget::Predicate { pred } => {
+                let idx = (pred as usize) % NUM_PREDS;
+                if idx != 0 {
+                    self.preds[idx] = !self.preds[idx];
+                }
+            }
+            FaultTarget::Special { reg, bit } => {
+                let mask = 1u32 << (bit % 32);
+                match reg {
+                    SpecialTarget::Sl => self.sl ^= mask,
+                    SpecialTarget::Sh => self.sh ^= mask,
+                    SpecialTarget::Sm => self.sm ^= mask,
+                }
+            }
+            FaultTarget::Memory { addr, bit } => {
+                let a = addr & !3;
+                let w = self.mem.read_word(a) ^ (1 << (bit % 32));
+                self.mem.write_word(a, w);
+            }
+            FaultTarget::CacheTags { cache } => match cache {
+                CacheSel::Data => self.dcache.invalidate_all(),
+                CacheSel::Static => self.ccache.invalidate_all(),
+            },
+        }
+        if S::ENABLED {
+            sink.event(TraceEvent::FaultInjected {
+                pc: self.pc,
+                cycle: self.now,
+                kind: fault_kind(target),
+            });
+        }
     }
 
     /// Executes one prepared slot's effects: the counter updates, the
@@ -1750,6 +1894,33 @@ impl Simulator {
     }
 
     fn redirect<S: TraceSink>(&mut self, target: FlowTarget, sink: &mut S) -> Result<(), SimError> {
+        if let Some(check) = &mut self.flow_check {
+            // Loop flow caps first (they see every transfer), then the
+            // edge-set checks for the indirect transfers — calls and
+            // returns are the only transfers a corrupted register can
+            // steer, since branch targets are immediate.
+            match target {
+                FlowTarget::Jump(t) => check.note_transfer(t)?,
+                FlowTarget::Call(t) => {
+                    check.note_transfer(t)?;
+                    if !check.map.is_legal_call(t) {
+                        return Err(SimError::IllegalControlFlow {
+                            pc: self.pc,
+                            target: t,
+                        });
+                    }
+                }
+                FlowTarget::Ret(t) => {
+                    check.note_transfer(t)?;
+                    if !check.map.is_legal_return(t) {
+                        return Err(SimError::IllegalControlFlow {
+                            pc: self.pc,
+                            target: t,
+                        });
+                    }
+                }
+            }
+        }
         match target {
             FlowTarget::Jump(t) => {
                 self.pc = t;
@@ -1810,6 +1981,17 @@ impl Simulator {
             return;
         }
         self.preds[pd.index() as usize] = value;
+    }
+}
+
+/// The trace-event category of a fault target.
+fn fault_kind(target: FaultTarget) -> FaultKind {
+    match target {
+        FaultTarget::Register { .. } => FaultKind::Register,
+        FaultTarget::Predicate { .. } => FaultKind::Predicate,
+        FaultTarget::Special { .. } => FaultKind::Special,
+        FaultTarget::Memory { .. } => FaultKind::Memory,
+        FaultTarget::CacheTags { .. } => FaultKind::CacheTags,
     }
 }
 

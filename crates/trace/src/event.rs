@@ -79,6 +79,22 @@ pub enum CacheKind {
     Stack,
 }
 
+/// The architectural state category a [`TraceEvent::FaultInjected`]
+/// upset hit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// A general-purpose register bit.
+    Register,
+    /// A predicate register.
+    Predicate,
+    /// A special register (`sl`/`sh`/`sm`).
+    Special,
+    /// A main-memory word bit.
+    Memory,
+    /// Cache tag state (lines invalidated).
+    CacheTags,
+}
+
 /// One structured event of a traced simulation.
 ///
 /// Events are small `Copy` values carrying word addresses and cycle
@@ -164,6 +180,15 @@ pub enum TraceEvent {
         /// Cycle of the redirect.
         cycle: u64,
     },
+    /// A fault-injection upset fired (see `patmos_sim::faults`).
+    FaultInjected {
+        /// Word address of the next bundle at the time of the upset.
+        pc: u32,
+        /// Cycle of the upset.
+        cycle: u64,
+        /// The state category hit.
+        kind: FaultKind,
+    },
 }
 
 impl TraceEvent {
@@ -175,7 +200,8 @@ impl TraceEvent {
             | TraceEvent::TdmaWait { pc, .. }
             | TraceEvent::CacheAccess { pc, .. }
             | TraceEvent::Call { pc, .. }
-            | TraceEvent::Return { pc, .. } => pc,
+            | TraceEvent::Return { pc, .. }
+            | TraceEvent::FaultInjected { pc, .. } => pc,
         }
     }
 
@@ -187,7 +213,8 @@ impl TraceEvent {
             | TraceEvent::TdmaWait { cycle, .. }
             | TraceEvent::CacheAccess { cycle, .. }
             | TraceEvent::Call { cycle, .. }
-            | TraceEvent::Return { cycle, .. } => cycle,
+            | TraceEvent::Return { cycle, .. }
+            | TraceEvent::FaultInjected { cycle, .. } => cycle,
         }
     }
 }
@@ -237,6 +264,7 @@ pub struct EventTotals {
     pub stack_hits: u64,
     pub stack_misses: u64,
     pub stack_transferred_words: u64,
+    pub faults_injected: u64,
 }
 
 impl EventTotals {
@@ -330,6 +358,7 @@ impl EventTotals {
             }
             TraceEvent::Call { .. } => self.calls += 1,
             TraceEvent::Return { .. } => self.returns += 1,
+            TraceEvent::FaultInjected { .. } => self.faults_injected += 1,
         }
     }
 

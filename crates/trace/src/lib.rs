@@ -32,6 +32,7 @@
 //! | [`TraceEvent::TdmaWait`] | the share of a stall that was pure TDMA arbitration delay (CMP configurations) |
 //! | [`TraceEvent::CacheAccess`] | one cache lookup (method, data, static or stack), hit/miss and words moved |
 //! | [`TraceEvent::Call`] / [`TraceEvent::Return`] | control transfers between functions, after their delay slots retire |
+//! | [`TraceEvent::FaultInjected`] | a fault-injection upset fired (`patmos-sim`'s `faults` module): the state category hit, at its cycle |
 //!
 //! Multiply latency and the load-use gap are *not* stalls on Patmos:
 //! they are ISA-visible delays the compiler must fill (the strict-mode
@@ -59,6 +60,6 @@ mod event;
 mod profile;
 mod sink;
 
-pub use event::{CacheKind, EventTotals, StallCause, TraceEvent};
+pub use event::{CacheKind, EventTotals, FaultKind, StallCause, TraceEvent};
 pub use profile::{FuncProfile, LoopProfile, Profile};
 pub use sink::{NullSink, TraceSink, VecSink};

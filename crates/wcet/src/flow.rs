@@ -1,0 +1,142 @@
+//! CFG edge and loop-flow queries for the runtime control-flow checker.
+//!
+//! The fault-injection subsystem (`patmos_sim::faults`) validates every
+//! retired call and return against a statically legal edge set and caps
+//! loop-header entries at their `.loopbound` flow facts. The data model
+//! ([`ControlFlowMap`]) lives in `patmos-sim` (the dependency arrow
+//! points wcet → sim); this module builds it from the same
+//! [`Cfg`](crate::Cfg)s the IPET analysis consumes, so the runtime
+//! checker and the WCET bound share one notion of the program's legal
+//! paths:
+//!
+//! * **legal call entries** — the union of every block's direct call
+//!   targets. A corrupted `callr`/link register that lands anywhere
+//!   else is flagged even when it hits a decodable bundle.
+//! * **legal return sites** — the fallthrough successors of blocks that
+//!   make calls (exactly the addresses a legal `ret` can resume at).
+//! * **loop flow caps** — for each bounded back edge, the header may be
+//!   entered at most `max` times per visit to the loop's span; a
+//!   runaway loop trips the cap within ~`max` iterations instead of
+//!   burning the whole watchdog budget.
+//!
+//! The caps reset whenever control leaves the loop's address span, so
+//! they only ever *under*-count: a legal run can never trip them (the
+//! same conservatism direction as the IPET bound, which only ever
+//! *over*-counts).
+
+use patmos_asm::ObjectImage;
+use patmos_sim::faults::{ControlFlowMap, LoopCap};
+
+use crate::cfg::{build_cfgs, CfgError};
+
+/// Builds the legal control-flow facts of `image` for the runtime
+/// checker.
+///
+/// # Errors
+///
+/// Returns a [`CfgError`] when the image has no analysable CFG (the
+/// same programs the WCET analysis rejects).
+pub fn flow_map(image: &ObjectImage) -> Result<ControlFlowMap, CfgError> {
+    let mut map = ControlFlowMap::new();
+    for cfg in build_cfgs(image)? {
+        for block in &cfg.blocks {
+            for &callee in &block.calls {
+                map.add_call_target(callee);
+            }
+            if !block.calls.is_empty() {
+                for &s in &block.succs {
+                    map.add_return_site(cfg.blocks[s].start_word);
+                }
+            }
+        }
+        for (from, to) in cfg.back_edges() {
+            let header = &cfg.blocks[to];
+            let Some(bound) = header.loop_bound else {
+                continue;
+            };
+            let span_end = cfg.blocks[from]
+                .bundles
+                .last()
+                .map_or(header.start_word, |&(a, _)| a);
+            map.add_loop_cap(LoopCap {
+                header: header.start_word,
+                span_end,
+                max: bound.max,
+            });
+        }
+    }
+    Ok(map)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use patmos_asm::assemble;
+    use patmos_sim::faults::{
+        golden_run, run_injection, DetectorKind, FaultOutcome, FaultTarget, FaultTrigger, Injection,
+    };
+    use patmos_sim::SimConfig;
+
+    #[test]
+    fn flow_map_collects_calls_returns_and_caps() {
+        let image = assemble(
+            "        .func callee\n        addi r1 = r1, 1\n        ret\n        nop\n        nop\n        .func main\n        .entry main\n        li r2 = 3\nloop:\n        .loopbound 3 3\n        call callee\n        nop\n        subi r2 = r2, 1\n        cmpineq p1 = r2, 0\n        (p1) br loop\n        nop\n        nop\n        halt\n",
+        )
+        .expect("assembles");
+        let map = flow_map(&image).expect("builds");
+        assert!(map.is_legal_call(0), "callee entry is a legal call target");
+        assert!(!map.is_legal_call(4), "main's entry is never called");
+        assert_eq!(map.loop_caps().len(), 1);
+        assert_eq!(map.loop_caps()[0].max, 3);
+    }
+
+    #[test]
+    fn wild_return_is_caught_by_the_checker_not_strict_mode() {
+        // A corrupted link register that still lands on a decodable
+        // bundle inside a function: strict mode is blind to it (the ret
+        // target is a valid pc), but the legal-return-site set is not.
+        let image = assemble(
+            "        .func callee\n        addi r1 = r1, 1\n        ret\n        nop\n        nop\n        .func main\n        .entry main\n        li r1 = 10\n        call callee\n        nop\n        addi r1 = r1, 2\n        halt\n",
+        )
+        .expect("assembles");
+        let cfg = SimConfig::default();
+        let golden = golden_run(&image, &cfg).expect("golden");
+        // Flip bit 0 of the link register right after the call redirect:
+        // `ret` now resumes one word off the legal return site.
+        let inj = Injection {
+            trigger: FaultTrigger::Cycle(golden.cycles / 2),
+            target: FaultTarget::Register {
+                reg: patmos_isa::LINK_REG.index(),
+                bit: 0,
+            },
+        };
+        let unchecked = run_injection(&image, &cfg, inj, None, &golden);
+        assert!(
+            !matches!(unchecked.outcome, FaultOutcome::Detected(_)),
+            "strict mode alone misses the wild-but-decodable return: {:?}",
+            unchecked.outcome
+        );
+        let map = flow_map(&image).expect("builds");
+        let checked = run_injection(&image, &cfg, inj, Some(&map), &golden);
+        assert_eq!(
+            checked.outcome,
+            FaultOutcome::Detected(DetectorKind::ControlFlow)
+        );
+    }
+
+    #[test]
+    fn clean_runs_never_trip_the_checker() {
+        // The checker must be invisible on every legal path: run a
+        // call-in-a-loop program under the map with no fault armed.
+        let image = assemble(
+            "        .func callee\n        addi r1 = r1, 1\n        ret\n        nop\n        nop\n        .func main\n        .entry main\n        li r2 = 3\n        li r1 = 0\nloop:\n        .loopbound 3 3\n        call callee\n        nop\n        subi r2 = r2, 1\n        cmpineq p1 = r2, 0\n        (p1) br loop\n        nop\n        nop\n        halt\n",
+        )
+        .expect("assembles");
+        let map = flow_map(&image).expect("builds");
+        let mut sim = patmos_sim::Simulator::new(&image, SimConfig::default());
+        sim.install_flow_checker(map);
+        let result = sim.run().expect("clean run passes the checker");
+        assert_eq!(sim.reg(patmos_isa::Reg::R1), 3);
+        assert!(result.stats.cycles > 0);
+    }
+}

@@ -36,6 +36,7 @@
 
 pub mod cfg;
 pub mod fixtures;
+pub mod flow;
 pub mod model;
 pub mod pessimism;
 pub mod solver;
@@ -44,5 +45,6 @@ mod analysis;
 
 pub use analysis::{analyze, analyze_unpipelined, Machine, WcetError, WcetReport};
 pub use cfg::{build_cfg, build_cfgs, Block, Cfg, CfgError, PipeLoopInfo};
+pub use flow::flow_map;
 pub use pessimism::{pessimism, BlockSlack, PessimismReport};
 pub use solver::{solve, LinearProgram, LpSolution};

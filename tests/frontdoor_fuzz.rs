@@ -1,0 +1,177 @@
+//! Front-door fuzzing: no input — bytes, token soup, or a hostile
+//! object image — may panic the toolchain's public entry points.
+//!
+//! Every surface a user (or a campaign driver) feeds data into must
+//! return `Err` on garbage, never unwind: the PatC compiler, the
+//! assembler, the disassembler, `ObjectImage::decode`, and
+//! `Simulator::try_new`. The generators are layered — raw bytes shake
+//! the lexers, token soup digs into the parsers past the lexing stage,
+//! and raw-word images attack the decoder and loader directly.
+
+use proptest::prelude::*;
+
+use patmos::asm::{assemble, disassemble, FuncInfo, ObjectImage};
+use patmos::compiler::{compile, CompileOptions};
+use patmos::sim::{SimConfig, Simulator};
+
+/// A bounded simulator config for running hostile-but-decodable
+/// programs: whatever the program does, the watchdog ends it.
+fn bounded_config() -> SimConfig {
+    SimConfig {
+        max_cycles: 50_000,
+        ..SimConfig::default()
+    }
+}
+
+/// Exercises everything downstream of a successful assembly/compile:
+/// the disassembler, the decoder, the loader, and a bounded run.
+fn exercise_image(image: &ObjectImage) {
+    let _ = disassemble(image.code());
+    let _ = image.decode();
+    if let Ok(mut sim) = Simulator::try_new(image, bounded_config()) {
+        let _ = sim.run();
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+    #[test]
+    fn raw_bytes_never_panic_the_front_door(
+        bytes in prop::collection::vec(any::<u8>(), 0..256),
+    ) {
+        let text = String::from_utf8_lossy(&bytes);
+        let _ = compile(&text, &CompileOptions::default());
+        let _ = assemble(&text);
+    }
+
+    #[test]
+    fn raw_words_never_panic_the_disassembler(
+        words in prop::collection::vec(any::<u32>(), 0..64),
+    ) {
+        let _ = disassemble(&words);
+    }
+}
+
+/// PatC token soup: syntactically plausible fragments in random order,
+/// reaching parser states raw bytes rarely hit.
+fn arb_patc_soup() -> impl Strategy<Value = String> {
+    let vocab: Vec<&'static str> = vec![
+        "int", "if", "else", "while", "for", "return", "bound", "heap", "spm", "main", "x", "y",
+        "a", "(", ")", "{", "}", "[", "]", ";", ",", "=", "==", "!=", "<", "<=", ">", ">=", "+",
+        "-", "*", "/", "%", "&&", "||", "!", "&", "|", "^", "<<", ">>", "0", "1", "7", "32767",
+        "99999", "-1",
+    ];
+    prop::collection::vec(prop::sample::select(vocab), 0..48).prop_map(|toks| toks.join(" "))
+}
+
+/// Assembler token soup: directives, mnemonics, operands and
+/// punctuation in random order.
+fn arb_pasm_soup() -> impl Strategy<Value = String> {
+    let vocab: Vec<&'static str> = vec![
+        ".func",
+        ".data",
+        ".word",
+        ".byte",
+        ".space",
+        ".loopbound",
+        ".srcfunc",
+        ".srcloop",
+        ".pipeloop",
+        "main",
+        "loop",
+        "done",
+        "add",
+        "sub",
+        "mul",
+        "mov",
+        "li",
+        "liu",
+        "lil",
+        "lws",
+        "sws",
+        "ldm",
+        "stm",
+        "br",
+        "brcf",
+        "call",
+        "ret",
+        "halt",
+        "nop",
+        "sres",
+        "sens",
+        "sfree",
+        "mfs",
+        "mts",
+        "cmplt",
+        "cmpeq",
+        "por",
+        "pnot",
+        "r0",
+        "r1",
+        "r31",
+        "p1",
+        "p7",
+        "sl",
+        "smask",
+        "=",
+        ",",
+        "+",
+        "-",
+        "[",
+        "]",
+        "{",
+        "}",
+        "(",
+        ")",
+        ";",
+        "!",
+        ":",
+        "0",
+        "1",
+        "4",
+        "0x10000",
+        "-2048",
+        "65535",
+        "\n",
+    ];
+    prop::collection::vec(prop::sample::select(vocab), 0..64).prop_map(|toks| toks.join(" "))
+}
+
+proptest! {
+    #[test]
+    fn patc_token_soup_never_panics_the_compiler(src in arb_patc_soup()) {
+        if let Ok(image) = compile(&src, &CompileOptions::default()) {
+            exercise_image(&image);
+        }
+    }
+
+    #[test]
+    fn pasm_token_soup_never_panics_the_assembler(src in arb_pasm_soup()) {
+        if let Ok(image) = assemble(&src) {
+            exercise_image(&image);
+        }
+    }
+
+    #[test]
+    fn hostile_images_never_panic_the_loader(
+        code in prop::collection::vec(any::<u32>(), 0..48),
+        start in 0u32..64,
+        size in 0u32..64,
+        entry in 0u32..64,
+    ) {
+        // A raw image whose function table and entry point need not be
+        // consistent with the code section: decode and load must reject
+        // it gracefully, and a loadable one must run into `halt`, an
+        // error, or the watchdog — never a panic.
+        let functions = vec![FuncInfo {
+            name: "main".into(),
+            start_word: start,
+            size_words: size,
+        }];
+        let image = ObjectImage::from_raw(code, functions, entry);
+        let _ = image.decode();
+        if let Ok(mut sim) = Simulator::try_new(&image, bounded_config()) {
+            let _ = sim.run();
+        }
+    }
+}
